@@ -1,0 +1,139 @@
+// Ablation benches for the design choices called out in DESIGN.md:
+//  (a) GVT round interval: synchronisation frequency vs overhead;
+//  (b) partitioning: the paper's naive round-robin vs the bipartite-aware
+//      BFS scheme suggested in its "Remarks" section;
+//  (c) optimistic memory pressure: capping saved history forces memory
+//      stalls (the paper: "optimistic demands huge amounts of memory").
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "circuits/fsm.h"
+#include "circuits/iir.h"
+#include "partition/partition.h"
+
+using namespace vsim;
+
+namespace {
+
+bench::BuildFn fsm_build = [] {
+  bench::Built b;
+  b.graph = std::make_unique<pdes::LpGraph>();
+  b.design = std::make_unique<vhdl::Design>(*b.graph);
+  circuits::FsmParams p;
+  circuits::build_fsm(*b.design, p);
+  b.design->finalize();
+  return b;
+};
+
+bench::BuildFn iir_build = [] {
+  bench::Built b;
+  b.graph = std::make_unique<pdes::LpGraph>();
+  b.design = std::make_unique<vhdl::Design>(*b.graph);
+  circuits::IirParams p;
+  circuits::build_iir(*b.design, p);
+  b.design->finalize();
+  return b;
+};
+
+}  // namespace
+
+int main() {
+  const PhysTime until = 800;
+  const double seq = bench::sequential_cost(fsm_build, until);
+
+  std::printf("# Ablation (a): GVT interval sweep, FSM, dynamic, P=8\n");
+  std::printf("%-10s%12s%12s%14s\n", "interval", "speedup", "rounds",
+              "rollbacks");
+  for (std::uint32_t interval : {8u, 16u, 32u, 64u, 128u, 256u}) {
+    pdes::RunConfig rc;
+    rc.num_workers = 8;
+    rc.configuration = pdes::Configuration::kDynamic;
+    rc.gvt_interval = interval;
+    rc.until = until;
+    const auto st = bench::run_machine(fsm_build, rc);
+    std::printf("%-10u%12s%12llu%14llu\n", interval,
+                bench::fmt(seq / st.makespan).c_str(),
+                static_cast<unsigned long long>(st.gvt_rounds),
+                static_cast<unsigned long long>(st.total_rollbacks()));
+    std::fflush(stdout);
+  }
+
+  std::printf("\n# Ablation (b): partitioning, IIR, dynamic\n");
+  const PhysTime iuntil = 4000;
+  const double iseq = bench::sequential_cost(iir_build, iuntil);
+  {
+    bench::Built probe = iir_build();
+    std::printf("%-6s%16s%16s%12s%12s\n", "P", "round-robin", "bipartite",
+                "cut(rr)", "cut(bfs)");
+    for (std::size_t p : {2u, 4u, 8u, 16u}) {
+      pdes::RunConfig rc;
+      rc.num_workers = p;
+      rc.configuration = pdes::Configuration::kDynamic;
+      rc.until = iuntil;
+      const auto rr = bench::run_machine(iir_build, rc, false);
+      const auto bf = bench::run_machine(iir_build, rc, true);
+      const auto prr = partition::round_robin(probe.graph->size(), p);
+      const auto pbf = partition::bipartite_bfs(*probe.graph, p);
+      std::printf("%-6zu%16s%16s%12zu%12zu\n", p,
+                  bench::fmt(iseq / rr.makespan).c_str(),
+                  bench::fmt(iseq / bf.makespan).c_str(),
+                  partition::cut_size(*probe.graph, prr),
+                  partition::cut_size(*probe.graph, pbf));
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf(
+      "\n# Ablation (d): cancellation policy, aggressive vs lazy, P=8\n"
+      "# (lazy suppresses anti-messages when re-execution regenerates the\n"
+      "#  same messages -- frequent in digital logic where recomputation\n"
+      "#  after a rollback often converges to identical values)\n");
+  std::printf("%-10s%14s%14s%12s%12s\n", "circuit", "aggressive", "lazy",
+              "anti(aggr)", "anti(lazy)");
+  {
+    struct Row {
+      const char* name;
+      const bench::BuildFn* build;
+      PhysTime until;
+    };
+    const Row rows[] = {{"FSM", &fsm_build, 800}, {"IIR", &iir_build, 4000}};
+    for (const Row& row : rows) {
+      const double sc = bench::sequential_cost(*row.build, row.until);
+      double mk[2];
+      std::uint64_t anti[2];
+      for (int lazy = 0; lazy < 2; ++lazy) {
+        pdes::RunConfig rc;
+        rc.num_workers = 8;
+        rc.configuration = pdes::Configuration::kAllOptimistic;
+        rc.cancellation = lazy ? pdes::CancellationPolicy::kLazy
+                               : pdes::CancellationPolicy::kAggressive;
+        rc.until = row.until;
+        const auto st = bench::run_machine(*row.build, rc);
+        mk[lazy] = st.makespan;
+        anti[lazy] = 0;
+        for (const auto& l : st.per_lp) anti[lazy] += l.anti_messages_sent;
+      }
+      std::printf("%-10s%14s%14s%12llu%12llu\n", row.name,
+                  bench::fmt(sc / mk[0]).c_str(),
+                  bench::fmt(sc / mk[1]).c_str(),
+                  static_cast<unsigned long long>(anti[0]),
+                  static_cast<unsigned long long>(anti[1]));
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf("\n# Ablation (c): optimistic history cap (memory), FSM, P=8\n");
+  std::printf("%-10s%12s%16s\n", "cap", "speedup", "peak_history");
+  for (std::size_t cap : {0u, 256u, 64u, 16u, 4u}) {
+    pdes::RunConfig rc;
+    rc.num_workers = 8;
+    rc.configuration = pdes::Configuration::kAllOptimistic;
+    rc.max_history = cap;
+    rc.until = until;
+    const auto st = bench::run_machine(fsm_build, rc);
+    std::printf("%-10zu%12s%16zu\n", cap,
+                bench::fmt(seq / st.makespan).c_str(), st.peak_history());
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Fig. 10 reproduction: speedup for the DCT processor at gate level
+// (~1600 LPs), 1..16 processors, four configurations.  The paper reports
+// the self-adapting dynamic configuration at roughly twice the speedup of
+// the static ones on this circuit.
+#include "bench/harness.h"
+#include "circuits/dct.h"
+
+using namespace vsim;
+
+int main() {
+  const PhysTime until = 6000;  // 20 sample clocks
+  bench::BuildFn build = [] {
+    bench::Built b;
+    b.graph = std::make_unique<pdes::LpGraph>();
+    b.design = std::make_unique<vhdl::Design>(*b.graph);
+    circuits::DctParams p;  // defaults sized for ~1600 LPs
+    circuits::build_dct(*b.design, p);
+    b.design->finalize();
+    return b;
+  };
+
+  bench::speedup_figure(
+      "Fig. 10 -- Speedup for DCT processor (gate level)", build, until,
+      {1, 2, 4, 6, 8, 10, 12, 14, 16},
+      {pdes::Configuration::kAllOptimistic,
+       pdes::Configuration::kAllConservative, pdes::Configuration::kMixed,
+       pdes::Configuration::kDynamic});
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Fig. 8 reproduction: speedup for the Gray-Markel cascaded-lattice IIR
+// filter at gate level (~870 LPs), 1..16 processors, four configurations.
+#include "bench/harness.h"
+#include "circuits/iir.h"
+
+using namespace vsim;
+
+int main() {
+  const PhysTime until = 8000;  // 20 sample clocks
+  bench::BuildFn build = [] {
+    bench::Built b;
+    b.graph = std::make_unique<pdes::LpGraph>();
+    b.design = std::make_unique<vhdl::Design>(*b.graph);
+    circuits::IirParams p;  // defaults sized for ~870 LPs
+    circuits::build_iir(*b.design, p);
+    b.design->finalize();
+    return b;
+  };
+
+  bench::speedup_figure(
+      "Fig. 8 -- Speedup for Gray-Markel IIR filter (gate level)", build,
+      until, {1, 2, 4, 6, 8, 10, 12, 14, 16},
+      {pdes::Configuration::kAllOptimistic,
+       pdes::Configuration::kAllConservative, pdes::Configuration::kMixed,
+       pdes::Configuration::kDynamic});
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Wall-clock microbenchmarks (google-benchmark): raw engine throughput and
+// kernel primitive costs on this host.  These complement the machine-model
+// figures with real measurements of the implementation itself.
+#include <benchmark/benchmark.h>
+
+#include "bench/harness.h"
+#include "circuits/fsm.h"
+#include "partition/partition.h"
+#include "pdes/sequential.h"
+#include "vhdl/waveform.h"
+
+using namespace vsim;
+
+namespace {
+
+bench::Built make_fsm(std::size_t lanes) {
+  bench::Built b;
+  b.graph = std::make_unique<pdes::LpGraph>();
+  b.design = std::make_unique<vhdl::Design>(*b.graph);
+  circuits::FsmParams p;
+  p.lanes = lanes;
+  circuits::build_fsm(*b.design, p);
+  b.design->finalize();
+  return b;
+}
+
+void BM_SequentialEngineThroughput(benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    bench::Built b = make_fsm(static_cast<std::size_t>(state.range(0)));
+    pdes::SequentialEngine eng(*b.graph);
+    const auto r = eng.run(400);
+    events += r.stats.total_events();
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SequentialEngineThroughput)->Arg(4)->Arg(10);
+
+void BM_MachineEngineThroughput(benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    bench::Built b = make_fsm(4);
+    pdes::RunConfig rc;
+    rc.num_workers = static_cast<std::size_t>(state.range(0));
+    rc.configuration = pdes::Configuration::kDynamic;
+    rc.until = 400;
+    pdes::MachineEngine eng(
+        *b.graph, partition::round_robin(b.graph->size(), rc.num_workers),
+        rc);
+    events += eng.run().total_events();
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MachineEngineThroughput)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_WaveformScheduleApply(benchmark::State& state) {
+  vhdl::Waveform w(LogicVector{Logic::k0});
+  PhysTime t = 0;
+  for (auto _ : state) {
+    ++t;
+    w.schedule({t + 5, 1}, LogicVector{t % 2 ? Logic::k1 : Logic::k0},
+               /*transport=*/false, {t, 0});
+    benchmark::DoNotOptimize(w.apply_matured({t, 1}));
+  }
+}
+BENCHMARK(BM_WaveformScheduleApply);
+
+void BM_LogicResolution(benchmark::State& state) {
+  const LogicVector a = LogicVector::from_string("01ZXWLH-U01ZXWLH");
+  const LogicVector b = LogicVector::from_string("ZZZZZZZZZZZZZZZZ");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resolve(a, b));
+  }
+}
+BENCHMARK(BM_LogicResolution);
+
+}  // namespace
+
+BENCHMARK_MAIN();

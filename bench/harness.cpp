@@ -1,0 +1,69 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+
+#include "partition/partition.h"
+
+namespace vsim::bench {
+
+double sequential_cost(const BuildFn& build, PhysTime until) {
+  Built b = build();
+  pdes::SequentialEngine eng(*b.graph);
+  return eng.run(until).total_cost;
+}
+
+pdes::RunStats run_machine(const BuildFn& build, pdes::RunConfig rc,
+                           bool bipartite_partition) {
+  Built b = build();
+  const pdes::Partition part =
+      bipartite_partition
+          ? partition::bipartite_bfs(*b.graph, rc.num_workers)
+          : partition::round_robin(b.graph->size(), rc.num_workers);
+  pdes::MachineEngine eng(*b.graph, part, rc);
+  return eng.run();
+}
+
+std::string fmt(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::vector<SweepResult> speedup_figure(
+    const std::string& title, const BuildFn& build, PhysTime until,
+    const std::vector<std::size_t>& workers,
+    const std::vector<pdes::Configuration>& configs,
+    std::size_t max_history) {
+  const double seq = sequential_cost(build, until);
+  {
+    Built probe = build();
+    std::printf("# %s\n", title.c_str());
+    std::printf("# LPs: %zu, sequential cost: %s work units\n",
+                probe.graph->size(), fmt(seq, 0).c_str());
+  }
+  std::printf("%-6s", "P");
+  for (auto c : configs) std::printf("%14s", pdes::to_string(c));
+  std::printf("\n");
+
+  std::vector<SweepResult> out;
+  for (std::size_t p : workers) {
+    std::printf("%-6zu", p);
+    for (auto c : configs) {
+      pdes::RunConfig rc;
+      rc.num_workers = p;
+      rc.configuration = c;
+      rc.until = until;
+      rc.max_history = max_history;
+      pdes::RunStats st = run_machine(build, rc);
+      const double sp = st.deadlocked ? 0.0 : seq / st.makespan;
+      std::printf("%14s", st.deadlocked ? "deadlock" : fmt(sp).c_str());
+      out.push_back({p, c, sp, std::move(st)});
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  return out;
+}
+
+}  // namespace vsim::bench

@@ -1,0 +1,56 @@
+// Shared harness for the figure/table reproduction benches.
+//
+// Each bench binary regenerates one artefact of the paper's evaluation
+// (Sec. 4): it builds the circuit, runs the sequential reference to obtain
+// the baseline cost, then sweeps processor counts and synchronisation
+// configurations on the deterministic machine-model engine and prints the
+// speedup rows of the corresponding figure.  See DESIGN.md ("Substitutions")
+// for why speedups come from the machine model on this single-core host.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pdes/machine.h"
+#include "pdes/sequential.h"
+#include "vhdl/kernel.h"
+
+namespace vsim::bench {
+
+struct Built {
+  std::unique_ptr<pdes::LpGraph> graph;
+  std::unique_ptr<vhdl::Design> design;
+};
+
+using BuildFn = std::function<Built()>;
+
+struct SweepResult {
+  std::size_t workers;
+  pdes::Configuration config;
+  double speedup;
+  pdes::RunStats stats;
+};
+
+/// Sequential baseline: total event cost of the reference run.
+double sequential_cost(const BuildFn& build, PhysTime until);
+
+/// One machine-model run; returns stats (makespan inside).
+pdes::RunStats run_machine(const BuildFn& build, pdes::RunConfig rc,
+                           bool bipartite_partition = false);
+
+/// Prints one figure: speedup-vs-processors for the four configurations.
+/// Returns all rows for further inspection.  `max_history` models finite
+/// Time Warp memory per LP (the paper: "optimistic demands huge amounts of
+/// memory"); 0 disables the cap.
+std::vector<SweepResult> speedup_figure(
+    const std::string& title, const BuildFn& build, PhysTime until,
+    const std::vector<std::size_t>& workers,
+    const std::vector<pdes::Configuration>& configs,
+    std::size_t max_history = 128);
+
+/// Formats a number with fixed precision.
+std::string fmt(double v, int prec = 2);
+
+}  // namespace vsim::bench

@@ -1,0 +1,113 @@
+// Domain example: exploring synchronisation protocols on one circuit.
+//
+// Shows the knobs the library exposes: the four configurations, the two
+// simultaneous-event orderings, the two conservative strategies (global
+// sync vs null messages + lookahead), and per-LP statistics.  Prints a
+// small report of how each protocol behaves on the gate-level IIR filter.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "circuits/iir.h"
+#include "partition/partition.h"
+#include "pdes/machine.h"
+#include "pdes/sequential.h"
+
+using namespace vsim;
+
+namespace {
+
+using pdes::Configuration;
+using pdes::ConservativeStrategy;
+using pdes::OrderingMode;
+
+struct Variant {
+  const char* name;
+  Configuration config;
+  OrderingMode ordering;
+  ConservativeStrategy strategy;
+  bool lookahead;
+};
+
+std::unique_ptr<pdes::LpGraph> g_graph;
+
+void build(std::unique_ptr<pdes::LpGraph>& graph,
+           std::unique_ptr<vhdl::Design>& design) {
+  graph = std::make_unique<pdes::LpGraph>();
+  design = std::make_unique<vhdl::Design>(*graph);
+  circuits::IirParams p;
+  p.sections = 3;
+  circuits::build_iir(*design, p);
+  design->finalize();
+}
+
+}  // namespace
+
+int main() {
+  const PhysTime until = 4000;
+  const std::size_t workers = 8;
+
+  double seq_cost;
+  {
+    std::unique_ptr<pdes::LpGraph> graph;
+    std::unique_ptr<vhdl::Design> design;
+    build(graph, design);
+    pdes::SequentialEngine seq(*graph);
+    seq_cost = seq.run(until).total_cost;
+    std::printf("IIR (3 sections): %zu LPs, sequential cost %.0f\n\n",
+                graph->size(), seq_cost);
+  }
+
+  const Variant variants[] = {
+      {"optimistic / arbitrary", Configuration::kAllOptimistic,
+       OrderingMode::kArbitrary, ConservativeStrategy::kGlobalSync, false},
+      {"optimistic / user-consistent", Configuration::kAllOptimistic,
+       OrderingMode::kUserConsistent, ConservativeStrategy::kGlobalSync,
+       false},
+      {"conservative / lookahead-free", Configuration::kAllConservative,
+       OrderingMode::kArbitrary, ConservativeStrategy::kGlobalSync, false},
+      {"conservative / null-message+la", Configuration::kAllConservative,
+       OrderingMode::kArbitrary, ConservativeStrategy::kNullMessage, true},
+      {"mixed (registers conservative)", Configuration::kMixed,
+       OrderingMode::kArbitrary, ConservativeStrategy::kGlobalSync, false},
+      {"dynamic (self-adaptive)", Configuration::kDynamic,
+       OrderingMode::kArbitrary, ConservativeStrategy::kGlobalSync, false},
+  };
+
+  std::printf("%-34s %8s %9s %9s %8s %9s\n", "protocol", "speedup",
+              "rollback", "anti-msg", "nulls", "switches");
+  for (const Variant& v : variants) {
+    std::unique_ptr<pdes::LpGraph> graph;
+    std::unique_ptr<vhdl::Design> design;
+    build(graph, design);
+    pdes::RunConfig rc;
+    rc.num_workers = workers;
+    rc.configuration = v.config;
+    rc.ordering = v.ordering;
+    rc.strategy = v.strategy;
+    rc.use_lookahead = v.lookahead;
+    rc.until = until;
+    pdes::MachineEngine eng(
+        *graph, partition::round_robin(graph->size(), workers), rc);
+    const auto st = eng.run();
+    std::uint64_t anti = 0, switches = 0;
+    for (const auto& l : st.per_lp) {
+      anti += l.anti_messages_sent;
+      switches += l.mode_switches;
+    }
+    std::printf("%-34s %8.2f %9llu %9llu %8llu %9llu\n", v.name,
+                st.deadlocked ? 0.0 : seq_cost / st.makespan,
+                static_cast<unsigned long long>(st.total_rollbacks()),
+                static_cast<unsigned long long>(anti),
+                static_cast<unsigned long long>(st.total_null_messages()),
+                static_cast<unsigned long long>(switches));
+  }
+
+  std::printf(
+      "\nNotes:\n"
+      " - the lookahead-free protocols never send null messages;\n"
+      " - the dynamic protocol demotes rollback-prone or memory-bound LPs\n"
+      "   to conservative mode at GVT rounds (see 'switches');\n"
+      " - user-consistent ordering adds rollbacks for equal timestamps.\n");
+  return 0;
+}

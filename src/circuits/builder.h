@@ -1,0 +1,80 @@
+// Structural netlist construction helpers on top of vhdl::Design.
+//
+// The generators below (FSM, IIR, DCT) build gate-level netlists the way
+// the paper's VHDL-to-C translator would have produced them: one process
+// LP per gate / flip-flop / generator and one signal LP per net.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuits/gates.h"
+#include "vhdl/kernel.h"
+
+namespace vsim::circuits {
+
+using vhdl::Design;
+using vhdl::ProcessId;
+using vhdl::SignalId;
+
+class CircuitBuilder {
+ public:
+  explicit CircuitBuilder(Design& design, PhysTime gate_delay)
+      : d_(design), delay_(gate_delay) {}
+
+  [[nodiscard]] Design& design() { return d_; }
+  [[nodiscard]] PhysTime gate_delay() const { return delay_; }
+
+  /// Declares a 1-bit net.
+  SignalId wire(const std::string& name, Logic init = Logic::kU);
+
+  /// Instantiates a gate driving `out` from `ins`; returns the process.
+  ProcessId gate(GateKind kind, const std::vector<SignalId>& ins,
+                 SignalId out, const std::string& name = {});
+
+  /// Rising-edge DFF (marked synchronous for the mixed configuration).
+  ProcessId dff(SignalId clk, SignalId d, SignalId q,
+                const std::string& name = {});
+  ProcessId dff_r(SignalId clk, SignalId d, SignalId rst, SignalId q,
+                  const std::string& name = {});
+
+  /// Clock generator (marked synchronous).
+  ProcessId clock(SignalId out, PhysTime half_period,
+                  const std::string& name = "clk_gen");
+
+  ProcessId stimulus(SignalId out,
+                     std::vector<std::pair<PhysTime, Logic>> script,
+                     const std::string& name = "stim");
+  ProcessId random_bits(SignalId out, PhysTime period, std::uint64_t seed,
+                        PhysTime stop, const std::string& name = "rnd");
+
+  // ---- arithmetic macros (gate-level) ----
+  /// Full adder: sum/cout from a, b, cin (5 gates, 2 internal nets).
+  void full_adder(SignalId a, SignalId b, SignalId cin, SignalId sum,
+                  SignalId cout, const std::string& prefix);
+  /// Ripple-carry adder over bit vectors (LSB at index 0).
+  /// cin may be a constant-0 wire.  Result width == a.size().
+  std::vector<SignalId> adder(const std::vector<SignalId>& a,
+                              const std::vector<SignalId>& b, SignalId cin,
+                              const std::string& prefix);
+  /// W-bit register bank.
+  std::vector<SignalId> reg_bank(SignalId clk, const std::vector<SignalId>& d,
+                                 const std::string& prefix);
+  /// Constant '0' / '1' nets (driven once by a stimulus process).
+  SignalId const_wire(Logic v, const std::string& name);
+
+  [[nodiscard]] std::size_t lp_count() const {
+    return d_.graph().size();
+  }
+
+ private:
+  ProcessId attach(std::unique_ptr<vhdl::ProcessBody> body,
+                   const std::vector<SignalId>& ins, SignalId out,
+                   const std::string& name, bool synchronous);
+
+  Design& d_;
+  PhysTime delay_;
+  std::uint64_t auto_name_ = 0;
+};
+
+}  // namespace vsim::circuits

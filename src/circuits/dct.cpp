@@ -1,0 +1,67 @@
+#include "circuits/dct.h"
+
+namespace vsim::circuits {
+namespace {
+
+std::vector<SignalId> asr(const std::vector<SignalId>& x, std::size_t n) {
+  std::vector<SignalId> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    out[i] = i + n < x.size() ? x[i + n] : x.back();
+  return out;
+}
+
+}  // namespace
+
+DctCircuit build_dct(vhdl::Design& design, const DctParams& params) {
+  CircuitBuilder b(design, params.gate_delay);
+  DctCircuit c;
+  const std::size_t w = params.width;
+  const std::size_t n = params.n;
+
+  c.clk = b.wire("clk", Logic::k0);
+  b.clock(c.clk, params.clock_half);
+  const SignalId zero = b.const_wire(Logic::k0, "const0");
+
+  // Input rows: registered pseudo-random samples a(i, *).
+  c.inputs.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c.inputs[i].resize(w);
+    for (std::size_t k = 0; k < w; ++k) {
+      c.inputs[i][k] = b.wire("a" + std::to_string(i) + "_" +
+                              std::to_string(k), Logic::k0);
+      b.random_bits(c.inputs[i][k], 2 * params.clock_half,
+                    params.input_seed + i * w + k, params.input_stop,
+                    "a_gen" + std::to_string(i) + "_" + std::to_string(k));
+    }
+  }
+
+  // MAC cells: cell (i,j) computes acc += (a_i * c_j) where the cosine
+  // coefficient multiply is a two-term shift-add: x*c ~ (x>>s1) + (x>>s2).
+  c.acc.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::string p = "mac" + std::to_string(i) + "_" +
+                            std::to_string(j);
+      const std::size_t s1 = 1 + (j % 3);
+      const std::size_t s2 = 2 + ((i + j) % 3);
+
+      // coefficient multiply: prod = (a >> s1) + (a >> s2)
+      const std::vector<SignalId> prod =
+          b.adder(asr(c.inputs[i], s1), asr(c.inputs[i], s2), zero,
+                  p + ".mul");
+      // accumulate: accq = reg(acc_sum); acc_sum = prod + accq
+      std::vector<SignalId> accq(w);
+      for (std::size_t k = 0; k < w; ++k)
+        accq[k] = b.wire(p + ".accq" + std::to_string(k), Logic::k0);
+      const std::vector<SignalId> sum = b.adder(prod, accq, zero, p + ".acc");
+      for (std::size_t k = 0; k < w; ++k)
+        b.dff(c.clk, sum[k], accq[k], p + ".ff" + std::to_string(k));
+      c.acc[i].insert(c.acc[i].end(), accq.begin(), accq.end());
+    }
+  }
+
+  c.lp_count = design.graph().size();
+  return c;
+}
+
+}  // namespace vsim::circuits

@@ -1,0 +1,33 @@
+// Discrete Cosine Transform processor, gate level (paper Figs. 9/10).
+//
+// An N x N array of multiply-accumulate cells (the paper's Fig. 9 shows the
+// a(i,j) / c(j,k) / (ac)(i,k) systolic structure): inputs stream across a
+// row, fixed cosine coefficients are realised as shift-add networks, and
+// each cell accumulates into a register.  This is the largest circuit
+// (~1600 LPs at the default size) and the one where the paper reports the
+// dynamic configuration at twice the speedup of the static ones.
+#pragma once
+
+#include "circuits/builder.h"
+
+namespace vsim::circuits {
+
+struct DctParams {
+  std::size_t n = 4;          ///< transform size (N x N cells)
+  std::size_t width = 4;      ///< datapath bits; 4x4x4 = 1444 LPs (~1579)
+  PhysTime gate_delay = 1;
+  PhysTime clock_half = 150;
+  std::uint64_t input_seed = 11;
+  PhysTime input_stop = std::numeric_limits<PhysTime>::max();
+};
+
+struct DctCircuit {
+  vhdl::SignalId clk;
+  std::vector<std::vector<vhdl::SignalId>> inputs;  ///< per row, LSB first
+  std::vector<std::vector<vhdl::SignalId>> acc;     ///< accumulator outputs
+  std::size_t lp_count = 0;
+};
+
+DctCircuit build_dct(vhdl::Design& design, const DctParams& params = {});
+
+}  // namespace vsim::circuits

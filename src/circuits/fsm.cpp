@@ -1,0 +1,73 @@
+#include "circuits/fsm.h"
+
+namespace vsim::circuits {
+
+FsmCircuit build_fsm(vhdl::Design& design, const FsmParams& params) {
+  CircuitBuilder b(design, params.gate_delay);
+  FsmCircuit c;
+
+  c.clk = b.wire("clk", Logic::k0);
+  b.clock(c.clk, params.clock_half);
+  c.input = b.wire("din", Logic::k0);
+  b.random_bits(c.input, params.input_period, params.input_seed,
+                params.input_stop, "din_gen");
+
+  // Lanes of gated ripple incrementers: lane l advances when the input bit
+  // differs from the registered top bit of lane l-1 (cross-coupling through
+  // registers only, so lanes run concurrently within a cycle).
+  std::vector<SignalId> all_q;
+  SignalId prev_msb = c.input;
+  for (std::size_t l = 0; l < params.lanes; ++l) {
+    const std::string lp = "l" + std::to_string(l);
+    const std::size_t w = params.width;
+
+    std::vector<SignalId> q(w);
+    for (std::size_t i = 0; i < w; ++i)
+      q[i] = b.wire(lp + ".s" + std::to_string(i), Logic::k0);
+
+    // Lane enable: din xor (previous lane's registered MSB).
+    const SignalId en = b.wire(lp + ".en");
+    b.gate(GateKind::kXor, {c.input, prev_msb}, en, lp + ".enx");
+
+    SignalId carry = en;
+    std::vector<SignalId> nxt(w);
+    for (std::size_t i = 0; i < w; ++i) {
+      const std::string p = lp + ".b" + std::to_string(i);
+      nxt[i] = b.wire(p + ".inc");
+      b.gate(GateKind::kXor, {q[i], carry}, nxt[i], p + ".xor");
+      if (i + 1 < w) {
+        const SignalId cn = b.wire(p + ".cy");
+        b.gate(GateKind::kAnd, {q[i], carry}, cn, p + ".and");
+        carry = cn;
+      }
+    }
+    for (std::size_t i = 0; i < w; ++i)
+      b.dff(c.clk, nxt[i], q[i], lp + ".ff" + std::to_string(i));
+
+    all_q.insert(all_q.end(), q.begin(), q.end());
+    prev_msb = q.back();
+  }
+  c.state = all_q;
+
+  // Output decode: parity tree over the full state.
+  std::vector<SignalId> layer = all_q;
+  std::size_t lvl = 0;
+  while (layer.size() > 1) {
+    std::vector<SignalId> next_layer;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      const SignalId o = b.wire("par" + std::to_string(lvl) + "_" +
+                                std::to_string(i / 2));
+      b.gate(GateKind::kXor, {layer[i], layer[i + 1]}, o);
+      next_layer.push_back(o);
+    }
+    if (layer.size() % 2 == 1) next_layer.push_back(layer.back());
+    layer = std::move(next_layer);
+    ++lvl;
+  }
+  c.parity = layer.front();
+
+  c.lp_count = design.graph().size();
+  return c;
+}
+
+}  // namespace vsim::circuits

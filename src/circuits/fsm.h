@@ -1,0 +1,35 @@
+// Finite state machine (paper Fig. 5 / Fig. 6: "FSM (0 Delay)").
+//
+// A synchronous FSM with a wide state register and zero-delay
+// combinational next-state logic: a gated ripple incrementer with an
+// input-conditioned mux per bit plus a parity/decode tree on the outputs.
+// With zero gate delays every clock edge triggers a long chain of delta
+// cycles -- precisely the case the (pt, lt) tie-breaking exists for.
+#pragma once
+
+#include "circuits/builder.h"
+
+namespace vsim::circuits {
+
+struct FsmParams {
+  std::size_t lanes = 10;       ///< independent counter lanes (parallelism)
+  std::size_t width = 7;        ///< bits per lane; 10x7 = 562 LPs (~553)
+  PhysTime gate_delay = 0;      ///< zero: pure delta-cycle combinational logic
+  PhysTime clock_half = 10;
+  std::uint64_t input_seed = 42;
+  PhysTime input_period = 20;
+  PhysTime input_stop = std::numeric_limits<PhysTime>::max();
+};
+
+struct FsmCircuit {
+  vhdl::SignalId clk;
+  vhdl::SignalId input;
+  std::vector<vhdl::SignalId> state;  ///< register outputs, LSB first
+  vhdl::SignalId parity;              ///< decode-tree output
+  std::size_t lp_count = 0;
+};
+
+/// Builds the FSM into `design`; returns the interface nets.
+FsmCircuit build_fsm(vhdl::Design& design, const FsmParams& params = {});
+
+}  // namespace vsim::circuits

@@ -1,0 +1,113 @@
+#include "circuits/gates.h"
+
+#include <cassert>
+
+namespace vsim::circuits {
+
+Logic eval_gate(GateKind kind, const std::vector<Logic>& in) {
+  switch (kind) {
+    case GateKind::kAnd:
+    case GateKind::kNand: {
+      Logic acc = in[0];
+      for (std::size_t i = 1; i < in.size(); ++i) acc = logic_and(acc, in[i]);
+      return kind == GateKind::kNand ? logic_not(acc) : acc;
+    }
+    case GateKind::kOr:
+    case GateKind::kNor: {
+      Logic acc = in[0];
+      for (std::size_t i = 1; i < in.size(); ++i) acc = logic_or(acc, in[i]);
+      return kind == GateKind::kNor ? logic_not(acc) : acc;
+    }
+    case GateKind::kXor:
+    case GateKind::kXnor: {
+      Logic acc = in[0];
+      for (std::size_t i = 1; i < in.size(); ++i) acc = logic_xor(acc, in[i]);
+      return kind == GateKind::kXnor ? logic_not(acc) : acc;
+    }
+    case GateKind::kNot:
+      return logic_not(in[0]);
+    case GateKind::kBuf:
+      return in[0];
+    case GateKind::kMux2: {
+      const Logic sel = to_x01(in[2]);
+      if (sel == Logic::k0) return in[0];
+      if (sel == Logic::k1) return in[1];
+      return in[0] == in[1] ? in[0] : Logic::kX;
+    }
+  }
+  return Logic::kX;
+}
+
+const char* gate_name(GateKind kind) {
+  switch (kind) {
+    case GateKind::kAnd: return "and";
+    case GateKind::kOr: return "or";
+    case GateKind::kNand: return "nand";
+    case GateKind::kNor: return "nor";
+    case GateKind::kXor: return "xor";
+    case GateKind::kXnor: return "xnor";
+    case GateKind::kNot: return "not";
+    case GateKind::kBuf: return "buf";
+    case GateKind::kMux2: return "mux2";
+  }
+  return "?";
+}
+
+void GateBody::run(ProcessApi& api) {
+  std::vector<Logic> in;
+  in.reserve(static_cast<std::size_t>(num_inputs_));
+  std::vector<int> ports;
+  ports.reserve(static_cast<std::size_t>(num_inputs_));
+  for (int i = 0; i < num_inputs_; ++i) {
+    in.push_back(api.value(i).scalar());
+    ports.push_back(i);
+  }
+  api.assign(0, LogicVector{eval_gate(kind_, in)}, delay_);
+  api.wait_on(std::move(ports));
+}
+
+void DffBody::run(ProcessApi& api) {
+  constexpr int kClk = 0, kD = 1, kRst = 2;
+  if (has_reset_ && to_x01(api.value(kRst).scalar()) == Logic::k1) {
+    api.assign(0, LogicVector{Logic::k0}, delay_);
+  } else if (api.event(kClk) &&
+             to_x01(api.value(kClk).scalar()) == Logic::k1) {
+    api.assign(0, api.value(kD), delay_);
+  }
+  std::vector<int> sens{kClk};
+  if (has_reset_) sens.push_back(kRst);
+  api.wait_on(std::move(sens));
+}
+
+void ClockBody::run(ProcessApi& api) {
+  api.assign(0, LogicVector{logic_of_bool(level_)});
+  level_ = !level_;
+  api.wait_for(half_);
+}
+
+void StimulusBody::run(ProcessApi& api) {
+  // Emit every script entry whose time has come, then sleep to the next.
+  while (next_ < script_.size() && script_[next_].first <= api.now().pt) {
+    api.assign(0, LogicVector{script_[next_].second});
+    ++next_;
+  }
+  if (next_ < script_.size()) {
+    api.wait_for(script_[next_].first - api.now().pt);
+  } else {
+    api.wait_forever();
+  }
+}
+
+void RandomBitBody::run(ProcessApi& api) {
+  if (api.now().pt >= stop_) {
+    api.wait_forever();
+    return;
+  }
+  rng_ ^= rng_ << 13;
+  rng_ ^= rng_ >> 7;
+  rng_ ^= rng_ << 17;
+  api.assign(0, LogicVector{logic_of_bool((rng_ >> 33) & 1u)});
+  api.wait_for(period_);
+}
+
+}  // namespace vsim::circuits

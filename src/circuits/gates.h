@@ -1,0 +1,137 @@
+// Gate-level process bodies.
+//
+// Each body is the "compiled" sequential part of a small behavioural VHDL
+// process, e.g. for a NAND gate:
+//
+//   process (a, b) begin
+//     y <= a nand b after tpd;
+//   end process;
+//
+// Bodies are value types: clone() is a plain copy, which keeps Time Warp
+// snapshots cheap.
+#pragma once
+
+#include <vector>
+
+#include "vhdl/process_lp.h"
+
+namespace vsim::circuits {
+
+using vhdl::ProcessApi;
+using vhdl::ProcessBody;
+
+enum class GateKind : std::uint8_t {
+  kAnd,
+  kOr,
+  kNand,
+  kNor,
+  kXor,
+  kXnor,
+  kNot,
+  kBuf,
+  kMux2,  ///< inputs: a, b, sel; y = sel ? b : a
+};
+
+[[nodiscard]] Logic eval_gate(GateKind kind, const std::vector<Logic>& in);
+[[nodiscard]] const char* gate_name(GateKind kind);
+
+/// Combinational gate: on any input event, re-evaluate and assign.
+class GateBody final : public ProcessBody {
+ public:
+  GateBody(GateKind kind, int num_inputs, PhysTime delay)
+      : kind_(kind), num_inputs_(num_inputs), delay_(delay) {}
+
+  [[nodiscard]] std::unique_ptr<ProcessBody> clone() const override {
+    return std::make_unique<GateBody>(*this);
+  }
+
+  void run(ProcessApi& api) override;
+
+ private:
+  GateKind kind_;
+  int num_inputs_;
+  PhysTime delay_;
+};
+
+/// Rising-edge D flip-flop, ports: 0 = clk, 1 = d [, 2 = rst active-high].
+///
+///   process (clk, rst) begin
+///     if rst = '1' then q <= '0' after tcq;
+///     elsif clk'event and clk = '1' then q <= d after tcq;
+///     end if;
+///   end process;
+class DffBody final : public ProcessBody {
+ public:
+  DffBody(PhysTime delay, bool has_reset)
+      : delay_(delay), has_reset_(has_reset) {}
+
+  [[nodiscard]] std::unique_ptr<ProcessBody> clone() const override {
+    return std::make_unique<DffBody>(*this);
+  }
+
+  void run(ProcessApi& api) override;
+
+ private:
+  PhysTime delay_;
+  bool has_reset_;
+};
+
+/// Free-running clock generator:
+///
+///   process begin
+///     clk <= '0'; wait for half;
+///     clk <= '1'; wait for half;
+///   end process;
+class ClockBody final : public ProcessBody {
+ public:
+  explicit ClockBody(PhysTime half_period) : half_(half_period) {}
+
+  [[nodiscard]] std::unique_ptr<ProcessBody> clone() const override {
+    return std::make_unique<ClockBody>(*this);
+  }
+
+  void run(ProcessApi& api) override;
+
+ private:
+  PhysTime half_;
+  bool level_ = false;  // next level to drive
+};
+
+/// Plays back a fixed scalar stimulus: (time, value) pairs, then waits
+/// forever.  Times must be strictly increasing, starting at 0 or later.
+class StimulusBody final : public ProcessBody {
+ public:
+  explicit StimulusBody(std::vector<std::pair<PhysTime, Logic>> script)
+      : script_(std::move(script)) {}
+
+  [[nodiscard]] std::unique_ptr<ProcessBody> clone() const override {
+    return std::make_unique<StimulusBody>(*this);
+  }
+
+  void run(ProcessApi& api) override;
+
+ private:
+  std::vector<std::pair<PhysTime, Logic>> script_;
+  std::size_t next_ = 0;
+};
+
+/// Pseudo-random bit stream at a fixed period (xorshift PRNG in the body
+/// state, deterministic and cloneable).
+class RandomBitBody final : public ProcessBody {
+ public:
+  RandomBitBody(PhysTime period, std::uint64_t seed, PhysTime stop)
+      : period_(period), rng_(seed == 0 ? 1 : seed), stop_(stop) {}
+
+  [[nodiscard]] std::unique_ptr<ProcessBody> clone() const override {
+    return std::make_unique<RandomBitBody>(*this);
+  }
+
+  void run(ProcessApi& api) override;
+
+ private:
+  PhysTime period_;
+  std::uint64_t rng_;
+  PhysTime stop_;
+};
+
+}  // namespace vsim::circuits

@@ -1,0 +1,85 @@
+#include "circuits/iir.h"
+
+namespace vsim::circuits {
+namespace {
+
+/// Arithmetic right shift as wiring: result[i] = x[i+n], sign-extended.
+std::vector<SignalId> asr(const std::vector<SignalId>& x, std::size_t n) {
+  std::vector<SignalId> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    out[i] = i + n < x.size() ? x[i + n] : x.back();
+  return out;
+}
+
+/// a - b: invert b and add with carry-in 1.
+std::vector<SignalId> subtract(CircuitBuilder& b,
+                               const std::vector<SignalId>& a,
+                               const std::vector<SignalId>& bb, SignalId one,
+                               const std::string& prefix) {
+  std::vector<SignalId> nb(bb.size());
+  for (std::size_t i = 0; i < bb.size(); ++i) {
+    nb[i] = b.wire(prefix + ".nb" + std::to_string(i));
+    b.gate(GateKind::kNot, {bb[i]}, nb[i]);
+  }
+  return b.adder(a, nb, one, prefix + ".sub");
+}
+
+}  // namespace
+
+IirCircuit build_iir(vhdl::Design& design, const IirParams& params) {
+  CircuitBuilder b(design, params.gate_delay);
+  IirCircuit c;
+  const std::size_t w = params.width;
+
+  c.clk = b.wire("clk", Logic::k0);
+  b.clock(c.clk, params.clock_half);
+  const SignalId zero = b.const_wire(Logic::k0, "const0");
+  const SignalId one = b.const_wire(Logic::k1, "const1");
+  (void)zero;
+
+  // Input sample: one pseudo-random stream per bit.
+  c.input.resize(w);
+  for (std::size_t i = 0; i < w; ++i) {
+    c.input[i] = b.wire("x" + std::to_string(i), Logic::k0);
+    b.random_bits(c.input[i], 2 * params.clock_half, params.input_seed + i,
+                  params.input_stop, "x_gen" + std::to_string(i));
+  }
+
+  // Cascade: f flows backwards through sections, g forwards with delay.
+  std::vector<SignalId> f = c.input;
+  std::vector<SignalId> g_delay(w);
+  for (std::size_t i = 0; i < w; ++i)
+    g_delay[i] = b.wire("g0.q" + std::to_string(i), Logic::k0);
+  std::vector<SignalId> first_gq = g_delay;
+
+  std::vector<SignalId> g_next;
+  for (std::size_t s = 0; s < params.sections; ++s) {
+    const std::string p = "sec" + std::to_string(s);
+    const std::size_t shift = 1 + (s % 3);  // k_s in {1/2, 1/4, 1/8}
+
+    // f' = f - (g_delay >> shift)
+    const std::vector<SignalId> kg = asr(g_delay, shift);
+    const std::vector<SignalId> fp = subtract(b, f, kg, one, p + ".f");
+    // g = g_delay + (f' >> shift)
+    const std::vector<SignalId> kf = asr(fp, shift);
+    g_next = b.adder(g_delay, kf, zero, p + ".g");
+
+    // z^-1 between sections: register g for the next stage.
+    if (s + 1 < params.sections) {
+      g_delay = b.reg_bank(c.clk, g_next, p + ".z");
+    }
+    f = fp;
+  }
+  // Close the lattice: the final g feeds back into the first delay line.
+  // (Structural feedback through a register keeps the loop clocked.)
+  for (std::size_t i = 0; i < w; ++i) {
+    b.dff(c.clk, g_next[i], first_gq[i],
+          "gfb.ff" + std::to_string(i));
+  }
+
+  c.output = f;
+  c.lp_count = design.graph().size();
+  return c;
+}
+
+}  // namespace vsim::circuits

@@ -1,0 +1,37 @@
+// Gray-Markel cascaded-lattice IIR filter, gate level (paper Figs. 7/8).
+//
+// A cascade of two-multiplier lattice sections.  Each section holds one
+// z^-1 register bank and computes, in W-bit two's-complement fixed point:
+//
+//   f_{s-1} = f_s   - k_s * g_delay     (k_s * x realised as x >> shift_s)
+//   g_s     = g_delay + k_s * f_{s-1}
+//
+// Subtraction is invert-and-carry-in; constant multipliers are arithmetic
+// shifts (wiring), so the datapath is adders + inverters + registers --
+// exactly the synchronous/asynchronous mix the paper's mixed heuristic
+// targets: registers synchronous, ripple-carry chains asynchronous.
+#pragma once
+
+#include "circuits/builder.h"
+
+namespace vsim::circuits {
+
+struct IirParams {
+  std::size_t width = 7;       ///< datapath bits; 7x5 = 860 LPs (~870)
+  std::size_t sections = 5;    ///< lattice sections
+  PhysTime gate_delay = 1;     ///< gate level: non-zero propagation delays
+  PhysTime clock_half = 200;   ///< sample clock (long enough to settle)
+  std::uint64_t input_seed = 7;
+  PhysTime input_stop = std::numeric_limits<PhysTime>::max();
+};
+
+struct IirCircuit {
+  vhdl::SignalId clk;
+  std::vector<vhdl::SignalId> input;   ///< x bits, LSB first
+  std::vector<vhdl::SignalId> output;  ///< y bits, LSB first
+  std::size_t lp_count = 0;
+};
+
+IirCircuit build_iir(vhdl::Design& design, const IirParams& params = {});
+
+}  // namespace vsim::circuits

@@ -1,0 +1,117 @@
+#include "circuits/random_circuit.h"
+
+namespace vsim::circuits {
+namespace {
+
+// Deterministic xorshift; avoids <random> so results are stable across
+// standard library implementations.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : s_(seed ? seed : 0x9e3779b9u) {}
+  std::uint64_t next() {
+    s_ ^= s_ << 13;
+    s_ ^= s_ >> 7;
+    s_ ^= s_ << 17;
+    return s_;
+  }
+  std::size_t below(std::size_t n) { return next() % n; }
+  int percent() { return static_cast<int>(next() % 100); }
+
+ private:
+  std::uint64_t s_;
+};
+
+}  // namespace
+
+RandomCircuit build_random_circuit(vhdl::Design& design,
+                                   const RandomCircuitParams& params) {
+  Rng rng(params.seed);
+  RandomCircuit out;
+
+  const SignalId clk = design.add_signal("clk", LogicVector{Logic::k0});
+  std::vector<SignalId> pool{clk};
+
+  // The builder's per-gate delay is fixed at construction; use two
+  // builders sharing the design, one for each delay class.
+  CircuitBuilder zb(design, 0);
+  zb.clock(clk, params.clock_half);
+
+  // Primary inputs.
+  for (std::size_t i = 0; i < params.num_inputs; ++i) {
+    const SignalId w =
+        zb.wire("in" + std::to_string(i), Logic::k0);
+    zb.random_bits(w, params.input_period + static_cast<PhysTime>(i),
+                   params.seed * 7919 + i, params.input_stop,
+                   "in_gen" + std::to_string(i));
+    pool.push_back(w);
+  }
+
+  static constexpr GateKind kKinds[] = {
+      GateKind::kAnd, GateKind::kOr,  GateKind::kNand, GateKind::kNor,
+      GateKind::kXor, GateKind::kXnor, GateKind::kNot, GateKind::kBuf,
+      GateKind::kMux2};
+
+  // Combinational layer: each gate reads only already-created nets, so the
+  // zero-delay subgraph is acyclic by construction.
+  std::vector<SignalId> gate_outs;
+  for (std::size_t g = 0; g < params.num_gates; ++g) {
+    const GateKind kind = kKinds[rng.below(std::size(kKinds))];
+    std::size_t arity = 2;
+    if (kind == GateKind::kNot || kind == GateKind::kBuf) arity = 1;
+    if (kind == GateKind::kMux2) arity = 3;
+    std::vector<SignalId> ins;
+    for (std::size_t i = 0; i < arity; ++i)
+      ins.push_back(pool[rng.below(pool.size())]);
+    const SignalId o = zb.wire("g" + std::to_string(g), Logic::k0);
+    const bool zero = rng.percent() < params.zero_delay_pct;
+    if (zero) {
+      zb.gate(kind, ins, o);
+    } else {
+      CircuitBuilder db(design,
+                        1 + static_cast<PhysTime>(
+                                rng.below(static_cast<std::size_t>(
+                                    params.max_delay))));
+      db.gate(kind, ins, o);
+    }
+    pool.push_back(o);
+    gate_outs.push_back(o);
+  }
+
+  // Registers close feedback loops safely (state -> pool for future runs
+  // would be cyclic; here q feeds nothing combinational created earlier,
+  // but monitors and later gates could read it -- that is still acyclic
+  // within a delta because DFFs only fire on clock events).
+  std::vector<SignalId> qs;
+  for (std::size_t f = 0; f < params.num_dffs; ++f) {
+    const SignalId d = pool[1 + rng.below(pool.size() - 1)];
+    const SignalId q = zb.wire("q" + std::to_string(f), Logic::k0);
+    zb.dff(clk, d, q, "ff" + std::to_string(f));
+    qs.push_back(q);
+  }
+  // A second combinational stage may read register outputs (feedback
+  // through state only).
+  for (std::size_t g = 0; g < params.num_gates / 4; ++g) {
+    const SignalId a = qs[rng.below(qs.size())];
+    const SignalId b = pool[rng.below(pool.size())];
+    const SignalId o = zb.wire("h" + std::to_string(g), Logic::k0);
+    zb.gate(GateKind::kXor, {a, b}, o);
+    gate_outs.push_back(o);
+  }
+
+  // Multi-driver resolved nets: two buffers from different sources.
+  for (std::size_t r = 0; r < params.num_resolved; ++r) {
+    const SignalId net = zb.wire("bus" + std::to_string(r), Logic::kU);
+    zb.gate(GateKind::kBuf, {pool[rng.below(pool.size())]}, net);
+    zb.gate(GateKind::kBuf, {pool[rng.below(pool.size())]}, net);
+    gate_outs.push_back(net);
+  }
+
+  // Observables: registers, buses and a sample of gate outputs.
+  out.observable = qs;
+  for (std::size_t i = 0; i < gate_outs.size(); i += 5)
+    out.observable.push_back(gate_outs[i]);
+  out.lp_count = design.graph().size();
+  return out;
+}
+
+}  // namespace vsim::circuits

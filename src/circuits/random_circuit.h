@@ -1,0 +1,36 @@
+// Random synchronous netlist generator.
+//
+// Produces structurally valid designs for fuzzing the engines: a layered
+// combinational DAG (no zero-delay loops by construction -- feedback is
+// only allowed through flip-flops), a configurable mix of zero-delay and
+// delayed gates, multi-driver resolved nets, clocks and random stimuli.
+#pragma once
+
+#include "circuits/builder.h"
+
+namespace vsim::circuits {
+
+struct RandomCircuitParams {
+  std::uint64_t seed = 1;
+  std::size_t num_inputs = 4;
+  std::size_t num_gates = 40;
+  std::size_t num_dffs = 8;
+  /// Probability (percent) that a gate has zero delay (delta cycles).
+  int zero_delay_pct = 50;
+  PhysTime max_delay = 3;
+  PhysTime clock_half = 13;
+  PhysTime input_period = 9;
+  PhysTime input_stop = 10000;
+  /// Number of two-driver resolved nets to add (buffers onto shared nets).
+  std::size_t num_resolved = 2;
+};
+
+struct RandomCircuit {
+  std::vector<vhdl::SignalId> observable;  ///< good probe set for tracing
+  std::size_t lp_count = 0;
+};
+
+RandomCircuit build_random_circuit(vhdl::Design& design,
+                                   const RandomCircuitParams& params);
+
+}  // namespace vsim::circuits

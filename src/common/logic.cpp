@@ -1,0 +1,170 @@
+#include "common/logic.h"
+
+#include <cassert>
+
+namespace vsim {
+namespace {
+
+constexpr char kChars[kNumLogic + 1] = "UX01ZWLH-";
+
+// IEEE 1164 resolution table (std_logic_1164 body).
+constexpr Logic U = Logic::kU, X = Logic::kX, O = Logic::k0, I = Logic::k1,
+                Z = Logic::kZ, W = Logic::kW, L = Logic::kL, H = Logic::kH,
+                D = Logic::kDC;
+
+constexpr Logic kResolve[kNumLogic][kNumLogic] = {
+    //        U  X  0  1  Z  W  L  H  -
+    /* U */ {U, U, U, U, U, U, U, U, U},
+    /* X */ {U, X, X, X, X, X, X, X, X},
+    /* 0 */ {U, X, O, X, O, O, O, O, X},
+    /* 1 */ {U, X, X, I, I, I, I, I, X},
+    /* Z */ {U, X, O, I, Z, W, L, H, X},
+    /* W */ {U, X, O, I, W, W, W, W, X},
+    /* L */ {U, X, O, I, L, W, L, W, X},
+    /* H */ {U, X, O, I, H, W, W, H, X},
+    /* - */ {U, X, X, X, X, X, X, X, X},
+};
+
+// IEEE 1164 "and" table.
+constexpr Logic kAnd[kNumLogic][kNumLogic] = {
+    //        U  X  0  1  Z  W  L  H  -
+    /* U */ {U, U, O, U, U, U, O, U, U},
+    /* X */ {U, X, O, X, X, X, O, X, X},
+    /* 0 */ {O, O, O, O, O, O, O, O, O},
+    /* 1 */ {U, X, O, I, X, X, O, I, X},
+    /* Z */ {U, X, O, X, X, X, O, X, X},
+    /* W */ {U, X, O, X, X, X, O, X, X},
+    /* L */ {O, O, O, O, O, O, O, O, O},
+    /* H */ {U, X, O, I, X, X, O, I, X},
+    /* - */ {U, X, O, X, X, X, O, X, X},
+};
+
+// IEEE 1164 "or" table.
+constexpr Logic kOr[kNumLogic][kNumLogic] = {
+    //        U  X  0  1  Z  W  L  H  -
+    /* U */ {U, U, U, I, U, U, U, I, U},
+    /* X */ {U, X, X, I, X, X, X, I, X},
+    /* 0 */ {U, X, O, I, X, X, O, I, X},
+    /* 1 */ {I, I, I, I, I, I, I, I, I},
+    /* Z */ {U, X, X, I, X, X, X, I, X},
+    /* W */ {U, X, X, I, X, X, X, I, X},
+    /* L */ {U, X, O, I, X, X, O, I, X},
+    /* H */ {I, I, I, I, I, I, I, I, I},
+    /* - */ {U, X, X, I, X, X, X, I, X},
+};
+
+// IEEE 1164 "xor" table.
+constexpr Logic kXor[kNumLogic][kNumLogic] = {
+    //        U  X  0  1  Z  W  L  H  -
+    /* U */ {U, U, U, U, U, U, U, U, U},
+    /* X */ {U, X, X, X, X, X, X, X, X},
+    /* 0 */ {U, X, O, I, X, X, O, I, X},
+    /* 1 */ {U, X, I, O, X, X, I, O, X},
+    /* Z */ {U, X, X, X, X, X, X, X, X},
+    /* W */ {U, X, X, X, X, X, X, X, X},
+    /* L */ {U, X, O, I, X, X, O, I, X},
+    /* H */ {U, X, I, O, X, X, I, O, X},
+    /* - */ {U, X, X, X, X, X, X, X, X},
+};
+
+constexpr Logic kNot[kNumLogic] = {U, X, I, O, X, X, I, O, X};
+
+constexpr Logic kToX01[kNumLogic] = {X, X, O, I, X, X, O, I, X};
+
+}  // namespace
+
+char to_char(Logic v) { return kChars[static_cast<int>(v)]; }
+
+Logic logic_from_char(char c) {
+  switch (c) {
+    case 'U': case 'u': return Logic::kU;
+    case 'X': case 'x': return Logic::kX;
+    case '0': return Logic::k0;
+    case '1': return Logic::k1;
+    case 'Z': case 'z': return Logic::kZ;
+    case 'W': case 'w': return Logic::kW;
+    case 'L': case 'l': return Logic::kL;
+    case 'H': case 'h': return Logic::kH;
+    case '-': return Logic::kDC;
+    default: return Logic::kX;
+  }
+}
+
+Logic resolve(Logic a, Logic b) {
+  return kResolve[static_cast<int>(a)][static_cast<int>(b)];
+}
+Logic logic_and(Logic a, Logic b) {
+  return kAnd[static_cast<int>(a)][static_cast<int>(b)];
+}
+Logic logic_or(Logic a, Logic b) {
+  return kOr[static_cast<int>(a)][static_cast<int>(b)];
+}
+Logic logic_xor(Logic a, Logic b) {
+  return kXor[static_cast<int>(a)][static_cast<int>(b)];
+}
+Logic logic_not(Logic a) { return kNot[static_cast<int>(a)]; }
+Logic to_x01(Logic v) { return kToX01[static_cast<int>(v)]; }
+
+LogicVector::LogicVector(std::size_t n, Logic fill) : size_(n) {
+  if (n > kInlineCap) heap_.assign(n, fill);
+  else inline_.fill(fill);
+}
+
+LogicVector::LogicVector(std::initializer_list<Logic> bits)
+    : LogicVector(bits.size()) {
+  std::size_t i = 0;
+  for (Logic b : bits) set(i++, b);
+}
+
+LogicVector LogicVector::from_string(std::string_view s) {
+  LogicVector v(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) v.set(i, logic_from_char(s[i]));
+  return v;
+}
+
+LogicVector LogicVector::from_uint(std::uint64_t value, std::size_t n) {
+  LogicVector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool bit = (value >> (n - 1 - i)) & 1u;
+    v.set(i, logic_of_bool(bit));
+  }
+  return v;
+}
+
+LogicVector::UintResult LogicVector::to_uint() const {
+  UintResult r;
+  if (size_ == 0 || size_ > 64) return r;
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    const Logic b = to_x01(at(i));
+    if (!is_01(b)) return r;
+    acc = (acc << 1) | (b == Logic::k1 ? 1u : 0u);
+  }
+  r.value = acc;
+  r.ok = true;
+  return r;
+}
+
+std::string LogicVector::str() const {
+  std::string s;
+  s.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) s.push_back(to_char(at(i)));
+  return s;
+}
+
+bool operator==(const LogicVector& a, const LogicVector& b) {
+  if (a.size_ != b.size_) return false;
+  for (std::size_t i = 0; i < a.size_; ++i)
+    if (a.at(i) != b.at(i)) return false;
+  return true;
+}
+
+LogicVector resolve(const LogicVector& a, const LogicVector& b) {
+  assert(a.size() == b.size());
+  LogicVector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    out.set(i, resolve(a.at(i), b.at(i)));
+  return out;
+}
+
+}  // namespace vsim

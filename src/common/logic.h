@@ -1,0 +1,110 @@
+// IEEE 1164 nine-valued logic and logic vectors.
+//
+// The VHDL kernel resolves multi-driver signals with the std_logic resolution
+// table and evaluates gate-level primitives over these values.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vsim {
+
+/// std_ulogic values in IEEE 1164 declaration order.
+enum class Logic : std::uint8_t {
+  kU = 0,  ///< uninitialised
+  kX = 1,  ///< forcing unknown
+  k0 = 2,  ///< forcing 0
+  k1 = 3,  ///< forcing 1
+  kZ = 4,  ///< high impedance
+  kW = 5,  ///< weak unknown
+  kL = 6,  ///< weak 0
+  kH = 7,  ///< weak 1
+  kDC = 8, ///< don't care '-'
+};
+
+inline constexpr int kNumLogic = 9;
+
+[[nodiscard]] char to_char(Logic v);
+/// Parses one of "UX01ZWLH-" (case-insensitive); anything else yields kX.
+[[nodiscard]] Logic logic_from_char(char c);
+
+/// IEEE 1164 `resolved` function for two drivers; associative + commutative.
+[[nodiscard]] Logic resolve(Logic a, Logic b);
+
+// IEEE 1164 operators over std_ulogic.
+[[nodiscard]] Logic logic_and(Logic a, Logic b);
+[[nodiscard]] Logic logic_or(Logic a, Logic b);
+[[nodiscard]] Logic logic_xor(Logic a, Logic b);
+[[nodiscard]] Logic logic_not(Logic a);
+inline Logic logic_nand(Logic a, Logic b) { return logic_not(logic_and(a, b)); }
+inline Logic logic_nor(Logic a, Logic b) { return logic_not(logic_or(a, b)); }
+inline Logic logic_xnor(Logic a, Logic b) { return logic_not(logic_xor(a, b)); }
+
+/// `to_x01` strength stripper: L->0, H->1, weak/undriven unknowns -> X.
+[[nodiscard]] Logic to_x01(Logic v);
+[[nodiscard]] inline bool is_01(Logic v) {
+  return v == Logic::k0 || v == Logic::k1;
+}
+[[nodiscard]] inline Logic logic_of_bool(bool b) {
+  return b ? Logic::k1 : Logic::k0;
+}
+
+/// A value of a scalar or vector signal.  Index 0 is the leftmost element
+/// (VHDL `downto` ranges are normalised by the frontend before they reach
+/// the kernel).  Small vectors (<= 16 bits) are stored inline.
+class LogicVector {
+ public:
+  LogicVector() = default;
+  explicit LogicVector(std::size_t n, Logic fill = Logic::kU);
+  LogicVector(std::initializer_list<Logic> bits);
+  /// Parses a string of "UX01ZWLH-" characters, e.g. "0101".
+  static LogicVector from_string(std::string_view s);
+  /// Low `n` bits of `value`, index 0 = MSB.
+  static LogicVector from_uint(std::uint64_t value, std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] Logic at(std::size_t i) const { return data()[i]; }
+  void set(std::size_t i, Logic v) { data()[i] = v; }
+
+  [[nodiscard]] Logic scalar() const { return size_ == 0 ? Logic::kU : at(0); }
+
+  /// Interprets the vector as an unsigned integer (index 0 = MSB); any
+  /// non-01 bit (after to_x01) makes the result nullopt-like: `ok` is false.
+  struct UintResult {
+    std::uint64_t value = 0;
+    bool ok = false;
+  };
+  [[nodiscard]] UintResult to_uint() const;
+
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const LogicVector& a, const LogicVector& b);
+  friend bool operator!=(const LogicVector& a, const LogicVector& b) {
+    return !(a == b);
+  }
+
+ private:
+  static constexpr std::size_t kInlineCap = 16;
+
+  [[nodiscard]] Logic* data() {
+    return size_ <= kInlineCap ? inline_.data() : heap_.data();
+  }
+  [[nodiscard]] const Logic* data() const {
+    return size_ <= kInlineCap ? inline_.data() : heap_.data();
+  }
+
+  std::size_t size_ = 0;
+  std::array<Logic, kInlineCap> inline_{};
+  std::vector<Logic> heap_;
+};
+
+/// Element-wise resolution of two equally sized vectors.
+[[nodiscard]] LogicVector resolve(const LogicVector& a, const LogicVector& b);
+
+}  // namespace vsim

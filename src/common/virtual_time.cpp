@@ -1,0 +1,10 @@
+#include "common/virtual_time.h"
+
+namespace vsim {
+
+std::string VirtualTime::str() const {
+  if (*this == kTimeInf) return "(inf)";
+  return "(" + std::to_string(pt) + "," + std::to_string(lt) + ")";
+}
+
+}  // namespace vsim

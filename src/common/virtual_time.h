@@ -1,0 +1,66 @@
+// Virtual time for the distributed VHDL simulation cycle (DATE 2000, Sec. 3.3).
+//
+// VHDL virtual time is a pair (pt, lt) of the physical simulation time and a
+// Lamport-style cycle/phase logical time, ordered lexicographically.  The
+// logical component encodes the phase of the distributed VHDL cycle:
+//
+//   lt % 3 == 0  -- Signal:Assign / Process:Execute    (phase kAssign)
+//   lt % 3 == 1  -- Signal:DrivingValue                (phase kDriving)
+//   lt % 3 == 2  -- Signal:Effective / Process:Update  (phase kEffective)
+//
+// A delta cycle advances lt by a full phase triple (3) while pt is unchanged.
+// Advancing pt resets lt to 0 (a new physical time step starts a new cycle).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace vsim {
+
+/// Physical simulation time in abstract integer units (think picoseconds).
+using PhysTime = std::int64_t;
+/// Cycle/phase logical time (Lamport clock within one physical time step).
+using LogicalTime = std::int64_t;
+
+/// Phases of the distributed VHDL simulation cycle, i.e. lt mod 3.
+enum class Phase : std::int8_t {
+  kAssign = 0,     ///< signals consume driver transactions; processes execute
+  kDriving = 1,    ///< drivers apply matured transactions
+  kEffective = 2,  ///< resolution + effective-value broadcast; process update
+};
+
+struct VirtualTime {
+  PhysTime pt = 0;
+  LogicalTime lt = 0;
+
+  friend constexpr auto operator<=>(const VirtualTime&,
+                                    const VirtualTime&) = default;
+
+  [[nodiscard]] constexpr Phase phase() const {
+    return static_cast<Phase>(lt % 3);
+  }
+  /// Index of the delta cycle within the current physical time step.
+  [[nodiscard]] constexpr std::int64_t delta_cycle() const { return lt / 3; }
+
+  /// Next phase at the same physical time: (pt, lt + 1).
+  [[nodiscard]] constexpr VirtualTime next_phase() const {
+    return {pt, lt + 1};
+  }
+  /// Same phase in the next delta cycle: (pt, lt + 3).
+  [[nodiscard]] constexpr VirtualTime next_delta() const { return {pt, lt + 3}; }
+  /// First phase of the cycle at physical time pt + d (d > 0), adjusted to
+  /// the given phase.  Advancing physical time resets the logical clock.
+  [[nodiscard]] constexpr VirtualTime after(PhysTime d, Phase ph) const {
+    return {pt + d, static_cast<LogicalTime>(ph)};
+  }
+
+  [[nodiscard]] std::string str() const;
+};
+
+inline constexpr VirtualTime kTimeZero{0, 0};
+inline constexpr VirtualTime kTimeInf{std::numeric_limits<PhysTime>::max(),
+                                      std::numeric_limits<LogicalTime>::max()};
+
+}  // namespace vsim

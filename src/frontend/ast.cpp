@@ -1,0 +1,20 @@
+#include "frontend/ast.h"
+
+namespace vsim::fe::ast {
+
+ExprPtr clone(const Expr& e) {
+  auto out = std::make_unique<Expr>();
+  out->kind = e.kind;
+  out->line = e.line;
+  out->char_lit = e.char_lit;
+  out->string_lit = e.string_lit;
+  out->int_lit = e.int_lit;
+  out->name = e.name;
+  out->bin_op = e.bin_op;
+  out->un_op = e.un_op;
+  if (e.lhs) out->lhs = clone(*e.lhs);
+  if (e.rhs) out->rhs = clone(*e.rhs);
+  return out;
+}
+
+}  // namespace vsim::fe::ast

@@ -1,0 +1,242 @@
+// Abstract syntax tree for the VHDL subset.
+//
+// Supported constructs (see README "VHDL subset" for the full list):
+//   entity/architecture, port (in/out) and signal declarations of types
+//   std_logic / std_logic_vector / integer / boolean, component
+//   declaration + instantiation (named and positional port maps),
+//   process statements (sensitivity list or explicit waits), concurrent
+//   signal assignment (simple and conditional), sequential statements
+//   (signal/variable assignment incl. `after`/`transport`, if/elsif/else,
+//   case, for/while loops, wait on/until/for, null, report), expressions
+//   with logical/relational/adding operators, indexing, concatenation,
+//   'event attribute and rising_edge/falling_edge calls.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/logic.h"
+#include "common/virtual_time.h"
+
+namespace vsim::fe::ast {
+
+// ---------------------------------------------------------------- types
+
+enum class TypeKind : std::uint8_t {
+  kStdLogic,
+  kStdLogicVector,
+  kInteger,
+  kBoolean,
+};
+
+struct Type {
+  TypeKind kind = TypeKind::kStdLogic;
+  // Vector bounds (std_logic_vector only).  `downto` normalises access:
+  // element i of the LogicVector corresponds to the *leftmost* bound.
+  int left = 0;
+  int right = 0;
+  bool downto = true;
+
+  [[nodiscard]] std::size_t width() const {
+    if (kind != TypeKind::kStdLogicVector) return 1;
+    return static_cast<std::size_t>(downto ? left - right + 1
+                                           : right - left + 1);
+  }
+  /// Maps a VHDL index to a LogicVector position (0 = leftmost).
+  [[nodiscard]] std::size_t position(std::int64_t idx) const {
+    return static_cast<std::size_t>(downto ? left - idx : idx - left);
+  }
+};
+
+// ---------------------------------------------------------- expressions
+
+enum class BinOp : std::uint8_t {
+  kAnd, kOr, kNand, kNor, kXor, kXnor,
+  kEq, kNeq, kLt, kLe, kGt, kGe,
+  kAdd, kSub, kConcat, kMul, kMod, kDiv,
+};
+
+enum class UnOp : std::uint8_t { kNot, kMinus };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : std::uint8_t {
+  kCharLit,    // '0'
+  kStringLit,  // "0101"
+  kIntLit,     // 42
+  kName,       // identifier (signal, variable, constant, loop var)
+  kIndex,      // name(expr)
+  kBinary,
+  kUnary,
+  kAttrEvent,  // name'event
+  kCall,       // rising_edge(name), falling_edge(name), to_integer(name)
+};
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+  // literals
+  Logic char_lit = Logic::kU;
+  std::string string_lit;
+  std::int64_t int_lit = 0;
+  // names / calls
+  std::string name;
+  // composite
+  BinOp bin_op = BinOp::kAnd;
+  UnOp un_op = UnOp::kNot;
+  ExprPtr lhs, rhs;   // binary; unary/index/call use lhs (and rhs for index)
+};
+
+// ----------------------------------------------------------- statements
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+using StmtList = std::vector<StmtPtr>;
+
+enum class StmtKind : std::uint8_t {
+  kSignalAssign,  // target <= [transport] expr [after t] ;
+  kVarAssign,     // target := expr ;
+  kIf,
+  kCase,
+  kForLoop,
+  kWhileLoop,
+  kWait,
+  kNull,
+  kReport,
+};
+
+struct CaseAlt {
+  std::vector<ExprPtr> choices;  // empty = others
+  StmtList body;
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+  // assignments
+  std::string target;
+  ExprPtr target_index;  // non-null for indexed targets
+  ExprPtr value;
+  ExprPtr after;      // delay expression (time units), may be null
+  bool transport = false;
+  // if
+  ExprPtr cond;       // also while condition / wait-until condition
+  StmtList then_body;
+  StmtList else_body;  // elsif chains are nested if-statements here
+  // case
+  ExprPtr selector;
+  std::vector<CaseAlt> alts;
+  // for
+  std::string loop_var;
+  ExprPtr from, to;
+  bool reverse = false;  // downto
+  StmtList body;
+  // wait
+  std::vector<std::string> wait_on;  // signal names; empty + no cond/time = forever
+  ExprPtr wait_time;                 // wait for <expr>
+  // report
+  std::string message;
+};
+
+// ---------------------------------------------------------- design units
+
+struct Decl {
+  std::string name;
+  Type type;
+  ExprPtr init;  // optional default value
+  bool is_constant = false;
+};
+
+enum class PortDir : std::uint8_t { kIn, kOut, kInout };
+
+struct Port {
+  std::string name;
+  PortDir dir = PortDir::kIn;
+  Type type;
+};
+
+struct ProcessStmt {
+  std::string label;
+  std::vector<std::string> sensitivity;  // empty = explicit waits inside
+  std::vector<Decl> variables;
+  StmtList body;
+  int line = 0;
+};
+
+struct ConcurrentAssign {
+  std::string target;
+  ExprPtr target_index;
+  // value when cond; chained: (value_i when cond_i else)* value_n
+  struct Arm {
+    ExprPtr value;
+    ExprPtr cond;  // null on the final arm
+    ExprPtr after;
+  };
+  std::vector<Arm> arms;
+  bool transport = false;
+  int line = 0;
+};
+
+struct Instance {
+  std::string label;
+  std::string component;  // component/entity name
+  // formal -> actual (signal name); positional maps use formals in order
+  std::vector<std::pair<std::string, std::string>> port_map;
+  int line = 0;
+};
+
+struct Entity {
+  std::string name;
+  std::vector<Port> ports;
+};
+
+/// `label: for i in a to b generate ... end generate;` -- the loop variable
+/// becomes an elaboration-time constant inside the replicated body.
+struct GenerateStmt {
+  std::string label;
+  std::string var;
+  ExprPtr from, to;
+  bool reverse = false;
+  std::vector<ProcessStmt> processes;
+  std::vector<ConcurrentAssign> assigns;
+  std::vector<Instance> instances;
+  std::vector<std::unique_ptr<GenerateStmt>> generates;
+  int line = 0;
+};
+
+struct Architecture {
+  std::string name;
+  std::string entity;
+  std::vector<Decl> signals;
+  std::vector<Entity> components;  // component declarations
+  std::vector<ProcessStmt> processes;
+  std::vector<ConcurrentAssign> assigns;
+  std::vector<Instance> instances;
+  std::vector<std::unique_ptr<GenerateStmt>> generates;
+};
+
+/// Deep copy of an expression tree.
+[[nodiscard]] ExprPtr clone(const Expr& e);
+
+struct DesignFile {
+  std::vector<Entity> entities;
+  std::vector<Architecture> architectures;
+
+  [[nodiscard]] const Entity* find_entity(const std::string& name) const {
+    for (const auto& e : entities)
+      if (e.name == name) return &e;
+    return nullptr;
+  }
+  [[nodiscard]] const Architecture* find_arch(const std::string& ent) const {
+    // Last architecture of an entity wins (mirrors library binding).
+    const Architecture* found = nullptr;
+    for (const auto& a : architectures)
+      if (a.entity == ent) found = &a;
+    return found;
+  }
+};
+
+}  // namespace vsim::fe::ast

@@ -1,0 +1,882 @@
+#include "frontend/elaborator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vsim::fe {
+
+using ast::Expr;
+using ast::ExprKind;
+using ast::ExprPtr;
+using ast::Stmt;
+using ast::StmtKind;
+
+namespace {
+
+// ------------------------------------------------------------ utilities
+
+void collect_signal_names(const Expr& e, std::vector<std::string>& out) {
+  if (e.kind == ExprKind::kName || e.kind == ExprKind::kIndex ||
+      e.kind == ExprKind::kAttrEvent) {
+    out.push_back(e.name);
+  }
+  if (e.lhs) collect_signal_names(*e.lhs, out);
+  if (e.rhs) collect_signal_names(*e.rhs, out);
+}
+
+bool contains_edge_detect(const Expr& e) {
+  if (e.kind == ExprKind::kAttrEvent) return true;
+  if (e.kind == ExprKind::kCall &&
+      (e.name == "rising_edge" || e.name == "falling_edge"))
+    return true;
+  if (e.lhs && contains_edge_detect(*e.lhs)) return true;
+  if (e.rhs && contains_edge_detect(*e.rhs)) return true;
+  return false;
+}
+
+bool stmts_contain_edge_detect(const ast::StmtList& body) {
+  for (const auto& s : body) {
+    for (const Expr* e : {s->value.get(), s->cond.get(), s->selector.get()})
+      if (e && contains_edge_detect(*e)) return true;
+    if (stmts_contain_edge_detect(s->then_body)) return true;
+    if (stmts_contain_edge_detect(s->else_body)) return true;
+    if (stmts_contain_edge_detect(s->body)) return true;
+    for (const auto& alt : s->alts)
+      if (stmts_contain_edge_detect(alt.body)) return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------------ ProcessCompiler
+
+// Compiles one process body to a Program and records which signals it
+// reads/writes so the elaborator can wire the ports afterwards.
+class ProcessCompiler {
+ public:
+  using SigInitFn = std::function<LogicVector(vhdl::SignalId)>;
+
+  ProcessCompiler(const std::unordered_map<std::string, vhdl::SignalId>& sigs,
+                  const std::unordered_map<std::string, Value>& consts,
+                  const std::unordered_map<std::string, ast::Type>& types,
+                  SigInitFn sig_init, std::string name)
+      : signals_(sigs), constants_(consts), types_(types),
+        sig_init_(std::move(sig_init)) {
+    prog_ = std::make_shared<Program>();
+    prog_->name = std::move(name);
+  }
+
+  std::shared_ptr<Program> compile(const ast::ProcessStmt& proc) {
+    // Variables.
+    for (const auto& d : proc.variables) {
+      var_slots_[d.name] = static_cast<int>(prog_->var_init.size());
+      prog_->var_types.push_back(d.type);
+      prog_->var_init.push_back(initial_value(d));
+    }
+    compile_stmts(proc.body);
+    if (!proc.sensitivity.empty()) {
+      // Implicit `wait on <sensitivity list>;` at the end of the loop.
+      Program::Instr w;
+      w.op = Program::Instr::Op::kWait;
+      for (const auto& name : proc.sensitivity)
+        w.wait_ports.push_back(in_port(name, proc.line));
+      dedupe(w.wait_ports);
+      prog_->instrs.push_back(std::move(w));
+    }
+    Program::Instr loop;
+    loop.op = Program::Instr::Op::kJump;
+    loop.a = 0;
+    prog_->instrs.push_back(loop);
+    return prog_;
+  }
+
+  /// Signals read, in in-port order (for Design::connect_in).
+  [[nodiscard]] const std::vector<vhdl::SignalId>& reads() const {
+    return reads_;
+  }
+  /// Signals written, in out-port order (for Design::connect_out).
+  [[nodiscard]] const std::vector<vhdl::SignalId>& writes() const {
+    return writes_;
+  }
+  [[nodiscard]] PhysTime min_assign_delay() const {
+    return has_zero_delay_assign_ ? 0 : min_delay_;
+  }
+
+  /// Statically inferred driven elements per out port (VHDL longest static
+  /// prefix): `whole` when any assignment targets the full signal or uses a
+  /// non-constant index.
+  struct MaskInfo {
+    bool whole = false;
+    std::vector<std::size_t> positions;
+  };
+  [[nodiscard]] const std::vector<MaskInfo>& masks() const {
+    return mask_info_;
+  }
+  [[nodiscard]] bool edge_detecting() const { return edge_detecting_; }
+
+ private:
+  void dedupe(std::vector<int>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+
+  [[nodiscard]] Value initial_value(const ast::Decl& d) const {
+    if (d.init) {
+      // Constant-fold simple initialisers.
+      Value v = try_const(*d.init);
+      switch (d.type.kind) {
+        case ast::TypeKind::kInteger:
+          return Value::of_int(v.kind == Value::Kind::kInt
+                                   ? v.i
+                                   : static_cast<std::int64_t>(
+                                         v.bits.to_uint().value));
+        case ast::TypeKind::kBoolean:
+          return Value::of_bool(v.truthy());
+        default:
+          return v;
+      }
+    }
+    switch (d.type.kind) {
+      case ast::TypeKind::kStdLogic:
+        return Value::of_bits(LogicVector{Logic::kU});
+      case ast::TypeKind::kStdLogicVector:
+        return Value::of_bits(LogicVector(d.type.width(), Logic::kU));
+      case ast::TypeKind::kInteger:
+        return Value::of_int(0);
+      case ast::TypeKind::kBoolean:
+        return Value::of_bool(false);
+    }
+    return Value{};
+  }
+
+  [[nodiscard]] Value try_const(const Expr& e) const {
+    switch (e.kind) {
+      case ExprKind::kCharLit: return Value::of_bits(LogicVector{e.char_lit});
+      case ExprKind::kStringLit:
+        return Value::of_bits(LogicVector::from_string(e.string_lit));
+      case ExprKind::kIntLit: return Value::of_int(e.int_lit);
+      case ExprKind::kName: {
+        auto it = constants_.find(e.name);
+        if (it != constants_.end()) return it->second;
+        throw ElabError("line " + std::to_string(e.line) + ": '" + e.name +
+                        "' is not a constant");
+      }
+      case ExprKind::kUnary:
+        if (e.un_op == ast::UnOp::kMinus) {
+          const Value v = try_const(*e.lhs);
+          return Value::of_int(-v.i);
+        }
+        break;
+      case ExprKind::kBinary: {
+        const Value a = try_const(*e.lhs);
+        const Value b = try_const(*e.rhs);
+        switch (e.bin_op) {
+          case ast::BinOp::kAdd: return Value::of_int(a.i + b.i);
+          case ast::BinOp::kSub: return Value::of_int(a.i - b.i);
+          case ast::BinOp::kMul: return Value::of_int(a.i * b.i);
+          default: break;
+        }
+        break;
+      }
+      default: break;
+    }
+    throw ElabError("line " + std::to_string(e.line) +
+                    ": expression is not constant");
+  }
+
+  int in_port(const std::string& name, int line) {
+    auto it = in_ports_.find(name);
+    if (it != in_ports_.end()) return it->second;
+    auto sig = signals_.find(name);
+    if (sig == signals_.end())
+      throw ElabError("line " + std::to_string(line) + ": unknown signal '" +
+                      name + "'");
+    const int port = static_cast<int>(reads_.size());
+    reads_.push_back(sig->second);
+    in_ports_[name] = port;
+    return port;
+  }
+
+  int out_port(const std::string& name, int line, const ast::Type& t) {
+    auto it = out_ports_.find(name);
+    if (it != out_ports_.end()) return it->second;
+    auto sig = signals_.find(name);
+    if (sig == signals_.end())
+      throw ElabError("line " + std::to_string(line) + ": unknown signal '" +
+                      name + "'");
+    const int port = static_cast<int>(writes_.size());
+    writes_.push_back(sig->second);
+    out_ports_[name] = port;
+    mask_info_.emplace_back();
+    prog_->out_types.push_back(t);
+    // The driver's initial value is the signal's declared initial value
+    // (VHDL 12.6.1), needed for read-modify-write of indexed targets.
+    prog_->out_init.push_back(Value::of_bits(sig_init_(sig->second)));
+    return port;
+  }
+
+  [[nodiscard]] ast::Type type_of(const std::string& name, int line) const {
+    auto it = types_.find(name);
+    if (it != types_.end()) return it->second;
+    throw ElabError("line " + std::to_string(line) + ": unknown name '" +
+                    name + "'");
+  }
+
+  /// Resolves every name inside `e` and records slots keyed by node.
+  void resolve_expr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kName:
+      case ExprKind::kIndex:
+      case ExprKind::kAttrEvent: {
+        Slot slot;
+        if (auto v = var_slots_.find(e.name); v != var_slots_.end()) {
+          slot.kind = Slot::Kind::kVariable;
+          slot.index = v->second;
+          slot.type = prog_->var_types[static_cast<std::size_t>(v->second)];
+        } else if (auto c = constants_.find(e.name); c != constants_.end()) {
+          slot.kind = Slot::Kind::kConstant;
+          slot.constant = c->second;
+          auto t = types_.find(e.name);
+          if (t != types_.end()) slot.type = t->second;
+        } else {
+          slot.kind = Slot::Kind::kSignalIn;
+          slot.port = in_port(e.name, e.line);
+          slot.type = type_of(e.name, e.line);
+        }
+        prog_->slots[&e] = std::move(slot);
+        break;
+      }
+      case ExprKind::kCall:
+        if (e.name == "rising_edge" || e.name == "falling_edge") {
+          // Argument must be a plain signal name.
+          if (!e.lhs || e.lhs->kind != ExprKind::kName)
+            throw ElabError("line " + std::to_string(e.line) + ": " + e.name +
+                            " needs a signal argument");
+        }
+        break;
+      default:
+        break;
+    }
+    if (e.lhs) resolve_expr(*e.lhs);
+    if (e.rhs) resolve_expr(*e.rhs);
+  }
+
+  /// Synthesizes an expression node owned by the program.
+  Expr* synth(ExprPtr e) {
+    synthesized_.push_back(std::move(e));
+    return synthesized_.back().get();
+  }
+
+  Expr* synth_name(const std::string& name, int line) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kName;
+    e->name = name;
+    e->line = line;
+    Expr* raw = synth(std::move(e));
+    resolve_expr(*raw);
+    return raw;
+  }
+
+  Expr* synth_int(std::int64_t v) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kIntLit;
+    e->int_lit = v;
+    return synth(std::move(e));
+  }
+
+  Expr* synth_bin(ast::BinOp op, ExprPtr l, ExprPtr r, int line) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kBinary;
+    e->bin_op = op;
+    e->lhs = std::move(l);
+    e->rhs = std::move(r);
+    e->line = line;
+    Expr* raw = synth(std::move(e));
+    resolve_expr(*raw);
+    return raw;
+  }
+
+  void compile_stmts(const ast::StmtList& body) {
+    for (const auto& s : body) compile_stmt(*s);
+  }
+
+  int emit(Program::Instr ins) {
+    prog_->instrs.push_back(std::move(ins));
+    return static_cast<int>(prog_->instrs.size()) - 1;
+  }
+
+  void compile_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kSignalAssign: {
+        resolve_expr(*s.value);
+        if (s.target_index) resolve_expr(*s.target_index);
+        Program::Instr ins;
+        ins.op = Program::Instr::Op::kAssignSig;
+        ins.line = s.line;
+        const ast::Type t = type_of(s.target, s.line);
+        if (t.kind != ast::TypeKind::kStdLogic &&
+            t.kind != ast::TypeKind::kStdLogicVector) {
+          throw ElabError("line " + std::to_string(s.line) +
+                          ": only std_logic(_vector) signals can be "
+                          "assigned");
+        }
+        ins.a = out_port(s.target, s.line, t);
+        // Driver mask inference: a constant index names one element; a
+        // whole-signal target or dynamic index drives everything (LRM
+        // longest static prefix).
+        MaskInfo& mi = mask_info_[static_cast<std::size_t>(ins.a)];
+        if (s.target_index == nullptr) {
+          mi.whole = true;
+        } else {
+          try {
+            const Value idx = try_const(*s.target_index);
+            mi.positions.push_back(t.position(idx.i));
+          } catch (const ElabError&) {
+            mi.whole = true;
+          }
+        }
+        ins.value = s.value.get();
+        ins.index = s.target_index.get();
+        ins.after = s.after.get();
+        ins.transport = s.transport;
+        if (s.after) resolve_expr(*s.after);
+        // Lookahead bookkeeping.
+        if (s.after == nullptr) {
+          has_zero_delay_assign_ = true;
+        } else {
+          try {
+            const Value d = try_const(*s.after);
+            min_delay_ = std::min(min_delay_, d.i);
+          } catch (const ElabError&) {
+            has_zero_delay_assign_ = true;  // unknown delay: no promise
+          }
+        }
+        emit(std::move(ins));
+        break;
+      }
+      case StmtKind::kVarAssign: {
+        resolve_expr(*s.value);
+        if (s.target_index) resolve_expr(*s.target_index);
+        auto v = var_slots_.find(s.target);
+        if (v == var_slots_.end())
+          throw ElabError("line " + std::to_string(s.line) +
+                          ": unknown variable '" + s.target + "'");
+        Program::Instr ins;
+        ins.op = Program::Instr::Op::kAssignVar;
+        ins.line = s.line;
+        ins.a = v->second;
+        ins.value = s.value.get();
+        ins.index = s.target_index.get();
+        emit(std::move(ins));
+        break;
+      }
+      case StmtKind::kIf: {
+        resolve_expr(*s.cond);
+        Program::Instr br;
+        br.op = Program::Instr::Op::kBranchFalse;
+        br.value = s.cond.get();
+        br.line = s.line;
+        const int br_at = emit(std::move(br));
+        compile_stmts(s.then_body);
+        if (s.else_body.empty()) {
+          prog_->instrs[static_cast<std::size_t>(br_at)].a =
+              static_cast<int>(prog_->instrs.size());
+        } else {
+          Program::Instr jmp;
+          jmp.op = Program::Instr::Op::kJump;
+          const int jmp_at = emit(std::move(jmp));
+          prog_->instrs[static_cast<std::size_t>(br_at)].a =
+              static_cast<int>(prog_->instrs.size());
+          compile_stmts(s.else_body);
+          prog_->instrs[static_cast<std::size_t>(jmp_at)].a =
+              static_cast<int>(prog_->instrs.size());
+        }
+        break;
+      }
+      case StmtKind::kCase: {
+        resolve_expr(*s.selector);
+        std::vector<int> end_jumps;
+        for (const auto& alt : s.alts) {
+          if (alt.choices.empty()) {
+            // others
+            compile_stmts(alt.body);
+            break;
+          }
+          // cond: selector = c1 [or selector = c2 ...]
+          Expr* cond = nullptr;
+          for (const auto& c : alt.choices) {
+            Expr* eq = synth_bin(ast::BinOp::kEq, ast::clone(*s.selector),
+                                 ast::clone(*c), s.line);
+            cond = cond == nullptr
+                       ? eq
+                       : synth_bin(ast::BinOp::kOr,
+                                   ast::clone(*cond), ast::clone(*eq),
+                                   s.line);
+          }
+          Program::Instr br;
+          br.op = Program::Instr::Op::kBranchFalse;
+          br.value = cond;
+          br.line = s.line;
+          const int br_at = emit(std::move(br));
+          compile_stmts(alt.body);
+          Program::Instr jmp;
+          jmp.op = Program::Instr::Op::kJump;
+          end_jumps.push_back(emit(std::move(jmp)));
+          prog_->instrs[static_cast<std::size_t>(br_at)].a =
+              static_cast<int>(prog_->instrs.size());
+        }
+        const int end = static_cast<int>(prog_->instrs.size());
+        for (int j : end_jumps)
+          prog_->instrs[static_cast<std::size_t>(j)].a = end;
+        break;
+      }
+      case StmtKind::kForLoop: {
+        // Allocate (or shadow) the loop variable.
+        std::optional<int> shadowed;
+        if (auto prev = var_slots_.find(s.loop_var);
+            prev != var_slots_.end()) {
+          shadowed = prev->second;
+        }
+        const int slot = static_cast<int>(prog_->var_init.size());
+        var_slots_[s.loop_var] = slot;
+        prog_->var_init.push_back(Value::of_int(0));
+        prog_->var_types.push_back(
+            ast::Type{ast::TypeKind::kInteger, 0, 0, true});
+
+        resolve_expr(*s.from);
+        resolve_expr(*s.to);
+        Program::Instr init;
+        init.op = Program::Instr::Op::kAssignVar;
+        init.a = slot;
+        init.value = s.from.get();
+        init.line = s.line;
+        emit(std::move(init));
+        const int top = static_cast<int>(prog_->instrs.size());
+        Expr* cond = synth_bin(
+            s.reverse ? ast::BinOp::kGe : ast::BinOp::kLe,
+            [&] {
+              auto n = std::make_unique<Expr>();
+              n->kind = ExprKind::kName;
+              n->name = s.loop_var;
+              n->line = s.line;
+              return n;
+            }(),
+            ast::clone(*s.to), s.line);
+        Program::Instr br;
+        br.op = Program::Instr::Op::kBranchFalse;
+        br.value = cond;
+        br.line = s.line;
+        const int br_at = emit(std::move(br));
+        compile_stmts(s.body);
+        // i := i +/- 1
+        Expr* next = synth_bin(
+            s.reverse ? ast::BinOp::kSub : ast::BinOp::kAdd,
+            [&] {
+              auto n = std::make_unique<Expr>();
+              n->kind = ExprKind::kName;
+              n->name = s.loop_var;
+              n->line = s.line;
+              return n;
+            }(),
+            [&] {
+              auto one = std::make_unique<Expr>();
+              one->kind = ExprKind::kIntLit;
+              one->int_lit = 1;
+              return one;
+            }(),
+            s.line);
+        Program::Instr inc;
+        inc.op = Program::Instr::Op::kAssignVar;
+        inc.a = slot;
+        inc.value = next;
+        inc.line = s.line;
+        emit(std::move(inc));
+        Program::Instr back;
+        back.op = Program::Instr::Op::kJump;
+        back.a = top;
+        emit(std::move(back));
+        prog_->instrs[static_cast<std::size_t>(br_at)].a =
+            static_cast<int>(prog_->instrs.size());
+        if (shadowed) var_slots_[s.loop_var] = *shadowed;
+        else var_slots_.erase(s.loop_var);
+        break;
+      }
+      case StmtKind::kWhileLoop: {
+        resolve_expr(*s.cond);
+        const int top = static_cast<int>(prog_->instrs.size());
+        Program::Instr br;
+        br.op = Program::Instr::Op::kBranchFalse;
+        br.value = s.cond.get();
+        br.line = s.line;
+        const int br_at = emit(std::move(br));
+        compile_stmts(s.body);
+        Program::Instr back;
+        back.op = Program::Instr::Op::kJump;
+        back.a = top;
+        emit(std::move(back));
+        prog_->instrs[static_cast<std::size_t>(br_at)].a =
+            static_cast<int>(prog_->instrs.size());
+        break;
+      }
+      case StmtKind::kWait: {
+        Program::Instr w;
+        w.op = Program::Instr::Op::kWait;
+        w.line = s.line;
+        for (const auto& name : s.wait_on)
+          w.wait_ports.push_back(in_port(name, s.line));
+        if (s.cond) {
+          resolve_expr(*s.cond);
+          w.value = s.cond.get();
+          w.cond_id = next_cond_id_++;
+          if (w.wait_ports.empty()) {
+            // `wait until C`: implicit sensitivity = signals of C.
+            std::vector<std::string> names;
+            collect_signal_names(*s.cond, names);
+            for (const auto& n : names) {
+              if (var_slots_.count(n) || constants_.count(n)) continue;
+              w.wait_ports.push_back(in_port(n, s.line));
+            }
+          }
+        }
+        if (s.wait_time) {
+          resolve_expr(*s.wait_time);
+          w.after = s.wait_time.get();
+        }
+        dedupe(w.wait_ports);
+        emit(std::move(w));
+        break;
+      }
+      case StmtKind::kNull:
+        break;
+      case StmtKind::kReport: {
+        Program::Instr r;
+        r.op = Program::Instr::Op::kReport;
+        r.message = s.message;
+        r.line = s.line;
+        emit(std::move(r));
+        break;
+      }
+    }
+    if (s.cond && contains_edge_detect(*s.cond)) edge_detecting_ = true;
+    if (s.value && contains_edge_detect(*s.value)) edge_detecting_ = true;
+  }
+
+  const std::unordered_map<std::string, vhdl::SignalId>& signals_;
+  const std::unordered_map<std::string, Value>& constants_;
+  const std::unordered_map<std::string, ast::Type>& types_;
+  SigInitFn sig_init_;
+
+  std::shared_ptr<Program> prog_;
+  std::unordered_map<std::string, int> var_slots_;
+  std::unordered_map<std::string, int> in_ports_;
+  std::unordered_map<std::string, int> out_ports_;
+  std::vector<vhdl::SignalId> reads_;
+  std::vector<vhdl::SignalId> writes_;
+  std::vector<MaskInfo> mask_info_;
+  std::vector<ExprPtr> synthesized_;
+  int next_cond_id_ = 0;
+  PhysTime min_delay_ = std::numeric_limits<PhysTime>::max();
+  bool has_zero_delay_assign_ = false;
+  bool edge_detecting_ = false;
+
+ public:
+  std::vector<ExprPtr> take_synthesized() { return std::move(synthesized_); }
+};
+
+void apply_driver_masks(vhdl::Design& design, vhdl::ProcessId pid,
+                        const std::vector<vhdl::SignalId>& writes,
+                        const std::vector<ProcessCompiler::MaskInfo>& masks) {
+  const auto& outs = design.process(pid).outputs();
+  for (std::size_t i = 0; i < writes.size(); ++i) {
+    const ProcessCompiler::MaskInfo& mi = masks[i];
+    if (mi.whole) continue;  // default all-driven mask
+    vhdl::SignalLp& sig = design.signal(writes[i]);
+    std::vector<bool> mask(sig.initial_value().size(), false);
+    for (std::size_t pos : mi.positions)
+      if (pos < mask.size()) mask[pos] = true;
+    sig.set_driver_mask(outs[i].second, std::move(mask));
+  }
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- Elaborator
+
+void elaborate_source(std::string_view source, const std::string& top_entity,
+                      vhdl::Design& design, ElabOptions options) {
+  auto file = std::make_shared<ast::DesignFile>(parse(source));
+  Elaborator elab(std::move(file), design, options);
+  elab.elaborate(top_entity);
+}
+
+Value Elaborator::default_value(const ast::Type& t) const {
+  switch (t.kind) {
+    case ast::TypeKind::kStdLogic:
+      return Value::of_bits(LogicVector{Logic::kU});
+    case ast::TypeKind::kStdLogicVector:
+      return Value::of_bits(LogicVector(t.width(), Logic::kU));
+    case ast::TypeKind::kInteger:
+      return Value::of_int(0);
+    case ast::TypeKind::kBoolean:
+      return Value::of_bool(false);
+  }
+  return Value{};
+}
+
+Value Elaborator::const_eval(const ast::Expr& e, const Scope& scope) const {
+  switch (e.kind) {
+    case ExprKind::kCharLit:
+      return Value::of_bits(LogicVector{e.char_lit});
+    case ExprKind::kStringLit:
+      return Value::of_bits(LogicVector::from_string(e.string_lit));
+    case ExprKind::kIntLit:
+      return Value::of_int(e.int_lit);
+    case ExprKind::kName: {
+      auto it = scope.constants.find(e.name);
+      if (it == scope.constants.end())
+        throw ElabError("line " + std::to_string(e.line) + ": '" + e.name +
+                        "' is not constant in this context");
+      return it->second;
+    }
+    case ExprKind::kUnary: {
+      const Value v = const_eval(*e.lhs, scope);
+      if (e.un_op == ast::UnOp::kMinus) return Value::of_int(-v.i);
+      return Value::of_bool(!v.truthy());
+    }
+    case ExprKind::kBinary: {
+      const Value a = const_eval(*e.lhs, scope);
+      const Value b = const_eval(*e.rhs, scope);
+      switch (e.bin_op) {
+        case ast::BinOp::kAdd: return Value::of_int(a.i + b.i);
+        case ast::BinOp::kSub: return Value::of_int(a.i - b.i);
+        case ast::BinOp::kMul: return Value::of_int(a.i * b.i);
+        default: break;
+      }
+      throw ElabError("unsupported constant operator");
+    }
+    default:
+      throw ElabError("line " + std::to_string(e.line) +
+                      ": expression is not constant");
+  }
+}
+
+void Elaborator::elaborate(const std::string& top_entity) {
+  const ast::Entity* top = file_->find_entity(top_entity);
+  if (top == nullptr) throw ElabError("no entity '" + top_entity + "'");
+  // Top-level ports become free-standing design signals.
+  std::unordered_map<std::string, vhdl::SignalId> bindings;
+  for (const auto& port : top->ports) {
+    const Value init = default_value(port.type);
+    bindings[port.name] = design_.add_signal(port.name, init.bits);
+  }
+  instantiate(*top, top_entity, bindings);
+}
+
+void Elaborator::instantiate(
+    const ast::Entity& entity, const std::string& path,
+    const std::unordered_map<std::string, vhdl::SignalId>& port_bindings) {
+  const ast::Architecture* arch = file_->find_arch(entity.name);
+  if (arch == nullptr)
+    throw ElabError("no architecture for entity '" + entity.name + "'");
+
+  Scope scope;
+  scope.arch = arch;
+  // Predefined boolean literals.
+  scope.constants["true"] = Value::of_bool(true);
+  scope.constants["false"] = Value::of_bool(false);
+  scope.types["true"] = ast::Type{ast::TypeKind::kBoolean, 0, 0, true};
+  scope.types["false"] = ast::Type{ast::TypeKind::kBoolean, 0, 0, true};
+  for (const auto& port : entity.ports) {
+    auto it = port_bindings.find(port.name);
+    if (it == port_bindings.end())
+      throw ElabError("instance " + path + ": port '" + port.name +
+                      "' is unbound");
+    scope.signals[port.name] = it->second;
+    scope.types[port.name] = port.type;
+  }
+  for (const auto& d : arch->signals) {
+    if (d.is_constant) {
+      Value v = d.init ? const_eval(*d.init, scope) : default_value(d.type);
+      scope.constants[d.name] = std::move(v);
+      scope.types[d.name] = d.type;
+      continue;
+    }
+    Value init = default_value(d.type);
+    if (d.init) init = const_eval(*d.init, scope);
+    scope.signals[d.name] =
+        design_.add_signal(path + "/" + d.name, as_init_bits(init, d.type));
+    scope.types[d.name] = d.type;
+  }
+
+  elaborate_region(arch->processes, arch->assigns, arch->instances,
+                   arch->generates, scope, path);
+}
+
+void Elaborator::elaborate_region(
+    const std::vector<ast::ProcessStmt>& processes,
+    const std::vector<ast::ConcurrentAssign>& assigns,
+    const std::vector<ast::Instance>& instances,
+    const std::vector<std::unique_ptr<ast::GenerateStmt>>& generates,
+    const Scope& scope, const std::string& path) {
+  for (const auto& proc : processes) compile_process(proc, scope, path);
+  std::size_t ordinal = 0;
+  for (const auto& ca : assigns) compile_concurrent(ca, scope, path, ordinal++);
+
+  for (const auto& inst : instances) {
+    // Resolve the component: local component declaration or global entity.
+    const ast::Entity* comp = nullptr;
+    for (const auto& c : scope.arch->components)
+      if (c.name == inst.component) comp = &c;
+    const ast::Entity* target = file_->find_entity(inst.component);
+    if (target == nullptr)
+      throw ElabError("instance " + inst.label + ": unknown entity '" +
+                      inst.component + "'");
+    const ast::Entity* formal_src = comp != nullptr ? comp : target;
+
+    std::unordered_map<std::string, vhdl::SignalId> child_bindings;
+    for (const auto& [formal, actual] : inst.port_map) {
+      std::string formal_name = formal;
+      if (!formal.empty() && formal[0] == '$') {
+        const std::size_t idx =
+            static_cast<std::size_t>(std::stoul(formal.substr(1)));
+        if (idx >= formal_src->ports.size())
+          throw ElabError("instance " + inst.label +
+                          ": too many positional associations");
+        formal_name = formal_src->ports[idx].name;
+      }
+      auto sig = scope.signals.find(actual);
+      if (sig == scope.signals.end())
+        throw ElabError("instance " + inst.label + ": unknown actual '" +
+                        actual + "'");
+      child_bindings[formal_name] = sig->second;
+    }
+    instantiate(*target, path + "/" + inst.label, child_bindings);
+  }
+
+  for (const auto& gen : generates) {
+    const std::int64_t from = const_eval(*gen->from, scope).i;
+    const std::int64_t to = const_eval(*gen->to, scope).i;
+    const std::int64_t step = gen->reverse ? -1 : 1;
+    for (std::int64_t v = from; gen->reverse ? v >= to : v <= to;
+         v += step) {
+      Scope child = scope;  // loop variable becomes a local constant
+      child.constants[gen->var] = Value::of_int(v);
+      child.types[gen->var] = ast::Type{ast::TypeKind::kInteger, 0, 0, true};
+      elaborate_region(gen->processes, gen->assigns, gen->instances,
+                       gen->generates, child,
+                       path + "/" + gen->label + "(" + std::to_string(v) +
+                           ")");
+    }
+  }
+}
+
+LogicVector Elaborator::as_init_bits(const Value& v,
+                                     const ast::Type& t) const {
+  if (v.kind == Value::Kind::kBits) return v.bits;
+  return LogicVector::from_uint(static_cast<std::uint64_t>(v.i), t.width());
+}
+
+void Elaborator::compile_process(const ast::ProcessStmt& proc,
+                                 const Scope& scope,
+                                 const std::string& path) {
+  const std::string name =
+      path + "/" + (proc.label.empty() ? "proc" : proc.label);
+  ProcessCompiler compiler(
+      scope.signals, scope.constants, scope.types,
+      [this](vhdl::SignalId s) { return design_.signal(s).initial_value(); },
+      name);
+  std::shared_ptr<Program> prog = compiler.compile(proc);
+  // Keep synthesized expressions alive alongside the AST.
+  auto holder = std::make_shared<std::vector<ast::ExprPtr>>(
+      compiler.take_synthesized());
+  prog->ast_owner = file_;
+  prog->synth_owner = holder;
+
+  auto body = std::make_unique<InterpBody>(prog);
+  const vhdl::ProcessId pid = design_.add_process(name, std::move(body));
+  for (vhdl::SignalId sig : compiler.reads()) design_.connect_in(pid, sig);
+  for (vhdl::SignalId sig : compiler.writes()) design_.connect_out(pid, sig);
+  apply_driver_masks(design_, pid, compiler.writes(), compiler.masks());
+  design_.process(pid).set_lookahead(compiler.min_assign_delay());
+  if (compiler.edge_detecting()) {
+    design_.set_sync_hint(pid, true);
+    for (vhdl::SignalId sig : compiler.writes())
+      design_.set_signal_sync_hint(sig, true);
+  }
+}
+
+void Elaborator::compile_concurrent(const ast::ConcurrentAssign& ca,
+                                    const Scope& scope,
+                                    const std::string& path,
+                                    std::size_t ordinal) {
+  // Desugar into an equivalent process:
+  //   process (reads...) begin
+  //     if c1 then t <= v1 [after d1];
+  //     elsif c2 then ...
+  //     else t <= vn [after dn]; end if;
+  //   end process;
+  auto proc = std::make_shared<ast::ProcessStmt>();
+  proc->label = ca.target + "_ca" + std::to_string(ordinal);
+  proc->line = ca.line;
+
+  std::vector<std::string> read_names;
+  for (const auto& arm : ca.arms) {
+    collect_signal_names(*arm.value, read_names);
+    if (arm.cond) collect_signal_names(*arm.cond, read_names);
+  }
+  if (ca.target_index) collect_signal_names(*ca.target_index, read_names);
+  std::sort(read_names.begin(), read_names.end());
+  read_names.erase(std::unique(read_names.begin(), read_names.end()),
+                   read_names.end());
+  for (const auto& n : read_names) {
+    if (scope.signals.count(n)) proc->sensitivity.push_back(n);
+  }
+
+  // Build the if-chain from the arms (in reverse).
+  ast::StmtList chain;
+  for (std::size_t i = ca.arms.size(); i-- > 0;) {
+    const auto& arm = ca.arms[i];
+    auto assign = std::make_unique<ast::Stmt>();
+    assign->kind = ast::StmtKind::kSignalAssign;
+    assign->line = ca.line;
+    assign->target = ca.target;
+    if (ca.target_index) assign->target_index = ast::clone(*ca.target_index);
+    assign->value = ast::clone(*arm.value);
+    if (arm.after) assign->after = ast::clone(*arm.after);
+    assign->transport = ca.transport;
+    if (arm.cond == nullptr) {
+      chain.clear();
+      chain.push_back(std::move(assign));
+    } else {
+      auto iff = std::make_unique<ast::Stmt>();
+      iff->kind = ast::StmtKind::kIf;
+      iff->line = ca.line;
+      iff->cond = ast::clone(*arm.cond);
+      iff->then_body.push_back(std::move(assign));
+      iff->else_body = std::move(chain);
+      chain.clear();
+      chain.push_back(std::move(iff));
+    }
+  }
+  proc->body = std::move(chain);
+
+  const std::string name = path + "/" + proc->label;
+  ProcessCompiler compiler(
+      scope.signals, scope.constants, scope.types,
+      [this](vhdl::SignalId s) { return design_.signal(s).initial_value(); },
+      name);
+  std::shared_ptr<Program> prog = compiler.compile(*proc);
+  auto holder = std::make_shared<std::vector<ast::ExprPtr>>(
+      compiler.take_synthesized());
+  prog->ast_owner = file_;
+  prog->synth_owner = holder;
+  prog->stmt_owner = proc;  // the desugared process owns the cloned exprs
+
+  auto body = std::make_unique<InterpBody>(prog);
+  const vhdl::ProcessId pid = design_.add_process(name, std::move(body));
+  for (vhdl::SignalId sig : compiler.reads()) design_.connect_in(pid, sig);
+  for (vhdl::SignalId sig : compiler.writes()) design_.connect_out(pid, sig);
+  apply_driver_masks(design_, pid, compiler.writes(), compiler.masks());
+  design_.process(pid).set_lookahead(compiler.min_assign_delay());
+}
+
+}  // namespace vsim::fe

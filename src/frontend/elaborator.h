@@ -1,0 +1,76 @@
+// Elaboration: DesignFile AST -> flat process/signal graph (vhdl::Design).
+//
+// Walks the instance hierarchy from a top entity, creating one SignalLp per
+// declared signal (names mangled with the instance path, e.g.
+// "top/u1/carry") and one ProcessLp per process statement or concurrent
+// assignment, each driving a compiled InterpBody.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "frontend/interp.h"
+#include "frontend/parser.h"
+#include "vhdl/kernel.h"
+
+namespace vsim::fe {
+
+struct ElabOptions {
+  /// Physical-time units per 'ns' literal (default: 1 unit == 1 ns).
+  PhysTime time_scale = 1;
+};
+
+class Elaborator {
+ public:
+  Elaborator(std::shared_ptr<const ast::DesignFile> file, vhdl::Design& design,
+             ElabOptions options = {})
+      : file_(std::move(file)), design_(design), options_(options) {}
+
+  /// Elaborates `top_entity`; its ports become design signals named after
+  /// the ports.  Call Design::finalize() afterwards.
+  void elaborate(const std::string& top_entity);
+
+ private:
+  struct Scope {
+    /// VHDL name -> design signal (ports and local signals).
+    std::unordered_map<std::string, vhdl::SignalId> signals;
+    /// VHDL name -> compile-time constant.
+    std::unordered_map<std::string, Value> constants;
+    /// Declared type per name.
+    std::unordered_map<std::string, ast::Type> types;
+    /// Component name -> entity, from local component declarations.
+    const ast::Architecture* arch = nullptr;
+  };
+
+  void instantiate(const ast::Entity& entity, const std::string& path,
+                   const std::unordered_map<std::string, vhdl::SignalId>&
+                       port_bindings);
+  /// Elaborates one concurrent region (architecture body or generate body).
+  void elaborate_region(
+      const std::vector<ast::ProcessStmt>& processes,
+      const std::vector<ast::ConcurrentAssign>& assigns,
+      const std::vector<ast::Instance>& instances,
+      const std::vector<std::unique_ptr<ast::GenerateStmt>>& generates,
+      const Scope& scope, const std::string& path);
+  void compile_process(const ast::ProcessStmt& proc, const Scope& scope,
+                       const std::string& path);
+  /// Synthesizes the equivalent process for a concurrent assignment.
+  void compile_concurrent(const ast::ConcurrentAssign& ca, const Scope& scope,
+                          const std::string& path, std::size_t ordinal);
+
+  [[nodiscard]] Value default_value(const ast::Type& t) const;
+  [[nodiscard]] Value const_eval(const ast::Expr& e,
+                                 const Scope& scope) const;
+  [[nodiscard]] LogicVector as_init_bits(const Value& v,
+                                         const ast::Type& t) const;
+
+  std::shared_ptr<const ast::DesignFile> file_;
+  vhdl::Design& design_;
+  ElabOptions options_;
+};
+
+/// Convenience: parse + elaborate VHDL source into `design`.
+void elaborate_source(std::string_view source, const std::string& top_entity,
+                      vhdl::Design& design, ElabOptions options = {});
+
+}  // namespace vsim::fe

@@ -1,0 +1,379 @@
+#include "frontend/interp.h"
+
+#include <cstdio>
+
+namespace vsim::fe {
+
+using ast::Expr;
+using ast::ExprKind;
+
+bool Value::truthy() const {
+  switch (kind) {
+    case Kind::kBool: return b;
+    case Kind::kInt: return i != 0;
+    case Kind::kBits: return to_x01(bits.scalar()) == Logic::k1;
+  }
+  return false;
+}
+
+bool Value::equals(const Value& o) const {
+  if (kind == Kind::kBits && o.kind == Kind::kBits) return bits == o.bits;
+  if (kind == Kind::kInt && o.kind == Kind::kInt) return i == o.i;
+  if (kind == Kind::kBool && o.kind == Kind::kBool) return b == o.b;
+  // int vs bits: compare as unsigned when convertible
+  if (kind == Kind::kBits && o.kind == Kind::kInt) {
+    const auto r = bits.to_uint();
+    return r.ok && static_cast<std::int64_t>(r.value) == o.i;
+  }
+  if (kind == Kind::kInt && o.kind == Kind::kBits) return o.equals(*this);
+  return false;
+}
+
+std::string Value::str() const {
+  switch (kind) {
+    case Kind::kBool: return b ? "true" : "false";
+    case Kind::kInt: return std::to_string(i);
+    case Kind::kBits: return bits.str();
+  }
+  return "?";
+}
+
+InterpBody::InterpBody(std::shared_ptr<const Program> prog)
+    : prog_(std::move(prog)),
+      vars_(prog_->var_init),
+      driven_(prog_->out_init) {}
+
+namespace {
+
+std::int64_t as_int(const Value& v, int line) {
+  switch (v.kind) {
+    case Value::Kind::kInt: return v.i;
+    case Value::Kind::kBool: return v.b ? 1 : 0;
+    case Value::Kind::kBits: {
+      const auto r = v.bits.to_uint();
+      if (!r.ok)
+        throw ElabError("line " + std::to_string(line) +
+                        ": vector with non-01 bits used as integer");
+      return static_cast<std::int64_t>(r.value);
+    }
+  }
+  return 0;
+}
+
+LogicVector as_bits(const Value& v, std::size_t width_hint = 0) {
+  if (v.kind == Value::Kind::kBits) return v.bits;
+  if (v.kind == Value::Kind::kBool)
+    return LogicVector{v.b ? Logic::k1 : Logic::k0};
+  const std::size_t w = width_hint ? width_hint : 32;
+  return LogicVector::from_uint(static_cast<std::uint64_t>(v.i), w);
+}
+
+Value apply_logic_op(ast::BinOp op, const Value& a, const Value& b,
+                     int line) {
+  if (a.kind == Value::Kind::kBool || b.kind == Value::Kind::kBool) {
+    const bool x = a.truthy(), y = b.truthy();
+    switch (op) {
+      case ast::BinOp::kAnd: return Value::of_bool(x && y);
+      case ast::BinOp::kOr: return Value::of_bool(x || y);
+      case ast::BinOp::kNand: return Value::of_bool(!(x && y));
+      case ast::BinOp::kNor: return Value::of_bool(!(x || y));
+      case ast::BinOp::kXor: return Value::of_bool(x != y);
+      case ast::BinOp::kXnor: return Value::of_bool(x == y);
+      default: break;
+    }
+  }
+  const LogicVector va = as_bits(a), vb = as_bits(b);
+  if (va.size() != vb.size())
+    throw ElabError("line " + std::to_string(line) +
+                    ": operand width mismatch (" +
+                    std::to_string(va.size()) + " vs " +
+                    std::to_string(vb.size()) + ")");
+  LogicVector out(va.size());
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    Logic r;
+    switch (op) {
+      case ast::BinOp::kAnd: r = logic_and(va.at(i), vb.at(i)); break;
+      case ast::BinOp::kOr: r = logic_or(va.at(i), vb.at(i)); break;
+      case ast::BinOp::kNand: r = logic_nand(va.at(i), vb.at(i)); break;
+      case ast::BinOp::kNor: r = logic_nor(va.at(i), vb.at(i)); break;
+      case ast::BinOp::kXor: r = logic_xor(va.at(i), vb.at(i)); break;
+      case ast::BinOp::kXnor: r = logic_xnor(va.at(i), vb.at(i)); break;
+      default: r = Logic::kX; break;
+    }
+    out.set(i, r);
+  }
+  return Value::of_bits(std::move(out));
+}
+
+Value apply_add_op(ast::BinOp op, const Value& a, const Value& b, int line) {
+  // Vector arithmetic: unsigned with wraparound at the vector width
+  // (numeric_std behaviour for `unsigned`).
+  if (a.kind == Value::Kind::kBits || b.kind == Value::Kind::kBits) {
+    const std::size_t w =
+        a.kind == Value::Kind::kBits ? a.bits.size() : b.bits.size();
+    const std::uint64_t x =
+        static_cast<std::uint64_t>(as_int(a, line));
+    const std::uint64_t y =
+        static_cast<std::uint64_t>(as_int(b, line));
+    std::uint64_t r = 0;
+    switch (op) {
+      case ast::BinOp::kAdd: r = x + y; break;
+      case ast::BinOp::kSub: r = x - y; break;
+      case ast::BinOp::kMul: r = x * y; break;
+      case ast::BinOp::kMod:
+        r = y == 0 ? 0 : x % y;
+        break;
+      case ast::BinOp::kDiv:
+        r = y == 0 ? 0 : x / y;
+        break;
+      default: break;
+    }
+    if (w < 64) r &= (1ull << w) - 1;
+    return Value::of_bits(LogicVector::from_uint(r, w));
+  }
+  const std::int64_t x = as_int(a, line), y = as_int(b, line);
+  switch (op) {
+    case ast::BinOp::kAdd: return Value::of_int(x + y);
+    case ast::BinOp::kSub: return Value::of_int(x - y);
+    case ast::BinOp::kMul: return Value::of_int(x * y);
+    case ast::BinOp::kMod:
+      return Value::of_int(y == 0 ? 0 : ((x % y) + y) % y);
+    case ast::BinOp::kDiv:
+      return Value::of_int(y == 0 ? 0 : x / y);
+    default: break;
+  }
+  return Value::of_int(0);
+}
+
+Value apply_rel_op(ast::BinOp op, const Value& a, const Value& b, int line) {
+  if (op == ast::BinOp::kEq) return Value::of_bool(a.equals(b));
+  if (op == ast::BinOp::kNeq) return Value::of_bool(!a.equals(b));
+  const std::int64_t x = as_int(a, line), y = as_int(b, line);
+  switch (op) {
+    case ast::BinOp::kLt: return Value::of_bool(x < y);
+    case ast::BinOp::kLe: return Value::of_bool(x <= y);
+    case ast::BinOp::kGt: return Value::of_bool(x > y);
+    case ast::BinOp::kGe: return Value::of_bool(x >= y);
+    default: break;
+  }
+  return Value::of_bool(false);
+}
+
+}  // namespace
+
+Value InterpBody::eval(const Expr& e, const vhdl::ProcessApi& api) const {
+  switch (e.kind) {
+    case ExprKind::kCharLit:
+      return Value::of_bits(LogicVector{e.char_lit});
+    case ExprKind::kStringLit:
+      return Value::of_bits(LogicVector::from_string(e.string_lit));
+    case ExprKind::kIntLit:
+      return Value::of_int(e.int_lit);
+    case ExprKind::kName: {
+      const Slot& s = prog_->slots.at(&e);
+      switch (s.kind) {
+        case Slot::Kind::kSignalIn:
+          return Value::of_bits(api.value(s.port));
+        case Slot::Kind::kVariable:
+        case Slot::Kind::kLoopVar:
+          return vars_[static_cast<std::size_t>(s.index)];
+        case Slot::Kind::kConstant:
+          return s.constant;
+      }
+      return Value{};
+    }
+    case ExprKind::kIndex: {
+      const Slot& s = prog_->slots.at(&e);
+      const std::int64_t idx = as_int(eval(*e.rhs, api), e.line);
+      LogicVector v;
+      switch (s.kind) {
+        case Slot::Kind::kSignalIn:
+          v = api.value(s.port);
+          break;
+        case Slot::Kind::kVariable:
+        case Slot::Kind::kLoopVar:
+          v = as_bits(vars_[static_cast<std::size_t>(s.index)]);
+          break;
+        case Slot::Kind::kConstant:
+          v = as_bits(s.constant);
+          break;
+      }
+      const std::size_t pos = s.type.position(idx);
+      if (pos >= v.size())
+        throw ElabError("line " + std::to_string(e.line) +
+                        ": index out of range");
+      return Value::of_bits(LogicVector{v.at(pos)});
+    }
+    case ExprKind::kBinary: {
+      const Value a = eval(*e.lhs, api);
+      const Value b = eval(*e.rhs, api);
+      switch (e.bin_op) {
+        case ast::BinOp::kAnd: case ast::BinOp::kOr: case ast::BinOp::kNand:
+        case ast::BinOp::kNor: case ast::BinOp::kXor: case ast::BinOp::kXnor:
+          return apply_logic_op(e.bin_op, a, b, e.line);
+        case ast::BinOp::kEq: case ast::BinOp::kNeq: case ast::BinOp::kLt:
+        case ast::BinOp::kLe: case ast::BinOp::kGt: case ast::BinOp::kGe:
+          return apply_rel_op(e.bin_op, a, b, e.line);
+        case ast::BinOp::kAdd: case ast::BinOp::kSub: case ast::BinOp::kMul:
+        case ast::BinOp::kMod: case ast::BinOp::kDiv:
+          return apply_add_op(e.bin_op, a, b, e.line);
+        case ast::BinOp::kConcat: {
+          const LogicVector va = as_bits(a), vb = as_bits(b);
+          LogicVector out(va.size() + vb.size());
+          for (std::size_t i = 0; i < va.size(); ++i) out.set(i, va.at(i));
+          for (std::size_t i = 0; i < vb.size(); ++i)
+            out.set(va.size() + i, vb.at(i));
+          return Value::of_bits(std::move(out));
+        }
+      }
+      return Value{};
+    }
+    case ExprKind::kUnary: {
+      const Value a = eval(*e.lhs, api);
+      if (e.un_op == ast::UnOp::kMinus)
+        return Value::of_int(-as_int(a, e.line));
+      if (a.kind == Value::Kind::kBool) return Value::of_bool(!a.b);
+      LogicVector v = as_bits(a);
+      for (std::size_t i = 0; i < v.size(); ++i) v.set(i, logic_not(v.at(i)));
+      return Value::of_bits(std::move(v));
+    }
+    case ExprKind::kAttrEvent: {
+      const Slot& s = prog_->slots.at(&e);
+      return Value::of_bool(api.event(s.port));
+    }
+    case ExprKind::kCall: {
+      if (e.name == "rising_edge" || e.name == "falling_edge") {
+        const Slot& s = prog_->slots.at(e.lhs.get());
+        const Logic v = to_x01(api.value(s.port).scalar());
+        const bool lvl = e.name == "rising_edge" ? v == Logic::k1
+                                                 : v == Logic::k0;
+        return Value::of_bool(api.event(s.port) && lvl);
+      }
+      if (e.name == "to_integer")
+        return Value::of_int(as_int(eval(*e.lhs, api), e.line));
+      if (e.name == "to_unsigned") {
+        const std::int64_t v = as_int(eval(*e.lhs, api), e.line);
+        const std::int64_t n = as_int(eval(*e.rhs, api), e.line);
+        return Value::of_bits(LogicVector::from_uint(
+            static_cast<std::uint64_t>(v), static_cast<std::size_t>(n)));
+      }
+      // std_logic_vector(x), unsigned(x), to_stdlogicvector(x): identity.
+      return eval(*e.lhs, api);
+    }
+  }
+  return Value{};
+}
+
+bool InterpBody::eval_condition(int cond_id,
+                                const vhdl::ProcessApi& api) const {
+  for (const auto& ins : prog_->instrs) {
+    if (ins.op == Program::Instr::Op::kWait && ins.cond_id == cond_id) {
+      return ins.value == nullptr || eval(*ins.value, api).truthy();
+    }
+  }
+  return true;
+}
+
+void InterpBody::run(vhdl::ProcessApi& api) {
+  // Execute until a wait suspends the process.  The instruction budget
+  // guards against runaway while-loops in user code.
+  constexpr int kMaxSteps = 1 << 20;
+  for (int step = 0; step < kMaxSteps; ++step) {
+    if (pc_ < 0 || static_cast<std::size_t>(pc_) >= prog_->instrs.size()) {
+      api.wait_forever();
+      return;
+    }
+    const Program::Instr& ins = prog_->instrs[static_cast<std::size_t>(pc_)];
+    switch (ins.op) {
+      case Program::Instr::Op::kAssignSig: {
+        Value v = eval(*ins.value, api);
+        const auto port = static_cast<std::size_t>(ins.a);
+        const ast::Type& t = prog_->out_types[port];
+        LogicVector whole;
+        if (ins.index != nullptr) {
+          // Indexed target: read-modify-write on the driven shadow copy.
+          whole = as_bits(driven_[port], t.width());
+          const std::int64_t idx = as_int(eval(*ins.index, api), ins.line);
+          const std::size_t pos = t.position(idx);
+          if (pos >= whole.size())
+            throw ElabError("line " + std::to_string(ins.line) +
+                            ": index out of range in assignment");
+          whole.set(pos, as_bits(v).scalar());
+        } else {
+          whole = as_bits(v, t.width());
+          if (whole.size() != t.width())
+            throw ElabError("line " + std::to_string(ins.line) +
+                            ": width mismatch in signal assignment");
+        }
+        driven_[port] = Value::of_bits(whole);
+        const PhysTime delay =
+            ins.after ? as_int(eval(*ins.after, api), ins.line) : 0;
+        api.assign(ins.a, std::move(whole), delay, ins.transport);
+        ++pc_;
+        break;
+      }
+      case Program::Instr::Op::kAssignVar: {
+        Value v = eval(*ins.value, api);
+        const auto slot = static_cast<std::size_t>(ins.a);
+        if (ins.index != nullptr) {
+          const ast::Type& t = prog_->var_types[slot];
+          LogicVector whole = as_bits(vars_[slot], t.width());
+          const std::int64_t idx = as_int(eval(*ins.index, api), ins.line);
+          const std::size_t pos = t.position(idx);
+          if (pos >= whole.size())
+            throw ElabError("line " + std::to_string(ins.line) +
+                            ": index out of range in assignment");
+          whole.set(pos, as_bits(v).scalar());
+          vars_[slot] = Value::of_bits(std::move(whole));
+        } else {
+          // Preserve the declared kind (integer variables stay integers).
+          if (vars_[slot].kind == Value::Kind::kInt &&
+              v.kind != Value::Kind::kInt) {
+            vars_[slot] = Value::of_int(as_int(v, ins.line));
+          } else if (vars_[slot].kind == Value::Kind::kBool &&
+                     v.kind != Value::Kind::kBool) {
+            vars_[slot] = Value::of_bool(v.truthy());
+          } else {
+            vars_[slot] = std::move(v);
+          }
+        }
+        ++pc_;
+        break;
+      }
+      case Program::Instr::Op::kBranchFalse:
+        pc_ = eval(*ins.value, api).truthy() ? pc_ + 1 : ins.a;
+        break;
+      case Program::Instr::Op::kJump:
+        pc_ = ins.a;
+        break;
+      case Program::Instr::Op::kWait: {
+        const int resume = pc_ + 1;
+        pc_ = resume;
+        std::optional<PhysTime> timeout;
+        if (ins.after != nullptr)
+          timeout = as_int(eval(*ins.after, api), ins.line);
+        if (ins.wait_ports.empty() && !timeout.has_value()) {
+          api.wait_forever();
+        } else if (ins.wait_ports.empty()) {
+          api.wait_for(*timeout);
+        } else {
+          api.wait_on(ins.wait_ports, ins.cond_id, timeout);
+        }
+        return;
+      }
+      case Program::Instr::Op::kReport:
+        std::fprintf(stderr, "[%s @ %s] %s\n", prog_->name.c_str(),
+                     api.now().str().c_str(), ins.message.c_str());
+        ++pc_;
+        break;
+      case Program::Instr::Op::kHalt:
+        api.wait_forever();
+        return;
+    }
+  }
+  throw ElabError("process " + prog_->name +
+                  " exceeded the instruction budget without waiting "
+                  "(possible infinite loop without wait)");
+}
+
+}  // namespace vsim::fe

@@ -1,0 +1,149 @@
+// Bytecode compiler + interpreter for VHDL process bodies.
+//
+// The paper translated each VHDL process to a C class whose run() contains
+// the sequential statement part.  Here each process compiles to a small
+// instruction program executed by InterpBody -- which gives the same
+// kernel-visible behaviour with one crucial property for Time Warp: the
+// execution state is an explicit (program counter, variables) pair, so
+// snapshots are plain copies (no coroutine frames to clone).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "frontend/ast.h"
+#include "frontend/lexer.h"
+#include "vhdl/process_lp.h"
+
+namespace vsim::fe {
+
+/// Runtime value of an expression or variable.
+struct Value {
+  enum class Kind : std::uint8_t { kBits, kInt, kBool };
+  Kind kind = Kind::kBits;
+  LogicVector bits;
+  std::int64_t i = 0;
+  bool b = false;
+
+  static Value of_bits(LogicVector v) {
+    Value out;
+    out.kind = Kind::kBits;
+    out.bits = std::move(v);
+    return out;
+  }
+  static Value of_int(std::int64_t v) {
+    Value out;
+    out.kind = Kind::kInt;
+    out.i = v;
+    return out;
+  }
+  static Value of_bool(bool v) {
+    Value out;
+    out.kind = Kind::kBool;
+    out.b = v;
+    return out;
+  }
+
+  /// Condition truthiness: bool, or a scalar std_logic '1'/'H'.
+  [[nodiscard]] bool truthy() const;
+  [[nodiscard]] bool equals(const Value& o) const;
+  [[nodiscard]] std::string str() const;
+};
+
+/// How a name in a process body resolves.
+struct Slot {
+  enum class Kind : std::uint8_t {
+    kSignalIn,   ///< read a signal: in-port `port`
+    kVariable,   ///< process variable `index`
+    kConstant,   ///< elaboration-time constant
+    kLoopVar,    ///< for-loop variable `index` (stored with variables)
+  };
+  Kind kind = Kind::kConstant;
+  int port = -1;    // signal in-port
+  int index = -1;   // variable slot
+  Value constant;
+  ast::Type type;   // declared type (index/position mapping)
+};
+
+/// Immutable compiled form of one process, shared by clones of its body.
+class Program {
+ public:
+  struct Instr {
+    enum class Op : std::uint8_t {
+      kAssignSig,   ///< a = out port; value/index/after exprs; transport
+      kAssignVar,   ///< a = var slot; value/index exprs
+      kBranchFalse, ///< a = target pc; cond = value expr
+      kJump,        ///< a = target pc
+      kWait,        ///< wait_ports / value (until) / after (for-time)
+      kReport,      ///< message
+      kHalt,        ///< wait forever
+    };
+    Op op = Op::kHalt;
+    int a = 0;
+    const ast::Expr* value = nullptr;
+    const ast::Expr* index = nullptr;
+    const ast::Expr* after = nullptr;
+    bool transport = false;
+    std::vector<int> wait_ports;
+    int cond_id = -1;  ///< unique per kWait-with-condition
+    std::string message;
+    int line = 0;
+  };
+
+  std::vector<Instr> instrs;
+  /// Initial values of variables (index = slot).
+  std::vector<Value> var_init;
+  /// Name resolution for every name/index/attr expression in the body.
+  std::unordered_map<const ast::Expr*, Slot> slots;
+  /// Vector element width info per variable slot (for indexed access).
+  std::vector<ast::Type> var_types;
+  /// Out-port initial driven values (for read-modify-write of indexed
+  /// signal assignment targets).
+  std::vector<Value> out_init;
+  /// Type of the signal behind each out port.
+  std::vector<ast::Type> out_types;
+  /// Keeps the AST (and thus every borrowed Expr*) alive.
+  std::shared_ptr<const ast::DesignFile> ast_owner;
+  /// Owns expressions synthesized during compilation (loop conditions,
+  /// case comparisons) and desugared process statements.
+  std::shared_ptr<void> synth_owner;
+  std::shared_ptr<void> stmt_owner;
+  std::string name;
+};
+
+/// ProcessBody driving a compiled Program.  Cloning copies (pc, vars,
+/// driven shadow values) and shares the immutable Program.
+class InterpBody final : public vhdl::ProcessBody {
+ public:
+  explicit InterpBody(std::shared_ptr<const Program> prog);
+
+  [[nodiscard]] std::unique_ptr<ProcessBody> clone() const override {
+    return std::make_unique<InterpBody>(*this);
+  }
+  void run(vhdl::ProcessApi& api) override;
+  [[nodiscard]] bool eval_condition(int cond_id,
+                                    const vhdl::ProcessApi& api)
+      const override;
+
+  /// Evaluates an expression in this body's current state (exposed for the
+  /// elaborator's constant folding and for tests).
+  [[nodiscard]] Value eval(const ast::Expr& e,
+                           const vhdl::ProcessApi& api) const;
+
+ private:
+  std::shared_ptr<const Program> prog_;
+  int pc_ = 0;
+  std::vector<Value> vars_;
+  std::vector<Value> driven_;  ///< last driven value per out port
+};
+
+/// Semantic error during compilation or elaboration.
+class ElabError : public std::runtime_error {
+ public:
+  explicit ElabError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+}  // namespace vsim::fe

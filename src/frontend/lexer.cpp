@@ -1,0 +1,225 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace vsim::fe {
+namespace {
+
+const std::unordered_map<std::string, Tok>& keyword_table() {
+  static const std::unordered_map<std::string, Tok> table = {
+      {"abs", Tok::kAbs},       {"after", Tok::kAfter},
+      {"all", Tok::kAll},       {"and", Tok::kAnd},
+      {"architecture", Tok::kArchitecture},
+      {"begin", Tok::kBegin},   {"case", Tok::kCase},
+      {"component", Tok::kComponent},
+      {"constant", Tok::kConstant},
+      {"downto", Tok::kDownto}, {"else", Tok::kElse},
+      {"elsif", Tok::kElsif},   {"end", Tok::kEnd},
+      {"entity", Tok::kEntity}, {"exit", Tok::kExit},
+      {"for", Tok::kFor},       {"generate", Tok::kGenerate},
+      {"if", Tok::kIf},         {"in", Tok::kIn},
+      {"inertial", Tok::kInertial},
+      {"inout", Tok::kInout},   {"is", Tok::kIs},
+      {"library", Tok::kLibrary},
+      {"loop", Tok::kLoop},     {"map", Tok::kMap},
+      {"mod", Tok::kMod},       {"nand", Tok::kNand},
+      {"nor", Tok::kNor},       {"not", Tok::kNot},
+      {"null", Tok::kNull},     {"of", Tok::kOf},
+      {"on", Tok::kOn},
+      {"or", Tok::kOr},         {"others", Tok::kOthers},
+      {"out", Tok::kOut},       {"port", Tok::kPort},
+      {"process", Tok::kProcess},
+      {"rem", Tok::kRem},       {"report", Tok::kReport},
+      {"severity", Tok::kSeverity},
+      {"signal", Tok::kSignal}, {"then", Tok::kThen},
+      {"to", Tok::kTo},         {"transport", Tok::kTransport},
+      {"type", Tok::kType},     {"until", Tok::kUntil},
+      {"use", Tok::kUse},       {"variable", Tok::kVariable},
+      {"wait", Tok::kWait},     {"when", Tok::kWhen},
+      {"while", Tok::kWhile},   {"xnor", Tok::kXnor},
+      {"xor", Tok::kXor},
+  };
+  return table;
+}
+
+}  // namespace
+
+const char* tok_name(Tok t) {
+  switch (t) {
+    case Tok::kEof: return "<eof>";
+    case Tok::kIdent: return "identifier";
+    case Tok::kInt: return "integer";
+    case Tok::kCharLit: return "character literal";
+    case Tok::kStringLit: return "string literal";
+    case Tok::kLParen: return "(";
+    case Tok::kRParen: return ")";
+    case Tok::kComma: return ",";
+    case Tok::kSemi: return ";";
+    case Tok::kColon: return ":";
+    case Tok::kDot: return ".";
+    case Tok::kAmp: return "&";
+    case Tok::kTick: return "'";
+    case Tok::kAssignVar: return ":=";
+    case Tok::kAssignSig: return "<=";
+    case Tok::kArrow: return "=>";
+    case Tok::kEq: return "=";
+    case Tok::kNeq: return "/=";
+    case Tok::kLt: return "<";
+    case Tok::kGt: return ">";
+    case Tok::kGe: return ">=";
+    case Tok::kPlus: return "+";
+    case Tok::kMinus: return "-";
+    case Tok::kStar: return "*";
+    case Tok::kSlash: return "/";
+    default: return "keyword";
+  }
+}
+
+char Lexer::advance() {
+  const char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+void Lexer::skip_ws_and_comments() {
+  for (;;) {
+    while (pos_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(peek()))) {
+      advance();
+    }
+    if (peek() == '-' && peek(1) == '-') {
+      while (pos_ < src_.size() && peek() != '\n') advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::make(Tok kind, std::string text) {
+  Token t;
+  t.kind = kind;
+  t.text = std::move(text);
+  t.line = line_;
+  t.col = col_;
+  return t;
+}
+
+Token Lexer::next() {
+  skip_ws_and_comments();
+  if (pos_ >= src_.size()) return make(Tok::kEof);
+
+  const int line = line_;
+  const int col = col_;
+  auto at = [&](Token t) {
+    t.line = line;
+    t.col = col;
+    return t;
+  };
+
+  const char c = peek();
+  if (std::isalpha(static_cast<unsigned char>(c))) {
+    std::string id;
+    while (std::isalnum(static_cast<unsigned char>(peek())) ||
+           peek() == '_') {
+      id.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(advance()))));
+    }
+    const auto& kw = keyword_table();
+    if (auto it = kw.find(id); it != kw.end()) return at(make(it->second, id));
+    return at(make(Tok::kIdent, id));
+  }
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    std::string num;
+    while (std::isdigit(static_cast<unsigned char>(peek())) || peek() == '_') {
+      const char d = advance();
+      if (d != '_') num.push_back(d);
+    }
+    Token t = make(Tok::kInt, num);
+    t.value = std::stoll(num);
+    return at(t);
+  }
+  if (c == '\'') {
+    // Character literal 'X' -- but also the attribute tick (s'event).  A
+    // character literal is 'c' with a closing quote; otherwise it is a tick.
+    if (pos_ + 2 < src_.size() && src_[pos_ + 2] == '\'') {
+      advance();
+      const char v = advance();
+      advance();
+      return at(make(Tok::kCharLit, std::string(1, v)));
+    }
+    advance();
+    return at(make(Tok::kTick));
+  }
+  if (c == '"') {
+    advance();
+    std::string s;
+    while (pos_ < src_.size() && peek() != '"') s.push_back(advance());
+    if (pos_ >= src_.size()) throw ParseError("unterminated string", line, col);
+    advance();
+    return at(make(Tok::kStringLit, s));
+  }
+
+  advance();
+  switch (c) {
+    case '(': return at(make(Tok::kLParen));
+    case ')': return at(make(Tok::kRParen));
+    case ',': return at(make(Tok::kComma));
+    case ';': return at(make(Tok::kSemi));
+    case '.': return at(make(Tok::kDot));
+    case '&': return at(make(Tok::kAmp));
+    case '+': return at(make(Tok::kPlus));
+    case '-': return at(make(Tok::kMinus));
+    case '*': return at(make(Tok::kStar));
+    case ':':
+      if (peek() == '=') {
+        advance();
+        return at(make(Tok::kAssignVar));
+      }
+      return at(make(Tok::kColon));
+    case '<':
+      if (peek() == '=') {
+        advance();
+        return at(make(Tok::kAssignSig));
+      }
+      return at(make(Tok::kLt));
+    case '>':
+      if (peek() == '=') {
+        advance();
+        return at(make(Tok::kGe));
+      }
+      return at(make(Tok::kGt));
+    case '=':
+      if (peek() == '>') {
+        advance();
+        return at(make(Tok::kArrow));
+      }
+      return at(make(Tok::kEq));
+    case '/':
+      if (peek() == '=') {
+        advance();
+        return at(make(Tok::kNeq));
+      }
+      return at(make(Tok::kSlash));
+    default:
+      throw ParseError(std::string("unexpected character '") + c + "'",
+                       line, col);
+  }
+}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> out;
+  for (;;) {
+    Token t = next();
+    const bool eof = t.kind == Tok::kEof;
+    out.push_back(std::move(t));
+    if (eof) return out;
+  }
+}
+
+}  // namespace vsim::fe

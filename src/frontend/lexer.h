@@ -1,0 +1,51 @@
+// Lexer for the VHDL subset (case-insensitive identifiers/keywords,
+// VHDL "--" comments, character and string literals, time units).
+#pragma once
+
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+#include "frontend/token.h"
+
+namespace vsim::fe {
+
+/// Thrown on any lexical or syntactic error, with line/column context.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& msg, int line, int col)
+      : std::runtime_error("line " + std::to_string(line) + ":" +
+                           std::to_string(col) + ": " + msg),
+        line_(line),
+        col_(col) {}
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] int col() const { return col_; }
+
+ private:
+  int line_;
+  int col_;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  /// Tokenises the whole input (appends a kEof token).
+  [[nodiscard]] std::vector<Token> tokenize();
+
+ private:
+  [[nodiscard]] char peek(std::size_t off = 0) const {
+    return pos_ + off < src_.size() ? src_[pos_ + off] : '\0';
+  }
+  char advance();
+  void skip_ws_and_comments();
+  Token next();
+  Token make(Tok kind, std::string text = {});
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace vsim::fe

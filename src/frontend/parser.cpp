@@ -1,0 +1,674 @@
+#include "frontend/parser.h"
+
+namespace vsim::fe {
+
+using namespace ast;
+
+DesignFile parse(std::string_view source) {
+  Lexer lex(source);
+  Parser p(lex.tokenize());
+  return p.parse_file();
+}
+
+bool Parser::accept(Tok k) {
+  if (check(k)) {
+    ++pos_;
+    return true;
+  }
+  return false;
+}
+
+const Token& Parser::expect(Tok k, const char* what) {
+  if (!check(k)) {
+    fail(std::string("expected ") + what + " (" + tok_name(k) +
+         "), found '" + (cur().text.empty() ? tok_name(cur().kind)
+                                            : cur().text.c_str()) + "'");
+  }
+  return toks_[pos_++];
+}
+
+void Parser::fail(const std::string& msg) const {
+  throw ParseError(msg, cur().line, cur().col);
+}
+
+std::string Parser::expect_ident(const char* what) {
+  return expect(Tok::kIdent, what).text;
+}
+
+// --------------------------------------------------------------- file
+
+DesignFile Parser::parse_file() {
+  DesignFile file;
+  for (;;) {
+    // Skip library/use clauses.
+    while (check(Tok::kLibrary) || check(Tok::kUse)) {
+      while (!accept(Tok::kSemi)) advance();
+    }
+    if (check(Tok::kEof)) break;
+    if (accept(Tok::kEntity)) {
+      file.entities.push_back(parse_entity_header());
+    } else if (accept(Tok::kArchitecture)) {
+      file.architectures.push_back(parse_architecture());
+    } else {
+      fail("expected 'entity' or 'architecture'");
+    }
+  }
+  return file;
+}
+
+Entity Parser::parse_entity_header() {
+  Entity e;
+  e.name = expect_ident("entity name");
+  expect(Tok::kIs, "'is'");
+  if (check(Tok::kPort)) e.ports = parse_port_clause();
+  expect(Tok::kEnd, "'end'");
+  accept(Tok::kEntity);
+  if (check(Tok::kIdent)) advance();  // optional repeated name
+  expect(Tok::kSemi, "';'");
+  return e;
+}
+
+std::vector<Port> Parser::parse_port_clause() {
+  expect(Tok::kPort, "'port'");
+  expect(Tok::kLParen, "'('");
+  std::vector<Port> ports;
+  for (;;) {
+    std::vector<std::string> names;
+    names.push_back(expect_ident("port name"));
+    while (accept(Tok::kComma)) names.push_back(expect_ident("port name"));
+    expect(Tok::kColon, "':'");
+    PortDir dir = PortDir::kIn;
+    if (accept(Tok::kIn)) dir = PortDir::kIn;
+    else if (accept(Tok::kOut)) dir = PortDir::kOut;
+    else if (accept(Tok::kInout)) dir = PortDir::kInout;
+    const Type t = parse_type();
+    for (auto& n : names) ports.push_back({n, dir, t});
+    if (!accept(Tok::kSemi)) break;
+  }
+  expect(Tok::kRParen, "')'");
+  expect(Tok::kSemi, "';'");
+  return ports;
+}
+
+Type Parser::parse_type() {
+  Type t;
+  const std::string name = expect_ident("type name");
+  if (name == "std_logic" || name == "std_ulogic" || name == "bit") {
+    t.kind = TypeKind::kStdLogic;
+    return t;
+  }
+  if (name == "integer" || name == "natural" || name == "positive") {
+    t.kind = TypeKind::kInteger;
+    // optional range constraint: range a to b (ignored for storage)
+    if (check(Tok::kIdent) && cur().text == "range") {
+      advance();
+      parse_simple_expr();
+      if (!accept(Tok::kTo)) expect(Tok::kDownto, "'to' or 'downto'");
+      parse_simple_expr();
+    }
+    return t;
+  }
+  if (name == "boolean") {
+    t.kind = TypeKind::kBoolean;
+    return t;
+  }
+  if (name == "std_logic_vector" || name == "std_ulogic_vector" ||
+      name == "bit_vector" || name == "signed" || name == "unsigned") {
+    t.kind = TypeKind::kStdLogicVector;
+    expect(Tok::kLParen, "'('");
+    const Token& l = expect(Tok::kInt, "integer bound");
+    t.left = static_cast<int>(l.value);
+    if (accept(Tok::kDownto)) t.downto = true;
+    else {
+      expect(Tok::kTo, "'to' or 'downto'");
+      t.downto = false;
+    }
+    const Token& r = expect(Tok::kInt, "integer bound");
+    t.right = static_cast<int>(r.value);
+    expect(Tok::kRParen, "')'");
+    return t;
+  }
+  fail("unsupported type '" + name + "'");
+}
+
+std::vector<Decl> Parser::parse_object_decl(Tok kw) {
+  expect(kw, "declaration keyword");
+  std::vector<std::string> names;
+  names.push_back(expect_ident("name"));
+  while (accept(Tok::kComma)) names.push_back(expect_ident("name"));
+  expect(Tok::kColon, "':'");
+  const Type t = parse_type();
+  ExprPtr init;
+  if (accept(Tok::kAssignVar)) init = parse_expr();
+  expect(Tok::kSemi, "';'");
+  std::vector<Decl> decls;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    Decl d;
+    d.name = names[i];
+    d.type = t;
+    if (init)
+      d.init = i + 1 == names.size() ? std::move(init) : ast::clone(*init);
+    decls.push_back(std::move(d));
+  }
+  return decls;
+}
+
+// ------------------------------------------------------- architecture
+
+Architecture Parser::parse_architecture() {
+  Architecture a;
+  a.name = expect_ident("architecture name");
+  expect(Tok::kOf, "'of'");
+  a.entity = expect_ident("entity name");
+  expect(Tok::kIs, "'is'");
+  // declarative part
+  for (;;) {
+    if (check(Tok::kSignal)) {
+      auto ds = parse_object_decl(Tok::kSignal);
+      for (auto& d : ds) a.signals.push_back(std::move(d));
+    } else if (check(Tok::kComponent)) {
+      a.components.push_back(parse_component_decl());
+    } else if (check(Tok::kConstant)) {
+      auto ds = parse_object_decl(Tok::kConstant);
+      for (auto& d : ds) {
+        d.is_constant = true;
+        a.signals.push_back(std::move(d));
+      }
+    } else if (check(Tok::kType) || check(Tok::kUse)) {
+      while (!accept(Tok::kSemi)) advance();  // skip
+    } else {
+      break;
+    }
+  }
+  expect(Tok::kBegin, "'begin'");
+  ConcurrentRegion region{&a.processes, &a.assigns, &a.instances,
+                          &a.generates};
+  parse_concurrent_statements(region);
+  expect(Tok::kEnd, "'end'");
+  accept(Tok::kArchitecture);
+  if (check(Tok::kIdent)) advance();
+  expect(Tok::kSemi, "';'");
+  return a;
+}
+
+void Parser::parse_concurrent_statements(ConcurrentRegion& region) {
+  while (!check(Tok::kEnd)) {
+    std::string label;
+    if (check(Tok::kIdent) && peek().kind == Tok::kColon) {
+      label = advance().text;
+      advance();  // ':'
+    }
+    if (check(Tok::kProcess)) {
+      region.processes->push_back(parse_process(label));
+    } else if (check(Tok::kFor)) {
+      if (label.empty()) fail("generate statements require a label");
+      region.generates->push_back(parse_generate(label));
+    } else if (!label.empty() && check(Tok::kIdent) &&
+               peek().kind == Tok::kPort) {
+      // `label: comp port map (...)` -- component instantiation.
+      region.instances->push_back(parse_instance(label));
+    } else if (check(Tok::kIdent) &&
+               (peek().kind == Tok::kAssignSig ||
+                peek().kind == Tok::kLParen)) {
+      // concurrent assignment `y <= ...` / `y(i) <= ...`
+      const std::string target = advance().text;
+      region.assigns->push_back(parse_concurrent_assign(target));
+    } else {
+      fail("unexpected concurrent statement");
+    }
+  }
+}
+
+std::unique_ptr<GenerateStmt> Parser::parse_generate(std::string label) {
+  auto g = std::make_unique<GenerateStmt>();
+  g->label = std::move(label);
+  g->line = cur().line;
+  expect(Tok::kFor, "'for'");
+  g->var = expect_ident("generate variable");
+  expect(Tok::kIn, "'in'");
+  g->from = parse_simple_expr();
+  if (accept(Tok::kDownto)) g->reverse = true;
+  else expect(Tok::kTo, "'to' or 'downto'");
+  g->to = parse_simple_expr();
+  expect(Tok::kGenerate, "'generate'");
+  ConcurrentRegion region{&g->processes, &g->assigns, &g->instances,
+                          &g->generates};
+  parse_concurrent_statements(region);
+  expect(Tok::kEnd, "'end'");
+  expect(Tok::kGenerate, "'generate'");
+  if (check(Tok::kIdent)) advance();
+  expect(Tok::kSemi, "';'");
+  return g;
+}
+
+Entity Parser::parse_component_decl() {
+  expect(Tok::kComponent, "'component'");
+  Entity e;
+  e.name = expect_ident("component name");
+  accept(Tok::kIs);
+  if (check(Tok::kPort)) e.ports = parse_port_clause();
+  expect(Tok::kEnd, "'end'");
+  expect(Tok::kComponent, "'component'");
+  if (check(Tok::kIdent)) advance();
+  expect(Tok::kSemi, "';'");
+  return e;
+}
+
+Instance Parser::parse_instance(std::string label) {
+  Instance inst;
+  inst.label = std::move(label);
+  inst.line = cur().line;
+  inst.component = expect_ident("component name");
+  expect(Tok::kPort, "'port'");
+  expect(Tok::kMap, "'map'");
+  expect(Tok::kLParen, "'('");
+  bool named = false;
+  std::size_t positional = 0;
+  for (;;) {
+    if (check(Tok::kIdent) && peek().kind == Tok::kArrow) {
+      named = true;
+      std::string formal = advance().text;
+      advance();  // =>
+      std::string actual = expect_ident("actual signal");
+      inst.port_map.emplace_back(std::move(formal), std::move(actual));
+    } else {
+      if (named) fail("cannot mix positional and named association");
+      std::string actual = expect_ident("actual signal");
+      // formal resolved by position at elaboration; store index marker
+      inst.port_map.emplace_back("$" + std::to_string(positional++),
+                                 std::move(actual));
+    }
+    if (!accept(Tok::kComma)) break;
+  }
+  expect(Tok::kRParen, "')'");
+  expect(Tok::kSemi, "';'");
+  return inst;
+}
+
+ProcessStmt Parser::parse_process(std::string label) {
+  ProcessStmt p;
+  p.label = std::move(label);
+  p.line = cur().line;
+  expect(Tok::kProcess, "'process'");
+  if (accept(Tok::kLParen)) {
+    p.sensitivity.push_back(expect_ident("signal name"));
+    while (accept(Tok::kComma))
+      p.sensitivity.push_back(expect_ident("signal name"));
+    expect(Tok::kRParen, "')'");
+  }
+  accept(Tok::kIs);
+  while (check(Tok::kVariable)) {
+    auto ds = parse_object_decl(Tok::kVariable);
+    for (auto& d : ds) p.variables.push_back(std::move(d));
+  }
+  expect(Tok::kBegin, "'begin'");
+  p.body = parse_stmt_list({Tok::kEnd});
+  expect(Tok::kEnd, "'end'");
+  expect(Tok::kProcess, "'process'");
+  if (check(Tok::kIdent)) advance();
+  expect(Tok::kSemi, "';'");
+  return p;
+}
+
+ConcurrentAssign Parser::parse_concurrent_assign(std::string target) {
+  ConcurrentAssign ca;
+  ca.line = cur().line;
+  ca.target = std::move(target);
+  if (accept(Tok::kLParen)) {
+    ca.target_index = parse_expr();
+    expect(Tok::kRParen, "')'");
+  }
+  expect(Tok::kAssignSig, "'<='");
+  ca.transport = accept(Tok::kTransport);
+  for (;;) {
+    ConcurrentAssign::Arm arm;
+    arm.value = parse_expr();
+    if (accept(Tok::kAfter)) arm.after = parse_expr();
+    if (accept(Tok::kWhen)) {
+      arm.cond = parse_expr();
+      ca.arms.push_back(std::move(arm));
+      expect(Tok::kElse, "'else'");
+      continue;
+    }
+    ca.arms.push_back(std::move(arm));
+    break;
+  }
+  expect(Tok::kSemi, "';'");
+  return ca;
+}
+
+// --------------------------------------------------------- statements
+
+StmtList Parser::parse_stmt_list(std::initializer_list<Tok> terminators) {
+  StmtList list;
+  for (;;) {
+    for (Tok t : terminators)
+      if (check(t)) return list;
+    if (check(Tok::kElsif) || check(Tok::kElse) || check(Tok::kWhen))
+      return list;
+    list.push_back(parse_stmt());
+  }
+}
+
+StmtPtr Parser::parse_stmt() {
+  std::string label;
+  if (check(Tok::kIdent) && peek().kind == Tok::kColon) {
+    label = advance().text;
+    advance();
+  }
+  if (check(Tok::kIf)) return parse_if();
+  if (check(Tok::kCase)) return parse_case();
+  if (check(Tok::kFor)) return parse_for(label);
+  if (check(Tok::kWhile)) return parse_while(label);
+  if (check(Tok::kWait)) return parse_wait();
+  if (accept(Tok::kNull)) {
+    expect(Tok::kSemi, "';'");
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kNull;
+    return s;
+  }
+  if (accept(Tok::kReport)) {
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kReport;
+    s->line = cur().line;
+    s->message = expect(Tok::kStringLit, "report message").text;
+    if (accept(Tok::kSeverity)) expect_ident("severity level");
+    expect(Tok::kSemi, "';'");
+    return s;
+  }
+  return parse_assign_or_call();
+}
+
+StmtPtr Parser::parse_if() {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kIf;
+  s->line = cur().line;
+  expect(Tok::kIf, "'if'");
+  s->cond = parse_expr();
+  expect(Tok::kThen, "'then'");
+  s->then_body = parse_stmt_list({Tok::kEnd});
+  if (check(Tok::kElsif)) {
+    // Desugar: elsif chain -> nested if in the else branch.
+    advance();
+    pos_ -= 1;
+    toks_[pos_].kind = Tok::kIf;  // rewrite elsif as if and recurse
+    s->else_body.push_back(parse_if());
+    return s;  // nested parse consumed 'end if;'
+  }
+  if (accept(Tok::kElse)) s->else_body = parse_stmt_list({Tok::kEnd});
+  expect(Tok::kEnd, "'end'");
+  expect(Tok::kIf, "'if'");
+  expect(Tok::kSemi, "';'");
+  return s;
+}
+
+StmtPtr Parser::parse_case() {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kCase;
+  s->line = cur().line;
+  expect(Tok::kCase, "'case'");
+  s->selector = parse_expr();
+  expect(Tok::kIs, "'is'");
+  while (accept(Tok::kWhen)) {
+    CaseAlt alt;
+    if (accept(Tok::kOthers)) {
+      // empty choices = others
+    } else {
+      alt.choices.push_back(parse_expr());
+      while (accept(Tok::kOr)) {
+        // VHDL uses '|' for choice separation; our lexer has no '|', so we
+        // also accept 'or' -- and '|' is added below in the lexer someday.
+        alt.choices.push_back(parse_expr());
+      }
+    }
+    expect(Tok::kArrow, "'=>'");
+    alt.body = parse_stmt_list({Tok::kEnd});
+    s->alts.push_back(std::move(alt));
+  }
+  expect(Tok::kEnd, "'end'");
+  expect(Tok::kCase, "'case'");
+  expect(Tok::kSemi, "';'");
+  return s;
+}
+
+StmtPtr Parser::parse_for(std::string) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kForLoop;
+  s->line = cur().line;
+  expect(Tok::kFor, "'for'");
+  s->loop_var = expect_ident("loop variable");
+  expect(Tok::kIn, "'in'");
+  s->from = parse_simple_expr();
+  if (accept(Tok::kDownto)) s->reverse = true;
+  else expect(Tok::kTo, "'to' or 'downto'");
+  s->to = parse_simple_expr();
+  expect(Tok::kLoop, "'loop'");
+  s->body = parse_stmt_list({Tok::kEnd});
+  expect(Tok::kEnd, "'end'");
+  expect(Tok::kLoop, "'loop'");
+  expect(Tok::kSemi, "';'");
+  return s;
+}
+
+StmtPtr Parser::parse_while(std::string) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kWhileLoop;
+  s->line = cur().line;
+  expect(Tok::kWhile, "'while'");
+  s->cond = parse_expr();
+  expect(Tok::kLoop, "'loop'");
+  s->body = parse_stmt_list({Tok::kEnd});
+  expect(Tok::kEnd, "'end'");
+  expect(Tok::kLoop, "'loop'");
+  expect(Tok::kSemi, "';'");
+  return s;
+}
+
+StmtPtr Parser::parse_wait() {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kWait;
+  s->line = cur().line;
+  expect(Tok::kWait, "'wait'");
+  if (accept(Tok::kOn)) {
+    s->wait_on.push_back(expect_ident("signal name"));
+    while (accept(Tok::kComma))
+      s->wait_on.push_back(expect_ident("signal name"));
+  }
+  if (accept(Tok::kUntil)) s->cond = parse_expr();
+  if (accept(Tok::kFor)) s->wait_time = parse_expr();
+  expect(Tok::kSemi, "';'");
+  return s;
+}
+
+StmtPtr Parser::parse_assign_or_call() {
+  auto s = std::make_unique<Stmt>();
+  s->line = cur().line;
+  s->target = expect_ident("assignment target");
+  if (accept(Tok::kLParen)) {
+    s->target_index = parse_expr();
+    expect(Tok::kRParen, "')'");
+  }
+  if (accept(Tok::kAssignSig)) {
+    s->kind = StmtKind::kSignalAssign;
+    s->transport = accept(Tok::kTransport);
+    if (accept(Tok::kInertial)) { /* default */ }
+    s->value = parse_expr();
+    if (accept(Tok::kAfter)) s->after = parse_expr();
+  } else if (accept(Tok::kAssignVar)) {
+    s->kind = StmtKind::kVarAssign;
+    s->value = parse_expr();
+  } else {
+    fail("expected ':=' or '<='");
+  }
+  expect(Tok::kSemi, "';'");
+  return s;
+}
+
+// -------------------------------------------------------- expressions
+
+namespace {
+ExprPtr make_bin(BinOp op, ExprPtr l, ExprPtr r, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bin_op = op;
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  e->line = line;
+  return e;
+}
+}  // namespace
+
+ast::ExprPtr Parser::parse_expr() {
+  // logical operators (lowest precedence, non-associative mix rejected by
+  // keeping a single operator kind per chain, as VHDL requires)
+  ExprPtr lhs = parse_relation();
+  for (;;) {
+    BinOp op;
+    if (check(Tok::kAnd)) op = BinOp::kAnd;
+    else if (check(Tok::kOr)) op = BinOp::kOr;
+    else if (check(Tok::kNand)) op = BinOp::kNand;
+    else if (check(Tok::kNor)) op = BinOp::kNor;
+    else if (check(Tok::kXor)) op = BinOp::kXor;
+    else if (check(Tok::kXnor)) op = BinOp::kXnor;
+    else return lhs;
+    const int line = cur().line;
+    advance();
+    lhs = make_bin(op, std::move(lhs), parse_relation(), line);
+  }
+}
+
+ast::ExprPtr Parser::parse_relation() {
+  ExprPtr lhs = parse_simple_expr();
+  BinOp op;
+  if (check(Tok::kEq)) op = BinOp::kEq;
+  else if (check(Tok::kNeq)) op = BinOp::kNeq;
+  else if (check(Tok::kLt)) op = BinOp::kLt;
+  else if (check(Tok::kAssignSig)) op = BinOp::kLe;  // '<=' as relation
+  else if (check(Tok::kGt)) op = BinOp::kGt;
+  else if (check(Tok::kGe)) op = BinOp::kGe;
+  else return lhs;
+  const int line = cur().line;
+  advance();
+  return make_bin(op, std::move(lhs), parse_simple_expr(), line);
+}
+
+ast::ExprPtr Parser::parse_simple_expr() {
+  ExprPtr lhs;
+  if (accept(Tok::kMinus)) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kUnary;
+    e->un_op = UnOp::kMinus;
+    e->lhs = parse_term();
+    lhs = std::move(e);
+  } else {
+    accept(Tok::kPlus);
+    lhs = parse_term();
+  }
+  for (;;) {
+    BinOp op;
+    if (check(Tok::kPlus)) op = BinOp::kAdd;
+    else if (check(Tok::kMinus)) op = BinOp::kSub;
+    else if (check(Tok::kAmp)) op = BinOp::kConcat;
+    else return lhs;
+    const int line = cur().line;
+    advance();
+    lhs = make_bin(op, std::move(lhs), parse_term(), line);
+  }
+}
+
+ast::ExprPtr Parser::parse_term() {
+  ExprPtr lhs = parse_factor();
+  for (;;) {
+    BinOp op;
+    if (check(Tok::kStar)) op = BinOp::kMul;
+    else if (check(Tok::kSlash)) op = BinOp::kDiv;
+    else if (check(Tok::kMod)) op = BinOp::kMod;
+    else return lhs;
+    const int line = cur().line;
+    advance();
+    lhs = make_bin(op, std::move(lhs), parse_factor(), line);
+  }
+}
+
+ast::ExprPtr Parser::parse_factor() {
+  if (accept(Tok::kNot)) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kUnary;
+    e->un_op = UnOp::kNot;
+    e->line = cur().line;
+    e->lhs = parse_factor();
+    return e;
+  }
+  return parse_primary();
+}
+
+ast::ExprPtr Parser::parse_primary() {
+  auto e = std::make_unique<Expr>();
+  e->line = cur().line;
+  if (check(Tok::kCharLit)) {
+    e->kind = ExprKind::kCharLit;
+    e->char_lit = logic_from_char(advance().text[0]);
+    return e;
+  }
+  if (check(Tok::kStringLit)) {
+    e->kind = ExprKind::kStringLit;
+    e->string_lit = advance().text;
+    return e;
+  }
+  if (check(Tok::kInt)) {
+    e->kind = ExprKind::kIntLit;
+    e->int_lit = advance().value;
+    // Optional time unit (base: ns).
+    if (check(Tok::kIdent)) {
+      const std::string& u = cur().text;
+      if (u == "ns") { advance(); }
+      else if (u == "us") { e->int_lit *= 1000; advance(); }
+      else if (u == "ms") { e->int_lit *= 1000000; advance(); }
+      else if (u == "ps") {
+        fail("sub-ns time units are not supported (base unit is 1 ns)");
+      }
+    }
+    return e;
+  }
+  if (accept(Tok::kLParen)) {
+    ExprPtr inner = parse_expr();
+    expect(Tok::kRParen, "')'");
+    return inner;
+  }
+  if (check(Tok::kIdent)) {
+    std::string name = advance().text;
+    if (accept(Tok::kTick)) {
+      const std::string attr = expect_ident("attribute name");
+      if (attr != "event")
+        fail("unsupported attribute '" + attr + "' (only 'event)");
+      e->kind = ExprKind::kAttrEvent;
+      e->name = std::move(name);
+      return e;
+    }
+    if (accept(Tok::kLParen)) {
+      // call or indexed name
+      if (name == "rising_edge" || name == "falling_edge" ||
+          name == "to_integer" || name == "to_unsigned" ||
+          name == "to_stdlogicvector" || name == "std_logic_vector" ||
+          name == "unsigned") {
+        e->kind = ExprKind::kCall;
+        e->name = std::move(name);
+        e->lhs = parse_expr();
+        if (accept(Tok::kComma)) e->rhs = parse_expr();  // to_unsigned(x, n)
+        expect(Tok::kRParen, "')'");
+        return e;
+      }
+      e->kind = ExprKind::kIndex;
+      e->name = std::move(name);
+      e->rhs = parse_expr();
+      expect(Tok::kRParen, "')'");
+      return e;
+    }
+    e->kind = ExprKind::kName;
+    e->name = std::move(name);
+    return e;
+  }
+  fail("expected expression");
+}
+
+}  // namespace vsim::fe

@@ -1,0 +1,78 @@
+// Recursive-descent parser for the VHDL subset.
+#pragma once
+
+#include "frontend/ast.h"
+#include "frontend/lexer.h"
+
+namespace vsim::fe {
+
+/// Parses a complete design file (entities + architectures).
+/// Throws ParseError on invalid input.
+[[nodiscard]] ast::DesignFile parse(std::string_view source);
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  [[nodiscard]] ast::DesignFile parse_file();
+
+ private:
+  // token access
+  [[nodiscard]] const Token& cur() const { return toks_[pos_]; }
+  [[nodiscard]] const Token& peek(std::size_t off = 1) const {
+    return toks_[std::min(pos_ + off, toks_.size() - 1)];
+  }
+  const Token& advance() { return toks_[pos_++]; }
+  [[nodiscard]] bool check(Tok k) const { return cur().kind == k; }
+  bool accept(Tok k);
+  const Token& expect(Tok k, const char* what);
+  [[noreturn]] void fail(const std::string& msg) const;
+  std::string expect_ident(const char* what);
+
+  // design units
+  struct ConcurrentRegion {
+    std::vector<ast::ProcessStmt>* processes;
+    std::vector<ast::ConcurrentAssign>* assigns;
+    std::vector<ast::Instance>* instances;
+    std::vector<std::unique_ptr<ast::GenerateStmt>>* generates;
+  };
+  ast::Entity parse_entity_header();   // after 'entity' keyword
+  std::vector<ast::Port> parse_port_clause();
+  ast::Architecture parse_architecture();
+  void parse_concurrent_statements(ConcurrentRegion& region);
+  std::unique_ptr<ast::GenerateStmt> parse_generate(std::string label);
+  ast::Entity parse_component_decl();
+  ast::ProcessStmt parse_process(std::string label);
+  ast::ConcurrentAssign parse_concurrent_assign(std::string target);
+  ast::Instance parse_instance(std::string label);
+
+  // declarations
+  ast::Type parse_type();
+  std::vector<ast::Decl> parse_object_decl(Tok kw);  // signal / variable
+
+  // statements
+  ast::StmtList parse_stmt_list(std::initializer_list<Tok> terminators);
+  ast::StmtPtr parse_stmt();
+  ast::StmtPtr parse_if();
+  ast::StmtPtr parse_case();
+  ast::StmtPtr parse_for(std::string label);
+  ast::StmtPtr parse_while(std::string label);
+  ast::StmtPtr parse_wait();
+  ast::StmtPtr parse_assign_or_call();
+
+  // expressions (precedence climbing)
+  ast::ExprPtr parse_expr();
+  ast::ExprPtr parse_relation();
+  ast::ExprPtr parse_simple_expr();
+  ast::ExprPtr parse_term();
+  ast::ExprPtr parse_factor();
+  ast::ExprPtr parse_primary();
+
+  /// Parses `<int> [ns|ps|us|ms]` into base time units (ns).
+  PhysTime parse_time(const ast::Expr& e) const;
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace vsim::fe

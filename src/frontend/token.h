@@ -1,0 +1,41 @@
+// Tokens of the VHDL subset accepted by the frontend.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vsim::fe {
+
+enum class Tok : std::uint8_t {
+  kEof,
+  kIdent,
+  kInt,          // decimal literal
+  kCharLit,      // '0', '1', 'Z', ...
+  kStringLit,    // "0101"
+  // punctuation
+  kLParen, kRParen, kComma, kSemi, kColon, kDot, kAmp, kTick,
+  kAssignVar,    // :=
+  kAssignSig,    // <=  (also less-equal; parser disambiguates)
+  kArrow,        // =>
+  kEq, kNeq, kLt, kGt, kGe,  // = /= < > >=
+  kPlus, kMinus, kStar, kSlash,
+  // keywords
+  kAbs, kAfter, kAll, kAnd, kArchitecture, kBegin, kCase, kComponent,
+  kConstant, kDownto, kElse, kElsif, kEnd, kEntity, kExit, kFor, kGenerate,
+  kIf, kIn, kInertial, kIs, kLibrary, kLoop, kMap, kMod, kNand, kNor, kNot,
+  kNull, kOf, kOn, kOr, kOthers, kOut, kInout, kPort, kProcess, kRem, kReport,
+  kSeverity, kSignal, kThen, kTo, kTransport, kType, kUntil, kUse,
+  kVariable, kWait, kWhen, kWhile, kXnor, kXor,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;     // identifier (lower-cased), literal text
+  std::int64_t value = 0;  // for kInt
+  int line = 0;
+  int col = 0;
+};
+
+[[nodiscard]] const char* tok_name(Tok t);
+
+}  // namespace vsim::fe

@@ -1,0 +1,69 @@
+#include "partition/partition.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace vsim::partition {
+
+pdes::Partition round_robin(std::size_t n_lps, std::size_t n_workers) {
+  pdes::Partition p(n_lps);
+  for (std::size_t i = 0; i < n_lps; ++i)
+    p[i] = static_cast<std::uint32_t>(i % n_workers);
+  return p;
+}
+
+pdes::Partition blocks(std::size_t n_lps, std::size_t n_workers) {
+  pdes::Partition p(n_lps);
+  const std::size_t per = (n_lps + n_workers - 1) / n_workers;
+  for (std::size_t i = 0; i < n_lps; ++i)
+    p[i] = static_cast<std::uint32_t>(std::min(i / per, n_workers - 1));
+  return p;
+}
+
+pdes::Partition bipartite_bfs(const pdes::LpGraph& graph,
+                              std::size_t n_workers) {
+  const std::size_t n = graph.size();
+  std::vector<pdes::LpId> order;
+  order.reserve(n);
+  std::vector<bool> seen(n, false);
+  for (pdes::LpId start = 0; start < n; ++start) {
+    if (seen[start]) continue;
+    std::queue<pdes::LpId> q;
+    q.push(start);
+    seen[start] = true;
+    while (!q.empty()) {
+      const pdes::LpId u = q.front();
+      q.pop();
+      order.push_back(u);
+      for (pdes::LpId v : graph.fan_out(u)) {
+        if (!seen[v]) {
+          seen[v] = true;
+          q.push(v);
+        }
+      }
+      for (pdes::LpId v : graph.fan_in(u)) {
+        if (!seen[v]) {
+          seen[v] = true;
+          q.push(v);
+        }
+      }
+    }
+  }
+  pdes::Partition p(n);
+  const std::size_t per = (n + n_workers - 1) / n_workers;
+  for (std::size_t i = 0; i < n; ++i)
+    p[order[i]] = static_cast<std::uint32_t>(std::min(i / per, n_workers - 1));
+  return p;
+}
+
+std::size_t cut_size(const pdes::LpGraph& graph, const pdes::Partition& part) {
+  std::size_t cut = 0;
+  for (pdes::LpId u = 0; u < graph.size(); ++u) {
+    for (pdes::LpId v : graph.fan_out(u)) {
+      if (part[u] != part[v]) ++cut;
+    }
+  }
+  return cut;
+}
+
+}  // namespace vsim::partition

@@ -1,0 +1,31 @@
+// LP -> worker assignment.
+//
+// The paper used a naive partitioning (equal number of LPs per processor)
+// and notes that the bipartite process/signal topology admits better
+// locality-aware schemes ("Remarks", Sec. 3.4).  Both are provided.
+#pragma once
+
+#include "pdes/graph.h"
+#include "pdes/machine.h"  // Partition
+
+namespace vsim::partition {
+
+/// The paper's naive scheme: LP i goes to worker i % n_workers.
+[[nodiscard]] pdes::Partition round_robin(std::size_t n_lps,
+                                          std::size_t n_workers);
+
+/// Contiguous blocks of LP ids (equal counts, preserves builder locality).
+[[nodiscard]] pdes::Partition blocks(std::size_t n_lps,
+                                     std::size_t n_workers);
+
+/// Bipartite-aware scheme: orders LPs by BFS over the undirected channel
+/// graph (keeping each signal near its processes), then cuts the order into
+/// equal chunks.  Reduces cross-worker messages on circuit-shaped graphs.
+[[nodiscard]] pdes::Partition bipartite_bfs(const pdes::LpGraph& graph,
+                                            std::size_t n_workers);
+
+/// Number of channel edges crossing worker boundaries (quality metric).
+[[nodiscard]] std::size_t cut_size(const pdes::LpGraph& graph,
+                                   const pdes::Partition& part);
+
+}  // namespace vsim::partition

@@ -1,0 +1,56 @@
+// Self-adaptation policy (the paper's dynamic configuration) and the
+// initial-mode assignment for the four global configurations.
+#pragma once
+
+#include "pdes/config.h"
+#include "pdes/lp_runtime.h"
+
+namespace vsim::pdes {
+
+/// Initial synchronisation mode of `lp` under global configuration `c`.
+inline SyncMode initial_mode(Configuration c, const LogicalProcess& lp) {
+  switch (c) {
+    case Configuration::kAllOptimistic:
+      return SyncMode::kOptimistic;
+    case Configuration::kAllConservative:
+      return SyncMode::kConservative;
+    case Configuration::kMixed:
+      return lp.sync_hint() ? SyncMode::kConservative : SyncMode::kOptimistic;
+    case Configuration::kDynamic:
+      // Optimism is generally suitable for digital simulation (Sec. 4);
+      // rollback-prone LPs demote themselves at GVT rounds.
+      return SyncMode::kOptimistic;
+  }
+  return SyncMode::kConservative;
+}
+
+/// Evaluated per LP at every GVT round when the configuration is kDynamic:
+/// optimistic LPs with a high rollback rate turn conservative; starving
+/// conservative LPs with a clean recent record turn optimistic.
+inline void adapt_lp(LpRuntime& rt, const AdaptPolicy& p) {
+  const std::uint64_t events = rt.window_events();
+  const std::uint64_t rollbacks = rt.window_rollbacks();
+  if (rt.mode() == SyncMode::kOptimistic) {
+    if (events >= p.min_window_events &&
+        static_cast<double>(rollbacks) >
+            p.rollback_rate_high * static_cast<double>(events)) {
+      rt.set_mode(SyncMode::kConservative);
+    } else if (rt.window_memory_stalls() >= p.min_window_events) {
+      // Persistent far-ahead LPs (clocks, stimuli) exhaust Time Warp
+      // memory; they are exactly the "very persistent" synchronous
+      // components the paper runs conservatively.  Pinned: re-promoting
+      // them would just oscillate between stall and demotion.
+      rt.pin_conservative();
+    }
+  } else {
+    if (!rt.pinned_conservative() &&
+        rt.window_blocked() >= p.min_window_events &&
+        static_cast<double>(rollbacks) <=
+            p.rollback_rate_low * static_cast<double>(events + 1)) {
+      rt.set_mode(SyncMode::kOptimistic);
+    }
+  }
+  rt.reset_window();
+}
+
+}  // namespace vsim::pdes

@@ -1,0 +1,31 @@
+#include "pdes/config.h"
+
+namespace vsim::pdes {
+
+const char* to_string(Configuration c) {
+  switch (c) {
+    case Configuration::kAllOptimistic: return "optimistic";
+    case Configuration::kAllConservative: return "conservative";
+    case Configuration::kMixed: return "mixed";
+    case Configuration::kDynamic: return "dynamic";
+  }
+  return "?";
+}
+
+const char* to_string(OrderingMode m) {
+  switch (m) {
+    case OrderingMode::kArbitrary: return "arbitrary";
+    case OrderingMode::kUserConsistent: return "user-consistent";
+  }
+  return "?";
+}
+
+const char* to_string(ConservativeStrategy s) {
+  switch (s) {
+    case ConservativeStrategy::kGlobalSync: return "global-sync";
+    case ConservativeStrategy::kNullMessage: return "null-message";
+  }
+  return "?";
+}
+
+}  // namespace vsim::pdes

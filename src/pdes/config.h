@@ -1,0 +1,100 @@
+// Run-time configuration of the PDES engines.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/virtual_time.h"
+
+namespace vsim::pdes {
+
+/// Synchronisation mode of an individual LP.
+enum class SyncMode : std::uint8_t {
+  kConservative,  ///< process only provably safe events; never rolls back
+  kOptimistic,    ///< Time Warp: process eagerly, roll back on stragglers
+};
+
+/// How simultaneous (equal virtual-time) events are treated (Sec. 2.1).
+enum class OrderingMode : std::uint8_t {
+  /// Equal-timestamp events may be processed in any order.  Correct for the
+  /// distributed VHDL cycle thanks to the (pt, lt) phase encoding; this is
+  /// the paper's contribution and the default.
+  kArbitrary,
+  /// All events with the same timestamp must be collected before any is
+  /// processed: conservative LPs need strictly greater channel clocks
+  /// (=> null messages + positive lookahead, else deadlock) and optimistic
+  /// LPs roll back even on equal-timestamp arrivals.
+  kUserConsistent,
+};
+
+/// How conservative LPs establish safety.
+enum class ConservativeStrategy : std::uint8_t {
+  /// Lookahead-free: an event is safe iff its timestamp is <= the global
+  /// bound computed at synchronisation rounds (GVT).  This is the paper's
+  /// strategy: blocking with global deadlock recovery, no null messages.
+  kGlobalSync,
+  /// Chandy-Misra-Bryant channel clocks advanced by null messages carrying
+  /// per-LP static lookahead (used for the Fig. 4 comparison).
+  kNullMessage,
+};
+
+/// How rollbacks cancel previously sent messages.
+enum class CancellationPolicy : std::uint8_t {
+  /// Send anti-messages immediately during rollback (classic Time Warp).
+  kAggressive,
+  /// Hold anti-messages back; if re-execution regenerates a message with
+  /// identical content, suppress both the anti-message and the resend
+  /// (rollback waves stop where recomputation converges).  An event's
+  /// undecided sends are settled the moment it is re-executed or
+  /// annihilated, so no cancellation can ever drop below GVT.
+  kLazy,
+};
+
+/// Global mode presets matching the paper's four configurations.
+enum class Configuration : std::uint8_t {
+  kAllOptimistic,
+  kAllConservative,
+  kMixed,    ///< builder-supplied hint: synchronous LPs conservative, rest optimistic
+  kDynamic,  ///< lookahead-free self-adaptive (the paper's best performer)
+};
+
+const char* to_string(Configuration c);
+const char* to_string(OrderingMode m);
+const char* to_string(ConservativeStrategy s);
+
+/// Parameters of the self-adaptation policy (evaluated per LP at GVT rounds).
+struct AdaptPolicy {
+  /// Rollbacks per processed event above which an optimistic LP turns
+  /// conservative.
+  double rollback_rate_high = 0.25;
+  /// Rollback rate below which a blocked conservative LP turns optimistic.
+  double rollback_rate_low = 0.05;
+  /// Minimum events observed in a window before a switch is considered.
+  std::uint32_t min_window_events = 8;
+};
+
+struct RunConfig {
+  std::size_t num_workers = 1;
+  Configuration configuration = Configuration::kDynamic;
+  OrderingMode ordering = OrderingMode::kArbitrary;
+  ConservativeStrategy strategy = ConservativeStrategy::kGlobalSync;
+  CancellationPolicy cancellation = CancellationPolicy::kAggressive;
+  /// Use LogicalProcess::lookahead() for null messages (Fig. 4 "la" column).
+  bool use_lookahead = false;
+  /// Events processed per worker between GVT rounds (optimistic workers);
+  /// conservative workers trigger rounds when blocked.
+  std::uint32_t gvt_interval = 64;
+  /// Simulate until this physical time (inclusive); events beyond it are
+  /// left unprocessed.
+  PhysTime until = std::numeric_limits<PhysTime>::max();
+  /// Cap on per-LP saved history entries; 0 = unlimited.  When the cap is
+  /// hit, the LP stalls until fossil collection (models memory pressure).
+  std::size_t max_history = 0;
+  AdaptPolicy adapt;
+  /// Abort threshold for the deadlock detector: a deadlock is declared
+  /// when a synchronisation round cannot advance the safe bound and no LP
+  /// processed an event since the previous round this many times in a row.
+  std::uint32_t deadlock_rounds = 3;
+};
+
+}  // namespace vsim::pdes

@@ -1,0 +1,50 @@
+// Timestamped events exchanged between logical processes.
+#pragma once
+
+#include <cstdint>
+
+#include "common/logic.h"
+#include "common/virtual_time.h"
+
+namespace vsim::pdes {
+
+/// Identifies a logical process within one simulation.
+using LpId = std::uint32_t;
+inline constexpr LpId kInvalidLp = static_cast<LpId>(-1);
+
+/// Globally unique id of a *send*; anti-messages carry the uid of the
+/// positive message they cancel.  Encoded as (source LP << 24 | sequence),
+/// sequence counters are per-LP and never roll back.
+using EventUid = std::uint64_t;
+
+/// Application payload.  The PDES layer treats it as opaque data; the VHDL
+/// kernel uses `port` for driver/port indices, `scalar` for delays and
+/// wait-epoch guards, and `bits` for signal values.
+struct Payload {
+  std::int32_t port = -1;
+  std::int64_t scalar = 0;
+  LogicVector bits;
+};
+
+struct Event {
+  VirtualTime ts;
+  LpId src = kInvalidLp;
+  LpId dst = kInvalidLp;
+  EventUid uid = 0;
+  std::int16_t kind = 0;      ///< application-defined discriminator
+  bool negative = false;      ///< anti-message (Time Warp cancellation)
+  Payload payload;
+};
+
+/// Strict weak order used by pending queues: primary key is the virtual
+/// time; uid breaks ties deterministically (the protocol is free to process
+/// equal-timestamp events in arbitrary order -- see DESIGN.md -- but a
+/// deterministic container order keeps runs reproducible).
+struct EventOrder {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    return a.uid < b.uid;
+  }
+};
+
+}  // namespace vsim::pdes

@@ -1,0 +1,77 @@
+// Ownership container for the LP graph: the logical processes plus the
+// static channel topology (needed by the null-message strategy and by the
+// bipartite-aware partitioner).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "pdes/lp.h"
+
+namespace vsim::pdes {
+
+class LpGraph {
+ public:
+  /// Takes ownership; returns the assigned LP id.
+  LpId add(std::unique_ptr<LogicalProcess> lp);
+
+  /// Declares a static channel src -> dst.  Channels are required for the
+  /// null-message conservative strategy (channel clocks) and are used by
+  /// partitioners; the global-synchronisation strategies work without them.
+  void add_channel(LpId src, LpId dst);
+
+  [[nodiscard]] std::size_t size() const { return lps_.size(); }
+  [[nodiscard]] LogicalProcess& lp(LpId id) { return *lps_[id]; }
+  [[nodiscard]] const LogicalProcess& lp(LpId id) const { return *lps_[id]; }
+
+  [[nodiscard]] const std::vector<LpId>& fan_out(LpId id) const {
+    return out_[id];
+  }
+  [[nodiscard]] const std::vector<LpId>& fan_in(LpId id) const {
+    return in_[id];
+  }
+
+  /// Seeds an event delivered before the simulation starts (e.g. the
+  /// initial execution of every VHDL process at time zero).
+  void post_initial(LpId dst, VirtualTime ts, std::int16_t kind,
+                    Payload payload = {});
+  [[nodiscard]] const std::vector<Event>& initial_events() const {
+    return initial_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<LogicalProcess>> lps_;
+  std::vector<std::vector<LpId>> out_;
+  std::vector<std::vector<LpId>> in_;
+  std::vector<Event> initial_;
+};
+
+inline LpId LpGraph::add(std::unique_ptr<LogicalProcess> lp) {
+  const LpId id = static_cast<LpId>(lps_.size());
+  lp->id_ = id;
+  lps_.push_back(std::move(lp));
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+inline void LpGraph::add_channel(LpId src, LpId dst) {
+  out_[src].push_back(dst);
+  in_[dst].push_back(src);
+}
+
+inline void LpGraph::post_initial(LpId dst, VirtualTime ts, std::int16_t kind,
+                                  Payload payload) {
+  Event ev;
+  ev.ts = ts;
+  ev.src = kInvalidLp;
+  ev.dst = dst;
+  // Initial events never need anti-message matching; give them uids in a
+  // reserved range that keeps container ordering deterministic.
+  ev.uid = initial_.size();
+  ev.kind = kind;
+  ev.payload = std::move(payload);
+  initial_.push_back(std::move(ev));
+}
+
+}  // namespace vsim::pdes

@@ -1,0 +1,83 @@
+// Logical process (LP) abstraction.
+//
+// An LP owns private state and a simulate() function called once per input
+// event.  Output events are emitted through the SimContext.  LPs that support
+// optimistic execution must provide state snapshots for rollback.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "pdes/event.h"
+
+namespace vsim::pdes {
+
+/// Opaque snapshot of an LP's state, produced by save_state() and consumed
+/// by restore_state().  Concrete LPs define their own derived type.
+class LpState {
+ public:
+  virtual ~LpState() = default;
+};
+
+/// Interface through which simulate() emits events and inspects time.
+class SimContext {
+ public:
+  virtual ~SimContext() = default;
+
+  /// Sends `kind`/`payload` to `dst` at virtual time `ts`.
+  /// Requires ts >= now(); self-sends additionally require ts > now().
+  virtual void send(LpId dst, VirtualTime ts, std::int16_t kind,
+                    Payload payload) = 0;
+
+  [[nodiscard]] virtual VirtualTime now() const = 0;
+  [[nodiscard]] virtual LpId self() const = 0;
+};
+
+class LogicalProcess {
+ public:
+  explicit LogicalProcess(std::string name) : name_(std::move(name)) {}
+  virtual ~LogicalProcess() = default;
+
+  LogicalProcess(const LogicalProcess&) = delete;
+  LogicalProcess& operator=(const LogicalProcess&) = delete;
+
+  /// Processes one input event: reads/updates internal state and emits
+  /// output events via `ctx`.  Must be deterministic in (state, event).
+  virtual void simulate(const Event& ev, SimContext& ctx) = 0;
+
+  /// Snapshot / restore for Time Warp.  LPs that return false from
+  /// can_save_state() are pinned to conservative mode (the paper's
+  /// "heavy-state processes cannot save their state").
+  [[nodiscard]] virtual std::unique_ptr<LpState> save_state() const = 0;
+  virtual void restore_state(const LpState& s) = 0;
+  [[nodiscard]] virtual bool can_save_state() const { return true; }
+
+  /// Cost of processing `ev` in abstract work units; drives the machine
+  /// model used for speedup studies (see pdes/machine.h).
+  [[nodiscard]] virtual double event_cost(const Event& ev) const {
+    (void)ev;
+    return 1.0;
+  }
+
+  /// Static lookahead in physical time: a promise that any output event's
+  /// pt exceeds the input's by at least this much.  Only used by the
+  /// null-message conservative strategy; 0 means "no lookahead".
+  [[nodiscard]] virtual PhysTime lookahead() const { return 0; }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] LpId id() const { return id_; }
+
+  /// Builder-supplied hint for the paper's mixed configuration: synchronous
+  /// components (clocks, registers) run conservatively, asynchronous
+  /// data-flow logic optimistically.
+  void set_sync_hint(bool synchronous) { sync_hint_ = synchronous; }
+  [[nodiscard]] bool sync_hint() const { return sync_hint_; }
+
+ private:
+  friend class LpGraph;
+  std::string name_;
+  LpId id_ = kInvalidLp;
+  bool sync_hint_ = false;
+};
+
+}  // namespace vsim::pdes

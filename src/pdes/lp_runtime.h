@@ -1,0 +1,209 @@
+// Per-LP protocol state machine shared by all engines.
+//
+// An LpRuntime wraps one LogicalProcess with everything the synchronisation
+// protocols need: the pending event queue, the processed-event history with
+// state snapshots (Time Warp), anti-message bookkeeping, channel clocks for
+// the null-message strategy, and the arbitrary/user-consistent ordering
+// rules for simultaneous events.
+//
+// Engines (sequential, machine model, threaded) drive LpRuntimes through a
+// small interface: enqueue() delivers messages (possibly triggering
+// rollback), peek() asks whether the minimal pending event may be processed
+// under the current safety information, process_next() executes it, and
+// fossil_collect() commits and frees history below GVT.
+#pragma once
+
+#include <cassert>
+#include <deque>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "pdes/config.h"
+#include "pdes/lp.h"
+#include "pdes/stats.h"
+
+namespace vsim::pdes {
+
+/// Reserved event kind for null messages (Chandy-Misra-Bryant promises).
+inline constexpr std::int16_t kNullMsgKind =
+    std::numeric_limits<std::int16_t>::min();
+
+/// Engine-provided delivery and commit callbacks.  route() must deliver the
+/// event to the destination LP's runtime (directly or via a mailbox);
+/// commit() is invoked exactly once per committed event, in per-LP
+/// timestamp order (used by trace monitors).
+class Router {
+ public:
+  virtual ~Router() = default;
+  virtual void route(Event&& ev) = 0;
+  virtual void commit(const Event& ev) { (void)ev; }
+};
+
+enum class Eligibility : std::uint8_t {
+  kIdle,     ///< no pending event within the horizon
+  kReady,    ///< minimal pending event may be processed now
+  kBlocked,  ///< pending work exists but is not yet safe / memory-stalled
+};
+
+class LpRuntime {
+ public:
+  LpRuntime(LogicalProcess* lp, OrderingMode ordering,
+            ConservativeStrategy strategy, SyncMode initial_mode,
+            std::size_t max_history, bool use_lookahead = false,
+            CancellationPolicy cancellation = CancellationPolicy::kAggressive)
+      : lp_(lp),
+        ordering_(ordering),
+        strategy_(strategy),
+        mode_(lp->can_save_state() ? initial_mode : SyncMode::kConservative),
+        max_history_(max_history),
+        use_lookahead_(use_lookahead),
+        lazy_(cancellation == CancellationPolicy::kLazy) {}
+
+  LpRuntime(const LpRuntime&) = delete;
+  LpRuntime& operator=(const LpRuntime&) = delete;
+  LpRuntime(LpRuntime&&) = default;
+  LpRuntime& operator=(LpRuntime&&) = default;
+
+  [[nodiscard]] LogicalProcess& lp() { return *lp_; }
+  [[nodiscard]] LpId id() const { return lp_->id(); }
+  [[nodiscard]] SyncMode mode() const { return mode_; }
+  [[nodiscard]] LpStats& stats() { return stats_; }
+  [[nodiscard]] const LpStats& stats() const { return stats_; }
+
+  /// Switches synchronisation mode.  Safe at any point: history drains via
+  /// fossil collection; events processed conservatively were already safe.
+  void set_mode(SyncMode m);
+
+  /// Pins the LP to conservative mode (used when Time Warp memory pressure
+  /// demotes a persistent far-ahead LP; re-promotion would oscillate).
+  void pin_conservative() {
+    pinned_conservative_ = true;
+    set_mode(SyncMode::kConservative);
+  }
+  [[nodiscard]] bool pinned_conservative() const {
+    return pinned_conservative_;
+  }
+
+  /// Registers an input channel (null-message strategy only).
+  void add_input_channel(LpId src);
+
+  /// Delivers a message.  Negative events annihilate or roll back; positive
+  /// stragglers roll back optimistic LPs.  Null messages advance clocks.
+  void enqueue(Event ev, Router& router);
+
+  /// Timestamp of the minimal pending event (kTimeInf if none).
+  [[nodiscard]] VirtualTime next_ts() const;
+
+  /// May the minimal pending event be processed, given the engine's global
+  /// safe bound (events with ts <= bound are guaranteed final under the
+  /// arbitrary ordering)?
+  [[nodiscard]] Eligibility peek(VirtualTime global_safe_bound,
+                                 PhysTime until) const;
+
+  /// Processes the minimal pending event.  Precondition: peek() == kReady.
+  /// Returns the work cost of the event (for the machine model).
+  double process_next(Router& router);
+
+  /// Commits and frees history strictly below `gvt`; invokes
+  /// router.commit() for every committed event in timestamp order.
+  void fossil_collect(VirtualTime gvt, Router& router);
+
+  /// Lower bound (exclusive) on this LP's future output timestamps, for
+  /// null messages: no event with ts < null_promise() will ever be sent.
+  [[nodiscard]] VirtualTime null_promise() const;
+
+  /// Rollbacks since the last adaptation window reset, and window control.
+  [[nodiscard]] std::uint64_t window_rollbacks() const {
+    return window_rollbacks_;
+  }
+  [[nodiscard]] std::uint64_t window_events() const { return window_events_; }
+  [[nodiscard]] std::uint64_t window_blocked() const {
+    return window_blocked_;
+  }
+  void reset_window();
+  void note_blocked() {
+    ++stats_.blocked_polls;
+    if (mode_ == SyncMode::kOptimistic && max_history_ != 0 &&
+        history_.size() >= max_history_) {
+      ++window_memory_stalls_;  // Time Warp memory exhaustion, not safety
+    } else {
+      ++window_blocked_;
+    }
+  }
+  [[nodiscard]] std::uint64_t window_memory_stalls() const {
+    return window_memory_stalls_;
+  }
+
+  [[nodiscard]] std::size_t history_size() const { return history_.size(); }
+  [[nodiscard]] bool has_pending() const { return !pending_.empty(); }
+
+ private:
+  struct SentRecord {
+    Event ev;  ///< positive copy of what was sent
+  };
+  struct Processed {
+    Event ev;
+    std::unique_ptr<LpState> pre_state;  ///< state before ev (optimistic)
+    std::vector<SentRecord> sends;
+  };
+  /// Lazy cancellation: a send whose fate is undecided after a rollback.
+  /// `gen_uid` is the input event that produced it; the entry is settled
+  /// when that event is re-executed (matched -> suppressed, unmatched ->
+  /// anti-message) or annihilated (anti-message).
+  struct LazyEntry {
+    EventUid gen_uid;
+    Event ev;
+  };
+
+  class CollectContext;  // SimContext capturing sends during simulate()
+
+  /// Undoes history entries [pos, end): re-pends their events, sends
+  /// anti-messages for their sends, restores the pre-state of entry `pos`.
+  void rollback_to_position(std::size_t pos, Router& router);
+
+  /// Straggler rollback: undoes every processed event whose timestamp is
+  /// > ts (arbitrary ordering) or >= ts (user-consistent ordering).
+  void rollback_for_straggler(VirtualTime ts, Router& router);
+
+  /// Lazy cancellation: sends anti-messages for every still-undecided send
+  /// generated by input event `gen_uid` (called when that event is
+  /// re-executed without regenerating them, or is annihilated).
+  void settle_lazy(EventUid gen_uid, Router& router);
+
+  [[nodiscard]] VirtualTime last_processed_ts() const {
+    return history_.empty() ? committed_ts_ : history_.back().ev.ts;
+  }
+
+  [[nodiscard]] VirtualTime min_channel_clock() const;
+
+  LogicalProcess* lp_;
+  OrderingMode ordering_;
+  ConservativeStrategy strategy_;
+  SyncMode mode_;
+  std::size_t max_history_;
+  bool use_lookahead_;
+  bool lazy_ = false;
+  bool pinned_conservative_ = false;
+  std::vector<LazyEntry> lazy_queue_;
+
+  std::set<Event, EventOrder> pending_;
+  std::deque<Processed> history_;
+  /// Negatives that arrived before their positives (transient reordering).
+  std::set<EventUid> pending_negatives_;
+  /// Highest committed timestamp (fossil-collected or conservative).
+  VirtualTime committed_ts_ = kTimeZero;
+
+  /// Null-message strategy: per-input-channel clocks (exclusive bounds).
+  std::unordered_map<LpId, VirtualTime> in_clocks_;
+
+  EventUid send_seq_ = 0;
+  LpStats stats_;
+  std::uint64_t window_rollbacks_ = 0;
+  std::uint64_t window_events_ = 0;
+  std::uint64_t window_blocked_ = 0;
+  std::uint64_t window_memory_stalls_ = 0;
+};
+
+}  // namespace vsim::pdes

@@ -1,0 +1,287 @@
+#include "pdes/machine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vsim::pdes {
+
+// Routes messages between modelled workers, charging costs to the sender's
+// virtual clock.  Local deliveries happen immediately; remote deliveries go
+// through the destination worker's mailbox with a latency.
+class MachineEngine::MachineRouter final : public Router {
+ public:
+  explicit MachineRouter(MachineEngine& eng) : eng_(eng) {}
+
+  void route(Event&& ev) override {
+    const std::uint32_t owner = eng_.partition_[ev.dst];
+    Worker& from = eng_.workers_[eng_.current_worker_];
+    if (owner == eng_.current_worker_) {
+      from.clock += eng_.costs_.msg_local;
+      ++from.stats.messages_sent_local;
+      eng_.deliver(from, std::move(ev));
+    } else {
+      from.clock += ev.kind == kNullMsgKind ? eng_.costs_.null_msg
+                                            : eng_.costs_.msg_remote_send;
+      if (ev.kind == kNullMsgKind) ++from.stats.null_messages;
+      else ++from.stats.messages_sent_remote;
+      eng_.workers_[owner].mailbox.push(
+          {from.clock + eng_.costs_.msg_latency, ++eng_.arrival_seq_,
+           std::move(ev)});
+    }
+  }
+
+  void commit(const Event& ev) override {
+    if (eng_.hook_) eng_.hook_(ev);
+  }
+
+ private:
+  MachineEngine& eng_;
+};
+
+MachineEngine::MachineEngine(LpGraph& graph, Partition partition,
+                             RunConfig config, MachineCosts costs)
+    : graph_(graph),
+      partition_(std::move(partition)),
+      config_(config),
+      costs_(costs) {
+  assert(partition_.size() == graph_.size());
+  lps_.reserve(graph_.size());
+  key_.assign(graph_.size(), kTimeInf);
+  last_promise_.assign(graph_.size(), kTimeZero);
+  workers_.resize(config_.num_workers);
+  for (LpId id = 0; id < graph_.size(); ++id) {
+    lps_.emplace_back(&graph_.lp(id), config_.ordering, config_.strategy,
+                      initial_mode(config_.configuration, graph_.lp(id)),
+                      config_.max_history, config_.use_lookahead,
+                      config_.cancellation);
+    if (config_.strategy == ConservativeStrategy::kNullMessage) {
+      for (LpId src : graph_.fan_in(id)) lps_[id].add_input_channel(src);
+    }
+    const std::uint32_t w = partition_[id];
+    assert(w < workers_.size());
+    workers_[w].owned.push_back(id);
+    workers_[w].ready.insert({kTimeInf, id});
+  }
+}
+
+void MachineEngine::refresh_key(LpId lp) {
+  Worker& w = workers_[partition_[lp]];
+  const VirtualTime k = lps_[lp].next_ts();
+  if (k == key_[lp]) return;
+  w.ready.erase({key_[lp], lp});
+  key_[lp] = k;
+  w.ready.insert({k, lp});
+}
+
+void MachineEngine::deliver(Worker& w, Event ev) {
+  w.stats.busy_cost += costs_.recv_cost;
+  const LpId dst = ev.dst;
+  const bool is_null = ev.kind == kNullMsgKind;
+  MachineRouter router(*this);
+  lps_[dst].enqueue(std::move(ev), router);
+  refresh_key(dst);
+  // A null message can raise this LP's own promise; propagate downstream.
+  if (is_null && config_.strategy == ConservativeStrategy::kNullMessage)
+    send_null_messages_for(dst);
+}
+
+void MachineEngine::send_null_messages_for(LpId lp) {
+  const VirtualTime promise = lps_[lp].null_promise();
+  if (!(promise > last_promise_[lp])) return;
+  last_promise_[lp] = promise;
+  MachineRouter router(*this);
+  const std::size_t saved = current_worker_;
+  current_worker_ = partition_[lp];
+  for (LpId dst : graph_.fan_out(lp)) {
+    Event n;
+    n.ts = promise;
+    n.src = lp;
+    n.dst = dst;
+    n.kind = kNullMsgKind;
+    router.route(std::move(n));
+  }
+  current_worker_ = saved;
+}
+
+bool MachineEngine::step(std::size_t wi) {
+  current_worker_ = wi;
+  Worker& w = workers_[wi];
+
+  // Deliver all messages that have arrived by now.
+  bool delivered = false;
+  while (!w.mailbox.empty() && w.mailbox.top().when <= w.clock) {
+    Event ev = w.mailbox.top().ev;
+    w.mailbox.pop();
+    w.clock += costs_.recv_cost;
+    deliver(w, std::move(ev));
+    delivered = true;
+  }
+
+  // Pick the lowest-timestamp eligible LP.  Copy the entry out of the
+  // iterator: processing can route messages back to this very LP (e.g. an
+  // anti-message cascade), whose refresh_key() would invalidate the node
+  // a structured-binding reference points into.
+  for (auto it = w.ready.begin(); it != w.ready.end(); ++it) {
+    const VirtualTime ts = it->first;
+    const LpId lp = it->second;
+    if (ts == kTimeInf) break;
+    if (ts.pt > config_.until) break;  // later keys are even larger
+    const Eligibility e = lps_[lp].peek(safe_bound_, config_.until);
+    if (e == Eligibility::kBlocked) {
+      lps_[lp].note_blocked();
+      continue;
+    }
+    if (e == Eligibility::kIdle) continue;
+    // Process one event.
+    MachineRouter router(*this);
+    const bool optimistic = lps_[lp].mode() == SyncMode::kOptimistic;
+    const double cost = lps_[lp].process_next(router);
+    w.clock += cost + (optimistic ? costs_.state_save : 0.0);
+    w.stats.busy_cost += cost;
+    ++w.stats.events;
+    ++w.events_since_round;
+    refresh_key(lp);
+    if (config_.strategy == ConservativeStrategy::kNullMessage)
+      send_null_messages_for(lp);
+    return true;
+  }
+  if (delivered) return true;
+
+  // Nothing eligible: advance to the next mailbox arrival if any.
+  if (!w.mailbox.empty()) {
+    w.clock = std::max(w.clock, w.mailbox.top().when);
+    return true;
+  }
+  return false;  // stalled until the next synchronisation round
+}
+
+VirtualTime MachineEngine::sync_round() {
+  ++gvt_rounds_;
+  // Flush the network: drain every mailbox (and any anti-message cascades
+  // triggered by the drained stragglers) before reading clocks.
+  double max_arrival = 0.0;
+  bool any = true;
+  while (any) {
+    any = false;
+    for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+      current_worker_ = wi;
+      Worker& w = workers_[wi];
+      while (!w.mailbox.empty()) {
+        max_arrival = std::max(max_arrival, w.mailbox.top().when);
+        Event ev = w.mailbox.top().ev;
+        w.mailbox.pop();
+        deliver(w, std::move(ev));
+        any = true;
+      }
+    }
+  }
+
+  double round_clock = max_arrival;
+  for (const Worker& w : workers_) round_clock = std::max(round_clock, w.clock);
+  round_clock += costs_.gvt_cost;
+  for (Worker& w : workers_) {
+    w.clock = round_clock;
+    w.events_since_round = 0;
+  }
+
+  VirtualTime gvt = kTimeInf;
+  for (const VirtualTime& k : key_) gvt = std::min(gvt, k);
+
+  MachineRouter router(*this);
+  for (LpId id = 0; id < lps_.size(); ++id) {
+    current_worker_ = partition_[id];
+    lps_[id].fossil_collect(gvt, router);
+    if (config_.configuration == Configuration::kDynamic)
+      adapt_lp(lps_[id], config_.adapt);
+    else
+      lps_[id].reset_window();
+    if (config_.strategy == ConservativeStrategy::kNullMessage)
+      send_null_messages_for(id);
+  }
+  safe_bound_ = gvt;
+  return gvt;
+}
+
+RunStats MachineEngine::run() {
+  // Seed initial events (free: part of model construction, not simulation).
+  for (const Event& ev : graph_.initial_events()) {
+    current_worker_ = partition_[ev.dst];
+    Event copy = ev;
+    MachineRouter router(*this);
+    lps_[ev.dst].enqueue(std::move(copy), router);
+    refresh_key(ev.dst);
+  }
+
+  VirtualTime gvt = sync_round();
+  VirtualTime last_gvt = gvt;
+  std::uint64_t last_total_events = 0;
+  std::uint32_t stall_rounds = 0;
+
+  while (gvt != kTimeInf && gvt.pt <= config_.until && !deadlocked_) {
+    // Run workers, lowest virtual clock first, until a round is due.
+    bool round_due = false;
+    while (!round_due) {
+      for (const Worker& w : workers_) {
+        if (w.events_since_round >= config_.gvt_interval) {
+          round_due = true;
+          break;
+        }
+      }
+      if (round_due) break;
+
+      // Try workers in virtual-clock order until one advances.
+      bool progressed = false;
+      std::vector<std::size_t> order(workers_.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return workers_[a].clock < workers_[b].clock;
+      });
+      for (std::size_t wi : order) {
+        if (step(wi)) {
+          progressed = true;
+          break;
+        }
+      }
+      if (!progressed) {
+        round_due = true;  // everyone stalled: synchronise
+      }
+    }
+
+    gvt = sync_round();
+
+    std::uint64_t total_events = 0;
+    for (const Worker& w : workers_) total_events += w.stats.events;
+    if (gvt == last_gvt && total_events == last_total_events &&
+        gvt != kTimeInf && gvt.pt <= config_.until) {
+      if (++stall_rounds >= config_.deadlock_rounds) deadlocked_ = true;
+    } else {
+      stall_rounds = 0;
+    }
+    last_gvt = gvt;
+    last_total_events = total_events;
+  }
+
+  // Commit everything that was processed.
+  MachineRouter router(*this);
+  for (LpId id = 0; id < lps_.size(); ++id) {
+    current_worker_ = partition_[id];
+    lps_[id].fossil_collect(kTimeInf, router);
+  }
+
+  RunStats out;
+  out.per_lp.reserve(lps_.size());
+  for (const LpRuntime& rt : lps_) out.per_lp.push_back(rt.stats());
+  out.per_worker.reserve(workers_.size());
+  double makespan = 0.0;
+  for (Worker& w : workers_) {
+    w.stats.final_clock = w.clock;
+    makespan = std::max(makespan, w.clock);
+    out.per_worker.push_back(w.stats);
+  }
+  out.gvt_rounds = gvt_rounds_;
+  out.deadlocked = deadlocked_;
+  out.makespan = makespan;
+  return out;
+}
+
+}  // namespace vsim::pdes

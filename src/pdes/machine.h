@@ -1,0 +1,115 @@
+// Deterministic machine-model engine.
+//
+// Simulates the *parallel simulator itself*: P virtual workers, each with a
+// virtual wall clock, exchanging messages with configurable latencies and
+// synchronising at GVT rounds.  Every protocol action (event execution,
+// state saving, rollback, anti-messages, null messages, barriers) is charged
+// to the owning worker's clock; the run's makespan is the maximum final
+// clock, and speedup(P) = sequential cost / makespan.
+//
+// Rationale (see DESIGN.md): the paper measured wall-clock speedups on a
+// 16-processor SGI Challenge.  This container has a single core, where
+// wall-clock measurements of a threaded run would reflect scheduler noise
+// rather than algorithmic parallelism.  The machine model executes the
+// identical protocol logic (same LpRuntime code as the threaded engine) and
+// measures the critical path deterministically, which preserves the *shape*
+// of the paper's figures: who wins, how close to linear, and where the
+// configurations diverge.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "pdes/adaptive.h"
+#include "pdes/config.h"
+#include "pdes/graph.h"
+#include "pdes/lp_runtime.h"
+#include "pdes/stats.h"
+
+namespace vsim::pdes {
+
+/// Work-unit costs of the modelled machine.  The absolute values are
+/// arbitrary; ratios are chosen so that protocol overheads are visible but
+/// do not dominate (comparable to per-event costs measured on 1990s
+/// shared-memory multiprocessors).
+struct MachineCosts {
+  double state_save = 0.4;       ///< Time Warp snapshot, per event
+  double rollback_fixed = 1.0;   ///< per rollback occurrence
+  double undo_per_event = 0.6;   ///< per undone event (incl. anti-message)
+  double msg_local = 0.05;       ///< send to an LP on the same worker
+  double msg_remote_send = 0.3;  ///< sender-side cost of a remote send
+  double msg_latency = 2.0;      ///< delay until a remote message arrives
+  double recv_cost = 0.05;       ///< receiver-side handling per message
+  double null_msg = 0.15;        ///< per null message (sender side)
+  double gvt_cost = 4.0;         ///< per worker per synchronisation round
+};
+
+/// Maps each LP to a worker; produced by the partition module.
+using Partition = std::vector<std::uint32_t>;
+
+class MachineEngine {
+ public:
+  using CommitHook = std::function<void(const Event&)>;
+
+  MachineEngine(LpGraph& graph, Partition partition, RunConfig config,
+                MachineCosts costs = {});
+
+  void set_commit_hook(CommitHook hook) { hook_ = std::move(hook); }
+
+  /// Runs to completion (or deadlock); returns statistics incl. makespan.
+  RunStats run();
+
+ private:
+  struct Arrival {
+    double when;
+    std::uint64_t seq;
+    Event ev;
+    friend bool operator>(const Arrival& a, const Arrival& b) {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct Worker {
+    double clock = 0.0;
+    std::vector<LpId> owned;
+    /// Owned LPs keyed by their minimal pending timestamp.
+    std::set<std::pair<VirtualTime, LpId>> ready;
+    std::priority_queue<Arrival, std::vector<Arrival>, std::greater<>> mailbox;
+    std::uint64_t events_since_round = 0;
+    WorkerStats stats;
+  };
+
+  class MachineRouter;
+
+  void deliver(Worker& w, Event ev);
+  void refresh_key(LpId lp);
+  /// One scheduling turn for worker `w`: deliver due messages, then process
+  /// the first eligible event.  Returns false if the worker cannot advance
+  /// without a synchronisation round.
+  bool step(std::size_t w);
+  /// Global synchronisation: barrier, drain, compute GVT, fossil collect,
+  /// adapt modes, emit null promises.  Returns the new GVT.
+  VirtualTime sync_round();
+  /// Emits null messages to `lp`'s fan-out if its promise increased.
+  void send_null_messages_for(LpId lp);
+
+  LpGraph& graph_;
+  Partition partition_;
+  RunConfig config_;
+  MachineCosts costs_;
+  CommitHook hook_;
+
+  std::vector<LpRuntime> lps_;
+  std::vector<VirtualTime> key_;  ///< cached ready-set key per LP
+  std::vector<Worker> workers_;
+  std::vector<VirtualTime> last_promise_;  ///< last null promise per LP
+  VirtualTime safe_bound_ = kTimeZero;
+  std::uint64_t arrival_seq_ = 0;
+  std::uint64_t gvt_rounds_ = 0;
+  bool deadlocked_ = false;
+  std::size_t current_worker_ = 0;
+};
+
+}  // namespace vsim::pdes

@@ -1,0 +1,65 @@
+#include "pdes/sequential.h"
+
+#include <cassert>
+
+namespace vsim::pdes {
+namespace {
+
+class SeqContext final : public SimContext {
+ public:
+  SeqContext(std::set<Event, EventOrder>& queue, VirtualTime now, LpId self,
+             EventUid& seq)
+      : queue_(queue), now_(now), self_(self), seq_(seq) {}
+
+  void send(LpId dst, VirtualTime ts, std::int16_t kind,
+            Payload payload) override {
+    assert(ts >= now_);
+    assert(dst != self_ || ts > now_);
+    Event ev;
+    ev.ts = ts;
+    ev.src = self_;
+    ev.dst = dst;
+    ev.uid = (static_cast<EventUid>(self_) << 40) | (++seq_);
+    ev.kind = kind;
+    ev.payload = std::move(payload);
+    queue_.insert(std::move(ev));
+  }
+
+  [[nodiscard]] VirtualTime now() const override { return now_; }
+  [[nodiscard]] LpId self() const override { return self_; }
+
+ private:
+  std::set<Event, EventOrder>& queue_;
+  VirtualTime now_;
+  LpId self_;
+  EventUid& seq_;
+};
+
+}  // namespace
+
+void SequentialEngine::post(Event ev) { queue_.insert(std::move(ev)); }
+
+SequentialEngine::Result SequentialEngine::run(PhysTime until) {
+  Result result;
+  result.stats.per_lp.resize(graph_.size());
+  for (const Event& ev : graph_.initial_events()) queue_.insert(ev);
+
+  while (!queue_.empty()) {
+    Event ev = *queue_.begin();
+    if (ev.ts.pt > until) break;
+    queue_.erase(queue_.begin());
+
+    LogicalProcess& lp = graph_.lp(ev.dst);
+    SeqContext ctx(queue_, ev.ts, ev.dst, seq_);
+    result.total_cost += lp.event_cost(ev);
+    lp.simulate(ev, ctx);
+
+    auto& s = result.stats.per_lp[ev.dst];
+    ++s.events_processed;
+    ++s.events_committed;
+    if (hook_) hook_(ev);
+  }
+  return result;
+}
+
+}  // namespace vsim::pdes

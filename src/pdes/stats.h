@@ -1,0 +1,67 @@
+// Per-LP, per-worker and global statistics collected by all engines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vsim::pdes {
+
+struct LpStats {
+  std::uint64_t events_processed = 0;  ///< includes re-executions
+  std::uint64_t events_committed = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t events_undone = 0;
+  std::uint64_t anti_messages_sent = 0;
+  std::uint64_t annihilations = 0;
+  std::uint64_t lazy_reuses = 0;   ///< re-sends suppressed by lazy matching
+  std::uint64_t lazy_cancels = 0;  ///< lazy entries settled as anti-messages
+  std::uint64_t state_saves = 0;
+  std::size_t max_history = 0;   ///< peak saved-history length (memory proxy)
+  std::uint64_t mode_switches = 0;
+  std::uint64_t blocked_polls = 0;  ///< times the LP had work but it was unsafe
+};
+
+struct WorkerStats {
+  double busy_cost = 0.0;      ///< accumulated useful + wasted work units
+  double final_clock = 0.0;    ///< machine model: worker's final virtual clock
+  std::uint64_t events = 0;
+  std::uint64_t messages_sent_remote = 0;
+  std::uint64_t messages_sent_local = 0;
+  std::uint64_t null_messages = 0;
+};
+
+struct RunStats {
+  std::vector<LpStats> per_lp;
+  std::vector<WorkerStats> per_worker;
+  std::uint64_t gvt_rounds = 0;
+  bool deadlocked = false;
+  double makespan = 0.0;  ///< machine model: max worker clock at termination
+
+  [[nodiscard]] std::uint64_t total_events() const {
+    std::uint64_t n = 0;
+    for (const auto& s : per_lp) n += s.events_processed;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_committed() const {
+    std::uint64_t n = 0;
+    for (const auto& s : per_lp) n += s.events_committed;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_rollbacks() const {
+    std::uint64_t n = 0;
+    for (const auto& s : per_lp) n += s.rollbacks;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_null_messages() const {
+    std::uint64_t n = 0;
+    for (const auto& s : per_worker) n += s.null_messages;
+    return n;
+  }
+  [[nodiscard]] std::size_t peak_history() const {
+    std::size_t n = 0;
+    for (const auto& s : per_lp) n += s.max_history;
+    return n;
+  }
+};
+
+}  // namespace vsim::pdes

@@ -1,0 +1,280 @@
+#include "pdes/threaded.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <thread>
+
+namespace vsim::pdes {
+
+// Reusable cyclic barrier (std::barrier lacks a default constructor and we
+// want a stable address across rounds).
+class RoundBarrier {
+ public:
+  explicit RoundBarrier(std::size_t n) : n_(n) {}
+
+  void arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(m_);
+    const std::uint64_t gen = gen_;
+    if (++count_ == n_) {
+      count_ = 0;
+      ++gen_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return gen_ != gen; });
+    }
+  }
+
+ private:
+  std::size_t n_;
+  std::size_t count_ = 0;
+  std::uint64_t gen_ = 0;
+  std::mutex m_;
+  std::condition_variable cv_;
+};
+
+class ThreadedEngine::ThreadedRouter final : public Router {
+ public:
+  ThreadedRouter(ThreadedEngine& eng, std::size_t wi) : eng_(eng), wi_(wi) {}
+
+  void route(Event&& ev) override {
+    const std::uint32_t owner = eng_.partition_[ev.dst];
+    Worker& from = *eng_.workers_[wi_];
+    if (owner == wi_) {
+      ++from.stats.messages_sent_local;
+      eng_.deliver(wi_, std::move(ev));
+    } else {
+      if (ev.kind == kNullMsgKind) ++from.stats.null_messages;
+      else ++from.stats.messages_sent_remote;
+      Mailbox& mb = eng_.workers_[owner]->mailbox;
+      std::lock_guard<std::mutex> lock(mb.m);
+      mb.q.push_back(std::move(ev));
+    }
+  }
+
+  void commit(const Event& ev) override {
+    if (eng_.hook_) eng_.hook_(ev);
+  }
+
+ private:
+  ThreadedEngine& eng_;
+  std::size_t wi_;
+};
+
+ThreadedEngine::ThreadedEngine(LpGraph& graph, Partition partition,
+                               RunConfig config)
+    : graph_(graph), partition_(std::move(partition)), config_(config) {
+  assert(partition_.size() == graph_.size());
+  lps_.reserve(graph_.size());
+  key_.assign(graph_.size(), kTimeInf);
+  last_promise_.assign(graph_.size(), kTimeZero);
+  workers_.reserve(config_.num_workers);
+  for (std::size_t i = 0; i < config_.num_workers; ++i)
+    workers_.push_back(std::make_unique<Worker>());
+  for (LpId id = 0; id < graph_.size(); ++id) {
+    lps_.emplace_back(&graph_.lp(id), config_.ordering, config_.strategy,
+                      initial_mode(config_.configuration, graph_.lp(id)),
+                      config_.max_history, config_.use_lookahead,
+                      config_.cancellation);
+    if (config_.strategy == ConservativeStrategy::kNullMessage) {
+      for (LpId src : graph_.fan_in(id)) lps_[id].add_input_channel(src);
+    }
+    const std::uint32_t w = partition_[id];
+    assert(w < workers_.size());
+    workers_[w]->owned.push_back(id);
+    workers_[w]->ready.insert({kTimeInf, id});
+  }
+  barrier_ = std::make_unique<RoundBarrier>(config_.num_workers);
+}
+
+ThreadedEngine::~ThreadedEngine() = default;
+
+void ThreadedEngine::refresh_key(std::size_t wi, LpId lp) {
+  Worker& w = *workers_[wi];
+  const VirtualTime k = lps_[lp].next_ts();
+  if (k == key_[lp]) return;
+  w.ready.erase({key_[lp], lp});
+  key_[lp] = k;
+  w.ready.insert({k, lp});
+}
+
+void ThreadedEngine::deliver(std::size_t wi, Event ev) {
+  const LpId dst = ev.dst;
+  assert(partition_[dst] == wi);
+  const bool is_null = ev.kind == kNullMsgKind;
+  ThreadedRouter router(*this, wi);
+  lps_[dst].enqueue(std::move(ev), router);
+  refresh_key(wi, dst);
+  if (is_null && config_.strategy == ConservativeStrategy::kNullMessage)
+    send_null_messages_for(wi, dst);
+}
+
+void ThreadedEngine::send_null_messages_for(std::size_t wi, LpId lp) {
+  const VirtualTime promise = lps_[lp].null_promise();
+  if (!(promise > last_promise_[lp])) return;
+  last_promise_[lp] = promise;
+  ThreadedRouter router(*this, wi);
+  for (LpId dst : graph_.fan_out(lp)) {
+    Event n;
+    n.ts = promise;
+    n.src = lp;
+    n.dst = dst;
+    n.kind = kNullMsgKind;
+    router.route(std::move(n));
+  }
+}
+
+std::size_t ThreadedEngine::drain_own_mailbox(std::size_t wi) {
+  Worker& w = *workers_[wi];
+  std::vector<Event> batch;
+  {
+    std::lock_guard<std::mutex> lock(w.mailbox.m);
+    batch.swap(w.mailbox.q);
+  }
+  for (Event& ev : batch) deliver(wi, std::move(ev));
+  return batch.size();
+}
+
+bool ThreadedEngine::try_process_one(std::size_t wi) {
+  Worker& w = *workers_[wi];
+  // Copy entries out of the iterator: processing can route messages back
+  // to this very LP, whose refresh_key() would invalidate the node.
+  for (auto it = w.ready.begin(); it != w.ready.end(); ++it) {
+    const VirtualTime ts = it->first;
+    const LpId lp = it->second;
+    if (ts == kTimeInf) break;
+    if (ts.pt > config_.until) break;
+    const Eligibility e = lps_[lp].peek(safe_bound_, config_.until);
+    if (e == Eligibility::kBlocked) {
+      lps_[lp].note_blocked();
+      continue;
+    }
+    if (e == Eligibility::kIdle) continue;
+    ThreadedRouter router(*this, wi);
+    const double cost = lps_[lp].process_next(router);
+    w.stats.busy_cost += cost;
+    ++w.stats.events;
+    ++w.events_since_round;
+    refresh_key(wi, lp);
+    if (config_.strategy == ConservativeStrategy::kNullMessage)
+      send_null_messages_for(wi, lp);
+    return true;
+  }
+  return false;
+}
+
+void ThreadedEngine::worker_main(std::size_t wi) {
+  Worker& w = *workers_[wi];
+  std::uint32_t idle_spins = 0;
+
+  while (!done_.load(std::memory_order_acquire)) {
+    if (!round_requested_.load(std::memory_order_acquire)) {
+      const bool got_mail = drain_own_mailbox(wi) > 0;
+      const bool processed = try_process_one(wi);
+      if (processed || got_mail) {
+        idle_spins = 0;
+      } else if (++idle_spins > 16) {
+        round_requested_.store(true, std::memory_order_release);
+      } else {
+        std::this_thread::yield();
+      }
+      if (w.events_since_round >= config_.gvt_interval)
+        round_requested_.store(true, std::memory_order_release);
+      continue;
+    }
+
+    // ---- Synchronisation round ----
+    idle_spins = 0;
+    barrier_->arrive_and_wait();  // everyone stops sending new work
+    // Drain the network to a fixed point (anti-message cascades included).
+    // Three barriers per pass: reset -> add -> read, so that no worker can
+    // observe the next pass's reset while another still reads this pass.
+    for (;;) {
+      if (wi == 0) drained_in_pass_.store(0, std::memory_order_relaxed);
+      barrier_->arrive_and_wait();
+      const std::size_t n = drain_own_mailbox(wi);
+      drained_in_pass_.fetch_add(n, std::memory_order_relaxed);
+      barrier_->arrive_and_wait();
+      const bool empty =
+          drained_in_pass_.load(std::memory_order_relaxed) == 0;
+      barrier_->arrive_and_wait();
+      if (empty) break;
+    }
+    // Local minimum over owned LPs.
+    VirtualTime local_min = kTimeInf;
+    if (!w.ready.empty()) local_min = w.ready.begin()->first;
+    {
+      std::lock_guard<std::mutex> lock(gvt_mutex_);
+      gvt_candidate_ = std::min(gvt_candidate_, local_min);
+    }
+    barrier_->arrive_and_wait();
+    if (wi == 0) {
+      ++gvt_rounds_;
+      const VirtualTime gvt = gvt_candidate_;
+      gvt_candidate_ = kTimeInf;
+      safe_bound_ = gvt;
+      std::uint64_t total_events = 0;
+      for (const auto& worker : workers_) total_events += worker->stats.events;
+      if (gvt == kTimeInf || gvt.pt > config_.until) {
+        done_.store(true, std::memory_order_release);
+      } else if (gvt == last_gvt_ && total_events == last_total_events_) {
+        if (++stall_rounds_ >= config_.deadlock_rounds) {
+          deadlocked_ = true;
+          done_.store(true, std::memory_order_release);
+        }
+      } else {
+        stall_rounds_ = 0;
+      }
+      last_gvt_ = gvt;
+      last_total_events_ = total_events;
+      round_requested_.store(false, std::memory_order_release);
+    }
+    barrier_->arrive_and_wait();
+    // Fossil collect and adapt under the new GVT.
+    const VirtualTime gvt = safe_bound_;
+    ThreadedRouter router(*this, wi);
+    for (LpId lp : w.owned) {
+      lps_[lp].fossil_collect(done_ ? kTimeInf : gvt, router);
+      if (config_.configuration == Configuration::kDynamic)
+        adapt_lp(lps_[lp], config_.adapt);
+      else
+        lps_[lp].reset_window();
+      if (config_.strategy == ConservativeStrategy::kNullMessage)
+        send_null_messages_for(wi, lp);
+    }
+    w.events_since_round = 0;
+    barrier_->arrive_and_wait();
+  }
+
+  // Final commit of any remaining history.
+  ThreadedRouter router(*this, wi);
+  for (LpId lp : w.owned) lps_[lp].fossil_collect(kTimeInf, router);
+}
+
+RunStats ThreadedEngine::run() {
+  for (const Event& ev : graph_.initial_events()) {
+    const std::size_t wi = partition_[ev.dst];
+    Event copy = ev;
+    ThreadedRouter router(*this, wi);
+    lps_[ev.dst].enqueue(std::move(copy), router);
+    refresh_key(wi, ev.dst);
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(config_.num_workers);
+  for (std::size_t wi = 0; wi < config_.num_workers; ++wi)
+    threads.emplace_back([this, wi] { worker_main(wi); });
+  for (std::thread& t : threads) t.join();
+
+  RunStats out;
+  out.per_lp.reserve(lps_.size());
+  for (const LpRuntime& rt : lps_) out.per_lp.push_back(rt.stats());
+  out.per_worker.reserve(workers_.size());
+  for (const auto& w : workers_) out.per_worker.push_back(w->stats);
+  out.gvt_rounds = gvt_rounds_;
+  out.deadlocked = deadlocked_;
+  return out;
+}
+
+}  // namespace vsim::pdes

@@ -1,0 +1,88 @@
+// Real multi-threaded engine.
+//
+// One std::thread per worker; mailboxes (mutex-protected queues) stand in
+// for the MPI / TCP-socket transport of the original implementation.  GVT
+// uses barrier rounds with full network draining, which is exact in shared
+// memory: between the first and last barrier of a round no worker sends, so
+// the drained state contains every in-flight message.
+//
+// This engine is the production runtime on real multiprocessors; the
+// machine-model engine (machine.h) executes the same LpRuntime protocol
+// deterministically for speedup studies on this single-core container.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "pdes/adaptive.h"
+#include "pdes/config.h"
+#include "pdes/graph.h"
+#include "pdes/lp_runtime.h"
+#include "pdes/machine.h"  // Partition
+#include "pdes/stats.h"
+
+namespace vsim::pdes {
+
+class ThreadedEngine {
+ public:
+  /// Invoked once per committed event.  May be called concurrently from
+  /// different workers, but calls for any single LP are ordered.
+  using CommitHook = std::function<void(const Event&)>;
+
+  ThreadedEngine(LpGraph& graph, Partition partition, RunConfig config);
+  ~ThreadedEngine();  // out-of-line: RoundBarrier is an incomplete type here
+
+  void set_commit_hook(CommitHook hook) { hook_ = std::move(hook); }
+
+  RunStats run();
+
+ private:
+  struct Mailbox {
+    std::mutex m;
+    std::vector<Event> q;
+  };
+  struct Worker {
+    std::vector<LpId> owned;
+    std::set<std::pair<VirtualTime, LpId>> ready;
+    Mailbox mailbox;
+    std::uint64_t events_since_round = 0;
+    WorkerStats stats;
+  };
+  class ThreadedRouter;
+
+  void worker_main(std::size_t wi);
+  void deliver(std::size_t wi, Event ev);
+  void refresh_key(std::size_t wi, LpId lp);
+  bool try_process_one(std::size_t wi);
+  std::size_t drain_own_mailbox(std::size_t wi);
+  void send_null_messages_for(std::size_t wi, LpId lp);
+
+  LpGraph& graph_;
+  Partition partition_;
+  RunConfig config_;
+  CommitHook hook_;
+
+  std::vector<LpRuntime> lps_;
+  std::vector<VirtualTime> key_;
+  std::vector<VirtualTime> last_promise_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  // Round coordination.
+  std::atomic<bool> round_requested_{false};
+  std::atomic<bool> done_{false};
+  std::atomic<std::uint64_t> drained_in_pass_{0};
+  std::mutex gvt_mutex_;
+  VirtualTime gvt_candidate_ = kTimeInf;
+  VirtualTime safe_bound_ = kTimeZero;  // written by one thread inside barriers
+  VirtualTime last_gvt_ = kTimeZero;
+  std::uint64_t last_total_events_ = 0;
+  std::uint32_t stall_rounds_ = 0;
+  std::uint64_t gvt_rounds_ = 0;
+  bool deadlocked_ = false;
+
+  std::unique_ptr<class RoundBarrier> barrier_;
+};
+
+}  // namespace vsim::pdes

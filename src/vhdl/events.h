@@ -1,0 +1,35 @@
+// Event kinds of the distributed VHDL simulation cycle (DATE 2000, Fig. 3).
+//
+// Phase discipline (lt mod 3): process Execute and signal Assign run at
+// phase 0, driver updates at phase 1, resolution/effective broadcast and
+// process Update at phase 2.  All cross-LP sends either keep the timestamp
+// (Execute -> Assign, Effective -> Update) or advance it; all self-sends
+// strictly advance it, so the LP graph has no zero-delay cycles at a single
+// virtual time.
+#pragma once
+
+#include <cstdint>
+
+namespace vsim::vhdl {
+
+enum EventKind : std::int16_t {
+  // process -> signal: a new transaction for one driver.
+  // payload: port = driver index, scalar = delay (pt units), bits = value.
+  kAssignInertial = 1,
+  kAssignTransport = 2,
+  // signal self: apply matured transactions to driving values.
+  kDriving = 3,
+  // signal self: apply the resolution function and broadcast.
+  kEffective = 4,
+  // signal -> process: new effective value.
+  // payload: port = process input port, bits = value.
+  kUpdate = 5,
+  // process self: resume the sequential body.  scalar = wait epoch.
+  kExecute = 6,
+  // process self: wait-for timeout.  scalar = wait epoch.
+  kTimeout = 7,
+  // initial execution of every process at time (0,0).
+  kInit = 8,
+};
+
+}  // namespace vsim::vhdl

@@ -1,0 +1,76 @@
+#include "vhdl/kernel.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace vsim::vhdl {
+
+SignalId Design::add_signal(const std::string& name, LogicVector initial) {
+  auto lp = std::make_unique<SignalLp>(name, std::move(initial));
+  SignalLp* raw = lp.get();
+  graph_.add(std::move(lp));
+  signals_.push_back(raw);
+  const SignalId id = static_cast<SignalId>(signals_.size()) - 1;
+  signal_names_.emplace(name, id);
+  return id;
+}
+
+ProcessId Design::add_process(const std::string& name,
+                              std::unique_ptr<ProcessBody> body) {
+  auto lp = std::make_unique<ProcessLp>(name, std::move(body));
+  ProcessLp* raw = lp.get();
+  graph_.add(std::move(lp));
+  processes_.push_back(raw);
+  return static_cast<ProcessId>(processes_.size()) - 1;
+}
+
+int Design::connect_in(ProcessId proc, SignalId sig) {
+  assert(!finalized_);
+  ProcessLp& p = *processes_[proc];
+  SignalLp& s = *signals_[sig];
+  const int port = p.add_input(s.initial_value());
+  s.add_reader(p.id(), port);
+  return port;
+}
+
+int Design::connect_out(ProcessId proc, SignalId sig) {
+  assert(!finalized_);
+  ProcessLp& p = *processes_[proc];
+  SignalLp& s = *signals_[sig];
+  const int driver = s.add_driver();
+  return p.add_output(s.id(), driver);
+}
+
+void Design::set_sync_hint(ProcessId proc, bool synchronous) {
+  processes_[proc]->set_sync_hint(synchronous);
+}
+
+void Design::set_signal_sync_hint(SignalId sig, bool synchronous) {
+  signals_[sig]->set_sync_hint(synchronous);
+}
+
+SignalId Design::find_signal(const std::string& name) const {
+  auto it = signal_names_.find(name);
+  if (it == signal_names_.end())
+    throw std::out_of_range("no such signal: " + name);
+  return it->second;
+}
+
+void Design::finalize() {
+  assert(!finalized_);
+  finalized_ = true;
+  // Channel topology: signal -> each reader, process -> each driven signal.
+  for (SignalLp* s : signals_) {
+    for (const auto& [proc, port] : s->readers())
+      graph_.add_channel(s->id(), proc);
+  }
+  for (ProcessLp* p : processes_) {
+    for (const auto& [sig, driver] : p->outputs())
+      graph_.add_channel(p->id(), sig);
+  }
+  // Every process executes once at time zero.
+  for (ProcessLp* p : processes_)
+    graph_.post_initial(p->id(), kTimeZero, kInit);
+}
+
+}  // namespace vsim::vhdl

@@ -1,0 +1,79 @@
+// Post-elaboration design builder: signals + processes -> LP graph.
+//
+// After elaboration a VHDL design is a flat bipartite graph of processes
+// interconnected by signals.  Design wraps an LpGraph and offers the wiring
+// API the circuit generators and the frontend elaborator use: declare
+// signals, attach process bodies, and connect ports.  finalize() posts the
+// initial execution of every process at time (0,0) and registers the
+// channel topology for partitioners and the null-message strategy.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pdes/graph.h"
+#include "vhdl/process_lp.h"
+#include "vhdl/signal_lp.h"
+
+namespace vsim::vhdl {
+
+/// Index into Design's signal table (not an LP id).
+using SignalId = std::uint32_t;
+/// Index into Design's process table.
+using ProcessId = std::uint32_t;
+
+class Design {
+ public:
+  explicit Design(pdes::LpGraph& graph) : graph_(graph) {}
+
+  /// Declares a signal of `width` elements with the given initial value.
+  SignalId add_signal(const std::string& name, LogicVector initial);
+  SignalId add_signal(const std::string& name, std::size_t width,
+                      Logic fill = Logic::kU) {
+    return add_signal(name, LogicVector(width, fill));
+  }
+
+  /// Attaches a process with the given sequential body.
+  ProcessId add_process(const std::string& name,
+                        std::unique_ptr<ProcessBody> body);
+
+  /// Connects `sig` as input port of `proc`; returns the in-port index the
+  /// body uses with ProcessApi::value()/event().
+  int connect_in(ProcessId proc, SignalId sig);
+  /// Connects `proc` as a source of `sig` (allocating a driver); returns
+  /// the out-port index used with ProcessApi::assign().
+  int connect_out(ProcessId proc, SignalId sig);
+
+  /// Marks the synchronous-component hint used by the mixed configuration.
+  void set_sync_hint(ProcessId proc, bool synchronous);
+  void set_signal_sync_hint(SignalId sig, bool synchronous);
+
+  [[nodiscard]] SignalLp& signal(SignalId s) { return *signals_[s]; }
+  [[nodiscard]] ProcessLp& process(ProcessId p) { return *processes_[p]; }
+  [[nodiscard]] pdes::LpId signal_lp(SignalId s) const {
+    return signals_[s]->id();
+  }
+  [[nodiscard]] pdes::LpId process_lp(ProcessId p) const {
+    return processes_[p]->id();
+  }
+  [[nodiscard]] SignalId find_signal(const std::string& name) const;
+  [[nodiscard]] std::size_t num_signals() const { return signals_.size(); }
+  [[nodiscard]] std::size_t num_processes() const {
+    return processes_.size();
+  }
+  [[nodiscard]] pdes::LpGraph& graph() { return graph_; }
+
+  /// Posts initial events and channel topology.  Call exactly once, after
+  /// all wiring and before handing the graph to an engine.
+  void finalize();
+
+ private:
+  pdes::LpGraph& graph_;
+  std::vector<SignalLp*> signals_;      // owned by graph_
+  std::vector<ProcessLp*> processes_;   // owned by graph_
+  std::unordered_map<std::string, SignalId> signal_names_;
+  bool finalized_ = false;
+};
+
+}  // namespace vsim::vhdl

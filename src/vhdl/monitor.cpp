@@ -1,0 +1,58 @@
+#include "vhdl/monitor.h"
+
+#include "vhdl/events.h"
+
+namespace vsim::vhdl {
+
+TraceRecorder::TraceRecorder(Design& design,
+                             const std::vector<SignalId>& signals) {
+  auto lp = std::make_unique<MonitorLp>("$monitor");
+  MonitorLp* raw = lp.get();
+  monitor_id_ = design.graph().add(std::move(lp));
+  traces_.resize(signals.size());
+  names_.reserve(signals.size());
+  for (std::size_t i = 0; i < signals.size(); ++i) {
+    SignalLp& s = design.signal(signals[i]);
+    s.add_reader(monitor_id_, static_cast<int>(i));
+    names_.push_back(s.name());
+  }
+  (void)raw;
+}
+
+std::function<void(const pdes::Event&)> TraceRecorder::hook() {
+  return [this](const pdes::Event& ev) {
+    if (ev.dst != monitor_id_ || ev.kind != kUpdate) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    traces_[static_cast<std::size_t>(ev.payload.port)].push_back(
+        {ev.ts, ev.payload.bits});
+  };
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& t : traces_) t.clear();
+}
+
+std::string TraceRecorder::diff(const TraceRecorder& a,
+                                const TraceRecorder& b) {
+  if (a.traces_.size() != b.traces_.size()) return "different signal counts";
+  for (std::size_t i = 0; i < a.traces_.size(); ++i) {
+    const auto& ta = a.traces_[i];
+    const auto& tb = b.traces_[i];
+    const std::size_t n = std::min(ta.size(), tb.size());
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!(ta[j] == tb[j])) {
+        return "signal " + a.names_[i] + " entry " + std::to_string(j) +
+               ": " + ta[j].ts.str() + "=" + ta[j].value.str() + " vs " +
+               tb[j].ts.str() + "=" + tb[j].value.str();
+      }
+    }
+    if (ta.size() != tb.size()) {
+      return "signal " + a.names_[i] + " length " +
+             std::to_string(ta.size()) + " vs " + std::to_string(tb.size());
+    }
+  }
+  return {};
+}
+
+}  // namespace vsim::vhdl

@@ -1,0 +1,75 @@
+// Signal trace recording.
+//
+// A MonitorLp is a passive reader attached to selected signals: it receives
+// their effective-value broadcasts like any process would, but has no
+// behaviour.  The actual trace is recorded from the engine's *commit*
+// stream (not from speculative execution), so optimistic runs record
+// exactly the committed history -- this is what makes traces comparable
+// across engines and configurations.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pdes/lp.h"
+#include "vhdl/kernel.h"
+
+namespace vsim::vhdl {
+
+/// One recorded value change.
+struct TraceEntry {
+  VirtualTime ts;
+  LogicVector value;
+  friend bool operator==(const TraceEntry& a, const TraceEntry& b) {
+    return a.ts == b.ts && a.value == b.value;
+  }
+};
+
+class MonitorLp final : public pdes::LogicalProcess {
+ public:
+  explicit MonitorLp(std::string name) : LogicalProcess(std::move(name)) {}
+  void simulate(const pdes::Event& ev, pdes::SimContext& ctx) override {
+    (void)ev;
+    (void)ctx;
+  }
+  [[nodiscard]] std::unique_ptr<pdes::LpState> save_state() const override {
+    return std::make_unique<pdes::LpState>();
+  }
+  void restore_state(const pdes::LpState&) override {}
+  [[nodiscard]] double event_cost(const pdes::Event&) const override {
+    return 0.1;
+  }
+};
+
+/// Attaches a monitor to a set of signals and collects their committed
+/// traces.  Construct *before* Design::finalize(); install hook() as the
+/// engine's commit hook.
+class TraceRecorder {
+ public:
+  TraceRecorder(Design& design, const std::vector<SignalId>& signals);
+
+  /// Feed this to SequentialEngine/MachineEngine/ThreadedEngine.
+  [[nodiscard]] std::function<void(const pdes::Event&)> hook();
+
+  [[nodiscard]] std::size_t num_signals() const { return traces_.size(); }
+  [[nodiscard]] const std::vector<TraceEntry>& trace(std::size_t i) const {
+    return traces_[i];
+  }
+  [[nodiscard]] const std::string& signal_name(std::size_t i) const {
+    return names_[i];
+  }
+  void clear();
+
+  /// Compares two recorders signal-by-signal; returns a human-readable
+  /// description of the first difference, or empty if identical.
+  static std::string diff(const TraceRecorder& a, const TraceRecorder& b);
+
+ private:
+  pdes::LpId monitor_id_ = pdes::kInvalidLp;
+  std::vector<std::string> names_;
+  std::vector<std::vector<TraceEntry>> traces_;
+  std::mutex mutex_;
+};
+
+}  // namespace vsim::vhdl

@@ -1,0 +1,197 @@
+#include "vhdl/process_lp.h"
+
+#include <cassert>
+
+namespace vsim::vhdl {
+namespace {
+
+struct ProcessState final : pdes::LpState {
+  std::unique_ptr<ProcessBody> body;
+  std::vector<LogicVector> locals;
+  std::vector<VirtualTime> last_event;
+  bool waiting = false;
+  std::vector<int> sensitivity;
+  int cond_id = -1;
+  std::int64_t epoch = 0;
+  VirtualTime exec_scheduled = kTimeInf;
+};
+
+}  // namespace
+
+// Ephemeral view handed to the body during run() / condition evaluation.
+class ProcessLp::ApiImpl final : public ProcessApi {
+ public:
+  ApiImpl(ProcessLp& lp, pdes::SimContext* ctx, VirtualTime now)
+      : lp_(lp), ctx_(ctx), now_(now) {}
+
+  [[nodiscard]] const LogicVector& value(int in_port) const override {
+    return lp_.locals_[static_cast<std::size_t>(in_port)];
+  }
+  [[nodiscard]] bool event(int in_port) const override {
+    // Updates of the triggering delta cycle arrived in the immediately
+    // preceding Update phase (lt - 1).
+    const VirtualTime& e = lp_.last_event_[static_cast<std::size_t>(in_port)];
+    return e.pt == now_.pt && e.lt == now_.lt - 1;
+  }
+  [[nodiscard]] VirtualTime now() const override { return now_; }
+
+  void assign(int out_port, LogicVector value, PhysTime delay,
+              bool transport) override {
+    assert(ctx_ && "assign() is only valid inside run()");
+    const auto& [sig, driver] = lp_.outputs_[static_cast<std::size_t>(out_port)];
+    pdes::Payload p;
+    p.port = driver;
+    p.scalar = delay;
+    p.bits = std::move(value);
+    ctx_->send(sig, now_, transport ? kAssignTransport : kAssignInertial,
+               std::move(p));
+  }
+
+  void wait_on(std::vector<int> ports, int cond_id,
+               std::optional<PhysTime> timeout) override {
+    lp_.wait_.waiting = true;
+    lp_.wait_.sensitivity = std::move(ports);
+    lp_.wait_.cond_id = cond_id;
+    timeout_ = timeout;
+  }
+  void wait_for(PhysTime timeout) override {
+    lp_.wait_ = WaitSpec{};
+    timeout_ = timeout;
+  }
+  void wait_forever() override {
+    lp_.wait_ = WaitSpec{};
+    timeout_.reset();
+  }
+
+  [[nodiscard]] std::optional<PhysTime> timeout() const { return timeout_; }
+
+ private:
+  ProcessLp& lp_;
+  pdes::SimContext* ctx_;
+  VirtualTime now_;
+  std::optional<PhysTime> timeout_;
+};
+
+int ProcessLp::add_input(LogicVector initial) {
+  locals_.push_back(std::move(initial));
+  last_event_.push_back({-1, 0});
+  return static_cast<int>(locals_.size()) - 1;
+}
+
+int ProcessLp::add_output(pdes::LpId signal, int driver_index) {
+  outputs_.emplace_back(signal, driver_index);
+  return static_cast<int>(outputs_.size()) - 1;
+}
+
+double ProcessLp::event_cost(const pdes::Event& ev) const {
+  // Resuming the sequential body costs more than bookkeeping an update.
+  return (ev.kind == kExecute || ev.kind == kTimeout || ev.kind == kInit)
+             ? 2.0
+             : 1.0;
+}
+
+void ProcessLp::schedule_execute(pdes::SimContext& ctx, VirtualTime ts) {
+  // Multiple simultaneous signal updates must trigger a single execution
+  // (their order is irrelevant; the run happens after all of them).
+  if (exec_scheduled_ == ts) return;
+  exec_scheduled_ = ts;
+  pdes::Payload p;
+  p.scalar = epoch_;
+  ctx.send(id(), ts, kExecute, std::move(p));
+}
+
+void ProcessLp::execute(pdes::SimContext& ctx, VirtualTime now,
+                        bool from_sensitivity) {
+  assert(now.phase() == Phase::kAssign);
+  exec_scheduled_ = kTimeInf;
+  if (from_sensitivity && wait_.cond_id >= 0) {
+    // `wait until`: the condition may have become false again due to a
+    // later update in the same delta cycle; re-check before resuming.
+    ApiImpl view(*this, nullptr, now);
+    if (!body_->eval_condition(wait_.cond_id, view)) return;
+  }
+  ++epoch_;  // cancels any pending timeout of the wait we are leaving
+  wait_ = WaitSpec{};
+  ApiImpl api(*this, &ctx, now);
+  body_->run(api);
+  if (api.timeout()) {
+    const PhysTime t = *api.timeout();
+    const VirtualTime ts =
+        t == 0 ? now.next_delta() : now.after(t, Phase::kAssign);
+    pdes::Payload p;
+    p.scalar = epoch_;
+    ctx.send(id(), ts, kTimeout, std::move(p));
+  }
+}
+
+void ProcessLp::simulate(const pdes::Event& ev, pdes::SimContext& ctx) {
+  const VirtualTime now = ev.ts;
+  switch (ev.kind) {
+    case kUpdate: {
+      assert(now.phase() == Phase::kEffective);
+      const auto port = static_cast<std::size_t>(ev.payload.port);
+      assert(port < locals_.size());
+      if (!(locals_[port] == ev.payload.bits)) {
+        locals_[port] = ev.payload.bits;
+        last_event_[port] = now;
+      }
+      if (wait_.waiting) {
+        bool sensitive = false;
+        for (int s : wait_.sensitivity) {
+          if (static_cast<std::size_t>(s) == port) {
+            sensitive = true;
+            break;
+          }
+        }
+        if (sensitive) {
+          ApiImpl view(*this, nullptr, now);
+          if (wait_.cond_id < 0 ||
+              body_->eval_condition(wait_.cond_id, view)) {
+            schedule_execute(ctx, now.next_phase());
+          }
+        }
+      }
+      break;
+    }
+    case kExecute:
+      if (ev.payload.scalar != epoch_) break;  // stale resume
+      execute(ctx, now, /*from_sensitivity=*/true);
+      break;
+    case kTimeout:
+      if (ev.payload.scalar != epoch_) break;  // cancelled timeout
+      execute(ctx, now, /*from_sensitivity=*/false);
+      break;
+    case kInit:
+      execute(ctx, now, /*from_sensitivity=*/false);
+      break;
+    default:
+      assert(false && "unexpected event kind at process LP");
+  }
+}
+
+std::unique_ptr<pdes::LpState> ProcessLp::save_state() const {
+  auto s = std::make_unique<ProcessState>();
+  s->body = body_->clone();
+  s->locals = locals_;
+  s->last_event = last_event_;
+  s->waiting = wait_.waiting;
+  s->sensitivity = wait_.sensitivity;
+  s->cond_id = wait_.cond_id;
+  s->epoch = epoch_;
+  s->exec_scheduled = exec_scheduled_;
+  return s;
+}
+
+void ProcessLp::restore_state(const pdes::LpState& s) {
+  const auto& ps = static_cast<const ProcessState&>(s);
+  body_ = ps.body->clone();
+  locals_ = ps.locals;
+  last_event_ = ps.last_event;
+  wait_.waiting = ps.waiting;
+  wait_.sensitivity = ps.sensitivity;
+  wait_.cond_id = ps.cond_id;
+  epoch_ = ps.epoch;
+  exec_scheduled_ = ps.exec_scheduled;
+}
+
+}  // namespace vsim::vhdl

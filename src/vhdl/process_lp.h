@@ -1,0 +1,132 @@
+// Process logical process (DATE 2000, Fig. 2).
+//
+// A VHDL process maps naturally onto an LP.  Its state holds the process
+// variables (inside a ProcessBody), local copies of the effective values of
+// every input signal, and the wait bookkeeping.  External events (kUpdate)
+// refresh the local copies and may schedule a resume; internal events
+// (kExecute / kTimeout) run the sequential body until its next wait.
+//
+// The sequential statement part is a ProcessBody whose run() is invoked in
+// the Execute phase -- the C++ equivalent of the paper's "for each VHDL
+// process there is a C class whose run() virtual function is given by the
+// VHDL process sequential statement part".  Bodies resume from an explicit
+// resume point they store themselves (cloneable for Time Warp, unlike
+// coroutine frames).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "pdes/lp.h"
+#include "vhdl/events.h"
+
+namespace vsim::vhdl {
+
+class ProcessLp;
+
+/// Interface the sequential body uses to interact with the kernel.
+class ProcessApi {
+ public:
+  virtual ~ProcessApi() = default;
+
+  /// Local copy of input signal `in_port`'s effective value.
+  [[nodiscard]] virtual const LogicVector& value(int in_port) const = 0;
+  /// True iff `in_port` had an event in the delta cycle that triggered the
+  /// current execution (the 'event attribute).
+  [[nodiscard]] virtual bool event(int in_port) const = 0;
+  [[nodiscard]] virtual VirtualTime now() const = 0;
+
+  /// Signal assignment: `out_port` <= value after `delay` [ns].
+  virtual void assign(int out_port, LogicVector value, PhysTime delay = 0,
+                      bool transport = false) = 0;
+
+  // ---- wait statements (call exactly one, last, before run() returns) ----
+  /// wait on <ports> [until condition(cond_id)] [for timeout]
+  virtual void wait_on(std::vector<int> ports, int cond_id = -1,
+                       std::optional<PhysTime> timeout = std::nullopt) = 0;
+  /// wait for <timeout>
+  virtual void wait_for(PhysTime timeout) = 0;
+  /// plain `wait;` -- suspend forever
+  virtual void wait_forever() = 0;
+};
+
+/// The sequential statement part of one process.  Value-semantic: clone()
+/// must deep-copy variables and the resume point.
+class ProcessBody {
+ public:
+  virtual ~ProcessBody() = default;
+  [[nodiscard]] virtual std::unique_ptr<ProcessBody> clone() const = 0;
+  /// Executes from the stored resume point until the next wait (which it
+  /// registers via the api) and returns.
+  virtual void run(ProcessApi& api) = 0;
+  /// Re-evaluates the condition of `wait until` number `cond_id`.  Called
+  /// both when a sensitive signal updates and when the process resumes.
+  [[nodiscard]] virtual bool eval_condition(int cond_id,
+                                            const ProcessApi& api) const {
+    (void)cond_id;
+    (void)api;
+    return true;
+  }
+};
+
+class ProcessLp final : public pdes::LogicalProcess {
+ public:
+  ProcessLp(std::string name, std::unique_ptr<ProcessBody> body)
+      : LogicalProcess(std::move(name)), body_(std::move(body)) {}
+
+  // ---- wiring (before simulation starts) ----
+  /// Declares input port `index == return value` with an initial local copy.
+  int add_input(LogicVector initial);
+  /// Declares an output port writing to `signal` through `driver_index`.
+  int add_output(pdes::LpId signal, int driver_index);
+
+  /// Per-event work estimate; process executions are heavier than signal
+  /// bookkeeping.
+  [[nodiscard]] double event_cost(const pdes::Event& ev) const override;
+  /// Heavy-state processes cannot snapshot (forced conservative).
+  void set_heavy_state(bool heavy) { heavy_state_ = heavy; }
+  [[nodiscard]] bool can_save_state() const override { return !heavy_state_; }
+  void set_lookahead(PhysTime la) { lookahead_ = la; }
+  [[nodiscard]] PhysTime lookahead() const override { return lookahead_; }
+
+  // ---- LogicalProcess ----
+  void simulate(const pdes::Event& ev, pdes::SimContext& ctx) override;
+  [[nodiscard]] std::unique_ptr<pdes::LpState> save_state() const override;
+  void restore_state(const pdes::LpState& s) override;
+
+  [[nodiscard]] std::size_t num_inputs() const { return locals_.size(); }
+  /// Driven signals as (signal LP, driver index) pairs, by out-port.
+  [[nodiscard]] const std::vector<std::pair<pdes::LpId, int>>& outputs()
+      const {
+    return outputs_;
+  }
+
+ private:
+  class ApiImpl;
+  friend class ApiImpl;
+
+  struct WaitSpec {
+    bool waiting = false;          ///< resumable by a sensitivity event
+    std::vector<int> sensitivity;  ///< input ports waited on
+    int cond_id = -1;              ///< -1: unconditional
+  };
+
+  void execute(pdes::SimContext& ctx, VirtualTime now, bool from_sensitivity);
+  void schedule_execute(pdes::SimContext& ctx, VirtualTime ts);
+
+  // Static configuration.
+  std::vector<std::pair<pdes::LpId, int>> outputs_;  ///< (signal, driver)
+  bool heavy_state_ = false;
+  PhysTime lookahead_ = 0;
+
+  // Simulation state.
+  std::unique_ptr<ProcessBody> body_;
+  std::vector<LogicVector> locals_;
+  std::vector<VirtualTime> last_event_;
+  WaitSpec wait_;
+  std::int64_t epoch_ = 0;          ///< invalidates stale resume/timeout events
+  VirtualTime exec_scheduled_ = kTimeInf;
+};
+
+}  // namespace vsim::vhdl

@@ -1,0 +1,139 @@
+#include "vhdl/signal_lp.h"
+
+#include <cassert>
+
+namespace vsim::vhdl {
+namespace {
+
+struct SignalState final : pdes::LpState {
+  std::vector<Waveform> drivers;
+  LogicVector effective;
+};
+
+}  // namespace
+
+int SignalLp::add_driver() {
+  drivers_.emplace_back(initial_);
+  masks_.emplace_back();
+  return static_cast<int>(drivers_.size()) - 1;
+}
+
+void SignalLp::add_reader(pdes::LpId process, int in_port) {
+  readers_.emplace_back(process, in_port);
+}
+
+void SignalLp::set_driver_mask(int driver, std::vector<bool> mask) {
+  assert(static_cast<std::size_t>(driver) < masks_.size());
+  assert(mask.size() == initial_.size());
+  bool partial = false;
+  for (bool m : mask) partial |= !m;
+  masks_[static_cast<std::size_t>(driver)] = std::move(mask);
+  has_partial_mask_ |= partial;
+}
+
+LogicVector SignalLp::resolve_drivers() const {
+  std::vector<LogicVector> values;
+  values.reserve(drivers_.size());
+  for (const Waveform& w : drivers_) values.push_back(w.driving_value());
+  if (resolver_) return resolver_(values);
+  if (!has_partial_mask_) {
+    // Default: IEEE 1164 resolution fold over all drivers.
+    LogicVector acc = values.front();
+    for (std::size_t i = 1; i < values.size(); ++i)
+      acc = resolve(acc, values[i]);
+    return acc;
+  }
+  // Per-element resolution over the drivers that actually drive each
+  // element; an element with no driver keeps the signal's initial value.
+  LogicVector out = initial_;
+  for (std::size_t e = 0; e < out.size(); ++e) {
+    bool any = false;
+    Logic acc = Logic::kZ;
+    for (std::size_t d = 0; d < values.size(); ++d) {
+      if (!masks_[d].empty() && !masks_[d][e]) continue;
+      acc = any ? resolve(acc, values[d].at(e)) : values[d].at(e);
+      any = true;
+    }
+    if (any) out.set(e, acc);
+  }
+  return out;
+}
+
+void SignalLp::broadcast(pdes::SimContext& ctx, VirtualTime ts) {
+  for (const auto& [proc, port] : readers_) {
+    pdes::Payload p;
+    p.port = port;
+    p.bits = effective_;
+    ctx.send(proc, ts, kUpdate, std::move(p));
+  }
+}
+
+void SignalLp::simulate(const pdes::Event& ev, pdes::SimContext& ctx) {
+  const VirtualTime now = ev.ts;
+  switch (ev.kind) {
+    case kAssignInertial:
+    case kAssignTransport: {
+      // Signal:Assign phase (lt % 3 == 0): append the transaction and
+      // schedule its maturity in the Driving-value phase.
+      assert(now.phase() == Phase::kAssign);
+      const auto driver = static_cast<std::size_t>(ev.payload.port);
+      assert(driver < drivers_.size());
+      const PhysTime delay = ev.payload.scalar;
+      const VirtualTime maturity =
+          delay == 0 ? now.next_phase()
+                     : now.after(delay, Phase::kDriving);
+      drivers_[driver].schedule(maturity, ev.payload.bits,
+                                ev.kind == kAssignTransport,
+                                /*reject_from=*/now);
+      ctx.send(ev.dst, maturity, kDriving, {});
+      break;
+    }
+    case kDriving: {
+      // Signal:DrivingValue phase (lt % 3 == 1): mature transactions.
+      assert(now.phase() == Phase::kDriving);
+      bool changed = false;
+      for (Waveform& w : drivers_) changed |= w.apply_matured(now);
+      if (!changed) break;  // duplicate maturity events are no-ops
+      if (is_resolved()) {
+        // Another driver may mature at this same time; resolution must run
+        // after all of them, in the next phase.
+        ctx.send(ev.dst, now.next_phase(), kEffective, {});
+      } else {
+        const LogicVector& v = drivers_.front().driving_value();
+        if (!(v == effective_)) {
+          effective_ = v;
+          broadcast(ctx, now.next_phase());
+        }
+      }
+      break;
+    }
+    case kEffective: {
+      // Signal:Effective phase (lt % 3 == 2): resolve and broadcast at the
+      // same virtual time (process Update shares this phase).
+      assert(now.phase() == Phase::kEffective);
+      LogicVector v = resolve_drivers();
+      if (!(v == effective_)) {
+        effective_ = std::move(v);
+        broadcast(ctx, now);
+      }
+      break;
+    }
+    default:
+      assert(false && "unexpected event kind at signal LP");
+  }
+}
+
+std::unique_ptr<pdes::LpState> SignalLp::save_state() const {
+  auto s = std::make_unique<SignalState>();
+  s->drivers = drivers_;
+  s->effective = effective_;
+  return s;
+}
+
+void SignalLp::restore_state(const pdes::LpState& s) {
+  const auto& ss = static_cast<const SignalState&>(s);
+  drivers_ = ss.drivers;
+  effective_ = ss.effective;
+}
+
+}  // namespace vsim::vhdl

@@ -1,0 +1,82 @@
+// Signal logical process (DATE 2000, Fig. 1).
+//
+// VHDL signals have complex semantics: multiple sources (one driver per
+// source, each with a projected waveform), a resolution function, and
+// multiple readers.  In a distributed simulation there is no shared memory
+// to hold the signal, so each signal becomes an LP: it owns the drivers,
+// applies the resolution function, and broadcasts the effective value to
+// every reading process.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "pdes/lp.h"
+#include "vhdl/events.h"
+#include "vhdl/waveform.h"
+
+namespace vsim::vhdl {
+
+class SignalLp final : public pdes::LogicalProcess {
+ public:
+  /// Resolution function over all drivers' driving values.
+  using Resolver = std::function<LogicVector(const std::vector<LogicVector>&)>;
+
+  SignalLp(std::string name, LogicVector initial)
+      : LogicalProcess(std::move(name)), initial_(std::move(initial)),
+        effective_(initial_) {}
+
+  // ---- wiring (before simulation starts) ----
+  /// Adds a driver (one per source process); returns its index.
+  int add_driver();
+  /// Registers a reading process; updates arrive on its `in_port`.
+  void add_reader(pdes::LpId process, int in_port);
+  /// Installs a resolution function; signals with more than one driver use
+  /// the IEEE 1164 `resolved` fold by default.
+  void set_resolver(Resolver r) { resolver_ = std::move(r); }
+  /// Declares which elements `driver` actually drives (VHDL: a process
+  /// drives only the scalar subelements its assignments' longest static
+  /// prefixes name).  Elements outside the mask take no part in the
+  /// default resolution; default is all-driven.  Custom resolvers always
+  /// see every driver's full value.
+  void set_driver_mask(int driver, std::vector<bool> mask);
+
+  [[nodiscard]] const LogicVector& initial_value() const { return initial_; }
+  [[nodiscard]] const LogicVector& effective_value() const {
+    return effective_;
+  }
+  [[nodiscard]] std::size_t num_drivers() const { return drivers_.size(); }
+  /// True if the effective value needs the resolution phase: multiple
+  /// drivers, a custom resolver, or a single driver with a partial mask.
+  [[nodiscard]] bool is_resolved() const {
+    return drivers_.size() > 1 || static_cast<bool>(resolver_) ||
+           has_partial_mask_;
+  }
+  [[nodiscard]] const std::vector<std::pair<pdes::LpId, int>>& readers()
+      const {
+    return readers_;
+  }
+
+  // ---- LogicalProcess ----
+  void simulate(const pdes::Event& ev, pdes::SimContext& ctx) override;
+  [[nodiscard]] std::unique_ptr<pdes::LpState> save_state() const override;
+  void restore_state(const pdes::LpState& s) override;
+
+ private:
+  void broadcast(pdes::SimContext& ctx, VirtualTime ts);
+  [[nodiscard]] LogicVector resolve_drivers() const;
+
+  // Static configuration.
+  LogicVector initial_;
+  Resolver resolver_;
+  std::vector<std::pair<pdes::LpId, int>> readers_;
+  std::vector<std::vector<bool>> masks_;  ///< per driver; empty = all-driven
+  bool has_partial_mask_ = false;
+
+  // Simulation state.
+  std::vector<Waveform> drivers_;
+  LogicVector effective_;
+};
+
+}  // namespace vsim::vhdl

@@ -1,0 +1,129 @@
+#include "vhdl/vcd.h"
+#include <bitset>
+#include <cctype>
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <vector>
+
+namespace vsim::vhdl {
+namespace {
+
+/// VCD is four-state: map the nine IEEE 1164 values onto 0/1/x/z.
+char vcd_char(Logic v) {
+  switch (v) {
+    case Logic::k0:
+    case Logic::kL:
+      return '0';
+    case Logic::k1:
+    case Logic::kH:
+      return '1';
+    case Logic::kZ:
+      return 'z';
+    default:
+      return 'x';
+  }
+}
+
+/// Short printable identifier codes: '!' .. '~', then two characters.
+std::string id_code(std::size_t index) {
+  std::string code;
+  do {
+    code.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return code;
+}
+
+void emit_value(std::ostream& os, const LogicVector& v,
+                const std::string& id) {
+  if (v.size() == 1) {
+    os << vcd_char(v.at(0)) << id << '\n';
+  } else {
+    os << 'b';
+    for (std::size_t i = 0; i < v.size(); ++i) os << vcd_char(v.at(i));
+    os << ' ' << id << '\n';
+  }
+}
+
+std::string sanitize(const std::string& name) {
+  std::string out;
+  for (char c : name) out.push_back(std::isspace(static_cast<unsigned char>(c)) ? '_' : c);
+  return out;
+}
+
+}  // namespace
+
+void write_vcd(const TraceRecorder& recorder, std::ostream& os,
+               const VcdOptions& options) {
+  os << "$timescale " << options.timescale << " $end\n";
+  os << "$scope module " << options.top_scope << " $end\n";
+  std::vector<std::string> ids(recorder.num_signals());
+  std::vector<std::size_t> widths(recorder.num_signals(), 1);
+  for (std::size_t i = 0; i < recorder.num_signals(); ++i) {
+    ids[i] = id_code(i);
+    if (!recorder.trace(i).empty())
+      widths[i] = recorder.trace(i).front().value.size();
+    os << "$var wire " << widths[i] << ' ' << ids[i] << ' '
+       << sanitize(recorder.signal_name(i)) << " $end\n";
+  }
+  const std::string delta_id = id_code(recorder.num_signals());
+  if (options.emit_delta_counter)
+    os << "$var integer 32 " << delta_id << " delta $end\n";
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  // Merge all changes; within one physical time, the last delta wins.
+  struct Change {
+    VirtualTime ts;
+    std::size_t sig;
+    const LogicVector* value;
+  };
+  std::vector<Change> changes;
+  for (std::size_t i = 0; i < recorder.num_signals(); ++i) {
+    for (const TraceEntry& e : recorder.trace(i))
+      changes.push_back({e.ts, i, &e.value});
+  }
+  std::stable_sort(changes.begin(), changes.end(),
+                   [](const Change& a, const Change& b) {
+                     if (a.ts != b.ts) return a.ts < b.ts;
+                     return a.sig < b.sig;
+                   });
+
+  os << "$dumpvars\n";
+  for (std::size_t i = 0; i < recorder.num_signals(); ++i) {
+    // Initial value: x of the right width (the first committed change
+    // establishes the real value).
+    emit_value(os, LogicVector(widths[i], Logic::kX), ids[i]);
+  }
+  os << "$end\n";
+
+  std::size_t i = 0;
+  while (i < changes.size()) {
+    const PhysTime t = changes[i].ts.pt;
+    os << '#' << t << '\n';
+    // Final value per signal within this physical time.
+    std::map<std::size_t, const LogicVector*> finals;
+    LogicalTime max_lt = 0;
+    while (i < changes.size() && changes[i].ts.pt == t) {
+      finals[changes[i].sig] = changes[i].value;
+      max_lt = std::max(max_lt, changes[i].ts.lt);
+      ++i;
+    }
+    for (const auto& [sig, value] : finals) emit_value(os, *value, ids[sig]);
+    if (options.emit_delta_counter)
+      os << 'b' << std::bitset<32>(static_cast<unsigned long>(max_lt / 3))
+                       .to_string()
+         << ' ' << delta_id << '\n';
+  }
+}
+
+bool write_vcd_file(const TraceRecorder& recorder, const std::string& path,
+                    const VcdOptions& options) {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_vcd(recorder, f, options);
+  return static_cast<bool>(f);
+}
+
+}  // namespace vsim::vhdl

@@ -1,0 +1,36 @@
+// VCD (Value Change Dump, IEEE 1364) waveform writer.
+//
+// Consumes the committed trace of a TraceRecorder after a run and writes a
+// standard $var/$dumpvars VCD file that waveform viewers (GTKWave etc.)
+// can open.  Delta cycles are exposed through an optional synthetic
+// "delta" integer variable rather than by scaling time, so the physical
+// timeline stays 1:1 with simulation units.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "vhdl/monitor.h"
+
+namespace vsim::vhdl {
+
+struct VcdOptions {
+  std::string timescale = "1ns";
+  std::string top_scope = "vsim";
+  /// Emit a synthetic integer variable holding the delta-cycle index of
+  /// the last change in each physical time step.
+  bool emit_delta_counter = false;
+};
+
+/// Writes the committed traces of `recorder` as a VCD document.
+/// Changes across all signals are merged into one monotonic timeline;
+/// within one physical time the *last* value of each delta cascade wins
+/// (standard viewer semantics).
+void write_vcd(const TraceRecorder& recorder, std::ostream& os,
+               const VcdOptions& options = {});
+
+/// Convenience: write to a file; returns false on I/O failure.
+bool write_vcd_file(const TraceRecorder& recorder, const std::string& path,
+                    const VcdOptions& options = {});
+
+}  // namespace vsim::vhdl

@@ -1,0 +1,47 @@
+#include "vhdl/waveform.h"
+
+namespace vsim::vhdl {
+
+void Waveform::schedule(VirtualTime maturity, LogicVector value,
+                        bool transport, VirtualTime reject_from) {
+  // Delete every transaction maturing at or after the new one.
+  while (!queue_.empty() && queue_.back().maturity >= maturity)
+    queue_.pop_back();
+
+  if (!transport) {
+    // Inertial rejection: scanning backwards from the new transaction, keep
+    // the maximal run of equal-valued transactions immediately preceding
+    // it; delete everything older inside the window (LRM 8.4.1).
+    std::size_t keep_from = queue_.size();
+    while (keep_from > 0 &&
+           queue_[keep_from - 1].maturity > reject_from &&
+           queue_[keep_from - 1].value == value) {
+      --keep_from;
+    }
+    std::size_t erase_from = keep_from;
+    // Everything in the window older than the kept run is rejected.
+    std::size_t erase_begin = erase_from;
+    while (erase_begin > 0 &&
+           queue_[erase_begin - 1].maturity > reject_from) {
+      --erase_begin;
+    }
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(erase_begin),
+                 queue_.begin() + static_cast<std::ptrdiff_t>(erase_from));
+  }
+
+  queue_.push_back({maturity, std::move(value)});
+}
+
+bool Waveform::apply_matured(VirtualTime now) {
+  bool changed = false;
+  while (!queue_.empty() && queue_.front().maturity <= now) {
+    if (!(queue_.front().value == driving_value_)) {
+      driving_value_ = std::move(queue_.front().value);
+      changed = true;
+    }
+    queue_.pop_front();
+  }
+  return changed;
+}
+
+}  // namespace vsim::vhdl

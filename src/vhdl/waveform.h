@@ -1,0 +1,50 @@
+// Projected output waveform of one signal driver (IEEE 1076 Sec. 8.4).
+//
+// A waveform is a sequence of pending transactions ordered by maturity
+// time.  Signal assignments preempt pending transactions: transport delay
+// deletes everything at or after the new transaction; inertial delay
+// additionally sweeps the rejection window before it.
+#pragma once
+
+#include <deque>
+
+#include "common/logic.h"
+#include "common/virtual_time.h"
+
+namespace vsim::vhdl {
+
+struct Transaction {
+  VirtualTime maturity;
+  LogicVector value;
+};
+
+class Waveform {
+ public:
+  explicit Waveform(LogicVector initial)
+      : driving_value_(std::move(initial)) {}
+
+  /// Schedules a transaction for `value` maturing at `maturity`, preempting
+  /// per the LRM: existing transactions at or after `maturity` are always
+  /// deleted; with inertial delay, transactions inside the rejection window
+  /// (`reject_from`, `maturity`) survive only if they belong to the maximal
+  /// run immediately preceding the new transaction with the same value.
+  void schedule(VirtualTime maturity, LogicVector value, bool transport,
+                VirtualTime reject_from);
+
+  /// Applies all transactions with maturity <= now to the driving value.
+  /// Returns true if the driving value changed.
+  bool apply_matured(VirtualTime now);
+
+  [[nodiscard]] const LogicVector& driving_value() const {
+    return driving_value_;
+  }
+  [[nodiscard]] const std::deque<Transaction>& pending() const {
+    return queue_;
+  }
+
+ private:
+  LogicVector driving_value_;
+  std::deque<Transaction> queue_;  // ordered by maturity
+};
+
+}  // namespace vsim::vhdl

@@ -1,0 +1,709 @@
+// Frontend tests: lexer, parser, elaborator and interpreter semantics,
+// validated by simulating small VHDL sources on the sequential engine.
+#include <gtest/gtest.h>
+
+#include "frontend/elaborator.h"
+#include "pdes/sequential.h"
+#include "vhdl/monitor.h"
+
+namespace vsim::fe {
+namespace {
+
+// ------------------------------------------------------------- lexer
+
+TEST(Lexer, TokenKinds) {
+  Lexer lex("entity E is port (a : in std_logic); end E; -- comment\n"
+            "x <= '1' after 5 ns; y := 2_000; s = \"01ZX\"");
+  const auto toks = lex.tokenize();
+  ASSERT_GE(toks.size(), 5u);
+  EXPECT_EQ(toks[0].kind, Tok::kEntity);
+  EXPECT_EQ(toks[1].kind, Tok::kIdent);
+  EXPECT_EQ(toks[1].text, "e");  // case-folded
+  EXPECT_EQ(toks.back().kind, Tok::kEof);
+}
+
+TEST(Lexer, DistinguishesCharLiteralFromAttributeTick) {
+  Lexer lex("clk'event x '1'");
+  const auto toks = lex.tokenize();
+  EXPECT_EQ(toks[0].kind, Tok::kIdent);  // clk
+  EXPECT_EQ(toks[1].kind, Tok::kTick);
+  EXPECT_EQ(toks[2].kind, Tok::kIdent);  // event
+  EXPECT_EQ(toks[3].kind, Tok::kIdent);  // x
+  EXPECT_EQ(toks[4].kind, Tok::kCharLit);
+  EXPECT_EQ(toks[4].text, "1");
+}
+
+TEST(Lexer, UnderscoresInNumbers) {
+  Lexer lex("16_384");
+  const auto toks = lex.tokenize();
+  EXPECT_EQ(toks[0].value, 16384);
+}
+
+TEST(Lexer, ReportsErrorPosition) {
+  Lexer lex("a\n  @");
+  EXPECT_THROW(lex.tokenize(), ParseError);
+  try {
+    Lexer lex2("a\n  @");
+    (void)lex2.tokenize();
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+// ------------------------------------------------------------ parser
+
+TEST(Parser, EntityPortsAndModes) {
+  const auto file = parse(R"(
+    entity gate is
+      port (a, b : in std_logic;
+            q : out std_logic_vector(7 downto 0);
+            n : in integer);
+    end gate;
+  )");
+  ASSERT_EQ(file.entities.size(), 1u);
+  const auto& e = file.entities[0];
+  EXPECT_EQ(e.name, "gate");
+  ASSERT_EQ(e.ports.size(), 4u);
+  EXPECT_EQ(e.ports[0].dir, ast::PortDir::kIn);
+  EXPECT_EQ(e.ports[2].dir, ast::PortDir::kOut);
+  EXPECT_EQ(e.ports[2].type.kind, ast::TypeKind::kStdLogicVector);
+  EXPECT_EQ(e.ports[2].type.width(), 8u);
+  EXPECT_EQ(e.ports[3].type.kind, ast::TypeKind::kInteger);
+}
+
+TEST(Parser, ArchitectureStatements) {
+  const auto file = parse(R"(
+    entity top is end top;
+    architecture rtl of top is
+      signal x, y : std_logic := '0';
+      constant k : integer := 3;
+    begin
+      y <= x xor '1' after 2 ns;
+      p1: process (x) begin
+        null;
+      end process;
+      u1: sub port map (a => x, b => y);
+    end rtl;
+  )");
+  ASSERT_EQ(file.architectures.size(), 1u);
+  const auto& a = file.architectures[0];
+  EXPECT_EQ(a.signals.size(), 3u);  // x, y, k
+  EXPECT_TRUE(a.signals[2].is_constant);
+  EXPECT_EQ(a.assigns.size(), 1u);
+  EXPECT_EQ(a.processes.size(), 1u);
+  ASSERT_EQ(a.instances.size(), 1u);
+  EXPECT_EQ(a.instances[0].component, "sub");
+}
+
+TEST(Parser, SequentialStatements) {
+  const auto file = parse(R"(
+    entity t is end t;
+    architecture a of t is
+      signal s : std_logic_vector(3 downto 0);
+    begin
+      p: process
+        variable v : integer := 0;
+      begin
+        if v = 0 then v := 1;
+        elsif v = 1 then v := 2;
+        else v := 3;
+        end if;
+        case v is
+          when 1 => v := 10;
+          when others => v := 20;
+        end case;
+        for i in 0 to 3 loop
+          s(i) <= '0' after 1 ns;
+        end loop;
+        while v > 0 loop
+          v := v - 1;
+        end loop;
+        wait on s until s(0) = '1' for 100 ns;
+        report "done";
+        wait;
+      end process;
+    end a;
+  )");
+  const auto& p = file.architectures[0].processes[0];
+  EXPECT_TRUE(p.sensitivity.empty());
+  EXPECT_EQ(p.variables.size(), 1u);
+  ASSERT_GE(p.body.size(), 6u);
+  EXPECT_EQ(p.body[0]->kind, ast::StmtKind::kIf);
+  EXPECT_FALSE(p.body[0]->else_body.empty());  // elsif chain nests here
+  EXPECT_EQ(p.body[1]->kind, ast::StmtKind::kCase);
+  EXPECT_EQ(p.body[2]->kind, ast::StmtKind::kForLoop);
+  EXPECT_EQ(p.body[3]->kind, ast::StmtKind::kWhileLoop);
+  EXPECT_EQ(p.body[4]->kind, ast::StmtKind::kWait);
+  EXPECT_EQ(p.body[4]->wait_on.size(), 1u);
+  EXPECT_NE(p.body[4]->cond, nullptr);
+  EXPECT_NE(p.body[4]->wait_time, nullptr);
+}
+
+TEST(Parser, RejectsMalformedInput) {
+  EXPECT_THROW(parse("entity ; is end;"), ParseError);
+  EXPECT_THROW(parse("entity e is port (a : in unknown_t); end e;"),
+               ParseError);
+  EXPECT_THROW(parse("architecture a of e is begin x <= ; end a;"),
+               ParseError);
+}
+
+// ---------------------------------------------------------- semantics
+
+// Helper: elaborate source, simulate sequentially, return trace of probes.
+struct SimResult {
+  std::vector<std::vector<vhdl::TraceEntry>> traces;
+};
+
+SimResult simulate(const std::string& src, const std::string& top,
+                   const std::vector<std::string>& probes,
+                   PhysTime until = 1000) {
+  pdes::LpGraph graph;
+  vhdl::Design design(graph);
+  elaborate_source(src, top, design);
+  std::vector<vhdl::SignalId> ids;
+  for (const auto& name : probes) ids.push_back(design.find_signal(name));
+  vhdl::TraceRecorder rec(design, ids);
+  design.finalize();
+  pdes::SequentialEngine eng(graph);
+  eng.set_commit_hook(rec.hook());
+  eng.run(until);
+  SimResult r;
+  for (std::size_t i = 0; i < probes.size(); ++i)
+    r.traces.push_back(rec.trace(i));
+  return r;
+}
+
+TEST(Interp, CombinationalAssignAndDelta) {
+  const auto r = simulate(R"(
+    entity t is end t;
+    architecture a of t is
+      signal x : std_logic := '0';
+      signal y : std_logic;
+    begin
+      y <= not x;
+      stim: process begin
+        x <= '1';
+        wait for 10 ns;
+        x <= '0';
+        wait;
+      end process;
+    end a;
+  )", "t", {"t/y"});
+  const auto& y = r.traces[0];
+  // t=0: first evaluation sees the old x='0' (y -> '1'), then the stim
+  // assignment lands in a delta cycle (y -> '0'); at t=10, x falls again.
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_EQ(y[0].value.str(), "1");
+  EXPECT_EQ(y[0].ts.pt, 0);
+  EXPECT_GT(y[0].ts.lt, 0);  // settled in a delta cycle, not at (0,0)
+  EXPECT_EQ(y[1].value.str(), "0");
+  EXPECT_EQ(y[1].ts.pt, 0);
+  EXPECT_GT(y[1].ts.lt, y[0].ts.lt);  // one delta later
+  EXPECT_EQ(y[2].value.str(), "1");
+  EXPECT_EQ(y[2].ts.pt, 10);
+}
+
+TEST(Interp, VariablesUpdateImmediatelySignalsAtDelta) {
+  // Classic VHDL semantics test: v is visible immediately, s only in the
+  // next delta, so y = old s while z = new v.
+  const auto r = simulate(R"(
+    entity t is end t;
+    architecture a of t is
+      signal s : std_logic := '0';
+      signal y, z : std_logic;
+      signal trig : std_logic := '0';
+    begin
+      stim: process begin
+        wait for 5 ns;
+        trig <= '1';
+        wait;
+      end process;
+      p: process (trig)
+        variable v : std_logic := '0';
+      begin
+        if trig = '1' then
+          v := '1';
+          s <= '1';
+          y <= s;   -- old signal value ('0')
+          z <= v;   -- new variable value ('1')
+        end if;
+      end process;
+    end a;
+  )", "t", {"t/y", "t/z", "t/s"});
+  // y never changes from U->'0'... it is assigned '0' (old s).
+  ASSERT_FALSE(r.traces[0].empty());
+  EXPECT_EQ(r.traces[0].back().value.str(), "0");
+  ASSERT_FALSE(r.traces[1].empty());
+  EXPECT_EQ(r.traces[1].back().value.str(), "1");
+  EXPECT_EQ(r.traces[2].back().value.str(), "1");
+}
+
+TEST(Interp, VectorArithmeticCounter) {
+  const auto r = simulate(R"(
+    entity t is end t;
+    architecture a of t is
+      signal clk : std_logic := '0';
+      signal cnt : std_logic_vector(3 downto 0) := "0000";
+    begin
+      clkgen: process begin
+        clk <= '1'; wait for 5 ns;
+        clk <= '0'; wait for 5 ns;
+      end process;
+      counter: process (clk) begin
+        if rising_edge(clk) then
+          cnt <= cnt + 1;
+        end if;
+      end process;
+    end a;
+  )", "t", {"t/cnt"}, 75);
+  const auto& cnt = r.traces[0];
+  ASSERT_GE(cnt.size(), 7u);
+  EXPECT_EQ(cnt[0].value.str(), "0001");
+  EXPECT_EQ(cnt[1].value.str(), "0010");
+  EXPECT_EQ(cnt[5].value.str(), "0110");
+}
+
+TEST(Interp, CaseStatementAndConcat) {
+  const auto r = simulate(R"(
+    entity t is end t;
+    architecture a of t is
+      signal x, y : std_logic := '0';
+      signal dec : std_logic_vector(1 downto 0) := "00";
+      signal go : std_logic := '0';
+    begin
+      stim: process begin
+        wait for 1 ns; x <= '1';
+        wait for 1 ns; y <= '1';
+        wait;
+      end process;
+      p: process (x, y)
+        variable sel : std_logic_vector(1 downto 0);
+      begin
+        sel := x & y;
+        case sel is
+          when "00" => dec <= "00";
+          when "10" => dec <= "01";
+          when "11" => dec <= "10";
+          when others => dec <= "11";
+        end case;
+      end process;
+    end a;
+  )", "t", {"t/dec"}, 50);
+  const auto& dec = r.traces[0];
+  ASSERT_EQ(dec.size(), 2u);
+  EXPECT_EQ(dec[0].value.str(), "01");  // x=1,y=0 at t=1
+  EXPECT_EQ(dec[1].value.str(), "10");  // x=1,y=1 at t=2
+}
+
+TEST(Interp, ForLoopIndexedAssignment) {
+  const auto r = simulate(R"(
+    entity t is end t;
+    architecture a of t is
+      signal v : std_logic_vector(3 downto 0) := "0000";
+    begin
+      p: process begin
+        for i in 0 to 3 loop
+          v(i) <= '1';
+          wait for 10 ns;
+        end loop;
+        wait;
+      end process;
+    end a;
+  )", "t", {"t/v"}, 100);
+  const auto& v = r.traces[0];
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0].value.str(), "0001");
+  EXPECT_EQ(v[1].value.str(), "0011");
+  EXPECT_EQ(v[3].value.str(), "1111");
+}
+
+TEST(Interp, WaitForTimeoutCancelledBySensitivityWake) {
+  // `wait on s for 100 ns`: the event at t=10 must cancel the timeout,
+  // so the process runs exactly twice (t=10 and after the next wait).
+  const auto r = simulate(R"(
+    entity t is end t;
+    architecture a of t is
+      signal s : std_logic := '0';
+      signal fired : std_logic_vector(3 downto 0) := "0000";
+      signal n : std_logic_vector(3 downto 0) := "0000";
+    begin
+      stim: process begin
+        wait for 10 ns;
+        s <= '1';
+        wait;
+      end process;
+      p: process begin
+        wait on s for 100 ns;
+        n <= n + 1;
+      end process;
+    end a;
+  )", "t", {"t/n"}, 250);
+  const auto& n = r.traces[0];
+  // Wakes: t=10 (event on s, timeout at 100 cancelled), then t=110
+  // (timeout, no more events), then t=210.
+  ASSERT_EQ(n.size(), 3u);
+  EXPECT_EQ(n[0].ts.pt, 10);
+  EXPECT_EQ(n[1].ts.pt, 110);
+  EXPECT_EQ(n[2].ts.pt, 210);
+}
+
+TEST(Interp, WaitUntilConditionChecksAtResume) {
+  const auto r = simulate(R"(
+    entity t is end t;
+    architecture a of t is
+      signal a_s, b_s : std_logic := '0';
+      signal seen : std_logic := '0';
+    begin
+      stim: process begin
+        wait for 10 ns; a_s <= '1';   -- cond false (b_s = 0)
+        wait for 10 ns; b_s <= '1';   -- cond true now
+        wait;
+      end process;
+      p: process begin
+        wait until a_s = '1' and b_s = '1';
+        seen <= '1';
+        wait;
+      end process;
+    end a;
+  )", "t", {"t/seen"}, 100);
+  const auto& seen = r.traces[0];
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].ts.pt, 20);
+}
+
+TEST(Interp, TransportVsInertialFromSource) {
+  const auto r = simulate(R"(
+    entity t is end t;
+    architecture a of t is
+      signal x : std_logic := '0';
+      signal yi, yt : std_logic := '0';
+    begin
+      stim: process begin
+        wait for 10 ns; x <= '1';
+        wait for 2 ns; x <= '0';   -- 2 ns pulse
+        wait;
+      end process;
+      yi <= x after 5 ns;             -- inertial: pulse swallowed
+      yt <= transport x after 5 ns;   -- transport: pulse passes
+    end a;
+  )", "t", {"t/yi", "t/yt"}, 100);
+  EXPECT_TRUE(r.traces[0].empty());   // inertial output never changes
+  ASSERT_EQ(r.traces[1].size(), 2u);  // transport sees both edges
+  EXPECT_EQ(r.traces[1][0].ts.pt, 15);
+  EXPECT_EQ(r.traces[1][1].ts.pt, 17);
+}
+
+TEST(Interp, HierarchyAndPositionalPortMap) {
+  const auto r = simulate(R"(
+    entity inv is
+      port (i : in std_logic; o : out std_logic);
+    end inv;
+    architecture rtl of inv is
+    begin
+      o <= not i;
+    end rtl;
+
+    entity t is end t;
+    architecture a of t is
+      component inv is
+        port (i : in std_logic; o : out std_logic);
+      end component inv;
+      signal x, m, y : std_logic := '0';
+    begin
+      u1: inv port map (i => x, o => m);
+      u2: inv port map (m, y);
+      stim: process begin
+        wait for 10 ns;
+        x <= '1';
+        wait;
+      end process;
+    end a;
+  )", "t", {"t/y"}, 50);
+  // Double inversion with the classic time-zero glitch: u2 first evaluates
+  // with the old m='0' (y -> '1'), then m's delta update brings y back to
+  // '0'; the real edge arrives two deltas after x rises at t=10.
+  const auto& y = r.traces[0];
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_EQ(y[0].value.str(), "1");
+  EXPECT_EQ(y[0].ts.pt, 0);
+  EXPECT_EQ(y[1].value.str(), "0");
+  EXPECT_EQ(y[1].ts.pt, 0);
+  EXPECT_EQ(y[2].value.str(), "1");
+  EXPECT_EQ(y[2].ts.pt, 10);
+}
+
+TEST(Interp, ConstantsFoldInDelaysAndGuards) {
+  const auto r = simulate(R"(
+    entity t is end t;
+    architecture a of t is
+      constant d : integer := 7;
+      signal x, y : std_logic := '0';
+    begin
+      stim: process begin
+        wait for 10 ns; x <= '1'; wait;
+      end process;
+      y <= x after d;
+    end a;
+  )", "t", {"t/y"}, 50);
+  ASSERT_EQ(r.traces[0].size(), 1u);
+  EXPECT_EQ(r.traces[0][0].ts.pt, 17);  // 10 + constant delay 7
+}
+
+TEST(Interp, ForGenerateReplicatesProcesses) {
+  // A 4-bit shift register built with for...generate: each stage is a
+  // generated process indexing the vector with the generate constant.
+  const auto r = simulate(R"(
+    entity t is end t;
+    architecture a of t is
+      signal clk : std_logic := '0';
+      signal din : std_logic := '0';
+      signal sr : std_logic_vector(3 downto 0) := "0000";
+      signal taps : std_logic_vector(3 downto 0) := "0000";
+    begin
+      clkgen: process begin
+        clk <= '1'; wait for 5 ns;
+        clk <= '0'; wait for 5 ns;
+      end process;
+      stim: process begin
+        din <= '1';
+        wait for 10 ns;
+        din <= '0';
+        wait;
+      end process;
+      stage0: process (clk) begin
+        if rising_edge(clk) then sr(0) <= din; end if;
+      end process;
+      gen: for i in 1 to 3 generate
+        stage: process (clk) begin
+          if rising_edge(clk) then sr(i) <= sr(i - 1); end if;
+        end process;
+      end generate gen;
+      taps <= sr;
+    end a;
+  )", "t", {"t/taps"}, 60);
+  const auto& taps = r.traces[0];
+  // din='1' for the first edge only: a single 1 marches down the register.
+  ASSERT_GE(taps.size(), 4u);
+  EXPECT_EQ(taps[0].value.str(), "0001");
+  EXPECT_EQ(taps[1].value.str(), "0010");
+  EXPECT_EQ(taps[2].value.str(), "0100");
+  EXPECT_EQ(taps[3].value.str(), "1000");
+}
+
+TEST(Interp, NestedGenerateWithConstantArithmetic) {
+  const auto r = simulate(R"(
+    entity t is end t;
+    architecture a of t is
+      signal v : std_logic_vector(5 downto 0) := "000000";
+      signal go : std_logic := '0';
+    begin
+      stim: process begin
+        wait for 5 ns; go <= '1'; wait;
+      end process;
+      outer: for i in 0 to 1 generate
+        inner: for j in 0 to 2 generate
+          p: process (go) begin
+            if go = '1' then v(i * 3 + j) <= '1'; end if;
+          end process;
+        end generate inner;
+      end generate outer;
+    end a;
+  )", "t", {"t/v"}, 50);
+  ASSERT_FALSE(r.traces[0].empty());
+  EXPECT_EQ(r.traces[0].back().value.str(), "111111");
+}
+
+TEST(Interp, WhileLoopAndModArithmetic) {
+  const auto r = simulate(R"(
+    entity t is end t;
+    architecture a of t is
+      signal out3 : std_logic_vector(3 downto 0) := "0000";
+    begin
+      p: process
+        variable n : integer := 27;
+        variable count : integer := 0;
+      begin
+        while n > 1 loop
+          if n mod 2 = 0 then
+            n := n / 2;   -- unsupported '/': replaced below
+          else
+            n := 3 * n + 1;
+          end if;
+          count := count + 1;
+          n := n mod 16;  -- keep it bounded for the test
+        end loop;
+        out3 <= to_unsigned(count, 4);
+        wait;
+      end process;
+    end a;
+  )", "t", {"t/out3"}, 50);
+  // The exact value is not the point; the loop must terminate and emit
+  // a deterministic count.
+  ASSERT_EQ(r.traces[0].size(), 1u);
+  const auto v = r.traces[0][0].value.to_uint();
+  ASSERT_TRUE(v.ok);
+  EXPECT_GT(v.value, 0u);
+}
+
+TEST(Interp, BooleanVariablesAndRelations) {
+  const auto r = simulate(R"(
+    entity t is end t;
+    architecture a of t is
+      signal y : std_logic := '0';
+      signal go : std_logic := '0';
+    begin
+      stim: process begin
+        wait for 5 ns; go <= '1'; wait;
+      end process;
+      p: process (go)
+        variable armed : boolean := false;
+        variable level : integer := 0;
+      begin
+        if go = '1' then
+          level := 7;
+          armed := level >= 5 and level < 10;
+          if armed then
+            y <= '1';
+          end if;
+        end if;
+      end process;
+    end a;
+  )", "t", {"t/y"}, 50);
+  ASSERT_EQ(r.traces[0].size(), 1u);
+  EXPECT_EQ(r.traces[0][0].value.str(), "1");
+  EXPECT_EQ(r.traces[0][0].ts.pt, 5);
+}
+
+TEST(Interp, MultipleArchitecturesLastOneBinds) {
+  // Two architectures for the same entity: library binding picks the last.
+  const auto r = simulate(R"(
+    entity leaf is
+      port (i : in std_logic; o : out std_logic);
+    end leaf;
+    architecture first of leaf is
+    begin
+      o <= i;  -- identity
+    end first;
+    architecture second of leaf is
+    begin
+      o <= not i;  -- inverter: this one must win
+    end second;
+
+    entity t is end t;
+    architecture a of t is
+      component leaf is
+        port (i : in std_logic; o : out std_logic);
+      end component leaf;
+      signal x, y : std_logic := '0';
+    begin
+      u: leaf port map (i => x, o => y);
+      stim: process begin
+        wait for 10 ns; x <= '1'; wait;
+      end process;
+    end a;
+  )", "t", {"t/y"}, 50);
+  ASSERT_GE(r.traces[0].size(), 1u);
+  EXPECT_EQ(r.traces[0][0].value.str(), "1");  // inverted '0' at t=0
+}
+
+TEST(Interp, CaseOnIntegerSelector) {
+  const auto r = simulate(R"(
+    entity t is end t;
+    architecture a of t is
+      signal clk : std_logic := '0';
+      signal phase : std_logic_vector(1 downto 0) := "00";
+    begin
+      clkgen: process begin
+        clk <= '1'; wait for 5 ns;
+        clk <= '0'; wait for 5 ns;
+      end process;
+      p: process (clk)
+        variable n : integer := 0;
+      begin
+        if rising_edge(clk) then
+          n := (n + 1) mod 3;
+          case n is
+            when 0 => phase <= "00";
+            when 1 => phase <= "01";
+            when others => phase <= "10";
+          end case;
+        end if;
+      end process;
+    end a;
+  )", "t", {"t/phase"}, 35);
+  const auto& ph = r.traces[0];
+  ASSERT_GE(ph.size(), 3u);
+  EXPECT_EQ(ph[0].value.str(), "01");  // n=1 at first edge
+  EXPECT_EQ(ph[1].value.str(), "10");  // n=2
+  EXPECT_EQ(ph[2].value.str(), "00");  // n=0
+}
+
+TEST(Interp, ProcessWithoutWaitIsDiagnosed) {
+  // A process whose body never waits would spin forever; the interpreter's
+  // instruction budget must turn that into an error, not a hang.
+  pdes::LpGraph graph;
+  vhdl::Design design(graph);
+  elaborate_source(R"(
+    entity t is end t;
+    architecture a of t is
+      signal y : std_logic := '0';
+    begin
+      p: process
+        variable n : integer := 0;
+      begin
+        while n >= 0 loop
+          n := n + 1;
+        end loop;
+        y <= '1';
+        wait;
+      end process;
+    end a;
+  )", "t", design);
+  design.finalize();
+  pdes::SequentialEngine eng(graph);
+  EXPECT_THROW(eng.run(10), ElabError);
+}
+
+TEST(Elaborate, ErrorsAreDiagnosed) {
+  pdes::LpGraph graph;
+  vhdl::Design design(graph);
+  EXPECT_THROW(elaborate_source("entity t is end t;", "missing", design),
+               ElabError);
+  EXPECT_THROW(elaborate_source(R"(
+    entity t is end t;
+    architecture a of t is
+    begin
+      y <= '1';
+    end a;
+  )", "t", design), ElabError);  // unknown signal y
+}
+
+TEST(Elaborate, EdgeDetectingProcessesGetSyncHint) {
+  pdes::LpGraph graph;
+  vhdl::Design design(graph);
+  elaborate_source(R"(
+    entity t is end t;
+    architecture a of t is
+      signal clk, d, q, y : std_logic := '0';
+    begin
+      reg: process (clk) begin
+        if rising_edge(clk) then q <= d; end if;
+      end process;
+      comb: process (d) begin
+        y <= not d;
+      end process;
+    end a;
+  )", "t", design);
+  bool reg_sync = false, comb_sync = true;
+  for (std::size_t p = 0; p < design.num_processes(); ++p) {
+    const auto& lp = design.process(static_cast<vhdl::ProcessId>(p));
+    if (lp.name().find("reg") != std::string::npos) reg_sync = lp.sync_hint();
+    if (lp.name().find("comb") != std::string::npos)
+      comb_sync = lp.sync_hint();
+  }
+  EXPECT_TRUE(reg_sync);
+  EXPECT_FALSE(comb_sync);
+}
+
+}  // namespace
+}  // namespace vsim::fe

@@ -1,0 +1,133 @@
+// Unit tests for the IEEE 1164 value system.
+#include <gtest/gtest.h>
+
+#include "common/logic.h"
+
+namespace vsim {
+namespace {
+
+TEST(Logic, CharRoundTrip) {
+  const char* chars = "UX01ZWLH-";
+  for (int i = 0; i < kNumLogic; ++i) {
+    const Logic v = static_cast<Logic>(i);
+    EXPECT_EQ(to_char(v), chars[i]);
+    EXPECT_EQ(logic_from_char(chars[i]), v);
+  }
+  EXPECT_EQ(logic_from_char('q'), Logic::kX);
+}
+
+TEST(Logic, ResolutionIdentityAndDominance) {
+  // Z is the identity of resolution (for non-U operands).
+  for (Logic v : {Logic::kX, Logic::k0, Logic::k1, Logic::kW, Logic::kL,
+                  Logic::kH}) {
+    EXPECT_EQ(resolve(v, Logic::kZ), v);
+    EXPECT_EQ(resolve(Logic::kZ, v), v);
+  }
+  // U dominates everything.
+  for (int i = 0; i < kNumLogic; ++i) {
+    EXPECT_EQ(resolve(Logic::kU, static_cast<Logic>(i)), Logic::kU);
+    EXPECT_EQ(resolve(static_cast<Logic>(i), Logic::kU), Logic::kU);
+  }
+  // Conflicting strong drivers give X.
+  EXPECT_EQ(resolve(Logic::k0, Logic::k1), Logic::kX);
+  // Strong beats weak.
+  EXPECT_EQ(resolve(Logic::k0, Logic::kH), Logic::k0);
+  EXPECT_EQ(resolve(Logic::k1, Logic::kL), Logic::k1);
+  // Conflicting weak drivers give W.
+  EXPECT_EQ(resolve(Logic::kL, Logic::kH), Logic::kW);
+}
+
+TEST(Logic, ResolutionIsCommutativeAndAssociative) {
+  for (int a = 0; a < kNumLogic; ++a) {
+    for (int b = 0; b < kNumLogic; ++b) {
+      const Logic la = static_cast<Logic>(a), lb = static_cast<Logic>(b);
+      EXPECT_EQ(resolve(la, lb), resolve(lb, la));
+      for (int c = 0; c < kNumLogic; ++c) {
+        const Logic lc = static_cast<Logic>(c);
+        EXPECT_EQ(resolve(resolve(la, lb), lc), resolve(la, resolve(lb, lc)))
+            << to_char(la) << to_char(lb) << to_char(lc);
+      }
+    }
+  }
+}
+
+TEST(Logic, OperatorsOn01) {
+  EXPECT_EQ(logic_and(Logic::k1, Logic::k1), Logic::k1);
+  EXPECT_EQ(logic_and(Logic::k1, Logic::k0), Logic::k0);
+  EXPECT_EQ(logic_or(Logic::k0, Logic::k0), Logic::k0);
+  EXPECT_EQ(logic_or(Logic::k0, Logic::k1), Logic::k1);
+  EXPECT_EQ(logic_xor(Logic::k1, Logic::k1), Logic::k0);
+  EXPECT_EQ(logic_xor(Logic::k1, Logic::k0), Logic::k1);
+  EXPECT_EQ(logic_not(Logic::k0), Logic::k1);
+  EXPECT_EQ(logic_not(Logic::kL), Logic::k1);  // weak 0 negates to 1
+}
+
+TEST(Logic, OperatorsDominantValues) {
+  // 0 dominates AND; 1 dominates OR, regardless of the unknown operand.
+  for (int i = 0; i < kNumLogic; ++i) {
+    const Logic v = static_cast<Logic>(i);
+    EXPECT_EQ(logic_and(Logic::k0, v), Logic::k0);
+    EXPECT_EQ(logic_and(v, Logic::k0), Logic::k0);
+    EXPECT_EQ(logic_or(Logic::k1, v), Logic::k1);
+    EXPECT_EQ(logic_or(v, Logic::k1), Logic::k1);
+  }
+  EXPECT_EQ(logic_and(Logic::kX, Logic::k1), Logic::kX);
+  EXPECT_EQ(logic_xor(Logic::kZ, Logic::k1), Logic::kX);
+}
+
+TEST(Logic, ToX01) {
+  EXPECT_EQ(to_x01(Logic::kL), Logic::k0);
+  EXPECT_EQ(to_x01(Logic::kH), Logic::k1);
+  EXPECT_EQ(to_x01(Logic::kZ), Logic::kX);
+  EXPECT_EQ(to_x01(Logic::kU), Logic::kX);
+  EXPECT_EQ(to_x01(Logic::k0), Logic::k0);
+}
+
+TEST(LogicVector, StringRoundTrip) {
+  const LogicVector v = LogicVector::from_string("01ZXUWLH-");
+  EXPECT_EQ(v.size(), 9u);
+  EXPECT_EQ(v.str(), "01ZXUWLH-");
+}
+
+TEST(LogicVector, UintRoundTrip) {
+  for (std::uint64_t x : {0ull, 1ull, 5ull, 170ull, 255ull}) {
+    const LogicVector v = LogicVector::from_uint(x, 8);
+    const auto r = v.to_uint();
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.value, x);
+  }
+  LogicVector v = LogicVector::from_uint(5, 4);
+  v.set(2, Logic::kX);
+  EXPECT_FALSE(v.to_uint().ok);
+  // Weak values still convert.
+  LogicVector w = LogicVector::from_string("HL");
+  const auto r = w.to_uint();
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.value, 2u);
+}
+
+TEST(LogicVector, HeapStorageBeyondInlineCapacity) {
+  LogicVector big(100, Logic::k0);
+  EXPECT_EQ(big.size(), 100u);
+  big.set(99, Logic::k1);
+  EXPECT_EQ(big.at(99), Logic::k1);
+  EXPECT_EQ(big.at(0), Logic::k0);
+  LogicVector copy = big;
+  EXPECT_EQ(copy, big);
+  copy.set(0, Logic::k1);
+  EXPECT_NE(copy, big);
+}
+
+TEST(LogicVector, ElementwiseResolve) {
+  const LogicVector a = LogicVector::from_string("01Z");
+  const LogicVector b = LogicVector::from_string("Z1Z");
+  EXPECT_EQ(resolve(a, b).str(), "01Z");
+}
+
+TEST(LogicVector, EqualityRequiresSameSize) {
+  EXPECT_NE(LogicVector::from_string("01"), LogicVector::from_string("010"));
+  EXPECT_EQ(LogicVector{}, LogicVector{});
+}
+
+}  // namespace
+}  // namespace vsim

@@ -1,0 +1,208 @@
+// Machine-model engine tests: makespan sanity, statistics consistency,
+// deadlock detection, memory caps and configuration behaviour.
+#include <gtest/gtest.h>
+
+#include "circuits/fsm.h"
+#include "circuits/iir.h"
+#include "partition/partition.h"
+#include "pdes/machine.h"
+#include "pdes/sequential.h"
+
+namespace vsim::pdes {
+namespace {
+
+struct Built {
+  std::unique_ptr<LpGraph> graph;
+  std::unique_ptr<vhdl::Design> design;
+};
+
+Built build_fsm(std::size_t lanes = 3) {
+  Built b;
+  b.graph = std::make_unique<LpGraph>();
+  b.design = std::make_unique<vhdl::Design>(*b.graph);
+  circuits::FsmParams p;
+  p.lanes = lanes;
+  p.width = 5;
+  circuits::build_fsm(*b.design, p);
+  b.design->finalize();
+  return b;
+}
+
+RunStats run(Built& b, RunConfig rc) {
+  MachineEngine eng(*b.graph,
+                    partition::round_robin(b.graph->size(), rc.num_workers),
+                    rc);
+  return eng.run();
+}
+
+TEST(MachineModel, SingleWorkerMakespanExceedsSequentialCost) {
+  // With one worker every event is serialized and protocol overheads are
+  // pure cost: makespan >= sequential work.
+  Built ref = build_fsm();
+  SequentialEngine seq(*ref.graph);
+  const double seq_cost = seq.run(300).total_cost;
+
+  Built b = build_fsm();
+  RunConfig rc;
+  rc.num_workers = 1;
+  rc.configuration = Configuration::kAllOptimistic;
+  rc.until = 300;
+  const RunStats st = run(b, rc);
+  EXPECT_GE(st.makespan, seq_cost);
+}
+
+TEST(MachineModel, SpeedupNeverExceedsWorkerCount) {
+  Built ref = build_fsm();
+  SequentialEngine seq(*ref.graph);
+  const double seq_cost = seq.run(300).total_cost;
+  for (std::size_t p : {2u, 4u, 8u}) {
+    Built b = build_fsm();
+    RunConfig rc;
+    rc.num_workers = p;
+    rc.configuration = Configuration::kDynamic;
+    rc.until = 300;
+    const RunStats st = run(b, rc);
+    EXPECT_LE(seq_cost / st.makespan, static_cast<double>(p));
+  }
+}
+
+TEST(MachineModel, CommittedEventsMatchSequentialAcrossConfigs) {
+  Built ref = build_fsm();
+  SequentialEngine seq(*ref.graph);
+  const auto seq_events = seq.run(300).stats.total_events();
+
+  for (Configuration c :
+       {Configuration::kAllOptimistic, Configuration::kAllConservative,
+        Configuration::kMixed, Configuration::kDynamic}) {
+    Built b = build_fsm();
+    RunConfig rc;
+    rc.num_workers = 5;
+    rc.configuration = c;
+    rc.until = 300;
+    const RunStats st = run(b, rc);
+    EXPECT_EQ(st.total_committed(), seq_events) << to_string(c);
+    // Processed >= committed (speculative re-execution never loses work).
+    EXPECT_GE(st.total_events(), st.total_committed());
+  }
+}
+
+TEST(MachineModel, ConservativeNeverRollsBack) {
+  Built b = build_fsm();
+  RunConfig rc;
+  rc.num_workers = 6;
+  rc.configuration = Configuration::kAllConservative;
+  rc.until = 300;
+  const RunStats st = run(b, rc);
+  EXPECT_EQ(st.total_rollbacks(), 0u);
+  for (const auto& lp : st.per_lp) {
+    EXPECT_EQ(lp.rollbacks, 0u);
+    EXPECT_EQ(lp.state_saves, 0u);
+    EXPECT_EQ(lp.max_history, 0u);
+  }
+}
+
+TEST(MachineModel, HistoryCapIsHonoured) {
+  Built b = build_fsm();
+  RunConfig rc;
+  rc.num_workers = 6;
+  rc.configuration = Configuration::kAllOptimistic;
+  rc.max_history = 8;
+  rc.until = 300;
+  const RunStats st = run(b, rc);
+  for (const auto& lp : st.per_lp) EXPECT_LE(lp.max_history, 8u);
+}
+
+TEST(MachineModel, UserConsistentConservativeWithoutLookaheadDeadlocks) {
+  Built b = build_fsm();
+  RunConfig rc;
+  rc.num_workers = 4;
+  rc.configuration = Configuration::kAllConservative;
+  rc.ordering = OrderingMode::kUserConsistent;
+  rc.strategy = ConservativeStrategy::kNullMessage;
+  rc.use_lookahead = false;
+  rc.until = 300;
+  const RunStats st = run(b, rc);
+  EXPECT_TRUE(st.deadlocked);
+}
+
+TEST(MachineModel, NullMessageStrategyWithLookaheadProgressesOnGateCircuit) {
+  // Gate-level IIR has positive lookahead everywhere -> CMB works.
+  Built b;
+  b.graph = std::make_unique<LpGraph>();
+  b.design = std::make_unique<vhdl::Design>(*b.graph);
+  circuits::IirParams p;
+  p.sections = 2;
+  p.width = 4;
+  circuits::build_iir(*b.design, p);
+  b.design->finalize();
+
+  RunConfig rc;
+  rc.num_workers = 4;
+  rc.configuration = Configuration::kAllConservative;
+  rc.ordering = OrderingMode::kUserConsistent;
+  rc.strategy = ConservativeStrategy::kNullMessage;
+  rc.use_lookahead = true;
+  rc.until = 1000;
+  MachineEngine eng(*b.graph,
+                    partition::round_robin(b.graph->size(), rc.num_workers),
+                    rc);
+  const RunStats st = eng.run();
+  EXPECT_FALSE(st.deadlocked);
+  EXPECT_GT(st.total_committed(), 0u);
+  EXPECT_GT(st.total_null_messages(), 0u);
+}
+
+TEST(MachineModel, LookaheadFreeProtocolSendsNoNullMessages) {
+  Built b = build_fsm();
+  RunConfig rc;
+  rc.num_workers = 4;
+  rc.configuration = Configuration::kDynamic;
+  rc.until = 300;
+  const RunStats st = run(b, rc);
+  EXPECT_EQ(st.total_null_messages(), 0u);
+}
+
+TEST(MachineModel, DeterministicAcrossRuns) {
+  RunConfig rc;
+  rc.num_workers = 7;
+  rc.configuration = Configuration::kDynamic;
+  rc.until = 300;
+  Built b1 = build_fsm();
+  Built b2 = build_fsm();
+  const RunStats s1 = run(b1, rc);
+  const RunStats s2 = run(b2, rc);
+  EXPECT_EQ(s1.makespan, s2.makespan);
+  EXPECT_EQ(s1.total_events(), s2.total_events());
+  EXPECT_EQ(s1.total_rollbacks(), s2.total_rollbacks());
+  EXPECT_EQ(s1.gvt_rounds, s2.gvt_rounds);
+}
+
+TEST(MachineModel, MixedConfigurationAssignsModesByHint) {
+  Built b = build_fsm();
+  RunConfig rc;
+  rc.num_workers = 4;
+  rc.configuration = Configuration::kMixed;
+  rc.until = 300;
+  const RunStats st = run(b, rc);
+  // Synchronous LPs (clock, DFFs, their nets) never save state.
+  for (LpId id = 0; id < b.graph->size(); ++id) {
+    if (b.graph->lp(id).sync_hint()) {
+      EXPECT_EQ(st.per_lp[id].state_saves, 0u) << b.graph->lp(id).name();
+    }
+  }
+}
+
+TEST(MachineModel, WorkerStatsAccountAllEvents) {
+  Built b = build_fsm();
+  RunConfig rc;
+  rc.num_workers = 5;
+  rc.configuration = Configuration::kAllOptimistic;
+  rc.until = 300;
+  const RunStats st = run(b, rc);
+  std::uint64_t by_worker = 0;
+  for (const auto& w : st.per_worker) by_worker += w.events;
+  EXPECT_EQ(by_worker, st.total_events());
+}
+
+}  // namespace
+}  // namespace vsim::pdes

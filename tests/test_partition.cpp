@@ -1,0 +1,96 @@
+// Partitioner tests: validity, balance, determinism, and the bipartite
+// scheme's cut-size advantage on circuit-shaped graphs.
+#include <gtest/gtest.h>
+
+#include "circuits/fsm.h"
+#include "circuits/iir.h"
+#include "partition/partition.h"
+
+namespace vsim::partition {
+namespace {
+
+void check_valid(const pdes::Partition& p, std::size_t n_lps,
+                 std::size_t n_workers) {
+  ASSERT_EQ(p.size(), n_lps);
+  std::vector<std::size_t> counts(n_workers, 0);
+  for (auto w : p) {
+    ASSERT_LT(w, n_workers);
+    ++counts[w];
+  }
+  // Balance: max and min worker load differ by at most ceil(n/w).
+  const std::size_t per = (n_lps + n_workers - 1) / n_workers;
+  for (auto c : counts) EXPECT_LE(c, per);
+}
+
+class PartitionTest : public testing::TestWithParam<std::size_t> {};
+
+TEST_P(PartitionTest, RoundRobinIsValidAndBalanced) {
+  const std::size_t workers = GetParam();
+  check_valid(round_robin(553, workers), 553, workers);
+}
+
+TEST_P(PartitionTest, BlocksIsValidAndBalanced) {
+  const std::size_t workers = GetParam();
+  check_valid(blocks(553, workers), 553, workers);
+}
+
+TEST_P(PartitionTest, BipartiteBfsIsValidAndBalanced) {
+  const std::size_t workers = GetParam();
+  pdes::LpGraph g;
+  vhdl::Design d(g);
+  circuits::FsmParams fp;
+  fp.lanes = 4;
+  circuits::build_fsm(d, fp);
+  d.finalize();
+  check_valid(bipartite_bfs(g, workers), g.size(), workers);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, PartitionTest,
+                         testing::Values(1, 2, 3, 7, 8, 16));
+
+TEST(Partition, BipartiteReducesCutOnCircuits) {
+  pdes::LpGraph g;
+  vhdl::Design d(g);
+  circuits::IirParams ip;
+  ip.sections = 3;
+  circuits::build_iir(d, ip);
+  d.finalize();
+  for (std::size_t workers : {2u, 4u, 8u}) {
+    const auto rr = round_robin(g.size(), workers);
+    const auto bf = bipartite_bfs(g, workers);
+    EXPECT_LT(cut_size(g, bf), cut_size(g, rr)) << workers << " workers";
+  }
+}
+
+TEST(Partition, Deterministic) {
+  pdes::LpGraph g;
+  vhdl::Design d(g);
+  circuits::FsmParams fp;
+  circuits::build_fsm(d, fp);
+  d.finalize();
+  EXPECT_EQ(bipartite_bfs(g, 8), bipartite_bfs(g, 8));
+  EXPECT_EQ(round_robin(g.size(), 8), round_robin(g.size(), 8));
+}
+
+TEST(Partition, CutSizeCountsCrossWorkerChannels) {
+  pdes::LpGraph g;
+  struct Dummy final : pdes::LogicalProcess {
+    using LogicalProcess::LogicalProcess;
+    void simulate(const pdes::Event&, pdes::SimContext&) override {}
+    std::unique_ptr<pdes::LpState> save_state() const override {
+      return std::make_unique<pdes::LpState>();
+    }
+    void restore_state(const pdes::LpState&) override {}
+  };
+  for (int i = 0; i < 4; ++i)
+    g.add(std::make_unique<Dummy>("d" + std::to_string(i)));
+  g.add_channel(0, 1);
+  g.add_channel(1, 2);
+  g.add_channel(2, 3);
+  EXPECT_EQ(cut_size(g, {0, 0, 0, 0}), 0u);
+  EXPECT_EQ(cut_size(g, {0, 0, 1, 1}), 1u);
+  EXPECT_EQ(cut_size(g, {0, 1, 0, 1}), 3u);
+}
+
+}  // namespace
+}  // namespace vsim::partition

@@ -1,0 +1,464 @@
+// Protocol-level unit tests for LpRuntime: Time Warp rollback,
+// anti-message annihilation, fossil collection, conservative eligibility,
+// ordering modes, memory stalls and mode switching.
+#include <gtest/gtest.h>
+
+#include "pdes/adaptive.h"
+#include "pdes/lp_runtime.h"
+
+namespace vsim::pdes {
+namespace {
+
+// A scripted LP: on every event, appends the event uid to its log and
+// (optionally) sends one event per entry in `plan` for that input kind.
+struct ScriptState final : LpState {
+  std::vector<EventUid> log;
+};
+
+class ScriptLp : public LogicalProcess {
+ public:
+  explicit ScriptLp(std::string name) : LogicalProcess(std::move(name)) {}
+
+  struct PlannedSend {
+    std::int16_t on_kind;
+    LpId dst;
+    PhysTime delta_pt;
+    std::int16_t kind;
+  };
+  std::vector<PlannedSend> plan;
+  std::vector<EventUid> log;
+
+  void simulate(const Event& ev, SimContext& ctx) override {
+    log.push_back(ev.uid);
+    for (const auto& p : plan) {
+      if (p.on_kind == ev.kind)
+        ctx.send(p.dst, {ev.ts.pt + p.delta_pt, 0}, p.kind, {});
+    }
+  }
+  std::unique_ptr<LpState> save_state() const override {
+    auto s = std::make_unique<ScriptState>();
+    s->log = log;
+    return s;
+  }
+  void restore_state(const LpState& s) override {
+    log = static_cast<const ScriptState&>(s).log;
+  }
+};
+
+// Captures routed events instead of delivering them.
+class CaptureRouter final : public Router {
+ public:
+  void route(Event&& ev) override { routed.push_back(std::move(ev)); }
+  void commit(const Event& ev) override { committed.push_back(ev); }
+  std::vector<Event> routed;
+  std::vector<Event> committed;
+};
+
+Event make_event(VirtualTime ts, LpId dst, EventUid uid,
+                 std::int16_t kind = 1) {
+  Event e;
+  e.ts = ts;
+  e.src = 99;
+  e.dst = dst;
+  e.uid = uid;
+  e.kind = kind;
+  return e;
+}
+
+class LpRuntimeTest : public testing::Test {
+ protected:
+  LpRuntimeTest() : lp_("lp") {}
+
+  LpRuntime make(SyncMode mode,
+                 OrderingMode ord = OrderingMode::kArbitrary,
+                 ConservativeStrategy strat = ConservativeStrategy::kGlobalSync,
+                 std::size_t cap = 0) {
+    return LpRuntime(&lp_, ord, strat, mode, cap);
+  }
+
+  ScriptLp lp_;
+  CaptureRouter router_;
+};
+
+TEST_F(LpRuntimeTest, ProcessesInTimestampOrder) {
+  auto rt = make(SyncMode::kOptimistic);
+  rt.enqueue(make_event({5, 0}, 0, 2), router_);
+  rt.enqueue(make_event({1, 0}, 0, 1), router_);
+  rt.enqueue(make_event({3, 0}, 0, 3), router_);
+  ASSERT_EQ(rt.peek(kTimeZero, 100), Eligibility::kReady);
+  rt.process_next(router_);
+  rt.process_next(router_);
+  rt.process_next(router_);
+  EXPECT_EQ(lp_.log, (std::vector<EventUid>{1, 3, 2}));
+  EXPECT_EQ(rt.peek(kTimeZero, 100), Eligibility::kIdle);
+}
+
+TEST_F(LpRuntimeTest, StragglerTriggersRollbackAndReexecution) {
+  auto rt = make(SyncMode::kOptimistic);
+  rt.enqueue(make_event({1, 0}, 0, 1), router_);
+  rt.enqueue(make_event({5, 0}, 0, 5), router_);
+  rt.enqueue(make_event({9, 0}, 0, 9), router_);
+  rt.process_next(router_);
+  rt.process_next(router_);
+  rt.process_next(router_);
+  EXPECT_EQ(lp_.log, (std::vector<EventUid>{1, 5, 9}));
+
+  // Straggler at t=3: events 5 and 9 must be undone and re-executed.
+  rt.enqueue(make_event({3, 0}, 0, 3), router_);
+  EXPECT_EQ(rt.stats().rollbacks, 1u);
+  EXPECT_EQ(rt.stats().events_undone, 2u);
+  EXPECT_EQ(lp_.log, (std::vector<EventUid>{1}));  // state restored
+  while (rt.peek(kTimeZero, 100) == Eligibility::kReady)
+    rt.process_next(router_);
+  EXPECT_EQ(lp_.log, (std::vector<EventUid>{1, 3, 5, 9}));
+}
+
+TEST_F(LpRuntimeTest, EqualTimestampDoesNotRollBackUnderArbitrary) {
+  auto rt = make(SyncMode::kOptimistic, OrderingMode::kArbitrary);
+  rt.enqueue(make_event({5, 0}, 0, 1), router_);
+  rt.process_next(router_);
+  rt.enqueue(make_event({5, 0}, 0, 2), router_);
+  EXPECT_EQ(rt.stats().rollbacks, 0u);
+  rt.process_next(router_);
+  EXPECT_EQ(lp_.log, (std::vector<EventUid>{1, 2}));
+}
+
+TEST_F(LpRuntimeTest, EqualTimestampRollsBackUnderUserConsistent) {
+  auto rt = make(SyncMode::kOptimistic, OrderingMode::kUserConsistent);
+  rt.enqueue(make_event({5, 0}, 0, 1), router_);
+  rt.process_next(router_);
+  rt.enqueue(make_event({5, 0}, 0, 2), router_);
+  EXPECT_EQ(rt.stats().rollbacks, 1u);
+  EXPECT_EQ(rt.stats().events_undone, 1u);
+}
+
+TEST_F(LpRuntimeTest, RollbackSendsAntiMessagesForUndoneSends) {
+  lp_.plan.push_back({1, 7, 10, 42});  // on kind 1, send to LP 7 at +10
+  auto rt = make(SyncMode::kOptimistic);
+  rt.enqueue(make_event({5, 0}, 0, 5, /*kind=*/1), router_);
+  rt.process_next(router_);
+  ASSERT_EQ(router_.routed.size(), 1u);
+  EXPECT_FALSE(router_.routed[0].negative);
+  const EventUid sent_uid = router_.routed[0].uid;
+
+  rt.enqueue(make_event({2, 0}, 0, 2, /*kind=*/9), router_);
+  // The undone send must be cancelled with a negative copy.
+  ASSERT_EQ(router_.routed.size(), 2u);
+  EXPECT_TRUE(router_.routed[1].negative);
+  EXPECT_EQ(router_.routed[1].uid, sent_uid);
+  EXPECT_EQ(rt.stats().anti_messages_sent, 1u);
+}
+
+TEST_F(LpRuntimeTest, NegativeAnnihilatesPendingPositive) {
+  auto rt = make(SyncMode::kOptimistic);
+  Event pos = make_event({5, 0}, 0, 77);
+  Event neg = pos;
+  neg.negative = true;
+  rt.enqueue(pos, router_);
+  rt.enqueue(neg, router_);
+  EXPECT_EQ(rt.peek(kTimeZero, 100), Eligibility::kIdle);
+  EXPECT_EQ(rt.stats().annihilations, 1u);
+}
+
+TEST_F(LpRuntimeTest, NegativeBeforePositiveAnnihilates) {
+  auto rt = make(SyncMode::kOptimistic);
+  Event pos = make_event({5, 0}, 0, 77);
+  Event neg = pos;
+  neg.negative = true;
+  rt.enqueue(neg, router_);  // transient reordering
+  rt.enqueue(pos, router_);
+  EXPECT_EQ(rt.peek(kTimeZero, 100), Eligibility::kIdle);
+  EXPECT_EQ(rt.stats().annihilations, 1u);
+}
+
+TEST_F(LpRuntimeTest, NegativeForProcessedEventRollsBack) {
+  auto rt = make(SyncMode::kOptimistic);
+  rt.enqueue(make_event({5, 0}, 0, 5), router_);
+  rt.enqueue(make_event({7, 0}, 0, 7), router_);
+  rt.process_next(router_);
+  rt.process_next(router_);
+  EXPECT_EQ(lp_.log, (std::vector<EventUid>{5, 7}));
+
+  Event neg = make_event({5, 0}, 0, 5);
+  neg.negative = true;
+  rt.enqueue(neg, router_);
+  EXPECT_EQ(lp_.log, std::vector<EventUid>{});  // both undone
+  // Event 7 is re-pended; the cancelled event 5 is gone.
+  ASSERT_EQ(rt.peek(kTimeZero, 100), Eligibility::kReady);
+  rt.process_next(router_);
+  EXPECT_EQ(lp_.log, (std::vector<EventUid>{7}));
+  EXPECT_EQ(rt.peek(kTimeZero, 100), Eligibility::kIdle);
+}
+
+TEST_F(LpRuntimeTest, FossilCollectionCommitsInOrderAndFreesHistory) {
+  auto rt = make(SyncMode::kOptimistic);
+  for (EventUid u : {1u, 2u, 3u, 4u})
+    rt.enqueue(make_event({static_cast<PhysTime>(u), 0}, 0, u), router_);
+  while (rt.peek(kTimeZero, 100) == Eligibility::kReady)
+    rt.process_next(router_);
+  EXPECT_EQ(rt.history_size(), 4u);
+
+  rt.fossil_collect({3, 0}, router_);
+  // Events strictly below (3,0) commit; the (3,0) entry must be kept.
+  ASSERT_EQ(router_.committed.size(), 2u);
+  EXPECT_EQ(router_.committed[0].uid, 1u);
+  EXPECT_EQ(router_.committed[1].uid, 2u);
+  EXPECT_EQ(rt.history_size(), 2u);
+
+  rt.fossil_collect(kTimeInf, router_);
+  EXPECT_EQ(router_.committed.size(), 4u);
+  EXPECT_EQ(rt.history_size(), 0u);
+  EXPECT_EQ(rt.stats().events_committed, 4u);
+}
+
+TEST_F(LpRuntimeTest, ConservativeBlocksAboveGlobalBound) {
+  auto rt = make(SyncMode::kConservative);
+  rt.enqueue(make_event({5, 0}, 0, 1), router_);
+  EXPECT_EQ(rt.peek({3, 0}, 100), Eligibility::kBlocked);
+  EXPECT_EQ(rt.peek({5, 0}, 100), Eligibility::kReady);  // ts == bound safe
+  rt.process_next(router_);
+  // Conservative commits immediately.
+  EXPECT_EQ(router_.committed.size(), 1u);
+  EXPECT_EQ(rt.stats().events_committed, 1u);
+}
+
+TEST_F(LpRuntimeTest, HorizonMakesEventsIdle) {
+  auto rt = make(SyncMode::kOptimistic);
+  rt.enqueue(make_event({50, 0}, 0, 1), router_);
+  EXPECT_EQ(rt.peek(kTimeInf, /*until=*/10), Eligibility::kIdle);
+  EXPECT_EQ(rt.peek(kTimeInf, /*until=*/50), Eligibility::kReady);
+}
+
+TEST_F(LpRuntimeTest, HistoryCapStallsOptimistically) {
+  auto rt = make(SyncMode::kOptimistic, OrderingMode::kArbitrary,
+                 ConservativeStrategy::kGlobalSync, /*cap=*/2);
+  for (EventUid u : {1u, 2u, 3u})
+    rt.enqueue(make_event({static_cast<PhysTime>(u), 0}, 0, u), router_);
+  rt.process_next(router_);
+  rt.process_next(router_);
+  EXPECT_EQ(rt.peek(kTimeZero, 100), Eligibility::kBlocked);
+  rt.note_blocked();
+  EXPECT_EQ(rt.window_memory_stalls(), 1u);
+  rt.fossil_collect(kTimeInf, router_);
+  EXPECT_EQ(rt.peek(kTimeZero, 100), Eligibility::kReady);
+}
+
+TEST_F(LpRuntimeTest, NullMessagesAdvanceChannelClocks) {
+  auto rt = make(SyncMode::kConservative, OrderingMode::kUserConsistent,
+                 ConservativeStrategy::kNullMessage);
+  rt.add_input_channel(42);
+  rt.enqueue(make_event({5, 0}, 0, 1), router_);
+  // Clock at zero: strictly-less test fails.
+  EXPECT_EQ(rt.peek(kTimeZero, 100), Eligibility::kBlocked);
+  Event null_msg;
+  null_msg.ts = {6, 0};
+  null_msg.src = 42;
+  null_msg.dst = 0;
+  null_msg.kind = kNullMsgKind;
+  rt.enqueue(null_msg, router_);
+  EXPECT_EQ(rt.peek(kTimeZero, 100), Eligibility::kReady);
+}
+
+TEST_F(LpRuntimeTest, NullPromiseUsesLookaheadOnlyWhenEnabled) {
+  LpRuntime no_la(&lp_, OrderingMode::kArbitrary,
+                  ConservativeStrategy::kNullMessage, SyncMode::kConservative,
+                  0, /*use_lookahead=*/false);
+  struct LaLp final : ScriptLp {
+    LaLp() : ScriptLp("la") {}
+    PhysTime lookahead() const override { return 7; }
+  };
+  LaLp la_lp;
+  LpRuntime la_rt(&la_lp, OrderingMode::kArbitrary,
+                  ConservativeStrategy::kNullMessage, SyncMode::kConservative,
+                  0, /*use_lookahead=*/true);
+  CaptureRouter r;
+  no_la.enqueue(make_event({5, 0}, 0, 1), r);
+  la_rt.enqueue(make_event({5, 0}, 0, 1), r);
+  EXPECT_EQ(no_la.null_promise(), (VirtualTime{5, 0}));
+  EXPECT_EQ(la_rt.null_promise(), (VirtualTime{12, 0}));
+}
+
+TEST_F(LpRuntimeTest, AdaptationDemotesRollbackProneLp) {
+  auto rt = make(SyncMode::kOptimistic);
+  AdaptPolicy policy;
+  policy.min_window_events = 2;
+  policy.rollback_rate_high = 0.1;
+  // Generate rollbacks: process then deliver stragglers repeatedly.
+  for (int i = 0; i < 4; ++i) {
+    rt.enqueue(make_event({10 + i, 0}, 0, 100 + static_cast<EventUid>(i)),
+               router_);
+    rt.process_next(router_);
+    rt.enqueue(make_event({5 + i, 0}, 0, 200 + static_cast<EventUid>(i)),
+               router_);
+    while (rt.peek(kTimeZero, 1000) == Eligibility::kReady)
+      rt.process_next(router_);
+  }
+  EXPECT_GT(rt.window_rollbacks(), 0u);
+  adapt_lp(rt, policy);
+  EXPECT_EQ(rt.mode(), SyncMode::kConservative);
+}
+
+TEST_F(LpRuntimeTest, AdaptationPromotesStarvingConservativeLp) {
+  auto rt = make(SyncMode::kConservative);
+  AdaptPolicy policy;
+  policy.min_window_events = 2;
+  rt.enqueue(make_event({50, 0}, 0, 1), router_);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(rt.peek(kTimeZero, 1000), Eligibility::kBlocked);
+    rt.note_blocked();
+  }
+  adapt_lp(rt, policy);
+  EXPECT_EQ(rt.mode(), SyncMode::kOptimistic);
+}
+
+TEST_F(LpRuntimeTest, PinnedConservativeLpIsNotPromoted) {
+  auto rt = make(SyncMode::kOptimistic);
+  AdaptPolicy policy;
+  policy.min_window_events = 1;
+  rt.pin_conservative();
+  EXPECT_EQ(rt.mode(), SyncMode::kConservative);
+  rt.enqueue(make_event({50, 0}, 0, 1), router_);
+  for (int i = 0; i < 5; ++i) rt.note_blocked();
+  adapt_lp(rt, policy);
+  EXPECT_EQ(rt.mode(), SyncMode::kConservative);
+}
+
+TEST_F(LpRuntimeTest, StragglerAfterDemotionStillRollsBackHistory) {
+  // Regression (found by fuzzing): an LP demoted optimistic->conservative
+  // while still holding speculative history must roll back on stragglers
+  // targeting that history; otherwise it processes events out of order.
+  auto rt = make(SyncMode::kOptimistic);
+  rt.enqueue(make_event({5, 0}, 0, 5), router_);
+  rt.enqueue(make_event({9, 0}, 0, 9), router_);
+  rt.process_next(router_);
+  rt.process_next(router_);
+  ASSERT_EQ(rt.history_size(), 2u);
+
+  rt.set_mode(SyncMode::kConservative);  // dynamic demotion
+  rt.enqueue(make_event({7, 0}, 0, 7), router_);  // straggler
+  EXPECT_EQ(rt.stats().rollbacks, 1u);
+  EXPECT_EQ(lp_.log, (std::vector<EventUid>{5}));
+  while (rt.peek(kTimeInf, 100) == Eligibility::kReady)
+    rt.process_next(router_);
+  EXPECT_EQ(lp_.log, (std::vector<EventUid>{5, 7, 9}));
+}
+
+// ---- lazy cancellation ----
+
+class LazyTest : public LpRuntimeTest {
+ protected:
+  LpRuntime make_lazy() {
+    return LpRuntime(&lp_, OrderingMode::kArbitrary,
+                     ConservativeStrategy::kGlobalSync,
+                     SyncMode::kOptimistic, 0, false,
+                     CancellationPolicy::kLazy);
+  }
+};
+
+TEST_F(LazyTest, IdenticalRegenerationSuppressesAntiAndResend) {
+  lp_.plan.push_back({1, 7, 10, 42});  // on kind 1, send to LP 7 at +10
+  auto rt = make_lazy();
+  rt.enqueue(make_event({5, 0}, 0, 5, /*kind=*/1), router_);
+  rt.process_next(router_);
+  ASSERT_EQ(router_.routed.size(), 1u);
+  const EventUid original_uid = router_.routed[0].uid;
+
+  // Straggler with a *different kind* (9): the scripted LP's output for
+  // event 5 is unchanged, so after re-execution nothing new is routed:
+  // no anti-message, no duplicate positive.
+  rt.enqueue(make_event({2, 0}, 0, 2, /*kind=*/9), router_);
+  EXPECT_EQ(router_.routed.size(), 1u);  // rollback sent nothing yet
+  while (rt.peek(kTimeInf, 100) == Eligibility::kReady)
+    rt.process_next(router_);
+  ASSERT_EQ(router_.routed.size(), 1u);  // identical send matched
+  EXPECT_EQ(rt.stats().lazy_reuses, 1u);
+  EXPECT_EQ(rt.stats().anti_messages_sent, 0u);
+  EXPECT_EQ(router_.routed[0].uid, original_uid);
+}
+
+TEST_F(LazyTest, ChangedOutputCancelsOldAndSendsNew) {
+  // The LP sends one event per kind-1 input; a straggler of kind 1 at an
+  // earlier time changes WHAT is sent during re-execution (different ts).
+  lp_.plan.push_back({1, 7, 10, 42});
+  auto rt = make_lazy();
+  rt.enqueue(make_event({5, 0}, 0, 5, /*kind=*/1), router_);
+  rt.process_next(router_);
+  ASSERT_EQ(router_.routed.size(), 1u);
+  const EventUid old_uid = router_.routed[0].uid;
+
+  // Straggler of kind 1 at t=2: re-execution processes (2) then (5).
+  // Event 2 generates a NEW send at ts 12 (no lazy match: old one is at
+  // 15); re-executing event 5 regenerates the identical send at 15.
+  rt.enqueue(make_event({2, 0}, 0, 2, /*kind=*/1), router_);
+  while (rt.peek(kTimeInf, 100) == Eligibility::kReady)
+    rt.process_next(router_);
+  ASSERT_EQ(router_.routed.size(), 2u);
+  EXPECT_FALSE(router_.routed[1].negative);
+  EXPECT_EQ(router_.routed[1].ts, (VirtualTime{12, 0}));
+  EXPECT_EQ(rt.stats().lazy_reuses, 1u);   // the (15,0) send matched
+  EXPECT_EQ(rt.stats().anti_messages_sent, 0u);
+  EXPECT_EQ(rt.stats().lazy_cancels, 0u);
+  (void)old_uid;
+}
+
+TEST_F(LazyTest, AnnihilatedEventSettlesItsLazySends) {
+  lp_.plan.push_back({1, 7, 10, 42});
+  auto rt = make_lazy();
+  const Event gen = make_event({5, 0}, 0, 5, /*kind=*/1);
+  rt.enqueue(gen, router_);
+  rt.process_next(router_);
+  ASSERT_EQ(router_.routed.size(), 1u);
+  const EventUid sent_uid = router_.routed[0].uid;
+
+  // The generating event itself is cancelled: roll back, re-pend, erase.
+  Event neg = gen;
+  neg.negative = true;
+  rt.enqueue(neg, router_);
+  // Its lazy send can never be regenerated -> anti-message now.
+  ASSERT_EQ(router_.routed.size(), 2u);
+  EXPECT_TRUE(router_.routed[1].negative);
+  EXPECT_EQ(router_.routed[1].uid, sent_uid);
+  EXPECT_EQ(rt.stats().lazy_cancels, 1u);
+  EXPECT_EQ(rt.peek(kTimeInf, 100), Eligibility::kIdle);
+}
+
+TEST_F(LazyTest, ReexecutionPastGeneratorCancelsUnregenerated) {
+  // Event 5 (kind 1) sends; the straggler at t=2 is ALSO kind 1 but the
+  // LP's plan changes behaviour via state: here we emulate divergence by
+  // cancelling event 5 entirely and keeping a later event, so the
+  // re-execution of 9 (kind 2, no sends) settles nothing and the
+  // annihilation path fires instead -- covered above.  This test covers
+  // rule (b): re-executing the generator with *different* output.
+  lp_.plan.push_back({1, 7, 10, 42});
+  auto rt = make_lazy();
+  rt.enqueue(make_event({5, 0}, 0, 5, /*kind=*/1), router_);
+  rt.process_next(router_);
+  // Mutate the plan so re-execution produces a different destination time.
+  lp_.plan[0].delta_pt = 20;
+  rt.enqueue(make_event({2, 0}, 0, 2, /*kind=*/9), router_);
+  while (rt.peek(kTimeInf, 100) == Eligibility::kReady)
+    rt.process_next(router_);
+  // Old send (15) cancelled, new send (25) routed.
+  ASSERT_EQ(router_.routed.size(), 3u);
+  EXPECT_FALSE(router_.routed[1].negative);
+  EXPECT_EQ(router_.routed[1].ts, (VirtualTime{25, 0}));
+  EXPECT_TRUE(router_.routed[2].negative);
+  EXPECT_EQ(router_.routed[2].uid, router_.routed[0].uid);
+  EXPECT_EQ(rt.stats().lazy_cancels, 1u);
+}
+
+TEST_F(LpRuntimeTest, UnsaveableLpIsForcedConservative) {
+  struct HeavyLp final : ScriptLp {
+    HeavyLp() : ScriptLp("heavy") {}
+    bool can_save_state() const override { return false; }
+  };
+  HeavyLp heavy;
+  LpRuntime rt(&heavy, OrderingMode::kArbitrary,
+               ConservativeStrategy::kGlobalSync, SyncMode::kOptimistic, 0);
+  EXPECT_EQ(rt.mode(), SyncMode::kConservative);
+  rt.set_mode(SyncMode::kOptimistic);  // must be refused
+  EXPECT_EQ(rt.mode(), SyncMode::kConservative);
+}
+
+}  // namespace
+}  // namespace vsim::pdes

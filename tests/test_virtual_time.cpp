@@ -1,0 +1,59 @@
+// Unit tests for the (pt, lt) virtual time of the distributed VHDL cycle.
+#include <gtest/gtest.h>
+
+#include "common/virtual_time.h"
+
+namespace vsim {
+namespace {
+
+TEST(VirtualTime, LexicographicOrder) {
+  EXPECT_LT((VirtualTime{0, 0}), (VirtualTime{0, 1}));
+  EXPECT_LT((VirtualTime{0, 99}), (VirtualTime{1, 0}));
+  EXPECT_LT((VirtualTime{3, 5}), (VirtualTime{3, 6}));
+  EXPECT_EQ((VirtualTime{3, 5}), (VirtualTime{3, 5}));
+  EXPECT_GT((VirtualTime{4, 0}), (VirtualTime{3, 999}));
+}
+
+TEST(VirtualTime, PhaseEncoding) {
+  EXPECT_EQ((VirtualTime{10, 0}).phase(), Phase::kAssign);
+  EXPECT_EQ((VirtualTime{10, 1}).phase(), Phase::kDriving);
+  EXPECT_EQ((VirtualTime{10, 2}).phase(), Phase::kEffective);
+  EXPECT_EQ((VirtualTime{10, 3}).phase(), Phase::kAssign);
+  EXPECT_EQ((VirtualTime{10, 7}).delta_cycle(), 2);
+}
+
+TEST(VirtualTime, PhaseArithmetic) {
+  const VirtualTime t{5, 3};
+  EXPECT_EQ(t.next_phase(), (VirtualTime{5, 4}));
+  EXPECT_EQ(t.next_delta(), (VirtualTime{5, 6}));
+  // A delta cycle never advances physical time.
+  EXPECT_EQ(t.next_delta().pt, t.pt);
+  // Advancing physical time resets the logical clock to the target phase.
+  EXPECT_EQ(t.after(7, Phase::kDriving), (VirtualTime{12, 1}));
+  EXPECT_EQ(t.after(7, Phase::kAssign), (VirtualTime{12, 0}));
+}
+
+TEST(VirtualTime, ExtremesAndFormatting) {
+  EXPECT_LT(kTimeZero, kTimeInf);
+  EXPECT_EQ(kTimeZero.str(), "(0,0)");
+  EXPECT_EQ(kTimeInf.str(), "(inf)");
+  EXPECT_EQ((VirtualTime{42, 7}).str(), "(42,7)");
+}
+
+// Property: next_phase/next_delta are strictly monotonic and preserve the
+// expected phase relationships across a sweep.
+TEST(VirtualTime, MonotonicityProperty) {
+  for (PhysTime pt = 0; pt < 5; ++pt) {
+    for (LogicalTime lt = 0; lt < 12; ++lt) {
+      const VirtualTime t{pt, lt};
+      EXPECT_LT(t, t.next_phase());
+      EXPECT_LT(t, t.next_delta());
+      EXPECT_LT(t.next_phase(), t.next_delta());
+      EXPECT_EQ(t.next_delta().phase(), t.phase());
+      EXPECT_LT(t, t.after(1, Phase::kAssign));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vsim

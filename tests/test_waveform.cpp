@@ -1,0 +1,109 @@
+// Unit tests for driver waveforms: transport/inertial preemption (LRM 8.4).
+#include <gtest/gtest.h>
+
+#include "vhdl/waveform.h"
+
+namespace vsim::vhdl {
+namespace {
+
+LogicVector bit(Logic v) { return LogicVector{v}; }
+
+TEST(Waveform, ApplySingleTransaction) {
+  Waveform w(bit(Logic::k0));
+  w.schedule({5, 1}, bit(Logic::k1), /*transport=*/false, {0, 0});
+  EXPECT_FALSE(w.apply_matured({4, 1}));
+  EXPECT_EQ(w.driving_value().scalar(), Logic::k0);
+  EXPECT_TRUE(w.apply_matured({5, 1}));
+  EXPECT_EQ(w.driving_value().scalar(), Logic::k1);
+  EXPECT_TRUE(w.pending().empty());
+}
+
+TEST(Waveform, ApplyIsNoChangeForEqualValue) {
+  Waveform w(bit(Logic::k1));
+  w.schedule({5, 1}, bit(Logic::k1), false, {0, 0});
+  EXPECT_FALSE(w.apply_matured({5, 1}));
+}
+
+TEST(Waveform, TransportAppendsInOrder) {
+  Waveform w(bit(Logic::k0));
+  w.schedule({2, 1}, bit(Logic::k1), true, {0, 0});
+  w.schedule({4, 1}, bit(Logic::k0), true, {0, 0});
+  w.schedule({6, 1}, bit(Logic::k1), true, {0, 0});
+  EXPECT_EQ(w.pending().size(), 3u);
+  w.apply_matured({4, 1});
+  EXPECT_EQ(w.driving_value().scalar(), Logic::k0);
+  EXPECT_EQ(w.pending().size(), 1u);
+}
+
+TEST(Waveform, TransportPreemptsLaterTransactions) {
+  Waveform w(bit(Logic::k0));
+  w.schedule({4, 1}, bit(Logic::k1), true, {0, 0});
+  w.schedule({6, 1}, bit(Logic::k0), true, {0, 0});
+  // New transaction at 3 deletes both later ones.
+  w.schedule({3, 1}, bit(Logic::k1), true, {0, 0});
+  ASSERT_EQ(w.pending().size(), 1u);
+  EXPECT_EQ(w.pending().front().maturity, (VirtualTime{3, 1}));
+}
+
+TEST(Waveform, InertialRejectsDifferingValueInWindow) {
+  // Classic glitch suppression: 0->1 pulse shorter than the delay vanishes.
+  Waveform w(bit(Logic::k0));
+  // At t=0 assign '1' after 5.
+  w.schedule({5, 1}, bit(Logic::k1), false, {0, 0});
+  // At t=1 assign '0' after 5: new transaction at 6, rejection window (1,6)
+  // sweeps away the '1' at 5.
+  w.schedule({6, 1}, bit(Logic::k0), false, {1, 0});
+  ASSERT_EQ(w.pending().size(), 1u);
+  EXPECT_EQ(w.pending().front().maturity, (VirtualTime{6, 1}));
+  EXPECT_EQ(w.pending().front().value.scalar(), Logic::k0);
+}
+
+TEST(Waveform, InertialKeepsEqualValuedRunBeforeNewTransaction) {
+  Waveform w(bit(Logic::k0));
+  w.schedule({3, 1}, bit(Logic::k1), true, {0, 0});  // transport, survives?
+  // Inertial '1' at 6 with window (1,6): the '1' at 3 has the same value as
+  // the new transaction and immediately precedes it -> kept.
+  w.schedule({6, 1}, bit(Logic::k1), false, {1, 0});
+  EXPECT_EQ(w.pending().size(), 2u);
+}
+
+TEST(Waveform, InertialDeletesOlderThanKeptRun) {
+  Waveform w(bit(Logic::k0));
+  w.schedule({2, 1}, bit(Logic::k0), true, {0, 0});
+  w.schedule({3, 1}, bit(Logic::k1), true, {0, 0});
+  // Inertial '1' at 6, window (1,6): keep the '1' at 3 (same value,
+  // adjacent), delete the '0' at 2 (older than the kept run).
+  w.schedule({6, 1}, bit(Logic::k1), false, {1, 0});
+  ASSERT_EQ(w.pending().size(), 2u);
+  EXPECT_EQ(w.pending()[0].maturity, (VirtualTime{3, 1}));
+  EXPECT_EQ(w.pending()[1].maturity, (VirtualTime{6, 1}));
+}
+
+TEST(Waveform, EqualMaturityReplaces) {
+  Waveform w(bit(Logic::k0));
+  w.schedule({5, 1}, bit(Logic::k1), false, {0, 0});
+  w.schedule({5, 1}, bit(Logic::k0), false, {0, 0});
+  ASSERT_EQ(w.pending().size(), 1u);
+  EXPECT_EQ(w.pending().front().value.scalar(), Logic::k0);
+}
+
+TEST(Waveform, DeltaDelayTransactions) {
+  // Zero-delay assignments mature in the next phase of the same pt.
+  Waveform w(bit(Logic::k0));
+  w.schedule({7, 4}, bit(Logic::k1), false, {7, 3});
+  EXPECT_FALSE(w.apply_matured({7, 3}));
+  EXPECT_TRUE(w.apply_matured({7, 4}));
+}
+
+TEST(Waveform, ApplyMaturedTakesLastOfSeveral) {
+  Waveform w(bit(Logic::k0));
+  w.schedule({2, 1}, bit(Logic::k1), true, {0, 0});
+  w.schedule({3, 1}, bit(Logic::k0), true, {0, 0});
+  w.schedule({4, 1}, bit(Logic::k1), true, {0, 0});
+  EXPECT_TRUE(w.apply_matured({10, 1}));
+  EXPECT_EQ(w.driving_value().scalar(), Logic::k1);
+  EXPECT_TRUE(w.pending().empty());
+}
+
+}  // namespace
+}  // namespace vsim::vhdl
