@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_dct.dir/bench_fig10_dct.cpp.o"
+  "CMakeFiles/bench_fig10_dct.dir/bench_fig10_dct.cpp.o.d"
+  "bench_fig10_dct"
+  "bench_fig10_dct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_dct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_fsm.dir/bench_fig6_fsm.cpp.o"
+  "CMakeFiles/bench_fig6_fsm.dir/bench_fig6_fsm.cpp.o.d"
+  "bench_fig6_fsm"
+  "bench_fig6_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_iir.dir/bench_fig8_iir.cpp.o"
+  "CMakeFiles/bench_fig8_iir.dir/bench_fig8_iir.cpp.o.d"
+  "bench_fig8_iir"
+  "bench_fig8_iir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_iir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

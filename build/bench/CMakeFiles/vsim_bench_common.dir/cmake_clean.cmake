@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsim_bench_common.dir/harness.cpp.o"
+  "CMakeFiles/vsim_bench_common.dir/harness.cpp.o.d"
+  "libvsim_bench_common.a"
+  "libvsim_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsim_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_dct.dir/parallel_dct.cpp.o"
+  "CMakeFiles/parallel_dct.dir/parallel_dct.cpp.o.d"
+  "parallel_dct"
+  "parallel_dct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_dct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

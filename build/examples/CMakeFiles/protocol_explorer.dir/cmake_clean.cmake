@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_explorer.dir/protocol_explorer.cpp.o"
+  "CMakeFiles/protocol_explorer.dir/protocol_explorer.cpp.o.d"
+  "protocol_explorer"
+  "protocol_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

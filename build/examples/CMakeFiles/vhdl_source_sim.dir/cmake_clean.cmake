@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhdl_source_sim.dir/vhdl_source_sim.cpp.o"
+  "CMakeFiles/vhdl_source_sim.dir/vhdl_source_sim.cpp.o.d"
+  "vhdl_source_sim"
+  "vhdl_source_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhdl_source_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuits/builder.cpp" "src/circuits/CMakeFiles/vsim_circuits.dir/builder.cpp.o" "gcc" "src/circuits/CMakeFiles/vsim_circuits.dir/builder.cpp.o.d"
+  "/root/repo/src/circuits/dct.cpp" "src/circuits/CMakeFiles/vsim_circuits.dir/dct.cpp.o" "gcc" "src/circuits/CMakeFiles/vsim_circuits.dir/dct.cpp.o.d"
+  "/root/repo/src/circuits/fsm.cpp" "src/circuits/CMakeFiles/vsim_circuits.dir/fsm.cpp.o" "gcc" "src/circuits/CMakeFiles/vsim_circuits.dir/fsm.cpp.o.d"
+  "/root/repo/src/circuits/gates.cpp" "src/circuits/CMakeFiles/vsim_circuits.dir/gates.cpp.o" "gcc" "src/circuits/CMakeFiles/vsim_circuits.dir/gates.cpp.o.d"
+  "/root/repo/src/circuits/iir.cpp" "src/circuits/CMakeFiles/vsim_circuits.dir/iir.cpp.o" "gcc" "src/circuits/CMakeFiles/vsim_circuits.dir/iir.cpp.o.d"
+  "/root/repo/src/circuits/random_circuit.cpp" "src/circuits/CMakeFiles/vsim_circuits.dir/random_circuit.cpp.o" "gcc" "src/circuits/CMakeFiles/vsim_circuits.dir/random_circuit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vhdl/CMakeFiles/vsim_vhdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdes/CMakeFiles/vsim_pdes.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsim_circuits.dir/builder.cpp.o"
+  "CMakeFiles/vsim_circuits.dir/builder.cpp.o.d"
+  "CMakeFiles/vsim_circuits.dir/dct.cpp.o"
+  "CMakeFiles/vsim_circuits.dir/dct.cpp.o.d"
+  "CMakeFiles/vsim_circuits.dir/fsm.cpp.o"
+  "CMakeFiles/vsim_circuits.dir/fsm.cpp.o.d"
+  "CMakeFiles/vsim_circuits.dir/gates.cpp.o"
+  "CMakeFiles/vsim_circuits.dir/gates.cpp.o.d"
+  "CMakeFiles/vsim_circuits.dir/iir.cpp.o"
+  "CMakeFiles/vsim_circuits.dir/iir.cpp.o.d"
+  "CMakeFiles/vsim_circuits.dir/random_circuit.cpp.o"
+  "CMakeFiles/vsim_circuits.dir/random_circuit.cpp.o.d"
+  "libvsim_circuits.a"
+  "libvsim_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsim_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvsim_circuits.a"
+)

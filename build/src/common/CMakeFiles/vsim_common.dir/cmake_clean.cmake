@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsim_common.dir/logic.cpp.o"
+  "CMakeFiles/vsim_common.dir/logic.cpp.o.d"
+  "CMakeFiles/vsim_common.dir/virtual_time.cpp.o"
+  "CMakeFiles/vsim_common.dir/virtual_time.cpp.o.d"
+  "libvsim_common.a"
+  "libvsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

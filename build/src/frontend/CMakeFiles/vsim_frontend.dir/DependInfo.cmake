@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/ast.cpp" "src/frontend/CMakeFiles/vsim_frontend.dir/ast.cpp.o" "gcc" "src/frontend/CMakeFiles/vsim_frontend.dir/ast.cpp.o.d"
+  "/root/repo/src/frontend/elaborator.cpp" "src/frontend/CMakeFiles/vsim_frontend.dir/elaborator.cpp.o" "gcc" "src/frontend/CMakeFiles/vsim_frontend.dir/elaborator.cpp.o.d"
+  "/root/repo/src/frontend/interp.cpp" "src/frontend/CMakeFiles/vsim_frontend.dir/interp.cpp.o" "gcc" "src/frontend/CMakeFiles/vsim_frontend.dir/interp.cpp.o.d"
+  "/root/repo/src/frontend/lexer.cpp" "src/frontend/CMakeFiles/vsim_frontend.dir/lexer.cpp.o" "gcc" "src/frontend/CMakeFiles/vsim_frontend.dir/lexer.cpp.o.d"
+  "/root/repo/src/frontend/parser.cpp" "src/frontend/CMakeFiles/vsim_frontend.dir/parser.cpp.o" "gcc" "src/frontend/CMakeFiles/vsim_frontend.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vhdl/CMakeFiles/vsim_vhdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdes/CMakeFiles/vsim_pdes.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

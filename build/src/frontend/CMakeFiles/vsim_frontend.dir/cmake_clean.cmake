@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsim_frontend.dir/ast.cpp.o"
+  "CMakeFiles/vsim_frontend.dir/ast.cpp.o.d"
+  "CMakeFiles/vsim_frontend.dir/elaborator.cpp.o"
+  "CMakeFiles/vsim_frontend.dir/elaborator.cpp.o.d"
+  "CMakeFiles/vsim_frontend.dir/interp.cpp.o"
+  "CMakeFiles/vsim_frontend.dir/interp.cpp.o.d"
+  "CMakeFiles/vsim_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/vsim_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/vsim_frontend.dir/parser.cpp.o"
+  "CMakeFiles/vsim_frontend.dir/parser.cpp.o.d"
+  "libvsim_frontend.a"
+  "libvsim_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsim_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

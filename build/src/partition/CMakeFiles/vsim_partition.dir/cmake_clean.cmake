@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsim_partition.dir/partition.cpp.o"
+  "CMakeFiles/vsim_partition.dir/partition.cpp.o.d"
+  "libvsim_partition.a"
+  "libvsim_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsim_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdes/config.cpp" "src/pdes/CMakeFiles/vsim_pdes.dir/config.cpp.o" "gcc" "src/pdes/CMakeFiles/vsim_pdes.dir/config.cpp.o.d"
+  "/root/repo/src/pdes/lp_runtime.cpp" "src/pdes/CMakeFiles/vsim_pdes.dir/lp_runtime.cpp.o" "gcc" "src/pdes/CMakeFiles/vsim_pdes.dir/lp_runtime.cpp.o.d"
+  "/root/repo/src/pdes/machine.cpp" "src/pdes/CMakeFiles/vsim_pdes.dir/machine.cpp.o" "gcc" "src/pdes/CMakeFiles/vsim_pdes.dir/machine.cpp.o.d"
+  "/root/repo/src/pdes/sequential.cpp" "src/pdes/CMakeFiles/vsim_pdes.dir/sequential.cpp.o" "gcc" "src/pdes/CMakeFiles/vsim_pdes.dir/sequential.cpp.o.d"
+  "/root/repo/src/pdes/threaded.cpp" "src/pdes/CMakeFiles/vsim_pdes.dir/threaded.cpp.o" "gcc" "src/pdes/CMakeFiles/vsim_pdes.dir/threaded.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

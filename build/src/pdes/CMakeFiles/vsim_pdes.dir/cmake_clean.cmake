@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsim_pdes.dir/config.cpp.o"
+  "CMakeFiles/vsim_pdes.dir/config.cpp.o.d"
+  "CMakeFiles/vsim_pdes.dir/lp_runtime.cpp.o"
+  "CMakeFiles/vsim_pdes.dir/lp_runtime.cpp.o.d"
+  "CMakeFiles/vsim_pdes.dir/machine.cpp.o"
+  "CMakeFiles/vsim_pdes.dir/machine.cpp.o.d"
+  "CMakeFiles/vsim_pdes.dir/sequential.cpp.o"
+  "CMakeFiles/vsim_pdes.dir/sequential.cpp.o.d"
+  "CMakeFiles/vsim_pdes.dir/threaded.cpp.o"
+  "CMakeFiles/vsim_pdes.dir/threaded.cpp.o.d"
+  "libvsim_pdes.a"
+  "libvsim_pdes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsim_pdes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

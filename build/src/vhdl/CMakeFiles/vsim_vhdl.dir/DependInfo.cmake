@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vhdl/kernel.cpp" "src/vhdl/CMakeFiles/vsim_vhdl.dir/kernel.cpp.o" "gcc" "src/vhdl/CMakeFiles/vsim_vhdl.dir/kernel.cpp.o.d"
+  "/root/repo/src/vhdl/monitor.cpp" "src/vhdl/CMakeFiles/vsim_vhdl.dir/monitor.cpp.o" "gcc" "src/vhdl/CMakeFiles/vsim_vhdl.dir/monitor.cpp.o.d"
+  "/root/repo/src/vhdl/process_lp.cpp" "src/vhdl/CMakeFiles/vsim_vhdl.dir/process_lp.cpp.o" "gcc" "src/vhdl/CMakeFiles/vsim_vhdl.dir/process_lp.cpp.o.d"
+  "/root/repo/src/vhdl/signal_lp.cpp" "src/vhdl/CMakeFiles/vsim_vhdl.dir/signal_lp.cpp.o" "gcc" "src/vhdl/CMakeFiles/vsim_vhdl.dir/signal_lp.cpp.o.d"
+  "/root/repo/src/vhdl/vcd.cpp" "src/vhdl/CMakeFiles/vsim_vhdl.dir/vcd.cpp.o" "gcc" "src/vhdl/CMakeFiles/vsim_vhdl.dir/vcd.cpp.o.d"
+  "/root/repo/src/vhdl/waveform.cpp" "src/vhdl/CMakeFiles/vsim_vhdl.dir/waveform.cpp.o" "gcc" "src/vhdl/CMakeFiles/vsim_vhdl.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pdes/CMakeFiles/vsim_pdes.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

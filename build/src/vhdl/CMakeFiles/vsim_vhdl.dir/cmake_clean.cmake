@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsim_vhdl.dir/kernel.cpp.o"
+  "CMakeFiles/vsim_vhdl.dir/kernel.cpp.o.d"
+  "CMakeFiles/vsim_vhdl.dir/monitor.cpp.o"
+  "CMakeFiles/vsim_vhdl.dir/monitor.cpp.o.d"
+  "CMakeFiles/vsim_vhdl.dir/process_lp.cpp.o"
+  "CMakeFiles/vsim_vhdl.dir/process_lp.cpp.o.d"
+  "CMakeFiles/vsim_vhdl.dir/signal_lp.cpp.o"
+  "CMakeFiles/vsim_vhdl.dir/signal_lp.cpp.o.d"
+  "CMakeFiles/vsim_vhdl.dir/vcd.cpp.o"
+  "CMakeFiles/vsim_vhdl.dir/vcd.cpp.o.d"
+  "CMakeFiles/vsim_vhdl.dir/waveform.cpp.o"
+  "CMakeFiles/vsim_vhdl.dir/waveform.cpp.o.d"
+  "libvsim_vhdl.a"
+  "libvsim_vhdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsim_vhdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

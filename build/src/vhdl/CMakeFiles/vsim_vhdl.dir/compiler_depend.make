@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vsim_vhdl.
+# This may be replaced when dependencies are built.

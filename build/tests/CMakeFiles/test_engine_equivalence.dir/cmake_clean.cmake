@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_equivalence.dir/test_engine_equivalence.cpp.o"
+  "CMakeFiles/test_engine_equivalence.dir/test_engine_equivalence.cpp.o.d"
+  "test_engine_equivalence"
+  "test_engine_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_equivalence.dir/test_fuzz_equivalence.cpp.o"
+  "CMakeFiles/test_fuzz_equivalence.dir/test_fuzz_equivalence.cpp.o.d"
+  "test_fuzz_equivalence"
+  "test_fuzz_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_lps.dir/test_kernel_lps.cpp.o"
+  "CMakeFiles/test_kernel_lps.dir/test_kernel_lps.cpp.o.d"
+  "test_kernel_lps"
+  "test_kernel_lps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_lps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

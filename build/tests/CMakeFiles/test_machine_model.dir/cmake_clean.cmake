@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_model.dir/test_machine_model.cpp.o"
+  "CMakeFiles/test_machine_model.dir/test_machine_model.cpp.o.d"
+  "test_machine_model"
+  "test_machine_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sequential_kernel.dir/test_sequential_kernel.cpp.o"
+  "CMakeFiles/test_sequential_kernel.dir/test_sequential_kernel.cpp.o.d"
+  "test_sequential_kernel"
+  "test_sequential_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sequential_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

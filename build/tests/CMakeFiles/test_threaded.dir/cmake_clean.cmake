@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_threaded.dir/test_threaded.cpp.o"
+  "CMakeFiles/test_threaded.dir/test_threaded.cpp.o.d"
+  "test_threaded"
+  "test_threaded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_threaded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

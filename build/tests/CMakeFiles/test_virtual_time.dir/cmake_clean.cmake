@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virtual_time.dir/test_virtual_time.cpp.o"
+  "CMakeFiles/test_virtual_time.dir/test_virtual_time.cpp.o.d"
+  "test_virtual_time"
+  "test_virtual_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virtual_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

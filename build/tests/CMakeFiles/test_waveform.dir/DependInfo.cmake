@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_waveform.cpp" "tests/CMakeFiles/test_waveform.dir/test_waveform.cpp.o" "gcc" "tests/CMakeFiles/test_waveform.dir/test_waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuits/CMakeFiles/vsim_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/vsim_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/vsim_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/vhdl/CMakeFiles/vsim_vhdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdes/CMakeFiles/vsim_pdes.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

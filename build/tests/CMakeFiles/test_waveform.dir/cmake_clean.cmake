@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_waveform.dir/test_waveform.cpp.o"
+  "CMakeFiles/test_waveform.dir/test_waveform.cpp.o.d"
+  "test_waveform"
+  "test_waveform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_waveform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_logic "/root/repo/build/tests/test_logic")
+set_tests_properties(test_logic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;vsim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_virtual_time "/root/repo/build/tests/test_virtual_time")
+set_tests_properties(test_virtual_time PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;vsim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_waveform "/root/repo/build/tests/test_waveform")
+set_tests_properties(test_waveform PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;12;vsim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sequential_kernel "/root/repo/build/tests/test_sequential_kernel")
+set_tests_properties(test_sequential_kernel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;13;vsim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_engine_equivalence "/root/repo/build/tests/test_engine_equivalence")
+set_tests_properties(test_engine_equivalence PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;14;vsim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_pdes_protocol "/root/repo/build/tests/test_pdes_protocol")
+set_tests_properties(test_pdes_protocol PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;15;vsim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_frontend "/root/repo/build/tests/test_frontend")
+set_tests_properties(test_frontend PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;16;vsim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_kernel_lps "/root/repo/build/tests/test_kernel_lps")
+set_tests_properties(test_kernel_lps PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;17;vsim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_partition "/root/repo/build/tests/test_partition")
+set_tests_properties(test_partition PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;18;vsim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_machine_model "/root/repo/build/tests/test_machine_model")
+set_tests_properties(test_machine_model PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;19;vsim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_threaded "/root/repo/build/tests/test_threaded")
+set_tests_properties(test_threaded PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;20;vsim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_fuzz_equivalence "/root/repo/build/tests/test_fuzz_equivalence")
+set_tests_properties(test_fuzz_equivalence PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;21;vsim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_vcd "/root/repo/build/tests/test_vcd")
+set_tests_properties(test_vcd PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;22;vsim_test;/root/repo/tests/CMakeLists.txt;0;")
