@@ -62,6 +62,19 @@ std::vector<SweepResult> speedup_figure(
     std::printf("\n");
     std::fflush(stdout);
   }
+  // A deadlocked cell is a bug in the protocol or the configuration; dump
+  // the per-LP diagnostics instead of leaving only the "deadlock" marker.
+  for (const SweepResult& r : out) {
+    if (!r.stats.deadlock_report) continue;
+    std::printf("# P=%zu %s:\n%s\n", r.workers, pdes::to_string(r.config),
+                r.stats.deadlock_report->str().c_str());
+  }
+  for (const SweepResult& r : out) {
+    if (!r.stats.transport_error) continue;
+    std::printf("# P=%zu %s: transport error: %s\n", r.workers,
+                pdes::to_string(r.config),
+                r.stats.transport_error->str().c_str());
+  }
   std::printf("\n");
   return out;
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI entry point: a release build plus a ThreadSanitizer build, both gated
+# on the full test suite.  The TSan pass is what keeps the threaded engine
+# and the lock-free-by-affinity transport stack honest.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "==> Release build"
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DVSIM_SANITIZE= \
+  > /dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "==> ThreadSanitizer build"
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DVSIM_SANITIZE=thread > /dev/null
+cmake --build build-tsan -j "$JOBS"
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+
+echo "==> OK"

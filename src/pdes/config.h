@@ -62,6 +62,46 @@ const char* to_string(Configuration c);
 const char* to_string(OrderingMode m);
 const char* to_string(ConservativeStrategy s);
 
+/// Deterministic fault-injection plan for the inter-worker transport
+/// (transport.h).  All probabilities are per submitted packet; faults are
+/// drawn from a per-link RNG seeded from `seed`, so any given plan is fully
+/// reproducible.  A default-constructed plan injects nothing (perfect wire).
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double drop = 0.0;       ///< P(packet vanishes on the wire)
+  double duplicate = 0.0;  ///< P(packet is delivered twice)
+  double reorder = 0.0;    ///< P(packet is held back behind later traffic)
+  /// Extra per-packet latency, uniform in [0, jitter], in engine time units
+  /// (only meaningful for wires with a latency model, i.e. the machine
+  /// engine; the threaded wire has no explicit timing).
+  double jitter = 0.0;
+  double blackout = 0.0;  ///< P(a submission starts a transient link outage)
+  /// Length of a blackout, counted in subsequent submissions on the link
+  /// (all of them are dropped).
+  std::uint32_t blackout_span = 8;
+
+  [[nodiscard]] bool active() const {
+    return drop > 0 || duplicate > 0 || reorder > 0 || jitter > 0 ||
+           blackout > 0;
+  }
+};
+
+/// Transport stack selection: which fault plan the wire is wrapped with and
+/// whether the ReliableChannel layer (sequence numbers, dedup, cumulative
+/// acks, retransmission) restores exactly-once in-order delivery on top.
+struct TransportConfig {
+  FaultPlan faults;
+  bool reliable = false;
+  /// Retransmission attempts per packet before the run aborts with a
+  /// structured TransportError (a link that never delivers is dead).
+  std::uint32_t max_retries = 40;
+  /// Initial retransmit timeout in engine time units (virtual clock for the
+  /// machine engine, scheduler loop iterations for the threaded engine),
+  /// doubled via `rto_backoff` after every retry.
+  double rto = 16.0;
+  double rto_backoff = 2.0;
+};
+
 /// Parameters of the self-adaptation policy (evaluated per LP at GVT rounds).
 struct AdaptPolicy {
   /// Rollbacks per processed event above which an optimistic LP turns
@@ -95,6 +135,8 @@ struct RunConfig {
   /// when a synchronisation round cannot advance the safe bound and no LP
   /// processed an event since the previous round this many times in a row.
   std::uint32_t deadlock_rounds = 3;
+  /// Inter-worker transport stack (fault injection + reliable delivery).
+  TransportConfig transport;
 };
 
 }  // namespace vsim::pdes

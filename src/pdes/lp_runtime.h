@@ -138,6 +138,12 @@ class LpRuntime {
 
   [[nodiscard]] std::size_t history_size() const { return history_.size(); }
   [[nodiscard]] bool has_pending() const { return !pending_.empty(); }
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+
+  /// Minimum over the input-channel clocks (kTimeInf when the LP has no
+  /// registered channels, i.e. outside the null-message strategy).  Public
+  /// for deadlock diagnostics.
+  [[nodiscard]] VirtualTime min_channel_clock() const;
 
  private:
   struct SentRecord {
@@ -175,8 +181,6 @@ class LpRuntime {
   [[nodiscard]] VirtualTime last_processed_ts() const {
     return history_.empty() ? committed_ts_ : history_.back().ev.ts;
   }
-
-  [[nodiscard]] VirtualTime min_channel_clock() const;
 
   LogicalProcess* lp_;
   OrderingMode ordering_;

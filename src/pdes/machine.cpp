@@ -5,9 +5,26 @@
 
 namespace vsim::pdes {
 
+// The machine engine's wire: a latency-stamped arrival in the destination
+// worker's mailbox.  Sender-side costs are charged above this layer (router
+// for first transmissions, the channel stack's transmit hook for acks and
+// retransmits), so the wire itself only models propagation delay.
+class MachineEngine::MachineWire final : public Transport {
+ public:
+  explicit MachineWire(MachineEngine& eng) : eng_(eng) {}
+
+  void submit(Packet&& pkt, double now) override {
+    eng_.workers_[pkt.dst].mailbox.push(
+        {now + eng_.costs_.msg_latency, ++eng_.arrival_seq_, std::move(pkt)});
+  }
+
+ private:
+  MachineEngine& eng_;
+};
+
 // Routes messages between modelled workers, charging costs to the sender's
 // virtual clock.  Local deliveries happen immediately; remote deliveries go
-// through the destination worker's mailbox with a latency.
+// through the transport stack.
 class MachineEngine::MachineRouter final : public Router {
  public:
   explicit MachineRouter(MachineEngine& eng) : eng_(eng) {}
@@ -24,9 +41,8 @@ class MachineEngine::MachineRouter final : public Router {
                                             : eng_.costs_.msg_remote_send;
       if (ev.kind == kNullMsgKind) ++from.stats.null_messages;
       else ++from.stats.messages_sent_remote;
-      eng_.workers_[owner].mailbox.push(
-          {from.clock + eng_.costs_.msg_latency, ++eng_.arrival_seq_,
-           std::move(ev)});
+      eng_.net_->send(static_cast<std::uint32_t>(eng_.current_worker_), owner,
+                      std::move(ev), from.clock);
     }
   }
 
@@ -62,7 +78,32 @@ MachineEngine::MachineEngine(LpGraph& graph, Partition partition,
     workers_[w].owned.push_back(id);
     workers_[w].ready.insert({kTimeInf, id});
   }
+
+  // Assemble the transport stack bottom-up: wire -> (faults) -> channel.
+  wire_ = std::make_unique<MachineWire>(*this);
+  Transport* top = wire_.get();
+  if (config_.transport.faults.active()) {
+    faulty_ = std::make_unique<FaultyTransport>(*wire_, config_.num_workers,
+                                                config_.transport.faults);
+    top = faulty_.get();
+  }
+  net_ = std::make_unique<ChannelStack>(*top, config_.num_workers,
+                                        config_.transport);
+  if (faulty_) net_->attach_faulty(faulty_.get());
+  net_->set_deliver([this](std::uint32_t w, Event&& ev) {
+    deliver(workers_[w], std::move(ev));
+  });
+  // Acks and retransmissions are billed to the emitting worker's virtual
+  // clock, so fault recovery shows up in the makespan / speedup curves.
+  net_->set_transmit_hook(
+      [this](std::uint32_t w, Packet::Kind kind, bool /*retransmit*/) {
+        workers_[w].clock += kind == Packet::Kind::kAck
+                                 ? costs_.ack
+                                 : costs_.msg_remote_send;
+      });
 }
+
+MachineEngine::~MachineEngine() = default;
 
 void MachineEngine::refresh_key(LpId lp) {
   Worker& w = workers_[partition_[lp]];
@@ -110,12 +151,14 @@ bool MachineEngine::step(std::size_t wi) {
   // Deliver all messages that have arrived by now.
   bool delivered = false;
   while (!w.mailbox.empty() && w.mailbox.top().when <= w.clock) {
-    Event ev = w.mailbox.top().ev;
+    Packet pkt = w.mailbox.top().pkt;
     w.mailbox.pop();
     w.clock += costs_.recv_cost;
-    deliver(w, std::move(ev));
+    net_->on_wire_delivery(std::move(pkt), w.clock);
     delivered = true;
   }
+  // Reliable layer: retransmit in-flight packets whose timeout expired.
+  net_->poll(static_cast<std::uint32_t>(wi), w.clock);
 
   // Pick the lowest-timestamp eligible LP.  Copy the entry out of the
   // iterator: processing can route messages back to this very LP (e.g. an
@@ -157,24 +200,36 @@ bool MachineEngine::step(std::size_t wi) {
 
 VirtualTime MachineEngine::sync_round() {
   ++gvt_rounds_;
-  // Flush the network: drain every mailbox (and any anti-message cascades
-  // triggered by the drained stragglers) before reading clocks.
+  // Flush the network to quiescence.  One drain pass is NOT enough under a
+  // lossy transport: a dropped packet only reappears when the reliable
+  // layer retransmits it, so the round alternates "drain every mailbox"
+  // with "flush held/unacked packets" until a full pass moves nothing.
   double max_arrival = 0.0;
-  bool any = true;
-  while (any) {
-    any = false;
-    for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
-      current_worker_ = wi;
-      Worker& w = workers_[wi];
-      while (!w.mailbox.empty()) {
-        max_arrival = std::max(max_arrival, w.mailbox.top().when);
-        Event ev = w.mailbox.top().ev;
-        w.mailbox.pop();
-        deliver(w, std::move(ev));
-        any = true;
+  for (;;) {
+    bool any = true;
+    while (any) {
+      any = false;
+      for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+        current_worker_ = wi;
+        Worker& w = workers_[wi];
+        while (!w.mailbox.empty()) {
+          max_arrival = std::max(max_arrival, w.mailbox.top().when);
+          Packet pkt = w.mailbox.top().pkt;
+          w.mailbox.pop();
+          net_->on_wire_delivery(std::move(pkt), w.clock);
+          any = true;
+        }
       }
     }
+    std::size_t flushed = 0;
+    for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+      current_worker_ = wi;
+      flushed += net_->flush(static_cast<std::uint32_t>(wi),
+                             workers_[wi].clock);
+    }
+    if (flushed == 0) break;  // quiescent (or the channel gave up: error set)
   }
+  if (net_->error()) transport_failed_ = true;
 
   double round_clock = max_arrival;
   for (const Worker& w : workers_) round_clock = std::max(round_clock, w.clock);
@@ -217,7 +272,8 @@ RunStats MachineEngine::run() {
   std::uint64_t last_total_events = 0;
   std::uint32_t stall_rounds = 0;
 
-  while (gvt != kTimeInf && gvt.pt <= config_.until && !deadlocked_) {
+  while (gvt != kTimeInf && gvt.pt <= config_.until && !deadlocked_ &&
+         !transport_failed_) {
     // Run workers, lowest virtual clock first, until a round is due.
     bool round_due = false;
     while (!round_due) {
@@ -261,6 +317,21 @@ RunStats MachineEngine::run() {
     last_total_events = total_events;
   }
 
+  RunStats out;
+  out.transport = net_->counters();
+  if (auto err = net_->error()) {
+    out.transport_error = std::move(err);
+  } else if (!config_.transport.reliable && out.transport.dropped > 0) {
+    // A lossy run without reliable delivery may terminate "normally" with
+    // events silently missing; surface that as a structured error so the
+    // caller can never mistake the result for a trustworthy one.
+    TransportError err;
+    err.message = "packets were dropped without reliable delivery; "
+                  "committed traces are not trustworthy";
+    out.transport_error = std::move(err);
+  }
+  if (deadlocked_) out.deadlock_report = build_deadlock_report();
+
   // Commit everything that was processed.
   MachineRouter router(*this);
   for (LpId id = 0; id < lps_.size(); ++id) {
@@ -268,7 +339,6 @@ RunStats MachineEngine::run() {
     lps_[id].fossil_collect(kTimeInf, router);
   }
 
-  RunStats out;
   out.per_lp.reserve(lps_.size());
   for (const LpRuntime& rt : lps_) out.per_lp.push_back(rt.stats());
   out.per_worker.reserve(workers_.size());
@@ -282,6 +352,20 @@ RunStats MachineEngine::run() {
   out.deadlocked = deadlocked_;
   out.makespan = makespan;
   return out;
+}
+
+DeadlockReport MachineEngine::build_deadlock_report() {
+  DeadlockReport report;
+  report.gvt = safe_bound_;
+  report.transport_starvation =
+      !config_.transport.reliable && net_->counters().dropped > 0;
+  for (LpId id = 0; id < lps_.size(); ++id) {
+    LpRuntime& rt = lps_[id];
+    if (!rt.has_pending()) continue;
+    report.blocked.push_back({id, rt.next_ts(), rt.min_channel_clock(),
+                              rt.pending_count(), rt.mode()});
+  }
+  return report;
 }
 
 }  // namespace vsim::pdes

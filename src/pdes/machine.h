@@ -18,6 +18,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "pdes/graph.h"
 #include "pdes/lp_runtime.h"
 #include "pdes/stats.h"
+#include "pdes/transport.h"
 
 namespace vsim::pdes {
 
@@ -43,6 +45,7 @@ struct MachineCosts {
   double recv_cost = 0.05;       ///< receiver-side handling per message
   double null_msg = 0.15;        ///< per null message (sender side)
   double gvt_cost = 4.0;         ///< per worker per synchronisation round
+  double ack = 0.1;              ///< reliable-channel ack emission (sender side)
 };
 
 /// Maps each LP to a worker; produced by the partition module.
@@ -54,6 +57,7 @@ class MachineEngine {
 
   MachineEngine(LpGraph& graph, Partition partition, RunConfig config,
                 MachineCosts costs = {});
+  ~MachineEngine();  // out-of-line: MachineWire is an incomplete type here
 
   void set_commit_hook(CommitHook hook) { hook_ = std::move(hook); }
 
@@ -64,7 +68,7 @@ class MachineEngine {
   struct Arrival {
     double when;
     std::uint64_t seq;
-    Event ev;
+    Packet pkt;
     friend bool operator>(const Arrival& a, const Arrival& b) {
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;
@@ -82,8 +86,11 @@ class MachineEngine {
   };
 
   class MachineRouter;
+  class MachineWire;  // the bottom of the transport stack: latency-stamped
+                      // arrivals pushed into the destination's mailbox
 
   void deliver(Worker& w, Event ev);
+  [[nodiscard]] DeadlockReport build_deadlock_report();
   void refresh_key(LpId lp);
   /// One scheduling turn for worker `w`: deliver due messages, then process
   /// the first eligible event.  Returns false if the worker cannot advance
@@ -109,7 +116,13 @@ class MachineEngine {
   std::uint64_t arrival_seq_ = 0;
   std::uint64_t gvt_rounds_ = 0;
   bool deadlocked_ = false;
+  bool transport_failed_ = false;
   std::size_t current_worker_ = 0;
+
+  // Transport stack, bottom-up: wire -> (faults) -> channel layer.
+  std::unique_ptr<MachineWire> wire_;
+  std::unique_ptr<FaultyTransport> faulty_;
+  std::unique_ptr<ChannelStack> net_;
 };
 
 }  // namespace vsim::pdes

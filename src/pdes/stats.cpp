@@ -1,0 +1,27 @@
+#include "pdes/stats.h"
+
+#include <sstream>
+
+namespace vsim::pdes {
+
+std::string DeadlockReport::str() const {
+  std::ostringstream os;
+  os << (transport_starvation ? "transport starvation" : "protocol deadlock")
+     << " at gvt=" << gvt.str() << "; " << blocked.size()
+     << " LP(s) with pending work";
+  std::size_t shown = 0;
+  for (const LpDiag& d : blocked) {
+    if (shown++ == 8) {
+      os << " ...";
+      break;
+    }
+    os << "\n  lp " << d.id << ": next_ts=" << d.next_ts.str()
+       << " pending=" << d.pending << " mode="
+       << (d.mode == SyncMode::kOptimistic ? "optimistic" : "conservative");
+    if (d.min_channel_clock != kTimeInf)
+      os << " min_channel_clock=" << d.min_channel_clock.str();
+  }
+  return os.str();
+}
+
+}  // namespace vsim::pdes

@@ -2,7 +2,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
+
+#include "pdes/transport.h"
 
 namespace vsim::pdes {
 
@@ -30,12 +34,37 @@ struct WorkerStats {
   std::uint64_t null_messages = 0;
 };
 
+/// Why a run aborted without finishing, and who was stuck.  Replaces the
+/// old bare `deadlocked` flag with actionable per-LP diagnostics, and
+/// distinguishes a genuine protocol deadlock from transport starvation
+/// (messages lost by a lossy transport without reliable delivery).
+struct DeadlockReport {
+  VirtualTime gvt;  ///< the bound the run could not advance past
+  bool transport_starvation = false;
+  struct LpDiag {
+    LpId id = kInvalidLp;
+    VirtualTime next_ts;            ///< minimal pending timestamp
+    VirtualTime min_channel_clock;  ///< null-message strategy, else kTimeInf
+    std::size_t pending = 0;        ///< pending-queue length
+    SyncMode mode = SyncMode::kConservative;
+  };
+  std::vector<LpDiag> blocked;  ///< every LP that still had pending work
+
+  [[nodiscard]] std::string str() const;
+};
+
 struct RunStats {
   std::vector<LpStats> per_lp;
   std::vector<WorkerStats> per_worker;
   std::uint64_t gvt_rounds = 0;
   bool deadlocked = false;
   double makespan = 0.0;  ///< machine model: max worker clock at termination
+  TransportCounters transport;
+  /// Set when the reliable layer gave up on a link, or when a lossy run
+  /// finished without reliable delivery (results cannot be trusted).
+  std::optional<TransportError> transport_error;
+  /// Populated whenever `deadlocked` is set.
+  std::optional<DeadlockReport> deadlock_report;
 
   [[nodiscard]] std::uint64_t total_events() const {
     std::uint64_t n = 0;

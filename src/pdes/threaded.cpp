@@ -34,6 +34,22 @@ class RoundBarrier {
   std::condition_variable cv_;
 };
 
+// The threaded engine's wire: a locked push into the destination worker's
+// mailbox.  It has no timing model, so the `now` stamp is ignored.
+class ThreadedEngine::ThreadedWire final : public Transport {
+ public:
+  explicit ThreadedWire(ThreadedEngine& eng) : eng_(eng) {}
+
+  void submit(Packet&& pkt, double /*now*/) override {
+    Mailbox& mb = eng_.workers_[pkt.dst]->mailbox;
+    std::lock_guard<std::mutex> lock(mb.m);
+    mb.q.push_back(std::move(pkt));
+  }
+
+ private:
+  ThreadedEngine& eng_;
+};
+
 class ThreadedEngine::ThreadedRouter final : public Router {
  public:
   ThreadedRouter(ThreadedEngine& eng, std::size_t wi) : eng_(eng), wi_(wi) {}
@@ -47,9 +63,8 @@ class ThreadedEngine::ThreadedRouter final : public Router {
     } else {
       if (ev.kind == kNullMsgKind) ++from.stats.null_messages;
       else ++from.stats.messages_sent_remote;
-      Mailbox& mb = eng_.workers_[owner]->mailbox;
-      std::lock_guard<std::mutex> lock(mb.m);
-      mb.q.push_back(std::move(ev));
+      eng_.net_->send(static_cast<std::uint32_t>(wi_), owner, std::move(ev),
+                      eng_.now(wi_));
     }
   }
 
@@ -86,6 +101,21 @@ ThreadedEngine::ThreadedEngine(LpGraph& graph, Partition partition,
     workers_[w]->ready.insert({kTimeInf, id});
   }
   barrier_ = std::make_unique<RoundBarrier>(config_.num_workers);
+
+  // Assemble the transport stack bottom-up: wire -> (faults) -> channel.
+  wire_ = std::make_unique<ThreadedWire>(*this);
+  Transport* top = wire_.get();
+  if (config_.transport.faults.active()) {
+    faulty_ = std::make_unique<FaultyTransport>(*wire_, config_.num_workers,
+                                                config_.transport.faults);
+    top = faulty_.get();
+  }
+  net_ = std::make_unique<ChannelStack>(*top, config_.num_workers,
+                                        config_.transport);
+  if (faulty_) net_->attach_faulty(faulty_.get());
+  net_->set_deliver([this](std::uint32_t w, Event&& ev) {
+    deliver(w, std::move(ev));
+  });
 }
 
 ThreadedEngine::~ThreadedEngine() = default;
@@ -127,12 +157,12 @@ void ThreadedEngine::send_null_messages_for(std::size_t wi, LpId lp) {
 
 std::size_t ThreadedEngine::drain_own_mailbox(std::size_t wi) {
   Worker& w = *workers_[wi];
-  std::vector<Event> batch;
+  std::vector<Packet> batch;
   {
     std::lock_guard<std::mutex> lock(w.mailbox.m);
     batch.swap(w.mailbox.q);
   }
-  for (Event& ev : batch) deliver(wi, std::move(ev));
+  for (Packet& pkt : batch) net_->on_wire_delivery(std::move(pkt), now(wi));
   return batch.size();
 }
 
@@ -170,7 +200,9 @@ void ThreadedEngine::worker_main(std::size_t wi) {
 
   while (!done_.load(std::memory_order_acquire)) {
     if (!round_requested_.load(std::memory_order_acquire)) {
+      ++w.ops;
       const bool got_mail = drain_own_mailbox(wi) > 0;
+      net_->poll(static_cast<std::uint32_t>(wi), now(wi));
       const bool processed = try_process_one(wi);
       if (processed || got_mail) {
         idle_spins = 0;
@@ -190,10 +222,15 @@ void ThreadedEngine::worker_main(std::size_t wi) {
     // Drain the network to a fixed point (anti-message cascades included).
     // Three barriers per pass: reset -> add -> read, so that no worker can
     // observe the next pass's reset while another still reads this pass.
+    // Drain-until-quiet: a pass counts both delivered packets and packets
+    // the transport stack pushed back onto the wire (retransmissions of
+    // unacked data, reorder holdbacks); the network is only quiescent once
+    // a full pass moves nothing anywhere.
     for (;;) {
       if (wi == 0) drained_in_pass_.store(0, std::memory_order_relaxed);
       barrier_->arrive_and_wait();
-      const std::size_t n = drain_own_mailbox(wi);
+      std::size_t n = drain_own_mailbox(wi);
+      n += net_->flush(static_cast<std::uint32_t>(wi), now(wi));
       drained_in_pass_.fetch_add(n, std::memory_order_relaxed);
       barrier_->arrive_and_wait();
       const bool empty =
@@ -216,11 +253,18 @@ void ThreadedEngine::worker_main(std::size_t wi) {
       safe_bound_ = gvt;
       std::uint64_t total_events = 0;
       for (const auto& worker : workers_) total_events += worker->stats.events;
-      if (gvt == kTimeInf || gvt.pt > config_.until) {
+      if (net_->error()) {
+        // The reliable layer gave up on a link: unwind with the error.
+        transport_failed_ = true;
+        done_.store(true, std::memory_order_release);
+      } else if (gvt == kTimeInf || gvt.pt > config_.until) {
         done_.store(true, std::memory_order_release);
       } else if (gvt == last_gvt_ && total_events == last_total_events_) {
         if (++stall_rounds_ >= config_.deadlock_rounds) {
           deadlocked_ = true;
+          // All other workers are parked at the next barrier, so reading
+          // their LPs here is race-free.
+          deadlock_report_ = build_deadlock_report(gvt);
           done_.store(true, std::memory_order_release);
         }
       } else {
@@ -274,7 +318,31 @@ RunStats ThreadedEngine::run() {
   for (const auto& w : workers_) out.per_worker.push_back(w->stats);
   out.gvt_rounds = gvt_rounds_;
   out.deadlocked = deadlocked_;
+  out.transport = net_->counters();
+  if (auto err = net_->error()) {
+    out.transport_error = std::move(err);
+  } else if (!config_.transport.reliable && out.transport.dropped > 0) {
+    TransportError err;
+    err.message = "packets were dropped without reliable delivery; "
+                  "committed traces are not trustworthy";
+    out.transport_error = std::move(err);
+  }
+  out.deadlock_report = deadlock_report_;
   return out;
+}
+
+DeadlockReport ThreadedEngine::build_deadlock_report(VirtualTime gvt) {
+  DeadlockReport report;
+  report.gvt = gvt;
+  report.transport_starvation =
+      !config_.transport.reliable && net_->counters().dropped > 0;
+  for (LpId id = 0; id < lps_.size(); ++id) {
+    LpRuntime& rt = lps_[id];
+    if (!rt.has_pending()) continue;
+    report.blocked.push_back({id, rt.next_ts(), rt.min_channel_clock(),
+                              rt.pending_count(), rt.mode()});
+  }
+  return report;
 }
 
 }  // namespace vsim::pdes

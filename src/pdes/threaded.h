@@ -13,7 +13,9 @@
 
 #include <atomic>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "pdes/adaptive.h"
@@ -22,6 +24,7 @@
 #include "pdes/lp_runtime.h"
 #include "pdes/machine.h"  // Partition
 #include "pdes/stats.h"
+#include "pdes/transport.h"
 
 namespace vsim::pdes {
 
@@ -41,16 +44,20 @@ class ThreadedEngine {
  private:
   struct Mailbox {
     std::mutex m;
-    std::vector<Event> q;
+    std::vector<Packet> q;
   };
   struct Worker {
     std::vector<LpId> owned;
     std::set<std::pair<VirtualTime, LpId>> ready;
     Mailbox mailbox;
     std::uint64_t events_since_round = 0;
+    /// Scheduler loop iterations; the worker's "time" for retransmit
+    /// backoff (the threaded wire has no latency model to clock against).
+    std::uint64_t ops = 0;
     WorkerStats stats;
   };
   class ThreadedRouter;
+  class ThreadedWire;  // bottom of the transport stack: locked queue push
 
   void worker_main(std::size_t wi);
   void deliver(std::size_t wi, Event ev);
@@ -58,6 +65,10 @@ class ThreadedEngine {
   bool try_process_one(std::size_t wi);
   std::size_t drain_own_mailbox(std::size_t wi);
   void send_null_messages_for(std::size_t wi, LpId lp);
+  [[nodiscard]] double now(std::size_t wi) const {
+    return static_cast<double>(workers_[wi]->ops);
+  }
+  [[nodiscard]] DeadlockReport build_deadlock_report(VirtualTime gvt);
 
   LpGraph& graph_;
   Partition partition_;
@@ -81,6 +92,13 @@ class ThreadedEngine {
   std::uint32_t stall_rounds_ = 0;
   std::uint64_t gvt_rounds_ = 0;
   bool deadlocked_ = false;
+  bool transport_failed_ = false;
+  std::optional<DeadlockReport> deadlock_report_;
+
+  // Transport stack, bottom-up: wire -> (faults) -> channel layer.
+  std::unique_ptr<ThreadedWire> wire_;
+  std::unique_ptr<FaultyTransport> faulty_;
+  std::unique_ptr<ChannelStack> net_;
 
   std::unique_ptr<class RoundBarrier> barrier_;
 };

@@ -1,0 +1,402 @@
+// Chaos testing of the transport layer: with the reliable channel stacked
+// on a faulty wire (drops, duplicates, reordering, latency jitter, link
+// blackouts) every synchronisation configuration under both ordering modes
+// must still commit exactly the sequential oracle's traces -- the transport
+// faults may cost time but never correctness.  Conversely, running a lossy
+// wire *without* the reliable channel must terminate with a structured
+// TransportError (or a deadlock report), never hang or silently corrupt.
+#include <gtest/gtest.h>
+
+#include "circuits/builder.h"
+#include "circuits/fsm.h"
+#include "circuits/random_circuit.h"
+#include "partition/partition.h"
+#include "pdes/machine.h"
+#include "pdes/sequential.h"
+#include "pdes/threaded.h"
+#include "vhdl/monitor.h"
+
+namespace vsim {
+namespace {
+
+using circuits::CircuitBuilder;
+using circuits::FsmParams;
+using circuits::GateKind;
+using circuits::RandomCircuitParams;
+using pdes::Configuration;
+using pdes::FaultPlan;
+using pdes::MachineEngine;
+using pdes::OrderingMode;
+using pdes::RunConfig;
+using pdes::RunStats;
+using pdes::SequentialEngine;
+using pdes::ThreadedEngine;
+using vhdl::SignalId;
+using vhdl::TraceRecorder;
+
+struct Built {
+  std::unique_ptr<pdes::LpGraph> graph;
+  std::unique_ptr<vhdl::Design> design;
+  std::unique_ptr<vhdl::TraceRecorder> recorder;
+};
+
+using BuildFn = Built (*)();
+
+// Hand-built gate netlist: clocked feedback through a DFF plus a small
+// combinational cloud, enough cross-LP traffic to exercise every fault.
+Built build_gates() {
+  Built b;
+  b.graph = std::make_unique<pdes::LpGraph>();
+  b.design = std::make_unique<vhdl::Design>(*b.graph);
+  CircuitBuilder cb(*b.design, /*gate_delay=*/2);
+  const SignalId clk = cb.wire("clk");
+  const SignalId a = cb.wire("a");
+  const SignalId bi = cb.wire("b");
+  cb.clock(clk, 25);
+  cb.random_bits(a, 17, 7, 900, "rnd_a");
+  cb.random_bits(bi, 11, 99, 900, "rnd_b");
+  const SignalId x1 = cb.wire("x1");
+  cb.gate(GateKind::kXor, {a, bi}, x1);
+  const SignalId q = cb.wire("q");
+  const SignalId d = cb.wire("d");
+  cb.gate(GateKind::kXor, {x1, q}, d);
+  const SignalId n1 = cb.wire("n1");
+  cb.gate(GateKind::kNand, {a, q}, n1);
+  const SignalId o1 = cb.wire("o1");
+  cb.gate(GateKind::kOr, {n1, bi}, o1);
+  cb.dff(clk, d, q);
+  b.recorder = std::make_unique<TraceRecorder>(
+      *b.design, std::vector<SignalId>{x1, q, o1});
+  b.design->finalize();
+  return b;
+}
+
+Built build_fsm() {
+  Built b;
+  b.graph = std::make_unique<pdes::LpGraph>();
+  b.design = std::make_unique<vhdl::Design>(*b.graph);
+  FsmParams p;
+  p.lanes = 2;
+  p.width = 3;
+  p.input_stop = 400;
+  const auto c = circuits::build_fsm(*b.design, p);
+  std::vector<SignalId> probes = c.state;
+  probes.push_back(c.parity);
+  b.recorder = std::make_unique<TraceRecorder>(*b.design, probes);
+  b.design->finalize();
+  return b;
+}
+
+Built build_random() {
+  Built b;
+  b.graph = std::make_unique<pdes::LpGraph>();
+  b.design = std::make_unique<vhdl::Design>(*b.graph);
+  RandomCircuitParams p;
+  p.seed = 12345;
+  p.num_gates = 24;
+  p.num_dffs = 5;
+  p.zero_delay_pct = 40;
+  const auto c = circuits::build_random_circuit(*b.design, p);
+  b.recorder = std::make_unique<TraceRecorder>(*b.design, c.observable);
+  b.design->finalize();
+  return b;
+}
+
+struct Circuit {
+  const char* name;
+  BuildFn build;
+  PhysTime until;
+};
+
+const Circuit kCircuits[] = {
+    {"gates", &build_gates, 600},
+    {"fsm", &build_fsm, 250},
+    {"random", &build_random, 300},
+};
+
+// An aggressive but recoverable fault plan: drop <= 20%, duplicate <= 10%,
+// heavy reordering, latency jitter and occasional short blackouts.
+FaultPlan chaos_plan(std::uint64_t seed) {
+  FaultPlan fp;
+  fp.seed = seed;
+  fp.drop = 0.15;
+  fp.duplicate = 0.08;
+  fp.reorder = 0.30;
+  fp.jitter = 1.5;
+  fp.blackout = 0.01;
+  fp.blackout_span = 6;
+  return fp;
+}
+
+struct ChaosParam {
+  const char* name;
+  Configuration config;
+  OrderingMode ordering;
+};
+
+std::string param_name(const testing::TestParamInfo<ChaosParam>& info) {
+  return info.param.name;
+}
+
+class ChaosEquivalence : public testing::TestWithParam<ChaosParam> {};
+
+// Tentpole acceptance: reliable channel over the faulty wire is
+// protocol-transparent for every configuration x ordering mode, on every
+// circuit -- and the counters prove the faults actually fired.
+TEST_P(ChaosEquivalence, ReliableChannelMatchesOracle) {
+  const ChaosParam& cp = GetParam();
+  std::uint64_t seed = 1;
+  for (const Circuit& tc : kCircuits) {
+    Built ref = tc.build();
+    SequentialEngine seq(*ref.graph);
+    seq.set_commit_hook(ref.recorder->hook());
+    seq.run(tc.until);
+
+    Built par = tc.build();
+    RunConfig rc;
+    rc.num_workers = 4;
+    rc.configuration = cp.config;
+    rc.ordering = cp.ordering;
+    rc.until = tc.until;
+    rc.gvt_interval = 24;
+    rc.transport.faults = chaos_plan(seed++);
+    rc.transport.reliable = true;
+    const auto part = partition::round_robin(par.graph->size(),
+                                             rc.num_workers);
+    MachineEngine eng(*par.graph, part, rc);
+    eng.set_commit_hook(par.recorder->hook());
+    const RunStats st = eng.run();
+
+    EXPECT_FALSE(st.deadlocked) << tc.name;
+    EXPECT_FALSE(st.transport_error.has_value())
+        << tc.name << ": " << st.transport_error->str();
+    EXPECT_EQ(TraceRecorder::diff(*ref.recorder, *par.recorder), "")
+        << tc.name << " under " << cp.name;
+    // The plan must have actually mangled traffic, and the channel must
+    // have repaired it: every drop forces at least one retransmission.
+    EXPECT_GT(st.transport.data_sent, 0u) << tc.name;
+    EXPECT_GT(st.transport.dropped, 0u) << tc.name;
+    EXPECT_GT(st.transport.retransmits, 0u) << tc.name;
+    EXPECT_GT(st.transport.acks_sent, 0u) << tc.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ChaosEquivalence,
+    testing::Values(
+        ChaosParam{"optimistic_arbitrary", Configuration::kAllOptimistic,
+                   OrderingMode::kArbitrary},
+        ChaosParam{"optimistic_user", Configuration::kAllOptimistic,
+                   OrderingMode::kUserConsistent},
+        ChaosParam{"conservative_arbitrary", Configuration::kAllConservative,
+                   OrderingMode::kArbitrary},
+        ChaosParam{"conservative_user", Configuration::kAllConservative,
+                   OrderingMode::kUserConsistent},
+        ChaosParam{"mixed_arbitrary", Configuration::kMixed,
+                   OrderingMode::kArbitrary},
+        ChaosParam{"mixed_user", Configuration::kMixed,
+                   OrderingMode::kUserConsistent},
+        ChaosParam{"dynamic_arbitrary", Configuration::kDynamic,
+                   OrderingMode::kArbitrary},
+        ChaosParam{"dynamic_user", Configuration::kDynamic,
+                   OrderingMode::kUserConsistent}),
+    param_name);
+
+// Fuzz: random circuits under random fault plans and random protocol
+// configurations, always trace-identical to the oracle.
+TEST(ChaosFuzz, RandomPlansMatchOracle) {
+  const Configuration configs[] = {
+      Configuration::kAllOptimistic, Configuration::kAllConservative,
+      Configuration::kMixed, Configuration::kDynamic};
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    RandomCircuitParams p;
+    p.seed = seed * 7919;
+    p.num_gates = 16 + (seed * 13) % 24;
+    p.num_dffs = 3 + seed % 5;
+    p.zero_delay_pct = static_cast<int>((seed * 37) % 100);
+    const PhysTime until = 250;
+
+    Built ref;
+    ref.graph = std::make_unique<pdes::LpGraph>();
+    ref.design = std::make_unique<vhdl::Design>(*ref.graph);
+    auto rc_ref = circuits::build_random_circuit(*ref.design, p);
+    ref.recorder =
+        std::make_unique<TraceRecorder>(*ref.design, rc_ref.observable);
+    ref.design->finalize();
+    SequentialEngine seq(*ref.graph);
+    seq.set_commit_hook(ref.recorder->hook());
+    seq.run(until);
+
+    Built par;
+    par.graph = std::make_unique<pdes::LpGraph>();
+    par.design = std::make_unique<vhdl::Design>(*par.graph);
+    auto rc_par = circuits::build_random_circuit(*par.design, p);
+    par.recorder =
+        std::make_unique<TraceRecorder>(*par.design, rc_par.observable);
+    par.design->finalize();
+
+    RunConfig rc;
+    rc.num_workers = 2 + seed % 5;
+    rc.configuration = configs[seed % 4];
+    rc.ordering = seed % 2 ? OrderingMode::kUserConsistent
+                           : OrderingMode::kArbitrary;
+    rc.until = until;
+    rc.gvt_interval = 16 + (seed % 3) * 16;
+    rc.transport.reliable = true;
+    FaultPlan& fp = rc.transport.faults;
+    fp.seed = seed * 104729;
+    fp.drop = 0.02 * static_cast<double>(seed % 10);       // 0 .. 0.18
+    fp.duplicate = 0.015 * static_cast<double>(seed % 7);  // 0 .. 0.09
+    fp.reorder = 0.05 * static_cast<double>(seed % 8);     // 0 .. 0.35
+    fp.jitter = 0.5 * static_cast<double>(seed % 4);
+    fp.blackout = seed % 3 ? 0.0 : 0.02;
+
+    MachineEngine eng(
+        *par.graph,
+        partition::round_robin(par.graph->size(), rc.num_workers), rc);
+    eng.set_commit_hook(par.recorder->hook());
+    const RunStats st = eng.run();
+    EXPECT_FALSE(st.deadlocked) << "seed " << seed;
+    EXPECT_FALSE(st.transport_error.has_value()) << "seed " << seed;
+    EXPECT_EQ(TraceRecorder::diff(*ref.recorder, *par.recorder), "")
+        << "seed " << seed << " cfg " << to_string(rc.configuration);
+  }
+}
+
+// The threaded engine shares the same channel stack; chaos must be
+// transparent there too (real threads, ops-counter retransmit clock).
+TEST(ChaosThreaded, ReliableChannelMatchesOracle) {
+  for (const Circuit& tc : kCircuits) {
+    Built ref = tc.build();
+    SequentialEngine seq(*ref.graph);
+    seq.set_commit_hook(ref.recorder->hook());
+    seq.run(tc.until);
+
+    Built par = tc.build();
+    RunConfig rc;
+    rc.num_workers = 3;
+    rc.configuration = Configuration::kDynamic;
+    rc.until = tc.until;
+    rc.transport.faults = chaos_plan(77);
+    rc.transport.faults.jitter = 0.0;  // no latency model on this wire
+    rc.transport.reliable = true;
+    ThreadedEngine eng(
+        *par.graph,
+        partition::round_robin(par.graph->size(), rc.num_workers), rc);
+    eng.set_commit_hook(par.recorder->hook());
+    const RunStats st = eng.run();
+    EXPECT_FALSE(st.deadlocked) << tc.name;
+    EXPECT_FALSE(st.transport_error.has_value()) << tc.name;
+    EXPECT_EQ(TraceRecorder::diff(*ref.recorder, *par.recorder), "")
+        << tc.name;
+    EXPECT_GT(st.transport.dropped, 0u) << tc.name;
+    EXPECT_GT(st.transport.retransmits, 0u) << tc.name;
+  }
+}
+
+// Faults without the reliable channel: the run must terminate and say so.
+// Dropped packets with no retransmission can never be trusted, so the
+// engine surfaces a structured TransportError (and, if the loss starves
+// the protocol into a stall, a deadlock report flagged as transport
+// starvation rather than protocol deadlock).
+TEST(ChaosUnreliable, LossyRunTerminatesWithStructuredError) {
+  Built par = build_fsm();
+  RunConfig rc;
+  rc.num_workers = 4;
+  rc.configuration = Configuration::kAllOptimistic;
+  rc.until = 250;
+  rc.deadlock_rounds = 4;
+  rc.transport.faults = chaos_plan(3);
+  rc.transport.reliable = false;  // raw lossy wire
+  MachineEngine eng(*par.graph,
+                    partition::round_robin(par.graph->size(), rc.num_workers),
+                    rc);
+  eng.set_commit_hook(par.recorder->hook());
+  const RunStats st = eng.run();  // must not hang
+  ASSERT_TRUE(st.transport_error.has_value() || st.deadlock_report);
+  if (st.transport_error) {
+    EXPECT_FALSE(st.transport_error->message.empty());
+    EXPECT_NE(st.transport_error->str().find("drop"), std::string::npos);
+  }
+  if (st.deadlock_report) {
+    EXPECT_TRUE(st.deadlock_report->transport_starvation);
+    EXPECT_FALSE(st.deadlock_report->str().empty());
+  }
+  EXPECT_GT(st.transport.dropped, 0u);
+  EXPECT_EQ(st.transport.retransmits, 0u);
+}
+
+// A dead link (100% drop) with reliability on must exhaust the retry cap
+// and unwind with a structured error naming the link, not spin forever.
+TEST(ChaosUnreliable, DeadLinkExhaustsRetriesWithStructuredError) {
+  Built par = build_gates();
+  RunConfig rc;
+  rc.num_workers = 3;
+  rc.configuration = Configuration::kAllOptimistic;
+  rc.until = 600;
+  rc.transport.faults.seed = 11;
+  rc.transport.faults.drop = 1.0;
+  rc.transport.reliable = true;
+  rc.transport.max_retries = 5;
+  rc.transport.rto = 4.0;
+  MachineEngine eng(*par.graph,
+                    partition::round_robin(par.graph->size(), rc.num_workers),
+                    rc);
+  const RunStats st = eng.run();  // must not hang
+  ASSERT_TRUE(st.transport_error.has_value());
+  EXPECT_GE(st.transport_error->attempts, rc.transport.max_retries);
+  EXPECT_LT(st.transport_error->src_worker, rc.num_workers);
+  EXPECT_LT(st.transport_error->dst_worker, rc.num_workers);
+  EXPECT_FALSE(st.transport_error->str().empty());
+  EXPECT_GT(st.transport.retransmits, 0u);
+}
+
+// Same dead-link contract on the threaded engine.
+TEST(ChaosUnreliable, ThreadedDeadLinkSurfacesError) {
+  Built par = build_gates();
+  RunConfig rc;
+  rc.num_workers = 2;
+  rc.configuration = Configuration::kDynamic;
+  rc.until = 600;
+  rc.transport.faults.seed = 13;
+  rc.transport.faults.drop = 1.0;
+  rc.transport.reliable = true;
+  rc.transport.max_retries = 5;
+  rc.transport.rto = 8.0;
+  ThreadedEngine eng(*par.graph,
+                     partition::round_robin(par.graph->size(),
+                                            rc.num_workers),
+                     rc);
+  const RunStats st = eng.run();  // must not hang
+  ASSERT_TRUE(st.transport_error.has_value());
+  EXPECT_GE(st.transport_error->attempts, rc.transport.max_retries);
+}
+
+// Determinism: the same fault seed must yield bit-identical fault counters
+// on the machine engine (the whole point of a seeded plan).
+TEST(ChaosDeterminism, SameSeedSameCounters) {
+  auto run_once = [] {
+    Built par = build_fsm();
+    RunConfig rc;
+    rc.num_workers = 4;
+    rc.configuration = Configuration::kDynamic;
+    rc.until = 250;
+    rc.transport.faults = chaos_plan(42);
+    rc.transport.reliable = true;
+    MachineEngine eng(
+        *par.graph,
+        partition::round_robin(par.graph->size(), rc.num_workers), rc);
+    return eng.run();
+  };
+  const RunStats a = run_once();
+  const RunStats b = run_once();
+  EXPECT_EQ(a.transport.data_sent, b.transport.data_sent);
+  EXPECT_EQ(a.transport.dropped, b.transport.dropped);
+  EXPECT_EQ(a.transport.duplicated, b.transport.duplicated);
+  EXPECT_EQ(a.transport.reordered, b.transport.reordered);
+  EXPECT_EQ(a.transport.retransmits, b.transport.retransmits);
+  EXPECT_EQ(a.makespan, b.makespan);
+}
+
+}  // namespace
+}  // namespace vsim

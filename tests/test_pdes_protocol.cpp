@@ -343,6 +343,91 @@ TEST_F(LpRuntimeTest, StragglerAfterDemotionStillRollsBackHistory) {
   EXPECT_EQ(lp_.log, (std::vector<EventUid>{5, 7, 9}));
 }
 
+// ---- transport-adjacent corner cases ----
+// The reliable channel dedups and orders packets, but the protocol layer
+// still sees edge timings: duplicates of pending events, and stragglers
+// landing exactly on the committed frontier after fossil collection.
+
+TEST_F(LpRuntimeTest, DuplicatePendingPositiveIsAbsorbed) {
+  auto rt = make(SyncMode::kOptimistic);
+  const Event e = make_event({5, 0}, 0, 7);
+  rt.enqueue(e, router_);
+  rt.enqueue(e, router_);  // transport duplicate while still pending
+  ASSERT_EQ(rt.peek(kTimeZero, 100), Eligibility::kReady);
+  rt.process_next(router_);
+  EXPECT_EQ(rt.peek(kTimeZero, 100), Eligibility::kIdle);
+  EXPECT_EQ(lp_.log, (std::vector<EventUid>{7}));
+}
+
+TEST_F(LpRuntimeTest, DuplicateOfProcessedEventNeedsTransportDedup) {
+  // Arbitrary ordering: a duplicate of an already-processed event is
+  // indistinguishable from a legitimate new equal-timestamp event, so the
+  // runtime re-executes it.  This is exactly why the reliable channel's
+  // receiver-side dedup is load-bearing for lossy links.
+  auto rt = make(SyncMode::kOptimistic, OrderingMode::kArbitrary);
+  const Event e = make_event({5, 0}, 0, 7);
+  rt.enqueue(e, router_);
+  rt.process_next(router_);
+  rt.enqueue(e, router_);
+  EXPECT_EQ(rt.stats().rollbacks, 0u);
+  rt.process_next(router_);
+  EXPECT_EQ(lp_.log, (std::vector<EventUid>{7, 7}));
+}
+
+TEST_F(LpRuntimeTest, DuplicateOfProcessedEventSelfHealsUnderUserConsistent) {
+  // User-consistent ordering rolls back on the equal-timestamp arrival and
+  // the re-pended original then absorbs the duplicate in the pending set
+  // (same ts, same uid), so the event executes exactly once.
+  auto rt = make(SyncMode::kOptimistic, OrderingMode::kUserConsistent);
+  const Event e = make_event({5, 0}, 0, 7);
+  rt.enqueue(e, router_);
+  rt.process_next(router_);
+  rt.enqueue(e, router_);
+  EXPECT_EQ(rt.stats().rollbacks, 1u);
+  ASSERT_EQ(rt.peek(kTimeZero, 100), Eligibility::kReady);
+  rt.process_next(router_);
+  EXPECT_EQ(rt.peek(kTimeZero, 100), Eligibility::kIdle);
+  EXPECT_EQ(lp_.log, (std::vector<EventUid>{7}));
+}
+
+TEST_F(LpRuntimeTest, StragglerAtCommitFrontierArbitrary) {
+  // Fossil collection at gvt keeps ts == gvt entries; an arrival exactly at
+  // the frontier commutes with them under the arbitrary ordering.
+  auto rt = make(SyncMode::kOptimistic, OrderingMode::kArbitrary);
+  for (EventUid u : {1u, 2u, 3u})
+    rt.enqueue(make_event({static_cast<PhysTime>(u), 0}, 0, u), router_);
+  while (rt.peek(kTimeZero, 100) == Eligibility::kReady)
+    rt.process_next(router_);
+  rt.fossil_collect({3, 0}, router_);
+  ASSERT_EQ(rt.history_size(), 1u);  // the (3,0) entry must survive
+
+  rt.enqueue(make_event({3, 0}, 0, 99), router_);
+  EXPECT_EQ(rt.stats().rollbacks, 0u);
+  rt.process_next(router_);
+  EXPECT_EQ(lp_.log, (std::vector<EventUid>{1, 2, 3, 99}));
+}
+
+TEST_F(LpRuntimeTest, StragglerAtCommitFrontierUserConsistent) {
+  // Same arrival under user-consistent ordering: the kept (3,0) entry is
+  // rolled back and re-executed after the straggler in uid order.  If
+  // fossil collection had committed the equal-gvt entry this would be an
+  // unrecoverable causality violation.
+  auto rt = make(SyncMode::kOptimistic, OrderingMode::kUserConsistent);
+  for (EventUid u : {1u, 2u, 3u})
+    rt.enqueue(make_event({static_cast<PhysTime>(u), 0}, 0, u), router_);
+  while (rt.peek(kTimeZero, 100) == Eligibility::kReady)
+    rt.process_next(router_);
+  rt.fossil_collect({3, 0}, router_);
+  ASSERT_EQ(rt.history_size(), 1u);
+
+  rt.enqueue(make_event({3, 0}, 0, 0), router_);  // uid 0 sorts first
+  EXPECT_EQ(rt.stats().rollbacks, 1u);
+  EXPECT_EQ(rt.stats().events_undone, 1u);
+  while (rt.peek(kTimeZero, 100) == Eligibility::kReady)
+    rt.process_next(router_);
+  EXPECT_EQ(lp_.log, (std::vector<EventUid>{1, 2, 0, 3}));
+}
+
 // ---- lazy cancellation ----
 
 class LazyTest : public LpRuntimeTest {
