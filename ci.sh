@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# CI entry point: a release build plus a ThreadSanitizer build, both gated
-# on the full test suite.  The TSan pass is what keeps the threaded engine
-# and the lock-free-by-affinity transport stack honest.
+# CI entry point: a release build plus sanitizer builds, all gated on the
+# full test suite.  The TSan pass is what keeps the threaded engine and the
+# lock-free-by-affinity transport stack honest; the ASan pass covers the
+# rollback/recovery machinery, whose failure mode is use-after-free of
+# checkpointed or fossil-collected event history rather than a data race.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -12,6 +14,13 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DVSIM_SANITIZE= \
   > /dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "==> AddressSanitizer build"
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DVSIM_SANITIZE=address > /dev/null
+cmake --build build-asan -j "$JOBS"
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 echo "==> ThreadSanitizer build"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -1,0 +1,138 @@
+// GVT-consistent checkpoint/restart.
+//
+// GVT is the commit frontier the protocol already computes: no event below
+// it is ever rolled back (DESIGN.md §5), so the state at a synchronisation
+// round -- after the network has been drained to quiescence -- is a globally
+// consistent cut.  A checkpoint captures, per LP, the committed-frontier
+// snapshot plus the pending event set, and, per link, the reliable-layer
+// sequence cursors and the fault-injector RNG cursors.  Restoring it and
+// re-running is therefore *deterministic*: the replay regenerates the exact
+// message and fault sequence of the original run, and the committed trace of
+// a crashed-and-recovered run is bit-identical to an uninterrupted one.
+//
+// Capture uses "rollback-all-deferred" (LpRuntime::rollback_all_deferred):
+// speculative history is undone WITHOUT emitting anti-messages -- every
+// undone send is parked in the lazy-cancellation queue, and deterministic
+// re-execution after the checkpoint settles each entry as a suppressed
+// resend.  The checkpoint is thus protocol-transparent: no receiver ever
+// observes that one was taken.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pdes/lp.h"
+#include "pdes/transport.h"
+
+namespace vsim::pdes {
+
+class LpRuntime;
+
+/// One LP's share of a checkpoint.  `state` is the opaque LpState snapshot
+/// (always in memory: LPs have no byte-level serialisation); the remaining
+/// fields are plain data and form the "portable" section that can spill to
+/// disk (CheckpointStore::encode_portable).
+struct LpCheckpoint {
+  std::unique_ptr<LpState> state;
+  SyncMode mode = SyncMode::kConservative;
+  bool pinned_conservative = false;
+  VirtualTime committed_ts = kTimeZero;
+  EventUid send_seq = 0;
+  std::vector<Event> pending;
+  std::vector<EventUid> pending_negatives;
+  /// Undecided lazy-cancellation entries (gen_uid, sent event).
+  std::vector<std::pair<EventUid, Event>> lazy;
+  /// Null-message channel clocks, sorted by source LP for determinism.
+  std::vector<std::pair<LpId, VirtualTime>> in_clocks;
+};
+
+/// A consistent global snapshot taken at a GVT round.
+struct Checkpoint {
+  std::uint64_t round = 0;  ///< GVT round the snapshot was taken at
+  VirtualTime gvt = kTimeZero;
+  std::vector<LpCheckpoint> lps;          ///< indexed by LpId
+  std::vector<VirtualTime> last_promise;  ///< engine null-promise cache
+  std::vector<LinkCheckpoint> links;      ///< reliable-layer cursors
+  std::vector<FaultLinkCheckpoint> fault_links;  ///< injector RNG cursors
+};
+
+/// Structured failure surfaced when crash recovery itself fails: the
+/// recovery budget is exhausted (crash-looping cluster) or no survivor is
+/// left to take over the dead worker's LPs.
+struct RecoveryError {
+  std::uint32_t worker = 0;  ///< the crash that could not be recovered from
+  std::uint64_t round = 0;   ///< GVT round at which recovery gave up
+  std::uint32_t recoveries_used = 0;
+  std::string message;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// What fault tolerance cost during a run.
+struct CheckpointStats {
+  std::uint64_t checkpoints = 0;  ///< snapshots taken (incl. the initial one)
+  std::uint64_t crashes = 0;      ///< worker crash-stop events injected
+  std::uint64_t recoveries = 0;   ///< successful recoveries performed
+  std::uint64_t lps_restored = 0; ///< LP snapshots reinstated across recoveries
+  std::uint64_t disk_bytes = 0;   ///< portable bytes spilled to disk
+  double overhead_cost = 0.0;     ///< work units charged to worker clocks
+};
+
+/// Ring buffer of the most recent checkpoints.  When `spill_dir` is
+/// non-empty, the portable section of every checkpoint is also written to
+/// `<spill_dir>/ckpt-<round>.bin` and read back for verification -- the
+/// LpState snapshots themselves stay in memory (documented limitation: a
+/// disk checkpoint alone cannot revive a fresh process).
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(std::size_t keep = 2, std::string spill_dir = {});
+
+  void put(Checkpoint&& ck);
+  [[nodiscard]] const Checkpoint* latest() const;
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+  [[nodiscard]] std::uint64_t disk_bytes() const { return disk_bytes_; }
+  /// First disk-spill failure (I/O error or read-back mismatch), if any.
+  /// Spilling is best-effort: the in-memory checkpoint stays authoritative.
+  [[nodiscard]] const std::optional<std::string>& io_error() const {
+    return io_error_;
+  }
+
+  /// Serialises everything except the LpState snapshots into a versioned
+  /// little-endian binary blob, and parses it back.  decode returns false
+  /// on any structural corruption (bad magic, truncation, trailing bytes).
+  [[nodiscard]] static std::vector<std::uint8_t> encode_portable(
+      const Checkpoint& ck);
+  [[nodiscard]] static bool decode_portable(
+      const std::vector<std::uint8_t>& buf, Checkpoint* out);
+
+ private:
+  void spill(const Checkpoint& ck);
+
+  std::size_t keep_;
+  std::string spill_dir_;
+  std::vector<Checkpoint> ring_;  ///< oldest first
+  std::uint64_t disk_bytes_ = 0;
+  std::optional<std::string> io_error_;
+};
+
+/// Builds a checkpoint from engine state.  Preconditions: every LP's
+/// speculative history has been undone (LpRuntime::rollback_all_deferred)
+/// and the transport stack is quiescent (post drain-until-quiet).
+/// `faulty` may be null when no fault decorator is installed.
+[[nodiscard]] Checkpoint capture_checkpoint(
+    std::uint64_t round, VirtualTime gvt, std::vector<LpRuntime>& lps,
+    const std::vector<VirtualTime>& last_promise, const ChannelStack& net,
+    const FaultyTransport* faulty);
+
+/// Restores engine state from `ck` (the inverse of capture_checkpoint).
+/// The caller must clear its mailboxes and rebuild its scheduling keys
+/// afterwards; LP statistics are cumulative and deliberately not restored.
+void restore_checkpoint(const Checkpoint& ck, std::vector<LpRuntime>& lps,
+                        std::vector<VirtualTime>& last_promise,
+                        ChannelStack& net, FaultyTransport* faulty);
+
+}  // namespace vsim::pdes

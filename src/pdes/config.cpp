@@ -1,6 +1,18 @@
 #include "pdes/config.h"
 
+#include <sstream>
+
 namespace vsim::pdes {
+
+namespace {
+
+bool in_unit(double p) { return p >= 0.0 && p <= 1.0; }
+
+std::optional<ConfigError> fail(const char* field, std::string message) {
+  return ConfigError{field, std::move(message)};
+}
+
+}  // namespace
 
 const char* to_string(Configuration c) {
   switch (c) {
@@ -26,6 +38,82 @@ const char* to_string(ConservativeStrategy s) {
     case ConservativeStrategy::kNullMessage: return "null-message";
   }
   return "?";
+}
+
+const char* to_string(RecoveryPolicy p) {
+  switch (p) {
+    case RecoveryPolicy::kRestart: return "restart";
+    case RecoveryPolicy::kRedistribute: return "redistribute";
+  }
+  return "?";
+}
+
+std::string ConfigError::str() const {
+  std::ostringstream os;
+  os << "invalid configuration: " << field << ": " << message;
+  return os.str();
+}
+
+std::optional<ConfigError> validate(const FaultPlan& plan,
+                                    std::size_t num_workers) {
+  if (!in_unit(plan.drop)) return fail("faults.drop", "probability outside [0, 1]");
+  if (!in_unit(plan.duplicate))
+    return fail("faults.duplicate", "probability outside [0, 1]");
+  if (!in_unit(plan.reorder))
+    return fail("faults.reorder", "probability outside [0, 1]");
+  if (!in_unit(plan.blackout))
+    return fail("faults.blackout", "probability outside [0, 1]");
+  if (!in_unit(plan.crash_rate))
+    return fail("faults.crash_rate", "probability outside [0, 1]");
+  if (plan.jitter < 0.0) return fail("faults.jitter", "negative jitter");
+  if (plan.blackout > 0.0 && plan.blackout_span < 1)
+    return fail("faults.blackout_span",
+                "must be >= 1 when blackouts are enabled");
+  for (const WorkerCrash& c : plan.crashes) {
+    if (num_workers != 0 && c.worker >= num_workers) {
+      std::ostringstream os;
+      os << "crash scheduled for worker " << c.worker << " but only "
+         << num_workers << " workers configured";
+      return fail("faults.crashes", os.str());
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<ConfigError> validate(const TransportConfig& transport,
+                                    std::size_t num_workers) {
+  if (auto err = validate(transport.faults, num_workers)) return err;
+  if (transport.reliable) {
+    if (transport.max_retries < 1)
+      return fail("transport.max_retries",
+                  "retry cap must be >= 1 when reliable delivery is on");
+    if (transport.rto <= 0.0)
+      return fail("transport.rto", "retransmit timeout must be > 0");
+    if (transport.rto_backoff < 1.0)
+      return fail("transport.rto_backoff",
+                  "backoff factor < 1 would shrink timeouts");
+  }
+  return std::nullopt;
+}
+
+std::optional<ConfigError> validate(const RunConfig& config) {
+  if (config.num_workers < 1)
+    return fail("num_workers", "at least one worker is required");
+  if (config.gvt_interval < 1)
+    return fail("gvt_interval", "GVT interval must be >= 1");
+  if (config.deadlock_rounds < 1)
+    return fail("deadlock_rounds", "deadlock threshold must be >= 1");
+  if (auto err = validate(config.transport, config.num_workers)) return err;
+  if (config.checkpoint.heartbeat_rounds < 1)
+    return fail("checkpoint.heartbeat_rounds",
+                "a worker must be allowed to miss at least one round");
+  if (config.checkpoint.keep < 1)
+    return fail("checkpoint.keep", "must retain at least one checkpoint");
+  if (config.transport.faults.crash_active() &&
+      config.checkpoint.max_recoveries < 1)
+    return fail("checkpoint.max_recoveries",
+                "crashes are scheduled but no recoveries are allowed");
+  return std::nullopt;
 }
 
 }  // namespace vsim::pdes

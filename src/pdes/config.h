@@ -3,6 +3,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "common/virtual_time.h"
 
@@ -62,10 +65,19 @@ const char* to_string(Configuration c);
 const char* to_string(OrderingMode m);
 const char* to_string(ConservativeStrategy s);
 
+/// One scheduled crash-stop failure: worker `worker` dies the moment its
+/// cumulative processed-event count reaches `after_events`.  The counter is
+/// never rolled back by recovery, so each entry fires at most once.
+struct WorkerCrash {
+  std::uint32_t worker = 0;
+  std::uint64_t after_events = 0;
+};
+
 /// Deterministic fault-injection plan for the inter-worker transport
-/// (transport.h).  All probabilities are per submitted packet; faults are
-/// drawn from a per-link RNG seeded from `seed`, so any given plan is fully
-/// reproducible.  A default-constructed plan injects nothing (perfect wire).
+/// (transport.h) and for whole-worker crash-stop failures (checkpoint.h).
+/// All link probabilities are per submitted packet; faults are drawn from a
+/// per-link RNG seeded from `seed`, so any given plan is fully reproducible.
+/// A default-constructed plan injects nothing (perfect wire, no crashes).
 struct FaultPlan {
   std::uint64_t seed = 1;
   double drop = 0.0;       ///< P(packet vanishes on the wire)
@@ -80,9 +92,22 @@ struct FaultPlan {
   /// (all of them are dropped).
   std::uint32_t blackout_span = 8;
 
+  /// P(a worker crash-stops) per event it processes, drawn from a per-worker
+  /// RNG seeded from `seed`.  Crash RNG cursors advance monotonically and
+  /// are never restored from a checkpoint (a machine's MTBF does not rewind
+  /// with the simulation), so recovery always makes forward progress.
+  double crash_rate = 0.0;
+  /// Explicit crash schedule, for reproducing precise failure timings.
+  std::vector<WorkerCrash> crashes;
+
+  /// Link faults only; gates the FaultyTransport decorator.
   [[nodiscard]] bool active() const {
     return drop > 0 || duplicate > 0 || reorder > 0 || jitter > 0 ||
            blackout > 0;
+  }
+  /// Worker crash-stop failures; gates checkpointing and heartbeats.
+  [[nodiscard]] bool crash_active() const {
+    return crash_rate > 0 || !crashes.empty();
   }
 };
 
@@ -101,6 +126,56 @@ struct TransportConfig {
   double rto = 16.0;
   double rto_backoff = 2.0;
 };
+
+/// What to do with a dead worker's LPs after recovery.
+enum class RecoveryPolicy : std::uint8_t {
+  /// Re-instantiate the lost worker in place and hand its partition back
+  /// (models a node restart / hot spare).  The threaded engine cannot
+  /// respawn OS threads mid-run and silently degrades to kRedistribute.
+  kRestart,
+  /// Spread the dead worker's LPs round-robin across the survivors and
+  /// retire the worker permanently (graceful degradation).
+  kRedistribute,
+};
+
+const char* to_string(RecoveryPolicy p);
+
+/// GVT-consistent checkpoint/restart (checkpoint.h).  Checkpointing is also
+/// forced on whenever the fault plan schedules crashes, so a crashed run can
+/// always fall back to at least the initial snapshot.
+struct CheckpointConfig {
+  /// Take a checkpoint every `period` GVT rounds; 0 disables periodic
+  /// checkpoints (only the initial pre-run snapshot is kept when crashes
+  /// are scheduled).
+  std::uint32_t period = 0;
+  /// Retained snapshots in the in-memory store (ring buffer, newest wins).
+  std::size_t keep = 2;
+  /// When non-empty, spill the portable section of each checkpoint to
+  /// `<spill_dir>/ckpt-<round>.bin` and verify it reads back identically.
+  std::string spill_dir;
+  RecoveryPolicy policy = RecoveryPolicy::kRestart;
+  /// Recoveries allowed before the run aborts with a RecoveryError (a
+  /// crash-looping cluster must fail, not spin).
+  std::uint32_t max_recoveries = 8;
+  /// GVT rounds a worker may miss before it is declared dead.
+  std::uint32_t heartbeat_rounds = 1;
+};
+
+/// Structured configuration-validation failure: which field is bad and why.
+/// Engines surface this via RunStats::config_error instead of running with
+/// silently nonsensical parameters.
+struct ConfigError {
+  std::string field;
+  std::string message;
+  [[nodiscard]] std::string str() const;
+};
+
+std::optional<ConfigError> validate(const FaultPlan& plan,
+                                    std::size_t num_workers);
+std::optional<ConfigError> validate(const TransportConfig& transport,
+                                    std::size_t num_workers);
+struct RunConfig;
+std::optional<ConfigError> validate(const RunConfig& config);
 
 /// Parameters of the self-adaptation policy (evaluated per LP at GVT rounds).
 struct AdaptPolicy {
@@ -137,6 +212,8 @@ struct RunConfig {
   std::uint32_t deadlock_rounds = 3;
   /// Inter-worker transport stack (fault injection + reliable delivery).
   TransportConfig transport;
+  /// GVT-consistent checkpointing and crash recovery.
+  CheckpointConfig checkpoint;
 };
 
 }  // namespace vsim::pdes

@@ -79,7 +79,7 @@ void LpRuntime::enqueue(Event ev, Router& router) {
       if (it->uid == ev.uid) {
         pending_.erase(it);
         ++stats_.annihilations;
-        if (lazy_) settle_lazy(ev.uid, router);
+        settle_lazy(ev.uid, router);
         return;
       }
     }
@@ -97,7 +97,7 @@ void LpRuntime::enqueue(Event ev, Router& router) {
           }
         }
         ++stats_.annihilations;
-        if (lazy_) settle_lazy(ev.uid, router);
+        settle_lazy(ev.uid, router);
         return;
       }
     }
@@ -188,10 +188,13 @@ double LpRuntime::process_next(Router& router) {
     rec.sends.reserve(ctx.sends().size());
     // Lazy cancellation: a regenerated message identical to an undecided
     // one is suppressed -- the receiver already holds it (under its old
-    // uid, which the history must reference for future rollbacks).
+    // uid, which the history must reference for future rollbacks).  The
+    // queue is consulted regardless of the cancellation policy: checkpoint
+    // capture defers undone sends here even under aggressive cancellation
+    // (rollback_all_deferred), and those entries settle the same way.
     for (Event& s : ctx.sends()) {
       bool suppressed = false;
-      if (lazy_ && !lazy_queue_.empty()) {
+      if (!lazy_queue_.empty()) {
         for (auto it = lazy_queue_.begin(); it != lazy_queue_.end(); ++it) {
           if (same_message(it->ev, s)) {
             s.uid = it->ev.uid;
@@ -219,7 +222,7 @@ double LpRuntime::process_next(Router& router) {
 
   // Any of this event's previous sends that were not regenerated are now
   // known to be wrong: cancel them.
-  if (lazy_) settle_lazy(gen_uid, router);
+  settle_lazy(gen_uid, router);
   return cost;
 }
 
@@ -305,6 +308,64 @@ VirtualTime LpRuntime::null_promise() const {
   if (base == kTimeInf) return kTimeInf;
   const PhysTime la = use_lookahead_ ? lp_->lookahead() : 0;
   return VirtualTime{base.pt + la, la > 0 ? 0 : base.lt};
+}
+
+std::size_t LpRuntime::rollback_all_deferred() {
+  if (history_.empty()) return 0;
+  const std::size_t n = history_.size();
+  for (std::size_t j = history_.size(); j-- > 0;) {
+    Processed& rec = history_[j];
+    for (SentRecord& sr : rec.sends)
+      lazy_queue_.push_back({rec.ev.uid, std::move(sr.ev)});
+    pending_.insert(std::move(rec.ev));
+  }
+  lp_->restore_state(*history_.front().pre_state);
+  history_.clear();
+  // Not counted as rollbacks: this is checkpoint bookkeeping, and polluting
+  // the window counters would skew the self-adaptation policy.
+  stats_.checkpoint_undone += n;
+  return n;
+}
+
+LpCheckpoint LpRuntime::make_checkpoint() const {
+  assert(history_.empty() &&
+         "speculation must be undone (rollback_all_deferred) before capture");
+  LpCheckpoint ck;
+  ck.state = lp_->save_state();
+  ck.mode = mode_;
+  ck.pinned_conservative = pinned_conservative_;
+  ck.committed_ts = committed_ts_;
+  ck.send_seq = send_seq_;
+  ck.pending.assign(pending_.begin(), pending_.end());
+  ck.pending_negatives.assign(pending_negatives_.begin(),
+                              pending_negatives_.end());
+  ck.lazy.reserve(lazy_queue_.size());
+  for (const LazyEntry& e : lazy_queue_) ck.lazy.emplace_back(e.gen_uid, e.ev);
+  ck.in_clocks.assign(in_clocks_.begin(), in_clocks_.end());
+  std::sort(ck.in_clocks.begin(), ck.in_clocks.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return ck;
+}
+
+void LpRuntime::restore_from(const LpCheckpoint& ck) {
+  if (ck.state) lp_->restore_state(*ck.state);
+  // Direct assignment, not set_mode(): a recovery is not a mode switch.
+  mode_ = ck.mode;
+  pinned_conservative_ = ck.pinned_conservative;
+  committed_ts_ = ck.committed_ts;
+  send_seq_ = ck.send_seq;
+  history_.clear();
+  pending_.clear();
+  pending_.insert(ck.pending.begin(), ck.pending.end());
+  pending_negatives_.clear();
+  pending_negatives_.insert(ck.pending_negatives.begin(),
+                            ck.pending_negatives.end());
+  lazy_queue_.clear();
+  lazy_queue_.reserve(ck.lazy.size());
+  for (const auto& [gen_uid, ev] : ck.lazy) lazy_queue_.push_back({gen_uid, ev});
+  in_clocks_.clear();
+  for (const auto& [src, clock] : ck.in_clocks) in_clocks_.emplace(src, clock);
+  reset_window();
 }
 
 void LpRuntime::reset_window() {

@@ -145,6 +145,23 @@ class LpRuntime {
   /// for deadlock diagnostics.
   [[nodiscard]] VirtualTime min_channel_clock() const;
 
+  /// Checkpoint capture: undoes ALL speculative history without emitting
+  /// anti-messages -- every undone send is deferred into the lazy queue
+  /// (regardless of the cancellation policy), so the deterministic
+  /// re-execution after the checkpoint settles each entry as a suppressed
+  /// resend and no receiver ever observes the rollback.  Needs no Router.
+  /// Returns the number of events undone.
+  std::size_t rollback_all_deferred();
+
+  /// Snapshot of the committed frontier.  Precondition: history is empty
+  /// (call rollback_all_deferred() first).
+  [[nodiscard]] LpCheckpoint make_checkpoint() const;
+
+  /// Inverse of make_checkpoint(): reinstates LP state, pending events,
+  /// lazy entries and channel clocks.  Statistics are cumulative across
+  /// recoveries and deliberately untouched.
+  void restore_from(const LpCheckpoint& ck);
+
  private:
   struct SentRecord {
     Event ev;  ///< positive copy of what was sent

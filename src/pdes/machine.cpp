@@ -47,7 +47,12 @@ class MachineEngine::MachineRouter final : public Router {
   }
 
   void commit(const Event& ev) override {
-    if (eng_.hook_) eng_.hook_(ev);
+    if (!eng_.hook_) return;
+    // Output commit: under fault tolerance the hook only fires once the
+    // commit is covered by a checkpoint (or the run terminated), so a
+    // recovery never replays an already-reported event.
+    if (eng_.ft_on_) eng_.commit_buf_[ev.dst].push_back(ev);
+    else eng_.hook_(ev);
   }
 
  private:
@@ -60,6 +65,8 @@ MachineEngine::MachineEngine(LpGraph& graph, Partition partition,
       partition_(std::move(partition)),
       config_(config),
       costs_(costs) {
+  config_error_ = validate(config_);
+  if (config_error_) return;  // run() refuses to start; nothing to build
   assert(partition_.size() == graph_.size());
   lps_.reserve(graph_.size());
   key_.assign(graph_.size(), kTimeInf);
@@ -101,6 +108,23 @@ MachineEngine::MachineEngine(LpGraph& graph, Partition partition,
                                  ? costs_.ack
                                  : costs_.msg_remote_send;
       });
+
+  // Fault tolerance: enabled by periodic checkpointing or by any scheduled
+  // crash (crashes force at least the initial snapshot, so recovery always
+  // has something to fall back to).
+  ft_on_ = config_.checkpoint.period > 0 ||
+           config_.transport.faults.crash_active();
+  crashed_.assign(config_.num_workers, false);
+  retired_.assign(config_.num_workers, false);
+  missed_heartbeats_.assign(config_.num_workers, 0);
+  crash_rng_.resize(config_.num_workers);
+  for (std::size_t w = 0; w < config_.num_workers; ++w) {
+    // Distinct stream from the link-fault RNGs (0x10001 multiplier there).
+    crash_rng_[w] = splitmix64(config_.transport.faults.seed * 0x20003 + w + 1);
+    if (crash_rng_[w] == 0) crash_rng_[w] = 1;
+  }
+  commit_buf_.resize(graph_.size());
+  store_ = CheckpointStore(config_.checkpoint.keep, config_.checkpoint.spill_dir);
 }
 
 MachineEngine::~MachineEngine() = default;
@@ -144,7 +168,34 @@ void MachineEngine::send_null_messages_for(LpId lp) {
   current_worker_ = saved;
 }
 
+bool MachineEngine::any_crashed() const {
+  for (std::size_t w = 0; w < workers_.size(); ++w)
+    if (crashed_[w] && !retired_[w]) return true;
+  return false;
+}
+
+bool MachineEngine::maybe_crash(std::size_t wi) {
+  const FaultPlan& plan = config_.transport.faults;
+  Worker& w = workers_[wi];
+  bool die = false;
+  // Explicit schedule: cumulative event counters never rewind (recovery
+  // keeps statistics), so an exact match fires at most once.
+  for (const WorkerCrash& c : plan.crashes)
+    if (c.worker == wi && c.after_events == w.stats.events) die = true;
+  // Seeded per-event failure probability.  The RNG cursor advances on every
+  // processed event and is never restored from a checkpoint: a crash that
+  // replays into the identical pre-crash state must not re-fire forever.
+  if (plan.crash_rate > 0 &&
+      xorshift_uniform(crash_rng_[wi]) < plan.crash_rate && !die)
+    die = true;
+  if (!die) return false;
+  crashed_[wi] = true;
+  ++ckstats_.crashes;
+  return true;
+}
+
 bool MachineEngine::step(std::size_t wi) {
+  if (ft_on_ && worker_dead(wi)) return false;
   current_worker_ = wi;
   Worker& w = workers_[wi];
 
@@ -184,6 +235,7 @@ bool MachineEngine::step(std::size_t wi) {
     ++w.stats.events;
     ++w.events_since_round;
     refresh_key(lp);
+    if (ft_on_ && maybe_crash(wi)) return true;  // crash-stop: worker is gone
     if (config_.strategy == ConservativeStrategy::kNullMessage)
       send_null_messages_for(lp);
     return true;
@@ -200,16 +252,28 @@ bool MachineEngine::step(std::size_t wi) {
 
 VirtualTime MachineEngine::sync_round() {
   ++gvt_rounds_;
+  if (ft_on_ && config_.checkpoint.period > 0) ++rounds_since_ckpt_;
+
+  // Crash detection + recovery happen at round ENTRY, before the drain:
+  // in-flight traffic to a dead worker can never be acknowledged, so
+  // draining first would only burn the retransmission budget (which is
+  // exactly what happens -- deliberately -- when heartbeat_rounds delays
+  // the declaration past the retry cap).
+  if (ft_on_ && !detect_and_recover()) return safe_bound_;
+  const bool crash_pending = ft_on_ && any_crashed();
+
   // Flush the network to quiescence.  One drain pass is NOT enough under a
   // lossy transport: a dropped packet only reappears when the reliable
   // layer retransmits it, so the round alternates "drain every mailbox"
   // with "flush held/unacked packets" until a full pass moves nothing.
+  // Dead workers are skipped: their mailbox contents are lost with them.
   double max_arrival = 0.0;
   for (;;) {
     bool any = true;
     while (any) {
       any = false;
       for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+        if (ft_on_ && worker_dead(wi)) continue;
         current_worker_ = wi;
         Worker& w = workers_[wi];
         while (!w.mailbox.empty()) {
@@ -223,6 +287,7 @@ VirtualTime MachineEngine::sync_round() {
     }
     std::size_t flushed = 0;
     for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+      if (ft_on_ && worker_dead(wi)) continue;
       current_worker_ = wi;
       flushed += net_->flush(static_cast<std::uint32_t>(wi),
                              workers_[wi].clock);
@@ -232,13 +297,19 @@ VirtualTime MachineEngine::sync_round() {
   if (net_->error()) transport_failed_ = true;
 
   double round_clock = max_arrival;
-  for (const Worker& w : workers_) round_clock = std::max(round_clock, w.clock);
+  for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+    if (ft_on_ && worker_dead(wi)) continue;
+    round_clock = std::max(round_clock, workers_[wi].clock);
+  }
   round_clock += costs_.gvt_cost;
-  for (Worker& w : workers_) {
-    w.clock = round_clock;
-    w.events_since_round = 0;
+  for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+    if (!(ft_on_ && worker_dead(wi))) workers_[wi].clock = round_clock;
+    workers_[wi].events_since_round = 0;
   }
 
+  // A dead worker's LPs are frozen at their crash-time keys, which keeps
+  // the GVT (and hence every survivor-side commit) below the frontier the
+  // upcoming recovery will rewind to or replay over.
   VirtualTime gvt = kTimeInf;
   for (const VirtualTime& k : key_) gvt = std::min(gvt, k);
 
@@ -246,6 +317,24 @@ VirtualTime MachineEngine::sync_round() {
   for (LpId id = 0; id < lps_.size(); ++id) {
     current_worker_ = partition_[id];
     lps_[id].fossil_collect(gvt, router);
+  }
+
+  // Periodic capture is additionally gated on GVT progress: capturing at an
+  // unadvanced frontier would re-undo the same speculative suffix whose
+  // re-execution then eats the next round's event budget -- with a short
+  // period that pins GVT at the checkpoint forever.  The counter is left
+  // accumulated so the capture retries on the first round that advances.
+  if (!crash_pending && !transport_failed_ && config_.checkpoint.period > 0 &&
+      rounds_since_ckpt_ >= config_.checkpoint.period && gvt != kTimeInf &&
+      gvt.pt <= config_.until && gvt > last_ckpt_gvt_) {
+    rounds_since_ckpt_ = 0;
+    last_ckpt_gvt_ = gvt;
+    take_checkpoint(gvt);
+  }
+
+  for (LpId id = 0; id < lps_.size(); ++id) {
+    if (ft_on_ && worker_dead(partition_[id])) continue;
+    current_worker_ = partition_[id];
     if (config_.configuration == Configuration::kDynamic)
       adapt_lp(lps_[id], config_.adapt);
     else
@@ -257,7 +346,135 @@ VirtualTime MachineEngine::sync_round() {
   return gvt;
 }
 
+bool MachineEngine::detect_and_recover() {
+  bool any = false;
+  bool due = false;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (!crashed_[w] || retired_[w]) continue;
+    any = true;
+    if (++missed_heartbeats_[w] >= config_.checkpoint.heartbeat_rounds)
+      due = true;
+  }
+  if (!any || !due) return true;
+  // One dead worker reached the heartbeat budget: declare every currently
+  // crashed worker dead and run a single recovery episode for all of them.
+  return recover();
+}
+
+bool MachineEngine::recover() {
+  std::uint32_t first_dead = 0;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (crashed_[w] && !retired_[w]) {
+      first_dead = static_cast<std::uint32_t>(w);
+      break;
+    }
+  }
+  const auto fail = [&](std::string message) {
+    recovery_error_ =
+        RecoveryError{first_dead, gvt_rounds_, recoveries_, std::move(message)};
+    failed_ = true;
+    return false;
+  };
+  if (recoveries_ >= config_.checkpoint.max_recoveries)
+    return fail("recovery budget exhausted (max_recoveries)");
+  const Checkpoint* ck = store_.latest();
+  if (ck == nullptr) return fail("no checkpoint available");
+
+  if (config_.checkpoint.policy == RecoveryPolicy::kRedistribute) {
+    for (std::size_t w = 0; w < workers_.size(); ++w)
+      if (crashed_[w] && !retired_[w]) retired_[w] = true;
+    std::vector<std::uint32_t> survivors;
+    for (std::size_t w = 0; w < workers_.size(); ++w)
+      if (!retired_[w]) survivors.push_back(static_cast<std::uint32_t>(w));
+    if (survivors.empty())
+      return fail("no surviving worker to redistribute LPs to");
+    std::size_t next = 0;
+    for (LpId id = 0; id < lps_.size(); ++id) {
+      if (!retired_[partition_[id]]) continue;
+      partition_[id] = survivors[next++ % survivors.size()];
+    }
+  } else {
+    // Restart in place: the lost worker comes back empty and reloads its
+    // original partition from the checkpoint, like everyone else.
+    for (std::size_t w = 0; w < workers_.size(); ++w)
+      if (crashed_[w]) crashed_[w] = false;
+  }
+  ++recoveries_;
+  ++ckstats_.recoveries;
+
+  restore_checkpoint(*ck, lps_, last_promise_, *net_, faulty_.get());
+  ckstats_.lps_restored += lps_.size();
+  for (Worker& w : workers_) {
+    w.mailbox = {};  // in-flight packets belong to the abandoned timeline
+    w.events_since_round = 0;
+    w.owned.clear();
+    w.ready.clear();
+  }
+  for (LpId id = 0; id < lps_.size(); ++id) {
+    key_[id] = lps_[id].next_ts();
+    Worker& w = workers_[partition_[id]];
+    w.owned.push_back(id);
+    w.ready.insert({key_[id], id});
+  }
+  safe_bound_ = ck->gvt;
+  last_ckpt_gvt_ = ck->gvt;  // next periodic capture must advance past this
+  for (auto& buf : commit_buf_) buf.clear();
+  for (auto& h : missed_heartbeats_) h = 0;
+
+  // Charge detection latency + state reload to every surviving clock.
+  double base = 0.0;
+  for (std::size_t w = 0; w < workers_.size(); ++w)
+    if (!worker_dead(w)) base = std::max(base, workers_[w].clock);
+  base += costs_.crash_detect * config_.checkpoint.heartbeat_rounds;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (worker_dead(w)) continue;
+    const double after = base + costs_.restore_per_lp *
+                                    static_cast<double>(workers_[w].owned.size());
+    ckstats_.overhead_cost += after - workers_[w].clock;
+    workers_[w].clock = after;
+  }
+  return true;
+}
+
+void MachineEngine::take_checkpoint(VirtualTime gvt) {
+  // Undo all speculation with deferred cancellation: no anti-messages are
+  // emitted, so the network stays quiescent and no receiver observes the
+  // capture; deterministic re-execution settles the deferred sends as
+  // suppressed resends.
+  for (LpId id = 0; id < lps_.size(); ++id) {
+    if (lps_[id].rollback_all_deferred() > 0) refresh_key(id);
+  }
+  Checkpoint ck = capture_checkpoint(gvt_rounds_, gvt, lps_, last_promise_,
+                                     *net_, faulty_.get());
+  ++ckstats_.checkpoints;
+  // The snapshot covers everything committed so far: release the buffered
+  // commit-hook invocations (recovery can only rewind to this line or later).
+  flush_commits();
+  store_.put(std::move(ck));
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (worker_dead(w)) continue;
+    const double c = costs_.checkpoint_per_lp *
+                     static_cast<double>(workers_[w].owned.size());
+    workers_[w].clock += c;
+    ckstats_.overhead_cost += c;
+  }
+}
+
+void MachineEngine::flush_commits() {
+  if (!hook_) return;
+  for (auto& buf : commit_buf_) {
+    for (const Event& ev : buf) hook_(ev);
+    buf.clear();
+  }
+}
+
 RunStats MachineEngine::run() {
+  if (config_error_) {
+    RunStats out;
+    out.config_error = config_error_;
+    return out;
+  }
+
   // Seed initial events (free: part of model construction, not simulation).
   for (const Event& ev : graph_.initial_events()) {
     current_worker_ = partition_[ev.dst];
@@ -267,13 +484,21 @@ RunStats MachineEngine::run() {
     refresh_key(ev.dst);
   }
 
+  if (ft_on_) {
+    // Round-zero baseline: recovery always has a line to rewind to, even
+    // when the first crash precedes the first periodic checkpoint.
+    store_.put(capture_checkpoint(0, kTimeZero, lps_, last_promise_, *net_,
+                                  faulty_.get()));
+    ++ckstats_.checkpoints;
+  }
+
   VirtualTime gvt = sync_round();
   VirtualTime last_gvt = gvt;
   std::uint64_t last_total_events = 0;
   std::uint32_t stall_rounds = 0;
 
   while (gvt != kTimeInf && gvt.pt <= config_.until && !deadlocked_ &&
-         !transport_failed_) {
+         !transport_failed_ && !failed_) {
     // Run workers, lowest virtual clock first, until a round is due.
     bool round_due = false;
     while (!round_due) {
@@ -332,12 +557,17 @@ RunStats MachineEngine::run() {
   }
   if (deadlocked_) out.deadlock_report = build_deadlock_report();
 
-  // Commit everything that was processed.
-  MachineRouter router(*this);
-  for (LpId id = 0; id < lps_.size(); ++id) {
-    current_worker_ = partition_[id];
-    lps_[id].fossil_collect(kTimeInf, router);
+  // Commit everything that was processed.  With fault tolerance on, a run
+  // that aborted on an unrecoverable failure must NOT commit past the last
+  // checkpoint: the speculative suffix was never validated by a GVT round.
+  if (!failed_) {
+    MachineRouter router(*this);
+    for (LpId id = 0; id < lps_.size(); ++id) {
+      current_worker_ = partition_[id];
+      lps_[id].fossil_collect(kTimeInf, router);
+    }
   }
+  flush_commits();
 
   out.per_lp.reserve(lps_.size());
   for (const LpRuntime& rt : lps_) out.per_lp.push_back(rt.stats());
@@ -351,6 +581,9 @@ RunStats MachineEngine::run() {
   out.gvt_rounds = gvt_rounds_;
   out.deadlocked = deadlocked_;
   out.makespan = makespan;
+  out.checkpoint = ckstats_;
+  out.checkpoint.disk_bytes = store_.disk_bytes();
+  out.recovery_error = recovery_error_;
   return out;
 }
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "pdes/adaptive.h"
+#include "pdes/checkpoint.h"
 #include "pdes/config.h"
 #include "pdes/graph.h"
 #include "pdes/lp_runtime.h"
@@ -46,6 +47,10 @@ struct MachineCosts {
   double null_msg = 0.15;        ///< per null message (sender side)
   double gvt_cost = 4.0;         ///< per worker per synchronisation round
   double ack = 0.1;              ///< reliable-channel ack emission (sender side)
+  double checkpoint_per_lp = 0.5;  ///< snapshot write, per owned LP
+  double restore_per_lp = 0.8;     ///< recovery reload, per owned LP
+  double crash_detect = 12.0;      ///< failure-detection latency, per missed
+                                   ///< heartbeat round
 };
 
 /// Maps each LP to a worker; produced by the partition module.
@@ -92,6 +97,23 @@ class MachineEngine {
   void deliver(Worker& w, Event ev);
   [[nodiscard]] DeadlockReport build_deadlock_report();
   void refresh_key(LpId lp);
+  /// True while worker `w` is crashed or permanently retired.
+  [[nodiscard]] bool worker_dead(std::size_t w) const {
+    return crashed_[w] || retired_[w];
+  }
+  [[nodiscard]] bool any_crashed() const;
+  /// Crash-stop injection, evaluated after every processed event; returns
+  /// true when worker `wi` just died.
+  bool maybe_crash(std::size_t wi);
+  /// Heartbeat accounting at round entry; runs recovery once the budget is
+  /// reached.  Returns false when recovery itself failed (run must abort).
+  bool detect_and_recover();
+  bool recover();
+  /// Takes a GVT-consistent checkpoint of the current state (speculation is
+  /// undone in place via rollback-all-deferred first).
+  void take_checkpoint(VirtualTime gvt);
+  /// Releases buffered commit-hook invocations in LP-id order.
+  void flush_commits();
   /// One scheduling turn for worker `w`: deliver due messages, then process
   /// the first eligible event.  Returns false if the worker cannot advance
   /// without a synchronisation round.
@@ -118,6 +140,30 @@ class MachineEngine {
   bool deadlocked_ = false;
   bool transport_failed_ = false;
   std::size_t current_worker_ = 0;
+
+  // Fault tolerance (checkpoint/restart + crash-stop injection).
+  bool ft_on_ = false;  ///< checkpointing or crash schedules enabled
+  std::vector<bool> crashed_;   ///< dead, recovery still outstanding
+  std::vector<bool> retired_;   ///< permanently removed (redistribute policy)
+  std::vector<std::uint32_t> missed_heartbeats_;
+  std::vector<std::uint64_t> crash_rng_;  ///< never restored from checkpoints
+  std::uint32_t recoveries_ = 0;
+  std::uint32_t rounds_since_ckpt_ = 0;
+  /// GVT of the newest stored checkpoint.  Periodic capture requires the
+  /// frontier to have ADVANCED past this: a same-GVT checkpoint is redundant
+  /// (the store already holds this frontier) and, worse, re-rolling back the
+  /// speculative suffix every round can consume the whole next round's event
+  /// budget on re-execution, pinning GVT forever (livelock at period=1).
+  VirtualTime last_ckpt_gvt_ = kTimeZero;
+  bool failed_ = false;  ///< recovery gave up; unwind with recovery_error_
+  CheckpointStore store_;
+  CheckpointStats ckstats_;
+  /// Output commit: with fault tolerance on, commit-hook invocations are
+  /// buffered per LP and released at checkpoints/termination, so a recovery
+  /// can discard the uncommitted suffix instead of double-reporting it.
+  std::vector<std::vector<Event>> commit_buf_;
+  std::optional<RecoveryError> recovery_error_;
+  std::optional<ConfigError> config_error_;
 
   // Transport stack, bottom-up: wire -> (faults) -> channel layer.
   std::unique_ptr<MachineWire> wire_;

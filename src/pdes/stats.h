@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "pdes/checkpoint.h"
 #include "pdes/transport.h"
 
 namespace vsim::pdes {
@@ -23,6 +24,9 @@ struct LpStats {
   std::size_t max_history = 0;   ///< peak saved-history length (memory proxy)
   std::uint64_t mode_switches = 0;
   std::uint64_t blocked_polls = 0;  ///< times the LP had work but it was unsafe
+  /// Speculative events undone by checkpoint capture (rollback-all-deferred);
+  /// kept separate from `rollbacks` so adaptation stats stay meaningful.
+  std::uint64_t checkpoint_undone = 0;
 };
 
 struct WorkerStats {
@@ -65,6 +69,13 @@ struct RunStats {
   std::optional<TransportError> transport_error;
   /// Populated whenever `deadlocked` is set.
   std::optional<DeadlockReport> deadlock_report;
+  /// Fault-tolerance accounting (checkpoints, crashes, recoveries).
+  CheckpointStats checkpoint;
+  /// Set when a worker crash could not be recovered from (budget exhausted
+  /// or no survivors); the run's results are partial.
+  std::optional<RecoveryError> recovery_error;
+  /// Set when the configuration failed validation; the run never started.
+  std::optional<ConfigError> config_error;
 
   [[nodiscard]] std::uint64_t total_events() const {
     std::uint64_t n = 0;

@@ -26,6 +26,18 @@ class RoundBarrier {
     }
   }
 
+  /// Permanently withdraws one participant (crash-stop).  If everyone else
+  /// already arrived, the leaver completes the waiting generation.
+  void leave() {
+    std::lock_guard<std::mutex> lock(m_);
+    --n_;
+    if (n_ > 0 && count_ == n_) {
+      count_ = 0;
+      ++gen_;
+      cv_.notify_all();
+    }
+  }
+
  private:
   std::size_t n_;
   std::size_t count_ = 0;
@@ -69,7 +81,11 @@ class ThreadedEngine::ThreadedRouter final : public Router {
   }
 
   void commit(const Event& ev) override {
-    if (eng_.hook_) eng_.hook_(ev);
+    if (!eng_.hook_) return;
+    if (eng_.ft_on_)
+      eng_.commit_buf_[ev.dst].push_back(ev);
+    else
+      eng_.hook_(ev);
   }
 
  private:
@@ -80,6 +96,8 @@ class ThreadedEngine::ThreadedRouter final : public Router {
 ThreadedEngine::ThreadedEngine(LpGraph& graph, Partition partition,
                                RunConfig config)
     : graph_(graph), partition_(std::move(partition)), config_(config) {
+  config_error_ = validate(config_);
+  if (config_error_) return;  // run() surfaces the error without starting
   assert(partition_.size() == graph_.size());
   lps_.reserve(graph_.size());
   key_.assign(graph_.size(), kTimeInf);
@@ -116,6 +134,25 @@ ThreadedEngine::ThreadedEngine(LpGraph& graph, Partition partition,
   net_->set_deliver([this](std::uint32_t w, Event&& ev) {
     deliver(w, std::move(ev));
   });
+
+  ft_on_ = config_.checkpoint.period > 0 ||
+           config_.transport.faults.crash_active();
+  crashed_ = std::make_unique<std::atomic<bool>[]>(config_.num_workers);
+  retired_.assign(config_.num_workers, false);
+  missed_heartbeats_.assign(config_.num_workers, 0);
+  crash_rng_.resize(config_.num_workers);
+  for (std::size_t w = 0; w < config_.num_workers; ++w) {
+    // Distinct multiplier from the links' fault RNG so crash draws never
+    // correlate with wire faults under the same seed.
+    crash_rng_[w] =
+        splitmix64(config_.transport.faults.seed * 0x20003u + w + 1);
+    if (crash_rng_[w] == 0) crash_rng_[w] = 1;
+  }
+  if (ft_on_) {
+    commit_buf_.resize(graph_.size());
+    store_ = CheckpointStore(config_.checkpoint.keep,
+                             config_.checkpoint.spill_dir);
+  }
 }
 
 ThreadedEngine::~ThreadedEngine() = default;
@@ -204,6 +241,16 @@ void ThreadedEngine::worker_main(std::size_t wi) {
       const bool got_mail = drain_own_mailbox(wi) > 0;
       net_->poll(static_cast<std::uint32_t>(wi), now(wi));
       const bool processed = try_process_one(wi);
+      if (processed && ft_on_ && maybe_crash(wi)) {
+        // Crash-stop: raise the flag first (it must be visible to whoever
+        // our leave() releases from a barrier), then withdraw and vanish.
+        // No final fossil collection: this worker's state is lost.
+        crashed_[wi].store(true, std::memory_order_release);
+        crash_count_.fetch_add(1, std::memory_order_relaxed);
+        round_requested_.store(true, std::memory_order_release);
+        barrier_->leave();
+        return;
+      }
       if (processed || got_mail) {
         idle_spins = 0;
       } else if (++idle_spins > 16) {
@@ -219,84 +266,263 @@ void ThreadedEngine::worker_main(std::size_t wi) {
     // ---- Synchronisation round ----
     idle_spins = 0;
     barrier_->arrive_and_wait();  // everyone stops sending new work
-    // Drain the network to a fixed point (anti-message cascades included).
-    // Three barriers per pass: reset -> add -> read, so that no worker can
-    // observe the next pass's reset while another still reads this pass.
-    // Drain-until-quiet: a pass counts both delivered packets and packets
-    // the transport stack pushed back onto the wire (retransmissions of
-    // unacked data, reorder holdbacks); the network is only quiescent once
-    // a full pass moves nothing anywhere.
-    for (;;) {
-      if (wi == 0) drained_in_pass_.store(0, std::memory_order_relaxed);
-      barrier_->arrive_and_wait();
-      std::size_t n = drain_own_mailbox(wi);
-      n += net_->flush(static_cast<std::uint32_t>(wi), now(wi));
-      drained_in_pass_.fetch_add(n, std::memory_order_relaxed);
-      barrier_->arrive_and_wait();
-      const bool empty =
-          drained_in_pass_.load(std::memory_order_relaxed) == 0;
-      barrier_->arrive_and_wait();
-      if (empty) break;
-    }
-    // Local minimum over owned LPs.
-    VirtualTime local_min = kTimeInf;
-    if (!w.ready.empty()) local_min = w.ready.begin()->first;
-    {
-      std::lock_guard<std::mutex> lock(gvt_mutex_);
-      gvt_candidate_ = std::min(gvt_candidate_, local_min);
-    }
-    barrier_->arrive_and_wait();
-    if (wi == 0) {
-      ++gvt_rounds_;
-      const VirtualTime gvt = gvt_candidate_;
-      gvt_candidate_ = kTimeInf;
-      safe_bound_ = gvt;
-      std::uint64_t total_events = 0;
-      for (const auto& worker : workers_) total_events += worker->stats.events;
-      if (net_->error()) {
-        // The reliable layer gave up on a link: unwind with the error.
-        transport_failed_ = true;
-        done_.store(true, std::memory_order_release);
-      } else if (gvt == kTimeInf || gvt.pt > config_.until) {
-        done_.store(true, std::memory_order_release);
-      } else if (gvt == last_gvt_ && total_events == last_total_events_) {
-        if (++stall_rounds_ >= config_.deadlock_rounds) {
-          deadlocked_ = true;
-          // All other workers are parked at the next barrier, so reading
-          // their LPs here is race-free.
-          deadlock_report_ = build_deadlock_report(gvt);
-          done_.store(true, std::memory_order_release);
-        }
-      } else {
-        stall_rounds_ = 0;
+    // The participant set and the crash flags are frozen from here to the
+    // end of the round: crashes happen only in the work phase, and a worker
+    // that crashed before this barrier completed performed its leave()
+    // under the barrier mutex first -- so every participant computes the
+    // same coordinator and the same crash_pending verdict below.
+    const std::size_t coord = ft_on_ ? first_live_worker() : 0;
+    const bool crash_pending = ft_on_ && any_crashed_unretired();
+    if (!crash_pending) {
+      // Drain the network to a fixed point (anti-message cascades
+      // included).  Three barriers per pass: reset -> add -> read, so that
+      // no worker can observe the next pass's reset while another still
+      // reads this pass.  Drain-until-quiet: a pass counts both delivered
+      // packets and packets the transport stack pushed back onto the wire
+      // (retransmissions of unacked data, reorder holdbacks); the network
+      // is only quiescent once a full pass moves nothing anywhere.
+      for (;;) {
+        if (wi == coord) drained_in_pass_.store(0, std::memory_order_relaxed);
+        barrier_->arrive_and_wait();
+        std::size_t n = drain_own_mailbox(wi);
+        n += net_->flush(static_cast<std::uint32_t>(wi), now(wi));
+        drained_in_pass_.fetch_add(n, std::memory_order_relaxed);
+        barrier_->arrive_and_wait();
+        const bool empty =
+            drained_in_pass_.load(std::memory_order_relaxed) == 0;
+        barrier_->arrive_and_wait();
+        if (empty) break;
       }
-      last_gvt_ = gvt;
-      last_total_events_ = total_events;
-      round_requested_.store(false, std::memory_order_release);
+      // Local minimum over owned LPs.
+      VirtualTime local_min = kTimeInf;
+      if (!w.ready.empty()) local_min = w.ready.begin()->first;
+      {
+        std::lock_guard<std::mutex> lock(gvt_mutex_);
+        gvt_candidate_ = std::min(gvt_candidate_, local_min);
+      }
+    }
+    // With a crash pending the drain is skipped entirely: in-flight
+    // traffic to the dead worker can never be acknowledged, so draining
+    // would only burn the retransmission budget before recovery gets to
+    // discard the timeline anyway.
+    barrier_->arrive_and_wait();
+    if (wi == coord) {
+      ++gvt_rounds_;
+      if (crash_pending) {
+        if (coordinator_recover())
+          round_requested_.store(false, std::memory_order_release);
+        // on failure coordinator_recover() already set done_
+      } else {
+        const VirtualTime gvt = gvt_candidate_;
+        gvt_candidate_ = kTimeInf;
+        safe_bound_ = gvt;
+        std::uint64_t total_events = 0;
+        for (const auto& worker : workers_)
+          total_events += worker->stats.events;
+        bool stop = false;
+        if (net_->error()) {
+          // The reliable layer gave up on a link: unwind with the error.
+          transport_failed_ = true;
+          stop = true;
+        } else if (gvt == kTimeInf || gvt.pt > config_.until) {
+          stop = true;
+        } else if (gvt == last_gvt_ && total_events == last_total_events_) {
+          if (++stall_rounds_ >= config_.deadlock_rounds) {
+            deadlocked_ = true;
+            // All other workers are parked at the next barrier, so reading
+            // their LPs here is race-free.
+            deadlock_report_ = build_deadlock_report(gvt);
+            stop = true;
+          }
+        } else {
+          stall_rounds_ = 0;
+        }
+        last_gvt_ = gvt;
+        last_total_events_ = total_events;
+        if (stop) {
+          done_.store(true, std::memory_order_release);
+        } else {
+          // Gated on GVT progress: a same-frontier capture is redundant and
+          // its rollback-all can pin GVT via re-execution (see the machine
+          // engine's periodic-capture comment).  The counter stays
+          // accumulated so the capture retries once the frontier moves.
+          if (ft_on_ && config_.checkpoint.period > 0 &&
+              ++rounds_since_ckpt_ >= config_.checkpoint.period &&
+              gvt > last_ckpt_gvt_) {
+            rounds_since_ckpt_ = 0;
+            last_ckpt_gvt_ = gvt;
+            coordinator_checkpoint(wi, gvt);
+          }
+          round_requested_.store(false, std::memory_order_release);
+        }
+      }
     }
     barrier_->arrive_and_wait();
-    // Fossil collect and adapt under the new GVT.
-    const VirtualTime gvt = safe_bound_;
-    ThreadedRouter router(*this, wi);
-    for (LpId lp : w.owned) {
-      lps_[lp].fossil_collect(done_ ? kTimeInf : gvt, router);
-      if (config_.configuration == Configuration::kDynamic)
-        adapt_lp(lps_[lp], config_.adapt);
-      else
-        lps_[lp].reset_window();
-      if (config_.strategy == ConservativeStrategy::kNullMessage)
-        send_null_messages_for(wi, lp);
+    if (!crash_pending) {
+      // Fossil collect and adapt under the new GVT.
+      const VirtualTime gvt = safe_bound_;
+      ThreadedRouter router(*this, wi);
+      for (LpId lp : w.owned) {
+        lps_[lp].fossil_collect(done_ ? kTimeInf : gvt, router);
+        if (config_.configuration == Configuration::kDynamic)
+          adapt_lp(lps_[lp], config_.adapt);
+        else
+          lps_[lp].reset_window();
+        if (config_.strategy == ConservativeStrategy::kNullMessage)
+          send_null_messages_for(wi, lp);
+      }
     }
     w.events_since_round = 0;
     barrier_->arrive_and_wait();
   }
 
-  // Final commit of any remaining history.
+  // Final commit of any remaining history.  A failed run must not commit
+  // past the last validated frontier (failed_ is ordered by the done_
+  // release/acquire pair that ended the loop).
+  if (failed_) return;
   ThreadedRouter router(*this, wi);
   for (LpId lp : w.owned) lps_[lp].fossil_collect(kTimeInf, router);
 }
 
+std::size_t ThreadedEngine::first_live_worker() const {
+  for (std::size_t w = 0; w < workers_.size(); ++w)
+    if (!worker_dead(w)) return w;
+  return 0;  // unreachable: the caller is itself a live worker
+}
+
+bool ThreadedEngine::any_crashed_unretired() const {
+  for (std::size_t w = 0; w < workers_.size(); ++w)
+    if (crashed_[w].load(std::memory_order_acquire) && !retired_[w])
+      return true;
+  return false;
+}
+
+bool ThreadedEngine::maybe_crash(std::size_t wi) {
+  const FaultPlan& plan = config_.transport.faults;
+  const Worker& w = *workers_[wi];
+  bool die = false;
+  for (const WorkerCrash& c : plan.crashes) {
+    // Exact match on the cumulative event count: monotone, so a crash
+    // point replayed after recovery does not re-fire.
+    if (c.worker == wi && c.after_events == w.stats.events) die = true;
+  }
+  // The draw advances on every processed event whether or not it kills, so
+  // the crash schedule is a pure function of the seed (and is deliberately
+  // NOT restored from checkpoints: a restored cursor would re-roll the
+  // same crash forever).
+  if (plan.crash_rate > 0 &&
+      xorshift_uniform(crash_rng_[wi]) < plan.crash_rate)
+    die = true;
+  return die;
+}
+
+bool ThreadedEngine::coordinator_recover() {
+  bool due = false;
+  std::uint32_t first_dead = 0;
+  bool have_dead = false;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (!crashed_[w].load(std::memory_order_acquire) || retired_[w]) continue;
+    if (!have_dead) {
+      first_dead = static_cast<std::uint32_t>(w);
+      have_dead = true;
+    }
+    if (++missed_heartbeats_[w] >= config_.checkpoint.heartbeat_rounds)
+      due = true;
+  }
+  if (!due) return true;
+  const auto fail = [&](std::string message) {
+    recovery_error_ =
+        RecoveryError{first_dead, gvt_rounds_, recoveries_, std::move(message)};
+    failed_ = true;
+    done_.store(true, std::memory_order_release);
+    return false;
+  };
+  if (recoveries_ >= config_.checkpoint.max_recoveries)
+    return fail("recovery budget exhausted (max_recoveries)");
+  const Checkpoint* ck = store_.latest();
+  if (ck == nullptr) return fail("no checkpoint available");
+
+  // A dead thread cannot be respawned, so both policies redistribute the
+  // lost workers' LPs over the survivors.
+  for (std::size_t w = 0; w < workers_.size(); ++w)
+    if (crashed_[w].load(std::memory_order_acquire)) retired_[w] = true;
+  std::vector<std::uint32_t> survivors;
+  for (std::size_t w = 0; w < workers_.size(); ++w)
+    if (!retired_[w]) survivors.push_back(static_cast<std::uint32_t>(w));
+  if (survivors.empty())
+    return fail("no surviving worker to redistribute LPs to");
+  std::size_t next = 0;
+  for (LpId id = 0; id < lps_.size(); ++id) {
+    if (!retired_[partition_[id]]) continue;
+    partition_[id] = survivors[next++ % survivors.size()];
+  }
+  ++recoveries_;
+  ++ckstats_.recoveries;
+
+  restore_checkpoint(*ck, lps_, last_promise_, *net_, faulty_.get());
+  ckstats_.lps_restored += lps_.size();
+  for (auto& wp : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(wp->mailbox.m);
+      wp->mailbox.q.clear();  // in-flight packets belong to the abandoned
+                              // timeline
+    }
+    wp->events_since_round = 0;
+    wp->owned.clear();
+    wp->ready.clear();
+  }
+  for (LpId id = 0; id < lps_.size(); ++id) {
+    key_[id] = lps_[id].next_ts();
+    Worker& w = *workers_[partition_[id]];
+    w.owned.push_back(id);
+    w.ready.insert({key_[id], id});
+  }
+  safe_bound_ = last_gvt_ = last_ckpt_gvt_ = ck->gvt;
+  std::uint64_t total_events = 0;
+  for (const auto& wp : workers_) total_events += wp->stats.events;
+  last_total_events_ = total_events;
+  stall_rounds_ = 0;
+  for (auto& buf : commit_buf_) buf.clear();
+  for (auto& h : missed_heartbeats_) h = 0;
+  return true;
+}
+
+void ThreadedEngine::coordinator_checkpoint(std::size_t coord,
+                                            VirtualTime gvt) {
+  // Fossil first so the snapshot's committed frontier matches gvt, then
+  // undo all remaining speculation with deferred cancellation: no
+  // anti-messages, so the drained network stays quiescent for capture.
+  ThreadedRouter router(*this, coord);
+  for (LpId id = 0; id < lps_.size(); ++id) {
+    lps_[id].fossil_collect(gvt, router);
+    lps_[id].rollback_all_deferred();
+    refresh_key(partition_[id], id);
+  }
+  Checkpoint ck = capture_checkpoint(gvt_rounds_, gvt, lps_, last_promise_,
+                                     *net_, faulty_.get());
+  ++ckstats_.checkpoints;
+  // The snapshot covers everything committed so far: release the buffered
+  // commit-hook invocations (recovery can only rewind to this line or
+  // later).
+  flush_commits();
+  store_.put(std::move(ck));
+}
+
+void ThreadedEngine::flush_commits() {
+  if (!hook_) return;
+  for (auto& buf : commit_buf_) {
+    for (const Event& ev : buf) hook_(ev);
+    buf.clear();
+  }
+}
+
 RunStats ThreadedEngine::run() {
+  if (config_error_) {
+    RunStats out;
+    out.config_error = config_error_;
+    return out;
+  }
+
   for (const Event& ev : graph_.initial_events()) {
     const std::size_t wi = partition_[ev.dst];
     Event copy = ev;
@@ -305,11 +531,36 @@ RunStats ThreadedEngine::run() {
     refresh_key(wi, ev.dst);
   }
 
+  if (ft_on_) {
+    // Round-zero baseline, taken before any thread starts: recovery always
+    // has a line to rewind to, even when the first crash precedes the
+    // first periodic checkpoint.
+    store_.put(capture_checkpoint(0, kTimeZero, lps_, last_promise_, *net_,
+                                  faulty_.get()));
+    ++ckstats_.checkpoints;
+  }
+
   std::vector<std::thread> threads;
   threads.reserve(config_.num_workers);
   for (std::size_t wi = 0; wi < config_.num_workers; ++wi)
     threads.emplace_back([this, wi] { worker_main(wi); });
   for (std::thread& t : threads) t.join();
+
+  if (ft_on_ && crash_count_.load(std::memory_order_acquire) > 0 &&
+      !recovery_error_ && !done_.load(std::memory_order_acquire)) {
+    // Every thread exited via crash-stop before any surviving coordinator
+    // could run a round: there is nobody left to recover.
+    std::uint32_t first_dead = 0;
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (crashed_[w].load(std::memory_order_acquire)) {
+        first_dead = static_cast<std::uint32_t>(w);
+        break;
+      }
+    }
+    recovery_error_ = RecoveryError{first_dead, gvt_rounds_, recoveries_,
+                                    "all workers crashed"};
+    failed_ = true;
+  }
 
   RunStats out;
   out.per_lp.reserve(lps_.size());
@@ -328,6 +579,13 @@ RunStats ThreadedEngine::run() {
     out.transport_error = std::move(err);
   }
   out.deadlock_report = deadlock_report_;
+  out.checkpoint = ckstats_;
+  out.checkpoint.crashes = crash_count_.load(std::memory_order_acquire);
+  out.checkpoint.disk_bytes = store_.disk_bytes();
+  out.recovery_error = recovery_error_;
+  // Buffered commits are flushed even on a failed run: everything in the
+  // buffers was validated by a GVT round, only never released.
+  flush_commits();
   return out;
 }
 

@@ -69,6 +69,25 @@ class ThreadedEngine {
     return static_cast<double>(workers_[wi]->ops);
   }
   [[nodiscard]] DeadlockReport build_deadlock_report(VirtualTime gvt);
+  /// True while worker `w` is crashed or permanently retired.
+  [[nodiscard]] bool worker_dead(std::size_t w) const {
+    return crashed_[w].load(std::memory_order_acquire) || retired_[w];
+  }
+  /// Coordinator for the current round: the lowest live worker.
+  [[nodiscard]] std::size_t first_live_worker() const;
+  [[nodiscard]] bool any_crashed_unretired() const;
+  /// Crash-stop injection, evaluated after every processed event; returns
+  /// true when worker `wi` must die now (caller performs the exit).
+  bool maybe_crash(std::size_t wi);
+  /// Coordinator-only: heartbeat accounting + recovery once the budget is
+  /// reached.  Returns false when recovery failed (done_ is already set and
+  /// the run unwinds with recovery_error_).
+  bool coordinator_recover();
+  /// Coordinator-only: GVT-consistent checkpoint capture.  All other
+  /// workers are parked at a barrier, so touching their LPs is race-free.
+  void coordinator_checkpoint(std::size_t coord, VirtualTime gvt);
+  /// Releases buffered commit-hook invocations in LP-id order.
+  void flush_commits();
 
   LpGraph& graph_;
   Partition partition_;
@@ -94,6 +113,30 @@ class ThreadedEngine {
   bool deadlocked_ = false;
   bool transport_failed_ = false;
   std::optional<DeadlockReport> deadlock_report_;
+
+  // Fault tolerance (checkpoint/restart + crash-stop injection).  Threads
+  // cannot be respawned, so the kRestart policy degrades to redistribution.
+  bool ft_on_ = false;  ///< checkpointing or crash schedules enabled
+  std::unique_ptr<std::atomic<bool>[]> crashed_;  ///< dead, not yet recovered
+  std::vector<bool> retired_;  ///< permanently removed after recovery
+  std::vector<std::uint32_t> missed_heartbeats_;
+  std::vector<std::uint64_t> crash_rng_;  ///< never restored from checkpoints
+  std::uint32_t recoveries_ = 0;
+  std::uint32_t rounds_since_ckpt_ = 0;
+  /// GVT of the newest stored checkpoint; periodic capture requires GVT to
+  /// have advanced past it (same livelock guard as the machine engine --
+  /// see MachineEngine::last_ckpt_gvt_).  Coordinator-only, barrier-ordered.
+  VirtualTime last_ckpt_gvt_ = kTimeZero;
+  bool failed_ = false;  ///< recovery gave up; written before done_ release
+  std::atomic<std::uint64_t> crash_count_{0};
+  CheckpointStore store_;
+  CheckpointStats ckstats_;
+  /// Output commit: with fault tolerance on, commit-hook invocations are
+  /// buffered per LP (written only by the LP's owner, flushed only while
+  /// every other worker is parked) and released at checkpoints/termination.
+  std::vector<std::vector<Event>> commit_buf_;
+  std::optional<RecoveryError> recovery_error_;
+  std::optional<ConfigError> config_error_;
 
   // Transport stack, bottom-up: wire -> (faults) -> channel layer.
   std::unique_ptr<ThreadedWire> wire_;

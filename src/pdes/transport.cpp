@@ -31,17 +31,6 @@ std::string TransportError::str() const {
 
 // ---- FaultyTransport ----
 
-namespace {
-
-std::uint64_t splitmix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
-
 FaultyTransport::FaultyTransport(Transport& inner, std::size_t num_workers,
                                  const FaultPlan& plan)
     : inner_(inner), num_workers_(num_workers), plan_(plan) {
@@ -53,11 +42,7 @@ FaultyTransport::FaultyTransport(Transport& inner, std::size_t num_workers,
 }
 
 double FaultyTransport::uniform(std::uint64_t& rng) {
-  rng ^= rng >> 12;
-  rng ^= rng << 25;
-  rng ^= rng >> 27;
-  const std::uint64_t bits = rng * 0x2545f4914f6cdd1dULL;
-  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+  return xorshift_uniform(rng);
 }
 
 void FaultyTransport::submit(Packet&& pkt, double now) {
@@ -122,6 +107,24 @@ TransportCounters FaultyTransport::counters() const {
   TransportCounters out;
   for (const Link& l : links_) out += l.counters;
   return out;
+}
+
+std::vector<FaultLinkCheckpoint> FaultyTransport::capture_links() const {
+  std::vector<FaultLinkCheckpoint> out(links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    out[i].rng = links_[i].rng;
+    out[i].blackout_left = links_[i].blackout_left;
+  }
+  return out;
+}
+
+void FaultyTransport::restore_links(
+    const std::vector<FaultLinkCheckpoint>& saved) {
+  for (std::size_t i = 0; i < links_.size() && i < saved.size(); ++i) {
+    links_[i].rng = saved[i].rng;
+    links_[i].blackout_left = saved[i].blackout_left;
+    links_[i].held.clear();
+  }
 }
 
 // ---- ChannelStack ----
@@ -272,6 +275,24 @@ TransportCounters ChannelStack::counters() const {
 std::optional<TransportError> ChannelStack::error() const {
   std::lock_guard<std::mutex> lock(error_mutex_);
   return error_;
+}
+
+std::vector<LinkCheckpoint> ChannelStack::capture_links() const {
+  std::vector<LinkCheckpoint> out(send_links_.size());
+  for (std::size_t i = 0; i < send_links_.size(); ++i) {
+    out[i].next_seq = send_links_[i].next_seq;
+    out[i].expected = recv_links_[i].expected;
+  }
+  return out;
+}
+
+void ChannelStack::restore_links(const std::vector<LinkCheckpoint>& saved) {
+  for (std::size_t i = 0; i < send_links_.size() && i < saved.size(); ++i) {
+    send_links_[i].next_seq = saved[i].next_seq;
+    send_links_[i].in_flight.clear();
+    recv_links_[i].expected = saved[i].expected;
+    recv_links_[i].reorder.clear();
+  }
 }
 
 void ChannelStack::set_error(TransportError err) {

@@ -41,6 +41,41 @@
 
 namespace vsim::pdes {
 
+/// SplitMix64 seed scrambler: shared by every deterministic RNG in the
+/// engines (link faults, worker crashes) so seeds never collide by accident.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// One xorshift64* step; returns a uniform draw in [0, 1) and advances the
+/// cursor.  The cursor must never be 0.
+inline double xorshift_uniform(std::uint64_t& rng) {
+  rng ^= rng >> 12;
+  rng ^= rng << 25;
+  rng ^= rng >> 27;
+  const std::uint64_t bits = rng * 0x2545f4914f6cdd1dULL;
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+/// Per-link reliable-layer cursors saved in a checkpoint.  In-flight and
+/// reorder buffers are NOT saved: checkpoints are only taken when the stack
+/// is quiescent (post drain-until-quiet), so both are provably empty.
+struct LinkCheckpoint {
+  std::uint64_t next_seq = 1;
+  std::uint64_t expected = 1;
+};
+
+/// Per-link fault-injector cursors saved in a checkpoint: restoring them
+/// makes the post-recovery fault sequence identical to the original run's,
+/// which is what makes replay deterministic under chaos plans.
+struct FaultLinkCheckpoint {
+  std::uint64_t rng = 1;
+  std::uint32_t blackout_left = 0;
+};
+
 /// What actually happened on the wire during a run.  A chaos run must show
 /// nonzero drops/retransmits here, otherwise the fault plan never bit.
 struct TransportCounters {
@@ -119,6 +154,12 @@ class FaultyTransport final : public Transport {
   [[nodiscard]] std::size_t held_count() const;
   [[nodiscard]] TransportCounters counters() const;
 
+  /// Snapshot / restore of the per-link RNG + blackout cursors, in link
+  /// index order.  restore_links drops any parked packets (a checkpoint is
+  /// only restored into a quiescent network).
+  [[nodiscard]] std::vector<FaultLinkCheckpoint> capture_links() const;
+  void restore_links(const std::vector<FaultLinkCheckpoint>& saved);
+
  private:
   struct Link {
     std::uint64_t rng;
@@ -196,6 +237,13 @@ class ChannelStack {
   /// Records the post-hoc "lossy run without reliability" error; used by
   /// engines at termination so silent corruption is impossible.
   void set_error(TransportError err);
+
+  /// Snapshot / restore of the per-link sequence cursors, in link index
+  /// order.  Capture asserts quiescence; restore clears in-flight and
+  /// reorder buffers (anything still buffered belongs to the timeline being
+  /// abandoned) but deliberately keeps a previously recorded error latched.
+  [[nodiscard]] std::vector<LinkCheckpoint> capture_links() const;
+  void restore_links(const std::vector<LinkCheckpoint>& saved);
 
  private:
   struct InFlight {

@@ -7,6 +7,8 @@
 // TransportError (or a deadlock report), never hang or silently corrupt.
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "circuits/builder.h"
 #include "circuits/fsm.h"
 #include "circuits/random_circuit.h"
@@ -15,6 +17,7 @@
 #include "pdes/sequential.h"
 #include "pdes/threaded.h"
 #include "vhdl/monitor.h"
+#include "watchdog.h"
 
 namespace vsim {
 namespace {
@@ -300,6 +303,8 @@ TEST(ChaosThreaded, ReliableChannelMatchesOracle) {
 // the protocol into a stall, a deadlock report flagged as transport
 // starvation rather than protocol deadlock).
 TEST(ChaosUnreliable, LossyRunTerminatesWithStructuredError) {
+  testutil::Watchdog wd("ChaosUnreliable.LossyRunTerminatesWithStructuredError",
+                       std::chrono::seconds(120));
   Built par = build_fsm();
   RunConfig rc;
   rc.num_workers = 4;
@@ -329,6 +334,9 @@ TEST(ChaosUnreliable, LossyRunTerminatesWithStructuredError) {
 // A dead link (100% drop) with reliability on must exhaust the retry cap
 // and unwind with a structured error naming the link, not spin forever.
 TEST(ChaosUnreliable, DeadLinkExhaustsRetriesWithStructuredError) {
+  testutil::Watchdog wd(
+      "ChaosUnreliable.DeadLinkExhaustsRetriesWithStructuredError",
+      std::chrono::seconds(120));
   Built par = build_gates();
   RunConfig rc;
   rc.num_workers = 3;
@@ -353,6 +361,8 @@ TEST(ChaosUnreliable, DeadLinkExhaustsRetriesWithStructuredError) {
 
 // Same dead-link contract on the threaded engine.
 TEST(ChaosUnreliable, ThreadedDeadLinkSurfacesError) {
+  testutil::Watchdog wd("ChaosUnreliable.ThreadedDeadLinkSurfacesError",
+                        std::chrono::seconds(120));
   Built par = build_gates();
   RunConfig rc;
   rc.num_workers = 2;
@@ -396,6 +406,79 @@ TEST(ChaosDeterminism, SameSeedSameCounters) {
   EXPECT_EQ(a.transport.reordered, b.transport.reordered);
   EXPECT_EQ(a.transport.retransmits, b.transport.retransmits);
   EXPECT_EQ(a.makespan, b.makespan);
+}
+
+// ---- Structured-diagnostic formatting -------------------------------------
+// DeadlockReport::str() and TransportError::str() are what a user actually
+// sees when a run unwinds; their content and shape are contracts.
+
+TEST(Diagnostics, DeadlockReportFormatsBlockedLps) {
+  pdes::DeadlockReport report;
+  report.gvt = VirtualTime{40, 2};
+  pdes::DeadlockReport::LpDiag d;
+  d.id = 7;
+  d.next_ts = VirtualTime{41, 0};
+  d.min_channel_clock = VirtualTime{39, 0};
+  d.pending = 3;
+  d.mode = pdes::SyncMode::kConservative;
+  report.blocked.push_back(d);
+  const std::string s = report.str();
+  EXPECT_NE(s.find("protocol deadlock"), std::string::npos) << s;
+  EXPECT_NE(s.find("1 LP(s) with pending work"), std::string::npos) << s;
+  EXPECT_NE(s.find("lp 7"), std::string::npos) << s;
+  EXPECT_NE(s.find("pending=3"), std::string::npos) << s;
+  EXPECT_NE(s.find("mode=conservative"), std::string::npos) << s;
+  EXPECT_NE(s.find("min_channel_clock"), std::string::npos) << s;
+  EXPECT_EQ(s.find("..."), std::string::npos) << s;  // no truncation marker
+}
+
+TEST(Diagnostics, DeadlockReportTruncatesAfterEightLps) {
+  pdes::DeadlockReport report;
+  report.gvt = kTimeZero;
+  report.transport_starvation = true;
+  for (pdes::LpId id = 0; id < 12; ++id) {
+    pdes::DeadlockReport::LpDiag d;
+    d.id = id;
+    d.next_ts = VirtualTime{static_cast<PhysTime>(id), 0};
+    d.min_channel_clock = kTimeInf;  // suppresses the channel column
+    d.pending = 1;
+    d.mode = pdes::SyncMode::kOptimistic;
+    report.blocked.push_back(d);
+  }
+  const std::string s = report.str();
+  EXPECT_NE(s.find("transport starvation"), std::string::npos) << s;
+  EXPECT_EQ(s.find("protocol deadlock"), std::string::npos) << s;
+  EXPECT_NE(s.find("12 LP(s) with pending work"), std::string::npos) << s;
+  EXPECT_NE(s.find(" ..."), std::string::npos) << s;
+  EXPECT_NE(s.find("lp 7"), std::string::npos) << s;   // 8th entry shown
+  EXPECT_EQ(s.find("lp 8"), std::string::npos) << s;   // 9th entry cut
+  EXPECT_EQ(s.find("min_channel_clock"), std::string::npos) << s;
+  EXPECT_NE(s.find("mode=optimistic"), std::string::npos) << s;
+}
+
+TEST(Diagnostics, TransportErrorNamesLinkWhenAttemptsKnown) {
+  pdes::TransportError err;
+  err.src_worker = 2;
+  err.dst_worker = 5;
+  err.seq = 99;
+  err.attempts = 7;
+  err.message = "gave up after retry cap";
+  const std::string s = err.str();
+  EXPECT_NE(s.find("transport error"), std::string::npos) << s;
+  EXPECT_NE(s.find("2->5"), std::string::npos) << s;
+  EXPECT_NE(s.find("seq 99"), std::string::npos) << s;
+  EXPECT_NE(s.find("7 attempts"), std::string::npos) << s;
+  EXPECT_NE(s.find("gave up after retry cap"), std::string::npos) << s;
+}
+
+TEST(Diagnostics, TransportErrorOmitsLinkForSyntheticErrors) {
+  pdes::TransportError err;
+  err.message = "packets were dropped without reliable delivery";
+  const std::string s = err.str();  // attempts == 0: no link to blame
+  EXPECT_NE(s.find("transport error"), std::string::npos) << s;
+  EXPECT_EQ(s.find("on link"), std::string::npos) << s;
+  EXPECT_EQ(s.find("seq"), std::string::npos) << s;
+  EXPECT_NE(s.find("without reliable delivery"), std::string::npos) << s;
 }
 
 }  // namespace

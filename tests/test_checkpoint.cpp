@@ -1,0 +1,662 @@
+// Crash-stop worker failures with GVT-consistent checkpointing and
+// deterministic recovery.
+//
+// The acceptance bar: a run that crashes (once, repeatedly, mid-rollback
+// cascade, or with retransmissions in flight) and recovers must commit a
+// trace bit-identical to the sequential oracle -- under every protocol
+// configuration.  Recovery that cannot succeed (budget exhausted, no
+// survivors) must surface a structured RecoveryError and never hang.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "circuits/builder.h"
+#include "circuits/fsm.h"
+#include "circuits/random_circuit.h"
+#include "partition/partition.h"
+#include "pdes/checkpoint.h"
+#include "pdes/machine.h"
+#include "pdes/sequential.h"
+#include "pdes/threaded.h"
+#include "vhdl/monitor.h"
+#include "watchdog.h"
+
+namespace vsim {
+namespace {
+
+using circuits::CircuitBuilder;
+using circuits::FsmParams;
+using circuits::GateKind;
+using circuits::RandomCircuitParams;
+using pdes::Checkpoint;
+using pdes::CheckpointStore;
+using pdes::Configuration;
+using pdes::FaultPlan;
+using pdes::MachineEngine;
+using pdes::RecoveryPolicy;
+using pdes::RunConfig;
+using pdes::RunStats;
+using pdes::SequentialEngine;
+using pdes::ThreadedEngine;
+using pdes::WorkerCrash;
+using vhdl::SignalId;
+using vhdl::TraceRecorder;
+
+struct Built {
+  std::unique_ptr<pdes::LpGraph> graph;
+  std::unique_ptr<vhdl::Design> design;
+  std::unique_ptr<vhdl::TraceRecorder> recorder;
+};
+
+// Same clocked-feedback netlist as the chaos suite: enough cross-LP
+// traffic that a crash always loses in-flight work.
+Built build_gates() {
+  Built b;
+  b.graph = std::make_unique<pdes::LpGraph>();
+  b.design = std::make_unique<vhdl::Design>(*b.graph);
+  CircuitBuilder cb(*b.design, /*gate_delay=*/2);
+  const SignalId clk = cb.wire("clk");
+  const SignalId a = cb.wire("a");
+  const SignalId bi = cb.wire("b");
+  cb.clock(clk, 25);
+  cb.random_bits(a, 17, 7, 900, "rnd_a");
+  cb.random_bits(bi, 11, 99, 900, "rnd_b");
+  const SignalId x1 = cb.wire("x1");
+  cb.gate(GateKind::kXor, {a, bi}, x1);
+  const SignalId q = cb.wire("q");
+  const SignalId d = cb.wire("d");
+  cb.gate(GateKind::kXor, {x1, q}, d);
+  const SignalId n1 = cb.wire("n1");
+  cb.gate(GateKind::kNand, {a, q}, n1);
+  const SignalId o1 = cb.wire("o1");
+  cb.gate(GateKind::kOr, {n1, bi}, o1);
+  cb.dff(clk, d, q);
+  b.recorder = std::make_unique<TraceRecorder>(
+      *b.design, std::vector<SignalId>{x1, q, o1});
+  b.design->finalize();
+  return b;
+}
+
+Built build_fsm() {
+  Built b;
+  b.graph = std::make_unique<pdes::LpGraph>();
+  b.design = std::make_unique<vhdl::Design>(*b.graph);
+  FsmParams p;
+  p.lanes = 2;
+  p.width = 3;
+  p.input_stop = 400;
+  const auto c = circuits::build_fsm(*b.design, p);
+  std::vector<SignalId> probes = c.state;
+  probes.push_back(c.parity);
+  b.recorder = std::make_unique<TraceRecorder>(*b.design, probes);
+  b.design->finalize();
+  return b;
+}
+
+// Zero-delay-heavy random circuit: rollback cascades under optimistic LPs.
+Built build_random() {
+  Built b;
+  b.graph = std::make_unique<pdes::LpGraph>();
+  b.design = std::make_unique<vhdl::Design>(*b.graph);
+  RandomCircuitParams p;
+  p.seed = 12345;
+  p.num_gates = 24;
+  p.num_dffs = 5;
+  p.zero_delay_pct = 40;
+  const auto c = circuits::build_random_circuit(*b.design, p);
+  b.recorder = std::make_unique<TraceRecorder>(*b.design, c.observable);
+  b.design->finalize();
+  return b;
+}
+
+using BuildFn = Built (*)();
+
+Built run_oracle(BuildFn build, PhysTime until) {
+  Built ref = build();
+  SequentialEngine seq(*ref.graph);
+  seq.set_commit_hook(ref.recorder->hook());
+  seq.run(until);
+  return ref;
+}
+
+RunConfig base_config(Configuration config, PhysTime until) {
+  RunConfig rc;
+  rc.num_workers = 4;
+  rc.configuration = config;
+  rc.until = until;
+  rc.gvt_interval = 24;
+  rc.checkpoint.period = 2;
+  return rc;
+}
+
+struct CkptParam {
+  const char* name;
+  Configuration config;
+};
+
+std::string param_name(const testing::TestParamInfo<CkptParam>& info) {
+  return info.param.name;
+}
+
+class CheckpointRecovery : public testing::TestWithParam<CkptParam> {};
+
+// Single seeded crash, every protocol configuration: the recovered run's
+// committed trace must be bit-identical to the sequential oracle's.
+TEST_P(CheckpointRecovery, SingleCrashMatchesOracle) {
+  testutil::Watchdog wd("CheckpointRecovery.SingleCrashMatchesOracle",
+                        std::chrono::seconds(120));
+  const PhysTime until = 250;
+  Built ref = run_oracle(&build_fsm, until);
+
+  Built par = build_fsm();
+  RunConfig rc = base_config(GetParam().config, until);
+  rc.transport.faults.crashes.push_back(WorkerCrash{1, 60});
+  MachineEngine eng(*par.graph,
+                    partition::round_robin(par.graph->size(), rc.num_workers),
+                    rc);
+  eng.set_commit_hook(par.recorder->hook());
+  const RunStats st = eng.run();
+
+  ASSERT_FALSE(st.config_error) << st.config_error->str();
+  EXPECT_FALSE(st.deadlocked);
+  EXPECT_FALSE(st.recovery_error) << st.recovery_error->str();
+  EXPECT_EQ(st.checkpoint.crashes, 1u);
+  EXPECT_EQ(st.checkpoint.recoveries, 1u);
+  EXPECT_GT(st.checkpoint.checkpoints, 1u);  // initial + periodic
+  EXPECT_GT(st.checkpoint.lps_restored, 0u);
+  EXPECT_GT(st.checkpoint.overhead_cost, 0.0);
+  EXPECT_EQ(TraceRecorder::diff(*ref.recorder, *par.recorder), "")
+      << GetParam().name;
+}
+
+// Repeated crashes, including the same worker dying twice (kRestart
+// revives it in place on the machine engine).
+TEST_P(CheckpointRecovery, RepeatedCrashesMatchOracle) {
+  testutil::Watchdog wd("CheckpointRecovery.RepeatedCrashesMatchOracle",
+                        std::chrono::seconds(120));
+  const PhysTime until = 250;
+  Built ref = run_oracle(&build_fsm, until);
+
+  Built par = build_fsm();
+  RunConfig rc = base_config(GetParam().config, until);
+  rc.transport.faults.crashes.push_back(WorkerCrash{1, 40});
+  rc.transport.faults.crashes.push_back(WorkerCrash{2, 90});
+  rc.transport.faults.crashes.push_back(WorkerCrash{1, 150});
+  MachineEngine eng(*par.graph,
+                    partition::round_robin(par.graph->size(), rc.num_workers),
+                    rc);
+  eng.set_commit_hook(par.recorder->hook());
+  const RunStats st = eng.run();
+
+  EXPECT_FALSE(st.deadlocked);
+  EXPECT_FALSE(st.recovery_error) << st.recovery_error->str();
+  EXPECT_GE(st.checkpoint.crashes, 2u);
+  EXPECT_GE(st.checkpoint.recoveries, 2u);
+  EXPECT_EQ(TraceRecorder::diff(*ref.recorder, *par.recorder), "")
+      << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, CheckpointRecovery,
+    testing::Values(CkptParam{"optimistic", Configuration::kAllOptimistic},
+                    CkptParam{"conservative", Configuration::kAllConservative},
+                    CkptParam{"mixed", Configuration::kMixed},
+                    CkptParam{"dynamic", Configuration::kDynamic}),
+    param_name);
+
+// A crash while optimistic LPs are mid-cascade: the zero-delay-heavy
+// random circuit rolls back constantly, so the kill lands on a worker with
+// speculative state and unsent anti-messages.
+TEST(CheckpointRecoveryModes, CrashDuringRollbackCascade) {
+  testutil::Watchdog wd("CheckpointRecoveryModes.CrashDuringRollbackCascade",
+                        std::chrono::seconds(120));
+  const PhysTime until = 300;
+  Built ref = run_oracle(&build_random, until);
+
+  Built par = build_random();
+  RunConfig rc = base_config(Configuration::kAllOptimistic, until);
+  rc.transport.faults.crashes.push_back(WorkerCrash{2, 120});
+  MachineEngine eng(*par.graph,
+                    partition::round_robin(par.graph->size(), rc.num_workers),
+                    rc);
+  eng.set_commit_hook(par.recorder->hook());
+  const RunStats st = eng.run();
+
+  EXPECT_FALSE(st.recovery_error) << st.recovery_error->str();
+  EXPECT_EQ(st.checkpoint.crashes, 1u);
+  EXPECT_GT(st.total_rollbacks(), 0u);  // the cascade actually happened
+  EXPECT_EQ(TraceRecorder::diff(*ref.recorder, *par.recorder), "");
+}
+
+// A crash while the reliable channel still has unacked data in flight on a
+// lossy wire: recovery must discard the half-delivered timeline and the
+// replay must regenerate it exactly.
+TEST(CheckpointRecoveryModes, CrashWithInFlightRetransmissions) {
+  testutil::Watchdog wd(
+      "CheckpointRecoveryModes.CrashWithInFlightRetransmissions",
+      std::chrono::seconds(120));
+  const PhysTime until = 250;
+  Built ref = run_oracle(&build_fsm, until);
+
+  Built par = build_fsm();
+  RunConfig rc = base_config(Configuration::kDynamic, until);
+  FaultPlan& fp = rc.transport.faults;
+  fp.seed = 5;
+  fp.drop = 0.15;
+  fp.duplicate = 0.08;
+  fp.reorder = 0.30;
+  fp.jitter = 1.5;
+  rc.transport.reliable = true;
+  fp.crashes.push_back(WorkerCrash{3, 70});
+  MachineEngine eng(*par.graph,
+                    partition::round_robin(par.graph->size(), rc.num_workers),
+                    rc);
+  eng.set_commit_hook(par.recorder->hook());
+  const RunStats st = eng.run();
+
+  EXPECT_FALSE(st.transport_error) << st.transport_error->str();
+  EXPECT_FALSE(st.recovery_error) << st.recovery_error->str();
+  EXPECT_EQ(st.checkpoint.crashes, 1u);
+  EXPECT_GT(st.transport.dropped, 0u);
+  EXPECT_GT(st.transport.retransmits, 0u);
+  EXPECT_EQ(TraceRecorder::diff(*ref.recorder, *par.recorder), "");
+}
+
+// Redistribution: the dead worker (including worker 0, the GVT
+// coordinator) is retired and its LPs are spread over the survivors.
+TEST(CheckpointRecoveryModes, RedistributeSurvivesCoordinatorDeath) {
+  testutil::Watchdog wd(
+      "CheckpointRecoveryModes.RedistributeSurvivesCoordinatorDeath",
+      std::chrono::seconds(120));
+  const PhysTime until = 250;
+  Built ref = run_oracle(&build_fsm, until);
+
+  Built par = build_fsm();
+  RunConfig rc = base_config(Configuration::kDynamic, until);
+  rc.checkpoint.policy = RecoveryPolicy::kRedistribute;
+  rc.transport.faults.crashes.push_back(WorkerCrash{0, 50});
+  rc.transport.faults.crashes.push_back(WorkerCrash{2, 110});
+  MachineEngine eng(*par.graph,
+                    partition::round_robin(par.graph->size(), rc.num_workers),
+                    rc);
+  eng.set_commit_hook(par.recorder->hook());
+  const RunStats st = eng.run();
+
+  EXPECT_FALSE(st.recovery_error) << st.recovery_error->str();
+  EXPECT_EQ(st.checkpoint.crashes, 2u);
+  EXPECT_EQ(st.checkpoint.recoveries, 2u);
+  // Retired workers stay frozen: all post-recovery work lands on survivors.
+  EXPECT_EQ(TraceRecorder::diff(*ref.recorder, *par.recorder), "");
+}
+
+// The threaded engine: real threads, crash-stop = thread exit.  Recovery
+// redistributes over the surviving threads and the trace still matches.
+TEST(CheckpointThreaded, CrashRecoversAndMatchesOracle) {
+  testutil::Watchdog wd("CheckpointThreaded.CrashRecoversAndMatchesOracle",
+                        std::chrono::seconds(180));
+  const PhysTime until = 600;
+  Built ref = run_oracle(&build_gates, until);
+
+  Built par = build_gates();
+  RunConfig rc;
+  rc.num_workers = 3;
+  rc.configuration = Configuration::kDynamic;
+  rc.until = until;
+  rc.checkpoint.period = 2;
+  rc.transport.faults.crashes.push_back(WorkerCrash{1, 30});
+  ThreadedEngine eng(*par.graph,
+                     partition::round_robin(par.graph->size(), rc.num_workers),
+                     rc);
+  eng.set_commit_hook(par.recorder->hook());
+  const RunStats st = eng.run();
+
+  ASSERT_FALSE(st.config_error) << st.config_error->str();
+  EXPECT_FALSE(st.deadlocked);
+  EXPECT_FALSE(st.recovery_error) << st.recovery_error->str();
+  EXPECT_EQ(st.checkpoint.crashes, 1u);
+  EXPECT_EQ(st.checkpoint.recoveries, 1u);
+  EXPECT_EQ(TraceRecorder::diff(*ref.recorder, *par.recorder), "");
+}
+
+// Checkpointing with no crash at all must be protocol-transparent: the
+// rollback-all-deferred capture may not perturb the committed trace.
+TEST(CheckpointTransparency, PeriodicCheckpointsDoNotPerturbTrace) {
+  testutil::Watchdog wd("CheckpointTransparency.PeriodicCheckpointsDoNotPerturbTrace",
+                        std::chrono::seconds(120));
+  const PhysTime until = 300;
+  Built ref = run_oracle(&build_random, until);
+
+  for (const Configuration config :
+       {Configuration::kAllOptimistic, Configuration::kDynamic}) {
+    Built par = build_random();
+    RunConfig rc = base_config(config, until);
+    rc.checkpoint.period = 1;  // every single round
+    MachineEngine eng(
+        *par.graph, partition::round_robin(par.graph->size(), rc.num_workers),
+        rc);
+    eng.set_commit_hook(par.recorder->hook());
+    const RunStats st = eng.run();
+
+    EXPECT_FALSE(st.deadlocked) << to_string(config);
+    EXPECT_EQ(st.checkpoint.crashes, 0u);
+    EXPECT_EQ(st.checkpoint.recoveries, 0u);
+    EXPECT_GT(st.checkpoint.checkpoints, 2u);
+    EXPECT_GT(st.checkpoint.overhead_cost, 0.0);
+    EXPECT_EQ(TraceRecorder::diff(*ref.recorder, *par.recorder), "")
+        << to_string(config);
+  }
+}
+
+// Budget exhaustion: a crash-looping cluster (every event kills) must stop
+// after max_recoveries with a structured RecoveryError -- never hang.
+TEST(CheckpointFailure, RecoveryBudgetExhaustionSurfacesError) {
+  testutil::Watchdog wd(
+      "CheckpointFailure.RecoveryBudgetExhaustionSurfacesError",
+      std::chrono::seconds(120));
+  Built par = build_fsm();
+  RunConfig rc = base_config(Configuration::kDynamic, 250);
+  rc.transport.faults.crash_rate = 1.0;  // every processed event is fatal
+  rc.checkpoint.max_recoveries = 3;
+  MachineEngine eng(*par.graph,
+                    partition::round_robin(par.graph->size(), rc.num_workers),
+                    rc);
+  const RunStats st = eng.run();  // must terminate
+
+  ASSERT_TRUE(st.recovery_error.has_value());
+  EXPECT_EQ(st.recovery_error->recoveries_used, rc.checkpoint.max_recoveries);
+  EXPECT_NE(st.recovery_error->str().find("recovery error"),
+            std::string::npos);
+  EXPECT_NE(st.recovery_error->str().find("budget"), std::string::npos);
+  EXPECT_GE(st.checkpoint.crashes, st.checkpoint.recoveries);
+}
+
+// Same contract on the threaded engine.
+TEST(CheckpointFailure, ThreadedBudgetExhaustionSurfacesError) {
+  testutil::Watchdog wd(
+      "CheckpointFailure.ThreadedBudgetExhaustionSurfacesError",
+      std::chrono::seconds(180));
+  Built par = build_gates();
+  RunConfig rc;
+  rc.num_workers = 3;
+  rc.configuration = Configuration::kDynamic;
+  rc.until = 600;
+  rc.checkpoint.period = 2;
+  rc.checkpoint.max_recoveries = 2;
+  rc.transport.faults.crash_rate = 1.0;
+  ThreadedEngine eng(*par.graph,
+                     partition::round_robin(par.graph->size(), rc.num_workers),
+                     rc);
+  const RunStats st = eng.run();  // must terminate
+  ASSERT_TRUE(st.recovery_error.has_value());
+  EXPECT_FALSE(st.recovery_error->message.empty());
+}
+
+// Slow failure detection (large heartbeat budget) racing a tight retry cap
+// on a reliable link into the dead worker: the retransmission budget runs
+// out first and the run unwinds with a TransportError instead of hanging
+// in the drain loop.
+TEST(CheckpointFailure, SlowDetectionLosesToRetryCap) {
+  testutil::Watchdog wd("CheckpointFailure.SlowDetectionLosesToRetryCap",
+                        std::chrono::seconds(120));
+  Built par = build_fsm();
+  RunConfig rc = base_config(Configuration::kDynamic, 250);
+  rc.transport.faults.crashes.push_back(WorkerCrash{1, 60});
+  rc.transport.reliable = true;
+  rc.transport.max_retries = 2;
+  rc.transport.rto = 8.0;  // above healthy RTT: only a dead peer times out
+  rc.checkpoint.heartbeat_rounds = 50;  // detection far too slow
+  MachineEngine eng(*par.graph,
+                    partition::round_robin(par.graph->size(), rc.num_workers),
+                    rc);
+  const RunStats st = eng.run();  // must terminate
+  ASSERT_TRUE(st.transport_error.has_value() || st.recovery_error.has_value());
+  EXPECT_GT(st.checkpoint.crashes, 0u);
+}
+
+// Determinism: crash injection, recovery and checkpointing are pure
+// functions of the seed -- two identical runs agree on every counter.
+TEST(CheckpointDeterminism, SameSeedSameCountersAndTrace) {
+  testutil::Watchdog wd("CheckpointDeterminism.SameSeedSameCountersAndTrace",
+                        std::chrono::seconds(120));
+  auto run_once = [](Built* out) {
+    *out = build_fsm();
+    RunConfig rc;
+    rc.num_workers = 4;
+    rc.configuration = Configuration::kDynamic;
+    rc.until = 250;
+    rc.gvt_interval = 24;
+    rc.checkpoint.period = 2;
+    rc.transport.faults.seed = 9;
+    rc.transport.faults.crash_rate = 0.002;
+    rc.checkpoint.max_recoveries = 64;
+    MachineEngine eng(
+        *out->graph,
+        partition::round_robin(out->graph->size(), rc.num_workers), rc);
+    eng.set_commit_hook(out->recorder->hook());
+    return eng.run();
+  };
+  Built a_built;
+  Built b_built;
+  const RunStats a = run_once(&a_built);
+  const RunStats b = run_once(&b_built);
+  EXPECT_EQ(a.checkpoint.crashes, b.checkpoint.crashes);
+  EXPECT_EQ(a.checkpoint.recoveries, b.checkpoint.recoveries);
+  EXPECT_EQ(a.checkpoint.checkpoints, b.checkpoint.checkpoints);
+  EXPECT_EQ(a.total_committed(), b.total_committed());
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(TraceRecorder::diff(*a_built.recorder, *b_built.recorder), "");
+}
+
+// ---- CheckpointStore: codec + disk spill ----------------------------------
+
+Checkpoint sample_checkpoint() {
+  Checkpoint ck;
+  ck.round = 7;
+  ck.gvt = VirtualTime{40, 2};
+  ck.last_promise = {VirtualTime{10, 0}, VirtualTime{12, 3}};
+  ck.links.push_back({5, 9});
+  ck.links.push_back({1, 1});
+  ck.fault_links.push_back({0xdeadbeefULL, 3});
+  ck.lps.resize(2);
+  ck.lps[0].mode = pdes::SyncMode::kOptimistic;
+  ck.lps[0].committed_ts = VirtualTime{38, 0};
+  ck.lps[0].send_seq = 17;
+  pdes::Event ev;
+  ev.ts = VirtualTime{41, 1};
+  ev.src = 0;
+  ev.dst = 1;
+  ev.uid = 42;
+  ev.kind = 2;
+  ev.payload.port = 3;
+  ev.payload.scalar = -7;
+  ev.payload.bits = LogicVector{Logic::k1, Logic::k0, Logic::kZ};
+  ck.lps[0].pending.push_back(ev);
+  ck.lps[0].pending_negatives.push_back(99);
+  ck.lps[0].lazy.emplace_back(41, ev);
+  ck.lps[1].pinned_conservative = true;
+  ck.lps[1].in_clocks.emplace_back(0, VirtualTime{39, 0});
+  return ck;
+}
+
+TEST(CheckpointStoreTest, PortableCodecRoundTrips) {
+  const Checkpoint ck = sample_checkpoint();
+  const auto blob = CheckpointStore::encode_portable(ck);
+  ASSERT_FALSE(blob.empty());
+
+  Checkpoint back;
+  ASSERT_TRUE(CheckpointStore::decode_portable(blob, &back));
+  EXPECT_EQ(back.round, ck.round);
+  EXPECT_EQ(back.gvt, ck.gvt);
+  EXPECT_EQ(back.last_promise.size(), ck.last_promise.size());
+  EXPECT_EQ(back.links.size(), ck.links.size());
+  EXPECT_EQ(back.links[0].next_seq, 5u);
+  EXPECT_EQ(back.links[0].expected, 9u);
+  EXPECT_EQ(back.fault_links.size(), 1u);
+  EXPECT_EQ(back.fault_links[0].rng, 0xdeadbeefULL);
+  ASSERT_EQ(back.lps.size(), 2u);
+  EXPECT_EQ(back.lps[0].mode, pdes::SyncMode::kOptimistic);
+  EXPECT_EQ(back.lps[0].send_seq, 17u);
+  ASSERT_EQ(back.lps[0].pending.size(), 1u);
+  EXPECT_EQ(back.lps[0].pending[0].uid, 42u);
+  EXPECT_EQ(back.lps[0].pending[0].payload.scalar, -7);
+  ASSERT_EQ(back.lps[0].pending[0].payload.bits.size(), 3u);
+  EXPECT_EQ(back.lps[0].pending[0].payload.bits.at(2), Logic::kZ);
+  EXPECT_TRUE(back.lps[1].pinned_conservative);
+
+  // The codec is canonical: re-encoding the decode yields the same bytes.
+  EXPECT_EQ(CheckpointStore::encode_portable(back), blob);
+}
+
+TEST(CheckpointStoreTest, DecodeRejectsCorruption) {
+  const auto blob = CheckpointStore::encode_portable(sample_checkpoint());
+  Checkpoint out;
+
+  auto bad_magic = blob;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(CheckpointStore::decode_portable(bad_magic, &out));
+
+  auto truncated = blob;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(CheckpointStore::decode_portable(truncated, &out));
+
+  auto trailing = blob;
+  trailing.push_back(0);
+  EXPECT_FALSE(CheckpointStore::decode_portable(trailing, &out));
+
+  EXPECT_FALSE(CheckpointStore::decode_portable({}, &out));
+}
+
+TEST(CheckpointStoreTest, RingEvictsAndSpillsToDisk) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("vsim_ckpt_test_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+
+  {
+    CheckpointStore store(/*keep=*/2, dir.string());
+    for (std::uint64_t round = 1; round <= 3; ++round) {
+      Checkpoint ck = sample_checkpoint();
+      ck.round = round;
+      store.put(std::move(ck));
+    }
+    EXPECT_EQ(store.size(), 2u);  // ring evicted round 1
+    ASSERT_NE(store.latest(), nullptr);
+    EXPECT_EQ(store.latest()->round, 3u);
+    EXPECT_FALSE(store.io_error().has_value()) << *store.io_error();
+    EXPECT_GT(store.disk_bytes(), 0u);
+    EXPECT_TRUE(fs::exists(dir / "ckpt-3.bin"));
+
+    // The spilled blob is genuine: it decodes back to the checkpoint.
+    std::ifstream in(dir / "ckpt-3.bin", std::ios::binary);
+    std::vector<std::uint8_t> blob(
+        (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    Checkpoint back;
+    EXPECT_TRUE(CheckpointStore::decode_portable(blob, &back));
+    EXPECT_EQ(back.round, 3u);
+  }
+  fs::remove_all(dir);
+}
+
+// ---- Configuration validation (construction-time, structured) -------------
+
+TEST(ConfigValidation, RejectsOutOfRangeFaultPlan) {
+  FaultPlan fp;
+  fp.drop = -0.1;
+  auto err = validate(fp, 4);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->field, "faults.drop");
+
+  fp = FaultPlan{};
+  fp.crash_rate = 1.5;
+  err = validate(fp, 4);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->field, "faults.crash_rate");
+  EXPECT_NE(err->str().find("invalid configuration"), std::string::npos);
+
+  fp = FaultPlan{};
+  fp.blackout = 0.1;
+  fp.blackout_span = 0;
+  err = validate(fp, 4);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->field, "faults.blackout_span");
+
+  fp = FaultPlan{};
+  fp.crashes.push_back(WorkerCrash{7, 10});  // only 4 workers exist
+  err = validate(fp, 4);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->field, "faults.crashes");
+}
+
+TEST(ConfigValidation, RejectsBrokenReliableTransport) {
+  pdes::TransportConfig tc;
+  tc.reliable = true;
+  tc.max_retries = 0;
+  auto err = validate(tc, 2);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->field, "transport.max_retries");
+
+  tc = pdes::TransportConfig{};
+  tc.reliable = true;
+  tc.rto = 0.0;
+  err = validate(tc, 2);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->field, "transport.rto");
+
+  // An unreliable transport tolerates the same values: they are unused.
+  tc.reliable = false;
+  EXPECT_FALSE(validate(tc, 2).has_value());
+}
+
+TEST(ConfigValidation, RejectsBrokenCheckpointConfig) {
+  RunConfig rc;
+  rc.checkpoint.heartbeat_rounds = 0;
+  auto err = validate(rc);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->field, "checkpoint.heartbeat_rounds");
+
+  rc = RunConfig{};
+  rc.checkpoint.keep = 0;
+  err = validate(rc);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->field, "checkpoint.keep");
+
+  rc = RunConfig{};
+  rc.transport.faults.crash_rate = 0.5;
+  rc.checkpoint.max_recoveries = 0;
+  err = validate(rc);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->field, "checkpoint.max_recoveries");
+}
+
+// Both engines refuse to run an invalid configuration and surface the
+// structured error instead of asserting or crashing mid-flight.
+TEST(ConfigValidation, EnginesSurfaceConfigErrorWithoutRunning) {
+  Built m = build_fsm();
+  RunConfig rc;
+  rc.num_workers = 4;
+  rc.transport.faults.drop = 2.0;  // nonsense probability
+  MachineEngine eng(*m.graph,
+                    partition::round_robin(m.graph->size(), rc.num_workers),
+                    rc);
+  const RunStats st = eng.run();
+  ASSERT_TRUE(st.config_error.has_value());
+  EXPECT_EQ(st.config_error->field, "faults.drop");
+  EXPECT_EQ(st.total_events(), 0u);  // never started
+
+  Built t = build_fsm();
+  ThreadedEngine teng(*t.graph,
+                      partition::round_robin(t.graph->size(), rc.num_workers),
+                      rc);
+  const RunStats tst = teng.run();
+  ASSERT_TRUE(tst.config_error.has_value());
+  EXPECT_EQ(tst.config_error->field, "faults.drop");
+}
+
+}  // namespace
+}  // namespace vsim

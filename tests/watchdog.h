@@ -1,0 +1,60 @@
+// RAII wall-clock watchdog for tests whose failure mode is a hang (chaos
+// runs, recovery loops, drain-until-quiet under adversarial fault plans).
+// gtest has no per-test timeout, and a hung test stalls the whole ctest
+// run; the watchdog turns "never terminates" into a loud, attributable
+// abort with the offending test's name in the diagnostic.
+//
+// Usage:
+//   TEST(Suite, Case) {
+//     vsim::testutil::Watchdog wd("Suite.Case", std::chrono::seconds(60));
+//     ... code that must terminate ...
+//   }  // disarmed on scope exit
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+namespace vsim::testutil {
+
+class Watchdog {
+ public:
+  Watchdog(const char* label, std::chrono::seconds limit)
+      : label_(label), limit_(limit), thread_([this] { run(); }) {}
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      disarmed_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void run() {
+    std::unique_lock<std::mutex> lock(m_);
+    if (cv_.wait_for(lock, limit_, [this] { return disarmed_; })) return;
+    std::fprintf(stderr,
+                 "[watchdog] '%s' still running after %lld s wall-clock; "
+                 "aborting the test binary\n",
+                 label_, static_cast<long long>(limit_.count()));
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  const char* label_;
+  std::chrono::seconds limit_;
+  bool disarmed_ = false;
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::thread thread_;  // last member: starts running at construction
+};
+
+}  // namespace vsim::testutil
