@@ -7,8 +7,10 @@
 //  (f) fault tolerance: checkpoint period vs crash rate -- the capture tax
 //      of short periods against the re-execution lost to each recovery.
 #include <cstdio>
+#include <string>
 
 #include "bench/harness.h"
+#include "bench/report.h"
 #include "circuits/fsm.h"
 #include "circuits/iir.h"
 #include "partition/partition.h"
@@ -42,6 +44,8 @@ bench::BuildFn iir_build = [] {
 int main() {
   const PhysTime until = 800;
   const double seq = bench::sequential_cost(fsm_build, until);
+  bench::Report report("ablation");
+  report.set_config("until_fsm", static_cast<std::uint64_t>(until));
 
   std::printf("# Ablation (a): GVT interval sweep, FSM, dynamic, P=8\n");
   std::printf("%-10s%12s%12s%14s\n", "interval", "speedup", "rounds",
@@ -58,6 +62,8 @@ int main() {
                 static_cast<unsigned long long>(st.gvt_rounds),
                 static_cast<unsigned long long>(st.total_rollbacks()));
     std::fflush(stdout);
+    report.add_row("gvt_interval", 8, "interval=" + std::to_string(interval),
+                   seq / st.makespan, st);
   }
 
   std::printf("\n# Ablation (b): partitioning, IIR, dynamic\n");
@@ -82,6 +88,9 @@ int main() {
                   partition::cut_size(*probe.graph, prr),
                   partition::cut_size(*probe.graph, pbf));
       std::fflush(stdout);
+      report.add_row("partitioning", p, "round-robin", iseq / rr.makespan,
+                     rr);
+      report.add_row("partitioning", p, "bipartite", iseq / bf.makespan, bf);
     }
   }
 
@@ -114,6 +123,10 @@ int main() {
         mk[lazy] = st.makespan;
         anti[lazy] = 0;
         for (const auto& l : st.per_lp) anti[lazy] += l.anti_messages_sent;
+        report.add_row(
+            "cancellation", 8,
+            std::string(row.name) + (lazy ? "/lazy" : "/aggressive"),
+            sc / st.makespan, st);
       }
       std::printf("%-10s%14s%14s%12llu%12llu\n", row.name,
                   bench::fmt(sc / mk[0]).c_str(),
@@ -148,6 +161,8 @@ int main() {
                 static_cast<unsigned long long>(st.transport.retransmits),
                 static_cast<unsigned long long>(st.transport.acks_sent));
     std::fflush(stdout);
+    report.add_row("transport_faults", 8, "drop=" + bench::fmt(drop),
+                   seq / st.makespan, st);
   }
 
   std::printf(
@@ -177,11 +192,15 @@ int main() {
                   static_cast<unsigned long long>(st.checkpoint.recoveries),
                   bench::fmt(st.checkpoint.overhead_cost).c_str());
       std::fflush(stdout);
+      report.add_row("checkpointing", 8,
+                     "period=" + std::to_string(period) +
+                         "/crash=" + bench::fmt(crash_rate, 4),
+                     seq / st.makespan, st);
     }
   }
 
   std::printf("\n# Ablation (c): optimistic history cap (memory), FSM, P=8\n");
-  std::printf("%-10s%12s%16s\n", "cap", "speedup", "peak_history");
+  std::printf("%-10s%12s%16s\n", "cap", "speedup", "total_history");
   for (std::size_t cap : {0u, 256u, 64u, 16u, 4u}) {
     pdes::RunConfig rc;
     rc.num_workers = 8;
@@ -190,8 +209,11 @@ int main() {
     rc.until = until;
     const auto st = bench::run_machine(fsm_build, rc);
     std::printf("%-10zu%12s%16zu\n", cap,
-                bench::fmt(seq / st.makespan).c_str(), st.peak_history());
+                bench::fmt(seq / st.makespan).c_str(), st.total_history());
     std::fflush(stdout);
+    report.add_row("history_cap", 8, "cap=" + std::to_string(cap),
+                   seq / st.makespan, st);
   }
+  report.write();
   return 0;
 }

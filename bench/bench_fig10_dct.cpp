@@ -3,6 +3,7 @@
 // the self-adapting dynamic configuration at roughly twice the speedup of
 // the static ones on this circuit.
 #include "bench/harness.h"
+#include "bench/report.h"
 #include "circuits/dct.h"
 
 using namespace vsim;
@@ -19,11 +20,16 @@ int main() {
     return b;
   };
 
+  bench::Report report("fig10_dct");
+  report.set_config("circuit", "dct");
+  report.set_config("until", static_cast<std::uint64_t>(until));
   bench::speedup_figure(
       "Fig. 10 -- Speedup for DCT processor (gate level)", build, until,
       {1, 2, 4, 6, 8, 10, 12, 14, 16},
       {pdes::Configuration::kAllOptimistic,
        pdes::Configuration::kAllConservative, pdes::Configuration::kMixed,
-       pdes::Configuration::kDynamic});
+       pdes::Configuration::kDynamic},
+      /*max_history=*/128, &report);
+  report.write();
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "bench/harness.h"
+#include "bench/report.h"
 #include "circuits/dct.h"
 #include "circuits/fsm.h"
 #include "circuits/iir.h"
@@ -35,7 +36,7 @@ struct Col {
   bool lookahead;
 };
 
-double run_cell(const Row& row, const Col& col) {
+pdes::RunStats run_cell(const Row& row, const Col& col) {
   pdes::RunConfig rc;
   rc.num_workers = 8;
   rc.configuration = col.config;
@@ -43,8 +44,7 @@ double run_cell(const Row& row, const Col& col) {
   rc.strategy = col.strategy;
   rc.use_lookahead = col.lookahead;
   rc.until = row.until;
-  const pdes::RunStats st = bench::run_machine(row.build, rc);
-  return st.deadlocked ? -1.0 : st.makespan;
+  return bench::run_machine(row.build, rc);
 }
 
 }  // namespace
@@ -99,6 +99,9 @@ int main() {
        false},
   };
 
+  bench::Report report("fig4_ordering");
+  report.set_config("workers", std::uint64_t{8});
+
   std::printf(
       "# Fig. 4 -- arbitrary vs user-consistent simultaneous-event models\n"
       "# machine-model cost (work units) on 8 processors; 'deadlock' where\n"
@@ -107,14 +110,19 @@ int main() {
   for (const Col& c : cols) std::printf("%16s", c.name);
   std::printf("\n");
   for (const Row& r : rows) {
+    const double seq = bench::sequential_cost(r.build, r.until);
     std::printf("%-8s", r.name);
     for (const Col& c : cols) {
-      const double cost = run_cell(r, c);
+      const pdes::RunStats st = run_cell(r, c);
+      const double cost = st.deadlocked ? -1.0 : st.makespan;
       std::printf("%16s",
                   cost < 0 ? "deadlock" : bench::fmt(cost, 0).c_str());
       std::fflush(stdout);
+      report.add_row(r.name, 8, c.name, st.deadlocked ? 0.0 : seq / cost,
+                     st);
     }
     std::printf("\n");
   }
+  report.write();
   return 0;
 }

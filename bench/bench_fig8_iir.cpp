@@ -1,6 +1,7 @@
 // Fig. 8 reproduction: speedup for the Gray-Markel cascaded-lattice IIR
 // filter at gate level (~870 LPs), 1..16 processors, four configurations.
 #include "bench/harness.h"
+#include "bench/report.h"
 #include "circuits/iir.h"
 
 using namespace vsim;
@@ -17,11 +18,16 @@ int main() {
     return b;
   };
 
+  bench::Report report("fig8_iir");
+  report.set_config("circuit", "iir");
+  report.set_config("until", static_cast<std::uint64_t>(until));
   bench::speedup_figure(
       "Fig. 8 -- Speedup for Gray-Markel IIR filter (gate level)", build,
       until, {1, 2, 4, 6, 8, 10, 12, 14, 16},
       {pdes::Configuration::kAllOptimistic,
        pdes::Configuration::kAllConservative, pdes::Configuration::kMixed,
-       pdes::Configuration::kDynamic});
+       pdes::Configuration::kDynamic},
+      /*max_history=*/128, &report);
+  report.write();
   return 0;
 }

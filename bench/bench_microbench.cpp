@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/harness.h"
+#include "bench/report.h"
 #include "circuits/fsm.h"
 #include "partition/partition.h"
 #include "pdes/sequential.h"
@@ -76,6 +77,36 @@ void BM_LogicResolution(benchmark::State& state) {
 }
 BENCHMARK(BM_LogicResolution);
 
+// Console reporter that also records every run into the machine-readable
+// report (BENCH_microbench.json), so bench_diff.py can track wall-clock
+// regressions alongside the machine-model figures.
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit RecordingReporter(bench::Report* rep) : rep_(rep) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      if (r.error_occurred || r.run_type != Run::RT_Iteration) continue;
+      rep_->add_micro(r.benchmark_name(), r.GetAdjustedRealTime(),
+                      r.GetAdjustedCPUTime(),
+                      static_cast<std::uint64_t>(r.iterations));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::Report* rep_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bench::Report report("microbench");
+  RecordingReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  report.write();
+  return 0;
+}

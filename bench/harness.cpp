@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "bench/report.h"
 #include "partition/partition.h"
 
 namespace vsim::bench {
@@ -33,7 +34,7 @@ std::vector<SweepResult> speedup_figure(
     const std::string& title, const BuildFn& build, PhysTime until,
     const std::vector<std::size_t>& workers,
     const std::vector<pdes::Configuration>& configs,
-    std::size_t max_history) {
+    std::size_t max_history, Report* report) {
   const double seq = sequential_cost(build, until);
   {
     Built probe = build();
@@ -57,6 +58,7 @@ std::vector<SweepResult> speedup_figure(
       pdes::RunStats st = run_machine(build, rc);
       const double sp = st.deadlocked ? 0.0 : seq / st.makespan;
       std::printf("%14s", st.deadlocked ? "deadlock" : fmt(sp).c_str());
+      if (report) report->add_row(title, p, pdes::to_string(c), sp, st);
       out.push_back({p, c, sp, std::move(st)});
     }
     std::printf("\n");

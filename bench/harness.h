@@ -40,15 +40,18 @@ double sequential_cost(const BuildFn& build, PhysTime until);
 pdes::RunStats run_machine(const BuildFn& build, pdes::RunConfig rc,
                            bool bipartite_partition = false);
 
+class Report;
+
 /// Prints one figure: speedup-vs-processors for the four configurations.
 /// Returns all rows for further inspection.  `max_history` models finite
 /// Time Warp memory per LP (the paper: "optimistic demands huge amounts of
-/// memory"); 0 disables the cap.
+/// memory"); 0 disables the cap.  When `report` is given, every cell is
+/// also appended to it as a row (section = `title`) for BENCH_<name>.json.
 std::vector<SweepResult> speedup_figure(
     const std::string& title, const BuildFn& build, PhysTime until,
     const std::vector<std::size_t>& workers,
     const std::vector<pdes::Configuration>& configs,
-    std::size_t max_history = 128);
+    std::size_t max_history = 128, Report* report = nullptr);
 
 /// Formats a number with fixed precision.
 std::string fmt(double v, int prec = 2);

@@ -1,0 +1,82 @@
+#include "bench/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace vsim::bench {
+
+namespace {
+
+// Stamped by CMake from `git rev-parse`; "unknown" outside a work tree.
+const char* git_sha() {
+#ifdef VSIM_GIT_SHA
+  return VSIM_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+Report::Report(std::string name) : name_(std::move(name)) {}
+
+void Report::set_config(const std::string& key, obs::Json value) {
+  config_.emplace_back(key, std::move(value));
+}
+
+void Report::add_row(const std::string& section, std::size_t workers,
+                     const std::string& configuration, double speedup,
+                     const pdes::RunStats& stats) {
+  obs::JsonObject row;
+  row.emplace_back("section", section);
+  row.emplace_back("workers", static_cast<std::uint64_t>(workers));
+  row.emplace_back("configuration", configuration);
+  row.emplace_back("speedup", speedup);
+  row.emplace_back("deadlocked", stats.deadlocked);
+  row.emplace_back("metrics", stats.metrics.to_json());
+  rows_.emplace_back(std::move(row));
+}
+
+void Report::add_micro(const std::string& name, double real_ns, double cpu_ns,
+                       std::uint64_t iterations) {
+  obs::JsonObject row;
+  row.emplace_back("name", name);
+  row.emplace_back("real_ns", real_ns);
+  row.emplace_back("cpu_ns", cpu_ns);
+  row.emplace_back("iterations", iterations);
+  micro_.emplace_back(std::move(row));
+}
+
+obs::Json Report::to_json() const {
+  obs::JsonObject doc;
+  doc.emplace_back("schema", kReportSchema);
+  doc.emplace_back("name", name_);
+  doc.emplace_back("git_sha", git_sha());
+  doc.emplace_back("config", config_);
+  doc.emplace_back("rows", rows_);
+  if (!micro_.empty()) doc.emplace_back("micro", micro_);
+  return doc;
+}
+
+std::string Report::write() const {
+  std::string path;
+  if (const char* dir = std::getenv("VSIM_BENCH_DIR"); dir && *dir) {
+    path = dir;
+    if (path.back() != '/') path += '/';
+  }
+  path += "BENCH_" + name_ + ".json";
+  const std::string body = to_json().dump(2);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "report: cannot write %s\n", path.c_str());
+    return "";
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("report: %s\n", path.c_str());
+  return path;
+}
+
+}  // namespace vsim::bench

@@ -1,0 +1,53 @@
+// Machine-readable bench reports.
+//
+// Every bench binary accumulates its sweep results in a Report and writes
+// `BENCH_<name>.json` (schema vsim.bench.report/v1) next to its stdout
+// table: run configuration, per-P speedups, and the full metrics snapshot of
+// every run (rollback / null-message / transport / checkpoint counters),
+// stamped with the git SHA the binary was built from.  tools/bench_diff.py
+// validates these files and compares two report sets for regressions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.h"
+#include "pdes/stats.h"
+
+namespace vsim::bench {
+
+class Report {
+ public:
+  /// `name` becomes the BENCH_<name>.json file stem (e.g. "fig4_ordering").
+  explicit Report(std::string name);
+
+  /// Records a scalar of the bench's configuration (until, cap sweeps, ...).
+  void set_config(const std::string& key, obs::Json value);
+
+  /// Adds one sweep row.  `section` groups rows of multi-part benches (the
+  /// ablation); single-figure benches pass the figure title.
+  void add_row(const std::string& section, std::size_t workers,
+               const std::string& configuration, double speedup,
+               const pdes::RunStats& stats);
+
+  /// Adds one google-benchmark style micro row (bench_microbench).
+  void add_micro(const std::string& name, double real_ns, double cpu_ns,
+                 std::uint64_t iterations);
+
+  [[nodiscard]] obs::Json to_json() const;
+
+  /// Writes BENCH_<name>.json into $VSIM_BENCH_DIR (created by the caller)
+  /// or the working directory; prints the path. Returns it ("" on failure).
+  std::string write() const;
+
+ private:
+  std::string name_;
+  obs::JsonObject config_;
+  obs::JsonArray rows_;
+  obs::JsonArray micro_;
+};
+
+/// Current report schema identifier.
+inline constexpr const char* kReportSchema = "vsim.bench.report/v1";
+
+}  // namespace vsim::bench

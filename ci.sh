@@ -15,6 +15,24 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DVSIM_SANITIZE= \
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "==> Observability smoke: traced bench + report schema"
+# One bench in trace mode: the FSM figure is the cheapest full sweep.  The
+# run must produce both a Chrome-trace JSON and a valid BENCH_*.json; both
+# are kept as CI artefacts (artifacts/ is the conventional upload dir).
+ARTIFACTS="${ARTIFACTS:-artifacts}"
+mkdir -p "$ARTIFACTS"
+VSIM_TRACE="$ARTIFACTS/trace_fig6_fsm.json" VSIM_BENCH_DIR="$ARTIFACTS" \
+  ./build/bench/bench_fig6_fsm > /dev/null
+python3 tools/bench_diff.py --validate "$ARTIFACTS"/BENCH_*.json
+python3 - "$ARTIFACTS/trace_fig6_fsm.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert events, "empty trace"
+assert all("ph" in e and "pid" in e for e in events), "malformed event"
+print("OK %s (%d events)" % (sys.argv[1], len(events)))
+EOF
+
 echo "==> AddressSanitizer build"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DVSIM_SANITIZE=address > /dev/null

@@ -7,4 +7,13 @@ std::string VirtualTime::str() const {
   return "(" + std::to_string(pt) + "," + std::to_string(lt) + ")";
 }
 
+const char* to_string(Phase p) {
+  switch (p) {
+    case Phase::kAssign: return "assign";
+    case Phase::kDriving: return "driving";
+    case Phase::kEffective: return "effective";
+  }
+  return "phase?";
+}
+
 }  // namespace vsim

@@ -59,6 +59,10 @@ struct VirtualTime {
   [[nodiscard]] std::string str() const;
 };
 
+/// Static phase name ("assign" / "driving" / "effective"); the tracer uses
+/// these as execute-span names so timelines show the delta-cycle structure.
+const char* to_string(Phase p);
+
 inline constexpr VirtualTime kTimeZero{0, 0};
 inline constexpr VirtualTime kTimeInf{std::numeric_limits<PhysTime>::max(),
                                       std::numeric_limits<LogicalTime>::max()};

@@ -1,0 +1,291 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace vsim::obs {
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Json::set(std::string key, Json value) {
+  kind_ = Kind::kObject;
+  obj_.emplace_back(std::move(key), std::move(value));
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_number(std::string& out, double d) {
+  if (!std::isfinite(d)) {  // JSON has no Inf/NaN; null is the least-bad
+    out += "null";
+    return;
+  }
+  // Integers (the common case: counters, ids) print exactly; everything
+  // else round-trips through %.17g.
+  if (d == std::floor(d) && std::fabs(d) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out += buf;
+}
+
+void append_indent(std::string& out, int indent, int depth) {
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull: out += "null"; return;
+    case Kind::kBool: out += bool_ ? "true" : "false"; return;
+    case Kind::kNumber: append_number(out, num_); return;
+    case Kind::kString:
+      out += '"';
+      out += json_escape(str_);
+      out += '"';
+      return;
+    case Kind::kArray: {
+      if (arr_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) out += ',';
+        if (indent >= 0) append_indent(out, indent, depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      if (indent >= 0) append_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      if (obj_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i > 0) out += ',';
+        if (indent >= 0) append_indent(out, indent, depth + 1);
+        out += '"';
+        out += json_escape(obj_[i].first);
+        out += indent >= 0 ? "\": " : "\":";
+        obj_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (indent >= 0) append_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  std::optional<Json> parse_document() {
+    skip_ws();
+    auto v = parse_value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != s_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+  [[nodiscard]] bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool match(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<Json> parse_value() {
+    if (pos_ >= s_.size()) return std::nullopt;
+    switch (s_[pos_]) {
+      case 'n': return match("null") ? std::optional<Json>(Json()) : std::nullopt;
+      case 't': return match("true") ? std::optional<Json>(Json(true)) : std::nullopt;
+      case 'f':
+        return match("false") ? std::optional<Json>(Json(false)) : std::nullopt;
+      case '"': return parse_string();
+      case '[': return parse_array();
+      case '{': return parse_object();
+      default: return parse_number();
+    }
+  }
+
+  std::optional<Json> parse_string() {
+    if (!eat('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return Json(std::move(out));
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return std::nullopt;
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return std::nullopt;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                return std::nullopt;
+            }
+            // UTF-8 encode (surrogate pairs are not recombined; the tracer
+            // never emits them).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return std::nullopt;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Json> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) return std::nullopt;
+    const std::string text(s_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size()) return std::nullopt;
+    return Json(d);
+  }
+
+  std::optional<Json> parse_array() {
+    if (!eat('[')) return std::nullopt;
+    JsonArray out;
+    skip_ws();
+    if (eat(']')) return Json(std::move(out));
+    for (;;) {
+      skip_ws();
+      auto v = parse_value();
+      if (!v) return std::nullopt;
+      out.push_back(std::move(*v));
+      skip_ws();
+      if (eat(']')) return Json(std::move(out));
+      if (!eat(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<Json> parse_object() {
+    if (!eat('{')) return std::nullopt;
+    JsonObject out;
+    skip_ws();
+    if (eat('}')) return Json(std::move(out));
+    for (;;) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!eat(':')) return std::nullopt;
+      skip_ws();
+      auto v = parse_value();
+      if (!v) return std::nullopt;
+      out.emplace_back(key->as_string(), std::move(*v));
+      skip_ws();
+      if (eat('}')) return Json(std::move(out));
+      if (!eat(',')) return std::nullopt;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace vsim::obs

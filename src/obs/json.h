@@ -1,0 +1,95 @@
+// Minimal JSON value model used by the observability layer.
+//
+// The tracer (trace.h) and the bench report sink (bench/report.h) both emit
+// JSON, and the golden trace test needs to read it back; a dependency-free
+// value type with a serializer and a strict parser keeps all three honest
+// against the same grammar.  Objects preserve insertion order so emitted
+// files are stable across runs (diff-able by tools/bench_diff.py).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vsim::obs {
+
+class Json;
+
+using JsonArray = std::vector<Json>;
+/// Insertion-ordered; lookups are linear (fine at observability sizes).
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+
+class Json {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+
+  Json() : kind_(Kind::kNull) {}
+  Json(std::nullptr_t) : kind_(Kind::kNull) {}  // NOLINT(runtime/explicit)
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}  // NOLINT(runtime/explicit)
+  Json(double d) : kind_(Kind::kNumber), num_(d) {}  // NOLINT
+  Json(int i) : kind_(Kind::kNumber), num_(i) {}  // NOLINT
+  Json(std::int64_t i)  // NOLINT(runtime/explicit)
+      : kind_(Kind::kNumber), num_(static_cast<double>(i)) {}
+  Json(std::uint64_t u)  // NOLINT(runtime/explicit)
+      : kind_(Kind::kNumber), num_(static_cast<double>(u)) {}
+  Json(const char* s) : kind_(Kind::kString), str_(s) {}  // NOLINT
+  Json(std::string s)  // NOLINT(runtime/explicit)
+      : kind_(Kind::kString), str_(std::move(s)) {}
+  Json(JsonArray a)  // NOLINT(runtime/explicit)
+      : kind_(Kind::kArray), arr_(std::move(a)) {}
+  Json(JsonObject o)  // NOLINT(runtime/explicit)
+      : kind_(Kind::kObject), obj_(std::move(o)) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return num_; }
+  [[nodiscard]] const std::string& as_string() const { return str_; }
+  [[nodiscard]] const JsonArray& as_array() const { return arr_; }
+  [[nodiscard]] JsonArray& as_array() { return arr_; }
+  [[nodiscard]] const JsonObject& as_object() const { return obj_; }
+  [[nodiscard]] JsonObject& as_object() { return obj_; }
+
+  /// Object member access; returns nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  /// Appends (object kind only); does not dedup keys.
+  void set(std::string key, Json value);
+
+  /// Serialises this value.  `indent` < 0 emits compact single-line JSON;
+  /// otherwise pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Strict parser: the full input must be exactly one JSON value (trailing
+  /// garbage fails).  Returns nullopt on any syntax error.
+  [[nodiscard]] static std::optional<Json> parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  JsonArray arr_;
+  JsonObject obj_;
+};
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+std::string json_escape(std::string_view s);
+
+}  // namespace vsim::obs

@@ -1,0 +1,129 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+
+namespace vsim::obs {
+
+const char* metric_name(Metric m) {
+  switch (m) {
+    case Metric::kEventsProcessed: return "engine.events_processed";
+    case Metric::kEventsCommitted: return "engine.events_committed";
+    case Metric::kGvtRounds: return "engine.gvt_rounds";
+    case Metric::kBlockedPolls: return "engine.blocked_polls";
+    case Metric::kRollbacks: return "tw.rollbacks";
+    case Metric::kEventsUndone: return "tw.events_undone";
+    case Metric::kAntiMessages: return "tw.anti_messages";
+    case Metric::kAnnihilations: return "tw.annihilations";
+    case Metric::kLazyReuses: return "tw.lazy_reuses";
+    case Metric::kLazyCancels: return "tw.lazy_cancels";
+    case Metric::kStateSaves: return "tw.state_saves";
+    case Metric::kModeSwitches: return "tw.mode_switches";
+    case Metric::kMessagesLocal: return "net.messages_local";
+    case Metric::kMessagesRemote: return "net.messages_remote";
+    case Metric::kNullMessages: return "net.null_messages";
+    case Metric::kTransportDataSent: return "transport.data_sent";
+    case Metric::kTransportAcksSent: return "transport.acks_sent";
+    case Metric::kTransportDelivered: return "transport.delivered";
+    case Metric::kTransportDropped: return "transport.dropped";
+    case Metric::kTransportDuplicated: return "transport.duplicated";
+    case Metric::kTransportReordered: return "transport.reordered";
+    case Metric::kTransportRetransmits: return "transport.retransmits";
+    case Metric::kTransportDupDiscarded: return "transport.dup_discarded";
+    case Metric::kTransportBuffered: return "transport.buffered";
+    case Metric::kCheckpoints: return "ckpt.checkpoints";
+    case Metric::kCheckpointUndone: return "ckpt.events_undone";
+    case Metric::kCrashes: return "ckpt.crashes";
+    case Metric::kRecoveries: return "ckpt.recoveries";
+    case Metric::kLpsRestored: return "ckpt.lps_restored";
+    case Metric::kCheckpointDiskBytes: return "ckpt.disk_bytes";
+    case Metric::kCount: break;
+  }
+  return "unknown";
+}
+
+const char* gauge_name(Gauge g) {
+  switch (g) {
+    case Gauge::kPeakHistory: return "tw.peak_history";
+    case Gauge::kTotalHistory: return "tw.total_history";
+    case Gauge::kMakespan: return "engine.makespan";
+    case Gauge::kFtOverhead: return "ckpt.overhead_cost";
+    case Gauge::kCount: break;
+  }
+  return "unknown";
+}
+
+const char* hist_name(Hist h) {
+  switch (h) {
+    case Hist::kRollbackDepth: return "tw.rollback_depth";
+    case Hist::kCount: break;
+  }
+  return "unknown";
+}
+
+void Histogram::observe(double v) {
+  if (v < 0) v = 0;
+  std::size_t b = 0;
+  // bucket i covers [2^(i-1), 2^i); bucket 0 covers [0, 1).
+  while (b + 1 < kBuckets && v >= static_cast<double>(1ULL << b)) ++b;
+  ++buckets[b];
+  ++count;
+  sum += v;
+  if (v > max) max = v;
+}
+
+Histogram& Histogram::operator+=(const Histogram& o) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += o.buckets[i];
+  count += o.count;
+  sum += o.sum;
+  if (o.max > max) max = o.max;
+  return *this;
+}
+
+Json Histogram::to_json() const {
+  JsonObject o;
+  o.emplace_back("count", Json(count));
+  o.emplace_back("sum", Json(sum));
+  o.emplace_back("max", Json(max));
+  // Sparse bucket map keyed by the bucket's exclusive upper bound.
+  JsonObject bk;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const double hi = static_cast<double>(1ULL << i);
+    bk.emplace_back("lt_" + std::to_string(static_cast<long long>(hi)),
+                    Json(buckets[i]));
+  }
+  o.emplace_back("buckets", Json(std::move(bk)));
+  return Json(std::move(o));
+}
+
+Json MetricsSnapshot::to_json() const {
+  JsonObject o;
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    o.emplace_back(metric_name(static_cast<Metric>(i)), Json(counters[i]));
+  }
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    o.emplace_back(gauge_name(static_cast<Gauge>(i)), Json(gauges[i]));
+  }
+  for (std::size_t i = 0; i < hists.size(); ++i) {
+    o.emplace_back(hist_name(static_cast<Hist>(i)), hists[i].to_json());
+  }
+  return Json(std::move(o));
+}
+
+void MetricsRegistry::merge() {
+  MetricsSnapshot out;
+  for (const MetricsShard& s : shards_) {
+    for (std::size_t i = 0; i < out.counters.size(); ++i) {
+      out.counters[i] += s.counters_[i];
+    }
+    for (std::size_t i = 0; i < out.gauges.size(); ++i) {
+      if (s.gauges_[i] > out.gauges[i]) out.gauges[i] = s.gauges_[i];
+    }
+    for (std::size_t i = 0; i < out.hists.size(); ++i) {
+      out.hists[i] += s.hists_[i];
+    }
+  }
+  merged_ = out;
+}
+
+}  // namespace vsim::obs

@@ -1,0 +1,266 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "obs/json.h"
+
+namespace vsim::obs {
+
+// ---------------------------------------------------------------------------
+// TraceSession
+
+TraceSession::TraceSession(Tracer* owner, std::string name, std::size_t tracks,
+                           int pid, std::size_t event_budget)
+    : owner_(owner),
+      name_(std::move(name)),
+      pid_(pid),
+      tracks_(tracks ? tracks : 1),
+      budget_(event_budget),
+      initial_budget_(event_budget) {
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    tracks_[i].name = "worker " + std::to_string(i);
+  }
+}
+
+TraceSession::~TraceSession() {
+  if (owner_ != nullptr) owner_->flush(*this);
+}
+
+bool TraceSession::admit(std::size_t track) {
+  if (track >= tracks_.size() || budget_ == 0) {
+    // budget_ is decremented without synchronisation; concurrent workers can
+    // race past zero by a handful of events, which only makes the cap fuzzy,
+    // never unsafe (it is a size_t watermark, not an index).
+    if (track < tracks_.size()) ++dropped_;
+    return false;
+  }
+  --budget_;
+  return true;
+}
+
+void TraceSession::complete(std::size_t track, const char* cat,
+                            const char* name, double ts, double dur,
+                            std::uint32_t lp, const char* arg_name,
+                            std::int64_t arg) {
+  if (!admit(track)) return;
+  tracks_[track].records.push_back(
+      Record{'X', cat, name, ts, dur, 0, lp, arg_name, arg});
+}
+
+void TraceSession::instant(std::size_t track, const char* cat,
+                           const char* name, double ts, std::uint32_t lp,
+                           const char* arg_name, std::int64_t arg) {
+  if (!admit(track)) return;
+  tracks_[track].records.push_back(
+      Record{'i', cat, name, ts, 0.0, 0, lp, arg_name, arg});
+}
+
+void TraceSession::flow_out(std::size_t track, std::uint64_t id, double ts) {
+  if (!admit(track)) return;
+  tracks_[track].records.push_back(
+      Record{'s', "msg", "msg", ts, 0.0, id, kNoTraceLp, nullptr, 0});
+}
+
+void TraceSession::flow_in(std::size_t track, std::uint64_t id, double ts) {
+  if (!admit(track)) return;
+  tracks_[track].records.push_back(
+      Record{'f', "msg", "msg", ts, 0.0, id, kNoTraceLp, nullptr, 0});
+}
+
+void TraceSession::set_track_name(std::size_t track, std::string name) {
+  if (track < tracks_.size()) tracks_[track].name = std::move(name);
+}
+
+void TraceSession::set_default_lp_labels(LpLabelFn fn) {
+  if (!lp_labels_) lp_labels_ = std::move(fn);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+Tracer::Tracer(std::string path, std::size_t event_budget)
+    : path_(std::move(path)), budget_remaining_(event_budget) {}
+
+Tracer::~Tracer() {
+  if (!path_.empty()) write();
+}
+
+std::unique_ptr<TraceSession> Tracer::session(std::string name,
+                                              std::size_t tracks) {
+  int pid;
+  std::size_t budget;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pid = next_pid_++;
+    // The budget is global: each session draws from what previous sessions
+    // left (a bench sweep spawning dozens of engine runs shares one cap).
+    budget = budget_remaining_;
+  }
+  return std::unique_ptr<TraceSession>(
+      new TraceSession(this, std::move(name), tracks, pid, budget));
+}
+
+void Tracer::flush(TraceSession& s) {
+  const std::size_t used = s.initial_budget_ - s.budget_;
+  DoneSession out;
+  out.name = std::move(s.name_);
+  out.pid = s.pid_;
+  out.dropped = s.dropped_;
+  // Resolve LP labels now, while the resolver's referents are still alive.
+  if (s.lp_labels_) {
+    std::set<std::uint32_t> ids;
+    for (const auto& t : s.tracks_) {
+      for (const auto& r : t.records) {
+        if (r.lp != kNoTraceLp) ids.insert(r.lp);
+      }
+    }
+    out.lp_labels.reserve(ids.size());
+    for (std::uint32_t id : ids) out.lp_labels.emplace_back(id, s.lp_labels_(id));
+  }
+  out.tracks.reserve(s.tracks_.size());
+  for (auto& t : s.tracks_) {
+    out.tracks.push_back(DoneTrack{std::move(t.name), std::move(t.records)});
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_remaining_ -= std::min(used, budget_remaining_);
+  done_.push_back(std::move(out));
+}
+
+namespace {
+
+void append_ts(std::string& out, double v) {
+  char buf[40];
+  // Fixed-point keeps Chrome's importer happy (it dislikes exponents) and
+  // keeps virtual work-unit timestamps exact.
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out += buf;
+}
+
+void append_record(std::string& out, const Tracer::DoneSession& s,
+                   std::size_t tid, const TraceSession::Record& r) {
+  out += "{\"ph\":\"";
+  out += r.ph;
+  out += "\",\"pid\":";
+  out += std::to_string(s.pid);
+  out += ",\"tid\":";
+  out += std::to_string(tid);
+  out += ",\"ts\":";
+  append_ts(out, r.ts);
+  out += ",\"cat\":\"";
+  out += r.cat;
+  out += "\",\"name\":\"";
+  out += json_escape(r.name);
+  out += '"';
+  if (r.ph == 'X') {
+    out += ",\"dur\":";
+    append_ts(out, r.dur);
+  }
+  if (r.ph == 's' || r.ph == 'f') {
+    out += ",\"id\":\"0x";
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llx",
+                  static_cast<unsigned long long>(r.id));
+    out += buf;
+    out += '"';
+    if (r.ph == 'f') out += ",\"bp\":\"e\"";
+  }
+  if (r.ph == 'i') out += ",\"s\":\"t\"";  // instant scope: thread
+  const bool has_lp = r.lp != kNoTraceLp;
+  if (has_lp || r.arg_name != nullptr) {
+    out += ",\"args\":{";
+    bool first = true;
+    if (has_lp) {
+      out += "\"lp\":";
+      const auto it = std::lower_bound(
+          s.lp_labels.begin(), s.lp_labels.end(), r.lp,
+          [](const auto& p, std::uint32_t id) { return p.first < id; });
+      if (it != s.lp_labels.end() && it->first == r.lp) {
+        out += '"';
+        out += json_escape(it->second);
+        out += '"';
+      } else {
+        out += std::to_string(r.lp);
+      }
+      first = false;
+    }
+    if (r.arg_name != nullptr) {
+      if (!first) out += ',';
+      out += '"';
+      out += json_escape(r.arg_name);
+      out += "\":";
+      out += std::to_string(static_cast<long long>(r.arg));
+    }
+    out += '}';
+  }
+  out += '}';
+}
+
+void append_metadata(std::string& out, int pid, int tid, const char* which,
+                     const std::string& value) {
+  out += "{\"ph\":\"M\",\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"tid\":";
+  out += std::to_string(tid);
+  out += ",\"name\":\"";
+  out += which;
+  out += "\",\"args\":{\"name\":\"";
+  out += json_escape(value);
+  out += "\"}}";
+}
+
+}  // namespace
+
+std::string Tracer::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  for (const DoneSession& s : done_) {
+    sep();
+    append_metadata(out, s.pid, 0, "process_name", s.name);
+    for (std::size_t tid = 0; tid < s.tracks.size(); ++tid) {
+      sep();
+      append_metadata(out, s.pid, static_cast<int>(tid), "thread_name",
+                      s.tracks[tid].name);
+      for (const auto& r : s.tracks[tid].records) {
+        sep();
+        append_record(out, s, tid, r);
+      }
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool Tracer::write() const {
+  if (path_.empty()) return false;
+  const std::string body = to_json();
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = (n == body.size()) && (std::fclose(f) == 0);
+  if (n != body.size()) std::fclose(f);
+  return ok;
+}
+
+Tracer* Tracer::from_env() {
+  static std::unique_ptr<Tracer> global = [] {
+    const char* path = std::getenv("VSIM_TRACE");
+    if (path == nullptr || *path == '\0') return std::unique_ptr<Tracer>();
+    std::size_t budget = 1u << 20;
+    if (const char* lim = std::getenv("VSIM_TRACE_LIMIT")) {
+      const long long v = std::atoll(lim);
+      if (v > 0) budget = static_cast<std::size_t>(v);
+    }
+    return std::unique_ptr<Tracer>(new Tracer(path, budget));
+  }();
+  return global.get();
+}
+
+}  // namespace vsim::obs

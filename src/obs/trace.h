@@ -1,0 +1,188 @@
+// Event tracer emitting Chrome `trace_event` JSON (the format read by
+// chrome://tracing and https://ui.perfetto.dev).
+//
+// Model: a process-wide Tracer owns the output file; each engine run opens a
+// TraceSession (one Chrome "process", unique pid) with one track ("thread")
+// per worker.  Tracks are single-writer -- the owning worker appends to its
+// own buffer with no synchronisation -- and sessions flush into the tracer
+// under a mutex when they are destroyed, after the workers have joined.
+//
+// Emitted event kinds:
+//   'X' complete spans   execute (named by delta-cycle phase: assign /
+//                        driving / effective, from VirtualTime lt mod 3),
+//                        gvt, checkpoint, recovery, send, recv
+//   'i' instants         rollback (arg: events undone), crash
+//   's'/'f' flow arrows  inter-LP messages and anti-messages crossing
+//                        workers; flow id = (event uid << 1) | negative
+//   'M' metadata         process_name / thread_name per session and track
+//
+// Activation: engines prefer an explicit session (RunConfig::trace); when
+// none is given and $VSIM_TRACE is set, they attach to the process-global
+// Tracer::from_env() singleton, which writes $VSIM_TRACE at exit.  So a
+// single environment flag turns any test or bench into a loadable timeline.
+//
+// Compile-out: all engine call sites live behind the VSIM_TRACE() macro.
+// Configuring with -DVSIM_TRACE=OFF defines VSIM_TRACE_ENABLED=0 and deletes
+// them at preprocessing time, so the hot path carries zero tracing cost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#ifndef VSIM_TRACE_ENABLED
+#define VSIM_TRACE_ENABLED 1
+#endif
+
+#if VSIM_TRACE_ENABLED
+// Wraps tracing statements; compiled out entirely when tracing is disabled.
+#define VSIM_TRACE(...) \
+  do {                  \
+    __VA_ARGS__;        \
+  } while (0)
+#else
+#define VSIM_TRACE(...) \
+  do {                  \
+  } while (0)
+#endif
+
+namespace vsim::obs {
+
+/// Sentinel for "no LP attached to this event".
+inline constexpr std::uint32_t kNoTraceLp = 0xffffffffu;
+
+class Tracer;
+
+/// One engine run's worth of trace data: a Chrome "process" with one track
+/// per worker.  Mutating calls are single-writer per track; the session must
+/// outlive the engine run and is flushed into the owning Tracer on
+/// destruction.
+class TraceSession {
+ public:
+  /// Maps an LP id to a human-readable label (shown as a span argument).
+  using LpLabelFn = std::function<std::string(std::uint32_t)>;
+
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// 'X' complete span on `track`, [ts, ts+dur] (microsecond doubles; the
+  /// machine engine uses virtual work units as microseconds).
+  void complete(std::size_t track, const char* cat, const char* name,
+                double ts, double dur, std::uint32_t lp = kNoTraceLp,
+                const char* arg_name = nullptr, std::int64_t arg = 0);
+  /// 'i' instant marker.
+  void instant(std::size_t track, const char* cat, const char* name,
+               double ts, std::uint32_t lp = kNoTraceLp,
+               const char* arg_name = nullptr, std::int64_t arg = 0);
+  /// 's' flow start (message leaves this track).  Must land inside a span on
+  /// `track` for the arrow to bind.
+  void flow_out(std::size_t track, std::uint64_t id, double ts);
+  /// 'f' flow finish (message arrives on this track).
+  void flow_in(std::size_t track, std::uint64_t id, double ts);
+
+  void set_track_name(std::size_t track, std::string name);
+  /// Installs the LP label resolver only if none was set yet (an explicit
+  /// caller-provided resolver, e.g. vhdl::Design labels, wins over the
+  /// engine's graph-name default).
+  void set_default_lp_labels(LpLabelFn fn);
+
+  [[nodiscard]] std::size_t num_tracks() const { return tracks_.size(); }
+  [[nodiscard]] int pid() const { return pid_; }
+  /// Events dropped once the event budget was exhausted (long bench runs).
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  /// Internal record layout (public for the serialiser; not part of the
+  /// stable API).
+  struct Record {
+    char ph;           // 'X', 'i', 's', 'f'
+    const char* cat;   // static string
+    const char* name;  // static string
+    double ts;
+    double dur;         // 'X' only
+    std::uint64_t id;   // flows only
+    std::uint32_t lp;   // kNoTraceLp when absent
+    const char* arg_name;  // optional static extra arg
+    std::int64_t arg;
+  };
+
+ private:
+  friend class Tracer;
+  TraceSession(Tracer* owner, std::string name, std::size_t tracks, int pid,
+               std::size_t event_budget);
+
+  struct Track {
+    std::string name;
+    std::vector<Record> records;
+  };
+
+  bool admit(std::size_t track);
+
+  Tracer* owner_;
+  std::string name_;
+  int pid_;
+  std::vector<Track> tracks_;
+  LpLabelFn lp_labels_;
+  std::size_t budget_;       // remaining admitted events (approximate across
+  std::size_t initial_budget_;  // tracks; exact for single-threaded engines)
+  std::uint64_t dropped_ = 0;
+};
+
+/// Process-level sink: collects flushed sessions and serialises them as one
+/// Chrome trace JSON document.
+class Tracer {
+ public:
+  /// `path` empty means "in-memory only" (tests use to_json()).
+  explicit Tracer(std::string path, std::size_t event_budget = 1u << 20);
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Opens a new session with `tracks` worker tracks and a fresh pid.
+  [[nodiscard]] std::unique_ptr<TraceSession> session(std::string name,
+                                                      std::size_t tracks);
+
+  /// Serialises everything flushed so far ({"traceEvents": [...]}).
+  [[nodiscard]] std::string to_json() const;
+  /// Writes to_json() to the path given at construction; false on I/O error
+  /// or when constructed with an empty path.
+  bool write() const;
+
+  /// Process-global tracer bound to $VSIM_TRACE (nullptr when unset).  The
+  /// singleton writes its file when the process exits normally.
+  ///   VSIM_TRACE=trace.json ./build/examples/parallel_dct
+  /// $VSIM_TRACE_LIMIT overrides the default 1M-event budget.
+  static Tracer* from_env();
+
+  /// Internal flushed-session layout (public for the serialiser).
+  struct DoneTrack {
+    std::string name;
+    std::vector<TraceSession::Record> records;
+  };
+  struct DoneSession {
+    std::string name;
+    int pid;
+    std::vector<DoneTrack> tracks;
+    /// LP id -> label, resolved through the session's LpLabelFn at flush
+    /// time (sorted by id for lookup during serialisation).
+    std::vector<std::pair<std::uint32_t, std::string>> lp_labels;
+    std::uint64_t dropped;
+  };
+
+ private:
+  friend class TraceSession;
+  void flush(TraceSession& s);  // moves session data into done_
+
+  mutable std::mutex mu_;
+  std::string path_;
+  /// Global event budget: sessions draw from what earlier (flushed) sessions
+  /// left, so a bench sweep of many engine runs shares one bounded file.
+  std::size_t budget_remaining_;
+  int next_pid_ = 1;
+  std::vector<DoneSession> done_;
+};
+
+}  // namespace vsim::obs

@@ -73,6 +73,11 @@ struct RecoveryError {
 };
 
 /// What fault tolerance cost during a run.
+///
+/// Exported to the metrics registry (obs/metrics.h) as the `ckpt.*`
+/// counters -- checkpoints, crashes, recoveries, lps_restored, disk_bytes,
+/// plus the `ckpt.overhead_cost` gauge -- so BENCH_*.json reports carry the
+/// fault-tolerance tax per run; see DESIGN.md "Observability".
 struct CheckpointStats {
   std::uint64_t checkpoints = 0;  ///< snapshots taken (incl. the initial one)
   std::uint64_t crashes = 0;      ///< worker crash-stop events injected

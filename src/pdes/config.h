@@ -9,6 +9,10 @@
 
 #include "common/virtual_time.h"
 
+namespace vsim::obs {
+class TraceSession;
+}
+
 namespace vsim::pdes {
 
 /// Synchronisation mode of an individual LP.
@@ -214,6 +218,11 @@ struct RunConfig {
   TransportConfig transport;
   /// GVT-consistent checkpointing and crash recovery.
   CheckpointConfig checkpoint;
+  /// Optional event-trace sink (obs/trace.h).  The session must have at
+  /// least `num_workers` tracks and outlive the engine.  When null, engines
+  /// fall back to the $VSIM_TRACE process-global tracer (if set); tracing is
+  /// otherwise off.  Not owned.
+  obs::TraceSession* trace = nullptr;
 };
 
 }  // namespace vsim::pdes

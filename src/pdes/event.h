@@ -36,6 +36,14 @@ struct Event {
   Payload payload;
 };
 
+/// Trace flow id of a message send: the event uid disambiguated by polarity,
+/// so a positive message and the anti-message that chases it draw as two
+/// distinct arrows.  Unique per remote send (uids are never reused; a
+/// re-execution re-sends under a fresh uid).
+[[nodiscard]] inline std::uint64_t trace_flow_id(const Event& ev) {
+  return (ev.uid << 1) | (ev.negative ? 1u : 0u);
+}
+
 /// Strict weak order used by pending queues: primary key is the virtual
 /// time; uid breaks ties deterministically (the protocol is free to process
 /// equal-timestamp events in arbitrary order -- see DESIGN.md -- but a

@@ -35,12 +35,32 @@ class MachineEngine::MachineRouter final : public Router {
     if (owner == eng_.current_worker_) {
       from.clock += eng_.costs_.msg_local;
       ++from.stats.messages_sent_local;
+      eng_.metrics_.shard(eng_.current_worker_).inc(obs::Metric::kMessagesLocal);
       eng_.deliver(from, std::move(ev));
     } else {
-      from.clock += ev.kind == kNullMsgKind ? eng_.costs_.null_msg
-                                            : eng_.costs_.msg_remote_send;
-      if (ev.kind == kNullMsgKind) ++from.stats.null_messages;
-      else ++from.stats.messages_sent_remote;
+      const bool is_null = ev.kind == kNullMsgKind;
+      const double cost =
+          is_null ? eng_.costs_.null_msg : eng_.costs_.msg_remote_send;
+      from.clock += cost;
+      if (is_null) {
+        ++from.stats.null_messages;
+        eng_.metrics_.shard(eng_.current_worker_)
+            .inc(obs::Metric::kNullMessages);
+      } else {
+        ++from.stats.messages_sent_remote;
+        eng_.metrics_.shard(eng_.current_worker_)
+            .inc(obs::Metric::kMessagesRemote);
+      }
+      VSIM_TRACE(if (eng_.trace_ != nullptr) {
+        const char* name =
+            is_null ? "send-null" : (ev.negative ? "send-anti" : "send");
+        eng_.trace_->complete(eng_.current_worker_, "net", name,
+                              from.clock - cost, cost, ev.src);
+        // Null messages share uid 0, so only data/anti sends get flow arrows.
+        if (!is_null)
+          eng_.trace_->flow_out(eng_.current_worker_, trace_flow_id(ev),
+                                from.clock - cost / 2);
+      });
       eng_.net_->send(static_cast<std::uint32_t>(eng_.current_worker_), owner,
                       std::move(ev), from.clock);
     }
@@ -98,6 +118,11 @@ MachineEngine::MachineEngine(LpGraph& graph, Partition partition,
                                         config_.transport);
   if (faulty_) net_->attach_faulty(faulty_.get());
   net_->set_deliver([this](std::uint32_t w, Event&& ev) {
+    VSIM_TRACE(if (trace_ != nullptr && ev.kind != kNullMsgKind) {
+      trace_->instant(w, "net", ev.negative ? "recv-anti" : "recv",
+                      workers_[w].clock, ev.dst);
+      trace_->flow_in(w, trace_flow_id(ev), workers_[w].clock);
+    });
     deliver(workers_[w], std::move(ev));
   });
   // Acks and retransmissions are billed to the emitting worker's virtual
@@ -125,6 +150,21 @@ MachineEngine::MachineEngine(LpGraph& graph, Partition partition,
   }
   commit_buf_.resize(graph_.size());
   store_ = CheckpointStore(config_.checkpoint.keep, config_.checkpoint.spill_dir);
+
+  metrics_ = obs::MetricsRegistry(config_.num_workers);
+  VSIM_TRACE({
+    trace_ = config_.trace;
+    if (trace_ == nullptr) {
+      if (obs::Tracer* t = obs::Tracer::from_env()) {
+        trace_own_ = t->session("machine", config_.num_workers);
+        trace_ = trace_own_.get();
+      }
+    }
+    if (trace_ != nullptr) {
+      trace_->set_default_lp_labels(
+          [this](std::uint32_t id) { return graph_.lp(id).name(); });
+    }
+  });
 }
 
 MachineEngine::~MachineEngine() = default;
@@ -142,8 +182,22 @@ void MachineEngine::deliver(Worker& w, Event ev) {
   w.stats.busy_cost += costs_.recv_cost;
   const LpId dst = ev.dst;
   const bool is_null = ev.kind == kNullMsgKind;
+  // Straggler detection: enqueue() is the only entry point that can trigger
+  // a rollback, so counter deltas around it give the per-episode depth
+  // without touching the LpRuntime hot path.
+  const std::uint64_t rb0 = lps_[dst].stats().rollbacks;
+  const std::uint64_t un0 = lps_[dst].stats().events_undone;
   MachineRouter router(*this);
   lps_[dst].enqueue(std::move(ev), router);
+  if (lps_[dst].stats().rollbacks != rb0) {
+    const std::uint64_t undone = lps_[dst].stats().events_undone - un0;
+    metrics_.shard(partition_[dst])
+        .observe(obs::Hist::kRollbackDepth, static_cast<double>(undone));
+    VSIM_TRACE(if (trace_ != nullptr) {
+      trace_->instant(partition_[dst], "tw", "rollback", w.clock, dst,
+                      "undone", static_cast<std::int64_t>(undone));
+    });
+  }
   refresh_key(dst);
   // A null message can raise this LP's own promise; propagate downstream.
   if (is_null && config_.strategy == ConservativeStrategy::kNullMessage)
@@ -191,6 +245,9 @@ bool MachineEngine::maybe_crash(std::size_t wi) {
   if (!die) return false;
   crashed_[wi] = true;
   ++ckstats_.crashes;
+  VSIM_TRACE(if (trace_ != nullptr) {
+    trace_->instant(wi, "ckpt", "crash", w.clock);
+  });
   return true;
 }
 
@@ -229,11 +286,20 @@ bool MachineEngine::step(std::size_t wi) {
     // Process one event.
     MachineRouter router(*this);
     const bool optimistic = lps_[lp].mode() == SyncMode::kOptimistic;
+    const double exec_start = w.clock;
     const double cost = lps_[lp].process_next(router);
     w.clock += cost + (optimistic ? costs_.state_save : 0.0);
     w.stats.busy_cost += cost;
     ++w.stats.events;
     ++w.events_since_round;
+    metrics_.shard(wi).inc(obs::Metric::kEventsProcessed);
+    VSIM_TRACE(if (trace_ != nullptr) {
+      // Named by delta-cycle phase (lt mod 3); nested send/rollback records
+      // were emitted by the router while the event executed.
+      trace_->complete(wi, "execute", to_string(ts.phase()), exec_start,
+                       w.clock - exec_start, lp, "pt",
+                       static_cast<std::int64_t>(ts.pt));
+    });
     refresh_key(lp);
     if (ft_on_ && maybe_crash(wi)) return true;  // crash-stop: worker is gone
     if (config_.strategy == ConservativeStrategy::kNullMessage)
@@ -252,6 +318,7 @@ bool MachineEngine::step(std::size_t wi) {
 
 VirtualTime MachineEngine::sync_round() {
   ++gvt_rounds_;
+  metrics_.shard(0).inc(obs::Metric::kGvtRounds);
   if (ft_on_ && config_.checkpoint.period > 0) ++rounds_since_ckpt_;
 
   // Crash detection + recovery happen at round ENTRY, before the drain:
@@ -261,6 +328,16 @@ VirtualTime MachineEngine::sync_round() {
   // the declaration past the retry cap).
   if (ft_on_ && !detect_and_recover()) return safe_bound_;
   const bool crash_pending = ft_on_ && any_crashed();
+
+  // Per-worker round-entry clocks: each survivor gets a "gvt" span from here
+  // to the synchronised round clock (recorded after recovery so the spans
+  // stay disjoint from the "recovery" ones).
+  std::vector<double> gvt_entry;
+  VSIM_TRACE(if (trace_ != nullptr) {
+    gvt_entry.resize(workers_.size());
+    for (std::size_t wi = 0; wi < workers_.size(); ++wi)
+      gvt_entry[wi] = workers_[wi].clock;
+  });
 
   // Flush the network to quiescence.  One drain pass is NOT enough under a
   // lossy transport: a dropped packet only reappears when the reliable
@@ -306,6 +383,14 @@ VirtualTime MachineEngine::sync_round() {
     if (!(ft_on_ && worker_dead(wi))) workers_[wi].clock = round_clock;
     workers_[wi].events_since_round = 0;
   }
+  VSIM_TRACE(if (trace_ != nullptr) {
+    for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+      if (ft_on_ && worker_dead(wi)) continue;
+      trace_->complete(wi, "gvt", "gvt", gvt_entry[wi],
+                       round_clock - gvt_entry[wi], obs::kNoTraceLp, "round",
+                       static_cast<std::int64_t>(gvt_rounds_));
+    }
+  });
 
   // A dead worker's LPs are frozen at their crash-time keys, which keeps
   // the GVT (and hence every survivor-side commit) below the frontier the
@@ -343,6 +428,7 @@ VirtualTime MachineEngine::sync_round() {
       send_null_messages_for(id);
   }
   safe_bound_ = gvt;
+  metrics_.merge();  // every shard is quiescent inside the round
   return gvt;
 }
 
@@ -430,6 +516,10 @@ bool MachineEngine::recover() {
     if (worker_dead(w)) continue;
     const double after = base + costs_.restore_per_lp *
                                     static_cast<double>(workers_[w].owned.size());
+    VSIM_TRACE(if (trace_ != nullptr) {
+      trace_->complete(w, "ckpt", "recovery", workers_[w].clock,
+                       after - workers_[w].clock);
+    });
     ckstats_.overhead_cost += after - workers_[w].clock;
     workers_[w].clock = after;
   }
@@ -455,6 +545,9 @@ void MachineEngine::take_checkpoint(VirtualTime gvt) {
     if (worker_dead(w)) continue;
     const double c = costs_.checkpoint_per_lp *
                      static_cast<double>(workers_[w].owned.size());
+    VSIM_TRACE(if (trace_ != nullptr && c > 0) {
+      trace_->complete(w, "ckpt", "checkpoint", workers_[w].clock, c);
+    });
     workers_[w].clock += c;
     ckstats_.overhead_cost += c;
   }
@@ -584,6 +677,9 @@ RunStats MachineEngine::run() {
   out.checkpoint = ckstats_;
   out.checkpoint.disk_bytes = store_.disk_bytes();
   out.recovery_error = recovery_error_;
+  absorb_run_stats(metrics_, out);
+  metrics_.merge();
+  out.metrics = metrics_.merged();
   return out;
 }
 

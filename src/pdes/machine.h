@@ -22,6 +22,8 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pdes/adaptive.h"
 #include "pdes/checkpoint.h"
 #include "pdes/config.h"
@@ -140,6 +142,12 @@ class MachineEngine {
   bool deadlocked_ = false;
   bool transport_failed_ = false;
   std::size_t current_worker_ = 0;
+
+  // Observability: one metrics shard per modelled worker, merged at GVT
+  // rounds; optional trace session (config-provided or $VSIM_TRACE global).
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::TraceSession> trace_own_;  ///< env-created sessions
+  obs::TraceSession* trace_ = nullptr;
 
   // Fault tolerance (checkpoint/restart + crash-stop injection).
   bool ft_on_ = false;  ///< checkpointing or crash schedules enabled

@@ -44,6 +44,21 @@ SequentialEngine::Result SequentialEngine::run(PhysTime until) {
   result.stats.per_lp.resize(graph_.size());
   for (const Event& ev : graph_.initial_events()) queue_.insert(ev);
 
+  VSIM_TRACE({
+    if (trace_ == nullptr) {
+      if (obs::Tracer* t = obs::Tracer::from_env()) {
+        trace_own_ = t->session("sequential", 1);
+        trace_ = trace_own_.get();
+      }
+    }
+    if (trace_ != nullptr) {
+      trace_->set_track_name(0, "event loop");
+      trace_->set_default_lp_labels(
+          [this](std::uint32_t id) { return graph_.lp(id).name(); });
+    }
+  });
+
+  obs::MetricsShard& shard = metrics_.shard(0);
   while (!queue_.empty()) {
     Event ev = *queue_.begin();
     if (ev.ts.pt > until) break;
@@ -51,14 +66,24 @@ SequentialEngine::Result SequentialEngine::run(PhysTime until) {
 
     LogicalProcess& lp = graph_.lp(ev.dst);
     SeqContext ctx(queue_, ev.ts, ev.dst, seq_);
-    result.total_cost += lp.event_cost(ev);
+    const double cost = lp.event_cost(ev);
+    VSIM_TRACE(if (trace_ != nullptr) {
+      trace_->complete(0, "execute", to_string(ev.ts.phase()),
+                       result.total_cost, cost, ev.dst, "pt",
+                       static_cast<std::int64_t>(ev.ts.pt));
+    });
+    result.total_cost += cost;
     lp.simulate(ev, ctx);
 
     auto& s = result.stats.per_lp[ev.dst];
     ++s.events_processed;
     ++s.events_committed;
+    shard.inc(obs::Metric::kEventsProcessed);
     if (hook_) hook_(ev);
   }
+  absorb_run_stats(metrics_, result.stats);
+  metrics_.merge();
+  result.stats.metrics = metrics_.merged();
   return result;
 }
 

@@ -8,8 +8,11 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pdes/config.h"
 #include "pdes/graph.h"
 #include "pdes/stats.h"
@@ -25,6 +28,11 @@ class SequentialEngine {
   /// Registers a hook invoked once per processed event, in global timestamp
   /// order (ties broken deterministically by send uid).
   void set_commit_hook(CommitHook hook) { hook_ = std::move(hook); }
+
+  /// Attaches an event-trace session (single track; timestamps are the
+  /// accumulated event cost, the same work units the machine model charges).
+  /// Without one, $VSIM_TRACE activates the process-global tracer.
+  void set_trace(obs::TraceSession* trace) { trace_ = trace; }
 
   /// Injects an initial event (e.g. from a stimulus builder) before run().
   void post(Event ev);
@@ -43,6 +51,9 @@ class SequentialEngine {
   CommitHook hook_;
   std::set<Event, EventOrder> queue_;
   EventUid seq_ = 0;
+  obs::MetricsRegistry metrics_;  ///< single shard: one "worker"
+  std::unique_ptr<obs::TraceSession> trace_own_;
+  obs::TraceSession* trace_ = nullptr;
 };
 
 }  // namespace vsim::pdes

@@ -1,4 +1,11 @@
 // Per-LP, per-worker and global statistics collected by all engines.
+//
+// The authoritative cross-run aggregation lives in obs/metrics.h: engines
+// feed a sharded MetricsRegistry during the run and fold these structs into
+// it at termination (absorb_run_stats), so RunStats::metrics carries every
+// counter under its schema name (`tw.rollbacks`, `net.null_messages`, ...).
+// The total_*() helpers below remain as cheap conveniences over the raw
+// per-LP/per-worker vectors.
 #pragma once
 
 #include <cstdint>
@@ -6,35 +13,75 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "pdes/checkpoint.h"
 #include "pdes/transport.h"
 
 namespace vsim::pdes {
 
+/// Counters kept by one LpRuntime.  Metrics schema: summed over LPs these
+/// become the `tw.*` / `engine.*` counters noted per field.
 struct LpStats {
-  std::uint64_t events_processed = 0;  ///< includes re-executions
+  /// Events executed, including rolled-back work that was re-executed
+  /// (metrics: `engine.events_processed`).
+  std::uint64_t events_processed = 0;
+  /// Events at or below the final GVT, i.e. definitely part of the committed
+  /// trajectory (metrics: `engine.events_committed`).
   std::uint64_t events_committed = 0;
+  /// Rollback episodes triggered by stragglers or anti-messages
+  /// (metrics: `tw.rollbacks`).
   std::uint64_t rollbacks = 0;
+  /// Speculative events undone across all rollbacks (metrics:
+  /// `tw.events_undone`; per-episode distribution: `tw.rollback_depth`).
   std::uint64_t events_undone = 0;
+  /// Anti-messages emitted by aggressive or settled-lazy cancellation
+  /// (metrics: `tw.anti_messages`).
   std::uint64_t anti_messages_sent = 0;
+  /// Positive/anti pairs that met and annihilated in a pending queue
+  /// (metrics: `tw.annihilations`).
   std::uint64_t annihilations = 0;
-  std::uint64_t lazy_reuses = 0;   ///< re-sends suppressed by lazy matching
-  std::uint64_t lazy_cancels = 0;  ///< lazy entries settled as anti-messages
+  /// Re-sends suppressed by lazy cancellation's identical-message match
+  /// (metrics: `tw.lazy_reuses`).
+  std::uint64_t lazy_reuses = 0;
+  /// Lazy entries that re-execution failed to regenerate, settled as
+  /// anti-messages (metrics: `tw.lazy_cancels`).
+  std::uint64_t lazy_cancels = 0;
+  /// State snapshots taken before optimistic event execution
+  /// (metrics: `tw.state_saves`).
   std::uint64_t state_saves = 0;
-  std::size_t max_history = 0;   ///< peak saved-history length (memory proxy)
+  /// Peak saved-history length of THIS LP (memory proxy).  Aggregations:
+  /// max over LPs = `tw.peak_history` (RunStats::peak_history()), sum over
+  /// LPs = `tw.total_history` (RunStats::total_history()).
+  std::size_t max_history = 0;
+  /// Conservative<->optimistic transitions by the dynamic configuration
+  /// (metrics: `tw.mode_switches`).
   std::uint64_t mode_switches = 0;
-  std::uint64_t blocked_polls = 0;  ///< times the LP had work but it was unsafe
+  /// Times the LP had pending work that was not yet provably safe
+  /// (metrics: `engine.blocked_polls`).
+  std::uint64_t blocked_polls = 0;
   /// Speculative events undone by checkpoint capture (rollback-all-deferred);
-  /// kept separate from `rollbacks` so adaptation stats stay meaningful.
+  /// kept separate from `rollbacks` so adaptation stats stay meaningful
+  /// (metrics: `ckpt.events_undone`).
   std::uint64_t checkpoint_undone = 0;
 };
 
+/// Counters kept by one engine worker (a modelled machine or an OS thread).
 struct WorkerStats {
-  double busy_cost = 0.0;      ///< accumulated useful + wasted work units
-  double final_clock = 0.0;    ///< machine model: worker's final virtual clock
+  /// Accumulated useful + wasted work units charged to this worker.
+  double busy_cost = 0.0;
+  /// Machine model: the worker's final virtual clock (max over workers is
+  /// the run's makespan, metrics gauge `engine.makespan`).
+  double final_clock = 0.0;
+  /// Events this worker processed, including re-executions
+  /// (sharded live into metrics `engine.events_processed`).
   std::uint64_t events = 0;
+  /// Data events routed to an LP on another worker, anti-messages included,
+  /// null messages excluded (metrics: `net.messages_remote`).
   std::uint64_t messages_sent_remote = 0;
+  /// Data events routed within this worker (metrics: `net.messages_local`).
   std::uint64_t messages_sent_local = 0;
+  /// Chandy-Misra-Bryant null messages emitted by this worker's LPs
+  /// (metrics: `net.null_messages`).
   std::uint64_t null_messages = 0;
 };
 
@@ -76,6 +123,9 @@ struct RunStats {
   std::optional<RecoveryError> recovery_error;
   /// Set when the configuration failed validation; the run never started.
   std::optional<ConfigError> config_error;
+  /// Merged metrics snapshot (obs/metrics.h), taken after the engine folded
+  /// this struct's totals in.  Empty (all zeros) for hand-built RunStats.
+  obs::MetricsSnapshot metrics;
 
   [[nodiscard]] std::uint64_t total_events() const {
     std::uint64_t n = 0;
@@ -97,11 +147,30 @@ struct RunStats {
     for (const auto& s : per_worker) n += s.null_messages;
     return n;
   }
+  /// Largest saved-history length reached by ANY single LP.  (Historically
+  /// this summed the per-LP maxima; that aggregate lives on as
+  /// total_history().)
   [[nodiscard]] std::size_t peak_history() const {
+    std::size_t n = 0;
+    for (const auto& s : per_lp)
+      if (s.max_history > n) n = s.max_history;
+    return n;
+  }
+  /// Sum of the per-LP peak history lengths: an upper bound on the run's
+  /// aggregate saved-state footprint (the memory-pressure proxy plotted by
+  /// the fig6/ablation benches).
+  [[nodiscard]] std::size_t total_history() const {
     std::size_t n = 0;
     for (const auto& s : per_lp) n += s.max_history;
     return n;
   }
 };
+
+/// Folds this RunStats' totals (per-LP counters, transport, checkpoint,
+/// history gauges) into shard 0 of `reg`.  Engines call it exactly once at
+/// termination, before the final merge; the shard-native counters
+/// (events processed, messages, GVT rounds, rollback-depth samples) are NOT
+/// re-added here.
+void absorb_run_stats(obs::MetricsRegistry& reg, const RunStats& st);
 
 }  // namespace vsim::pdes

@@ -71,10 +71,23 @@ class ThreadedEngine::ThreadedRouter final : public Router {
     Worker& from = *eng_.workers_[wi_];
     if (owner == wi_) {
       ++from.stats.messages_sent_local;
+      eng_.metrics_.shard(wi_).inc(obs::Metric::kMessagesLocal);
       eng_.deliver(wi_, std::move(ev));
     } else {
-      if (ev.kind == kNullMsgKind) ++from.stats.null_messages;
-      else ++from.stats.messages_sent_remote;
+      const bool is_null = ev.kind == kNullMsgKind;
+      if (is_null) {
+        ++from.stats.null_messages;
+        eng_.metrics_.shard(wi_).inc(obs::Metric::kNullMessages);
+      } else {
+        ++from.stats.messages_sent_remote;
+        eng_.metrics_.shard(wi_).inc(obs::Metric::kMessagesRemote);
+      }
+      VSIM_TRACE(if (eng_.trace_ != nullptr && !is_null) {
+        const double t = eng_.tnow();
+        eng_.trace_->instant(wi_, "net",
+                             ev.negative ? "send-anti" : "send", t, ev.src);
+        eng_.trace_->flow_out(wi_, trace_flow_id(ev), t);
+      });
       eng_.net_->send(static_cast<std::uint32_t>(wi_), owner, std::move(ev),
                       eng_.now(wi_));
     }
@@ -132,6 +145,11 @@ ThreadedEngine::ThreadedEngine(LpGraph& graph, Partition partition,
                                         config_.transport);
   if (faulty_) net_->attach_faulty(faulty_.get());
   net_->set_deliver([this](std::uint32_t w, Event&& ev) {
+    VSIM_TRACE(if (trace_ != nullptr && ev.kind != kNullMsgKind) {
+      const double t = tnow();
+      trace_->instant(w, "net", ev.negative ? "recv-anti" : "recv", t, ev.dst);
+      trace_->flow_in(w, trace_flow_id(ev), t);
+    });
     deliver(w, std::move(ev));
   });
 
@@ -153,6 +171,21 @@ ThreadedEngine::ThreadedEngine(LpGraph& graph, Partition partition,
     store_ = CheckpointStore(config_.checkpoint.keep,
                              config_.checkpoint.spill_dir);
   }
+
+  metrics_ = obs::MetricsRegistry(config_.num_workers);
+  VSIM_TRACE({
+    trace_ = config_.trace;
+    if (trace_ == nullptr) {
+      if (obs::Tracer* t = obs::Tracer::from_env()) {
+        trace_own_ = t->session("threaded", config_.num_workers);
+        trace_ = trace_own_.get();
+      }
+    }
+    if (trace_ != nullptr) {
+      trace_->set_default_lp_labels(
+          [this](std::uint32_t id) { return graph_.lp(id).name(); });
+    }
+  });
 }
 
 ThreadedEngine::~ThreadedEngine() = default;
@@ -170,8 +203,22 @@ void ThreadedEngine::deliver(std::size_t wi, Event ev) {
   const LpId dst = ev.dst;
   assert(partition_[dst] == wi);
   const bool is_null = ev.kind == kNullMsgKind;
+  // Rollback detection via counter deltas around enqueue() (the only entry
+  // point that can trigger one); dst is owned by wi, so the reads are
+  // single-threaded.
+  const std::uint64_t rb0 = lps_[dst].stats().rollbacks;
+  const std::uint64_t un0 = lps_[dst].stats().events_undone;
   ThreadedRouter router(*this, wi);
   lps_[dst].enqueue(std::move(ev), router);
+  if (lps_[dst].stats().rollbacks != rb0) {
+    const std::uint64_t undone = lps_[dst].stats().events_undone - un0;
+    metrics_.shard(wi).observe(obs::Hist::kRollbackDepth,
+                               static_cast<double>(undone));
+    VSIM_TRACE(if (trace_ != nullptr) {
+      trace_->instant(wi, "tw", "rollback", tnow(), dst, "undone",
+                      static_cast<std::int64_t>(undone));
+    });
+  }
   refresh_key(wi, dst);
   if (is_null && config_.strategy == ConservativeStrategy::kNullMessage)
     send_null_messages_for(wi, dst);
@@ -219,10 +266,18 @@ bool ThreadedEngine::try_process_one(std::size_t wi) {
     }
     if (e == Eligibility::kIdle) continue;
     ThreadedRouter router(*this, wi);
+    double exec_start = 0.0;
+    VSIM_TRACE(if (trace_ != nullptr) exec_start = tnow());
     const double cost = lps_[lp].process_next(router);
     w.stats.busy_cost += cost;
     ++w.stats.events;
     ++w.events_since_round;
+    metrics_.shard(wi).inc(obs::Metric::kEventsProcessed);
+    VSIM_TRACE(if (trace_ != nullptr) {
+      trace_->complete(wi, "execute", to_string(ts.phase()), exec_start,
+                       tnow() - exec_start, lp, "pt",
+                       static_cast<std::int64_t>(ts.pt));
+    });
     refresh_key(wi, lp);
     if (config_.strategy == ConservativeStrategy::kNullMessage)
       send_null_messages_for(wi, lp);
@@ -245,6 +300,9 @@ void ThreadedEngine::worker_main(std::size_t wi) {
         // Crash-stop: raise the flag first (it must be visible to whoever
         // our leave() releases from a barrier), then withdraw and vanish.
         // No final fossil collection: this worker's state is lost.
+        VSIM_TRACE(if (trace_ != nullptr) {
+          trace_->instant(wi, "ckpt", "crash", tnow());
+        });
         crashed_[wi].store(true, std::memory_order_release);
         crash_count_.fetch_add(1, std::memory_order_relaxed);
         round_requested_.store(true, std::memory_order_release);
@@ -265,6 +323,8 @@ void ThreadedEngine::worker_main(std::size_t wi) {
 
     // ---- Synchronisation round ----
     idle_spins = 0;
+    double round_start = 0.0;
+    VSIM_TRACE(if (trace_ != nullptr) round_start = tnow());
     barrier_->arrive_and_wait();  // everyone stops sending new work
     // The participant set and the crash flags are frozen from here to the
     // end of the round: crashes happen only in the work phase, and a worker
@@ -308,10 +368,18 @@ void ThreadedEngine::worker_main(std::size_t wi) {
     barrier_->arrive_and_wait();
     if (wi == coord) {
       ++gvt_rounds_;
+      metrics_.shard(wi).inc(obs::Metric::kGvtRounds);
       if (crash_pending) {
+        double rec_start = 0.0;
+        VSIM_TRACE(if (trace_ != nullptr) rec_start = tnow());
+        const std::uint32_t rec0 = recoveries_;
         if (coordinator_recover())
           round_requested_.store(false, std::memory_order_release);
         // on failure coordinator_recover() already set done_
+        VSIM_TRACE(if (trace_ != nullptr && recoveries_ != rec0) {
+          trace_->complete(wi, "ckpt", "recovery", rec_start,
+                           tnow() - rec_start);
+        });
       } else {
         const VirtualTime gvt = gvt_candidate_;
         gvt_candidate_ = kTimeInf;
@@ -351,11 +419,20 @@ void ThreadedEngine::worker_main(std::size_t wi) {
               gvt > last_ckpt_gvt_) {
             rounds_since_ckpt_ = 0;
             last_ckpt_gvt_ = gvt;
+            double ck_start = 0.0;
+            VSIM_TRACE(if (trace_ != nullptr) ck_start = tnow());
             coordinator_checkpoint(wi, gvt);
+            VSIM_TRACE(if (trace_ != nullptr) {
+              trace_->complete(wi, "ckpt", "checkpoint", ck_start,
+                               tnow() - ck_start);
+            });
           }
           round_requested_.store(false, std::memory_order_release);
         }
       }
+      // Safe merge point: every other worker is parked at the barrier below,
+      // so no shard is being written.
+      metrics_.merge();
     }
     barrier_->arrive_and_wait();
     if (!crash_pending) {
@@ -374,6 +451,9 @@ void ThreadedEngine::worker_main(std::size_t wi) {
     }
     w.events_since_round = 0;
     barrier_->arrive_and_wait();
+    VSIM_TRACE(if (trace_ != nullptr) {
+      trace_->complete(wi, "gvt", "gvt", round_start, tnow() - round_start);
+    });
   }
 
   // Final commit of any remaining history.  A failed run must not commit
@@ -540,6 +620,7 @@ RunStats ThreadedEngine::run() {
     ++ckstats_.checkpoints;
   }
 
+  trace_epoch_ = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   threads.reserve(config_.num_workers);
   for (std::size_t wi = 0; wi < config_.num_workers; ++wi)
@@ -586,6 +667,9 @@ RunStats ThreadedEngine::run() {
   // Buffered commits are flushed even on a failed run: everything in the
   // buffers was validated by a GVT round, only never released.
   flush_commits();
+  absorb_run_stats(metrics_, out);
+  metrics_.merge();
+  out.metrics = metrics_.merged();
   return out;
 }
 

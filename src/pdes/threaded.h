@@ -12,12 +12,15 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pdes/adaptive.h"
 #include "pdes/config.h"
 #include "pdes/graph.h"
@@ -68,6 +71,13 @@ class ThreadedEngine {
   [[nodiscard]] double now(std::size_t wi) const {
     return static_cast<double>(workers_[wi]->ops);
   }
+  /// Wall-clock microseconds since run() started; the threaded engine's
+  /// trace timestamps (real time, unlike the machine model's work units).
+  [[nodiscard]] double tnow() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - trace_epoch_)
+        .count();
+  }
   [[nodiscard]] DeadlockReport build_deadlock_report(VirtualTime gvt);
   /// True while worker `w` is crashed or permanently retired.
   [[nodiscard]] bool worker_dead(std::size_t w) const {
@@ -113,6 +123,14 @@ class ThreadedEngine {
   bool deadlocked_ = false;
   bool transport_failed_ = false;
   std::optional<DeadlockReport> deadlock_report_;
+
+  // Observability: one metrics shard per worker thread (single-writer;
+  // merged by the round coordinator while everyone else is parked), plus an
+  // optional trace session with one track per thread.
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::TraceSession> trace_own_;
+  obs::TraceSession* trace_ = nullptr;
+  std::chrono::steady_clock::time_point trace_epoch_;
 
   // Fault tolerance (checkpoint/restart + crash-stop injection).  Threads
   // cannot be respawned, so the kRestart policy degrades to redistribution.

@@ -78,6 +78,10 @@ struct FaultLinkCheckpoint {
 
 /// What actually happened on the wire during a run.  A chaos run must show
 /// nonzero drops/retransmits here, otherwise the fault plan never bit.
+///
+/// Every field is exported 1:1 as a `transport.<field>` counter in the
+/// metrics registry (obs/metrics.h) and therefore appears in RunStats::
+/// metrics and in the BENCH_*.json reports; see DESIGN.md "Observability".
 struct TransportCounters {
   std::uint64_t data_sent = 0;       ///< first transmissions of data packets
   std::uint64_t acks_sent = 0;       ///< ack packets emitted (incl. re-acks)

@@ -73,4 +73,17 @@ void Design::finalize() {
     graph_.post_initial(p->id(), kTimeZero, kInit);
 }
 
+void Design::annotate_trace(obs::TraceSession& session) const {
+  // Label table by LP id; resolved lazily at session flush.
+  std::unordered_map<std::uint32_t, std::string> labels;
+  for (const SignalLp* s : signals_) labels.emplace(s->id(), "sig " + s->name());
+  for (const ProcessLp* p : processes_)
+    labels.emplace(p->id(), "proc " + p->name());
+  session.set_default_lp_labels(
+      [labels = std::move(labels)](std::uint32_t id) -> std::string {
+        auto it = labels.find(id);
+        return it != labels.end() ? it->second : "lp " + std::to_string(id);
+      });
+}
+
 }  // namespace vsim::vhdl

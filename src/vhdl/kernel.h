@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.h"
 #include "pdes/graph.h"
 #include "vhdl/process_lp.h"
 #include "vhdl/signal_lp.h"
@@ -67,6 +68,14 @@ class Design {
   /// Posts initial events and channel topology.  Call exactly once, after
   /// all wiring and before handing the graph to an engine.
   void finalize();
+
+  /// Installs VHDL-aware LP labels on a trace session: signal LPs render as
+  /// "sig <name>", process LPs as "proc <name>", so a timeline of the
+  /// delta-cycle phase spans (execute: assign/driving/effective, named from
+  /// lt mod 3) reads in design terms.  Pass the session to the engine via
+  /// RunConfig::trace; an engine-installed default never overrides these.
+  /// The session must be flushed (destroyed) while this Design is alive.
+  void annotate_trace(obs::TraceSession& session) const;
 
  private:
   pdes::LpGraph& graph_;

@@ -1,0 +1,384 @@
+// Observability layer tests: JSON round-trips, the sharded metrics
+// registry, the peak/total history fix, the bench report sink, and a golden
+// test over a real machine-engine trace (well-formed Chrome events, strict
+// per-track span nesting, flow arrows matched to remote message counts).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "bench/report.h"
+#include "circuits/fsm.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "partition/partition.h"
+#include "pdes/machine.h"
+
+namespace vsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// obs::Json
+
+TEST(Json, DumpPrimitives) {
+  using obs::Json;
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-3.5).dump(), "-3.5");
+  EXPECT_EQ(Json("a\"b\n").dump(), "\"a\\\"b\\n\"");
+}
+
+TEST(Json, RoundTripNested) {
+  obs::JsonObject o;
+  o.emplace_back("name", "fsm");
+  o.emplace_back("speedup", 3.25);
+  o.emplace_back("rows", obs::JsonArray{1, 2, 3});
+  obs::JsonObject inner;
+  inner.emplace_back("tw.rollbacks", std::uint64_t{7});
+  o.emplace_back("metrics", inner);
+  const obs::Json doc(o);
+
+  const auto parsed = obs::Json::parse(doc.dump(2));
+  ASSERT_TRUE(parsed.has_value());
+  const obs::Json& back = *parsed;
+  ASSERT_TRUE(back.is_object());
+  EXPECT_EQ(back.find("name")->as_string(), "fsm");
+  EXPECT_DOUBLE_EQ(back.find("speedup")->as_number(), 3.25);
+  EXPECT_EQ(back.find("rows")->as_array().size(), 3u);
+  EXPECT_EQ(back.find("metrics")->find("tw.rollbacks")->as_number(), 7.0);
+  // Insertion order survives the round trip (reports stay diff-able).
+  EXPECT_EQ(back.as_object()[0].first, "name");
+  EXPECT_EQ(back.as_object()[3].first, "metrics");
+}
+
+TEST(Json, ParseRejectsGarbage) {
+  EXPECT_FALSE(obs::Json::parse("{").has_value());
+  EXPECT_FALSE(obs::Json::parse("[1,]").has_value());
+  EXPECT_FALSE(obs::Json::parse("42 tail").has_value());
+  EXPECT_FALSE(obs::Json::parse("\"unterminated").has_value());
+}
+
+TEST(Json, ParseUnicodeEscapes) {
+  const auto v = obs::Json::parse("\"a\\u00e9\\n\"");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "a\xc3\xa9\n");
+}
+
+// ---------------------------------------------------------------------------
+// obs::MetricsRegistry
+
+TEST(Metrics, ShardsSumGaugesMax) {
+  obs::MetricsRegistry reg(3);
+  reg.shard(0).inc(obs::Metric::kEventsProcessed, 10);
+  reg.shard(1).inc(obs::Metric::kEventsProcessed, 5);
+  reg.shard(2).inc(obs::Metric::kEventsProcessed);
+  reg.shard(0).gauge_max(obs::Gauge::kMakespan, 3.0);
+  reg.shard(1).gauge_max(obs::Gauge::kMakespan, 8.0);
+  reg.shard(1).gauge_max(obs::Gauge::kMakespan, 2.0);  // lower: ignored
+  reg.merge();
+  const obs::MetricsSnapshot& m = reg.merged();
+  EXPECT_EQ(m.counter(obs::Metric::kEventsProcessed), 16u);
+  EXPECT_DOUBLE_EQ(m.gauge(obs::Gauge::kMakespan), 8.0);
+  EXPECT_EQ(m.counter(obs::Metric::kRollbacks), 0u);
+}
+
+TEST(Metrics, MergeIsIdempotentRecompute) {
+  obs::MetricsRegistry reg(2);
+  reg.shard(0).inc(obs::Metric::kGvtRounds, 4);
+  reg.merge();
+  reg.merge();  // merge() recomputes totals; calling twice must not double
+  EXPECT_EQ(reg.merged().counter(obs::Metric::kGvtRounds), 4u);
+  reg.shard(1).inc(obs::Metric::kGvtRounds);
+  reg.merge();
+  EXPECT_EQ(reg.merged().counter(obs::Metric::kGvtRounds), 5u);
+}
+
+TEST(Metrics, HistogramBucketsAndMerge) {
+  obs::MetricsRegistry reg(2);
+  reg.shard(0).observe(obs::Hist::kRollbackDepth, 0);
+  reg.shard(0).observe(obs::Hist::kRollbackDepth, 1);
+  reg.shard(1).observe(obs::Hist::kRollbackDepth, 9);
+  reg.merge();
+  const obs::Histogram& h = reg.merged().histogram(obs::Hist::kRollbackDepth);
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_EQ(h.sum, 10u);
+  EXPECT_EQ(h.max, 9u);
+}
+
+TEST(Metrics, SnapshotToJsonUsesSchemaNames) {
+  obs::MetricsRegistry reg(1);
+  reg.shard(0).inc(obs::Metric::kNullMessages, 12);
+  reg.merge();
+  const obs::Json j = reg.merged().to_json();
+  ASSERT_TRUE(j.is_object());
+  EXPECT_EQ(j.find("net.null_messages")->as_number(), 12.0);
+  EXPECT_NE(j.find("tw.rollback_depth"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// RunStats history aggregation (the peak-vs-sum fix)
+
+TEST(RunStats, PeakHistoryIsMaxTotalHistoryIsSum) {
+  pdes::RunStats st;
+  st.per_lp.resize(3);
+  st.per_lp[0].max_history = 3;
+  st.per_lp[1].max_history = 7;
+  st.per_lp[2].max_history = 2;
+  EXPECT_EQ(st.peak_history(), 7u);   // historically returned 12
+  EXPECT_EQ(st.total_history(), 12u);
+}
+
+// ---------------------------------------------------------------------------
+// Machine-engine runs: trace golden test + metrics consistency
+
+struct Built {
+  std::unique_ptr<pdes::LpGraph> graph;
+  std::unique_ptr<vhdl::Design> design;
+};
+
+Built build_fsm(std::size_t lanes = 3) {
+  Built b;
+  b.graph = std::make_unique<pdes::LpGraph>();
+  b.design = std::make_unique<vhdl::Design>(*b.graph);
+  circuits::FsmParams p;
+  p.lanes = lanes;
+  p.width = 5;
+  circuits::build_fsm(*b.design, p);
+  b.design->finalize();
+  return b;
+}
+
+pdes::RunStats run_traced(obs::Tracer& tracer, pdes::RunConfig rc,
+                          std::size_t lanes = 3) {
+  Built b = build_fsm(lanes);
+  auto session = tracer.session("machine", rc.num_workers);
+  b.design->annotate_trace(*session);
+  rc.trace = session.get();
+  pdes::MachineEngine eng(
+      *b.graph, partition::round_robin(b.graph->size(), rc.num_workers), rc);
+  return eng.run();  // session flushes into tracer on destruction
+}
+
+struct Span {
+  double ts, dur;
+};
+
+TEST(Trace, GoldenMachineRun) {
+  obs::Tracer tracer("");  // in-memory
+  pdes::RunConfig rc;
+  rc.num_workers = 4;
+  rc.configuration = pdes::Configuration::kDynamic;
+  rc.until = 300;
+  const pdes::RunStats st = run_traced(tracer, rc);
+
+  const auto parsed = obs::Json::parse(tracer.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  const obs::Json& doc = *parsed;
+  ASSERT_TRUE(doc.is_object());
+  const obs::Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_FALSE(events->as_array().empty());
+
+  std::map<std::pair<int, int>, std::vector<Span>> spans;
+  std::set<std::string> flow_out_ids, flow_in_ids;
+  std::set<std::string> phase_names;
+  for (const obs::Json& e : events->as_array()) {
+    const std::string ph = e.find("ph")->as_string();
+    if (ph == "M") continue;
+    const int pid = static_cast<int>(e.find("pid")->as_number());
+    const int tid = static_cast<int>(e.find("tid")->as_number());
+    const double ts = e.find("ts")->as_number();
+    if (ph == "X") {
+      spans[{pid, tid}].push_back(Span{ts, e.find("dur")->as_number()});
+      if (std::string(e.find("cat")->as_string()) == "execute")
+        phase_names.insert(e.find("name")->as_string());
+    } else if (ph == "s") {
+      flow_out_ids.insert(e.find("id")->as_string());
+    } else if (ph == "f") {
+      flow_in_ids.insert(e.find("id")->as_string());
+      EXPECT_EQ(e.find("bp")->as_string(), "e");
+    } else {
+      EXPECT_EQ(ph, "i") << "unexpected event kind " << ph;
+    }
+    EXPECT_GE(ts, 0.0);
+  }
+
+  // Delta-cycle phases name the execute spans (lt mod 3).
+  for (const std::string& n : phase_names)
+    EXPECT_TRUE(n == "assign" || n == "driving" || n == "effective") << n;
+  EXPECT_FALSE(phase_names.empty());
+
+  // Spans on one track are strictly nested: sorted by (ts, -dur), every
+  // span either contains the next or ends before it starts (half-open).
+  // kEps absorbs float noise from re-summing ts+dur of adjacent spans;
+  // genuine overlaps are whole work units, orders of magnitude larger.
+  constexpr double kEps = 1e-6;
+  for (auto& [key, v] : spans) {
+    std::sort(v.begin(), v.end(), [](const Span& a, const Span& b) {
+      if (a.ts != b.ts) return a.ts < b.ts;
+      return a.dur > b.dur;
+    });
+    std::vector<Span> stack;
+    for (const Span& s : v) {
+      while (!stack.empty() &&
+             stack.back().ts + stack.back().dur <= s.ts + kEps)
+        stack.pop_back();
+      if (!stack.empty()) {
+        EXPECT_LE(s.ts + s.dur, stack.back().ts + stack.back().dur + kEps)
+            << "span [" << s.ts << "," << s.ts + s.dur
+            << ") overlaps enclosing span ending at "
+            << stack.back().ts + stack.back().dur << " on track "
+            << key.first << "/" << key.second;
+      }
+      stack.push_back(s);
+    }
+  }
+
+  // Every flow finish has a matching start, and (perfect wire, uids never
+  // reused) distinct flow starts == remote data messages sent.
+  for (const std::string& id : flow_in_ids)
+    EXPECT_TRUE(flow_out_ids.count(id)) << "unmatched flow finish " << id;
+  std::uint64_t remote = 0;
+  for (const auto& w : st.per_worker) remote += w.messages_sent_remote;
+  EXPECT_EQ(flow_out_ids.size(), remote);
+  EXPECT_EQ(flow_in_ids.size(), flow_out_ids.size());
+}
+
+TEST(Trace, LpLabelsFromDesignAppear) {
+  obs::Tracer tracer("");
+  pdes::RunConfig rc;
+  rc.num_workers = 2;
+  rc.until = 60;
+  run_traced(tracer, rc);
+  const std::string json = tracer.to_json();
+  EXPECT_NE(json.find("\"proc "), std::string::npos);
+  EXPECT_NE(json.find("\"sig "), std::string::npos);
+}
+
+TEST(Trace, EventBudgetIsGlobalAcrossSessions) {
+  obs::Tracer tracer("", /*event_budget=*/100);
+  pdes::RunConfig rc;
+  rc.num_workers = 2;
+  rc.until = 300;
+  run_traced(tracer, rc);
+  run_traced(tracer, rc);  // second session draws from what is left
+  const auto parsed = obs::Json::parse(tracer.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  const obs::Json& doc = *parsed;
+  std::size_t non_meta = 0;
+  for (const obs::Json& e : doc.find("traceEvents")->as_array())
+    if (e.find("ph")->as_string() != "M") ++non_meta;
+  EXPECT_LE(non_meta, 100u);
+}
+
+TEST(Metrics, RunStatsSnapshotMatchesLegacyTotals) {
+  obs::Tracer tracer("");
+  pdes::RunConfig rc;
+  rc.num_workers = 4;
+  rc.configuration = pdes::Configuration::kAllOptimistic;
+  rc.until = 300;
+  const pdes::RunStats st = run_traced(tracer, rc);
+  const obs::MetricsSnapshot& m = st.metrics;
+  EXPECT_EQ(m.counter(obs::Metric::kEventsCommitted), st.total_committed());
+  EXPECT_EQ(m.counter(obs::Metric::kRollbacks), st.total_rollbacks());
+  EXPECT_EQ(m.counter(obs::Metric::kGvtRounds), st.gvt_rounds);
+  EXPECT_EQ(m.counter(obs::Metric::kNullMessages), st.total_null_messages());
+  std::uint64_t remote = 0, local = 0, processed = 0;
+  for (const auto& w : st.per_worker) {
+    remote += w.messages_sent_remote;
+    local += w.messages_sent_local;
+  }
+  for (const auto& l : st.per_lp) processed += l.events_processed;
+  EXPECT_EQ(m.counter(obs::Metric::kMessagesRemote), remote);
+  EXPECT_EQ(m.counter(obs::Metric::kMessagesLocal), local);
+  EXPECT_EQ(m.counter(obs::Metric::kEventsProcessed), processed);
+  EXPECT_DOUBLE_EQ(m.gauge(obs::Gauge::kMakespan), st.makespan);
+  EXPECT_EQ(m.gauge(obs::Gauge::kPeakHistory),
+            static_cast<double>(st.peak_history()));
+  // Rollback episodes sampled into the depth histogram one-for-one.
+  std::uint64_t undone = 0;
+  for (const auto& l : st.per_lp) undone += l.events_undone;
+  EXPECT_EQ(m.histogram(obs::Hist::kRollbackDepth).count,
+            st.total_rollbacks());
+  EXPECT_EQ(m.histogram(obs::Hist::kRollbackDepth).sum, undone);
+}
+
+TEST(Metrics, ConsistentUnderCrashRecovery) {
+  // A crash/recovery schedule must not double-count: the snapshot's ckpt.*
+  // counters match the engine's CheckpointStats exactly.
+  Built b = build_fsm();
+  pdes::RunConfig rc;
+  rc.num_workers = 4;
+  rc.configuration = pdes::Configuration::kDynamic;
+  rc.until = 400;
+  rc.checkpoint.period = 2;
+  rc.checkpoint.max_recoveries = 1000;
+  rc.transport.faults.seed = 11;
+  rc.transport.faults.crash_rate = 0.001;
+  pdes::MachineEngine eng(
+      *b.graph, partition::round_robin(b.graph->size(), rc.num_workers), rc);
+  const pdes::RunStats st = eng.run();
+  ASSERT_GT(st.checkpoint.crashes, 0u) << "crash schedule never fired";
+  const obs::MetricsSnapshot& m = st.metrics;
+  EXPECT_EQ(m.counter(obs::Metric::kCrashes), st.checkpoint.crashes);
+  EXPECT_EQ(m.counter(obs::Metric::kRecoveries), st.checkpoint.recoveries);
+  EXPECT_EQ(m.counter(obs::Metric::kCheckpoints), st.checkpoint.checkpoints);
+  EXPECT_EQ(m.counter(obs::Metric::kLpsRestored),
+            st.checkpoint.lps_restored);
+  EXPECT_EQ(m.counter(obs::Metric::kRollbacks), st.total_rollbacks());
+  EXPECT_EQ(m.counter(obs::Metric::kGvtRounds), st.gvt_rounds);
+}
+
+// ---------------------------------------------------------------------------
+// bench::Report
+
+TEST(Report, WriteAndReadBack) {
+  const std::string dir = ::testing::TempDir();
+  ASSERT_EQ(setenv("VSIM_BENCH_DIR", dir.c_str(), 1), 0);
+
+  Built b = build_fsm();
+  pdes::RunConfig rc;
+  rc.num_workers = 2;
+  rc.until = 60;
+  pdes::MachineEngine eng(
+      *b.graph, partition::round_robin(b.graph->size(), rc.num_workers), rc);
+  const pdes::RunStats st = eng.run();
+
+  bench::Report rep("unittest");
+  rep.set_config("until", std::uint64_t{60});
+  rep.add_row("golden", 2, "dynamic", 1.5, st);
+  rep.add_micro("BM_Foo", 123.0, 120.0, 1000);
+  const std::string path = rep.write();
+  unsetenv("VSIM_BENCH_DIR");
+  ASSERT_FALSE(path.empty());
+  EXPECT_NE(path.find(dir), std::string::npos);
+
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const auto parsed = obs::Json::parse(ss.str());
+  ASSERT_TRUE(parsed.has_value());
+  const obs::Json& doc = *parsed;
+  EXPECT_EQ(doc.find("schema")->as_string(), "vsim.bench.report/v1");
+  EXPECT_EQ(doc.find("name")->as_string(), "unittest");
+  EXPECT_FALSE(doc.find("git_sha")->as_string().empty());
+  const auto& rows = doc.find("rows")->as_array();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].find("section")->as_string(), "golden");
+  EXPECT_EQ(rows[0].find("workers")->as_number(), 2.0);
+  const obs::Json* metrics = rows[0].find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->find("engine.gvt_rounds")->as_number(),
+            static_cast<double>(st.gvt_rounds));
+  EXPECT_EQ(doc.find("micro")->as_array().size(), 1u);
+}
+
+}  // namespace
+}  // namespace vsim
