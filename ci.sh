@@ -15,6 +15,13 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DVSIM_SANITIZE= \
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "==> Stress: 200-seed equivalence matrix vs the sequential oracle"
+# The default ctest entry above ran the fast smoke sweep; this is the full
+# determinism matrix (seeds x configurations x ordering modes) the hot-path
+# overhaul is gated on.
+VSIM_STRESS_SEEDS="${VSIM_STRESS_SEEDS:-200}" \
+  ctest --test-dir build -L stress --output-on-failure
+
 echo "==> Observability smoke: traced bench + report schema"
 # One bench in trace mode: the FSM figure is the cheapest full sweep.  The
 # run must produce both a Chrome-trace JSON and a valid BENCH_*.json; both
@@ -33,6 +40,14 @@ assert all("ph" in e and "pid" in e for e in events), "malformed event"
 print("OK %s (%d events)" % (sys.argv[1], len(events)))
 EOF
 
+echo "==> Perf gate: microbench report vs committed baseline"
+# The deterministic model_fsm speedup rows gate hard (>5% drop fails); the
+# wall-clock micro rows are warn-only at 25% because this host is shared.
+VSIM_BENCH_DIR="$ARTIFACTS" ./build/bench/bench_microbench \
+  --benchmark_min_time=0.1 > /dev/null
+python3 tools/bench_diff.py --validate "$ARTIFACTS/BENCH_microbench.json"
+python3 tools/bench_diff.py bench/baseline "$ARTIFACTS/BENCH_microbench.json"
+
 echo "==> AddressSanitizer build"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DVSIM_SANITIZE=address > /dev/null
@@ -46,5 +61,11 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build build-tsan -j "$JOBS"
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+# The batch-mailbox corner tests once more, by label: the suite above runs
+# them inside test_threaded, but the lock-light MPSC path is the piece TSan
+# exists to keep honest, so its gate stays visible even if the aggregate
+# binary is ever split.
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir build-tsan -L mailbox --output-on-failure
 
 echo "==> OK"

@@ -10,6 +10,7 @@ const char* metric_name(Metric m) {
     case Metric::kEventsCommitted: return "engine.events_committed";
     case Metric::kGvtRounds: return "engine.gvt_rounds";
     case Metric::kBlockedPolls: return "engine.blocked_polls";
+    case Metric::kQueueOps: return "engine.queue_ops";
     case Metric::kRollbacks: return "tw.rollbacks";
     case Metric::kEventsUndone: return "tw.events_undone";
     case Metric::kAntiMessages: return "tw.anti_messages";
@@ -21,6 +22,7 @@ const char* metric_name(Metric m) {
     case Metric::kMessagesLocal: return "net.messages_local";
     case Metric::kMessagesRemote: return "net.messages_remote";
     case Metric::kNullMessages: return "net.null_messages";
+    case Metric::kMailboxBatches: return "net.mailbox_batches";
     case Metric::kTransportDataSent: return "transport.data_sent";
     case Metric::kTransportAcksSent: return "transport.acks_sent";
     case Metric::kTransportDelivered: return "transport.delivered";
@@ -55,6 +57,7 @@ const char* gauge_name(Gauge g) {
 const char* hist_name(Hist h) {
   switch (h) {
     case Hist::kRollbackDepth: return "tw.rollback_depth";
+    case Hist::kBatchSize: return "net.batch_size";
     case Hist::kCount: break;
   }
   return "unknown";

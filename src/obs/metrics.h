@@ -32,6 +32,7 @@ enum class Metric : std::uint16_t {
   kEventsCommitted,   ///< engine.events_committed
   kGvtRounds,         ///< engine.gvt_rounds
   kBlockedPolls,      ///< engine.blocked_polls
+  kQueueOps,          ///< engine.queue_ops — pending-queue push/pop/annihilate
   // Time Warp protocol.
   kRollbacks,         ///< tw.rollbacks
   kEventsUndone,      ///< tw.events_undone
@@ -45,6 +46,7 @@ enum class Metric : std::uint16_t {
   kMessagesLocal,     ///< net.messages_local
   kMessagesRemote,    ///< net.messages_remote
   kNullMessages,      ///< net.null_messages
+  kMailboxBatches,    ///< net.mailbox_batches — batch flushes into inboxes
   // Transport stack (folded from TransportCounters at run end).
   kTransportDataSent,      ///< transport.data_sent
   kTransportAcksSent,      ///< transport.acks_sent
@@ -77,6 +79,7 @@ enum class Gauge : std::uint16_t {
 /// Histograms: power-of-two buckets, merged by bucket-wise addition.
 enum class Hist : std::uint16_t {
   kRollbackDepth,  ///< tw.rollback_depth — events undone per rollback
+  kBatchSize,      ///< net.batch_size — packets per flushed mailbox batch
   kCount
 };
 

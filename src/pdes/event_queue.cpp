@@ -1,0 +1,131 @@
+#include "pdes/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vsim::pdes {
+
+PendingQueue::Slot* PendingQueue::find_slot(EventUid uid, VirtualTime ts) {
+  auto it = index_.find(uid);
+  if (it == index_.end()) return nullptr;
+  for (Slot& s : it->second)
+    if (s.ts == ts) return &s;
+  return nullptr;
+}
+
+void PendingQueue::release_slot(EventUid uid, VirtualTime ts) {
+  auto it = index_.find(uid);
+  assert(it != index_.end());
+  auto& slots = it->second;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (!(slots[i].ts == ts)) continue;
+    if (slots[i].live == 0 && slots[i].dead == 0) {
+      slots[i] = slots.back();
+      slots.pop_back();
+      if (slots.empty()) index_.erase(it);
+    }
+    return;
+  }
+}
+
+bool PendingQueue::push(Event ev) {
+  ++ops_;
+  auto& slots = index_[ev.uid];
+  Slot* slot = nullptr;
+  for (Slot& s : slots)
+    if (s.ts == ev.ts) slot = &s;
+  if (slot != nullptr) {
+    // std::set semantics: an identical live (ts, uid) absorbs the duplicate.
+    if (slot->live > 0) return false;
+    ++slot->live;
+  } else {
+    slots.push_back(Slot{ev.ts, 1, 0});
+  }
+  ++live_total_;
+  heap_.push_back(std::move(ev));
+  std::push_heap(heap_.begin(), heap_.end(), MinOrder{});
+  return true;
+}
+
+bool PendingQueue::erase_uid(EventUid uid) {
+  auto it = index_.find(uid);
+  if (it == index_.end()) return false;
+  Slot* best = nullptr;
+  for (Slot& s : it->second)
+    if (s.live > 0 && (best == nullptr || s.ts < best->ts)) best = &s;
+  if (best == nullptr) return false;
+  ++ops_;
+  --best->live;
+  ++best->dead;
+  --live_total_;
+  prune_top();
+  return true;
+}
+
+void PendingQueue::prune_top() {
+  while (!heap_.empty()) {
+    const Event& t = heap_.front();
+    Slot* s = find_slot(t.uid, t.ts);
+    assert(s != nullptr && "heap entry without an index slot");
+    // Mixed live/dead copies of one (ts, uid) are content-identical
+    // (duplicates of the same send), so discarding dead-first is sound.
+    if (s->dead == 0) break;
+    std::pop_heap(heap_.begin(), heap_.end(), MinOrder{});
+    const EventUid uid = heap_.back().uid;
+    const VirtualTime ts = heap_.back().ts;
+    heap_.pop_back();
+    --s->dead;
+    release_slot(uid, ts);
+  }
+}
+
+Event PendingQueue::pop_top() {
+  assert(live_total_ > 0 && !heap_.empty());
+  ++ops_;
+  std::pop_heap(heap_.begin(), heap_.end(), MinOrder{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  Slot* s = find_slot(ev.uid, ev.ts);
+  assert(s != nullptr && s->live > 0 && "top must be live (prune invariant)");
+  --s->live;
+  --live_total_;
+  release_slot(ev.uid, ev.ts);
+  prune_top();
+  return ev;
+}
+
+std::vector<Event> PendingQueue::sorted_events() const {
+  std::vector<Event> all = heap_;
+  std::sort(all.begin(), all.end(),
+            [](const Event& a, const Event& b) { return EventOrder{}(a, b); });
+  std::vector<Event> out;
+  out.reserve(live_total_);
+  for (std::size_t i = 0; i < all.size();) {
+    std::size_t j = i;
+    while (j < all.size() && all[j].ts == all[i].ts &&
+           all[j].uid == all[i].uid)
+      ++j;
+    auto it = index_.find(all[i].uid);
+    std::uint32_t live = 0;
+    if (it != index_.end()) {
+      for (const Slot& s : it->second)
+        if (s.ts == all[i].ts) live = s.live;
+    }
+    for (std::uint32_t k = 0; k < live; ++k) out.push_back(all[i]);
+    i = j;
+  }
+  return out;
+}
+
+void PendingQueue::assign(const std::vector<Event>& evs) {
+  clear();
+  for (const Event& ev : evs) push(ev);
+}
+
+void PendingQueue::clear() {
+  heap_.clear();
+  index_.clear();
+  live_total_ = 0;
+}
+
+}  // namespace vsim::pdes

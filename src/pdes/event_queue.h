@@ -1,0 +1,98 @@
+// Hot-path pending-event queue: binary min-heap + lazy-deletion index.
+//
+// LpRuntime used to keep its pending set in an ordered std::set, paying a
+// red-black-tree rebalance per insert and a linear uid scan per anti-message
+// annihilation.  PendingQueue replaces it with the classic event-list
+// layout: a binary heap over EventOrder (ts, uid) for O(log n) push/pop with
+// contiguous-memory constants, plus a uid-keyed index so annihilation is an
+// O(1) *mark* -- the dead entry stays in the heap and is discarded when it
+// surfaces (lazy deletion).
+//
+// Invariants (see DESIGN.md "Hot-path data structures"):
+//  - the heap top is always a live entry: every operation that can kill the
+//    minimum (erase_uid, pop_top) prunes dead entries off the top before
+//    returning, so top()/min_ts() stay O(1) const reads;
+//  - std::set duplicate semantics are preserved: pushing an event whose
+//    (ts, uid) matches a live entry is absorbed (returns false) -- transport
+//    duplicates of a pending event must execute once;
+//  - erase_uid removes the minimal live entry with that uid, matching the
+//    old in-order scan when a uid appears at several timestamps (reserved
+//    initial-event uids);
+//  - sorted_events() yields exactly the live entries in EventOrder -- the
+//    same sequence the std::set iterated -- so the portable checkpoint codec
+//    (checkpoint.h) is bit-compatible with pre-heap snapshots.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "pdes/event.h"
+
+namespace vsim::pdes {
+
+class PendingQueue {
+ public:
+  /// Inserts a positive event.  Returns false (and drops the event) when a
+  /// live entry with the same (ts, uid) already exists.
+  bool push(Event ev);
+
+  /// Annihilation: lazily deletes the minimal live entry with `uid`.
+  /// Returns false when no live entry carries the uid.
+  bool erase_uid(EventUid uid);
+
+  /// Minimal live event.  Precondition: !empty().
+  [[nodiscard]] const Event& top() const { return heap_.front(); }
+
+  /// Removes and returns the minimal live event.  Precondition: !empty().
+  Event pop_top();
+
+  [[nodiscard]] bool empty() const { return live_total_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_total_; }
+  [[nodiscard]] VirtualTime min_ts() const {
+    return live_total_ == 0 ? kTimeInf : heap_.front().ts;
+  }
+
+  /// Live entries in EventOrder (the old std::set iteration order); used by
+  /// checkpoint capture, which requires a deterministic serialisation.
+  [[nodiscard]] std::vector<Event> sorted_events() const;
+
+  /// Replaces the contents with `evs` (checkpoint restore).
+  void assign(const std::vector<Event>& evs);
+
+  void clear();
+
+  /// Total queue operations (push + pop + erase) since construction; feeds
+  /// the `engine.queue_ops` metric.  Monotonic across clear()/assign().
+  [[nodiscard]] std::uint64_t ops() const { return ops_; }
+
+ private:
+  /// Per-(uid, ts) occupancy: `live` entries count toward size(), `dead`
+  /// entries are annihilated but still physically in the heap.
+  struct Slot {
+    VirtualTime ts;
+    std::uint32_t live = 0;
+    std::uint32_t dead = 0;
+  };
+  /// std::push_heap builds a max-heap; invert EventOrder for a min-heap.
+  struct MinOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      return EventOrder{}(b, a);
+    }
+  };
+
+  /// Discards dead entries from the heap top until the minimum is live (or
+  /// the heap is empty).  Restores the "top is live" invariant.
+  void prune_top();
+  [[nodiscard]] Slot* find_slot(EventUid uid, VirtualTime ts);
+  void release_slot(EventUid uid, VirtualTime ts);
+
+  std::vector<Event> heap_;
+  /// uid -> slots; the per-uid vector is almost always length 1 (a uid maps
+  /// to one send), so linear scans inside it are constant-time in practice.
+  std::unordered_map<EventUid, std::vector<Slot>> index_;
+  std::size_t live_total_ = 0;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace vsim::pdes

@@ -73,15 +73,15 @@ void LpRuntime::enqueue(Event ev, Router& router) {
   }
 
   if (ev.negative) {
-    // 1. Matching positive still pending: annihilate both.  Any undecided
-    // sends it generated in a previous execution can never be regenerated.
-    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
-      if (it->uid == ev.uid) {
-        pending_.erase(it);
-        ++stats_.annihilations;
-        settle_lazy(ev.uid, router);
-        return;
-      }
+    // 1. Matching positive still pending: annihilate both -- an O(1) lazy
+    // deletion in the uid index (the old std::set paid a linear scan here).
+    // Any undecided sends it generated in a previous execution can never be
+    // regenerated.
+    if (pending_.erase_uid(ev.uid)) {
+      ++stats_.annihilations;
+      stats_.queue_ops = pending_.ops();
+      settle_lazy(ev.uid, router);
+      return;
     }
     // 2. Matching positive already processed: roll back past it.  The
     // history only ever holds events processed *optimistically*, so this
@@ -90,13 +90,9 @@ void LpRuntime::enqueue(Event ev, Router& router) {
       if (history_[i].ev.uid == ev.uid) {
         rollback_to_position(i, router);
         // The cancelled event was re-pended by the rollback; remove it.
-        for (auto it = pending_.begin(); it != pending_.end(); ++it) {
-          if (it->uid == ev.uid) {
-            pending_.erase(it);
-            break;
-          }
-        }
+        pending_.erase_uid(ev.uid);
         ++stats_.annihilations;
+        stats_.queue_ops = pending_.ops();
         settle_lazy(ev.uid, router);
         return;
       }
@@ -126,12 +122,11 @@ void LpRuntime::enqueue(Event ev, Router& router) {
   }
   // GVT monotonicity guarantees no arrival below the committed frontier.
   assert(!(ev.ts < committed_ts_));
-  pending_.insert(std::move(ev));
+  pending_.push(std::move(ev));
+  stats_.queue_ops = pending_.ops();
 }
 
-VirtualTime LpRuntime::next_ts() const {
-  return pending_.empty() ? kTimeInf : pending_.begin()->ts;
-}
+VirtualTime LpRuntime::next_ts() const { return pending_.min_ts(); }
 
 VirtualTime LpRuntime::min_channel_clock() const {
   VirtualTime m = kTimeInf;
@@ -142,7 +137,7 @@ VirtualTime LpRuntime::min_channel_clock() const {
 Eligibility LpRuntime::peek(VirtualTime global_safe_bound,
                             PhysTime until) const {
   if (pending_.empty()) return Eligibility::kIdle;
-  const VirtualTime ts = pending_.begin()->ts;
+  const VirtualTime ts = pending_.top().ts;
   if (ts.pt > until) return Eligibility::kIdle;
 
   if (mode_ == SyncMode::kOptimistic) {
@@ -172,8 +167,8 @@ Eligibility LpRuntime::peek(VirtualTime global_safe_bound,
 
 double LpRuntime::process_next(Router& router) {
   assert(!pending_.empty());
-  Event ev = *pending_.begin();
-  pending_.erase(pending_.begin());
+  Event ev = pending_.pop_top();
+  stats_.queue_ops = pending_.ops();
 
   CollectContext ctx(*this, ev.ts);
   const double cost = lp_->event_cost(ev);
@@ -245,8 +240,9 @@ void LpRuntime::rollback_to_position(std::size_t pos, Router& router) {
       }
     }
     ++stats_.events_undone;
-    pending_.insert(std::move(rec.ev));
+    pending_.push(std::move(rec.ev));
   }
+  stats_.queue_ops = pending_.ops();
   lp_->restore_state(*history_[pos].pre_state);
   history_.erase(history_.begin() + static_cast<std::ptrdiff_t>(pos),
                  history_.end());
@@ -317,8 +313,9 @@ std::size_t LpRuntime::rollback_all_deferred() {
     Processed& rec = history_[j];
     for (SentRecord& sr : rec.sends)
       lazy_queue_.push_back({rec.ev.uid, std::move(sr.ev)});
-    pending_.insert(std::move(rec.ev));
+    pending_.push(std::move(rec.ev));
   }
+  stats_.queue_ops = pending_.ops();
   lp_->restore_state(*history_.front().pre_state);
   history_.clear();
   // Not counted as rollbacks: this is checkpoint bookkeeping, and polluting
@@ -336,7 +333,9 @@ LpCheckpoint LpRuntime::make_checkpoint() const {
   ck.pinned_conservative = pinned_conservative_;
   ck.committed_ts = committed_ts_;
   ck.send_seq = send_seq_;
-  ck.pending.assign(pending_.begin(), pending_.end());
+  // The heap's live entries in EventOrder: the exact sequence the old
+  // std::set iterated, keeping the portable codec's byte format stable.
+  ck.pending = pending_.sorted_events();
   ck.pending_negatives.assign(pending_negatives_.begin(),
                               pending_negatives_.end());
   ck.lazy.reserve(lazy_queue_.size());
@@ -355,8 +354,8 @@ void LpRuntime::restore_from(const LpCheckpoint& ck) {
   committed_ts_ = ck.committed_ts;
   send_seq_ = ck.send_seq;
   history_.clear();
-  pending_.clear();
-  pending_.insert(ck.pending.begin(), ck.pending.end());
+  pending_.assign(ck.pending);
+  stats_.queue_ops = pending_.ops();
   pending_negatives_.clear();
   pending_negatives_.insert(ck.pending_negatives.begin(),
                             ck.pending_negatives.end());

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "pdes/config.h"
+#include "pdes/event_queue.h"
 #include "pdes/lp.h"
 #include "pdes/stats.h"
 
@@ -209,7 +210,7 @@ class LpRuntime {
   bool pinned_conservative_ = false;
   std::vector<LazyEntry> lazy_queue_;
 
-  std::set<Event, EventOrder> pending_;
+  PendingQueue pending_;  ///< binary heap + lazy-deletion annihilation index
   std::deque<Processed> history_;
   /// Negatives that arrived before their positives (transient reordering).
   std::set<EventUid> pending_negatives_;

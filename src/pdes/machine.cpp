@@ -256,14 +256,24 @@ bool MachineEngine::step(std::size_t wi) {
   current_worker_ = wi;
   Worker& w = workers_[wi];
 
-  // Deliver all messages that have arrived by now.
-  bool delivered = false;
+  // Deliver all messages that have arrived by now.  The matured set drains
+  // as one batch per step -- the machine-model analogue of the threaded
+  // engine's batch-drained inbox -- and feeds the same batch metrics.
+  std::uint64_t batch = 0;
   while (!w.mailbox.empty() && w.mailbox.top().when <= w.clock) {
     Packet pkt = w.mailbox.top().pkt;
     w.mailbox.pop();
     w.clock += costs_.recv_cost;
     net_->on_wire_delivery(std::move(pkt), w.clock);
-    delivered = true;
+    ++batch;
+  }
+  const bool delivered = batch > 0;
+  if (delivered) {
+    metrics_.shard(wi).inc(obs::Metric::kMailboxBatches);
+    metrics_.shard(wi).observe(obs::Hist::kBatchSize,
+                               static_cast<double>(batch));
+    // One cumulative ack per link for the whole matured batch.
+    net_->flush_acks(static_cast<std::uint32_t>(wi), w.clock);
   }
   // Reliable layer: retransmit in-flight packets whose timeout expired.
   net_->poll(static_cast<std::uint32_t>(wi), w.clock);
@@ -360,6 +370,11 @@ VirtualTime MachineEngine::sync_round() {
           net_->on_wire_delivery(std::move(pkt), w.clock);
           any = true;
         }
+        // Acks owed for the drained batch go out before the next pass, or
+        // the senders' in-flight lists would never settle and the flush
+        // phase below would force-retransmit forever.
+        if (net_->flush_acks(static_cast<std::uint32_t>(wi), w.clock) > 0)
+          any = true;
       }
     }
     std::size_t flushed = 0;

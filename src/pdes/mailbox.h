@@ -1,0 +1,170 @@
+// Hot-path inter-worker mailbox: batch-published MPSC with per-source lanes.
+//
+// The threaded engine's first wire pushed every packet into the destination
+// worker's mailbox under a mutex -- one lock acquisition per message, with
+// producers and the consumer bouncing the same cache line.  BatchMailbox
+// replaces it with the two-sided batch design (see DESIGN.md "Hot-path data
+// structures"):
+//
+//  - producers do NOT touch the mailbox per packet.  Each sending worker
+//    accumulates packets in per-destination outbox buffers (plain vectors it
+//    alone owns) and publishes a whole buffer once per scheduling round with
+//    a single lock-free push (one CAS per *batch*, not per packet);
+//  - the consumer drains each lane with one atomic exchange, then walks the
+//    detached list locally;
+//  - each producer gets its own cache-line-aligned lane, so two producers
+//    never contend with each other -- a lane's publish CAS only ever races
+//    the consumer's take-all exchange;
+//  - batch nodes (and their vector storage) recycle through a per-lane free
+//    stack flowing consumer -> producer, so the steady state allocates
+//    nothing: the storage a producer hands over in push_batch comes back as
+//    the empty buffer of a later call.  The free stack is ABA-immune by
+//    construction: its only pop is the producer's take-all exchange, and
+//    pushes (from the one consumer) cannot be harmed by reuse.
+//
+// Ordering: a lane is LIFO in publish order, so drain() reverses the
+// detached chain before emptying it -- one producer's batches replay in
+// exactly the order they were published.  Per producer this preserves FIFO,
+// which is all the channel layer above needs (cross-producer order was
+// never guaranteed, with or without reliability).
+//
+// Thread-safety: push_batch(src, ...) may be called from one thread per
+// lane, concurrently with one drain()er.  reset(), clear() and the
+// destructor require external quiescence (the engine calls them inside
+// barrier rounds).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "pdes/transport.h"
+
+namespace vsim::pdes {
+
+class BatchMailbox {
+ public:
+  BatchMailbox() = default;
+  explicit BatchMailbox(std::size_t producers) { reset(producers); }
+  BatchMailbox(const BatchMailbox&) = delete;
+  BatchMailbox& operator=(const BatchMailbox&) = delete;
+  ~BatchMailbox() { clear(); }
+
+  /// (Re)creates the lane array for `producers` senders.  Quiescent-only;
+  /// discards anything published or recycled.
+  void reset(std::size_t producers) {
+    clear();
+    lanes_ = std::make_unique<Lane[]>(producers);
+    num_lanes_ = producers;
+  }
+
+  /// Producer side: publishes the whole batch (which must be non-empty) on
+  /// lane `src`.  Zero-copy: `pkts`' storage moves into the published node,
+  /// and the caller is left with an empty buffer -- in steady state one
+  /// whose capacity came back through the lane's recycling stack.
+  void push_batch(std::uint32_t src, std::vector<Packet>& pkts) {
+    Lane& l = lanes_[src];
+    Node* n = l.cache;
+    if (n == nullptr) n = l.free.exchange(nullptr, std::memory_order_acquire);
+    if (n != nullptr) {
+      l.cache = n->next;
+    } else {
+      n = new Node;
+    }
+    n->pkts.swap(pkts);
+    n->next = l.head.load(std::memory_order_relaxed);
+    // Release on success publishes the batch contents to the consumer's
+    // acquiring exchange in drain().  Only the consumer's take-all exchange
+    // can race this CAS, so it retries at most once per drain.
+    while (!l.head.compare_exchange_weak(n->next, n, std::memory_order_release,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Consumer side: detaches every published batch with one exchange per
+  /// non-empty lane and appends the packets to `out` in per-producer publish
+  /// order.  Returns the number of packets appended.
+  std::size_t drain(std::vector<Packet>& out) {
+    std::size_t count = 0;
+    for (std::size_t s = 0; s < num_lanes_; ++s) {
+      Lane& l = lanes_[s];
+      // Cheap empty-lane skip; a batch published between this load and the
+      // exchange is picked up by the next drain, which the protocol allows
+      // (drain rounds re-poll until the whole network is quiet).
+      if (l.head.load(std::memory_order_relaxed) == nullptr) continue;
+      Node* n = l.head.exchange(nullptr, std::memory_order_acquire);
+      // Reverse the LIFO chain so batches replay in publish order.
+      Node* prev = nullptr;
+      while (n != nullptr) {
+        Node* next = n->next;
+        n->next = prev;
+        prev = n;
+        n = next;
+      }
+      while (prev != nullptr) {
+        count += prev->pkts.size();
+        for (Packet& p : prev->pkts) out.push_back(std::move(p));
+        prev->pkts.clear();
+        Node* next = prev->next;
+        // Recycle the node (and its vector storage) back to the producer.
+        prev->next = l.free.load(std::memory_order_relaxed);
+        while (!l.free.compare_exchange_weak(prev->next, prev,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed)) {
+        }
+        prev = next;
+      }
+    }
+    return count;
+  }
+
+  /// Discards everything (crash recovery: in-flight packets belong to the
+  /// abandoned timeline).  Caller must guarantee no concurrent push_batch.
+  void clear() {
+    for (std::size_t s = 0; s < num_lanes_; ++s) {
+      Lane& l = lanes_[s];
+      free_chain(l.head.exchange(nullptr, std::memory_order_acquire));
+      free_chain(l.free.exchange(nullptr, std::memory_order_acquire));
+      free_chain(l.cache);
+      l.cache = nullptr;
+    }
+  }
+
+  /// True when nothing is published (consumer-side check between rounds).
+  [[nodiscard]] bool empty() const {
+    for (std::size_t s = 0; s < num_lanes_; ++s)
+      if (lanes_[s].head.load(std::memory_order_acquire) != nullptr)
+        return false;
+    return true;
+  }
+
+ private:
+  struct Node {
+    std::vector<Packet> pkts;
+    Node* next = nullptr;
+  };
+  struct alignas(64) Lane {
+    /// Published batches (LIFO chain); producer CAS vs consumer exchange.
+    std::atomic<Node*> head{nullptr};
+    /// Drained nodes flowing back; consumer CAS-push, producer exchange-pop.
+    std::atomic<Node*> free{nullptr};
+    /// Producer-local stash popped off `free` in one take-all exchange.
+    Node* cache = nullptr;
+  };
+
+  static void free_chain(Node* n) {
+    while (n != nullptr) {
+      Node* next = n->next;
+      delete n;
+      n = next;
+    }
+  }
+
+  std::unique_ptr<Lane[]> lanes_;
+  std::size_t num_lanes_ = 0;
+};
+
+}  // namespace vsim::pdes

@@ -32,6 +32,7 @@ void absorb_run_stats(obs::MetricsRegistry& reg, const RunStats& st) {
   std::uint64_t committed = 0, rollbacks = 0, undone = 0, anti = 0;
   std::uint64_t annihilations = 0, lazy_reuse = 0, lazy_cancel = 0;
   std::uint64_t saves = 0, switches = 0, blocked = 0, ck_undone = 0;
+  std::uint64_t queue_ops = 0;
   std::size_t peak = 0, total_hist = 0;
   for (const LpStats& lp : st.per_lp) {
     committed += lp.events_committed;
@@ -45,6 +46,7 @@ void absorb_run_stats(obs::MetricsRegistry& reg, const RunStats& st) {
     switches += lp.mode_switches;
     blocked += lp.blocked_polls;
     ck_undone += lp.checkpoint_undone;
+    queue_ops += lp.queue_ops;
     if (lp.max_history > peak) peak = lp.max_history;
     total_hist += lp.max_history;
   }
@@ -59,6 +61,7 @@ void absorb_run_stats(obs::MetricsRegistry& reg, const RunStats& st) {
   s.inc(Metric::kModeSwitches, switches);
   s.inc(Metric::kBlockedPolls, blocked);
   s.inc(Metric::kCheckpointUndone, ck_undone);
+  s.inc(Metric::kQueueOps, queue_ops);
   s.gauge_max(Gauge::kPeakHistory, static_cast<double>(peak));
   s.gauge_max(Gauge::kTotalHistory, static_cast<double>(total_hist));
   s.gauge_max(Gauge::kMakespan, st.makespan);

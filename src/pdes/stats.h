@@ -63,6 +63,10 @@ struct LpStats {
   /// kept separate from `rollbacks` so adaptation stats stay meaningful
   /// (metrics: `ckpt.events_undone`).
   std::uint64_t checkpoint_undone = 0;
+  /// Pending-queue operations (push + pop + annihilation) performed by this
+  /// LP's PendingQueue (metrics: `engine.queue_ops`).  Mirrors
+  /// PendingQueue::ops(), which is monotonic across checkpoint restores.
+  std::uint64_t queue_ops = 0;
 };
 
 /// Counters kept by one engine worker (a modelled machine or an OS thread).

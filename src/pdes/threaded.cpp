@@ -8,6 +8,12 @@
 
 namespace vsim::pdes {
 
+/// Events processed per scheduler iteration (between mailbox drains and
+/// outbox flushes).  Large enough to amortise the drain/poll/flush per
+/// round, small enough that incoming mail and round requests are observed
+/// promptly.
+constexpr std::uint32_t kEventSlice = 16;
+
 // Reusable cyclic barrier (std::barrier lacks a default constructor and we
 // want a stable address across rounds).
 class RoundBarrier {
@@ -46,16 +52,27 @@ class RoundBarrier {
   std::condition_variable cv_;
 };
 
-// The threaded engine's wire: a locked push into the destination worker's
-// mailbox.  It has no timing model, so the `now` stamp is ignored.
+// The threaded engine's wire: an append to the SUBMITTING worker's
+// per-destination outbox buffer.  The transport threading contract
+// guarantees pkt.src is the submitting worker (data, acks and retransmits
+// alike), so the append is single-writer and lock-free; the buffer reaches
+// the destination's inbox as one batch at the next flush_outboxes().  It
+// has no timing model, so the `now` stamp is ignored.
 class ThreadedEngine::ThreadedWire final : public Transport {
  public:
   explicit ThreadedWire(ThreadedEngine& eng) : eng_(eng) {}
 
   void submit(Packet&& pkt, double /*now*/) override {
-    Mailbox& mb = eng_.workers_[pkt.dst]->mailbox;
-    std::lock_guard<std::mutex> lock(mb.m);
-    mb.q.push_back(std::move(pkt));
+    Worker& from = *eng_.workers_[pkt.src];
+    from.outbox[pkt.dst].push_back(std::move(pkt));
+  }
+
+  /// The wire "holds" whatever sits unflushed in the worker's outboxes;
+  /// drain rounds reach this through ChannelStack::flush when no fault
+  /// decorator is stacked in between (with one, the engine flushes
+  /// explicitly -- FaultyTransport does not chain release_held).
+  std::size_t release_held(std::uint32_t worker, double /*now*/) override {
+    return eng_.flush_outboxes(worker);
   }
 
  private:
@@ -116,8 +133,11 @@ ThreadedEngine::ThreadedEngine(LpGraph& graph, Partition partition,
   key_.assign(graph_.size(), kTimeInf);
   last_promise_.assign(graph_.size(), kTimeZero);
   workers_.reserve(config_.num_workers);
-  for (std::size_t i = 0; i < config_.num_workers; ++i)
+  for (std::size_t i = 0; i < config_.num_workers; ++i) {
     workers_.push_back(std::make_unique<Worker>());
+    workers_.back()->outbox.resize(config_.num_workers);
+    workers_.back()->inbox.reset(config_.num_workers);
+  }
   for (LpId id = 0; id < graph_.size(); ++id) {
     lps_.emplace_back(&graph_.lp(id), config_.ordering, config_.strategy,
                       initial_mode(config_.configuration, graph_.lp(id)),
@@ -129,7 +149,6 @@ ThreadedEngine::ThreadedEngine(LpGraph& graph, Partition partition,
     const std::uint32_t w = partition_[id];
     assert(w < workers_.size());
     workers_[w]->owned.push_back(id);
-    workers_[w]->ready.insert({kTimeInf, id});
   }
   barrier_ = std::make_unique<RoundBarrier>(config_.num_workers);
 
@@ -191,12 +210,14 @@ ThreadedEngine::ThreadedEngine(LpGraph& graph, Partition partition,
 ThreadedEngine::~ThreadedEngine() = default;
 
 void ThreadedEngine::refresh_key(std::size_t wi, LpId lp) {
-  Worker& w = *workers_[wi];
-  const VirtualTime k = lps_[lp].next_ts();
-  if (k == key_[lp]) return;
-  w.ready.erase({key_[lp], lp});
-  key_[lp] = k;
-  w.ready.insert({k, lp});
+  // Just recache the LP's next timestamp: the scheduler finds the minimum
+  // with a selection scan over the owner's LPs (try_process_one), so there
+  // is no sorted structure to maintain.  The old std::set ready-queue cost
+  // an erase + insert (two node allocations plus rebalancing) per delivery
+  // and per processed event -- measurably the largest constant in the
+  // per-event budget once the mailbox went batched.
+  (void)wi;
+  key_[lp] = lps_[lp].next_ts();
 }
 
 void ThreadedEngine::deliver(std::size_t wi, Event ev) {
@@ -239,26 +260,66 @@ void ThreadedEngine::send_null_messages_for(std::size_t wi, LpId lp) {
   }
 }
 
+std::size_t ThreadedEngine::flush_outboxes(std::size_t wi) {
+  Worker& w = *workers_[wi];
+  std::size_t flushed = 0;
+  for (std::size_t dst = 0; dst < w.outbox.size(); ++dst) {
+    std::vector<Packet>& buf = w.outbox[dst];
+    if (buf.empty()) continue;
+    const std::size_t n = buf.size();
+    workers_[dst]->inbox.push_batch(static_cast<std::uint32_t>(wi), buf);
+    flushed += n;
+    metrics_.shard(wi).inc(obs::Metric::kMailboxBatches);
+    metrics_.shard(wi).observe(obs::Hist::kBatchSize,
+                               static_cast<double>(n));
+  }
+  return flushed;
+}
+
 std::size_t ThreadedEngine::drain_own_mailbox(std::size_t wi) {
   Worker& w = *workers_[wi];
-  std::vector<Packet> batch;
-  {
-    std::lock_guard<std::mutex> lock(w.mailbox.m);
-    batch.swap(w.mailbox.q);
-  }
-  for (Packet& pkt : batch) net_->on_wire_delivery(std::move(pkt), now(wi));
-  return batch.size();
+  w.drain_buf.clear();
+  const std::size_t n = w.inbox.drain(w.drain_buf);
+  for (Packet& pkt : w.drain_buf)
+    net_->on_wire_delivery(std::move(pkt), now(wi));
+  w.drain_buf.clear();
+  // One cumulative ack per link for the whole batch (the acks land in our
+  // outboxes; the caller's next flush_outboxes publishes and counts them).
+  if (n > 0) net_->flush_acks(static_cast<std::uint32_t>(wi), now(wi));
+  return n;
 }
 
 bool ThreadedEngine::try_process_one(std::size_t wi) {
   Worker& w = *workers_[wi];
-  // Copy entries out of the iterator: processing can route messages back
-  // to this very LP, whose refresh_key() would invalidate the node.
-  for (auto it = w.ready.begin(); it != w.ready.end(); ++it) {
-    const VirtualTime ts = it->first;
-    const LpId lp = it->second;
-    if (ts == kTimeInf) break;
-    if (ts.pt > config_.until) break;
+  // Visit owned LPs in ascending (next_ts, lp) order -- the same order the
+  // old std::set ready-queue iterated in -- via a cursor-based selection
+  // scan over the cached keys.  Workers own a handful of LPs, so the scan
+  // is a few cache-resident compares, and the scheduler maintains no
+  // sorted structure at all on the per-event path.
+  VirtualTime cursor_ts = kTimeZero;
+  LpId cursor_lp = 0;
+  bool have_cursor = false;
+  for (;;) {
+    VirtualTime ts = kTimeInf;
+    LpId lp = 0;
+    bool found = false;
+    for (const LpId cand : w.owned) {
+      const VirtualTime k = key_[cand];
+      if (k == kTimeInf) continue;
+      if (have_cursor &&
+          (k < cursor_ts || (k == cursor_ts && cand <= cursor_lp)))
+        continue;  // already visited this round
+      if (!found || k < ts || (k == ts && cand < lp)) {
+        ts = k;
+        lp = cand;
+        found = true;
+      }
+    }
+    if (!found) break;
+    if (ts.pt > config_.until) break;  // later keys are even larger
+    cursor_ts = ts;
+    cursor_lp = lp;
+    have_cursor = true;
     const Eligibility e = lps_[lp].peek(safe_bound_, config_.until);
     if (e == Eligibility::kBlocked) {
       lps_[lp].note_blocked();
@@ -293,10 +354,33 @@ void ThreadedEngine::worker_main(std::size_t wi) {
   while (!done_.load(std::memory_order_acquire)) {
     if (!round_requested_.load(std::memory_order_acquire)) {
       ++w.ops;
+      // Safety-net flush: the end-of-iteration flush below publishes all of
+      // this iteration's sends, so this is a no-op unless some round-phase
+      // path left packets behind.  It stays so a send buffered anywhere can
+      // linger at most one iteration.
+      flush_outboxes(wi);
       const bool got_mail = drain_own_mailbox(wi) > 0;
       net_->poll(static_cast<std::uint32_t>(wi), now(wi));
-      const bool processed = try_process_one(wi);
-      if (processed && ft_on_ && maybe_crash(wi)) {
+      // Process a bounded slice of events per scheduling round, not one:
+      // the drain/poll/flush overhead above amortises over the slice, and
+      // remote sends accumulate into per-destination outboxes so the next
+      // flush publishes them as a handful of batches.  The slice stays
+      // bounded so mail keeps draining and round requests stay responsive.
+      bool processed = false;
+      bool crash_now = false;
+      for (std::uint32_t slice = 0; slice < kEventSlice; ++slice) {
+        if (!try_process_one(wi)) break;
+        processed = true;
+        // Crash draws advance per processed event (exact-count schedules).
+        if (ft_on_ && maybe_crash(wi)) {
+          crash_now = true;
+          break;
+        }
+        if (w.events_since_round >= config_.gvt_interval ||
+            round_requested_.load(std::memory_order_acquire))
+          break;
+      }
+      if (crash_now) {
         // Crash-stop: raise the flag first (it must be visible to whoever
         // our leave() releases from a barrier), then withdraw and vanish.
         // No final fossil collection: this worker's state is lost.
@@ -309,9 +393,22 @@ void ThreadedEngine::worker_main(std::size_t wi) {
         barrier_->leave();
         return;
       }
+      // Publish everything this iteration generated -- slice sends, acks
+      // emitted while draining, retransmits from poll -- as one batch per
+      // destination before yielding the core.  Flushing here rather than at
+      // the top of the next iteration lets a receiver that runs next pick
+      // the batch up immediately, which matters for latency-bound chains.
+      // A crashed worker never reaches this point: its unflushed sends are
+      // lost with it, matching the crash-stop model.
+      flush_outboxes(wi);
       if (processed || got_mail) {
         idle_spins = 0;
       } else if (++idle_spins > 16) {
+        // Idle long enough: force a synchronisation round so GVT (and with
+        // it termination / deadlock detection) makes progress.  Workers
+        // yield rather than block between iterations -- handoff gaps in
+        // event-parallel workloads are far shorter than a sleep/wake round
+        // trip, and the forced round bounds the spinning.
         round_requested_.store(true, std::memory_order_release);
       } else {
         std::this_thread::yield();
@@ -344,8 +441,16 @@ void ThreadedEngine::worker_main(std::size_t wi) {
       for (;;) {
         if (wi == coord) drained_in_pass_.store(0, std::memory_order_relaxed);
         barrier_->arrive_and_wait();
-        std::size_t n = drain_own_mailbox(wi);
+        // Publish own buffered sends before draining, and again after the
+        // flush (retransmits land in the outboxes): both are counted, so
+        // the pass loop cannot declare quiescence while a packet still
+        // sits in a producer buffer.  The explicit calls matter under
+        // fault injection, where ChannelStack::flush's release_held stops
+        // at the FaultyTransport decorator and never reaches the wire.
+        std::size_t n = flush_outboxes(wi);
+        n += drain_own_mailbox(wi);
         n += net_->flush(static_cast<std::uint32_t>(wi), now(wi));
+        n += flush_outboxes(wi);
         drained_in_pass_.fetch_add(n, std::memory_order_relaxed);
         barrier_->arrive_and_wait();
         const bool empty =
@@ -355,7 +460,8 @@ void ThreadedEngine::worker_main(std::size_t wi) {
       }
       // Local minimum over owned LPs.
       VirtualTime local_min = kTimeInf;
-      if (!w.ready.empty()) local_min = w.ready.begin()->first;
+      for (const LpId lp : w.owned)
+        local_min = std::min(local_min, key_[lp]);
       {
         std::lock_guard<std::mutex> lock(gvt_mutex_);
         gvt_candidate_ = std::min(gvt_candidate_, local_min);
@@ -542,20 +648,17 @@ bool ThreadedEngine::coordinator_recover() {
   restore_checkpoint(*ck, lps_, last_promise_, *net_, faulty_.get());
   ckstats_.lps_restored += lps_.size();
   for (auto& wp : workers_) {
-    {
-      std::lock_guard<std::mutex> lock(wp->mailbox.m);
-      wp->mailbox.q.clear();  // in-flight packets belong to the abandoned
-                              // timeline
-    }
+    // In-flight packets belong to the abandoned timeline: published batches
+    // and unflushed producer buffers alike.  Every surviving worker is
+    // parked at a barrier, so touching their mailboxes here is race-free.
+    wp->inbox.clear();
+    for (auto& buf : wp->outbox) buf.clear();
     wp->events_since_round = 0;
     wp->owned.clear();
-    wp->ready.clear();
   }
   for (LpId id = 0; id < lps_.size(); ++id) {
     key_[id] = lps_[id].next_ts();
-    Worker& w = *workers_[partition_[id]];
-    w.owned.push_back(id);
-    w.ready.insert({key_[id], id});
+    workers_[partition_[id]]->owned.push_back(id);
   }
   safe_bound_ = last_gvt_ = last_ckpt_gvt_ = ck->gvt;
   std::uint64_t total_events = 0;

@@ -1,10 +1,13 @@
 // Real multi-threaded engine.
 //
-// One std::thread per worker; mailboxes (mutex-protected queues) stand in
-// for the MPI / TCP-socket transport of the original implementation.  GVT
-// uses barrier rounds with full network draining, which is exact in shared
-// memory: between the first and last barrier of a round no worker sends, so
-// the drained state contains every in-flight message.
+// One std::thread per worker; batch-drained MPSC mailboxes (mailbox.h)
+// stand in for the MPI / TCP-socket transport of the original
+// implementation: senders buffer packets in per-destination outboxes and
+// publish each buffer as one batch per scheduling round, and the receiver
+// drains its inbox with a single atomic exchange.  GVT uses barrier rounds
+// with full network draining, which is exact in shared memory: between the
+// first and last barrier of a round no worker sends, so the drained state
+// contains every in-flight message.
 //
 // This engine is the production runtime on real multiprocessors; the
 // machine-model engine (machine.h) executes the same LpRuntime protocol
@@ -26,6 +29,7 @@
 #include "pdes/graph.h"
 #include "pdes/lp_runtime.h"
 #include "pdes/machine.h"  // Partition
+#include "pdes/mailbox.h"
 #include "pdes/stats.h"
 #include "pdes/transport.h"
 
@@ -45,14 +49,24 @@ class ThreadedEngine {
   RunStats run();
 
  private:
-  struct Mailbox {
-    std::mutex m;
-    std::vector<Packet> q;
-  };
-  struct Worker {
+  /// Cache-line aligned so two workers' hot scheduler state (owned list,
+  /// inbox head, op counters) never share a line; the inbox head is the
+  /// only field other workers touch.
+  struct alignas(64) Worker {
+    /// LPs this worker owns.  The scheduler has no sorted ready-queue: it
+    /// selection-scans `owned` against the engine's cached per-LP keys
+    /// (key_), which for the few LPs a worker owns is cheaper than the
+    /// node churn of an ordered set on every delivery.
     std::vector<LpId> owned;
-    std::set<std::pair<VirtualTime, LpId>> ready;
-    Mailbox mailbox;
+    /// Incoming packets, published by other workers as whole batches on
+    /// per-sender lanes (sized to num_workers in the engine constructor).
+    BatchMailbox inbox;
+    /// Per-destination send buffers.  Written only by THIS worker (the
+    /// transport threading contract makes pkt.src the submitting worker);
+    /// flushed into the destinations' inboxes once per scheduling round.
+    std::vector<std::vector<Packet>> outbox;
+    /// Reused drain scratch so steady-state drains do not allocate.
+    std::vector<Packet> drain_buf;
     std::uint64_t events_since_round = 0;
     /// Scheduler loop iterations; the worker's "time" for retransmit
     /// backoff (the threaded wire has no latency model to clock against).
@@ -60,13 +74,16 @@ class ThreadedEngine {
     WorkerStats stats;
   };
   class ThreadedRouter;
-  class ThreadedWire;  // bottom of the transport stack: locked queue push
+  class ThreadedWire;  // bottom of the transport stack: outbox append
 
   void worker_main(std::size_t wi);
   void deliver(std::size_t wi, Event ev);
   void refresh_key(std::size_t wi, LpId lp);
   bool try_process_one(std::size_t wi);
   std::size_t drain_own_mailbox(std::size_t wi);
+  /// Publishes every non-empty outbox buffer of `wi` as one batch into the
+  /// destination's inbox.  Returns the number of packets flushed.
+  std::size_t flush_outboxes(std::size_t wi);
   void send_null_messages_for(std::size_t wi, LpId lp);
   [[nodiscard]] double now(std::size_t wi) const {
     return static_cast<double>(workers_[wi]->ops);

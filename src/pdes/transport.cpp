@@ -1,5 +1,6 @@
 #include "pdes/transport.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace vsim::pdes {
@@ -134,6 +135,7 @@ ChannelStack::ChannelStack(Transport& wire, std::size_t num_workers,
     : wire_(wire), num_workers_(num_workers), config_(config) {
   send_links_.resize(num_workers * num_workers);
   recv_links_.resize(num_workers * num_workers);
+  ack_due_.assign(num_workers * num_workers, 0);
 }
 
 void ChannelStack::send(std::uint32_t from, std::uint32_t to, Event&& ev,
@@ -208,8 +210,23 @@ void ChannelStack::on_wire_delivery(Packet&& pkt, double now) {
       ++rl.counters.buffered;
     }
   }
-  // Always (re-)acknowledge: a lost ack must not wedge the sender.
-  emit_ack(dst, src, rl.expected - 1, now);
+  // Always (re-)acknowledge -- a lost ack must not wedge the sender -- but
+  // cumulatively and deferred: mark the link dirty and let flush_acks()
+  // emit one ack for the whole drained batch.
+  ack_due_[dst * num_workers_ + src] = 1;
+  (void)now;
+}
+
+std::size_t ChannelStack::flush_acks(std::uint32_t worker, double now) {
+  std::size_t n = 0;
+  for (std::uint32_t src = 0; src < num_workers_; ++src) {
+    std::uint8_t& due = ack_due_[worker * num_workers_ + src];
+    if (due == 0) continue;
+    due = 0;
+    emit_ack(worker, src, recv_link(src, worker).expected - 1, now);
+    ++n;
+  }
+  return n;
 }
 
 std::size_t ChannelStack::retransmit_due(std::uint32_t worker, double now,
@@ -244,6 +261,10 @@ std::size_t ChannelStack::retransmit_due(std::uint32_t worker, double now,
 }
 
 std::size_t ChannelStack::poll(std::uint32_t worker, double now) {
+  // Unreliable datagrams are never retransmitted: skip the per-link
+  // in-flight scan entirely (poll runs once per scheduler iteration, so
+  // this is on the engines' hot path).
+  if (!config_.reliable) return 0;
   if (has_error_.load(std::memory_order_acquire)) return 0;
   return retransmit_due(worker, now, /*force=*/false);
 }
@@ -293,6 +314,9 @@ void ChannelStack::restore_links(const std::vector<LinkCheckpoint>& saved) {
     recv_links_[i].expected = saved[i].expected;
     recv_links_[i].reorder.clear();
   }
+  // Acks owed for the abandoned timeline's traffic must not leak into the
+  // restored one.
+  std::fill(ack_due_.begin(), ack_due_.end(), 0);
 }
 
 void ChannelStack::set_error(TransportError err) {

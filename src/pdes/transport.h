@@ -215,6 +215,15 @@ class ChannelStack {
   /// after in-order restore), acks settle the sender's in-flight list.
   void on_wire_delivery(Packet&& pkt, double now);
 
+  /// Emits the cumulative acks owed by receiver `worker`, one per link that
+  /// delivered (or dup-discarded) data since the last flush.  Deliveries no
+  /// longer ack per packet: the engines drain their inboxes in batches and
+  /// call this once per drained batch, so a burst of n packets on a link
+  /// costs one ack instead of n (see DESIGN.md "Hot-path data structures").
+  /// Called from the destination worker, like on_wire_delivery().  Returns
+  /// the number of acks emitted.
+  std::size_t flush_acks(std::uint32_t worker, double now);
+
   /// Retransmits in-flight packets whose timeout expired on links whose
   /// source is `worker`.  Returns the number of packets resent.
   std::size_t poll(std::uint32_t worker, double now);
@@ -284,6 +293,11 @@ class ChannelStack {
   TransmitHook transmit_;
   std::vector<SendLink> send_links_;
   std::vector<RecvLink> recv_links_;
+  /// ack_due_[dst * num_workers_ + src]: receiver dst owes link src->dst a
+  /// cumulative ack.  Row dst is touched only by worker dst (set during
+  /// on_wire_delivery, cleared by flush_acks), matching the recv-side
+  /// threading contract above.
+  std::vector<std::uint8_t> ack_due_;
 
   mutable std::mutex error_mutex_;
   std::optional<TransportError> error_;

@@ -1,7 +1,15 @@
 // Property-based fuzzing: random synchronous netlists (delta-heavy, mixed
 // delays, resolved buses, registered feedback) simulated under random
 // protocol configurations must always match the sequential oracle.
+//
+// The StressMatrix suite at the bottom is the exhaustive determinism gate
+// for the hot-path data structures (event_queue.h, mailbox.h): every
+// Configuration preset crossed with both OrderingModes, swept over
+// VSIM_STRESS_SEEDS seeds (default 6 for the tier-1 run; ci.sh runs the
+// full 200-seed sweep via the `stress` ctest label).
 #include <gtest/gtest.h>
+
+#include <cstdlib>
 
 #include "circuits/random_circuit.h"
 #include "partition/partition.h"
@@ -9,6 +17,7 @@
 #include "pdes/sequential.h"
 #include "pdes/threaded.h"
 #include "vhdl/monitor.h"
+#include "watchdog.h"
 
 namespace vsim {
 namespace {
@@ -110,6 +119,83 @@ TEST_P(FuzzEquivalence, ThreadedEngineMatchesOracle) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalence,
                          testing::Range<std::uint64_t>(1, 25));
+
+// ---- seed-sweep stress matrix ----
+
+std::uint64_t stress_seeds() {
+  if (const char* s = std::getenv("VSIM_STRESS_SEEDS")) {
+    const long long v = std::atoll(s);
+    if (v > 0) return static_cast<std::uint64_t>(v);
+  }
+  return 6;  // tier-1 smoke sweep; CI overrides with 200
+}
+
+TEST(StressMatrix, EveryConfigurationAndOrderingMatchesOracleBitExact) {
+  const std::uint64_t seeds = stress_seeds();
+  testutil::Watchdog wd(
+      "StressMatrix.EveryConfigurationAndOrderingMatchesOracleBitExact",
+      std::chrono::seconds(120 + 3 * seeds));
+
+  const Configuration configs[] = {
+      Configuration::kAllOptimistic, Configuration::kAllConservative,
+      Configuration::kMixed, Configuration::kDynamic};
+  const pdes::OrderingMode orders[] = {pdes::OrderingMode::kArbitrary,
+                                       pdes::OrderingMode::kUserConsistent};
+  const PhysTime until = 250;
+
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    RandomCircuitParams p;
+    p.seed = seed * 2654435761u;
+    p.num_gates = 16 + (p.seed * 13) % 32;
+    p.num_dffs = 3 + (p.seed * 7) % 6;
+    p.zero_delay_pct = static_cast<int>((p.seed * 29) % 100);
+
+    Built ref = build(p);
+    pdes::SequentialEngine seq(*ref.graph);
+    seq.set_commit_hook(ref.recorder->hook());
+    seq.run(until);
+
+    for (std::size_t ci = 0; ci < 4; ++ci) {
+      for (const pdes::OrderingMode ord : orders) {
+        Built par = build(p);
+        RunConfig rc;
+        rc.num_workers = 2 + (seed + ci) % 5;
+        rc.configuration = configs[ci];
+        rc.ordering = ord;
+        // Global-sync keeps every cell live: the random netlists contain
+        // zero-delay cycles that starve the null-message strategy's
+        // lookahead, and the global safe bound is ordering-agnostic, so
+        // user-consistent cells exercise the >=-straggler rollback paths
+        // without changing the committed trajectory.
+        rc.strategy = pdes::ConservativeStrategy::kGlobalSync;
+        rc.gvt_interval = 16 + (seed % 3) * 24;
+        rc.max_history = (seed % 2) ? 48 : 0;
+        rc.cancellation = (seed + ci) % 3 == 0
+                              ? pdes::CancellationPolicy::kLazy
+                              : pdes::CancellationPolicy::kAggressive;
+        rc.until = until;
+        const auto part =
+            (seed + ci) % 2
+                ? partition::bipartite_bfs(*par.graph, rc.num_workers)
+                : partition::round_robin(par.graph->size(), rc.num_workers);
+        pdes::MachineEngine eng(*par.graph, part, rc);
+        eng.set_commit_hook(par.recorder->hook());
+        const auto st = eng.run();
+        ASSERT_FALSE(st.deadlocked)
+            << "seed " << seed << " cfg " << to_string(rc.configuration)
+            << " ordering "
+            << (ord == pdes::OrderingMode::kArbitrary ? "arbitrary"
+                                                      : "user-consistent");
+        ASSERT_EQ(vhdl::TraceRecorder::diff(*ref.recorder, *par.recorder),
+                  "")
+            << "seed " << seed << " workers " << rc.num_workers << " cfg "
+            << to_string(rc.configuration) << " ordering "
+            << (ord == pdes::OrderingMode::kArbitrary ? "arbitrary"
+                                                      : "user-consistent");
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace vsim

@@ -532,6 +532,52 @@ TEST_F(LazyTest, ReexecutionPastGeneratorCancelsUnregenerated) {
   EXPECT_EQ(rt.stats().lazy_cancels, 1u);
 }
 
+TEST_F(LazyTest, EqualTimestampAntiAnnihilatesMinimalPendingCopy) {
+  // Lazy-deletion index corner: a uid present in the pending queue at TWO
+  // timestamps (reserved initial-event uids can collide with send uids)
+  // when an anti-message with the same uid -- stamped with the timestamp of
+  // the EARLIER copy -- arrives.  The annihilation must (a) kill exactly
+  // the minimal-ts copy, matching the old std::set's in-order scan, (b) not
+  // roll anything back, and (c) settle the uid's undecided lazy sends as
+  // anti-messages, all under lazy cancellation.
+  lp_.plan.push_back({1, 7, 10, 42});
+  auto rt = make_lazy();
+  rt.enqueue(make_event({5, 0}, 0, 7, /*kind=*/1), router_);
+  rt.process_next(router_);  // sends (15, 0) to LP 7
+  ASSERT_EQ(router_.routed.size(), 1u);
+  const EventUid sent_uid = router_.routed[0].uid;
+
+  // Straggler of another kind: event 7 is re-pended at (5, 0) and its send
+  // parks in the lazy queue, fate undecided.
+  rt.enqueue(make_event({2, 0}, 0, 2, /*kind=*/9), router_);
+  ASSERT_EQ(rt.stats().rollbacks, 1u);
+  // A second positive with the SAME uid at a later timestamp.
+  rt.enqueue(make_event({9, 0}, 0, 7, /*kind=*/1), router_);
+  ASSERT_EQ(rt.pending_count(), 3u);
+
+  Event neg = make_event({5, 0}, 0, 7, /*kind=*/1);
+  neg.negative = true;
+  rt.enqueue(neg, router_);
+  EXPECT_EQ(rt.stats().annihilations, 1u);
+  EXPECT_EQ(rt.stats().rollbacks, 1u);  // no new rollback
+  ASSERT_EQ(rt.pending_count(), 2u);
+  EXPECT_EQ(rt.next_ts(), (VirtualTime{2, 0}));
+  // The generator can never re-execute: its lazy send is cancelled now.
+  ASSERT_EQ(router_.routed.size(), 2u);
+  EXPECT_TRUE(router_.routed[1].negative);
+  EXPECT_EQ(router_.routed[1].uid, sent_uid);
+  EXPECT_EQ(rt.stats().lazy_cancels, 1u);
+
+  // The (9, 0) copy survived and executes after the straggler.
+  while (rt.peek(kTimeInf, 100) == Eligibility::kReady)
+    rt.process_next(router_);
+  EXPECT_EQ(lp_.log, (std::vector<EventUid>{2, 7}));
+  ASSERT_EQ(router_.routed.size(), 3u);
+  EXPECT_FALSE(router_.routed[2].negative);
+  EXPECT_EQ(router_.routed[2].ts, (VirtualTime{19, 0}));
+  EXPECT_GT(rt.stats().queue_ops, 0u);
+}
+
 TEST_F(LpRuntimeTest, UnsaveableLpIsForcedConservative) {
   struct HeavyLp final : ScriptLp {
     HeavyLp() : ScriptLp("heavy") {}

@@ -1,14 +1,19 @@
 // Threaded-engine stress tests: repeated runs across thread counts and
 // protocols on a non-trivial circuit, all trace-checked against the
 // sequential oracle (races would show up as trace diffs, missing commits
-// or hangs).
+// or hangs), plus corner tests for the batch-drained MPSC mailbox.
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
 
 #include "circuits/dct.h"
 #include "circuits/fsm.h"
 #include "partition/partition.h"
+#include "pdes/mailbox.h"
 #include "pdes/sequential.h"
 #include "pdes/threaded.h"
+#include "watchdog.h"
 #include "vhdl/monitor.h"
 
 namespace vsim::pdes {
@@ -135,6 +140,150 @@ TEST(Threaded, GateLevelDctRunsClean) {
   const RunStats st = eng.run();
   EXPECT_FALSE(st.deadlocked);
   EXPECT_GT(st.total_committed(), 1000u);
+}
+
+// ---- batch-drained MPSC mailbox corner cases ----
+
+TEST(BatchMailbox, MultiProducerBatchesKeepPerProducerFifo) {
+  testutil::Watchdog wd("BatchMailbox.MultiProducerBatchesKeepPerProducerFifo",
+                        std::chrono::seconds(60));
+  constexpr std::uint32_t kProducers = 4;
+  constexpr std::uint64_t kPacketsEach = 2000;
+  BatchMailbox mb(kProducers);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> producers;
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      std::vector<Packet> buf;
+      std::uint64_t seq = 0;
+      // Varying batch sizes (1..7) so publishes interleave irregularly.
+      while (seq < kPacketsEach) {
+        const std::uint64_t n = 1 + (seq * (p + 3)) % 7;
+        for (std::uint64_t i = 0; i < n && seq < kPacketsEach; ++i) {
+          Packet pkt;
+          pkt.src = p;
+          pkt.dst = 0;
+          pkt.ev.uid = seq++;
+          buf.push_back(pkt);
+        }
+        mb.push_batch(p, buf);
+        EXPECT_TRUE(buf.empty());
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+
+  // Single consumer drains concurrently with the producers.
+  std::vector<std::uint64_t> next_uid(kProducers, 0);
+  std::uint64_t total = 0;
+  std::vector<Packet> out;
+  while (total < kProducers * kPacketsEach) {
+    out.clear();
+    total += mb.drain(out);
+    for (const Packet& pkt : out) {
+      ASSERT_LT(pkt.src, kProducers);
+      // Per-producer FIFO: uids from one producer arrive in push order.
+      EXPECT_EQ(pkt.ev.uid, next_uid[pkt.src]++);
+    }
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(total, kProducers * kPacketsEach);
+  EXPECT_TRUE(mb.empty());
+}
+
+TEST(BatchMailbox, FlushOrderPreservesAntiMessageBeforeReplacementSend) {
+  // A rollback cancels a send and a later re-execution emits a replacement
+  // with the same uid.  Both ride the batched path: the anti-message is
+  // published in an earlier batch than the replacement, and the drain must
+  // replay them in publish order -- if the replacement ever overtook the
+  // anti-message, the receiver would annihilate the NEW positive instead.
+  BatchMailbox mb(2);
+  std::vector<Packet> buf;
+  Packet anti;
+  anti.src = 1;
+  anti.ev.uid = 7;
+  anti.ev.negative = true;
+  buf.push_back(anti);
+  mb.push_batch(1, buf);
+  Packet replacement;
+  replacement.src = 1;
+  replacement.ev.uid = 7;
+  replacement.ev.negative = false;
+  buf.push_back(replacement);
+  mb.push_batch(1, buf);
+
+  std::vector<Packet> out;
+  ASSERT_EQ(mb.drain(out), 2u);
+  EXPECT_TRUE(out[0].ev.negative);
+  EXPECT_FALSE(out[1].ev.negative);
+}
+
+TEST(Threaded, DeliveryRacingCrashStopWorker) {
+  // Batches published TO a worker that crash-stops mid-run are in flight
+  // when recovery clears every inbox and outbox; the recovered run must
+  // still be bit-identical to the oracle.  (Before the overhaul this
+  // exercised the locked queue clear; now it covers BatchMailbox::clear
+  // plus discarding unflushed producer buffers.)
+  testutil::Watchdog wd("Threaded.DeliveryRacingCrashStopWorker",
+                        std::chrono::seconds(120));
+  Built ref = build(13);
+  SequentialEngine seq(*ref.graph);
+  seq.set_commit_hook(ref.recorder->hook());
+  seq.run(400);
+
+  Built par = build(13);
+  RunConfig rc;
+  rc.num_workers = 4;
+  rc.configuration = Configuration::kAllOptimistic;
+  rc.until = 400;
+  rc.gvt_interval = 24;
+  rc.checkpoint.period = 2;
+  rc.transport.faults.crashes.push_back(WorkerCrash{1, 60});
+  ThreadedEngine eng(*par.graph,
+                     partition::round_robin(par.graph->size(), 4), rc);
+  eng.set_commit_hook(par.recorder->hook());
+  const RunStats st = eng.run();
+  EXPECT_FALSE(st.deadlocked);
+  EXPECT_FALSE(st.recovery_error) << st.recovery_error->str();
+  EXPECT_EQ(st.checkpoint.crashes, 1u);
+  EXPECT_GE(st.checkpoint.recoveries, 1u);
+  EXPECT_EQ(vhdl::TraceRecorder::diff(*ref.recorder, *par.recorder), "");
+}
+
+TEST(Threaded, DrainUntilQuietWithNonEmptyProducerBuffers) {
+  // gvt_interval = 1: every processed event forces a synchronisation
+  // round, so rounds constantly begin with batches still in flight in
+  // destination inboxes, and stragglers delivered during a drain pass
+  // trigger rollbacks whose anti-messages land in producer outboxes
+  // mid-round.  Each drain pass must flush those buffers and count the
+  // moved packets, or GVT would be computed over a network that silently
+  // still holds messages.
+  testutil::Watchdog wd("Threaded.DrainUntilQuietWithNonEmptyProducerBuffers",
+                        std::chrono::seconds(120));
+  Built ref = build(17);
+  SequentialEngine seq(*ref.graph);
+  seq.set_commit_hook(ref.recorder->hook());
+  seq.run(300);
+
+  Built par = build(17);
+  RunConfig rc;
+  rc.num_workers = 3;
+  rc.configuration = Configuration::kAllOptimistic;
+  rc.until = 300;
+  rc.gvt_interval = 1;
+  ThreadedEngine eng(*par.graph,
+                     partition::round_robin(par.graph->size(), 3), rc);
+  eng.set_commit_hook(par.recorder->hook());
+  const RunStats st = eng.run();
+  EXPECT_FALSE(st.deadlocked);
+  EXPECT_EQ(vhdl::TraceRecorder::diff(*ref.recorder, *par.recorder), "");
+  // The batched path actually carried the traffic.
+  EXPECT_GT(st.metrics.counter(obs::Metric::kMailboxBatches), 0u);
+  const obs::Histogram& bs = st.metrics.histogram(obs::Hist::kBatchSize);
+  EXPECT_GT(bs.count, 0u);
+  EXPECT_GE(bs.max, 1.0);
+  EXPECT_GT(st.metrics.counter(obs::Metric::kQueueOps), 0u);
 }
 
 }  // namespace
