@@ -5,12 +5,19 @@
 //  (c) optimistic memory pressure: capping saved history forces memory
 //      stalls (the paper: "optimistic demands huge amounts of memory");
 //  (f) fault tolerance: checkpoint period vs crash rate -- the capture tax
-//      of short periods against the re-execution lost to each recovery.
+//      of short periods against the re-execution lost to each recovery;
+//  (g) placement: static round-robin / blocks / bipartite-BFS vs dynamic
+//      GVT-round rebalancing (blocks start + LP migration).
+//
+// An optional argv[1] names one section (its report `section` tag, e.g.
+// `placement`) and skips the rest -- CI gates the placement cell against
+// the committed baseline without paying for the full sweep.
 #include <cstdio>
 #include <string>
 
 #include "bench/harness.h"
 #include "bench/report.h"
+#include "circuits/dct.h"
 #include "circuits/fsm.h"
 #include "circuits/iir.h"
 #include "partition/partition.h"
@@ -39,14 +46,87 @@ bench::BuildFn iir_build = [] {
   return b;
 };
 
+// Rate-skewed 3-bit counter lanes, the load-imbalance generator for the
+// placement ablation.  Every lane is a fixed number of LPs (clock,
+// inverter, 2 xor, 1 and, 3 dff + their signals) clocked at rates spanning
+// `prefix`x..1x, so both naive static schemes are load-blind in a different
+// way: `blocks` hands whole lanes out and overloads the fast-lane workers,
+// while `round-robin`'s stride divides the lane stride, so one worker
+// collects every lane's clock LP (the hottest position class).  Only
+// observed-load migration can repair either.
+void add_counter_lanes(circuits::CircuitBuilder& cb, int lanes,
+                       const PhysTime (&half_periods)[4],
+                       const char* prefix) {
+  for (int lane = 0; lane < lanes; ++lane) {
+    const std::string tag =
+        std::string(prefix) + std::to_string(lane) + "_";
+    const auto clk = cb.wire(tag + "clk");
+    cb.clock(clk, half_periods[lane % 4]);
+    const auto q0 = cb.wire(tag + "q0");
+    const auto q1 = cb.wire(tag + "q1");
+    const auto q2 = cb.wire(tag + "q2");
+    const auto nq0 = cb.wire(tag + "nq0");
+    cb.gate(circuits::GateKind::kNot, {q0}, nq0);  // d0 = !q0
+    const auto d1 = cb.wire(tag + "d1");
+    cb.gate(circuits::GateKind::kXor, {q1, q0}, d1);
+    const auto c1 = cb.wire(tag + "c1");
+    cb.gate(circuits::GateKind::kAnd, {q0, q1}, c1);
+    const auto d2 = cb.wire(tag + "d2");
+    cb.gate(circuits::GateKind::kXor, {q2, c1}, d2);
+    cb.dff(clk, nq0, q0);
+    cb.dff(clk, d1, q1);
+    cb.dff(clk, d2, q2);
+  }
+}
+
+// Imbalanced FSM bank: nothing but skewed counter lanes.
+bench::BuildFn fsm_imb_build = [] {
+  bench::Built b;
+  b.graph = std::make_unique<pdes::LpGraph>();
+  b.design = std::make_unique<vhdl::Design>(*b.graph);
+  circuits::CircuitBuilder cb(*b.design, /*gate_delay=*/1);
+  const PhysTime half_periods[] = {5, 10, 20, 40};
+  add_counter_lanes(cb, 16, half_periods, "l");
+  b.design->finalize();
+  return b;
+};
+
+// Imbalanced DCT: the paper's gate-level datapath plus a rate-skewed
+// control counter bank (think clock-domain controllers beside a
+// homogeneous datapath).  The datapath part is naturally count-balanced,
+// so all the skew the static schemes must cope with comes from the bank --
+// which neither copes with (see add_counter_lanes).
+bench::BuildFn dct_imb_build = [] {
+  bench::Built b;
+  b.graph = std::make_unique<pdes::LpGraph>();
+  b.design = std::make_unique<vhdl::Design>(*b.graph);
+  circuits::DctParams p;
+  p.n = 2;  // ablation-sized: the full 4x4 array is bench_fig10's job
+  p.width = 3;
+  circuits::build_dct(*b.design, p);
+  circuits::CircuitBuilder cb(*b.design, /*gate_delay=*/1);
+  const PhysTime half_periods[] = {4, 8, 16, 32};
+  add_counter_lanes(cb, 8, half_periods, "ctrl");
+  b.design->finalize();
+  return b;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string only = argc > 1 ? argv[1] : "";
+  const auto want = [&only](const char* section) {
+    return only.empty() || only == section;
+  };
   const PhysTime until = 800;
-  const double seq = bench::sequential_cost(fsm_build, until);
+  const bool need_fsm_seq = want("gvt_interval") || want("transport_faults") ||
+                            want("checkpointing") || want("history_cap");
+  const double seq =
+      need_fsm_seq ? bench::sequential_cost(fsm_build, until) : 0.0;
   bench::Report report("ablation");
   report.set_config("until_fsm", static_cast<std::uint64_t>(until));
 
+  if (want("gvt_interval")) {
   std::printf("# Ablation (a): GVT interval sweep, FSM, dynamic, P=8\n");
   std::printf("%-10s%12s%12s%14s\n", "interval", "speedup", "rounds",
               "rollbacks");
@@ -65,7 +145,9 @@ int main() {
     report.add_row("gvt_interval", 8, "interval=" + std::to_string(interval),
                    seq / st.makespan, st);
   }
+  }
 
+  if (want("partitioning")) {
   std::printf("\n# Ablation (b): partitioning, IIR, dynamic\n");
   const PhysTime iuntil = 4000;
   const double iseq = bench::sequential_cost(iir_build, iuntil);
@@ -93,7 +175,9 @@ int main() {
       report.add_row("partitioning", p, "bipartite", iseq / bf.makespan, bf);
     }
   }
+  }
 
+  if (want("cancellation")) {
   std::printf(
       "\n# Ablation (d): cancellation policy, aggressive vs lazy, P=8\n"
       "# (lazy suppresses anti-messages when re-execution regenerates the\n"
@@ -136,7 +220,9 @@ int main() {
       std::fflush(stdout);
     }
   }
+  }
 
+  if (want("transport_faults")) {
   std::printf(
       "\n# Ablation (e): transport faults with reliable delivery, FSM, P=8\n"
       "# (drop/dup/reorder on the wire; the reliable channel repairs the\n"
@@ -164,7 +250,9 @@ int main() {
     report.add_row("transport_faults", 8, "drop=" + bench::fmt(drop),
                    seq / st.makespan, st);
   }
+  }
 
+  if (want("checkpointing")) {
   std::printf(
       "\n# Ablation (f): checkpoint period x crash rate, FSM, P=8, dynamic\n"
       "# (GVT-consistent checkpoints every `period` rounds; seeded crash-stop\n"
@@ -198,7 +286,9 @@ int main() {
                      seq / st.makespan, st);
     }
   }
+  }
 
+  if (want("history_cap")) {
   std::printf("\n# Ablation (c): optimistic history cap (memory), FSM, P=8\n");
   std::printf("%-10s%12s%16s\n", "cap", "speedup", "total_history");
   for (std::size_t cap : {0u, 256u, 64u, 16u, 4u}) {
@@ -213,6 +303,68 @@ int main() {
     std::fflush(stdout);
     report.add_row("history_cap", 8, "cap=" + std::to_string(cap),
                    seq / st.makespan, st);
+  }
+  }
+
+  if (want("placement")) {
+  std::printf(
+      "\n# Ablation (g): placement x dynamic rebalancing\n"
+      "# (static schemes fix the LP->worker map for the whole run; `dynamic`\n"
+      "#  starts from the locality-preserving but load-blind blocks map and\n"
+      "#  lets the GVT-round rebalancer migrate LPs toward observed load.\n"
+      "#  cut(dyn) is the achieved cut of the final migrated placement)\n");
+  struct Cell {
+    const char* name;
+    const bench::BuildFn* build;
+    PhysTime until;
+  };
+  const Cell cells[] = {{"fsm-imb", &fsm_imb_build, 2000},
+                        {"dct-imb", &dct_imb_build, 3000}};
+  const bench::Placement statics[] = {bench::Placement::kRoundRobin,
+                                      bench::Placement::kBlocks,
+                                      bench::Placement::kBipartite};
+  for (const Cell& cell : cells) {
+    const double sc = bench::sequential_cost(*cell.build, cell.until);
+    bench::Built probe = (*cell.build)();
+    std::printf("# %s: %zu LPs\n", cell.name, probe.graph->size());
+    std::printf("%-6s%14s%14s%14s%14s%12s%12s%12s\n", "P", "round-robin",
+                "blocks", "bipartite", "dynamic", "migrations", "cut(blk)",
+                "cut(dyn)");
+    for (std::size_t p : {4u, 8u}) {
+      pdes::RunConfig rc;
+      rc.num_workers = p;
+      rc.configuration = pdes::Configuration::kDynamic;
+      rc.until = cell.until;
+      std::printf("%-6zu", p);
+      for (const bench::Placement place : statics) {
+        const auto st = bench::run_machine(*cell.build, rc, place);
+        std::printf("%14s", bench::fmt(sc / st.makespan).c_str());
+        report.add_row("placement", p,
+                       std::string(cell.name) + "/" +
+                           bench::to_string(place),
+                       sc / st.makespan, st);
+      }
+      pdes::RunConfig dyn = rc;
+      dyn.rebalance.period = 4;
+      dyn.rebalance.imbalance_trigger = 0.20;
+      dyn.rebalance.max_moves = 4;
+      pdes::Partition final_part;
+      const auto st = bench::run_machine(*cell.build, dyn,
+                                         bench::Placement::kBlocks,
+                                         &final_part);
+      const auto blk = bench::make_placement(*probe.graph,
+                                             bench::Placement::kBlocks, p);
+      std::printf("%14s%12llu%12zu%12zu\n",
+                  bench::fmt(sc / st.makespan).c_str(),
+                  static_cast<unsigned long long>(
+                      st.metrics.counter(obs::Metric::kMigrations)),
+                  partition::cut_size(*probe.graph, blk),
+                  partition::cut_size(*probe.graph, final_part));
+      std::fflush(stdout);
+      report.add_row("placement", p, std::string(cell.name) + "/dynamic",
+                     sc / st.makespan, st);
+    }
+  }
   }
   report.write();
   return 0;

@@ -24,6 +24,39 @@ pdes::RunStats run_machine(const BuildFn& build, pdes::RunConfig rc,
   return eng.run();
 }
 
+const char* to_string(Placement p) {
+  switch (p) {
+    case Placement::kRoundRobin: return "round-robin";
+    case Placement::kBlocks: return "blocks";
+    case Placement::kBipartite: return "bipartite";
+  }
+  return "?";
+}
+
+pdes::Partition make_placement(const pdes::LpGraph& graph, Placement place,
+                               std::size_t workers) {
+  switch (place) {
+    case Placement::kRoundRobin: return partition::round_robin(graph.size(),
+                                                               workers);
+    case Placement::kBlocks: return partition::blocks(graph.size(), workers);
+    case Placement::kBipartite: return partition::bipartite_bfs(graph,
+                                                                workers);
+  }
+  return partition::round_robin(graph.size(), workers);
+}
+
+pdes::RunStats run_machine(const BuildFn& build, pdes::RunConfig rc,
+                           Placement place,
+                           pdes::Partition* final_partition) {
+  Built b = build();
+  pdes::MachineEngine eng(*b.graph, make_placement(*b.graph, place,
+                                                   rc.num_workers),
+                          rc);
+  pdes::RunStats st = eng.run();
+  if (final_partition != nullptr) *final_partition = eng.partition();
+  return st;
+}
+
 std::string fmt(double v, int prec) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", prec, v);

@@ -40,6 +40,21 @@ double sequential_cost(const BuildFn& build, PhysTime until);
 pdes::RunStats run_machine(const BuildFn& build, pdes::RunConfig rc,
                            bool bipartite_partition = false);
 
+/// Initial placement schemes for the placement ablation.
+enum class Placement { kRoundRobin, kBlocks, kBipartite };
+[[nodiscard]] const char* to_string(Placement p);
+[[nodiscard]] pdes::Partition make_placement(const pdes::LpGraph& graph,
+                                             Placement place,
+                                             std::size_t workers);
+
+/// One machine-model run from an explicit initial placement.  When
+/// `final_partition` is non-null it receives the end-of-run LP->worker map,
+/// which differs from the initial one after dynamic rebalancing (or
+/// redistribute recovery) -- callers use it to report the achieved cut.
+pdes::RunStats run_machine(const BuildFn& build, pdes::RunConfig rc,
+                           Placement place,
+                           pdes::Partition* final_partition = nullptr);
+
 class Report;
 
 /// Prints one figure: speedup-vs-processors for the four configurations.

@@ -40,13 +40,18 @@ assert all("ph" in e and "pid" in e for e in events), "malformed event"
 print("OK %s (%d events)" % (sys.argv[1], len(events)))
 EOF
 
-echo "==> Perf gate: microbench report vs committed baseline"
+echo "==> Perf gate: microbench + placement reports vs committed baselines"
 # The deterministic model_fsm speedup rows gate hard (>5% drop fails); the
 # wall-clock micro rows are warn-only at 25% because this host is shared.
+# The ablation binary runs its placement section only: those rows gate the
+# dynamic rebalancer (and the static schemes it is measured against) so a
+# planner change that costs placement quality shows up as a speedup drop.
 VSIM_BENCH_DIR="$ARTIFACTS" ./build/bench/bench_microbench \
   --benchmark_min_time=0.1 > /dev/null
-python3 tools/bench_diff.py --validate "$ARTIFACTS/BENCH_microbench.json"
-python3 tools/bench_diff.py bench/baseline "$ARTIFACTS/BENCH_microbench.json"
+VSIM_BENCH_DIR="$ARTIFACTS" ./build/bench/bench_ablation placement > /dev/null
+python3 tools/bench_diff.py --validate "$ARTIFACTS/BENCH_microbench.json" \
+  "$ARTIFACTS/BENCH_ablation.json"
+python3 tools/bench_diff.py bench/baseline "$ARTIFACTS"
 
 echo "==> AddressSanitizer build"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

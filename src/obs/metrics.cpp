@@ -38,6 +38,8 @@ const char* metric_name(Metric m) {
     case Metric::kRecoveries: return "ckpt.recoveries";
     case Metric::kLpsRestored: return "ckpt.lps_restored";
     case Metric::kCheckpointDiskBytes: return "ckpt.disk_bytes";
+    case Metric::kMigrations: return "engine.migrations";
+    case Metric::kRebalanceRounds: return "engine.rebalance_rounds";
     case Metric::kCount: break;
   }
   return "unknown";
@@ -49,6 +51,7 @@ const char* gauge_name(Gauge g) {
     case Gauge::kTotalHistory: return "tw.total_history";
     case Gauge::kMakespan: return "engine.makespan";
     case Gauge::kFtOverhead: return "ckpt.overhead_cost";
+    case Gauge::kLbImbalance: return "lb.imbalance";
     case Gauge::kCount: break;
   }
   return "unknown";

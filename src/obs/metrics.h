@@ -64,6 +64,9 @@ enum class Metric : std::uint16_t {
   kRecoveries,             ///< ckpt.recoveries
   kLpsRestored,            ///< ckpt.lps_restored
   kCheckpointDiskBytes,    ///< ckpt.disk_bytes
+  // Dynamic load balancing (partition/rebalance.h).
+  kMigrations,             ///< engine.migrations — LPs moved between workers
+  kRebalanceRounds,        ///< engine.rebalance_rounds — planner evaluations
   kCount
 };
 
@@ -73,6 +76,8 @@ enum class Gauge : std::uint16_t {
   kTotalHistory,  ///< tw.total_history — summed per-LP peak history (memory proxy)
   kMakespan,      ///< engine.makespan — machine model critical path
   kFtOverhead,    ///< ckpt.overhead_cost — work units charged to fault tolerance
+  kLbImbalance,   ///< lb.imbalance — peak (max-min)/avg worker load observed
+                  ///< at a rebalance round (gauges merge with MAX)
   kCount
 };
 

@@ -14,17 +14,20 @@ namespace vsim::partition {
 [[nodiscard]] pdes::Partition round_robin(std::size_t n_lps,
                                           std::size_t n_workers);
 
-/// Contiguous blocks of LP ids (equal counts, preserves builder locality).
+/// Contiguous blocks of LP ids (preserves builder locality).  Per-worker
+/// counts differ by at most one; no worker is empty when n_lps >= n_workers.
 [[nodiscard]] pdes::Partition blocks(std::size_t n_lps,
                                      std::size_t n_workers);
 
 /// Bipartite-aware scheme: orders LPs by BFS over the undirected channel
-/// graph (keeping each signal near its processes), then cuts the order into
-/// equal chunks.  Reduces cross-worker messages on circuit-shaped graphs.
+/// graph (keeping each signal near its processes; every component is visited
+/// exactly once), then cuts the order into chunks whose sizes differ by at
+/// most one.  Reduces cross-worker messages on circuit-shaped graphs.
 [[nodiscard]] pdes::Partition bipartite_bfs(const pdes::LpGraph& graph,
                                             std::size_t n_workers);
 
-/// Number of channel edges crossing worker boundaries (quality metric).
+/// Number of undirected channel pairs crossing worker boundaries (quality
+/// metric).  A bidirectional u<->v connection counts once, not twice.
 [[nodiscard]] std::size_t cut_size(const pdes::LpGraph& graph,
                                    const pdes::Partition& part);
 

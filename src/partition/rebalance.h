@@ -1,0 +1,82 @@
+// Dynamic load balancing: LP migration planning at GVT rounds.
+//
+// The paper's static equal-count placement leaves workers idle whenever the
+// circuit's activity is unevenly distributed ("Remarks", Sec. 3.4: the
+// speedup curves flatten exactly where placement is the bottleneck).  This
+// module closes the loop the observability layer opened: the engines already
+// know, per LP, how many events were committed and how many were rolled
+// back; at a configurable cadence of GVT rounds the round coordinator feeds
+// those counters in here and gets back a bounded, deterministic list of LP
+// migrations.
+//
+// The planner is pure (no engine state): engines own the execution side --
+// packing LP state with the checkpoint codec and retargeting routing --
+// which is safe precisely at a GVT round, where the network has been drained
+// to quiescence and every worker is parked at a barrier (see DESIGN.md,
+// "Dynamic load balancing").
+//
+// Algorithm: greedy diffusion with hysteresis.  Score each alive worker's
+// load as the sum of its LPs' work (committed events + rollback_weight x
+// undone events); do nothing while (max - min) / avg is below the
+// imbalance_trigger.  Otherwise repeatedly move one LP from the most loaded
+// to the least loaded worker: the LP whose work is closest to half the load
+// gap, with a cut-size tie-break so near-equal candidates prefer keeping
+// channel neighbours together.  At most max_moves LPs move per round, and
+// every move strictly shrinks the src/dst gap, so placement cannot thrash.
+//
+// The same machinery serves crash recovery: redistribute_orphans() replaces
+// the old round-robin scattering of a dead worker's LPs under the
+// kRedistribute policy with load- and cut-aware placement.
+#pragma once
+
+#include <vector>
+
+#include "pdes/config.h"
+#include "pdes/graph.h"
+#include "pdes/machine.h"  // Partition
+
+namespace vsim::partition {
+
+/// One planned migration: move `lp` from worker `from` to worker `to`.
+struct Migration {
+  pdes::LpId lp = 0;
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+};
+
+/// Output of plan_rebalance(): the moves plus the imbalance score before and
+/// after (as predicted from the work model; `lb.imbalance` gauges the
+/// before value).
+struct RebalancePlan {
+  double imbalance_before = 0.0;
+  double imbalance_after = 0.0;
+  std::vector<Migration> moves;
+  [[nodiscard]] bool empty() const { return moves.empty(); }
+};
+
+/// Relative load spread (max - min) / avg over alive workers; 0 when fewer
+/// than two workers are alive or no work has been recorded.
+[[nodiscard]] double imbalance(const std::vector<double>& load,
+                               const std::vector<bool>& alive);
+
+/// Plans a bounded set of migrations (possibly none).  `lp_work` is the
+/// per-LP work score for the window being balanced over; `alive[w]` == false
+/// excludes worker w as both source and destination.  Deterministic: equal
+/// scores break towards the lowest worker / LP id.
+[[nodiscard]] RebalancePlan plan_rebalance(const pdes::LpGraph& graph,
+                                           const pdes::Partition& part,
+                                           const std::vector<double>& lp_work,
+                                           const std::vector<bool>& alive,
+                                           const pdes::RebalanceConfig& cfg);
+
+/// Reassigns every LP currently mapped to a dead worker (alive[part[lp]] ==
+/// false) to the survivor with the least projected load, with the same
+/// cut-aware tie-break as the planner.  Shared by the engines' kRedistribute
+/// recovery path.  Orphans with no recorded work still spread evenly (each
+/// counts at least one work unit).
+void redistribute_orphans(const pdes::LpGraph& graph, pdes::Partition& part,
+                          const std::vector<double>& lp_work,
+                          const std::vector<bool>& alive,
+                          const pdes::RebalanceConfig& cfg);
+
+}  // namespace vsim::partition

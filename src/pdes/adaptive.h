@@ -43,10 +43,23 @@ inline void adapt_lp(LpRuntime& rt, const AdaptPolicy& p) {
       rt.pin_conservative();
     }
   } else {
-    if (!rt.pinned_conservative() &&
-        rt.window_blocked() >= p.min_window_events &&
+    // Re-promotion is damped by demotion-count hysteresis.  The rollback-
+    // rate test is vacuous for a fully starved window (events == 0 makes
+    // 0 <= rate * anything hold trivially), so a blocked LP used to flip
+    // optimistic on blocked counts alone -- only to roll back and demote
+    // the moment traffic resumed, ping-ponging between modes forever.
+    // Requiring window activity instead would trap throttled LPs (pending
+    // work parked just above the safe bound, the very LPs speculation
+    // helps) in conservative mode and costs real speedup, so the fix is
+    // escalation, not prohibition: each past demotion doubles the
+    // blocked-poll evidence the next promotion needs (capped), halving the
+    // oscillation frequency every cycle until the LP settles down.
+    const std::uint64_t need_blocked =
+        static_cast<std::uint64_t>(p.min_window_events)
+        << std::min<std::uint64_t>(rt.demotions(), p.promotion_backoff_cap);
+    if (!rt.pinned_conservative() && rt.window_blocked() >= need_blocked &&
         static_cast<double>(rollbacks) <=
-            p.rollback_rate_low * static_cast<double>(events + 1)) {
+            p.rollback_rate_low * static_cast<double>(events)) {
       rt.set_mode(SyncMode::kOptimistic);
     }
   }

@@ -16,6 +16,12 @@
 // re-execution after the checkpoint settles each entry as a suppressed
 // resend.  The checkpoint is thus protocol-transparent: no receiver ever
 // observes that one was taken.
+//
+// The per-LP capture path (rollback_all_deferred + make_checkpoint +
+// restore_from) is also the migration codec: dynamic load balancing
+// (partition/rebalance.h) packs an LP through it on the source worker and
+// reinstates it on the destination inside the same drained GVT round, so
+// migrating is exactly "checkpoint one LP, restore it under a new owner".
 #pragma once
 
 #include <cstdint>

@@ -113,6 +113,19 @@ std::optional<ConfigError> validate(const RunConfig& config) {
       config.checkpoint.max_recoveries < 1)
     return fail("checkpoint.max_recoveries",
                 "crashes are scheduled but no recoveries are allowed");
+  if (config.rebalance.enabled()) {
+    if (config.rebalance.max_moves < 1)
+      return fail("rebalance.max_moves",
+                  "rebalancing is enabled but no moves are allowed");
+    if (config.rebalance.imbalance_trigger < 0.0)
+      return fail("rebalance.imbalance_trigger", "must be >= 0");
+    if (config.rebalance.min_gain < 0.0)
+      return fail("rebalance.min_gain", "must be >= 0");
+    if (config.rebalance.rollback_weight < 0.0)
+      return fail("rebalance.rollback_weight", "must be >= 0");
+    if (config.rebalance.cut_weight < 0.0)
+      return fail("rebalance.cut_weight", "must be >= 0");
+  }
   return std::nullopt;
 }
 

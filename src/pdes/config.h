@@ -190,6 +190,39 @@ struct AdaptPolicy {
   double rollback_rate_low = 0.05;
   /// Minimum events observed in a window before a switch is considered.
   std::uint32_t min_window_events = 8;
+  /// Each optimistic->conservative demotion doubles the blocked-poll
+  /// evidence required before the next re-promotion (left-shift of
+  /// min_window_events, saturating at this many doublings).  Breaks the
+  /// demote/promote ping-pong of LPs that only ever look good while idle.
+  std::uint32_t promotion_backoff_cap = 4;
+};
+
+/// Dynamic load balancing: at a configurable cadence of GVT rounds the
+/// round coordinator scores the current placement from the merged per-LP
+/// work counters, and migrates a bounded set of LPs from overloaded to
+/// underloaded workers (partition/rebalance.h).  Migration happens inside
+/// the round, where the network is quiescent and every worker is parked, so
+/// LP state moves via the checkpoint codec with nothing in flight.
+struct RebalanceConfig {
+  /// Consider migrating every `period` GVT rounds; 0 disables rebalancing.
+  std::uint32_t period = 0;
+  /// Upper bound on LPs moved per rebalance round (migration has real cost;
+  /// moving everything at once just trades one imbalance for another).
+  std::uint32_t max_moves = 4;
+  /// Hysteresis: do nothing while (max-min)/avg worker load is below this,
+  /// so a placement within tolerance never thrashes.
+  double imbalance_trigger = 0.25;
+  /// A candidate move must shave at least this fraction of the src/dst load
+  /// gap, or it is not worth the migration cost.
+  double min_gain = 0.05;
+  /// Weight of undone (rolled-back) events in the per-LP work score;
+  /// committed work counts 1.0 per event.
+  double rollback_weight = 0.5;
+  /// Tie-break weight of the cut-size delta a move would cause: among
+  /// near-equal load moves, prefer the one that cuts fewer channels.
+  double cut_weight = 0.1;
+
+  [[nodiscard]] bool enabled() const { return period > 0; }
 };
 
 struct RunConfig {
@@ -218,6 +251,8 @@ struct RunConfig {
   TransportConfig transport;
   /// GVT-consistent checkpointing and crash recovery.
   CheckpointConfig checkpoint;
+  /// Dynamic load balancing via LP migration at GVT rounds.
+  RebalanceConfig rebalance;
   /// Optional event-trace sink (obs/trace.h).  The session must have at
   /// least `num_workers` tracks and outlive the engine.  When null, engines
   /// fall back to the $VSIM_TRACE process-global tracer (if set); tracing is

@@ -48,6 +48,7 @@ class LpRuntime::CollectContext final : public SimContext {
 void LpRuntime::set_mode(SyncMode m) {
   if (m == SyncMode::kOptimistic && !lp_->can_save_state()) return;
   if (m != mode_) {
+    if (m == SyncMode::kConservative) ++demotions_;
     mode_ = m;
     ++stats_.mode_switches;
   }

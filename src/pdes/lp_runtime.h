@@ -136,6 +136,10 @@ class LpRuntime {
   [[nodiscard]] std::uint64_t window_memory_stalls() const {
     return window_memory_stalls_;
   }
+  /// Lifetime optimistic->conservative transitions (NOT window-scoped):
+  /// adapt_lp's promotion hysteresis scales its evidence threshold by this,
+  /// so an LP that keeps getting demoted needs ever more proof to flip back.
+  [[nodiscard]] std::uint64_t demotions() const { return demotions_; }
 
   [[nodiscard]] std::size_t history_size() const { return history_.size(); }
   [[nodiscard]] bool has_pending() const { return !pending_.empty(); }
@@ -226,6 +230,7 @@ class LpRuntime {
   std::uint64_t window_events_ = 0;
   std::uint64_t window_blocked_ = 0;
   std::uint64_t window_memory_stalls_ = 0;
+  std::uint64_t demotions_ = 0;  ///< lifetime optimistic->conservative flips
 };
 
 }  // namespace vsim::pdes

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "partition/rebalance.h"
+
 namespace vsim::pdes {
 
 // The machine engine's wire: a latency-stamped arrival in the destination
@@ -91,6 +93,8 @@ MachineEngine::MachineEngine(LpGraph& graph, Partition partition,
   lps_.reserve(graph_.size());
   key_.assign(graph_.size(), kTimeInf);
   last_promise_.assign(graph_.size(), kTimeZero);
+  lb_events_base_.assign(graph_.size(), 0);
+  lb_undone_base_.assign(graph_.size(), 0);
   workers_.resize(config_.num_workers);
   for (LpId id = 0; id < graph_.size(); ++id) {
     lps_.emplace_back(&graph_.lp(id), config_.ordering, config_.strategy,
@@ -442,9 +446,79 @@ VirtualTime MachineEngine::sync_round() {
     if (config_.strategy == ConservativeStrategy::kNullMessage)
       send_null_messages_for(id);
   }
+
+  // Dynamic load balancing, last: the network is quiescent (drained above),
+  // fossil collection already freed history below the new GVT, and nothing
+  // runs between here and the workers resuming, so ownership can change
+  // hands with no packet in flight addressed by the old mapping.  Skipped
+  // with a crash pending (recovery owns the partition then) and at the
+  // final round (gvt == inf: nothing left to balance).
+  if (!crash_pending && !transport_failed_ && gvt != kTimeInf &&
+      gvt.pt <= config_.until) {
+    maybe_rebalance();
+  }
+
   safe_bound_ = gvt;
   metrics_.merge();  // every shard is quiescent inside the round
   return gvt;
+}
+
+void MachineEngine::maybe_rebalance() {
+  if (!config_.rebalance.enabled()) return;
+  if (++rounds_since_rebalance_ < config_.rebalance.period) return;
+  rounds_since_rebalance_ = 0;
+
+  // Per-LP work over the window since the previous rebalance: retained
+  // events count fully, undone (rolled-back) work at rollback_weight --
+  // a thrashing LP still loads its worker, just less usefully.
+  std::vector<double> work(lps_.size(), 0.0);
+  for (LpId id = 0; id < lps_.size(); ++id) {
+    const LpStats& s = lps_[id].stats();
+    const double ev =
+        static_cast<double>(s.events_processed - lb_events_base_[id]);
+    const double un = static_cast<double>(s.events_undone - lb_undone_base_[id]);
+    work[id] = std::max(ev - un, 0.0) + config_.rebalance.rollback_weight * un;
+    lb_events_base_[id] = s.events_processed;
+    lb_undone_base_[id] = s.events_undone;
+  }
+  std::vector<bool> alive(workers_.size());
+  for (std::size_t w = 0; w < workers_.size(); ++w)
+    alive[w] = !(ft_on_ && worker_dead(w));
+
+  const partition::RebalancePlan plan = partition::plan_rebalance(
+      graph_, partition_, work, alive, config_.rebalance);
+  metrics_.shard(0).gauge_max(obs::Gauge::kLbImbalance, plan.imbalance_before);
+  metrics_.shard(0).inc(obs::Metric::kRebalanceRounds);
+  if (plan.empty()) return;
+
+  for (const partition::Migration& mv : plan.moves) {
+    Worker& src = workers_[mv.from];
+    Worker& dst = workers_[mv.to];
+    src.ready.erase({key_[mv.lp], mv.lp});
+    src.owned.erase(std::find(src.owned.begin(), src.owned.end(), mv.lp));
+    // Pack through the checkpoint codec: speculation is undone with
+    // deferred cancellation (no anti-messages, network stays quiescent; the
+    // deterministic re-execution settles the deferred sends as suppressed
+    // resends), then the committed frontier is snapshotted and reinstated
+    // under the new owner.
+    lps_[mv.lp].rollback_all_deferred();
+    const LpCheckpoint ck = lps_[mv.lp].make_checkpoint();
+    partition_[mv.lp] = mv.to;
+    lps_[mv.lp].restore_from(ck);
+    key_[mv.lp] = lps_[mv.lp].next_ts();
+    dst.owned.push_back(mv.lp);
+    dst.ready.insert({key_[mv.lp], mv.lp});
+    // The sender pays a checkpoint write, the receiver a state reload.
+    VSIM_TRACE(if (trace_ != nullptr) {
+      trace_->complete(mv.from, "lb", "migrate-out", src.clock,
+                       costs_.checkpoint_per_lp, mv.lp);
+      trace_->complete(mv.to, "lb", "migrate-in", dst.clock,
+                       costs_.restore_per_lp, mv.lp);
+    });
+    src.clock += costs_.checkpoint_per_lp;
+    dst.clock += costs_.restore_per_lp;
+    metrics_.shard(mv.from).inc(obs::Metric::kMigrations);
+  }
 }
 
 bool MachineEngine::detect_and_recover() {
@@ -484,16 +558,25 @@ bool MachineEngine::recover() {
   if (config_.checkpoint.policy == RecoveryPolicy::kRedistribute) {
     for (std::size_t w = 0; w < workers_.size(); ++w)
       if (crashed_[w] && !retired_[w]) retired_[w] = true;
-    std::vector<std::uint32_t> survivors;
-    for (std::size_t w = 0; w < workers_.size(); ++w)
-      if (!retired_[w]) survivors.push_back(static_cast<std::uint32_t>(w));
-    if (survivors.empty())
-      return fail("no surviving worker to redistribute LPs to");
-    std::size_t next = 0;
-    for (LpId id = 0; id < lps_.size(); ++id) {
-      if (!retired_[partition_[id]]) continue;
-      partition_[id] = survivors[next++ % survivors.size()];
+    std::vector<bool> alive(workers_.size());
+    bool any_alive = false;
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      alive[w] = !retired_[w];
+      any_alive = any_alive || alive[w];
     }
+    if (!any_alive)
+      return fail("no surviving worker to redistribute LPs to");
+    // Load- and cut-aware orphan placement, shared with the dynamic
+    // rebalancer (it replaced the old round-robin scattering): each orphan
+    // goes to the least-loaded survivor, preferring channel neighbours.
+    std::vector<double> work(lps_.size(), 0.0);
+    for (LpId id = 0; id < lps_.size(); ++id) {
+      const LpStats& s = lps_[id].stats();
+      work[id] = static_cast<double>(
+          s.events_processed - std::min(s.events_processed, s.events_undone));
+    }
+    partition::redistribute_orphans(graph_, partition_, work, alive,
+                                    config_.rebalance);
   } else {
     // Restart in place: the lost worker comes back empty and reloads its
     // original partition from the checkpoint, like everyone else.

@@ -71,6 +71,11 @@ class MachineEngine {
   /// Runs to completion (or deadlock); returns statistics incl. makespan.
   RunStats run();
 
+  /// Current LP->worker mapping.  With dynamic rebalancing or redistribute
+  /// recovery this differs from the constructor argument; benches read it
+  /// after run() to score the final placement (cut size).
+  [[nodiscard]] const Partition& partition() const { return partition_; }
+
  private:
   struct Arrival {
     double when;
@@ -120,6 +125,11 @@ class MachineEngine {
   /// the first eligible event.  Returns false if the worker cannot advance
   /// without a synchronisation round.
   bool step(std::size_t w);
+  /// Dynamic load balancing (partition/rebalance.h), evaluated inside
+  /// sync_round() while the network is quiescent: scores the placement from
+  /// the per-LP work since the previous rebalance and migrates a bounded set
+  /// of LPs, packing each one through the checkpoint codec.
+  void maybe_rebalance();
   /// Global synchronisation: barrier, drain, compute GVT, fossil collect,
   /// adapt modes, emit null promises.  Returns the new GVT.
   VirtualTime sync_round();
@@ -139,6 +149,13 @@ class MachineEngine {
   VirtualTime safe_bound_ = kTimeZero;
   std::uint64_t arrival_seq_ = 0;
   std::uint64_t gvt_rounds_ = 0;
+  // Dynamic load balancing: rounds since the last rebalance attempt, and
+  // per-LP counter snapshots so each attempt scores only the work of the
+  // window since the previous one (cumulative totals would anchor the score
+  // to stale early-run behaviour).
+  std::uint32_t rounds_since_rebalance_ = 0;
+  std::vector<std::uint64_t> lb_events_base_;
+  std::vector<std::uint64_t> lb_undone_base_;
   bool deadlocked_ = false;
   bool transport_failed_ = false;
   std::size_t current_worker_ = 0;

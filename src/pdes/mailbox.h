@@ -32,6 +32,12 @@
 // lane, concurrently with one drain()er.  reset(), clear() and the
 // destructor require external quiescence (the engine calls them inside
 // barrier rounds).
+//
+// Quiescence is also what makes LP migration (partition/rebalance.h) safe
+// against this design: a GVT round drains every lane and outbox buffer
+// before the coordinator's exclusive section runs, so when ownership moves
+// there is no published batch -- and no producer-side buffer -- still
+// holding a packet addressed under the old LP->worker mapping.
 #pragma once
 
 #include <atomic>

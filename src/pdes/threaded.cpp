@@ -6,6 +6,8 @@
 #include <condition_variable>
 #include <thread>
 
+#include "partition/rebalance.h"
+
 namespace vsim::pdes {
 
 /// Events processed per scheduler iteration (between mailbox drains and
@@ -132,6 +134,8 @@ ThreadedEngine::ThreadedEngine(LpGraph& graph, Partition partition,
   lps_.reserve(graph_.size());
   key_.assign(graph_.size(), kTimeInf);
   last_promise_.assign(graph_.size(), kTimeZero);
+  lb_events_base_.assign(graph_.size(), 0);
+  lb_undone_base_.assign(graph_.size(), 0);
   workers_.reserve(config_.num_workers);
   for (std::size_t i = 0; i < config_.num_workers; ++i) {
     workers_.push_back(std::make_unique<Worker>());
@@ -533,6 +537,14 @@ void ThreadedEngine::worker_main(std::size_t wi) {
                                tnow() - ck_start);
             });
           }
+          // Dynamic load balancing, after the (optional) capture: the
+          // network is quiescent and everyone else is parked, so ownership
+          // can change hands with nothing in flight under the old mapping.
+          if (config_.rebalance.enabled() &&
+              ++rounds_since_rebalance_ >= config_.rebalance.period) {
+            rounds_since_rebalance_ = 0;
+            coordinator_rebalance(wi);
+          }
           round_requested_.store(false, std::memory_order_release);
         }
       }
@@ -629,18 +641,27 @@ bool ThreadedEngine::coordinator_recover() {
   if (ck == nullptr) return fail("no checkpoint available");
 
   // A dead thread cannot be respawned, so both policies redistribute the
-  // lost workers' LPs over the survivors.
+  // lost workers' LPs over the survivors -- with the load-balancer's
+  // load/cut-aware placement (partition/rebalance.h), not round-robin.
   for (std::size_t w = 0; w < workers_.size(); ++w)
     if (crashed_[w].load(std::memory_order_acquire)) retired_[w] = true;
-  std::vector<std::uint32_t> survivors;
-  for (std::size_t w = 0; w < workers_.size(); ++w)
-    if (!retired_[w]) survivors.push_back(static_cast<std::uint32_t>(w));
-  if (survivors.empty())
+  std::vector<bool> alive(workers_.size());
+  bool any_alive = false;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    alive[w] = !retired_[w];
+    any_alive = any_alive || alive[w];
+  }
+  if (!any_alive)
     return fail("no surviving worker to redistribute LPs to");
-  std::size_t next = 0;
-  for (LpId id = 0; id < lps_.size(); ++id) {
-    if (!retired_[partition_[id]]) continue;
-    partition_[id] = survivors[next++ % survivors.size()];
+  {
+    std::vector<double> work(lps_.size(), 0.0);
+    for (LpId id = 0; id < lps_.size(); ++id) {
+      const LpStats& s = lps_[id].stats();
+      work[id] = static_cast<double>(
+          s.events_processed - std::min(s.events_processed, s.events_undone));
+    }
+    partition::redistribute_orphans(graph_, partition_, work, alive,
+                                    config_.rebalance);
   }
   ++recoveries_;
   ++ckstats_.recoveries;
@@ -689,6 +710,73 @@ void ThreadedEngine::coordinator_checkpoint(std::size_t coord,
   // later).
   flush_commits();
   store_.put(std::move(ck));
+}
+
+void ThreadedEngine::coordinator_rebalance(std::size_t coord) {
+  // Per-LP work since the previous rebalance attempt.  Coordinator-only
+  // inside the exclusive section: every other worker is parked, so reading
+  // foreign LPs' stats is race-free (same argument as checkpoint capture).
+  std::vector<double> work(lps_.size(), 0.0);
+  for (LpId id = 0; id < lps_.size(); ++id) {
+    const LpStats& s = lps_[id].stats();
+    const double ev =
+        static_cast<double>(s.events_processed - lb_events_base_[id]);
+    const double un =
+        static_cast<double>(s.events_undone - lb_undone_base_[id]);
+    work[id] = std::max(ev - un, 0.0) + config_.rebalance.rollback_weight * un;
+    lb_events_base_[id] = s.events_processed;
+    lb_undone_base_[id] = s.events_undone;
+  }
+  std::vector<bool> alive(workers_.size());
+  for (std::size_t w = 0; w < workers_.size(); ++w)
+    alive[w] = !worker_dead(w);
+
+  const partition::RebalancePlan plan = partition::plan_rebalance(
+      graph_, partition_, work, alive, config_.rebalance);
+  metrics_.shard(coord).gauge_max(obs::Gauge::kLbImbalance,
+                                  plan.imbalance_before);
+  metrics_.shard(coord).inc(obs::Metric::kRebalanceRounds);
+  if (plan.empty()) return;
+
+  double lb_start = 0.0;
+  VSIM_TRACE(if (trace_ != nullptr) lb_start = tnow());
+  ThreadedRouter router(*this, coord);
+  for (const partition::Migration& mv : plan.moves) {
+    Worker& src = *workers_[mv.from];
+    Worker& dst = *workers_[mv.to];
+    src.owned.erase(std::find(src.owned.begin(), src.owned.end(), mv.lp));
+    // Pack through the checkpoint codec: undo speculation with deferred
+    // cancellation (no anti-messages, the drained network stays quiescent;
+    // re-execution settles the deferred sends as suppressed resends), then
+    // snapshot the committed frontier and reinstate it under the new owner.
+    //
+    // Fossil-collect at the round's GVT FIRST (this round's collection
+    // phase runs after this exclusive section, so the LP may still hold
+    // speculation the new frontier has already finalised).  The deferred
+    // rollback is protocol-transparent only for events strictly above GVT:
+    // receivers fossil-collect their sends this very round, and a parked
+    // send whose receiver has committed it can never be cancelled again --
+    // if the LP is later demoted, conservative re-execution settles the
+    // stale entry as an anti-message below the receiver's commit frontier
+    // and a fresh-uid duplicate, corrupting the committed trace.
+    lps_[mv.lp].fossil_collect(safe_bound_, router);
+    lps_[mv.lp].rollback_all_deferred();
+    const LpCheckpoint ck = lps_[mv.lp].make_checkpoint();
+    partition_[mv.lp] = mv.to;
+    lps_[mv.lp].restore_from(ck);
+    key_[mv.lp] = lps_[mv.lp].next_ts();
+    dst.owned.push_back(mv.lp);
+    metrics_.shard(coord).inc(obs::Metric::kMigrations);
+    VSIM_TRACE(if (trace_ != nullptr) {
+      trace_->instant(coord, "lb", "migrate", tnow(), mv.lp, "to",
+                      static_cast<std::int64_t>(mv.to));
+    });
+  }
+  VSIM_TRACE(if (trace_ != nullptr) {
+    trace_->complete(coord, "lb", "rebalance", lb_start, tnow() - lb_start,
+                     obs::kNoTraceLp, "moves",
+                     static_cast<std::int64_t>(plan.moves.size()));
+  });
 }
 
 void ThreadedEngine::flush_commits() {

@@ -48,6 +48,11 @@ class ThreadedEngine {
 
   RunStats run();
 
+  /// Current LP->worker mapping (differs from the constructor argument
+  /// after dynamic rebalancing or redistribute recovery).  Only meaningful
+  /// once run() returned.
+  [[nodiscard]] const Partition& partition() const { return partition_; }
+
  private:
   /// Cache-line aligned so two workers' hot scheduler state (owned list,
   /// inbox head, op counters) never share a line; the inbox head is the
@@ -113,6 +118,13 @@ class ThreadedEngine {
   /// Coordinator-only: GVT-consistent checkpoint capture.  All other
   /// workers are parked at a barrier, so touching their LPs is race-free.
   void coordinator_checkpoint(std::size_t coord, VirtualTime gvt);
+  /// Coordinator-only: dynamic load balancing (partition/rebalance.h).
+  /// Runs inside the round's exclusive section -- network drained to
+  /// quiescence, every other worker parked -- and migrates a bounded set of
+  /// LPs by packing each through the checkpoint codec and retargeting
+  /// ownership (owned lists + partition_); the barrier that releases the
+  /// other workers publishes the new mapping to their routers.
+  void coordinator_rebalance(std::size_t coord);
   /// Releases buffered commit-hook invocations in LP-id order.
   void flush_commits();
 
@@ -137,6 +149,12 @@ class ThreadedEngine {
   std::uint64_t last_total_events_ = 0;
   std::uint32_t stall_rounds_ = 0;
   std::uint64_t gvt_rounds_ = 0;
+  // Dynamic load balancing (coordinator-only, barrier-ordered): rebalance
+  // cadence plus per-LP counter snapshots, so each attempt scores only the
+  // work of the window since the previous one.
+  std::uint32_t rounds_since_rebalance_ = 0;
+  std::vector<std::uint64_t> lb_events_base_;
+  std::vector<std::uint64_t> lb_undone_base_;
   bool deadlocked_ = false;
   bool transport_failed_ = false;
   std::optional<DeadlockReport> deadlock_report_;

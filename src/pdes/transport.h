@@ -24,6 +24,13 @@
 // must be called from the link's source worker and on_wire_delivery() from
 // the packet's destination worker; counters are aggregated after the
 // workers have joined (or inside a barrier round).
+//
+// Links are indexed by (src worker, dst worker), never by LP, and senders
+// resolve the destination worker from the partition map per send.  LP
+// migration (partition/rebalance.h) therefore moves no transport state at
+// all: after the GVT round that moved an LP, traffic to it simply flows
+// down the links of its new owner, with every link's sequence/ack/RNG
+// cursors untouched.
 #pragma once
 
 #include <atomic>

@@ -294,6 +294,71 @@ TEST(CheckpointRecoveryModes, RedistributeSurvivesCoordinatorDeath) {
   EXPECT_EQ(TraceRecorder::diff(*ref.recorder, *par.recorder), "");
 }
 
+// ---- dynamic load balancing under failures --------------------------------
+
+// A crash landing between migration rounds: the post-restore replay re-runs
+// the rebalancer deterministically, so recovery and migration compose.  The
+// aggressive cadence (period 1, near-zero trigger) guarantees migration
+// rounds actually bracket the crash.
+TEST(CheckpointMigration, CrashAroundMigrationRoundsMatchesOracle) {
+  testutil::Watchdog wd(
+      "CheckpointMigration.CrashAroundMigrationRoundsMatchesOracle",
+      std::chrono::seconds(120));
+  const PhysTime until = 250;
+  Built ref = run_oracle(&build_fsm, until);
+
+  for (const std::uint64_t crash_at : {40u, 100u, 180u}) {
+    Built par = build_fsm();
+    RunConfig rc = base_config(Configuration::kDynamic, until);
+    rc.rebalance.period = 1;
+    rc.rebalance.imbalance_trigger = 0.05;
+    rc.rebalance.max_moves = 3;
+    rc.transport.faults.crashes.push_back(WorkerCrash{1, crash_at});
+    MachineEngine eng(
+        *par.graph, partition::blocks(par.graph->size(), rc.num_workers),
+        rc);
+    eng.set_commit_hook(par.recorder->hook());
+    const RunStats st = eng.run();
+
+    EXPECT_FALSE(st.deadlocked) << "crash at " << crash_at;
+    EXPECT_FALSE(st.recovery_error) << st.recovery_error->str();
+    EXPECT_EQ(st.checkpoint.crashes, 1u);
+    EXPECT_GT(st.metrics.counter(obs::Metric::kRebalanceRounds), 0u);
+    EXPECT_EQ(TraceRecorder::diff(*ref.recorder, *par.recorder), "")
+        << "crash at " << crash_at;
+  }
+}
+
+// kRedistribute + rebalancing share the orphan-placement machinery: after
+// the dead worker is retired its LPs land on survivors (load- and
+// cut-aware), rebalance rounds keep running over the shrunken worker set,
+// and no LP is ever mapped back to the retired worker.
+TEST(CheckpointMigration, RedistributeComposesWithRebalancing) {
+  testutil::Watchdog wd(
+      "CheckpointMigration.RedistributeComposesWithRebalancing",
+      std::chrono::seconds(120));
+  const PhysTime until = 250;
+  Built ref = run_oracle(&build_fsm, until);
+
+  Built par = build_fsm();
+  RunConfig rc = base_config(Configuration::kDynamic, until);
+  rc.checkpoint.policy = RecoveryPolicy::kRedistribute;
+  rc.rebalance.period = 2;
+  rc.rebalance.imbalance_trigger = 0.05;
+  rc.transport.faults.crashes.push_back(WorkerCrash{2, 70});
+  MachineEngine eng(*par.graph,
+                    partition::blocks(par.graph->size(), rc.num_workers),
+                    rc);
+  eng.set_commit_hook(par.recorder->hook());
+  const RunStats st = eng.run();
+
+  EXPECT_FALSE(st.recovery_error) << st.recovery_error->str();
+  EXPECT_EQ(st.checkpoint.crashes, 1u);
+  EXPECT_EQ(st.checkpoint.recoveries, 1u);
+  for (const std::uint32_t w : eng.partition()) EXPECT_NE(w, 2u);
+  EXPECT_EQ(TraceRecorder::diff(*ref.recorder, *par.recorder), "");
+}
+
 // The threaded engine: real threads, crash-stop = thread exit.  Recovery
 // redistributes over the surviving threads and the trace still matches.
 TEST(CheckpointThreaded, CrashRecoversAndMatchesOracle) {
@@ -320,6 +385,40 @@ TEST(CheckpointThreaded, CrashRecoversAndMatchesOracle) {
   EXPECT_FALSE(st.recovery_error) << st.recovery_error->str();
   EXPECT_EQ(st.checkpoint.crashes, 1u);
   EXPECT_EQ(st.checkpoint.recoveries, 1u);
+  EXPECT_EQ(TraceRecorder::diff(*ref.recorder, *par.recorder), "");
+}
+
+// Threaded engine with migration AND a crash in the same run: the
+// coordinator's rebalance rounds and redistribute recovery use the same
+// exclusive-section machinery, so they must compose without racing.
+TEST(CheckpointThreaded, CrashWithRebalancingMatchesOracle) {
+  testutil::Watchdog wd(
+      "CheckpointThreaded.CrashWithRebalancingMatchesOracle",
+      std::chrono::seconds(180));
+  const PhysTime until = 600;
+  Built ref = run_oracle(&build_gates, until);
+
+  Built par = build_gates();
+  RunConfig rc;
+  rc.num_workers = 3;
+  rc.configuration = Configuration::kDynamic;
+  rc.until = until;
+  rc.checkpoint.period = 2;
+  rc.rebalance.period = 2;
+  rc.rebalance.imbalance_trigger = 0.05;
+  rc.transport.faults.crashes.push_back(WorkerCrash{1, 30});
+  ThreadedEngine eng(*par.graph,
+                     partition::blocks(par.graph->size(), rc.num_workers),
+                     rc);
+  eng.set_commit_hook(par.recorder->hook());
+  const RunStats st = eng.run();
+
+  ASSERT_FALSE(st.config_error) << st.config_error->str();
+  EXPECT_FALSE(st.deadlocked);
+  EXPECT_FALSE(st.recovery_error) << st.recovery_error->str();
+  EXPECT_EQ(st.checkpoint.crashes, 1u);
+  EXPECT_GT(st.metrics.counter(obs::Metric::kRebalanceRounds), 0u);
+  for (const std::uint32_t w : eng.partition()) EXPECT_NE(w, 1u);
   EXPECT_EQ(TraceRecorder::diff(*ref.recorder, *par.recorder), "");
 }
 
@@ -632,6 +731,26 @@ TEST(ConfigValidation, RejectsBrokenCheckpointConfig) {
   err = validate(rc);
   ASSERT_TRUE(err.has_value());
   EXPECT_EQ(err->field, "checkpoint.max_recoveries");
+}
+
+TEST(ConfigValidation, RejectsBrokenRebalanceConfig) {
+  RunConfig rc;
+  rc.rebalance.period = 4;
+  rc.rebalance.max_moves = 0;
+  auto err = validate(rc);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->field, "rebalance.max_moves");
+
+  rc = RunConfig{};
+  rc.rebalance.period = 4;
+  rc.rebalance.imbalance_trigger = -0.5;
+  err = validate(rc);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->field, "rebalance.imbalance_trigger");
+
+  // Disabled rebalancing tolerates the same values: they are unused.
+  rc.rebalance.period = 0;
+  EXPECT_FALSE(validate(rc).has_value());
 }
 
 // Both engines refuse to run an invalid configuration and surface the

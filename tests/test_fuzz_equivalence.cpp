@@ -120,6 +120,82 @@ TEST_P(FuzzEquivalence, ThreadedEngineMatchesOracle) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalence,
                          testing::Range<std::uint64_t>(1, 25));
 
+// ---- dynamic load balancing ----
+//
+// Migration must be invisible to committed results: at a fixed seed, runs
+// with rebalancing off and on (aggressive cadence, starting from the
+// locality-preserving but load-blind `blocks` placement) all match the
+// sequential oracle bit-for-bit.
+
+TEST_P(FuzzEquivalence, RebalancingMachineEngineMatchesOracle) {
+  RandomCircuitParams p;
+  p.seed = GetParam() * 7919;
+  p.num_gates = 20 + (p.seed * 13) % 32;
+  p.num_dffs = 3 + (p.seed * 5) % 6;
+  p.zero_delay_pct = static_cast<int>((p.seed * 29) % 100);
+  const PhysTime until = 300;
+
+  Built ref = build(p);
+  pdes::SequentialEngine seq(*ref.graph);
+  seq.set_commit_hook(ref.recorder->hook());
+  seq.run(until);
+
+  for (const bool lb : {false, true}) {
+    Built par = build(p);
+    RunConfig rc;
+    rc.num_workers = 2 + p.seed % 5;
+    rc.configuration = Configuration::kMixed;
+    rc.gvt_interval = 16 + (p.seed % 3) * 24;
+    rc.until = until;
+    if (lb) {
+      rc.rebalance.period = 2;
+      rc.rebalance.imbalance_trigger = 0.05;
+      rc.rebalance.max_moves = 3;
+    }
+    pdes::MachineEngine eng(
+        *par.graph, partition::blocks(par.graph->size(), rc.num_workers),
+        rc);
+    eng.set_commit_hook(par.recorder->hook());
+    const auto st = eng.run();
+    EXPECT_FALSE(st.deadlocked) << "seed " << p.seed << " lb=" << lb;
+    EXPECT_EQ(vhdl::TraceRecorder::diff(*ref.recorder, *par.recorder), "")
+        << "seed " << p.seed << " workers " << rc.num_workers
+        << " lb=" << lb;
+    if (!lb) {
+      EXPECT_EQ(st.metrics.counter(obs::Metric::kMigrations), 0u);
+    }
+  }
+}
+
+TEST_P(FuzzEquivalence, RebalancingThreadedEngineMatchesOracle) {
+  RandomCircuitParams p;
+  p.seed = GetParam() * 104729;
+  p.num_gates = 24 + (p.seed * 11) % 24;
+  p.zero_delay_pct = static_cast<int>((p.seed * 31) % 100);
+  const PhysTime until = 250;
+
+  Built ref = build(p);
+  pdes::SequentialEngine seq(*ref.graph);
+  seq.set_commit_hook(ref.recorder->hook());
+  seq.run(until);
+
+  Built par = build(p);
+  RunConfig rc;
+  rc.num_workers = 2 + p.seed % 3;
+  rc.configuration = Configuration::kDynamic;
+  rc.rebalance.period = 2;
+  rc.rebalance.imbalance_trigger = 0.05;
+  rc.rebalance.max_moves = 3;
+  rc.until = until;
+  pdes::ThreadedEngine eng(
+      *par.graph, partition::blocks(par.graph->size(), rc.num_workers), rc);
+  eng.set_commit_hook(par.recorder->hook());
+  const auto st = eng.run();
+  EXPECT_FALSE(st.deadlocked);
+  EXPECT_EQ(vhdl::TraceRecorder::diff(*ref.recorder, *par.recorder), "")
+      << "seed " << p.seed;
+}
+
 // ---- seed-sweep stress matrix ----
 
 std::uint64_t stress_seeds() {
@@ -195,6 +271,67 @@ TEST(StressMatrix, EveryConfigurationAndOrderingMatchesOracleBitExact) {
       }
     }
   }
+}
+
+// Seed-sweep determinism gate for LP migration: every seed runs the machine
+// engine with an aggressive rebalance cadence from a deliberately imbalanced
+// `blocks` placement and must match the oracle bit-for-bit.  Across the
+// sweep at least one run must actually migrate (otherwise the gate would be
+// vacuously green), and the imbalance gauge must have been published.
+TEST(StressMatrix, RebalancingMatchesOracleBitExact) {
+  const std::uint64_t seeds = stress_seeds();
+  testutil::Watchdog wd("StressMatrix.RebalancingMatchesOracleBitExact",
+                        std::chrono::seconds(120 + 2 * seeds));
+  const PhysTime until = 250;
+  std::uint64_t total_migrations = 0;
+  bool gauge_seen = false;
+
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    RandomCircuitParams p;
+    p.seed = seed * 2654435761u + 17;
+    p.num_gates = 16 + (p.seed * 13) % 32;
+    p.num_dffs = 3 + (p.seed * 7) % 6;
+    p.zero_delay_pct = static_cast<int>((p.seed * 29) % 100);
+
+    Built ref = build(p);
+    pdes::SequentialEngine seq(*ref.graph);
+    seq.set_commit_hook(ref.recorder->hook());
+    seq.run(until);
+
+    const Configuration configs[] = {Configuration::kAllOptimistic,
+                                     Configuration::kMixed,
+                                     Configuration::kDynamic};
+    for (std::size_t ci = 0; ci < 3; ++ci) {
+      Built par = build(p);
+      RunConfig rc;
+      rc.num_workers = 2 + (seed + ci) % 5;
+      rc.configuration = configs[ci];
+      rc.strategy = pdes::ConservativeStrategy::kGlobalSync;
+      rc.gvt_interval = 16 + (seed % 3) * 24;
+      rc.max_history = (seed % 2) ? 48 : 0;
+      rc.until = until;
+      rc.rebalance.period = 1 + (seed + ci) % 3;
+      rc.rebalance.imbalance_trigger = 0.05;
+      rc.rebalance.max_moves = 2 + ci;
+      pdes::MachineEngine eng(
+          *par.graph, partition::blocks(par.graph->size(), rc.num_workers),
+          rc);
+      eng.set_commit_hook(par.recorder->hook());
+      const auto st = eng.run();
+      ASSERT_FALSE(st.deadlocked)
+          << "seed " << seed << " cfg " << to_string(rc.configuration);
+      ASSERT_EQ(vhdl::TraceRecorder::diff(*ref.recorder, *par.recorder), "")
+          << "seed " << seed << " workers " << rc.num_workers << " cfg "
+          << to_string(rc.configuration);
+      total_migrations += st.metrics.counter(obs::Metric::kMigrations);
+      if (st.metrics.gauge(obs::Gauge::kLbImbalance) > 0.0)
+        gauge_seen = true;
+      EXPECT_GE(st.metrics.counter(obs::Metric::kRebalanceRounds), 1u)
+          << "seed " << seed;
+    }
+  }
+  EXPECT_GT(total_migrations, 0u);
+  EXPECT_TRUE(gauge_seen);
 }
 
 }  // namespace

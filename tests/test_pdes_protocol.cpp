@@ -302,11 +302,110 @@ TEST_F(LpRuntimeTest, AdaptationPromotesStarvingConservativeLp) {
   auto rt = make(SyncMode::kConservative);
   AdaptPolicy policy;
   policy.min_window_events = 2;
-  rt.enqueue(make_event({50, 0}, 0, 1), router_);
+  // A promotion needs a clean record over REAL activity: process a couple
+  // of safe events (no rollbacks), then starve behind the global bound.
+  rt.enqueue(make_event({1, 0}, 0, 1), router_);
+  rt.enqueue(make_event({2, 0}, 0, 2), router_);
+  ASSERT_EQ(rt.peek({2, 0}, 1000), Eligibility::kReady);
+  rt.process_next(router_);
+  rt.process_next(router_);
+  rt.enqueue(make_event({50, 0}, 0, 3), router_);
   for (int i = 0; i < 3; ++i) {
-    EXPECT_EQ(rt.peek(kTimeZero, 1000), Eligibility::kBlocked);
+    EXPECT_EQ(rt.peek({2, 0}, 1000), Eligibility::kBlocked);
     rt.note_blocked();
   }
+  adapt_lp(rt, policy);
+  EXPECT_EQ(rt.mode(), SyncMode::kOptimistic);
+}
+
+TEST_F(LpRuntimeTest, AdaptationStarvedRepromotionNeedsEscalatedEvidence) {
+  // Regression: the promotion's rollback-rate test is vacuous at
+  // window_events == 0 (0 <= rate * anything), so a fully starved
+  // conservative LP used to flip optimistic on blocked counts alone --
+  // then roll back and demote the moment traffic resumed, ping-ponging
+  // forever because every starved window re-promoted it on the same cheap
+  // evidence.  The fix is demotion-count hysteresis: after a demotion the
+  // blocked-poll threshold doubles, so the window that promoted the LP
+  // before no longer does, even when it is fully starved.
+  auto rt = make(SyncMode::kOptimistic);
+  AdaptPolicy policy;
+  policy.min_window_events = 2;
+  policy.rollback_rate_high = 0.1;
+  // Demote via rollbacks (straggler after every processed event).
+  for (int i = 0; i < 4; ++i) {
+    rt.enqueue(make_event({10 + i, 0}, 0, 100 + static_cast<EventUid>(i)),
+               router_);
+    rt.process_next(router_);
+    rt.enqueue(make_event({5 + i, 0}, 0, 200 + static_cast<EventUid>(i)),
+               router_);
+    while (rt.peek(kTimeZero, 1000) == Eligibility::kReady)
+      rt.process_next(router_);
+  }
+  adapt_lp(rt, policy);
+  ASSERT_EQ(rt.mode(), SyncMode::kConservative);
+  ASSERT_EQ(rt.demotions(), 1u);
+
+  // Fully starved windows (zero events processed): 3 blocked polls met the
+  // pre-demotion threshold of 2, but after one demotion the LP needs
+  // min_window_events << 1 = 4 -- it must stay conservative.
+  rt.enqueue(make_event({200, 0}, 0, 300), router_);
+  const std::uint64_t switches_before = rt.stats().mode_switches;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 3; ++i) rt.note_blocked();
+    adapt_lp(rt, policy);
+    EXPECT_EQ(rt.mode(), SyncMode::kConservative);
+  }
+  EXPECT_EQ(rt.stats().mode_switches, switches_before);
+
+  // Sustained starvation that clears the escalated threshold still
+  // promotes: hysteresis delays re-promotion, it does not forbid it.
+  for (int i = 0; i < 4; ++i) rt.note_blocked();
+  adapt_lp(rt, policy);
+  EXPECT_EQ(rt.mode(), SyncMode::kOptimistic);
+}
+
+TEST_F(LpRuntimeTest, AdaptationDemotionBacksOffRepromotion) {
+  // Ping-pong regression: a rollback-prone LP is demoted; each demotion
+  // doubles the blocked-poll evidence the next promotion requires, so the
+  // same marginal window that promoted it before no longer flips it back.
+  auto rt = make(SyncMode::kOptimistic);
+  AdaptPolicy policy;
+  policy.min_window_events = 2;
+  policy.rollback_rate_high = 0.1;
+  // Demote via rollbacks (straggler after every processed event).
+  for (int i = 0; i < 4; ++i) {
+    rt.enqueue(make_event({10 + i, 0}, 0, 100 + static_cast<EventUid>(i)),
+               router_);
+    rt.process_next(router_);
+    rt.enqueue(make_event({5 + i, 0}, 0, 200 + static_cast<EventUid>(i)),
+               router_);
+    while (rt.peek(kTimeZero, 1000) == Eligibility::kReady)
+      rt.process_next(router_);
+  }
+  adapt_lp(rt, policy);
+  ASSERT_EQ(rt.mode(), SyncMode::kConservative);
+  EXPECT_EQ(rt.demotions(), 1u);
+
+  // One demotion: the threshold is min_window_events << 1 = 4 blocked
+  // polls.  A clean window with 3 (enough before the demotion) must NOT
+  // re-promote...
+  rt.enqueue(make_event({100, 0}, 0, 300), router_);
+  rt.enqueue(make_event({101, 0}, 0, 301), router_);
+  ASSERT_EQ(rt.peek({101, 0}, 1000), Eligibility::kReady);
+  rt.process_next(router_);
+  rt.process_next(router_);
+  for (int i = 0; i < 3; ++i) rt.note_blocked();
+  adapt_lp(rt, policy);
+  EXPECT_EQ(rt.mode(), SyncMode::kConservative);
+
+  // ...but sustained starvation with clean activity (4 blocked polls)
+  // still can: hysteresis delays re-promotion, it does not forbid it.
+  rt.enqueue(make_event({102, 0}, 0, 302), router_);
+  rt.enqueue(make_event({103, 0}, 0, 303), router_);
+  ASSERT_EQ(rt.peek({103, 0}, 1000), Eligibility::kReady);
+  rt.process_next(router_);
+  rt.process_next(router_);
+  for (int i = 0; i < 4; ++i) rt.note_blocked();
   adapt_lp(rt, policy);
   EXPECT_EQ(rt.mode(), SyncMode::kOptimistic);
 }
