@@ -1,7 +1,13 @@
 #include "bench/report.h"
 
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <utility>
 
 namespace vsim::bench {
@@ -17,12 +23,78 @@ const char* git_sha() {
 #endif
 }
 
+// Double-buffered pre-rendered partial report for the SIGINT/SIGTERM
+// handler.  The main thread renders into the buffer the handler is NOT
+// reading (it can't be: the handler only ever sees the published index),
+// then publishes pointer + size + index with release stores.  The handler
+// does open/write/close/_exit only -- all async-signal-safe.
+std::string g_body[2];
+std::atomic<const char*> g_data[2] = {nullptr, nullptr};
+std::atomic<std::size_t> g_size[2] = {0, 0};
+std::atomic<int> g_cur{-1};  ///< -1: disarmed
+char g_path[512] = {0};
+
+extern "C" void partial_flush_handler(int sig) {
+  const int cur = g_cur.load(std::memory_order_acquire);
+  if (cur >= 0 && g_path[0] != '\0') {
+    const int fd = ::open(g_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      const char* data = g_data[cur].load(std::memory_order_acquire);
+      std::size_t left = g_size[cur].load(std::memory_order_acquire);
+      while (data && left > 0) {
+        const ssize_t n = ::write(fd, data, left);
+        if (n <= 0) break;
+        data += n;
+        left -= static_cast<std::size_t>(n);
+      }
+      (void)::write(fd, "\n", 1);
+      ::close(fd);
+    }
+  }
+  ::_exit(128 + sig);
+}
+
+void arm_handlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = partial_flush_handler;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
 }  // namespace
 
-Report::Report(std::string name) : name_(std::move(name)) {}
+Report::Report(std::string name) : name_(std::move(name)) {
+  const std::string path = out_path();
+  if (path.size() < sizeof(g_path)) {
+    std::memcpy(g_path, path.c_str(), path.size() + 1);
+    refresh_partial();
+    arm_handlers();
+  }
+}
+
+std::string Report::out_path() const {
+  std::string path;
+  if (const char* dir = std::getenv("VSIM_BENCH_DIR"); dir && *dir) {
+    path = dir;
+    if (path.back() != '/') path += '/';
+  }
+  path += "BENCH_" + name_ + ".json";
+  return path;
+}
+
+void Report::refresh_partial() const {
+  const int next = (g_cur.load(std::memory_order_relaxed) + 1) & 1;
+  g_body[next] = to_json(/*partial=*/true).dump(2);
+  g_data[next].store(g_body[next].data(), std::memory_order_release);
+  g_size[next].store(g_body[next].size(), std::memory_order_release);
+  g_cur.store(next, std::memory_order_release);
+}
 
 void Report::set_config(const std::string& key, obs::Json value) {
   config_.emplace_back(key, std::move(value));
+  refresh_partial();
 }
 
 void Report::add_row(const std::string& section, std::size_t workers,
@@ -36,6 +108,7 @@ void Report::add_row(const std::string& section, std::size_t workers,
   row.emplace_back("deadlocked", stats.deadlocked);
   row.emplace_back("metrics", stats.metrics.to_json());
   rows_.emplace_back(std::move(row));
+  refresh_partial();
 }
 
 void Report::add_micro(const std::string& name, double real_ns, double cpu_ns,
@@ -46,13 +119,17 @@ void Report::add_micro(const std::string& name, double real_ns, double cpu_ns,
   row.emplace_back("cpu_ns", cpu_ns);
   row.emplace_back("iterations", iterations);
   micro_.emplace_back(std::move(row));
+  refresh_partial();
 }
 
-obs::Json Report::to_json() const {
+obs::Json Report::to_json() const { return to_json(/*partial=*/false); }
+
+obs::Json Report::to_json(bool partial) const {
   obs::JsonObject doc;
   doc.emplace_back("schema", kReportSchema);
   doc.emplace_back("name", name_);
   doc.emplace_back("git_sha", git_sha());
+  if (partial) doc.emplace_back("partial", true);
   doc.emplace_back("config", config_);
   doc.emplace_back("rows", rows_);
   if (!micro_.empty()) doc.emplace_back("micro", micro_);
@@ -60,12 +137,10 @@ obs::Json Report::to_json() const {
 }
 
 std::string Report::write() const {
-  std::string path;
-  if (const char* dir = std::getenv("VSIM_BENCH_DIR"); dir && *dir) {
-    path = dir;
-    if (path.back() != '/') path += '/';
-  }
-  path += "BENCH_" + name_ + ".json";
+  // The report is complete: a signal from here on must not clobber the
+  // full file with a stale partial.
+  g_cur.store(-1, std::memory_order_release);
+  const std::string path = out_path();
   const std::string body = to_json().dump(2);
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {

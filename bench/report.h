@@ -19,6 +19,14 @@ namespace vsim::bench {
 class Report {
  public:
   /// `name` becomes the BENCH_<name>.json file stem (e.g. "fig4_ordering").
+  ///
+  /// Construction arms SIGINT/SIGTERM handlers that flush the rows recorded
+  /// so far as a schema-valid BENCH_<name>.json with `"partial": true`, so
+  /// an interrupted sweep (ctrl-C, CI timeout) still leaves a usable
+  /// artifact instead of nothing.  The handler only writes a pre-rendered
+  /// buffer (re-rendered after every add_*) and _exits -- everything it
+  /// touches is async-signal-safe.  One report per process: the most
+  /// recently constructed Report owns the handlers; write() disarms them.
   explicit Report(std::string name);
 
   /// Records a scalar of the bench's configuration (until, cap sweeps, ...).
@@ -41,6 +49,11 @@ class Report {
   std::string write() const;
 
  private:
+  /// Re-renders the partial-report buffer the signal handler writes.
+  void refresh_partial() const;
+  [[nodiscard]] std::string out_path() const;
+  [[nodiscard]] obs::Json to_json(bool partial) const;
+
   std::string name_;
   obs::JsonObject config_;
   obs::JsonArray rows_;

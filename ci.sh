@@ -22,6 +22,14 @@ echo "==> Stress: 200-seed equivalence matrix vs the sequential oracle"
 VSIM_STRESS_SEEDS="${VSIM_STRESS_SEEDS:-200}" \
   ctest --test-dir build -L stress --output-on-failure
 
+echo "==> Distributed smoke: 4-rank UDS mesh vs oracle + SIGKILL recovery"
+# The full distributed suite already ran inside the ctest sweep above; this
+# repeats the two load-bearing scenarios as a named gate: a plain 4-process
+# socket run must match the sequential oracle bit-exactly, and a run whose
+# rank 2 is SIGKILLed mid-flight must recover from the shipped checkpoints
+# to the very same trace.
+./build/tests/test_distributed --gtest_filter='Distributed.FourRankSocketRunMatchesOracle:Distributed.SigkilledRankRecoversToOracle'
+
 echo "==> Observability smoke: traced bench + report schema"
 # One bench in trace mode: the FSM figure is the cheapest full sweep.  The
 # run must produce both a Chrome-trace JSON and a valid BENCH_*.json; both
@@ -59,6 +67,13 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build build-asan -j "$JOBS"
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
   ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+# The socket layer is the one module whose bugs UBSan is best placed to
+# catch (raw byte decoding, offset arithmetic on frames); the ASan build
+# above compiles with -fsanitize=address,undefined, so running the
+# distributed label once more by name keeps the UBSan-over-net/ gate
+# visible even if the aggregate suite is ever split.
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+  ctest --test-dir build-asan -L distributed --output-on-failure
 
 echo "==> ThreadSanitizer build"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -47,6 +47,12 @@ class GateBody final : public ProcessBody {
 
   void run(ProcessApi& api) override;
 
+  // No mutable variables: the codec is an empty success.
+  [[nodiscard]] bool encode_vars(bytes::Writer&) const override {
+    return true;
+  }
+  [[nodiscard]] bool decode_vars(bytes::Reader&) override { return true; }
+
  private:
   GateKind kind_;
   int num_inputs_;
@@ -71,6 +77,11 @@ class DffBody final : public ProcessBody {
 
   void run(ProcessApi& api) override;
 
+  [[nodiscard]] bool encode_vars(bytes::Writer&) const override {
+    return true;
+  }
+  [[nodiscard]] bool decode_vars(bytes::Reader&) override { return true; }
+
  private:
   PhysTime delay_;
   bool has_reset_;
@@ -92,6 +103,15 @@ class ClockBody final : public ProcessBody {
 
   void run(ProcessApi& api) override;
 
+  [[nodiscard]] bool encode_vars(bytes::Writer& w) const override {
+    w.u8(level_ ? 1 : 0);
+    return true;
+  }
+  [[nodiscard]] bool decode_vars(bytes::Reader& r) override {
+    level_ = r.u8() != 0;
+    return r.ok();
+  }
+
  private:
   PhysTime half_;
   bool level_ = false;  // next level to drive
@@ -110,6 +130,15 @@ class StimulusBody final : public ProcessBody {
 
   void run(ProcessApi& api) override;
 
+  [[nodiscard]] bool encode_vars(bytes::Writer& w) const override {
+    w.u64(next_);
+    return true;
+  }
+  [[nodiscard]] bool decode_vars(bytes::Reader& r) override {
+    next_ = static_cast<std::size_t>(r.u64());
+    return r.ok() && next_ <= script_.size();
+  }
+
  private:
   std::vector<std::pair<PhysTime, Logic>> script_;
   std::size_t next_ = 0;
@@ -127,6 +156,15 @@ class RandomBitBody final : public ProcessBody {
   }
 
   void run(ProcessApi& api) override;
+
+  [[nodiscard]] bool encode_vars(bytes::Writer& w) const override {
+    w.u64(rng_);
+    return true;
+  }
+  [[nodiscard]] bool decode_vars(bytes::Reader& r) override {
+    rng_ = r.u64();
+    return r.ok();
+  }
 
  private:
   PhysTime period_;

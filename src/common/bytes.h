@@ -1,0 +1,176 @@
+// Portable little-endian byte codec.
+//
+// One Writer/Reader pair shared by everything that serialises engine state:
+// the checkpoint store's portable section (pdes/checkpoint.cpp), the LP
+// byte-level state codecs (LogicalProcess::encode_state), the metrics
+// snapshot codec (obs/metrics.h), and the socket wire format (src/net).
+// Sharing the primitive layer is what makes "the wire reuses the checkpoint
+// codec" literally true: a Packet's Event payload and a checkpointed pending
+// event are the same bytes.
+//
+// Encoding rules: fixed-width little-endian integers, no alignment, no
+// varints.  Readers are fail-soft: any out-of-bounds read clears `ok` and
+// returns zero values from then on, so decoders can parse a whole structure
+// and check `ok` once at the end instead of guarding every field.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/logic.h"
+#include "common/virtual_time.h"
+
+namespace vsim::bytes {
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    for (int i = 0; i < 2; ++i)
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void vt(const VirtualTime& t) {
+    i64(t.pt);
+    i64(t.lt);
+  }
+  void lv(const LogicVector& v) {
+    u64(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i)
+      u8(static_cast<std::uint8_t>(v.at(i)));
+  }
+  void str(std::string_view s) {
+    u64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  /// Length-prefixed nested byte blob (e.g. an opaque LP state section).
+  void blob(const std::vector<std::uint8_t>& b) {
+    u64(b.size());
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+  void raw(const std::uint8_t* data, std::size_t n) {
+    buf_.insert(buf_.end(), data, data + n);
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t>& buf() { return buf_; }
+
+ private:
+  std::vector<std::uint8_t>& buf_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit Reader(const std::vector<std::uint8_t>& buf)
+      : data_(buf.data()), size_(buf.size()) {}
+
+  /// False once any read ran past the end (sticky).
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+  /// True when every byte was consumed and nothing overran.
+  [[nodiscard]] bool exhausted() const { return ok_ && pos_ == size_; }
+
+  bool have(std::size_t n) {
+    if (!ok_ || size_ - pos_ < n) ok_ = false;
+    return ok_;
+  }
+
+  std::uint8_t u8() {
+    if (!have(1)) return 0;
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    if (!have(2)) return 0;
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i)
+      v |= static_cast<std::uint16_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::uint32_t u32() {
+    if (!have(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!have(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  VirtualTime vt() {
+    VirtualTime t;
+    t.pt = i64();
+    t.lt = i64();
+    return t;
+  }
+  LogicVector lv() {
+    const std::uint64_t n = u64();
+    if (!have(n)) return LogicVector();
+    LogicVector v(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i)
+      v.set(static_cast<std::size_t>(i), static_cast<Logic>(data_[pos_++]));
+    return v;
+  }
+  std::string str() {
+    const std::uint64_t n = u64();
+    if (!have(n)) return {};
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+  std::vector<std::uint8_t> blob() {
+    const std::uint64_t n = u64();
+    if (!have(n)) return {};
+    std::vector<std::uint8_t> b(data_ + pos_, data_ + pos_ + n);
+    pos_ += static_cast<std::size_t>(n);
+    return b;
+  }
+  /// Bounds-checked view of a length-prefixed blob without copying; the view
+  /// stays valid as long as the underlying buffer does.
+  Reader sub() {
+    const std::uint64_t n = u64();
+    if (!have(n)) return Reader(nullptr, 0);
+    Reader r(data_ + pos_, static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return r;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace vsim::bytes

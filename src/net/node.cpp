@@ -1,0 +1,436 @@
+#include "net/node.h"
+
+#include <algorithm>
+#include <poll.h>
+
+namespace vsim::net {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+std::vector<std::uint8_t> encode_u32_payload(std::uint32_t v) {
+  return {static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+          static_cast<std::uint8_t>(v >> 16),
+          static_cast<std::uint8_t>(v >> 24)};
+}
+
+std::uint32_t decode_u32_payload(const FrameView& view) {
+  if (view.size < 4) return 0xFFFFFFFFu;
+  return static_cast<std::uint32_t>(view.data[0]) |
+         static_cast<std::uint32_t>(view.data[1]) << 8 |
+         static_cast<std::uint32_t>(view.data[2]) << 16 |
+         static_cast<std::uint32_t>(view.data[3]) << 24;
+}
+
+}  // namespace
+
+SocketNode::SocketNode(std::uint32_t rank, std::uint32_t nranks,
+                       const pdes::NetConfig& cfg)
+    : rank_(rank), nranks_(nranks), cfg_(cfg), out_(nranks),
+      last_heard_(nranks, now_ms()), retired_(nranks, false),
+      start_ms_(now_ms()),
+      disconnect_fired_(cfg.disconnects.size(), false) {}
+
+SocketNode::~SocketNode() {
+  close_fd(listen_fd_);
+  for (OutConn& oc : out_) close_fd(oc.fd);
+  for (InConn& ic : in_) close_fd(ic.fd);
+  if (!cfg_.tcp && listen_fd_ >= 0)
+    ::unlink(rank_addr(rank_).path_or_host.c_str());
+}
+
+Addr SocketNode::rank_addr(std::uint32_t rank) const {
+  Addr a;
+  a.tcp = cfg_.tcp;
+  if (cfg_.tcp) {
+    a.path_or_host = cfg_.host;
+    a.port = static_cast<std::uint16_t>(cfg_.base_port + rank);
+  } else {
+    a.path_or_host =
+        cfg_.socket_dir + "/rank-" + std::to_string(rank) + ".sock";
+  }
+  return a;
+}
+
+bool SocketNode::start(std::string* err) {
+  listen_fd_ = listen_on(rank_addr(rank_), err);
+  if (listen_fd_ < 0) return false;
+  const std::int64_t now = now_ms();
+  start_ms_ = now;
+  for (std::uint32_t r = 0; r < nranks_; ++r)
+    last_heard_[r] = now;
+  last_hb_sent_ = now;
+  return true;
+}
+
+bool SocketNode::send(std::uint32_t dst, FrameType type,
+                      const std::vector<std::uint8_t>& payload) {
+  OutConn& oc = out_[dst];
+  if (oc.state == OutState::kFailed) return false;
+  std::vector<std::uint8_t> frame;
+  append_frame(frame, type, epoch_, payload.data(), payload.size());
+  oc.frames.push_back(std::move(frame));
+  if (type == FrameType::kData) {
+    ++oc.data_frames_sent;
+    ++counters_.data_frames_sent;
+    maybe_inject_disconnect(dst, oc, now_ms());
+  }
+  if (type == FrameType::kHeartbeat) ++counters_.heartbeats_sent;
+  return true;
+}
+
+void SocketNode::maybe_inject_disconnect(std::uint32_t dst, OutConn& oc,
+                                         std::int64_t now) {
+  for (std::size_t i = 0; i < cfg_.disconnects.size(); ++i) {
+    const pdes::NetConfig::Disconnect& d = cfg_.disconnects[i];
+    if (disconnect_fired_[i] || d.src != rank_ || d.dst != dst) continue;
+    if (oc.data_frames_sent < d.after_data_frames) continue;
+    disconnect_fired_[i] = true;
+    // Abrupt loss: the connection and everything buffered on it vanish.
+    // The reliable layer's retransmission owns redelivery.
+    if (oc.state == OutState::kUp || oc.state == OutState::kConnecting)
+      drop_out(oc, now, /*discard_queue=*/true);
+  }
+}
+
+void SocketNode::start_dial(OutConn& oc, std::uint32_t dst, std::int64_t now) {
+  std::string err;
+  const int fd = dial(rank_addr(dst), &err);
+  if (fd < 0) {
+    fail_or_backoff(oc, now);
+    return;
+  }
+  oc.fd = fd;
+  oc.state = OutState::kConnecting;
+  oc.dial_deadline_ms = now + cfg_.connect_timeout_ms;
+}
+
+void SocketNode::fail_or_backoff(OutConn& oc, std::int64_t now) {
+  close_fd(oc.fd);
+  oc.fd = -1;
+  // Attempts before the very first establishment inside the initial connect
+  // window are free: peers fork and bind asynchronously, and punishing the
+  // bind race would make every startup a near-death experience.
+  const bool grace = !oc.ever_connected &&
+                     now < start_ms_ + static_cast<std::int64_t>(
+                                           cfg_.connect_timeout_ms);
+  if (!grace) ++oc.attempts;
+  if (oc.attempts >= cfg_.reconnect_max_attempts) {
+    oc.state = OutState::kFailed;
+    oc.frames.clear();
+    oc.head_written = 0;
+    return;
+  }
+  const std::uint32_t shift = std::min(oc.attempts, 20u);
+  const std::int64_t delay =
+      std::min<std::int64_t>(static_cast<std::int64_t>(cfg_.reconnect_base_ms)
+                                 << shift,
+                             cfg_.reconnect_max_ms);
+  oc.state = OutState::kBackoff;
+  oc.next_dial_ms = now + std::max<std::int64_t>(delay, 1);
+}
+
+void SocketNode::on_established(OutConn& oc) {
+  if (oc.ever_connected) ++counters_.reconnects;
+  oc.ever_connected = true;
+  oc.attempts = 0;
+  oc.state = OutState::kUp;
+  // First frame on every connection identifies the sender.  It jumps the
+  // queue: head_written is 0 here (drop_out resets it), so the pending head
+  // frame restarts cleanly after the hello.
+  std::vector<std::uint8_t> hello;
+  append_frame(hello, FrameType::kHello, epoch_,
+               encode_u32_payload(rank_).data(), 4);
+  oc.frames.push_front(std::move(hello));
+}
+
+void SocketNode::drop_out(OutConn& oc, std::int64_t now, bool discard_queue) {
+  ++counters_.disconnects;
+  close_fd(oc.fd);
+  oc.fd = -1;
+  oc.head_written = 0;
+  if (discard_queue) {
+    oc.frames.clear();
+  } else if (!oc.frames.empty() &&
+             oc.frames.front()[8] ==
+                 static_cast<std::uint8_t>(FrameType::kHello)) {
+    // A stale hello from the previous incarnation must not survive the
+    // reconnect -- on_established() pushes a fresh one.
+    oc.frames.pop_front();
+  }
+  fail_or_backoff(oc, now);
+}
+
+std::size_t SocketNode::write_out(OutConn& oc, std::int64_t now) {
+  std::size_t completed = 0;
+  while (!oc.frames.empty()) {
+    const std::vector<std::uint8_t>& f = oc.frames.front();
+    const int n = write_some(oc.fd, f.data() + oc.head_written,
+                             f.size() - oc.head_written);
+    if (n < 0) {
+      drop_out(oc, now, /*discard_queue=*/false);
+      return completed;
+    }
+    if (n == 0) break;  // kernel buffer full
+    counters_.bytes_sent += static_cast<std::uint64_t>(n);
+    oc.head_written += static_cast<std::size_t>(n);
+    if (oc.head_written < f.size()) break;
+    // Heartbeats are pacemaker traffic, not progress: counting them as pump
+    // activity would keep the engines' idle detection from ever firing.
+    const bool heartbeat =
+        f.size() > 8 && f[8] == static_cast<std::uint8_t>(FrameType::kHeartbeat);
+    oc.frames.pop_front();
+    oc.head_written = 0;
+    ++counters_.frames_sent;
+    if (!heartbeat) ++completed;
+  }
+  return completed;
+}
+
+std::size_t SocketNode::read_in(InConn& ic, std::int64_t now) {
+  std::uint8_t chunk[kReadChunk];
+  std::size_t delivered = 0;
+  for (;;) {
+    const int n = read_some(ic.fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      // EOF or error: the connection is gone.  Liveness of the peer is the
+      // heartbeat's business, not the byte stream's.
+      close_fd(ic.fd);
+      ic.fd = -1;
+      return delivered;
+    }
+    if (n == 0) break;
+    counters_.bytes_recv += static_cast<std::uint64_t>(n);
+    ic.parser->feed(chunk, static_cast<std::size_t>(n));
+    for (;;) {
+      FrameView view;
+      std::string err;
+      const int got = ic.parser->next(&view, &err);
+      if (got == 0) break;
+      if (got < 0) {
+        ++counters_.crc_errors;
+        close_fd(ic.fd);
+        ic.fd = -1;
+        return delivered;
+      }
+      ++counters_.frames_recv;
+      if (ic.rank < 0) {
+        // Only a hello may open a connection.
+        const std::uint32_t peer = view.type == FrameType::kHello
+                                       ? decode_u32_payload(view)
+                                       : 0xFFFFFFFFu;
+        if (peer >= nranks_) {
+          close_fd(ic.fd);
+          ic.fd = -1;
+          return delivered;
+        }
+        ic.rank = peer;
+        // Newest connection from a rank wins; close any stale twin (the
+        // peer reconnected, its old socket just hasn't died here yet).
+        for (InConn& other : in_) {
+          if (&other != &ic && other.rank == ic.rank && other.fd >= 0) {
+            close_fd(other.fd);
+            other.fd = -1;
+          }
+        }
+        last_heard_[static_cast<std::size_t>(ic.rank)] = now;
+        continue;
+      }
+      last_heard_[static_cast<std::size_t>(ic.rank)] = now;
+      if (view.type == FrameType::kHeartbeat) {
+        ++counters_.heartbeats_recv;
+        continue;
+      }
+      if (view.type == FrameType::kHello) continue;  // redundant re-hello
+      if (view.type == FrameType::kData) {
+        if (view.epoch != epoch_) {
+          // Pre-recovery traffic: the reliable layer's cursors were reset,
+          // so these bytes must never reach it.
+          ++counters_.stale_epoch_dropped;
+          continue;
+        }
+        ++counters_.data_frames_recv;
+      }
+      ++delivered;
+      if (handler_)
+        handler_(static_cast<std::uint32_t>(ic.rank), view);
+      if (ic.fd < 0) return delivered;  // handler-triggered teardown
+    }
+  }
+  return delivered;
+}
+
+void SocketNode::queue_heartbeats(std::int64_t now) {
+  if (now - last_hb_sent_ <
+      static_cast<std::int64_t>(cfg_.heartbeat_interval_ms))
+    return;
+  last_hb_sent_ = now;
+  static const std::vector<std::uint8_t> kEmpty;
+  for (std::uint32_t r = 0; r < nranks_; ++r) {
+    if (r == rank_) continue;
+    send(r, FrameType::kHeartbeat, kEmpty);
+  }
+}
+
+std::size_t SocketNode::pump(int timeout_ms) {
+  std::int64_t now = now_ms();
+  queue_heartbeats(now);
+
+  // Reconnect state machine.
+  for (std::uint32_t r = 0; r < nranks_; ++r) {
+    if (r == rank_) continue;
+    OutConn& oc = out_[r];
+    switch (oc.state) {
+      case OutState::kIdle:
+        start_dial(oc, r, now);
+        break;
+      case OutState::kBackoff:
+        if (now >= oc.next_dial_ms) start_dial(oc, r, now);
+        break;
+      case OutState::kConnecting:
+        if (now >= oc.dial_deadline_ms) {
+          close_fd(oc.fd);
+          oc.fd = -1;
+          fail_or_backoff(oc, now);
+        }
+        break;
+      case OutState::kUp:
+      case OutState::kFailed:
+        break;
+    }
+  }
+
+  // Reap dead inbound slots before building the poll set.
+  in_.erase(std::remove_if(in_.begin(), in_.end(),
+                           [](const InConn& ic) { return ic.fd < 0; }),
+            in_.end());
+
+  std::vector<pollfd> fds;
+  fds.reserve(2 * nranks_ + in_.size() + 1);
+  const std::size_t listen_slot = fds.size();
+  fds.push_back({listen_fd_, POLLIN, 0});
+  std::vector<std::size_t> out_slot(nranks_, SIZE_MAX);
+  for (std::uint32_t r = 0; r < nranks_; ++r) {
+    OutConn& oc = out_[r];
+    if (oc.fd < 0) continue;
+    short events = 0;
+    if (oc.state == OutState::kConnecting) events = POLLOUT;
+    if (oc.state == OutState::kUp && !oc.frames.empty()) events = POLLOUT;
+    if (events == 0) continue;
+    out_slot[r] = fds.size();
+    fds.push_back({oc.fd, events, 0});
+  }
+  const std::size_t in_base = fds.size();
+  for (InConn& ic : in_) fds.push_back({ic.fd, POLLIN, 0});
+
+  ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+  now = now_ms();
+
+  std::size_t activity = 0;
+
+  // Accept every pending connection.
+  if ((fds[listen_slot].revents & POLLIN) != 0) {
+    for (;;) {
+      const int fd = accept_conn(listen_fd_);
+      if (fd < 0) break;
+      InConn ic;
+      ic.fd = fd;
+      ic.parser = std::make_unique<FrameParser>(cfg_.max_frame_bytes);
+      in_.push_back(std::move(ic));
+    }
+  }
+
+  // Outbound: finish connects, then drain write queues.
+  for (std::uint32_t r = 0; r < nranks_; ++r) {
+    OutConn& oc = out_[r];
+    if (out_slot[r] == SIZE_MAX || oc.fd < 0) continue;
+    const short rev = fds[out_slot[r]].revents;
+    if (oc.state == OutState::kConnecting) {
+      if ((rev & (POLLOUT | POLLERR | POLLHUP)) == 0) continue;
+      std::string err;
+      if (!dial_finished(oc.fd, &err)) {
+        close_fd(oc.fd);
+        oc.fd = -1;
+        fail_or_backoff(oc, now);
+        continue;
+      }
+      on_established(oc);
+    }
+    if (oc.state == OutState::kUp &&
+        (rev & (POLLOUT | POLLERR | POLLHUP)) != 0)
+      activity += write_out(oc, now);
+  }
+
+  // Inbound reads (iterate by index: handlers may send(), and in_ can grow
+  // via accept only, which already happened this pump).
+  for (std::size_t i = 0; i < in_.size(); ++i) {
+    if (in_base + i >= fds.size()) break;
+    if ((fds[in_base + i].revents & (POLLIN | POLLERR | POLLHUP)) == 0)
+      continue;
+    if (in_[i].fd < 0) continue;
+    activity += read_in(in_[i], now);
+  }
+
+  // Opportunistic flush of frames queued by handlers or heartbeats this
+  // pump: one non-blocking write attempt, no extra poll round-trip.
+  for (std::uint32_t r = 0; r < nranks_; ++r) {
+    OutConn& oc = out_[r];
+    if (oc.state == OutState::kUp && !oc.frames.empty() && oc.fd >= 0)
+      activity += write_out(oc, now);
+  }
+  return activity;
+}
+
+bool SocketNode::all_flushed() const {
+  for (std::uint32_t r = 0; r < nranks_; ++r) {
+    if (r == rank_) continue;
+    const OutConn& oc = out_[r];
+    if (oc.state == OutState::kFailed) continue;
+    if (!oc.frames.empty()) return false;
+  }
+  return true;
+}
+
+bool SocketNode::all_links_up() const {
+  for (std::uint32_t r = 0; r < nranks_; ++r) {
+    if (r == rank_ || retired_[r]) continue;
+    if (out_[r].state != OutState::kUp) return false;
+  }
+  return true;
+}
+
+void SocketNode::retire_peer(std::uint32_t rank) {
+  if (rank >= nranks_ || rank == rank_ || retired_[rank]) return;
+  retired_[rank] = true;
+  OutConn& oc = out_[rank];
+  close_fd(oc.fd);
+  oc.fd = -1;
+  oc.frames.clear();
+  oc.head_written = 0;
+  oc.state = OutState::kFailed;
+  for (InConn& ic : in_) {
+    if (ic.rank == static_cast<std::int64_t>(rank) && ic.fd >= 0) {
+      close_fd(ic.fd);
+      ic.fd = -1;
+    }
+  }
+}
+
+bool SocketNode::peer_retired(std::uint32_t rank) const {
+  return rank < nranks_ && retired_[rank];
+}
+
+std::int64_t SocketNode::last_heard_ms(std::uint32_t rank) const {
+  return last_heard_[rank];
+}
+
+bool SocketNode::link_failed(std::uint32_t dst) const {
+  return out_[dst].state == OutState::kFailed;
+}
+
+std::uint32_t SocketNode::link_attempts(std::uint32_t dst) const {
+  return out_[dst].attempts;
+}
+
+}  // namespace vsim::net

@@ -1,0 +1,161 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstddef>
+#include <cstring>
+#include <ctime>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace vsim::net {
+
+std::string Addr::str() const {
+  if (tcp) return path_or_host + ":" + std::to_string(port);
+  return path_or_host;
+}
+
+std::int64_t now_ms() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+namespace {
+
+bool set_nonblock_cloexec(int fd) {
+  const int fl = fcntl(fd, F_GETFL, 0);
+  if (fl < 0 || fcntl(fd, F_SETFL, fl | O_NONBLOCK) < 0) return false;
+  const int fdfl = fcntl(fd, F_GETFD, 0);
+  return fdfl >= 0 && fcntl(fd, F_SETFD, fdfl | FD_CLOEXEC) >= 0;
+}
+
+std::string errno_str(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Fills `sa` for `addr`; returns the family or -1 on a bad address.
+int fill_sockaddr(const Addr& addr, sockaddr_storage* sa, socklen_t* len,
+                  std::string* err) {
+  std::memset(sa, 0, sizeof(*sa));
+  if (addr.tcp) {
+    auto* in = reinterpret_cast<sockaddr_in*>(sa);
+    in->sin_family = AF_INET;
+    in->sin_port = htons(addr.port);
+    if (inet_pton(AF_INET, addr.path_or_host.c_str(), &in->sin_addr) != 1) {
+      if (err != nullptr) *err = "bad host " + addr.path_or_host;
+      return -1;
+    }
+    *len = sizeof(sockaddr_in);
+    return AF_INET;
+  }
+  auto* un = reinterpret_cast<sockaddr_un*>(sa);
+  un->sun_family = AF_UNIX;
+  if (addr.path_or_host.size() >= sizeof(un->sun_path)) {
+    if (err != nullptr) *err = "socket path too long: " + addr.path_or_host;
+    return -1;
+  }
+  std::memcpy(un->sun_path, addr.path_or_host.c_str(),
+              addr.path_or_host.size() + 1);
+  *len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) +
+                                addr.path_or_host.size() + 1);
+  return AF_UNIX;
+}
+
+}  // namespace
+
+int listen_on(const Addr& addr, std::string* err) {
+  sockaddr_storage sa{};
+  socklen_t len = 0;
+  const int family = fill_sockaddr(addr, &sa, &len, err);
+  if (family < 0) return -1;
+  if (!addr.tcp) ::unlink(addr.path_or_host.c_str());
+  const int fd = ::socket(family, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (err != nullptr) *err = errno_str("socket");
+    return -1;
+  }
+  if (addr.tcp) {
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  }
+  if (!set_nonblock_cloexec(fd) ||
+      ::bind(fd, reinterpret_cast<sockaddr*>(&sa), len) < 0 ||
+      ::listen(fd, SOMAXCONN) < 0) {
+    if (err != nullptr) *err = errno_str(("bind/listen " + addr.str()).c_str());
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int dial(const Addr& addr, std::string* err) {
+  sockaddr_storage sa{};
+  socklen_t len = 0;
+  const int family = fill_sockaddr(addr, &sa, &len, err);
+  if (family < 0) return -1;
+  const int fd = ::socket(family, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (err != nullptr) *err = errno_str("socket");
+    return -1;
+  }
+  if (!set_nonblock_cloexec(fd)) {
+    if (err != nullptr) *err = errno_str("fcntl");
+    ::close(fd);
+    return -1;
+  }
+  if (addr.tcp) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), len) < 0 &&
+      errno != EINPROGRESS && errno != EAGAIN) {
+    if (err != nullptr) *err = errno_str(("connect " + addr.str()).c_str());
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool dial_finished(int fd, std::string* err) {
+  int soerr = 0;
+  socklen_t len = sizeof(soerr);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) < 0) soerr = errno;
+  if (soerr == 0) return true;
+  if (err != nullptr)
+    *err = std::string("connect: ") + std::strerror(soerr);
+  return false;
+}
+
+int accept_conn(int listen_fd) {
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) return -1;
+  if (!set_nonblock_cloexec(fd)) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int read_some(int fd, std::uint8_t* buf, std::size_t cap) {
+  const ssize_t n = ::recv(fd, buf, cap, 0);
+  if (n > 0) return static_cast<int>(n);
+  if (n == 0) return -1;  // orderly EOF
+  return (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) ? 0 : -1;
+}
+
+int write_some(int fd, const std::uint8_t* buf, std::size_t n) {
+  const ssize_t w = ::send(fd, buf, n, MSG_NOSIGNAL);
+  if (w >= 0) return static_cast<int>(w);
+  return (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) ? 0 : -1;
+}
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace vsim::net

@@ -1,0 +1,54 @@
+// Thin non-blocking socket helpers shared by the rank node (net/node.h).
+//
+// Everything here is plain POSIX; both address families the distributed
+// engine supports (Unix-domain paths for single-host runs, TCP loopback for
+// a future multi-host spawner) go through the same four operations: listen,
+// dial (asynchronously), accept, and a poll step.  All fds are O_NONBLOCK
+// and close-on-exec; writes use MSG_NOSIGNAL so a peer death surfaces as
+// EPIPE, never as a process-killing SIGPIPE.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vsim::net {
+
+/// One rank's listening address.
+struct Addr {
+  bool tcp = false;
+  std::string path_or_host;  ///< socket path (unix) or host (tcp)
+  std::uint16_t port = 0;    ///< tcp only
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Monotonic wall-clock milliseconds (CLOCK_MONOTONIC).
+[[nodiscard]] std::int64_t now_ms();
+
+/// Binds + listens on `addr` (unlinking a stale unix path first).
+/// Returns the listener fd, or -1 with `err` set.
+[[nodiscard]] int listen_on(const Addr& addr, std::string* err);
+
+/// Starts a non-blocking connect to `addr`.  Returns the fd (connect may
+/// still be in progress: poll for writability, then check dial_finished),
+/// or -1 with `err` set on immediate failure.
+[[nodiscard]] int dial(const Addr& addr, std::string* err);
+
+/// After POLLOUT on a dialing fd: true if the connect succeeded, false
+/// (with `err` set) if it failed and the fd must be closed.
+[[nodiscard]] bool dial_finished(int fd, std::string* err);
+
+/// Accepts one pending connection; returns the fd or -1 when none/err.
+[[nodiscard]] int accept_conn(int listen_fd);
+
+/// read() up to `cap` bytes.  Returns >0 bytes read, 0 on would-block,
+/// -1 on EOF or error (the connection is gone).
+[[nodiscard]] int read_some(int fd, std::uint8_t* buf, std::size_t cap);
+
+/// write() up to `n` bytes.  Returns >=0 bytes written (0 on would-block),
+/// -1 on error (the connection is gone).
+[[nodiscard]] int write_some(int fd, const std::uint8_t* buf, std::size_t n);
+
+void close_fd(int fd);
+
+}  // namespace vsim::net

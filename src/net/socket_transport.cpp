@@ -1,0 +1,35 @@
+#include "net/socket_transport.h"
+
+#include "pdes/checkpoint.h"
+
+namespace vsim::net {
+
+void encode_packet(vsim::bytes::Writer& w, const pdes::Packet& pkt) {
+  w.u8(static_cast<std::uint8_t>(pkt.kind));
+  w.u32(pkt.src);
+  w.u32(pkt.dst);
+  w.u64(pkt.seq);
+  pdes::encode_event(w, pkt.ev);
+}
+
+bool decode_packet(vsim::bytes::Reader& r, pdes::Packet* out) {
+  pdes::Packet pkt;
+  pkt.kind = static_cast<pdes::Packet::Kind>(r.u8());
+  pkt.src = r.u32();
+  pkt.dst = r.u32();
+  pkt.seq = r.u64();
+  pkt.ev = pdes::decode_event(r);
+  if (!r.ok()) return false;
+  *out = std::move(pkt);
+  return true;
+}
+
+void SocketTransport::submit(pdes::Packet&& pkt, double now) {
+  (void)now;
+  scratch_.clear();
+  vsim::bytes::Writer w(scratch_);
+  encode_packet(w, pkt);
+  node_.send(pkt.dst, FrameType::kData, scratch_);
+}
+
+}  // namespace vsim::net

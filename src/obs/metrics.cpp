@@ -40,6 +40,12 @@ const char* metric_name(Metric m) {
     case Metric::kCheckpointDiskBytes: return "ckpt.disk_bytes";
     case Metric::kMigrations: return "engine.migrations";
     case Metric::kRebalanceRounds: return "engine.rebalance_rounds";
+    case Metric::kNetFramesSent: return "net.frames_sent";
+    case Metric::kNetFramesRecv: return "net.frames_recv";
+    case Metric::kNetHeartbeats: return "net.heartbeats";
+    case Metric::kNetReconnects: return "net.reconnects";
+    case Metric::kNetDisconnects: return "net.disconnects";
+    case Metric::kNetCrcErrors: return "net.crc_errors";
     case Metric::kCount: break;
   }
   return "unknown";
@@ -114,6 +120,47 @@ Json MetricsSnapshot::to_json() const {
     o.emplace_back(hist_name(static_cast<Hist>(i)), hists[i].to_json());
   }
   return Json(std::move(o));
+}
+
+void encode_snapshot(vsim::bytes::Writer& w, const MetricsSnapshot& s) {
+  w.u32(static_cast<std::uint32_t>(s.counters.size()));
+  for (std::uint64_t c : s.counters) w.u64(c);
+  w.u32(static_cast<std::uint32_t>(s.gauges.size()));
+  for (double g : s.gauges) w.f64(g);
+  w.u32(static_cast<std::uint32_t>(s.hists.size()));
+  for (const Histogram& h : s.hists) {
+    w.u64(h.count);
+    w.f64(h.sum);
+    w.f64(h.max);
+    for (std::uint64_t b : h.buckets) w.u64(b);
+  }
+}
+
+bool decode_snapshot(vsim::bytes::Reader& r, MetricsSnapshot* out) {
+  MetricsSnapshot s;
+  if (r.u32() != s.counters.size()) return false;
+  for (std::uint64_t& c : s.counters) c = r.u64();
+  if (r.u32() != s.gauges.size()) return false;
+  for (double& g : s.gauges) g = r.f64();
+  if (r.u32() != s.hists.size()) return false;
+  for (Histogram& h : s.hists) {
+    h.count = r.u64();
+    h.sum = r.f64();
+    h.max = r.f64();
+    for (std::uint64_t& b : h.buckets) b = r.u64();
+  }
+  if (!r.ok()) return false;
+  *out = s;
+  return true;
+}
+
+void merge_snapshot(MetricsSnapshot& into, const MetricsSnapshot& from) {
+  for (std::size_t i = 0; i < into.counters.size(); ++i)
+    into.counters[i] += from.counters[i];
+  for (std::size_t i = 0; i < into.gauges.size(); ++i)
+    if (from.gauges[i] > into.gauges[i]) into.gauges[i] = from.gauges[i];
+  for (std::size_t i = 0; i < into.hists.size(); ++i)
+    into.hists[i] += from.hists[i];
 }
 
 void MetricsRegistry::merge() {

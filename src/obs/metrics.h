@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bytes.h"
 #include "obs/json.h"
 
 namespace vsim::obs {
@@ -67,6 +68,13 @@ enum class Metric : std::uint16_t {
   // Dynamic load balancing (partition/rebalance.h).
   kMigrations,             ///< engine.migrations — LPs moved between workers
   kRebalanceRounds,        ///< engine.rebalance_rounds — planner evaluations
+  // Socket layer (src/net, distributed engine only).
+  kNetFramesSent,          ///< net.frames_sent — wire frames written
+  kNetFramesRecv,          ///< net.frames_recv — wire frames parsed
+  kNetHeartbeats,          ///< net.heartbeats — heartbeat frames sent
+  kNetReconnects,          ///< net.reconnects — successful redials
+  kNetDisconnects,         ///< net.disconnects — connection losses observed
+  kNetCrcErrors,           ///< net.crc_errors — frames dropped on checksum
   kCount
 };
 
@@ -149,6 +157,17 @@ struct MetricsSnapshot {
   /// serialisation used by bench reports.
   [[nodiscard]] Json to_json() const;
 };
+
+/// Byte codec and cross-process merge for snapshots, used by the
+/// distributed engine to ship per-rank metrics to rank 0 at GVT rounds and
+/// at run end.  decode tolerates snapshots from a binary with a different
+/// metric count (older/newer rank mix is a config error upstream; this just
+/// refuses to misalign).  merge_snapshot applies the same semantics as
+/// MetricsRegistry::merge: counters add, gauges max, histograms add.
+void encode_snapshot(vsim::bytes::Writer& w, const MetricsSnapshot& s);
+[[nodiscard]] bool decode_snapshot(vsim::bytes::Reader& r,
+                                   MetricsSnapshot* out);
+void merge_snapshot(MetricsSnapshot& into, const MetricsSnapshot& from);
 
 /// Owns one shard per worker plus the merged totals.
 class MetricsRegistry {

@@ -19,137 +19,112 @@ std::string RecoveryError::str() const {
 
 // ---- binary codec ----
 //
-// Little-endian, versioned.  Only the portable section is encoded: LpState
-// snapshots are opaque (LPs have no byte-level serialisation), so a disk
-// checkpoint complements -- never replaces -- the in-memory one.
+// Little-endian, versioned, built on the shared common/bytes.h primitives.
+// Only the portable section is encoded here: LpState snapshots travel
+// separately (LogicalProcess::encode_state) when a consumer -- the
+// distributed engine's checkpoint shipping -- needs them as bytes, so a
+// disk checkpoint complements, never replaces, the in-memory one.
 
 namespace {
 
 constexpr std::uint8_t kMagic[4] = {'V', 'C', 'K', 'P'};
 constexpr std::uint32_t kVersion = 1;
 
-struct Writer {
-  std::vector<std::uint8_t>& buf;
-
-  void u8(std::uint8_t v) { buf.push_back(v); }
-  void u16(std::uint16_t v) {
-    for (int i = 0; i < 2; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void u32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
-  void vt(const VirtualTime& t) {
-    i64(t.pt);
-    i64(t.lt);
-  }
-  void event(const Event& ev) {
-    vt(ev.ts);
-    u32(ev.src);
-    u32(ev.dst);
-    u64(ev.uid);
-    u16(static_cast<std::uint16_t>(ev.kind));
-    u8(ev.negative ? 1 : 0);
-    u32(static_cast<std::uint32_t>(ev.payload.port));
-    i64(ev.payload.scalar);
-    u64(ev.payload.bits.size());
-    for (std::size_t i = 0; i < ev.payload.bits.size(); ++i)
-      u8(static_cast<std::uint8_t>(ev.payload.bits.at(i)));
-  }
-};
-
-struct Reader {
-  const std::vector<std::uint8_t>& buf;
-  std::size_t pos = 0;
-  bool ok = true;
-
-  bool have(std::size_t n) {
-    if (pos + n > buf.size()) ok = false;
-    return ok;
-  }
-  std::uint8_t u8() {
-    if (!have(1)) return 0;
-    return buf[pos++];
-  }
-  std::uint16_t u16() {
-    std::uint16_t v = 0;
-    if (!have(2)) return 0;
-    for (int i = 0; i < 2; ++i) v |= static_cast<std::uint16_t>(buf[pos++]) << (8 * i);
-    return v;
-  }
-  std::uint32_t u32() {
-    std::uint32_t v = 0;
-    if (!have(4)) return 0;
-    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf[pos++]) << (8 * i);
-    return v;
-  }
-  std::uint64_t u64() {
-    std::uint64_t v = 0;
-    if (!have(8)) return 0;
-    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[pos++]) << (8 * i);
-    return v;
-  }
-  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
-  VirtualTime vt() {
-    VirtualTime t;
-    t.pt = i64();
-    t.lt = i64();
-    return t;
-  }
-  Event event() {
-    Event ev;
-    ev.ts = vt();
-    ev.src = u32();
-    ev.dst = u32();
-    ev.uid = u64();
-    ev.kind = static_cast<std::int16_t>(u16());
-    ev.negative = u8() != 0;
-    ev.payload.port = static_cast<std::int32_t>(u32());
-    ev.payload.scalar = i64();
-    const std::uint64_t nbits = u64();
-    if (!have(nbits)) return ev;
-    LogicVector bits(static_cast<std::size_t>(nbits));
-    for (std::uint64_t i = 0; i < nbits; ++i)
-      bits.set(static_cast<std::size_t>(i), static_cast<Logic>(u8()));
-    ev.payload.bits = std::move(bits);
-    return ev;
-  }
-};
-
 }  // namespace
+
+void encode_event(bytes::Writer& w, const Event& ev) {
+  w.vt(ev.ts);
+  w.u32(ev.src);
+  w.u32(ev.dst);
+  w.u64(ev.uid);
+  w.u16(static_cast<std::uint16_t>(ev.kind));
+  w.u8(ev.negative ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(ev.payload.port));
+  w.i64(ev.payload.scalar);
+  w.lv(ev.payload.bits);
+}
+
+Event decode_event(bytes::Reader& r) {
+  Event ev;
+  ev.ts = r.vt();
+  ev.src = r.u32();
+  ev.dst = r.u32();
+  ev.uid = r.u64();
+  ev.kind = static_cast<std::int16_t>(r.u16());
+  ev.negative = r.u8() != 0;
+  ev.payload.port = static_cast<std::int32_t>(r.u32());
+  ev.payload.scalar = r.i64();
+  ev.payload.bits = r.lv();
+  return ev;
+}
+
+void encode_lp_checkpoint(bytes::Writer& w, const LpCheckpoint& lp) {
+  w.u8(static_cast<std::uint8_t>(lp.mode));
+  w.u8(lp.pinned_conservative ? 1 : 0);
+  w.vt(lp.committed_ts);
+  w.u64(lp.send_seq);
+  w.u64(lp.pending.size());
+  for (const Event& ev : lp.pending) encode_event(w, ev);
+  w.u64(lp.pending_negatives.size());
+  for (EventUid uid : lp.pending_negatives) w.u64(uid);
+  w.u64(lp.lazy.size());
+  for (const auto& [gen_uid, ev] : lp.lazy) {
+    w.u64(gen_uid);
+    encode_event(w, ev);
+  }
+  w.u64(lp.in_clocks.size());
+  for (const auto& [src, clock] : lp.in_clocks) {
+    w.u32(src);
+    w.vt(clock);
+  }
+}
+
+bool decode_lp_checkpoint(bytes::Reader& r, LpCheckpoint* out) {
+  assert(out != nullptr);
+  LpCheckpoint lp;
+  lp.mode = static_cast<SyncMode>(r.u8());
+  lp.pinned_conservative = r.u8() != 0;
+  lp.committed_ts = r.vt();
+  lp.send_seq = r.u64();
+  const std::uint64_t npend = r.u64();
+  if (!r.ok() || npend > r.remaining()) return false;
+  lp.pending.reserve(static_cast<std::size_t>(npend));
+  for (std::uint64_t i = 0; i < npend && r.ok(); ++i)
+    lp.pending.push_back(decode_event(r));
+  const std::uint64_t nneg = r.u64();
+  if (!r.ok() || nneg > r.remaining()) return false;
+  lp.pending_negatives.reserve(static_cast<std::size_t>(nneg));
+  for (std::uint64_t i = 0; i < nneg && r.ok(); ++i)
+    lp.pending_negatives.push_back(r.u64());
+  const std::uint64_t nlazy = r.u64();
+  if (!r.ok() || nlazy > r.remaining()) return false;
+  lp.lazy.reserve(static_cast<std::size_t>(nlazy));
+  for (std::uint64_t i = 0; i < nlazy && r.ok(); ++i) {
+    const EventUid gen = r.u64();
+    lp.lazy.emplace_back(gen, decode_event(r));
+  }
+  const std::uint64_t nclk = r.u64();
+  if (!r.ok() || nclk > r.remaining()) return false;
+  lp.in_clocks.reserve(static_cast<std::size_t>(nclk));
+  for (std::uint64_t i = 0; i < nclk && r.ok(); ++i) {
+    const LpId src = r.u32();
+    lp.in_clocks.emplace_back(src, r.vt());
+  }
+  if (!r.ok()) return false;
+  *out = std::move(lp);
+  return true;
+}
 
 std::vector<std::uint8_t> CheckpointStore::encode_portable(
     const Checkpoint& ck) {
   std::vector<std::uint8_t> buf;
-  Writer w{buf};
+  bytes::Writer w(buf);
   for (std::uint8_t m : kMagic) w.u8(m);
   w.u32(kVersion);
   w.u64(ck.round);
   w.vt(ck.gvt);
   w.u64(ck.lps.size());
-  for (const LpCheckpoint& lp : ck.lps) {
-    w.u8(static_cast<std::uint8_t>(lp.mode));
-    w.u8(lp.pinned_conservative ? 1 : 0);
-    w.vt(lp.committed_ts);
-    w.u64(lp.send_seq);
-    w.u64(lp.pending.size());
-    for (const Event& ev : lp.pending) w.event(ev);
-    w.u64(lp.pending_negatives.size());
-    for (EventUid uid : lp.pending_negatives) w.u64(uid);
-    w.u64(lp.lazy.size());
-    for (const auto& [gen_uid, ev] : lp.lazy) {
-      w.u64(gen_uid);
-      w.event(ev);
-    }
-    w.u64(lp.in_clocks.size());
-    for (const auto& [src, clock] : lp.in_clocks) {
-      w.u32(src);
-      w.vt(clock);
-    }
-  }
+  for (const LpCheckpoint& lp : ck.lps) encode_lp_checkpoint(w, lp);
   w.u64(ck.last_promise.size());
   for (const VirtualTime& t : ck.last_promise) w.vt(t);
   w.u64(ck.links.size());
@@ -168,7 +143,7 @@ std::vector<std::uint8_t> CheckpointStore::encode_portable(
 bool CheckpointStore::decode_portable(const std::vector<std::uint8_t>& buf,
                                       Checkpoint* out) {
   assert(out != nullptr);
-  Reader r{buf};
+  bytes::Reader r(buf);
   for (std::uint8_t m : kMagic)
     if (r.u8() != m) return false;
   if (r.u32() != kVersion) return false;
@@ -176,58 +151,30 @@ bool CheckpointStore::decode_portable(const std::vector<std::uint8_t>& buf,
   ck.round = r.u64();
   ck.gvt = r.vt();
   const std::uint64_t nlps = r.u64();
-  if (!r.ok || nlps > buf.size()) return false;  // cheap sanity bound
+  if (!r.ok() || nlps > buf.size()) return false;  // cheap sanity bound
   ck.lps.resize(static_cast<std::size_t>(nlps));
-  for (LpCheckpoint& lp : ck.lps) {
-    lp.mode = static_cast<SyncMode>(r.u8());
-    lp.pinned_conservative = r.u8() != 0;
-    lp.committed_ts = r.vt();
-    lp.send_seq = r.u64();
-    const std::uint64_t npend = r.u64();
-    if (!r.ok || npend > buf.size()) return false;
-    lp.pending.reserve(static_cast<std::size_t>(npend));
-    for (std::uint64_t i = 0; i < npend && r.ok; ++i)
-      lp.pending.push_back(r.event());
-    const std::uint64_t nneg = r.u64();
-    if (!r.ok || nneg > buf.size()) return false;
-    lp.pending_negatives.reserve(static_cast<std::size_t>(nneg));
-    for (std::uint64_t i = 0; i < nneg && r.ok; ++i)
-      lp.pending_negatives.push_back(r.u64());
-    const std::uint64_t nlazy = r.u64();
-    if (!r.ok || nlazy > buf.size()) return false;
-    lp.lazy.reserve(static_cast<std::size_t>(nlazy));
-    for (std::uint64_t i = 0; i < nlazy && r.ok; ++i) {
-      const EventUid gen = r.u64();
-      lp.lazy.emplace_back(gen, r.event());
-    }
-    const std::uint64_t nclk = r.u64();
-    if (!r.ok || nclk > buf.size()) return false;
-    lp.in_clocks.reserve(static_cast<std::size_t>(nclk));
-    for (std::uint64_t i = 0; i < nclk && r.ok; ++i) {
-      const LpId src = r.u32();
-      lp.in_clocks.emplace_back(src, r.vt());
-    }
-  }
+  for (LpCheckpoint& lp : ck.lps)
+    if (!decode_lp_checkpoint(r, &lp)) return false;
   const std::uint64_t nprom = r.u64();
-  if (!r.ok || nprom > buf.size()) return false;
+  if (!r.ok() || nprom > buf.size()) return false;
   ck.last_promise.reserve(static_cast<std::size_t>(nprom));
-  for (std::uint64_t i = 0; i < nprom && r.ok; ++i)
+  for (std::uint64_t i = 0; i < nprom && r.ok(); ++i)
     ck.last_promise.push_back(r.vt());
   const std::uint64_t nlinks = r.u64();
-  if (!r.ok || nlinks > buf.size()) return false;
+  if (!r.ok() || nlinks > buf.size()) return false;
   ck.links.resize(static_cast<std::size_t>(nlinks));
   for (LinkCheckpoint& l : ck.links) {
     l.next_seq = r.u64();
     l.expected = r.u64();
   }
   const std::uint64_t nfault = r.u64();
-  if (!r.ok || nfault > buf.size()) return false;
+  if (!r.ok() || nfault > buf.size()) return false;
   ck.fault_links.resize(static_cast<std::size_t>(nfault));
   for (FaultLinkCheckpoint& l : ck.fault_links) {
     l.rng = r.u64();
     l.blackout_left = r.u32();
   }
-  if (!r.ok || r.pos != buf.size()) return false;  // no trailing garbage
+  if (!r.exhausted()) return false;  // no trailing garbage
   *out = std::move(ck);
   return true;
 }

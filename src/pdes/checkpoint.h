@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/bytes.h"
 #include "pdes/lp.h"
 #include "pdes/transport.h"
 
@@ -39,9 +40,11 @@ namespace vsim::pdes {
 class LpRuntime;
 
 /// One LP's share of a checkpoint.  `state` is the opaque LpState snapshot
-/// (always in memory: LPs have no byte-level serialisation); the remaining
+/// (kept in memory; LPs that implement encode_state/decode_state can also
+/// ship it as bytes, which the distributed engine requires); the remaining
 /// fields are plain data and form the "portable" section that can spill to
-/// disk (CheckpointStore::encode_portable).
+/// disk (CheckpointStore::encode_portable) or cross the wire
+/// (encode_lp_checkpoint).
 struct LpCheckpoint {
   std::unique_ptr<LpState> state;
   SyncMode mode = SyncMode::kConservative;
@@ -129,6 +132,17 @@ class CheckpointStore {
   std::uint64_t disk_bytes_ = 0;
   std::optional<std::string> io_error_;
 };
+
+/// Shared field-level codecs (common/bytes.h layout).  These are the exact
+/// encodings the portable checkpoint section uses, exposed so the socket
+/// wire (src/net) serialises events and shipped LP checkpoints with the
+/// same bytes a spilled checkpoint holds.  The LpCheckpoint codec covers
+/// the portable fields only -- the opaque LpState travels separately
+/// through LogicalProcess::encode_state/decode_state.
+void encode_event(bytes::Writer& w, const Event& ev);
+[[nodiscard]] Event decode_event(bytes::Reader& r);
+void encode_lp_checkpoint(bytes::Writer& w, const LpCheckpoint& lp);
+[[nodiscard]] bool decode_lp_checkpoint(bytes::Reader& r, LpCheckpoint* out);
 
 /// Builds a checkpoint from engine state.  Preconditions: every LP's
 /// speculative history has been undone (LpRuntime::rollback_all_deferred)

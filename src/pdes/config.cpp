@@ -96,6 +96,39 @@ std::optional<ConfigError> validate(const TransportConfig& transport,
   return std::nullopt;
 }
 
+std::optional<ConfigError> validate_net(const NetConfig& net,
+                                        std::size_t num_ranks) {
+  if (net.heartbeat_interval_ms < 1)
+    return fail("net.heartbeat_interval_ms", "must be >= 1");
+  if (net.heartbeat_timeout_ms <= net.heartbeat_interval_ms)
+    return fail("net.heartbeat_timeout_ms",
+                "timeout must exceed the heartbeat interval or every rank "
+                "is instantly dead");
+  if (net.connect_timeout_ms < 1)
+    return fail("net.connect_timeout_ms", "must be >= 1");
+  if (net.reconnect_max_attempts < 1)
+    return fail("net.reconnect_max_attempts",
+                "at least one reconnect attempt is required");
+  if (net.reconnect_base_ms < 1)
+    return fail("net.reconnect_base_ms", "must be >= 1");
+  if (net.reconnect_max_ms < net.reconnect_base_ms)
+    return fail("net.reconnect_max_ms", "must be >= reconnect_base_ms");
+  if (net.max_frame_bytes < 1024)
+    return fail("net.max_frame_bytes",
+                "frames smaller than 1 KiB cannot carry the protocol");
+  if (net.tcp && net.base_port == 0)
+    return fail("net.base_port", "TCP mode needs an explicit base port");
+  for (const NetConfig::Disconnect& d : net.disconnects) {
+    if (d.src >= num_ranks || d.dst >= num_ranks || d.src == d.dst) {
+      std::ostringstream os;
+      os << "disconnect " << d.src << "->" << d.dst << " is not a link of a "
+         << num_ranks << "-rank run";
+      return fail("net.disconnects", os.str());
+    }
+  }
+  return std::nullopt;
+}
+
 std::optional<ConfigError> validate(const RunConfig& config) {
   if (config.num_workers < 1)
     return fail("num_workers", "at least one worker is required");
@@ -126,6 +159,28 @@ std::optional<ConfigError> validate(const RunConfig& config) {
     if (config.rebalance.cut_weight < 0.0)
       return fail("rebalance.cut_weight", "must be >= 0");
   }
+  return std::nullopt;
+}
+
+std::optional<ConfigError> validate_distributed(const RunConfig& config) {
+  if (auto err = validate(config)) return err;
+  if (auto err = validate_net(config.net, config.num_workers)) return err;
+  // Rank 0 is the coordinator: it holds the checkpoint store and the commit
+  // stream, so its death is unrecoverable by construction.  Reject plans
+  // that schedule it to crash instead of failing opaquely mid-run.
+  for (const WorkerCrash& c : config.transport.faults.crashes) {
+    if (c.worker == 0)
+      return fail("faults.crashes",
+                  "rank 0 is the coordinator and cannot be crashed");
+  }
+  if (config.transport.faults.crash_rate > 0.0)
+    return fail("faults.crash_rate",
+                "distributed runs need an explicit crash schedule (a random "
+                "draw could kill the coordinator)");
+  if (config.rebalance.enabled())
+    return fail("rebalance.period",
+                "periodic rebalancing is not implemented across processes; "
+                "LPs move only via crash recovery");
   return std::nullopt;
 }
 

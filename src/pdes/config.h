@@ -165,6 +165,50 @@ struct CheckpointConfig {
   std::uint32_t heartbeat_rounds = 1;
 };
 
+/// Socket layer of the multi-process distributed engine (pdes/distributed.h,
+/// src/net).  All durations are wall-clock milliseconds: unlike the in-
+/// process engines, rank death and link outages are physical phenomena and
+/// must be detected on a physical clock.
+struct NetConfig {
+  /// Directory for the per-rank Unix-domain listening sockets
+  /// (`<dir>/rank-<i>.sock`).  Empty: a fresh directory under $TMPDIR.
+  std::string socket_dir;
+  /// Use TCP loopback instead of Unix-domain sockets; rank i listens on
+  /// `host:base_port + i`.
+  bool tcp = false;
+  std::string host = "127.0.0.1";
+  std::uint16_t base_port = 0;
+  /// Heartbeat cadence; every rank heartbeats every peer so silence is
+  /// detectable on any link, not just at the coordinator.
+  std::uint32_t heartbeat_interval_ms = 20;
+  /// Silence on a rank (no frame of any kind) after which the coordinator
+  /// declares it dead and starts recovery.
+  std::uint32_t heartbeat_timeout_ms = 1000;
+  /// Window for the initial full-mesh connect (covers listener-bind races
+  /// at process startup).
+  std::uint32_t connect_timeout_ms = 5000;
+  /// Consecutive failed redials of one peer before the link is declared
+  /// dead for good (surfaces as a structured TransportError when nothing
+  /// can recover it).  A successful reconnect resets the counter.
+  std::uint32_t reconnect_max_attempts = 10;
+  /// Exponential-backoff delay between redials: min(base << attempt, max).
+  std::uint32_t reconnect_base_ms = 2;
+  std::uint32_t reconnect_max_ms = 250;
+  /// Upper bound on one wire frame; larger frames are a protocol error.
+  std::uint32_t max_frame_bytes = 64u << 20;
+
+  /// Deterministic transient-disconnect injection: after `src` has written
+  /// `after_data_frames` data frames to `dst`, the connection is hard-closed
+  /// once (with its buffered bytes discarded), forcing a backoff reconnect
+  /// plus retransmission.  Test hook for the reconnect path.
+  struct Disconnect {
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::uint64_t after_data_frames = 0;
+  };
+  std::vector<Disconnect> disconnects;
+};
+
 /// Structured configuration-validation failure: which field is bad and why.
 /// Engines surface this via RunStats::config_error instead of running with
 /// silently nonsensical parameters.
@@ -178,8 +222,13 @@ std::optional<ConfigError> validate(const FaultPlan& plan,
                                     std::size_t num_workers);
 std::optional<ConfigError> validate(const TransportConfig& transport,
                                     std::size_t num_workers);
+std::optional<ConfigError> validate_net(const NetConfig& net,
+                                        std::size_t num_ranks);
 struct RunConfig;
 std::optional<ConfigError> validate(const RunConfig& config);
+/// Everything validate() checks plus the distributed-engine-specific rules
+/// (net parameters, no coordinator crashes, no periodic rebalancing).
+std::optional<ConfigError> validate_distributed(const RunConfig& config);
 
 /// Parameters of the self-adaptation policy (evaluated per LP at GVT rounds).
 struct AdaptPolicy {
@@ -253,6 +302,9 @@ struct RunConfig {
   CheckpointConfig checkpoint;
   /// Dynamic load balancing via LP migration at GVT rounds.
   RebalanceConfig rebalance;
+  /// Socket layer of the multi-process distributed engine; ignored by the
+  /// in-process engines.
+  NetConfig net;
   /// Optional event-trace sink (obs/trace.h).  The session must have at
   /// least `num_workers` tracks and outlive the engine.  When null, engines
   /// fall back to the $VSIM_TRACE process-global tracer (if set); tracing is

@@ -1,0 +1,1742 @@
+#include "pdes/distributed.h"
+
+#include <sys/prctl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+
+#include "net/node.h"
+#include "net/socket.h"
+#include "net/socket_transport.h"
+#include "partition/rebalance.h"
+#include "pdes/adaptive.h"
+
+namespace vsim::pdes {
+
+namespace {
+
+/// Events processed per scheduler iteration between socket pumps; same
+/// rationale (and value) as the threaded engine's slice.
+constexpr std::uint32_t kEventSlice = 16;
+/// Consecutive empty iterations before a rank asks for / starts a round.
+constexpr std::uint32_t kIdleSpinRound = 16;
+/// Bound on the in-pass flush wait (ms).  Correctness never depends on it:
+/// an unflushed link just makes the pass vote non-quiescent and the
+/// coordinator issues another pass.
+constexpr std::int64_t kDrainFlushBudgetMs = 50;
+/// Checkpoint rounds of fault-injector cursors each rank keeps locally.
+/// Round 0 is always retained as the rewind of last resort.
+constexpr std::size_t kFaultRingKeep = 32;
+
+template <typename T>
+void store_relaxed(const T& field, T v) {
+  std::atomic_ref<T>(const_cast<T&>(field)).store(v, std::memory_order_relaxed);
+}
+template <typename T>
+T load_relaxed(const T& field) {
+  return std::atomic_ref<T>(const_cast<T&>(field))
+      .load(std::memory_order_relaxed);
+}
+
+void encode_lp_stats(bytes::Writer& w, const LpStats& s) {
+  w.u64(s.events_processed);
+  w.u64(s.events_committed);
+  w.u64(s.rollbacks);
+  w.u64(s.events_undone);
+  w.u64(s.anti_messages_sent);
+  w.u64(s.annihilations);
+  w.u64(s.lazy_reuses);
+  w.u64(s.lazy_cancels);
+  w.u64(s.state_saves);
+  w.u64(s.max_history);
+  w.u64(s.mode_switches);
+  w.u64(s.blocked_polls);
+  w.u64(s.checkpoint_undone);
+  w.u64(s.queue_ops);
+}
+
+LpStats decode_lp_stats(bytes::Reader& r) {
+  LpStats s;
+  s.events_processed = r.u64();
+  s.events_committed = r.u64();
+  s.rollbacks = r.u64();
+  s.events_undone = r.u64();
+  s.anti_messages_sent = r.u64();
+  s.annihilations = r.u64();
+  s.lazy_reuses = r.u64();
+  s.lazy_cancels = r.u64();
+  s.state_saves = r.u64();
+  s.max_history = static_cast<std::size_t>(r.u64());
+  s.mode_switches = r.u64();
+  s.blocked_polls = r.u64();
+  s.checkpoint_undone = r.u64();
+  s.queue_ops = r.u64();
+  return s;
+}
+
+void encode_worker_stats(bytes::Writer& w, const WorkerStats& s) {
+  w.f64(s.busy_cost);
+  w.f64(s.final_clock);
+  w.u64(s.events);
+  w.u64(s.messages_sent_remote);
+  w.u64(s.messages_sent_local);
+  w.u64(s.null_messages);
+}
+
+WorkerStats decode_worker_stats(bytes::Reader& r) {
+  WorkerStats s;
+  s.busy_cost = r.f64();
+  s.final_clock = r.f64();
+  s.events = r.u64();
+  s.messages_sent_remote = r.u64();
+  s.messages_sent_local = r.u64();
+  s.null_messages = r.u64();
+  return s;
+}
+
+void encode_transport_counters(bytes::Writer& w, const TransportCounters& c) {
+  w.u64(c.data_sent);
+  w.u64(c.acks_sent);
+  w.u64(c.delivered);
+  w.u64(c.dropped);
+  w.u64(c.duplicated);
+  w.u64(c.reordered);
+  w.u64(c.retransmits);
+  w.u64(c.dup_discarded);
+  w.u64(c.buffered);
+}
+
+TransportCounters decode_transport_counters(bytes::Reader& r) {
+  TransportCounters c;
+  c.data_sent = r.u64();
+  c.acks_sent = r.u64();
+  c.delivered = r.u64();
+  c.dropped = r.u64();
+  c.duplicated = r.u64();
+  c.reordered = r.u64();
+  c.retransmits = r.u64();
+  c.dup_discarded = r.u64();
+  c.buffered = r.u64();
+  return c;
+}
+
+/// Sums per-link transport counters across ranks.  Safe without dedup: a
+/// link's send-side rows are only ever touched on the source rank and its
+/// receive-side rows on the destination rank, so the per-rank structs are
+/// disjoint.
+void add_transport_counters(TransportCounters& into,
+                            const TransportCounters& from) {
+  into.data_sent += from.data_sent;
+  into.acks_sent += from.acks_sent;
+  into.delivered += from.delivered;
+  into.dropped += from.dropped;
+  into.duplicated += from.duplicated;
+  into.reordered += from.reordered;
+  into.retransmits += from.retransmits;
+  into.dup_discarded += from.dup_discarded;
+  into.buffered += from.buffered;
+}
+
+}  // namespace
+
+/// Seeds the initial event set before any transport exists.  Enqueueing a
+/// first event into a fresh LP can neither roll anything back nor commit,
+/// so the router must never be exercised.
+class DistributedEngine::SeedRouter final : public Router {
+ public:
+  void route(Event&&) override { assert(!"initial seed routed an event"); }
+  void commit(const Event&) override {}
+};
+
+class DistributedEngine::DistRouter final : public Router {
+ public:
+  explicit DistRouter(DistributedEngine& eng) : eng_(eng) {}
+
+  void route(Event&& ev) override {
+    const std::uint32_t owner = eng_.partition_[ev.dst];
+    if (owner == eng_.rank_) {
+      ++eng_.wstats_.messages_sent_local;
+      eng_.metrics_.shard(0).inc(obs::Metric::kMessagesLocal);
+      eng_.deliver(std::move(ev));
+      return;
+    }
+    if (ev.kind == kNullMsgKind) {
+      ++eng_.wstats_.null_messages;
+      eng_.metrics_.shard(0).inc(obs::Metric::kNullMessages);
+    } else {
+      ++eng_.wstats_.messages_sent_remote;
+      eng_.metrics_.shard(0).inc(obs::Metric::kMessagesRemote);
+    }
+    eng_.net_->send(eng_.rank_, owner, std::move(ev), eng_.nowd());
+  }
+
+  void commit(const Event& ev) override {
+    if (!eng_.want_commits_) return;
+    // Every rank buffers: commits validated below GVT are released only by
+    // rank 0, either when a checkpoint covers them or at termination, so a
+    // recovery that rewinds the cluster can never double-report one.
+    eng_.commit_buf_[ev.dst].push_back(ev);
+  }
+
+ private:
+  DistributedEngine& eng_;
+};
+
+DistributedEngine::DistributedEngine(LpGraph& graph, Partition partition,
+                                     RunConfig config)
+    : graph_(graph), partition_(std::move(partition)), config_(config) {
+  config_error_ = validate_distributed(config_);
+  if (config_error_) return;
+  assert(partition_.size() == graph_.size());
+  nranks_ = config_.num_workers;
+  // The real wire loses and replays frames across reconnects; only the
+  // reliable channel layer can hand the engine an exactly-once stream.
+  config_.transport.reliable = true;
+
+  lps_.reserve(graph_.size());
+  key_.assign(graph_.size(), kTimeInf);
+  last_promise_.assign(graph_.size(), kTimeZero);
+  for (LpId id = 0; id < graph_.size(); ++id) {
+    lps_.emplace_back(&graph_.lp(id), config_.ordering, config_.strategy,
+                      initial_mode(config_.configuration, graph_.lp(id)),
+                      config_.max_history, config_.use_lookahead,
+                      config_.cancellation);
+    if (config_.strategy == ConservativeStrategy::kNullMessage) {
+      for (LpId src : graph_.fan_in(id)) lps_[id].add_input_channel(src);
+    }
+  }
+
+  ft_on_ = config_.checkpoint.period > 0 ||
+           config_.transport.faults.crash_active();
+  retired_.assign(nranks_, false);
+  dead_pending_.assign(nranks_, false);
+  pids_.assign(nranks_, -1);
+  reaped_.assign(nranks_, false);
+  votes_.resize(nranks_);
+  stats_got_.assign(nranks_, false);
+  final_lp_stats_.resize(graph_.size());
+  final_lp_got_.assign(graph_.size(), false);
+  final_worker_stats_.resize(nranks_);
+  rank_snapshots_.resize(nranks_);
+  rank_snapshot_got_.assign(nranks_, false);
+  lp_work_.assign(graph_.size(), 0.0);
+  if (ft_on_)
+    store_ = CheckpointStore(config_.checkpoint.keep,
+                             config_.checkpoint.spill_dir);
+
+  if (config_.net.socket_dir.empty() && !config_.net.tcp) {
+    const char* tmp = std::getenv("TMPDIR");
+    std::string tmpl = (tmp != nullptr && *tmp != '\0') ? tmp : "/tmp";
+    tmpl += "/vsim-net-XXXXXX";
+    if (mkdtemp(tmpl.data()) == nullptr) {
+      config_error_ = ConfigError{
+          "net.socket_dir",
+          std::string("cannot create socket directory: ") +
+              std::strerror(errno)};
+      return;
+    }
+    config_.net.socket_dir = tmpl;
+    own_socket_dir_ = true;
+  }
+}
+
+DistributedEngine::~DistributedEngine() {
+  if (own_socket_dir_ && rank_ == 0 && !config_.net.socket_dir.empty()) {
+    // Best-effort cleanup of the auto-created socket directory.
+    for (std::uint32_t r = 0; r < nranks_; ++r) {
+      const std::string p =
+          config_.net.socket_dir + "/rank-" + std::to_string(r) + ".sock";
+      ::unlink(p.c_str());
+    }
+    ::rmdir(config_.net.socket_dir.c_str());
+  }
+}
+
+double DistributedEngine::nowd() const {
+  return static_cast<double>(net::now_ms());
+}
+
+VirtualTime DistributedEngine::local_min() const {
+  VirtualTime m = kTimeInf;
+  for (const LpId lp : owned_) m = std::min(m, key_[lp]);
+  return m;
+}
+
+void DistributedEngine::note_progress(VirtualTime gvt) {
+  store_relaxed(dump_gvt_pt_, static_cast<std::int64_t>(gvt.pt));
+  store_relaxed(dump_gvt_lt_, static_cast<std::int64_t>(gvt.lt));
+}
+
+std::size_t DistributedEngine::live_ranks() const {
+  std::size_t n = 0;
+  for (std::uint32_t r = 0; r < nranks_; ++r)
+    if (!retired_[r]) ++n;
+  return n;
+}
+
+void DistributedEngine::refresh_key(LpId lp) { key_[lp] = lps_[lp].next_ts(); }
+
+void DistributedEngine::setup_stack_or_die() {
+  node_ = std::make_unique<net::SocketNode>(rank_, nranks_, config_.net);
+  node_->set_epoch(epoch_);
+  node_->set_handler([this](std::uint32_t src, const net::FrameView& view) {
+    on_frame(src, view);
+  });
+  std::string err;
+  if (!node_->start(&err)) {
+    if (rank_ != 0) _exit(5);
+    config_error_ = ConfigError{"net", "socket setup failed: " + err};
+    return;
+  }
+  wire_ = std::make_unique<net::SocketTransport>(*node_);
+  Transport* top = wire_.get();
+  if (config_.transport.faults.active()) {
+    faulty_ = std::make_unique<FaultyTransport>(*wire_, nranks_,
+                                                config_.transport.faults);
+    top = faulty_.get();
+  }
+  net_ = std::make_unique<ChannelStack>(*top, nranks_, config_.transport);
+  if (faulty_) net_->attach_faulty(faulty_.get());
+  net_->set_deliver(
+      [this](std::uint32_t, Event&& ev) { deliver(std::move(ev)); });
+
+  // Wait for the full outbound mesh before any protocol traffic: forcing
+  // data into half-connected links would burn the reliable layer's retry
+  // budget on a startup race instead of a real outage.
+  const std::int64_t deadline = net::now_ms() + cfg_connect_deadline();
+  while (!node_->all_links_up() && net::now_ms() < deadline) node_->pump(1);
+  if (!node_->all_links_up()) {
+    if (rank_ != 0) _exit(5);
+    config_error_ =
+        ConfigError{"net", "initial mesh connect timed out (" +
+                               std::to_string(config_.net.connect_timeout_ms) +
+                               " ms)"};
+    return;
+  }
+
+  // Startup barrier.  A fast rank's own mesh can complete before the
+  // coordinator's dials do, and every rank holds its seed events locally --
+  // so without a barrier a rank with an early scripted crash could process
+  // its way to the crash time and die while rank 0 is still connecting,
+  // turning a recoverable mid-run death into a bogus startup timeout.
+  // Rank 0 announces the full mesh with kResume; everyone else holds all
+  // protocol work until the announcement arrives.
+  if (rank_ == 0) {
+    broadcast(net::FrameType::kResume, {});
+    return;
+  }
+  const std::int64_t go_deadline = net::now_ms() + cfg_connect_deadline();
+  for (;;) {
+    bool go = false;
+    for (auto it = ctrl_.begin(); it != ctrl_.end(); ++it) {
+      if (it->type == net::FrameType::kResume) {
+        ctrl_.erase(it);
+        go = true;
+        break;
+      }
+    }
+    if (go) break;
+    if (net::now_ms() >= go_deadline) _exit(5);
+    node_->pump(1);
+  }
+}
+
+std::int64_t DistributedEngine::cfg_connect_deadline() const {
+  return static_cast<std::int64_t>(config_.net.connect_timeout_ms);
+}
+
+void DistributedEngine::on_frame(std::uint32_t src, const net::FrameView& v) {
+  if (v.type == net::FrameType::kData) {
+    bytes::Reader r(v.data, v.size);
+    Packet pkt;
+    if (!net::decode_packet(r, &pkt) || !r.exhausted()) return;
+    net_->on_wire_delivery(std::move(pkt), nowd());
+    got_data_ = true;
+    return;
+  }
+  // Control frames are queued for the main loop: the payload must be copied
+  // out (FrameView data is transient), and handling them inline could
+  // reenter a drain pass that is itself pumping the socket.
+  ControlMsg m;
+  m.type = v.type;
+  m.src = src;
+  m.epoch = v.epoch;
+  m.payload.assign(v.data, v.data + v.size);
+  ctrl_.push_back(std::move(m));
+}
+
+std::size_t DistributedEngine::pump_io(int timeout_ms) {
+  if (!node_) return 0;
+  const std::size_t n = node_->pump(timeout_ms);
+  if (got_data_) {
+    got_data_ = false;
+    net_->flush_acks(rank_, nowd());
+  }
+  net_->poll(rank_, nowd());
+  return n;
+}
+
+void DistributedEngine::deliver(Event ev) {
+  const LpId dst = ev.dst;
+  assert(partition_[dst] == rank_);
+  const bool is_null = ev.kind == kNullMsgKind;
+  const std::uint64_t rb0 = lps_[dst].stats().rollbacks;
+  const std::uint64_t un0 = lps_[dst].stats().events_undone;
+  DistRouter router(*this);
+  lps_[dst].enqueue(std::move(ev), router);
+  if (lps_[dst].stats().rollbacks != rb0) {
+    metrics_.shard(0).observe(
+        obs::Hist::kRollbackDepth,
+        static_cast<double>(lps_[dst].stats().events_undone - un0));
+  }
+  refresh_key(dst);
+  if (is_null && config_.strategy == ConservativeStrategy::kNullMessage)
+    send_null_messages_for(dst);
+}
+
+void DistributedEngine::send_null_messages_for(LpId lp) {
+  const VirtualTime promise = lps_[lp].null_promise();
+  if (!(promise > last_promise_[lp])) return;
+  last_promise_[lp] = promise;
+  DistRouter router(*this);
+  for (LpId dst : graph_.fan_out(lp)) {
+    Event n;
+    n.ts = promise;
+    n.src = lp;
+    n.dst = dst;
+    n.kind = kNullMsgKind;
+    router.route(std::move(n));
+  }
+}
+
+bool DistributedEngine::try_process_one() {
+  // Cursor-based selection scan over the owned LPs in (next_ts, lp) order;
+  // same scheduler as the threaded engine's hot path.
+  VirtualTime cursor_ts = kTimeZero;
+  LpId cursor_lp = 0;
+  bool have_cursor = false;
+  for (;;) {
+    VirtualTime ts = kTimeInf;
+    LpId lp = 0;
+    bool found = false;
+    for (const LpId cand : owned_) {
+      const VirtualTime k = key_[cand];
+      if (k == kTimeInf) continue;
+      if (have_cursor &&
+          (k < cursor_ts || (k == cursor_ts && cand <= cursor_lp)))
+        continue;
+      if (!found || k < ts || (k == ts && cand < lp)) {
+        ts = k;
+        lp = cand;
+        found = true;
+      }
+    }
+    if (!found) break;
+    if (ts.pt > config_.until) break;
+    cursor_ts = ts;
+    cursor_lp = lp;
+    have_cursor = true;
+    const Eligibility e = lps_[lp].peek(safe_bound_, config_.until);
+    if (e == Eligibility::kBlocked) {
+      lps_[lp].note_blocked();
+      continue;
+    }
+    if (e == Eligibility::kIdle) continue;
+    DistRouter router(*this);
+    wstats_.busy_cost += lps_[lp].process_next(router);
+    ++wstats_.events;
+    ++events_since_round_;
+    store_relaxed(dump_events_, wstats_.events);
+    metrics_.shard(0).inc(obs::Metric::kEventsProcessed);
+    refresh_key(lp);
+    if (config_.strategy == ConservativeStrategy::kNullMessage)
+      send_null_messages_for(lp);
+    return true;
+  }
+  return false;
+}
+
+bool DistributedEngine::maybe_crash() const {
+  // Exact match on the cumulative event count: monotone, so a crash point
+  // replayed after recovery does not re-fire.  (crash_rate is rejected for
+  // distributed runs by validate_distributed.)
+  for (const WorkerCrash& c : config_.transport.faults.crashes)
+    if (c.worker == rank_ && c.after_events == wstats_.events) return true;
+  return false;
+}
+
+void DistributedEngine::capture_fault_ring(std::uint64_t round) {
+  if (!faulty_) return;
+  fault_ring_[round] = faulty_->capture_links();
+  while (fault_ring_.size() > kFaultRingKeep) {
+    // Trim oldest, but never round 0: the rewind of last resort.
+    auto it = fault_ring_.begin();
+    if (it->first == 0) ++it;
+    if (it == fault_ring_.end()) break;
+    fault_ring_.erase(it);
+  }
+}
+
+void DistributedEngine::apply_restore(const Checkpoint& ck) {
+  for (LpId id = 0; id < lps_.size(); ++id) {
+    lps_[id].restore_from(ck.lps[id]);
+    key_[id] = lps_[id].next_ts();
+  }
+  last_promise_ = ck.last_promise;
+  // The channel layer resets outright -- fresh cursors, nothing in flight.
+  // Epoch filtering in the socket node keeps the abandoned timeline's data
+  // frames from ever reaching the reset stack.
+  std::vector<LinkCheckpoint> fresh(
+      static_cast<std::size_t>(nranks_) * nranks_);
+  net_->restore_links(fresh);
+  if (faulty_) {
+    const auto it = fault_ring_.find(ck.round);
+    if (it != fault_ring_.end()) faulty_->restore_links(it->second);
+  }
+  if (want_commits_)
+    for (auto& buf : commit_buf_) buf.clear();
+  owned_.clear();
+  for (LpId id = 0; id < graph_.size(); ++id)
+    if (partition_[id] == rank_) owned_.push_back(id);
+  safe_bound_ = ck.gvt;
+  events_since_round_ = 0;
+  in_round_ = false;
+}
+
+void DistributedEngine::encode_lp_share(bytes::Writer& w, LpId id,
+                                        const LpCheckpoint& lpck,
+                                        double work) {
+  w.u32(id);
+  w.f64(work);
+  w.vt(last_promise_[id]);
+  std::vector<std::uint8_t> tmp;
+  bool has_state = false;
+  if (lpck.state) {
+    bytes::Writer sw(tmp);
+    has_state = graph_.lp(id).encode_state(*lpck.state, sw);
+    if (!has_state) tmp.clear();
+  }
+  w.u8(has_state ? 1 : 0);
+  w.blob(tmp);
+  tmp.clear();
+  bytes::Writer pw(tmp);
+  encode_lp_checkpoint(pw, lpck);
+  w.blob(tmp);
+}
+
+bool DistributedEngine::decode_lp_share(bytes::Reader& r, LpId* id,
+                                        LpCheckpoint* out, double* work,
+                                        VirtualTime* promise) {
+  *id = r.u32();
+  *work = r.f64();
+  *promise = r.vt();
+  const bool has_state = r.u8() != 0;
+  bytes::Reader sr = r.sub();
+  bytes::Reader pr = r.sub();
+  if (!r.ok() || *id >= graph_.size()) return false;
+  LpCheckpoint ck;
+  if (!decode_lp_checkpoint(pr, &ck) || !pr.exhausted()) return false;
+  if (has_state) {
+    ck.state = graph_.lp(*id).decode_state(sr);
+    if (!ck.state) return false;
+  }
+  *out = std::move(ck);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// run(): seed, probe, fork, then split into coordinator and rank mains.
+// ---------------------------------------------------------------------------
+
+RunStats DistributedEngine::run() {
+  RunStats out;
+  if (config_error_) {
+    out.config_error = config_error_;
+    return out;
+  }
+  want_commits_ = static_cast<bool>(hook_);
+  if (want_commits_ || ft_on_) commit_buf_.resize(graph_.size());
+
+  {
+    SeedRouter seed;
+    for (const Event& ev : graph_.initial_events()) {
+      Event copy = ev;
+      lps_[ev.dst].enqueue(std::move(copy), seed);
+      refresh_key(ev.dst);
+    }
+  }
+
+  if (ft_on_) {
+    // Round-zero baseline, taken before the fork: every rank inherits the
+    // fault-ring entry, rank 0 keeps the store, and recovery always has a
+    // line to rewind to even when the first kill precedes the first
+    // periodic checkpoint.  A throwaway stack stands in for the per-rank
+    // ones (a fresh ChannelStack and FaultyTransport have exactly the
+    // cursors every rank starts from after the fork).
+    struct NullWire final : Transport {
+      void submit(Packet&&, double) override {}
+    } null_wire;
+    std::unique_ptr<FaultyTransport> probe_faulty;
+    if (config_.transport.faults.active())
+      probe_faulty = std::make_unique<FaultyTransport>(
+          null_wire, nranks_, config_.transport.faults);
+    const ChannelStack probe_net(null_wire, nranks_, config_.transport);
+    Checkpoint ck0 = capture_checkpoint(0, kTimeZero, lps_, last_promise_,
+                                        probe_net, probe_faulty.get());
+    // Probe the byte codecs up front: recovery must be able to ship every
+    // LP's state across a process boundary, and failing at the first kill
+    // would be a far worse place to find out.
+    for (LpId id = 0; id < graph_.size(); ++id) {
+      if (!ck0.lps[id].state) continue;  // can_save_state()==false is fine
+      std::vector<std::uint8_t> tmp;
+      bytes::Writer w(tmp);
+      if (!graph_.lp(id).encode_state(*ck0.lps[id].state, w)) {
+        out.config_error = ConfigError{
+            "graph", "LP '" + graph_.lp(id).name() +
+                         "' has state but no byte codec "
+                         "(LogicalProcess::encode_state); distributed "
+                         "fault tolerance cannot ship it between processes"};
+        config_error_ = out.config_error;
+        return out;
+      }
+    }
+    if (probe_faulty) fault_ring_[0] = probe_faulty->capture_links();
+    store_.put(std::move(ck0));
+    ++ckstats_.checkpoints;
+  }
+
+  // Fork ranks 1..P-1.  Children never return from run(): they _exit, so
+  // no test-harness state unwinds twice.
+  std::fflush(nullptr);
+  for (std::uint32_t r = 1; r < nranks_; ++r) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      for (std::uint32_t k = 1; k < r; ++k)
+        if (pids_[k] > 0) ::kill(pids_[k], SIGKILL);
+      reap_children(true);
+      out.config_error =
+          ConfigError{"net", std::string("fork failed: ") +
+                                 std::strerror(errno)};
+      return out;
+    }
+    if (pid == 0) {
+      ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+      if (::getppid() == 1) _exit(4);  // coordinator already gone
+      rank_ = r;
+      child_main();  // noreturn
+    }
+    pids_[r] = static_cast<int>(pid);
+  }
+  rank_ = 0;
+  coordinator_main(out);
+  reap_children(true);
+  return out;
+}
+
+void DistributedEngine::reap_children(bool force) {
+  if (rank_ != 0) return;
+  const std::int64_t deadline = net::now_ms() + 2000;
+  for (;;) {
+    bool all = true;
+    for (std::uint32_t r = 1; r < nranks_; ++r) {
+      if (pids_[r] <= 0 || reaped_[r]) continue;
+      int status = 0;
+      const pid_t got = ::waitpid(pids_[r], &status, WNOHANG);
+      if (got == pids_[r] || (got < 0 && errno == ECHILD)) {
+        reaped_[r] = true;
+      } else {
+        all = false;
+      }
+    }
+    if (all || !force) return;
+    if (net::now_ms() >= deadline) {
+      for (std::uint32_t r = 1; r < nranks_; ++r) {
+        if (pids_[r] <= 0 || reaped_[r]) continue;
+        ::kill(pids_[r], SIGKILL);
+        ::waitpid(pids_[r], nullptr, 0);
+        reaped_[r] = true;
+      }
+      return;
+    }
+    ::usleep(1000);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rank side (forked children).
+// ---------------------------------------------------------------------------
+
+void DistributedEngine::child_main() {
+  setup_stack_or_die();
+  owned_.clear();
+  for (LpId id = 0; id < graph_.size(); ++id)
+    if (partition_[id] == rank_) owned_.push_back(id);
+  rank_loop();
+  _exit(0);
+}
+
+void DistributedEngine::rank_loop() {
+  std::uint32_t idle_spins = 0;
+  bool error_reported = false;
+  for (;;) {
+    const bool busy = in_round_ || recovering_;
+    const std::size_t io = pump_io(busy || idle_spins < 2 ? 0 : 1);
+
+    while (!ctrl_.empty()) {
+      ControlMsg m = std::move(ctrl_.front());
+      ctrl_.pop_front();
+      rank_handle(m);
+    }
+
+    // Rank-0 liveness: PDEATHSIG covers coordinator process death, this
+    // covers a coordinator whose socket went silent (hung or partitioned).
+    // The margin is 2x the death-detection timeout -- rank 0 pumps from
+    // every wait loop, so silence that long means it is gone for good.
+    if (node_->last_heard_ms(0) + 2 * config_.net.heartbeat_timeout_ms <
+        net::now_ms())
+      _exit(3);
+    if (node_->link_failed(0)) _exit(3);
+
+    if (auto err = net_->error(); err && !error_reported) {
+      // The reliable layer gave up on one of our links: report and die.
+      // The coordinator turns the report into a global stop.
+      error_reported = true;
+      rank_abort_transport(*err);
+    }
+
+    if (in_round_ || recovering_) continue;
+
+    bool processed = false;
+    for (std::uint32_t slice = 0; slice < kEventSlice; ++slice) {
+      if (!try_process_one()) break;
+      processed = true;
+      if (ft_on_ && maybe_crash()) {
+        // Crash-stop: vanish without flushing anything, as SIGKILL would.
+        ::raise(SIGKILL);
+        _exit(9);
+      }
+      if (!ctrl_.empty()) break;
+    }
+
+    if (processed || io > 0) {
+      idle_spins = 0;
+    } else {
+      ++idle_spins;
+    }
+    if (!round_req_sent_ && (events_since_round_ >= config_.gvt_interval ||
+                             idle_spins == kIdleSpinRound)) {
+      // Ask the coordinator for a round; once per round keeps the control
+      // plane quiet (the coordinator has its own interval trigger too).
+      round_req_sent_ = true;
+      node_->send(0, net::FrameType::kRoundReq, {});
+    }
+  }
+}
+
+void DistributedEngine::rank_handle(const ControlMsg& m) {
+  using net::FrameType;
+  if (m.type == FrameType::kAbort) _exit(2);
+  if (m.type == FrameType::kRecover) {
+    rank_apply_recover(m);
+    return;
+  }
+  if (m.epoch != epoch_) return;  // stale control from before a recovery
+  switch (m.type) {
+    case FrameType::kDrain: {
+      bytes::Reader r(m.payload.data(), m.payload.size());
+      const std::uint64_t round = r.u64();
+      const std::uint32_t pass = r.u32();
+      if (!r.ok()) return;
+      in_round_ = true;
+      rank_drain_pass(round, pass);
+      break;
+    }
+    case FrameType::kGvtSet:
+      rank_apply_gvt(m);
+      break;
+    case FrameType::kResume:
+      recovering_ = false;
+      in_round_ = false;
+      break;
+    default:
+      break;  // kHello/kHeartbeat handled below us; others are rank-0 only
+  }
+}
+
+void DistributedEngine::rank_drain_pass(std::uint64_t round,
+                                        std::uint32_t pass) {
+  // Force everything we hold onto the wire -- once per pass, and only when
+  // every link is actually up: each force-retransmission bills a retry
+  // attempt, and forcing into a reconnecting link would spend the whole
+  // budget on one outage.  With a link down, the pass simply votes
+  // non-quiescent and the coordinator keeps draining.
+  if (node_->all_links_up())
+    net_->flush(rank_, nowd());
+  else
+    net_->poll(rank_, nowd());
+  const std::int64_t deadline = net::now_ms() + kDrainFlushBudgetMs;
+  while (!node_->all_flushed() && net::now_ms() < deadline) pump_io(1);
+  pump_io(0);
+
+  const bool err = net_->error().has_value();
+  const net::NodeCounters& nc = node_->counters();
+  std::vector<std::uint8_t> p;
+  bytes::Writer w(p);
+  w.u64(round);
+  w.u32(pass);
+  w.u8(err || (net_->quiescent() && node_->all_flushed()) ? 1 : 0);
+  w.u8(err ? 1 : 0);
+  w.u64(nc.data_frames_sent + nc.data_frames_recv);
+  w.vt(local_min());
+  w.u64(wstats_.events);
+  if (pass == 0) {
+    // Piggyback a metrics snapshot on the first pass of every round: the
+    // coordinator keeps the latest per rank, so observability survives the
+    // rank dying later.
+    metrics_.merge();
+    std::vector<std::uint8_t> snap;
+    bytes::Writer sw(snap);
+    obs::encode_snapshot(sw, metrics_.merged());
+    w.u8(1);
+    w.blob(snap);
+  } else {
+    w.u8(0);
+  }
+  node_->send(0, net::FrameType::kDrainAck, p);
+}
+
+void DistributedEngine::rank_apply_gvt(const ControlMsg& m) {
+  bytes::Reader r(m.payload.data(), m.payload.size());
+  const std::uint64_t round = r.u64();
+  const VirtualTime gvt = r.vt();
+  const bool stop = r.u8() != 0;
+  const bool ckpt_due = r.u8() != 0;
+  if (!r.ok()) return;
+  safe_bound_ = gvt;
+  note_progress(gvt);
+  store_relaxed(dump_rounds_, round);
+  DistRouter router(*this);
+
+  if (stop) rank_finish(false);
+
+  if (ckpt_due) {
+    // Same capture discipline as the shared checkpoint path: fossil to the
+    // new frontier, undo the speculative suffix without anti-messages, then
+    // snapshot and ship our share of the cut to the coordinator.
+    for (const LpId lp : owned_) {
+      lps_[lp].fossil_collect(gvt, router);
+      lps_[lp].rollback_all_deferred();
+      refresh_key(lp);
+    }
+    capture_fault_ring(round);
+    std::vector<std::uint8_t> p;
+    bytes::Writer w(p);
+    w.u64(round);
+    w.vt(gvt);
+    w.u64(owned_.size());
+    for (const LpId lp : owned_) {
+      const LpStats& s = lps_[lp].stats();
+      const double work = static_cast<double>(
+          s.events_processed -
+          std::min(s.events_processed, s.events_undone));
+      const LpCheckpoint lpck = lps_[lp].make_checkpoint();
+      encode_lp_share(w, lp, lpck, work);
+    }
+    std::uint64_t ncommits = 0;
+    if (want_commits_)
+      for (const LpId lp : owned_) ncommits += commit_buf_[lp].size();
+    w.u64(ncommits);
+    if (want_commits_) {
+      for (const LpId lp : owned_) {
+        for (const Event& ev : commit_buf_[lp]) encode_event(w, ev);
+        commit_buf_[lp].clear();
+      }
+    }
+    node_->send(0, net::FrameType::kCkptData, p);
+  } else {
+    for (const LpId lp : owned_) lps_[lp].fossil_collect(gvt, router);
+  }
+  for (const LpId lp : owned_) {
+    if (config_.configuration == Configuration::kDynamic)
+      adapt_lp(lps_[lp], config_.adapt);
+    else
+      lps_[lp].reset_window();
+    if (config_.strategy == ConservativeStrategy::kNullMessage)
+      send_null_messages_for(lp);
+  }
+  events_since_round_ = 0;
+  round_req_sent_ = false;
+  in_round_ = false;
+}
+
+void DistributedEngine::rank_apply_recover(const ControlMsg& m) {
+  bytes::Reader r(m.payload.data(), m.payload.size());
+  const std::uint32_t new_epoch = r.u32();
+  if (!r.ok() || new_epoch <= epoch_) return;  // replay of an older recovery
+  Checkpoint ck;
+  ck.round = r.u64();
+  ck.gvt = r.vt();
+  const std::uint64_t ndead = r.u64();
+  for (std::uint64_t i = 0; r.ok() && i < ndead; ++i) {
+    const std::uint32_t d = r.u32();
+    if (d < nranks_) {
+      retired_[d] = true;
+      node_->retire_peer(d);
+    }
+  }
+  const std::uint64_t npart = r.u64();
+  if (!r.ok() || npart != graph_.size()) _exit(6);
+  Partition part(graph_.size());
+  for (LpId id = 0; id < graph_.size(); ++id) part[id] = r.u32();
+  const std::uint64_t nlp = r.u64();
+  if (!r.ok() || nlp != graph_.size()) _exit(6);
+  ck.lps.resize(graph_.size());
+  ck.last_promise.assign(graph_.size(), kTimeZero);
+  for (LpId id = 0; id < graph_.size(); ++id) {
+    LpId got = 0;
+    double work = 0.0;
+    VirtualTime promise;
+    LpCheckpoint lpck;
+    if (!decode_lp_share(r, &got, &lpck, &work, &promise) || got != id)
+      _exit(6);
+    ck.lps[id] = std::move(lpck);
+    ck.last_promise[id] = promise;
+  }
+  if (!r.ok()) _exit(6);
+
+  epoch_ = new_epoch;
+  node_->set_epoch(epoch_);
+  partition_ = std::move(part);
+  apply_restore(ck);
+  recovering_ = true;
+  round_req_sent_ = false;
+  store_relaxed(dump_recoveries_, dump_recoveries_ + 1);
+  node_->send(0, net::FrameType::kRecoverDone, {});
+}
+
+void DistributedEngine::rank_send_stats() {
+  metrics_.merge();  // fold per-event counters before attaching node totals
+  auto& sh = metrics_.shard(0);
+  const net::NodeCounters& nc = node_->counters();
+  sh.inc(obs::Metric::kNetFramesSent, nc.frames_sent);
+  sh.inc(obs::Metric::kNetFramesRecv, nc.frames_recv);
+  sh.inc(obs::Metric::kNetHeartbeats, nc.heartbeats_sent);
+  sh.inc(obs::Metric::kNetReconnects, nc.reconnects);
+  sh.inc(obs::Metric::kNetDisconnects, nc.disconnects);
+  sh.inc(obs::Metric::kNetCrcErrors, nc.crc_errors);
+  metrics_.merge();
+
+  std::vector<std::uint8_t> p;
+  bytes::Writer w(p);
+  w.u64(owned_.size());
+  for (const LpId lp : owned_) {
+    w.u32(lp);
+    encode_lp_stats(w, lps_[lp].stats());
+  }
+  encode_worker_stats(w, wstats_);
+  encode_transport_counters(w, net_->counters());
+  // Blocked-LP diagnostics for the coordinator's deadlock report: its own
+  // copies of our LPs stopped updating at the fork.
+  std::uint64_t ndiag = 0;
+  for (const LpId lp : owned_)
+    if (lps_[lp].has_pending()) ++ndiag;
+  w.u64(ndiag);
+  for (const LpId lp : owned_) {
+    if (!lps_[lp].has_pending()) continue;
+    w.u32(lp);
+    w.vt(lps_[lp].next_ts());
+    w.vt(lps_[lp].min_channel_clock());
+    w.u64(lps_[lp].pending_count());
+    w.u8(static_cast<std::uint8_t>(lps_[lp].mode()));
+  }
+  std::uint64_t ncommits = 0;
+  if (want_commits_)
+    for (const LpId lp : owned_) ncommits += commit_buf_[lp].size();
+  w.u64(ncommits);
+  if (want_commits_) {
+    for (const LpId lp : owned_) {
+      for (const Event& ev : commit_buf_[lp]) encode_event(w, ev);
+      commit_buf_[lp].clear();
+    }
+  }
+  std::vector<std::uint8_t> snap;
+  bytes::Writer sw(snap);
+  obs::encode_snapshot(sw, metrics_.merged());
+  w.blob(snap);
+  node_->send(0, net::FrameType::kStats, p);
+}
+
+void DistributedEngine::rank_finish(bool failed) {
+  if (!failed) {
+    DistRouter router(*this);
+    for (const LpId lp : owned_) lps_[lp].fossil_collect(kTimeInf, router);
+  }
+  rank_send_stats();
+  const std::int64_t deadline = net::now_ms() + 1000;
+  while (!node_->all_flushed() && net::now_ms() < deadline) pump_io(1);
+  _exit(failed ? 2 : 0);
+}
+
+void DistributedEngine::rank_abort_transport(const TransportError& err) {
+  std::vector<std::uint8_t> p;
+  bytes::Writer w(p);
+  w.u8(1);  // kind: transport-error report
+  w.u32(err.src_worker);
+  w.u32(err.dst_worker);
+  w.u64(err.seq);
+  w.u32(err.attempts);
+  w.str(err.message);
+  node_->send(0, net::FrameType::kAbort, p);
+  const std::int64_t deadline = net::now_ms() + 1000;
+  while (!node_->all_flushed() && net::now_ms() < deadline) pump_io(1);
+  _exit(2);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator side (rank 0, the caller's process).
+// ---------------------------------------------------------------------------
+
+void DistributedEngine::coordinator_main(RunStats& out) {
+  setup_stack_or_die();
+  if (config_error_) {
+    out.config_error = config_error_;
+    return;
+  }
+  owned_.clear();
+  for (LpId id = 0; id < graph_.size(); ++id)
+    if (partition_[id] == 0) owned_.push_back(id);
+
+  std::uint32_t idle_spins = 0;
+  while (!stopping_) {
+    const std::size_t io = pump_io(idle_spins < 2 ? 0 : 1);
+    while (!ctrl_.empty()) {
+      ControlMsg m = std::move(ctrl_.front());
+      ctrl_.pop_front();
+      coordinator_handle(m);
+    }
+    if (stopping_) break;
+
+    if (check_deaths()) {
+      if (!coordinator_recover()) break;
+      continue;
+    }
+
+    bool processed = false;
+    for (std::uint32_t slice = 0; slice < kEventSlice; ++slice) {
+      if (!try_process_one()) break;
+      processed = true;
+      if (!ctrl_.empty()) break;
+    }
+    if (processed || io > 0) {
+      idle_spins = 0;
+    } else {
+      ++idle_spins;
+    }
+
+    // Time-based fallback: even if activity accounting keeps the spin
+    // counter low, a round every ~50ms guarantees GVT (and termination
+    // detection) always advances on a quiet cluster.
+    const bool want_round = round_req_ || net_->error().has_value() ||
+                            remote_transport_error_.has_value() ||
+                            events_since_round_ >= config_.gvt_interval ||
+                            idle_spins >= kIdleSpinRound ||
+                            net::now_ms() >= last_round_ms_ + 50;
+    if (want_round) {
+      idle_spins = 0;
+      const bool keep_going = coordinator_round();
+      last_round_ms_ = net::now_ms();
+      if (!keep_going) break;
+    }
+  }
+  coordinator_finish(out);
+}
+
+void DistributedEngine::broadcast(net::FrameType type,
+                                  const std::vector<std::uint8_t>& p) {
+  for (std::uint32_t r = 1; r < nranks_; ++r)
+    if (!retired_[r]) node_->send(r, type, p);
+}
+
+void DistributedEngine::coordinator_handle(const ControlMsg& m) {
+  using net::FrameType;
+  switch (m.type) {
+    case FrameType::kRoundReq:
+      if (m.epoch == epoch_) round_req_ = true;
+      break;
+    case FrameType::kDrainAck: {
+      if (m.epoch != epoch_ || m.src >= nranks_ || retired_[m.src]) break;
+      bytes::Reader r(m.payload.data(), m.payload.size());
+      const std::uint64_t round = r.u64();
+      const std::uint32_t pass = r.u32();
+      DrainVote v;
+      v.quiescent = r.u8() != 0;
+      v.error = r.u8() != 0;
+      v.activity = r.u64();
+      v.local_min = r.vt();
+      v.events = r.u64();
+      const bool has_snap = r.u8() != 0;
+      if (has_snap) {
+        bytes::Reader sr = r.sub();
+        obs::MetricsSnapshot snap;
+        if (r.ok() && obs::decode_snapshot(sr, &snap)) {
+          rank_snapshots_[m.src] = std::move(snap);
+          rank_snapshot_got_[m.src] = true;
+        }
+      }
+      if (!r.ok()) break;
+      if (round == gvt_rounds_ && pass == cur_pass_ && collecting_) {
+        v.got = true;
+        votes_[m.src] = v;
+      }
+      break;
+    }
+    case FrameType::kCkptData:
+      if (m.epoch == epoch_) ckpt_ingest(m.src, m);
+      break;
+    case FrameType::kRecoverDone:
+      if (m.epoch == epoch_ && m.src < nranks_) recover_done_[m.src] = true;
+      break;
+    case FrameType::kLinkDown: {
+      bytes::Reader r(m.payload.data(), m.payload.size());
+      const std::uint32_t peer = r.u32();
+      if (r.ok() && peer != 0 && peer < nranks_ && !retired_[peer])
+        dead_pending_[peer] = true;
+      break;
+    }
+    case FrameType::kStats: {
+      if (m.src >= nranks_ || stats_got_[m.src]) break;
+      bytes::Reader r(m.payload.data(), m.payload.size());
+      const std::uint64_t nlps = r.u64();
+      std::vector<std::pair<LpId, LpStats>> lp_stats;
+      for (std::uint64_t i = 0; r.ok() && i < nlps; ++i) {
+        const LpId id = r.u32();
+        const LpStats s = decode_lp_stats(r);
+        if (id < graph_.size()) lp_stats.emplace_back(id, s);
+      }
+      const WorkerStats ws = decode_worker_stats(r);
+      const TransportCounters tc = decode_transport_counters(r);
+      const std::uint64_t ndiag = r.u64();
+      std::vector<DeadlockReport::LpDiag> diag;
+      for (std::uint64_t i = 0; r.ok() && i < ndiag; ++i) {
+        DeadlockReport::LpDiag d;
+        d.id = r.u32();
+        d.next_ts = r.vt();
+        d.min_channel_clock = r.vt();
+        d.pending = static_cast<std::size_t>(r.u64());
+        d.mode = static_cast<SyncMode>(r.u8());
+        diag.push_back(d);
+      }
+      const std::uint64_t ncommits = r.u64();
+      std::vector<Event> commits;
+      commits.reserve(static_cast<std::size_t>(ncommits));
+      for (std::uint64_t i = 0; r.ok() && i < ncommits; ++i)
+        commits.push_back(decode_event(r));
+      bytes::Reader sr = r.sub();
+      obs::MetricsSnapshot snap;
+      const bool snap_ok = r.ok() && obs::decode_snapshot(sr, &snap);
+      if (!r.ok()) break;
+      stats_got_[m.src] = true;
+      for (auto& [id, s] : lp_stats) {
+        final_lp_stats_[id] = s;
+        final_lp_got_[id] = true;
+      }
+      final_worker_stats_[m.src] = ws;
+      add_transport_counters(remote_transport_, tc);
+      remote_diag_.insert(remote_diag_.end(), diag.begin(), diag.end());
+      if (want_commits_ && !commits.empty())
+        final_commits_.push_back(std::move(commits));
+      if (snap_ok) {
+        rank_snapshots_[m.src] = std::move(snap);
+        rank_snapshot_got_[m.src] = true;
+      }
+      break;
+    }
+    case FrameType::kAbort: {
+      bytes::Reader r(m.payload.data(), m.payload.size());
+      const std::uint8_t kind = r.u8();
+      if (kind == 1) {
+        TransportError err;
+        err.src_worker = r.u32();
+        err.dst_worker = r.u32();
+        err.seq = r.u64();
+        err.attempts = r.u32();
+        err.message = r.str();
+        if (r.ok() && !remote_transport_error_)
+          remote_transport_error_ = std::move(err);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+DistributedEngine::Wait DistributedEngine::coordinator_collect_votes(
+    std::uint64_t round, std::uint32_t pass) {
+  (void)round;
+  (void)pass;
+  for (;;) {
+    bool all = true;
+    for (std::uint32_t r = 0; r < nranks_; ++r)
+      if (!retired_[r] && !votes_[r].got) all = false;
+    if (all) return Wait::kOk;
+    pump_io(1);
+    while (!ctrl_.empty()) {
+      ControlMsg m = std::move(ctrl_.front());
+      ctrl_.pop_front();
+      coordinator_handle(m);
+    }
+    if (check_deaths()) return Wait::kDied;
+  }
+}
+
+bool DistributedEngine::coordinator_round() {
+  ++gvt_rounds_;
+  round_req_ = false;
+  metrics_.shard(0).inc(obs::Metric::kGvtRounds);
+  store_relaxed(dump_rounds_, gvt_rounds_);
+  const std::uint64_t round = gvt_rounds_;
+
+  bool prev_all_quiescent = false;
+  std::uint64_t prev_activity = 0;
+  VirtualTime gvt = kTimeInf;
+  bool vote_error = false;
+  std::uint64_t total_events = 0;
+  collecting_ = true;
+  for (cur_pass_ = 0;; ++cur_pass_) {
+    for (auto& v : votes_) v = DrainVote{};
+    std::vector<std::uint8_t> p;
+    bytes::Writer w(p);
+    w.u64(round);
+    w.u32(cur_pass_);
+    broadcast(net::FrameType::kDrain, p);
+
+    // Own contribution, exactly as the ranks compute theirs (same once-per-
+    // pass, links-up-gated flush discipline; see rank_drain_pass).
+    if (node_->all_links_up())
+      net_->flush(rank_, nowd());
+    else
+      net_->poll(rank_, nowd());
+    const std::int64_t deadline = net::now_ms() + kDrainFlushBudgetMs;
+    while (!node_->all_flushed() && net::now_ms() < deadline) pump_io(1);
+    pump_io(0);
+    {
+      DrainVote& mine = votes_[0];
+      const bool err = net_->error().has_value();
+      const net::NodeCounters& nc = node_->counters();
+      mine.got = true;
+      mine.quiescent = err || (net_->quiescent() && node_->all_flushed());
+      mine.error = err;
+      mine.activity = nc.data_frames_sent + nc.data_frames_recv;
+      mine.local_min = local_min();
+      mine.events = wstats_.events;
+    }
+    if (coordinator_collect_votes(round, cur_pass_) == Wait::kDied) {
+      collecting_ = false;
+      return coordinator_recover();  // round abandoned either way
+    }
+
+    bool all_quiescent = true;
+    std::uint64_t activity = 0;
+    gvt = kTimeInf;
+    vote_error = false;
+    total_events = 0;
+    for (std::uint32_t r = 0; r < nranks_; ++r) {
+      if (retired_[r]) continue;
+      const DrainVote& v = votes_[r];
+      all_quiescent = all_quiescent && v.quiescent;
+      vote_error = vote_error || v.error;
+      activity += v.activity;
+      gvt = std::min(gvt, v.local_min);
+      total_events += v.events;
+    }
+    if (vote_error || remote_transport_error_) break;
+    // Quiet rule: two consecutive all-quiescent passes with the summed
+    // data-frame counters unchanged in between.  The counters are monotone,
+    // so an unchanged sum means no rank's counter moved; and because pass
+    // p's broadcast happens only after every pass p-1 vote arrived, any
+    // frame in flight at pass p-1 would have landed (and counted) by pass
+    // p.  The only traffic that can still be in flight at quiet is a
+    // duplicate cumulative ack -- a state no-op by construction.
+    if (all_quiescent && prev_all_quiescent && activity == prev_activity)
+      break;
+    prev_all_quiescent = all_quiescent;
+    prev_activity = activity;
+  }
+  collecting_ = false;
+
+  // Decide the round outcome (mirrors the threaded coordinator).
+  safe_bound_ = gvt;
+  note_progress(gvt);
+  bool stop = false;
+  if (vote_error || net_->error() || remote_transport_error_) {
+    transport_failed_ = true;
+    stop = true;
+  } else if (gvt == kTimeInf || gvt.pt > config_.until) {
+    stop = true;
+  } else if (gvt == last_gvt_ && total_events == last_total_events_) {
+    if (++stall_rounds_ >= config_.deadlock_rounds) {
+      deadlocked_ = true;
+      stop = true;
+    }
+  } else {
+    stall_rounds_ = 0;
+  }
+  last_gvt_ = gvt;
+  last_total_events_ = total_events;
+
+  bool ckpt_due = false;
+  if (!stop && ft_on_ && config_.checkpoint.period > 0 &&
+      ++rounds_since_ckpt_ >= config_.checkpoint.period &&
+      gvt > last_ckpt_gvt_) {
+    rounds_since_ckpt_ = 0;
+    last_ckpt_gvt_ = gvt;
+    ckpt_due = true;
+  }
+
+  std::vector<std::uint8_t> p;
+  bytes::Writer w(p);
+  w.u64(round);
+  w.vt(gvt);
+  w.u8(stop ? 1 : 0);
+  w.u8(ckpt_due ? 1 : 0);
+  broadcast(net::FrameType::kGvtSet, p);
+  if (stop) {
+    stopping_ = true;
+    return false;
+  }
+  coordinator_apply_gvt(round, gvt, ckpt_due);
+  events_since_round_ = 0;
+  metrics_.merge();
+  return true;
+}
+
+void DistributedEngine::coordinator_apply_gvt(std::uint64_t round,
+                                              VirtualTime gvt,
+                                              bool ckpt_due) {
+  DistRouter router(*this);
+  if (ckpt_due) {
+    coordinator_own_ckpt_share(round, gvt);
+  } else {
+    for (const LpId lp : owned_) lps_[lp].fossil_collect(gvt, router);
+  }
+  for (const LpId lp : owned_) {
+    if (config_.configuration == Configuration::kDynamic)
+      adapt_lp(lps_[lp], config_.adapt);
+    else
+      lps_[lp].reset_window();
+    if (config_.strategy == ConservativeStrategy::kNullMessage)
+      send_null_messages_for(lp);
+  }
+}
+
+void DistributedEngine::coordinator_own_ckpt_share(std::uint64_t round,
+                                                   VirtualTime gvt) {
+  DistRouter router(*this);
+  for (const LpId lp : owned_) {
+    lps_[lp].fossil_collect(gvt, router);
+    lps_[lp].rollback_all_deferred();
+    refresh_key(lp);
+  }
+  capture_fault_ring(round);
+
+  CkptAssembly& as = pending_ck_[round];
+  as.ck.round = round;
+  as.ck.gvt = gvt;
+  as.ck.lps.resize(graph_.size());
+  as.ck.last_promise.assign(graph_.size(), kTimeZero);
+  as.commits.resize(graph_.size());
+  as.got.assign(nranks_, false);
+  as.missing = live_ranks();
+
+  for (const LpId lp : owned_) {
+    const LpStats& s = lps_[lp].stats();
+    lp_work_[lp] = static_cast<double>(
+        s.events_processed - std::min(s.events_processed, s.events_undone));
+    as.ck.lps[lp] = lps_[lp].make_checkpoint();
+    as.ck.last_promise[lp] = last_promise_[lp];
+    if (want_commits_) as.commits[lp] = std::move(commit_buf_[lp]);
+  }
+  as.got[0] = true;
+  --as.missing;
+  if (as.missing == 0) ckpt_complete(round);
+}
+
+void DistributedEngine::ckpt_ingest(std::uint32_t src, const ControlMsg& m) {
+  if (src >= nranks_ || retired_[src]) return;
+  bytes::Reader r(m.payload.data(), m.payload.size());
+  const std::uint64_t round = r.u64();
+  const VirtualTime gvt = r.vt();
+  (void)gvt;
+  const std::uint64_t nlps = r.u64();
+  if (!r.ok()) return;
+  const auto it = pending_ck_.find(round);
+  if (it == pending_ck_.end()) return;  // assembly discarded by a recovery
+  CkptAssembly& as = it->second;
+  if (as.got[src]) return;
+  std::vector<std::tuple<LpId, LpCheckpoint, VirtualTime, double>> shares;
+  for (std::uint64_t i = 0; r.ok() && i < nlps; ++i) {
+    LpId id = 0;
+    double work = 0.0;
+    VirtualTime promise;
+    LpCheckpoint lpck;
+    if (!decode_lp_share(r, &id, &lpck, &work, &promise)) return;
+    shares.emplace_back(id, std::move(lpck), promise, work);
+  }
+  const std::uint64_t ncommits = r.u64();
+  std::vector<Event> commits;
+  commits.reserve(static_cast<std::size_t>(ncommits));
+  for (std::uint64_t i = 0; r.ok() && i < ncommits; ++i)
+    commits.push_back(decode_event(r));
+  if (!r.ok()) return;
+  for (auto& [id, lpck, promise, work] : shares) {
+    as.ck.lps[id] = std::move(lpck);
+    as.ck.last_promise[id] = promise;
+    lp_work_[id] = work;
+  }
+  for (Event& ev : commits) as.commits[ev.dst].push_back(std::move(ev));
+  as.got[src] = true;
+  --as.missing;
+  if (as.missing == 0) ckpt_complete(round);
+}
+
+void DistributedEngine::ckpt_complete(std::uint64_t round) {
+  const auto it = pending_ck_.find(round);
+  if (it == pending_ck_.end()) return;
+  CkptAssembly as = std::move(it->second);
+  pending_ck_.erase(it);
+  // The channel/fault cursor sections of a distributed checkpoint are
+  // fresh-stack placeholders: recovery resets the reliable layer outright
+  // and each rank rewinds its own fault ring locally.
+  as.ck.links.assign(static_cast<std::size_t>(nranks_) * nranks_,
+                     LinkCheckpoint{});
+  as.ck.fault_links.clear();
+  store_.put(std::move(as.ck));
+  ++ckstats_.checkpoints;
+  // The snapshot covers every commit gathered below its GVT: release them.
+  flush_commit_buffers(as.commits);
+}
+
+void DistributedEngine::flush_commit_buffers(
+    std::vector<std::vector<Event>>& bufs) {
+  if (!hook_) return;
+  for (auto& buf : bufs) {
+    for (const Event& ev : buf) hook_(ev);
+    buf.clear();
+  }
+}
+
+bool DistributedEngine::check_deaths() {
+  const std::int64_t now = net::now_ms();
+  bool any = false;
+  for (std::uint32_t r = 1; r < nranks_; ++r) {
+    if (retired_[r]) continue;
+    if (dead_pending_[r]) {
+      any = true;
+      continue;
+    }
+    bool dead = false;
+    if (node_->last_heard_ms(r) + config_.net.heartbeat_timeout_ms < now)
+      dead = true;
+    if (node_->link_failed(r)) dead = true;
+    if (pids_[r] > 0 && !reaped_[r]) {
+      int status = 0;
+      const pid_t got = ::waitpid(pids_[r], &status, WNOHANG);
+      if (got == pids_[r]) {
+        reaped_[r] = true;
+        // A clean exit is a rank that finished its part of a stop order;
+        // only an abnormal death is a crash.  But a rank can only exit
+        // cleanly once a stop was broadcast -- before that, any exit is a
+        // death.
+        if (!stopping_ || !WIFEXITED(status) || WEXITSTATUS(status) != 0)
+          dead = true;
+      }
+    }
+    if (dead) {
+      dead_pending_[r] = true;
+      any = true;
+    }
+  }
+  return any;
+}
+
+bool DistributedEngine::coordinator_recover() {
+  const auto fail = [&](std::uint32_t worker, std::string message) {
+    fail_run(worker, std::move(message));
+    return false;
+  };
+  for (;;) {
+    std::uint32_t first_dead = 0;
+    bool have_dead = false;
+    for (std::uint32_t r = 1; r < nranks_; ++r) {
+      if (!dead_pending_[r]) continue;
+      retired_[r] = true;
+      node_->retire_peer(r);
+      dead_pending_[r] = false;
+      ++ckstats_.crashes;
+      if (pids_[r] > 0 && !reaped_[r]) {
+        ::kill(pids_[r], SIGKILL);  // make the suspicion true
+        ::waitpid(pids_[r], nullptr, 0);
+        reaped_[r] = true;
+      }
+      if (!have_dead) {
+        first_dead = r;
+        have_dead = true;
+      }
+    }
+    if (!have_dead) return true;
+    if (!ft_on_)
+      return fail(first_dead,
+                  "rank died without fault tolerance (no checkpoint "
+                  "period and no crash schedule)");
+    if (recoveries_ >= config_.checkpoint.max_recoveries)
+      return fail(first_dead, "recovery budget exhausted (max_recoveries)");
+    const Checkpoint* ck = store_.latest();
+    if (ck == nullptr) return fail(first_dead, "no checkpoint available");
+    ++recoveries_;
+    ++ckstats_.recoveries;
+    store_relaxed(dump_recoveries_, static_cast<std::uint64_t>(recoveries_));
+    // Partial assemblies belong to the abandoned timeline.
+    pending_ck_.clear();
+
+    std::vector<bool> alive(nranks_);
+    for (std::uint32_t r = 0; r < nranks_; ++r) alive[r] = !retired_[r];
+    partition::redistribute_orphans(graph_, partition_, lp_work_, alive,
+                                    config_.rebalance);
+
+    ++epoch_;
+    node_->set_epoch(epoch_);
+    std::vector<std::uint8_t> p;
+    bytes::Writer w(p);
+    w.u32(epoch_);
+    w.u64(ck->round);
+    w.vt(ck->gvt);
+    std::uint64_t ndead = 0;
+    for (std::uint32_t r = 0; r < nranks_; ++r)
+      if (retired_[r]) ++ndead;
+    w.u64(ndead);
+    for (std::uint32_t r = 0; r < nranks_; ++r)
+      if (retired_[r]) w.u32(r);
+    w.u64(partition_.size());
+    for (const std::uint32_t owner : partition_) w.u32(owner);
+    w.u64(graph_.size());
+    bool codec_ok = true;
+    for (LpId id = 0; id < graph_.size(); ++id) {
+      // Re-encode from the stored snapshot; the codecs round-trip, so the
+      // bytes match what the owning rank shipped.
+      last_promise_[id] = ck->last_promise[id];  // encode_lp_share reads it
+      encode_lp_share(w, id, ck->lps[id], lp_work_[id]);
+      if (ck->lps[id].state) {
+        std::vector<std::uint8_t> probe;
+        bytes::Writer pw(probe);
+        codec_ok = codec_ok && graph_.lp(id).encode_state(*ck->lps[id].state,
+                                                          pw);
+      }
+    }
+    if (!codec_ok)
+      return fail(first_dead, "LP state codec failed during recovery");
+    broadcast(net::FrameType::kRecover, p);
+
+    recover_done_.assign(nranks_, false);
+    recover_done_[0] = true;
+    apply_restore(*ck);
+    ckstats_.lps_restored += lps_.size() * live_ranks();
+
+    bool redo = false;
+    for (;;) {
+      bool all = true;
+      for (std::uint32_t r = 0; r < nranks_; ++r)
+        if (!retired_[r] && !recover_done_[r]) all = false;
+      if (all) break;
+      pump_io(1);
+      while (!ctrl_.empty()) {
+        ControlMsg m = std::move(ctrl_.front());
+        ctrl_.pop_front();
+        coordinator_handle(m);
+      }
+      if (check_deaths()) {
+        // A survivor died mid-recovery: restart with the larger dead set.
+        redo = true;
+        break;
+      }
+    }
+    if (redo) continue;
+
+    broadcast(net::FrameType::kResume, {});
+    last_gvt_ = last_ckpt_gvt_ = safe_bound_;
+    note_progress(safe_bound_);
+    last_total_events_ = ~0ull;  // first post-recovery round never stalls
+    stall_rounds_ = 0;
+    rounds_since_ckpt_ = 0;
+    round_req_ = false;
+    return true;
+  }
+}
+
+void DistributedEngine::fail_run(std::uint32_t worker, std::string message) {
+  recovery_error_ =
+      RecoveryError{worker, gvt_rounds_, recoveries_, std::move(message)};
+  failed_ = true;
+  stopping_ = true;
+  std::vector<std::uint8_t> p;
+  bytes::Writer w(p);
+  w.u8(2);  // kind: stop order
+  broadcast(net::FrameType::kAbort, p);
+  const std::int64_t deadline = net::now_ms() + 500;
+  while (!node_->all_flushed() && net::now_ms() < deadline) pump_io(1);
+}
+
+void DistributedEngine::coordinator_finish(RunStats& out) {
+  // Own final fossil collection (commits land in the buffers).
+  if (!failed_) {
+    DistRouter router(*this);
+    for (const LpId lp : owned_) lps_[lp].fossil_collect(kTimeInf, router);
+  }
+
+  // Collect final stats from every live rank; the deadline covers a rank
+  // that died at the stop order (its silence must not hang the run).
+  if (!failed_) {
+    const std::int64_t deadline =
+        net::now_ms() + config_.net.heartbeat_timeout_ms + 2000;
+    for (;;) {
+      bool all = true;
+      for (std::uint32_t r = 1; r < nranks_; ++r)
+        if (!retired_[r] && !stats_got_[r]) all = false;
+      if (all || net::now_ms() >= deadline) break;
+      pump_io(1);
+      while (!ctrl_.empty()) {
+        ControlMsg m = std::move(ctrl_.front());
+        ctrl_.pop_front();
+        coordinator_handle(m);
+      }
+    }
+  }
+
+  out.per_lp.resize(graph_.size());
+  for (LpId id = 0; id < graph_.size(); ++id)
+    out.per_lp[id] = final_lp_got_[id] ? final_lp_stats_[id]
+                                       : lps_[id].stats();
+  out.per_worker = final_worker_stats_;
+  out.per_worker[0] = wstats_;
+  out.gvt_rounds = gvt_rounds_;
+  out.deadlocked = deadlocked_;
+  out.transport = net_->counters();
+  add_transport_counters(out.transport, remote_transport_);
+  if (auto err = net_->error()) {
+    out.transport_error = std::move(err);
+  } else if (remote_transport_error_) {
+    out.transport_error = remote_transport_error_;
+  }
+  if (deadlocked_) {
+    DeadlockReport report;
+    report.gvt = last_gvt_;
+    for (const LpId lp : owned_) {
+      if (!lps_[lp].has_pending()) continue;
+      report.blocked.push_back({lp, lps_[lp].next_ts(),
+                                lps_[lp].min_channel_clock(),
+                                lps_[lp].pending_count(), lps_[lp].mode()});
+    }
+    report.blocked.insert(report.blocked.end(), remote_diag_.begin(),
+                          remote_diag_.end());
+    std::sort(report.blocked.begin(), report.blocked.end(),
+              [](const auto& a, const auto& b) { return a.id < b.id; });
+    out.deadlock_report = std::move(report);
+  }
+  out.checkpoint = ckstats_;
+  out.checkpoint.disk_bytes = store_.disk_bytes();
+  out.recovery_error = recovery_error_;
+
+  // Release every buffered commit that survived: completed checkpoints
+  // already flushed theirs; what remains is the validated tail -- partial
+  // assemblies (round order), the coordinator's own buffer, then the
+  // shipped final buffers -- all in LP-id order within each batch.
+  for (auto& [round, as] : pending_ck_) flush_commit_buffers(as.commits);
+  pending_ck_.clear();
+  if (want_commits_) flush_commit_buffers(commit_buf_);
+  for (auto& commits : final_commits_) {
+    if (hook_)
+      for (const Event& ev : commits) hook_(ev);
+  }
+  final_commits_.clear();
+
+  // Metrics: fold the socket-node totals into our shard, absorb the global
+  // run totals, then merge the latest per-rank snapshots (dead ranks keep
+  // their last piggybacked one).
+  {
+    auto& sh = metrics_.shard(0);
+    const net::NodeCounters& nc = node_->counters();
+    sh.inc(obs::Metric::kNetFramesSent, nc.frames_sent);
+    sh.inc(obs::Metric::kNetFramesRecv, nc.frames_recv);
+    sh.inc(obs::Metric::kNetHeartbeats, nc.heartbeats_sent);
+    sh.inc(obs::Metric::kNetReconnects, nc.reconnects);
+    sh.inc(obs::Metric::kNetDisconnects, nc.disconnects);
+    sh.inc(obs::Metric::kNetCrcErrors, nc.crc_errors);
+  }
+  absorb_run_stats(metrics_, out);
+  metrics_.merge();
+  obs::MetricsSnapshot merged = metrics_.merged();
+  for (std::uint32_t r = 1; r < nranks_; ++r)
+    if (rank_snapshot_got_[r]) obs::merge_snapshot(merged, rank_snapshots_[r]);
+  out.metrics = std::move(merged);
+}
+
+void DistributedEngine::debug_dump(std::FILE* out) const {
+  std::fprintf(out,
+               "[distributed rank %u] gvt=(%lld,%lld) rounds=%llu "
+               "events=%llu recoveries=%llu epoch=%u\n",
+               rank_,
+               static_cast<long long>(load_relaxed(dump_gvt_pt_)),
+               static_cast<long long>(load_relaxed(dump_gvt_lt_)),
+               static_cast<unsigned long long>(load_relaxed(dump_rounds_)),
+               static_cast<unsigned long long>(load_relaxed(dump_events_)),
+               static_cast<unsigned long long>(load_relaxed(dump_recoveries_)),
+               epoch_);
+  // Transport/socket counters and the loop flags below are written by the
+  // run loop without atomics; these racy reads are for a watchdog's
+  // post-mortem only.
+  std::fprintf(out,
+               "  loop: in_round=%d collecting=%d pass=%u stopping=%d "
+               "failed=%d quiescent=%d all_flushed=%d links_up=%d\n",
+               in_round_ ? 1 : 0, collecting_ ? 1 : 0, cur_pass_,
+               stopping_ ? 1 : 0, failed_ ? 1 : 0,
+               net_ && net_->quiescent() ? 1 : 0,
+               node_ && node_->all_flushed() ? 1 : 0,
+               node_ && node_->all_links_up() ? 1 : 0);
+  if (rank_ == 0 && !votes_.empty()) {
+    std::fprintf(out, "  votes:");
+    for (std::size_t r = 0; r < votes_.size(); ++r)
+      std::fprintf(out, " r%zu=%s", r,
+                   retired_[r] ? "dead" : (votes_[r].got ? "in" : "-"));
+    std::fprintf(out, "\n");
+  }
+  if (net_) {
+    const TransportCounters& c = net_->counters();
+    std::fprintf(out,
+                 "  transport: sent=%llu delivered=%llu retransmits=%llu "
+                 "buffered=%llu\n",
+                 static_cast<unsigned long long>(c.data_sent),
+                 static_cast<unsigned long long>(c.delivered),
+                 static_cast<unsigned long long>(c.retransmits),
+                 static_cast<unsigned long long>(c.buffered));
+  }
+  if (node_) {
+    const net::NodeCounters& nc = node_->counters();
+    std::fprintf(out,
+                 "  node: frames_sent=%llu frames_recv=%llu hb_sent=%llu "
+                 "reconnects=%llu disconnects=%llu\n",
+                 static_cast<unsigned long long>(nc.frames_sent),
+                 static_cast<unsigned long long>(nc.frames_recv),
+                 static_cast<unsigned long long>(nc.heartbeats_sent),
+                 static_cast<unsigned long long>(nc.reconnects),
+                 static_cast<unsigned long long>(nc.disconnects));
+  }
+}
+
+}  // namespace vsim::pdes

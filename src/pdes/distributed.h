@@ -1,0 +1,276 @@
+// Multi-process distributed engine over real sockets.
+//
+// One OS process per rank, connected by a full mesh of Unix-domain (or TCP
+// loopback) stream sockets.  The caller's process becomes rank 0 -- the
+// round coordinator -- and run() forks ranks 1..P-1 after seeding, so every
+// rank inherits the constructed LP graph copy-on-write and only LP *state*
+// ever crosses the wire (via the checkpoint codec, pdes/checkpoint.h).
+//
+// Layering per rank (bottom-up):
+//
+//   SocketNode (src/net/node.h: framing, hello/heartbeats, reconnect
+//        |       backoff, epoch filtering)
+//   SocketTransport (src/net/socket_transport.h: Packet <-> kData frames)
+//   [FaultyTransport] (seeded chaos, now injected on real network traffic)
+//   ChannelStack (seq/ack/dedup/retransmit -- reliability is forced on:
+//        |        a reconnect may drop or replay the frame that straddled
+//        |        the break, and the channel layer owns exactly-once)
+//   DistributedEngine (this file: scheduling, GVT rounds, recovery)
+//
+// GVT uses the same drain-until-quiet protocol as the threaded engine,
+// driven by control frames instead of barriers: the coordinator broadcasts
+// kDrain passes and declares the network quiet only after two consecutive
+// passes in which every rank reported a quiescent channel stack and the
+// cluster-wide data-frame activity counters did not move.  The pass-p+1
+// broadcast happens only after every pass-p vote arrived, which gives the
+// cross-rank ordering that makes the two-pass rule sound without barriers.
+//
+// Fault tolerance composes the existing pieces over the wire: ranks ship
+// their share of each GVT-consistent checkpoint to rank 0 (kCkptData);
+// rank 0 assembles complete global snapshots and holds the output-commit
+// buffers until a snapshot covers them.  A rank that dies (missed network
+// heartbeats, reconnect budget exhausted, or a reaped child process) is
+// retired: rank 0 bumps the recovery epoch, redistributes the dead rank's
+// LPs with the load balancer's orphan placement, and broadcasts the restore
+// blob (kRecover); survivors reset their channel cursors -- epoch filtering
+// in the socket node keeps pre-recovery traffic out -- and resume from the
+// checkpoint.  The committed trace of a crashed-and-recovered run is
+// bit-identical to an uninterrupted one.  When the recovery budget is
+// exhausted (or a rank dies with fault tolerance off), the run unwinds with
+// a structured RecoveryError instead of hanging.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/frame.h"
+#include "obs/metrics.h"
+#include "pdes/checkpoint.h"
+#include "pdes/config.h"
+#include "pdes/graph.h"
+#include "pdes/lp_runtime.h"
+#include "pdes/machine.h"  // Partition
+#include "pdes/stats.h"
+#include "pdes/transport.h"
+
+namespace vsim::net {
+class SocketNode;
+class SocketTransport;
+}  // namespace vsim::net
+
+namespace vsim::pdes {
+
+class DistributedEngine {
+ public:
+  /// Invoked once per committed event, always in rank 0's process, in LP-id
+  /// order within each release batch.  With fault tolerance on, invocations
+  /// are buffered on the owning rank and released only once a checkpoint
+  /// (or termination) covers them, so recovery can never duplicate one.
+  using CommitHook = std::function<void(const Event&)>;
+
+  DistributedEngine(LpGraph& graph, Partition partition, RunConfig config);
+  ~DistributedEngine();
+
+  DistributedEngine(const DistributedEngine&) = delete;
+  DistributedEngine& operator=(const DistributedEngine&) = delete;
+
+  void set_commit_hook(CommitHook hook) { hook_ = std::move(hook); }
+
+  /// Runs the simulation across config.num_workers OS processes.  Returns
+  /// in rank 0's process; forked ranks never return (they _exit).
+  RunStats run();
+
+  /// LP -> rank mapping after the run (differs from the constructor
+  /// argument after crash recovery redistributed a dead rank's LPs).
+  [[nodiscard]] const Partition& partition() const { return partition_; }
+
+  /// Progress snapshot for test watchdogs: last GVT, rounds, events,
+  /// recoveries, and (racily) socket counters.  Callable from another
+  /// thread while run() executes in this process.
+  void debug_dump(std::FILE* out) const;
+
+ private:
+  class DistRouter;
+  class SeedRouter;
+
+  /// One control frame copied out of the socket layer for the main loop
+  /// (FrameView payloads are only valid during the handler call).
+  struct ControlMsg {
+    net::FrameType type{};
+    std::uint32_t src = 0;
+    std::uint32_t epoch = 0;
+    std::vector<std::uint8_t> payload;
+  };
+
+  /// One drain-pass vote from a rank.
+  struct DrainVote {
+    bool got = false;
+    bool quiescent = false;
+    bool error = false;
+    std::uint64_t activity = 0;  ///< cumulative data frames sent + received
+    VirtualTime local_min = kTimeInf;
+    std::uint64_t events = 0;
+  };
+
+  /// A global checkpoint being assembled at rank 0 from per-rank shares.
+  struct CkptAssembly {
+    Checkpoint ck;
+    std::vector<std::vector<Event>> commits;  ///< per LP, release on complete
+    std::vector<bool> got;                    ///< per rank
+    std::size_t missing = 0;
+  };
+
+  enum class Wait : std::uint8_t { kOk, kDied, kAborted };
+
+  // --- shared by every rank ---
+  void setup_stack_or_die();
+  void on_frame(std::uint32_t src, const net::FrameView& view);
+  std::size_t pump_io(int timeout_ms);
+  void deliver(Event ev);
+  void refresh_key(LpId lp);
+  bool try_process_one();
+  void send_null_messages_for(LpId lp);
+  bool maybe_crash() const;
+  void capture_fault_ring(std::uint64_t round);
+  void apply_restore(const Checkpoint& ck);
+  void encode_lp_share(bytes::Writer& w, LpId id, const LpCheckpoint& lpck,
+                       double work);
+  bool decode_lp_share(bytes::Reader& r, LpId* id, LpCheckpoint* out,
+                       double* work, VirtualTime* promise);
+  [[nodiscard]] double nowd() const;
+  [[nodiscard]] std::int64_t cfg_connect_deadline() const;
+  [[nodiscard]] VirtualTime local_min() const;
+  void note_progress(VirtualTime gvt);
+
+  // --- rank != 0 ---
+  [[noreturn]] void child_main();
+  void rank_loop();
+  void rank_handle(const ControlMsg& m);
+  void rank_drain_pass(std::uint64_t round, std::uint32_t pass);
+  void rank_apply_gvt(const ControlMsg& m);
+  void rank_apply_recover(const ControlMsg& m);
+  [[noreturn]] void rank_finish(bool ok);
+  void rank_send_stats();
+  [[noreturn]] void rank_abort_transport(const TransportError& err);
+
+  // --- rank 0 (coordinator) ---
+  void coordinator_main(RunStats& out);
+  void coordinator_handle(const ControlMsg& m);
+  bool coordinator_round();  ///< false: stop the run
+  Wait coordinator_collect_votes(std::uint64_t round, std::uint32_t pass);
+  void coordinator_apply_gvt(std::uint64_t round, VirtualTime gvt,
+                             bool ckpt_due);
+  void coordinator_own_ckpt_share(std::uint64_t round, VirtualTime gvt);
+  void ckpt_ingest(std::uint32_t src, const ControlMsg& m);
+  void ckpt_complete(std::uint64_t round);
+  bool check_deaths();
+  bool coordinator_recover();  ///< false: recovery failed, run is done
+  void fail_run(std::uint32_t worker, std::string message);
+  void broadcast(net::FrameType type, const std::vector<std::uint8_t>& p);
+  void coordinator_finish(RunStats& out);
+  void flush_commit_buffers(std::vector<std::vector<Event>>& bufs);
+  void reap_children(bool force);
+  [[nodiscard]] std::size_t live_ranks() const;
+
+  LpGraph& graph_;
+  Partition partition_;
+  RunConfig config_;
+  CommitHook hook_;
+
+  std::vector<LpRuntime> lps_;
+  std::vector<VirtualTime> key_;
+  std::vector<VirtualTime> last_promise_;
+  std::vector<LpId> owned_;
+
+  std::uint32_t rank_ = 0;
+  std::uint32_t nranks_ = 1;
+  bool ft_on_ = false;
+  bool want_commits_ = false;
+  bool own_socket_dir_ = false;
+
+  // Socket transport stack (built per rank, after the fork).
+  std::unique_ptr<net::SocketNode> node_;
+  std::unique_ptr<net::SocketTransport> wire_;
+  std::unique_ptr<FaultyTransport> faulty_;
+  std::unique_ptr<ChannelStack> net_;
+  bool got_data_ = false;
+
+  std::deque<ControlMsg> ctrl_;
+  std::uint32_t epoch_ = 0;
+
+  // Scheduling.
+  VirtualTime safe_bound_ = kTimeZero;
+  std::uint64_t events_since_round_ = 0;
+  bool in_round_ = false;
+  bool recovering_ = false;
+  bool round_req_sent_ = false;
+  std::uint32_t idle_spins_ = 0;
+  WorkerStats wstats_;
+
+  // Coordinator round state.
+  bool round_req_ = false;
+  std::uint64_t gvt_rounds_ = 0;
+  VirtualTime last_gvt_ = kTimeZero;
+  std::uint64_t last_total_events_ = 0;
+  std::uint32_t stall_rounds_ = 0;
+  std::uint32_t rounds_since_ckpt_ = 0;
+  VirtualTime last_ckpt_gvt_ = kTimeZero;
+  bool deadlocked_ = false;
+  bool transport_failed_ = false;
+  bool stopping_ = false;
+  bool failed_ = false;
+  std::vector<DrainVote> votes_;
+  std::uint32_t cur_pass_ = 0;
+  bool collecting_ = false;  ///< a drain pass is awaiting votes
+  std::int64_t last_round_ms_ = 0;
+  std::vector<bool> recover_done_;
+
+  // Fault tolerance.
+  std::vector<bool> retired_;  ///< rank is dead and recovered-around
+  std::vector<bool> dead_pending_;
+  std::uint32_t recoveries_ = 0;
+  CheckpointStore store_;
+  CheckpointStats ckstats_;
+  std::map<std::uint64_t, CkptAssembly> pending_ck_;
+  /// Per-rank local ring of OWN fault-injector cursors per checkpoint
+  /// round: recovery resets the channel layer outright (epoch filtering
+  /// handles staleness) but must rewind the chaos RNGs for determinism.
+  std::map<std::uint64_t, std::vector<FaultLinkCheckpoint>> fault_ring_;
+  std::vector<std::vector<Event>> commit_buf_;  ///< per LP, owning rank only
+  std::vector<double> lp_work_;  ///< rank 0: work scores for orphan placement
+  std::optional<RecoveryError> recovery_error_;
+  std::optional<ConfigError> config_error_;
+  std::optional<TransportError> remote_transport_error_;
+
+  // Termination collection (rank 0).
+  std::vector<bool> stats_got_;
+  std::vector<LpStats> final_lp_stats_;
+  std::vector<bool> final_lp_got_;
+  std::vector<WorkerStats> final_worker_stats_;
+  TransportCounters remote_transport_;
+  std::vector<obs::MetricsSnapshot> rank_snapshots_;
+  std::vector<bool> rank_snapshot_got_;
+  std::vector<DeadlockReport::LpDiag> remote_diag_;
+  std::vector<std::vector<Event>> final_commits_;
+
+  obs::MetricsRegistry metrics_{1};
+
+  // Child processes (rank 0 only; pids_[0] unused).
+  std::vector<int> pids_;
+  std::vector<bool> reaped_;
+
+  // Watchdog-visible progress (updated with relaxed atomics via helpers).
+  std::int64_t dump_gvt_pt_ = 0;
+  std::int64_t dump_gvt_lt_ = 0;
+  std::uint64_t dump_rounds_ = 0;
+  std::uint64_t dump_events_ = 0;
+  std::uint64_t dump_recoveries_ = 0;
+};
+
+}  // namespace vsim::pdes

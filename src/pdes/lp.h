@@ -8,6 +8,7 @@
 #include <memory>
 #include <string>
 
+#include "common/bytes.h"
 #include "pdes/event.h"
 
 namespace vsim::pdes {
@@ -51,6 +52,26 @@ class LogicalProcess {
   [[nodiscard]] virtual std::unique_ptr<LpState> save_state() const = 0;
   virtual void restore_state(const LpState& s) = 0;
   [[nodiscard]] virtual bool can_save_state() const { return true; }
+
+  /// Byte-level state serialisation, for shipping snapshots across process
+  /// boundaries (the distributed engine's checkpoint recovery; see
+  /// pdes/distributed.h).  encode_state() appends a portable encoding of
+  /// `s` -- a snapshot this LP's save_state() produced -- and returns true;
+  /// decode_state() parses one back, returning null on malformed input.
+  /// The default has no codec (returns false / null): such LPs work in
+  /// every in-process engine and in crash-free distributed runs, but a
+  /// distributed run with fault tolerance enabled rejects them up front.
+  [[nodiscard]] virtual bool encode_state(const LpState& s,
+                                          bytes::Writer& w) const {
+    (void)s;
+    (void)w;
+    return false;
+  }
+  [[nodiscard]] virtual std::unique_ptr<LpState> decode_state(
+      bytes::Reader& r) const {
+    (void)r;
+    return nullptr;
+  }
 
   /// Cost of processing `ev` in abstract work units; drives the machine
   /// model used for speedup studies (see pdes/machine.h).

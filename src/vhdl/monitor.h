@@ -37,6 +37,16 @@ class MonitorLp final : public pdes::LogicalProcess {
     return std::make_unique<pdes::LpState>();
   }
   void restore_state(const pdes::LpState&) override {}
+  // Stateless, so the byte codec is trivial -- but it must exist for the
+  // distributed engine to ship checkpoints of designs with monitors.
+  [[nodiscard]] bool encode_state(const pdes::LpState&,
+                                  bytes::Writer&) const override {
+    return true;
+  }
+  [[nodiscard]] std::unique_ptr<pdes::LpState> decode_state(
+      bytes::Reader&) const override {
+    return std::make_unique<pdes::LpState>();
+  }
   [[nodiscard]] double event_cost(const pdes::Event&) const override {
     return 0.1;
   }

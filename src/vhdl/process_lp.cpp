@@ -194,4 +194,50 @@ void ProcessLp::restore_state(const pdes::LpState& s) {
   exec_scheduled_ = ps.exec_scheduled;
 }
 
+bool ProcessLp::encode_state(const pdes::LpState& s, bytes::Writer& w) const {
+  const auto& ps = static_cast<const ProcessState&>(s);
+  if (!ps.body->encode_vars(w)) return false;
+  w.u64(ps.locals.size());
+  for (const LogicVector& v : ps.locals) w.lv(v);
+  w.u64(ps.last_event.size());
+  for (const VirtualTime& t : ps.last_event) w.vt(t);
+  w.u8(ps.waiting ? 1 : 0);
+  w.u64(ps.sensitivity.size());
+  for (int p : ps.sensitivity) w.u32(static_cast<std::uint32_t>(p));
+  w.u32(static_cast<std::uint32_t>(ps.cond_id));
+  w.i64(ps.epoch);
+  w.vt(ps.exec_scheduled);
+  return true;
+}
+
+std::unique_ptr<pdes::LpState> ProcessLp::decode_state(
+    bytes::Reader& r) const {
+  auto s = std::make_unique<ProcessState>();
+  // The decoded body starts as a clone of the live one; decode_vars()
+  // overwrites every mutable field with the checkpointed values.
+  s->body = body_->clone();
+  if (!s->body->decode_vars(r)) return nullptr;
+  const std::uint64_t nloc = r.u64();
+  if (!r.ok() || nloc > r.remaining()) return nullptr;
+  s->locals.reserve(static_cast<std::size_t>(nloc));
+  for (std::uint64_t i = 0; i < nloc && r.ok(); ++i)
+    s->locals.push_back(r.lv());
+  const std::uint64_t nev = r.u64();
+  if (!r.ok() || nev > r.remaining()) return nullptr;
+  s->last_event.reserve(static_cast<std::size_t>(nev));
+  for (std::uint64_t i = 0; i < nev && r.ok(); ++i)
+    s->last_event.push_back(r.vt());
+  s->waiting = r.u8() != 0;
+  const std::uint64_t nsens = r.u64();
+  if (!r.ok() || nsens > r.remaining()) return nullptr;
+  s->sensitivity.reserve(static_cast<std::size_t>(nsens));
+  for (std::uint64_t i = 0; i < nsens && r.ok(); ++i)
+    s->sensitivity.push_back(static_cast<int>(r.u32()));
+  s->cond_id = static_cast<int>(r.u32());
+  s->epoch = r.i64();
+  s->exec_scheduled = r.vt();
+  if (!r.ok()) return nullptr;
+  return s;
+}
+
 }  // namespace vsim::vhdl

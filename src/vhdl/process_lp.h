@@ -68,6 +68,22 @@ class ProcessBody {
     (void)api;
     return true;
   }
+
+  /// Byte codec for the body's mutable variables and resume point, so
+  /// process checkpoints can cross process boundaries (the distributed
+  /// engine).  decode_vars() runs on a clone() of a live body and must
+  /// overwrite every field run() can mutate.  Bodies whose run() mutates
+  /// nothing override both to `return true` without writing; the default
+  /// declares "no codec" and pins designs using the body to in-process
+  /// engines when fault tolerance needs byte-level snapshots.
+  [[nodiscard]] virtual bool encode_vars(vsim::bytes::Writer& w) const {
+    (void)w;
+    return false;
+  }
+  [[nodiscard]] virtual bool decode_vars(vsim::bytes::Reader& r) {
+    (void)r;
+    return false;
+  }
 };
 
 class ProcessLp final : public pdes::LogicalProcess {
@@ -94,6 +110,10 @@ class ProcessLp final : public pdes::LogicalProcess {
   void simulate(const pdes::Event& ev, pdes::SimContext& ctx) override;
   [[nodiscard]] std::unique_ptr<pdes::LpState> save_state() const override;
   void restore_state(const pdes::LpState& s) override;
+  [[nodiscard]] bool encode_state(const pdes::LpState& s,
+                                  bytes::Writer& w) const override;
+  [[nodiscard]] std::unique_ptr<pdes::LpState> decode_state(
+      bytes::Reader& r) const override;
 
   [[nodiscard]] std::size_t num_inputs() const { return locals_.size(); }
   /// Driven signals as (signal LP, driver index) pairs, by out-port.

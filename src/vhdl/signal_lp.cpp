@@ -136,4 +136,24 @@ void SignalLp::restore_state(const pdes::LpState& s) {
   effective_ = ss.effective;
 }
 
+bool SignalLp::encode_state(const pdes::LpState& s, bytes::Writer& w) const {
+  const auto& ss = static_cast<const SignalState&>(s);
+  w.u64(ss.drivers.size());
+  for (const Waveform& wave : ss.drivers) wave.encode(w);
+  w.lv(ss.effective);
+  return true;
+}
+
+std::unique_ptr<pdes::LpState> SignalLp::decode_state(bytes::Reader& r) const {
+  auto s = std::make_unique<SignalState>();
+  const std::uint64_t n = r.u64();
+  if (!r.ok() || n != drivers_.size()) return nullptr;
+  s->drivers.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i)
+    s->drivers.push_back(Waveform::decode(r));
+  s->effective = r.lv();
+  if (!r.ok()) return nullptr;
+  return s;
+}
+
 }  // namespace vsim::vhdl

@@ -62,6 +62,10 @@ class SignalLp final : public pdes::LogicalProcess {
   void simulate(const pdes::Event& ev, pdes::SimContext& ctx) override;
   [[nodiscard]] std::unique_ptr<pdes::LpState> save_state() const override;
   void restore_state(const pdes::LpState& s) override;
+  [[nodiscard]] bool encode_state(const pdes::LpState& s,
+                                  bytes::Writer& w) const override;
+  [[nodiscard]] std::unique_ptr<pdes::LpState> decode_state(
+      bytes::Reader& r) const override;
 
  private:
   void broadcast(pdes::SimContext& ctx, VirtualTime ts);

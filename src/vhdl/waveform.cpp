@@ -32,6 +32,27 @@ void Waveform::schedule(VirtualTime maturity, LogicVector value,
   queue_.push_back({maturity, std::move(value)});
 }
 
+void Waveform::encode(vsim::bytes::Writer& w) const {
+  w.lv(driving_value_);
+  w.u64(queue_.size());
+  for (const Transaction& t : queue_) {
+    w.vt(t.maturity);
+    w.lv(t.value);
+  }
+}
+
+Waveform Waveform::decode(vsim::bytes::Reader& r) {
+  Waveform w(r.lv());
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    Transaction t;
+    t.maturity = r.vt();
+    t.value = r.lv();
+    w.queue_.push_back(std::move(t));
+  }
+  return w;
+}
+
 bool Waveform::apply_matured(VirtualTime now) {
   bool changed = false;
   while (!queue_.empty() && queue_.front().maturity <= now) {

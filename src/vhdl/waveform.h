@@ -8,6 +8,7 @@
 
 #include <deque>
 
+#include "common/bytes.h"
 #include "common/logic.h"
 #include "common/virtual_time.h"
 
@@ -41,6 +42,11 @@ class Waveform {
   [[nodiscard]] const std::deque<Transaction>& pending() const {
     return queue_;
   }
+
+  /// Byte codec (common/bytes.h layout) so signal checkpoints can cross
+  /// process boundaries; decode trusts the reader's fail-soft bounds.
+  void encode(vsim::bytes::Writer& w) const;
+  [[nodiscard]] static Waveform decode(vsim::bytes::Reader& r);
 
  private:
   LogicVector driving_value_;

@@ -382,6 +382,97 @@ TEST(ChaosUnreliable, ThreadedDeadLinkSurfacesError) {
   EXPECT_GE(st.transport_error->attempts, rc.transport.max_retries);
 }
 
+// A wire that swallows every packet, for pinning down the session layer's
+// retry-cap contract without an engine in the way.
+struct BlackholeWire final : pdes::Transport {
+  std::uint64_t swallowed = 0;
+  void submit(pdes::Packet&&, double) override { ++swallowed; }
+};
+
+// Unit-level retry-cap contract, timer path: a permanently black link must
+// latch exactly one structured error naming the link and sequence once the
+// retransmission budget is spent, and from then on poll() and flush() must
+// be no-ops -- an unwinding engine keeps calling both, and a dead stack
+// that still retransmits would livelock the shutdown.
+TEST(ChaosUnreliable, ChannelStackPollLatchesErrorThenGoesQuiet) {
+  BlackholeWire wire;
+  pdes::TransportConfig tc;
+  tc.reliable = true;
+  tc.max_retries = 4;
+  tc.rto = 1.0;
+  pdes::ChannelStack stack(wire, /*num_workers=*/3, tc);
+  stack.set_deliver([](std::uint32_t, pdes::Event&&) {
+    FAIL() << "a blackhole wire must never deliver";
+  });
+
+  pdes::Event ev;
+  ev.ts = VirtualTime{10, 0};
+  ev.src = 0;
+  ev.dst = 5;
+  ev.uid = 7;
+  stack.send(0, 2, std::move(ev), 0.0);
+  ASSERT_FALSE(stack.error().has_value());
+  ASSERT_FALSE(stack.quiescent());
+
+  // Advance far past every (doubling) timeout each round; the cap must hit
+  // within max_retries polls, never later.
+  double now = 0.0;
+  for (std::uint32_t i = 0; i < tc.max_retries + 2 && !stack.error(); ++i) {
+    now += 1e6;
+    stack.poll(0, now);
+  }
+  ASSERT_TRUE(stack.error().has_value());
+  const pdes::TransportError err = *stack.error();
+  EXPECT_EQ(err.src_worker, 0u);
+  EXPECT_EQ(err.dst_worker, 2u);
+  EXPECT_EQ(err.seq, 1u);  // first packet on the link
+  EXPECT_GE(err.attempts, tc.max_retries);
+  EXPECT_NE(err.str().find("0->2"), std::string::npos) << err.str();
+
+  // Latched means latched: no more wire traffic, no busy-work, and the
+  // error object itself never changes.
+  const std::uint64_t sent_at_latch = wire.swallowed;
+  now += 1e6;
+  EXPECT_EQ(stack.poll(0, now), 0u);
+  EXPECT_EQ(stack.flush(0, now), 0u);
+  EXPECT_EQ(wire.swallowed, sent_at_latch);
+  EXPECT_EQ(stack.error()->attempts, err.attempts);
+  EXPECT_EQ(stack.error()->seq, err.seq);
+}
+
+// Unit-level retry-cap contract, drain path: flush() force-retransmits and
+// bills one attempt per call, so a drain loop that keeps flushing into a
+// black link must exhaust the cap in bounded steps even with timers frozen.
+TEST(ChaosUnreliable, ChannelStackFlushExhaustsCapWithFrozenClock) {
+  BlackholeWire wire;
+  pdes::TransportConfig tc;
+  tc.reliable = true;
+  tc.max_retries = 6;
+  tc.rto = 1e9;  // timer path can never fire; only flush() spends attempts
+  pdes::ChannelStack stack(wire, /*num_workers=*/2, tc);
+  stack.set_deliver([](std::uint32_t, pdes::Event&&) {
+    FAIL() << "a blackhole wire must never deliver";
+  });
+
+  pdes::Event ev;
+  ev.ts = VirtualTime{1, 0};
+  ev.src = 0;
+  ev.dst = 1;
+  stack.send(0, 1, std::move(ev), 0.0);
+  std::uint32_t flushes = 0;
+  while (!stack.error() && flushes < tc.max_retries + 2) {
+    stack.flush(0, 0.0);
+    ++flushes;
+  }
+  ASSERT_TRUE(stack.error().has_value());
+  EXPECT_LE(flushes, tc.max_retries + 1u);
+  EXPECT_EQ(stack.error()->src_worker, 0u);
+  EXPECT_EQ(stack.error()->dst_worker, 1u);
+  EXPECT_GE(stack.error()->attempts, tc.max_retries);
+  EXPECT_EQ(stack.flush(0, 0.0), 0u);  // no-op once latched
+  EXPECT_EQ(stack.poll(0, 1e18), 0u);
+}
+
 // Determinism: the same fault seed must yield bit-identical fault counters
 // on the machine engine (the whole point of a seeded plan).
 TEST(ChaosDeterminism, SameSeedSameCounters) {

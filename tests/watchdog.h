@@ -9,21 +9,33 @@
 //     vsim::testutil::Watchdog wd("Suite.Case", std::chrono::seconds(60));
 //     ... code that must terminate ...
 //   }  // disarmed on scope exit
+//
+// An optional dump callback runs just before the abort, so a hang leaves a
+// progress post-mortem (last GVT, per-worker event counters, transport
+// counters) instead of a bare timeout message:
+//   Watchdog wd("Suite.Case", 60s, [&](std::FILE* f) { eng.debug_dump(f); });
+// The callback runs on the watchdog thread while the engine is still live --
+// dump only state written with atomics or state whose races are harmless.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 namespace vsim::testutil {
 
 class Watchdog {
  public:
-  Watchdog(const char* label, std::chrono::seconds limit)
-      : label_(label), limit_(limit), thread_([this] { run(); }) {}
+  using DumpFn = std::function<void(std::FILE*)>;
+
+  Watchdog(const char* label, std::chrono::seconds limit, DumpFn dump = {})
+      : label_(label), limit_(limit), dump_(std::move(dump)),
+        thread_([this] { run(); }) {}
 
   Watchdog(const Watchdog&) = delete;
   Watchdog& operator=(const Watchdog&) = delete;
@@ -45,12 +57,17 @@ class Watchdog {
                  "[watchdog] '%s' still running after %lld s wall-clock; "
                  "aborting the test binary\n",
                  label_, static_cast<long long>(limit_.count()));
+    if (dump_) {
+      std::fprintf(stderr, "[watchdog] progress at expiry:\n");
+      dump_(stderr);
+    }
     std::fflush(stderr);
     std::abort();
   }
 
   const char* label_;
   std::chrono::seconds limit_;
+  DumpFn dump_;
   bool disarmed_ = false;
   std::mutex m_;
   std::condition_variable cv_;

@@ -14,6 +14,12 @@ Two modes, stdlib only:
       run that newly deadlocks is a REGRESSION and the exit status is 1.
       Micro rows (wall-clock, inherently noisy) are compared at
       --micro-tolerance (default 25%) and reported as warnings only.
+
+      A missing or unreadable BASELINE is a warning, not an error: the
+      first run of a new branch has nothing to compare against, and a
+      corrupt baseline should not block the pipeline that would replace
+      it.  A missing or unreadable NEW report set is always an error --
+      that is the artifact under test.
 """
 
 import argparse
@@ -34,8 +40,12 @@ WATCHED = ("tw.rollbacks", "net.null_messages", "transport.retransmits",
 
 
 def fail(msg):
-    print("bench_diff: " + msg, file=sys.stderr)
+    print("bench_diff: error: " + msg, file=sys.stderr)
     sys.exit(1)
+
+
+def warn(msg):
+    print("bench_diff: warning: " + msg, file=sys.stderr)
 
 
 def validate(doc, path):
@@ -54,39 +64,75 @@ def validate(doc, path):
         for key in ROW_KEYS:
             if key not in row:
                 return "rows[%d] lacks %r" % (i, key)
+        if not isinstance(row["workers"], int):
+            return "rows[%d].workers is not an integer" % i
+        if not isinstance(row["speedup"], (int, float)) \
+                or isinstance(row["speedup"], bool):
+            return "rows[%d].speedup is not numeric" % i
+        if not isinstance(row["deadlocked"], bool):
+            return "rows[%d].deadlocked is not a boolean" % i
         if not isinstance(row["metrics"], dict):
             return "rows[%d].metrics is not an object" % i
         for name, v in row["metrics"].items():
-            if not isinstance(v, (int, float, dict)):
+            if isinstance(v, bool) or not isinstance(v, (int, float, dict)):
                 return "rows[%d].metrics[%r] is not numeric" % (i, name)
-    for i, row in enumerate(doc.get("micro", [])):
+    micro = doc.get("micro", [])
+    if not isinstance(micro, list):
+        return "field 'micro' is not a list"
+    for i, row in enumerate(micro):
+        if not isinstance(row, dict):
+            return "micro[%d] is not an object" % i
         for key in MICRO_KEYS:
             if key not in row:
                 return "micro[%d] lacks %r" % (i, key)
+        for key in ("real_ns", "cpu_ns", "iterations"):
+            if isinstance(row[key], bool) \
+                    or not isinstance(row[key], (int, float)):
+                return "micro[%d].%s is not numeric" % (i, key)
     return None
 
 
-def load(path):
+def load(path, on_error=fail):
+    """Parse + schema-check one report.  On any problem, reports through
+    `on_error` (fail: exit 1; warn: return None so the caller can skip)."""
     try:
         with open(path) as f:
             doc = json.load(f)
-    except (OSError, ValueError) as e:
-        fail("%s: %s" % (path, e))
+    except OSError as e:
+        on_error("%s: cannot read report: %s" % (path, e.strerror or e))
+        return None
+    except ValueError as e:
+        on_error("%s: not valid JSON: %s" % (path, e))
+        return None
     err = validate(doc, path)
     if err:
-        fail("%s: %s" % (path, err))
+        on_error("%s: malformed report: %s" % (path, err))
+        return None
     return doc
 
 
-def collect(path):
-    """Map report name -> document for a directory or a single file."""
+def collect(path, role, on_error=fail):
+    """Map report name -> document for a directory or a single file.
+    Returns None when the path yields nothing and `on_error` is non-fatal."""
+    if not os.path.exists(path):
+        on_error("%s %s does not exist" % (role, path))
+        return None
     if os.path.isdir(path):
         files = sorted(glob.glob(os.path.join(path, "BENCH_*.json")))
         if not files:
-            fail("%s: no BENCH_*.json files" % path)
+            on_error("%s %s holds no BENCH_*.json files" % (role, path))
+            return None
     else:
         files = [path]
-    return {doc["name"]: doc for doc in map(load, files)}
+    docs = {}
+    for f in files:
+        doc = load(f, on_error)
+        if doc is not None:
+            docs[doc["name"]] = doc
+    if not docs:
+        on_error("%s %s yielded no readable reports" % (role, path))
+        return None
+    return docs
 
 
 def row_key(row):
@@ -117,6 +163,9 @@ def diff_report(name, base, new, tol, micro_tol):
             nv = row["metrics"].get(counter, 0)
             if nv > max(ov * 2, ov + 100):
                 print("  note    %s: %s %s -> %s" % (tag, counter, ov, nv))
+    if new.get("partial"):
+        print("  warn    %s is a partial report (interrupted run); "
+              "missing rows are not regressions" % name)
     base_micro = {m["name"]: m for m in base.get("micro", [])}
     for m in new.get("micro", []):
         old = base_micro.get(m["name"])
@@ -151,7 +200,13 @@ def main():
 
     if len(args.paths) != 2:
         fail("compare mode takes exactly two paths (BASE NEW)")
-    base, new = collect(args.paths[0]), collect(args.paths[1])
+    # An absent/corrupt baseline downgrades to "nothing to compare": the
+    # run that produced NEW is still good, and NEW becomes the baseline.
+    base = collect(args.paths[0], "baseline", on_error=warn)
+    new = collect(args.paths[1], "new report set")
+    if base is None:
+        warn("no usable baseline; skipping comparison (exit 0)")
+        return
 
     regressions = 0
     for name in sorted(new):
