@@ -24,11 +24,13 @@ VSIM_STRESS_SEEDS="${VSIM_STRESS_SEEDS:-200}" \
 
 echo "==> Distributed smoke: 4-rank UDS mesh vs oracle + SIGKILL recovery"
 # The full distributed suite already ran inside the ctest sweep above; this
-# repeats the two load-bearing scenarios as a named gate: a plain 4-process
-# socket run must match the sequential oracle bit-exactly, and a run whose
-# rank 2 is SIGKILLed mid-flight must recover from the shipped checkpoints
-# to the very same trace.
-./build/tests/test_distributed --gtest_filter='Distributed.FourRankSocketRunMatchesOracle:Distributed.SigkilledRankRecoversToOracle'
+# repeats the three load-bearing scenarios as a named gate: a plain
+# 4-process socket run must match the sequential oracle bit-exactly, a run
+# whose rank 2 is SIGKILLed mid-flight must recover from the shipped
+# checkpoints to the very same trace, and a run whose COORDINATOR (rank 0)
+# is SIGKILLed must fail over to rank 1 and still commit the oracle trace
+# exactly once.
+./build/tests/test_distributed --gtest_filter='Distributed.FourRankSocketRunMatchesOracle:Distributed.SigkilledRankRecoversToOracle:Distributed.CoordinatorKillRecoversToOracle'
 
 echo "==> Observability smoke: traced bench + report schema"
 # One bench in trace mode: the FSM figure is the cheapest full sweep.  The
@@ -65,6 +67,11 @@ echo "==> AddressSanitizer build"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DVSIM_SANITIZE=address > /dev/null
 cmake --build build-asan -j "$JOBS"
+# Sanitized binaries run several times slower, so the engine's wall-clock
+# liveness budgets (heartbeat timeout, connect deadline, reconnect backoff)
+# are stretched via VSIM_TIME_SCALE -- otherwise a merely-slow rank under
+# ASan is declared dead and CI chases phantom failovers.
+VSIM_TIME_SCALE="${VSIM_TIME_SCALE_ASAN:-4}" \
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
   ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 # The socket layer is the one module whose bugs UBSan is best placed to
@@ -72,6 +79,7 @@ ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
 # above compiles with -fsanitize=address,undefined, so running the
 # distributed label once more by name keeps the UBSan-over-net/ gate
 # visible even if the aggregate suite is ever split.
+VSIM_TIME_SCALE="${VSIM_TIME_SCALE_ASAN:-4}" \
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
   ctest --test-dir build-asan -L distributed --output-on-failure
 
@@ -79,6 +87,7 @@ echo "==> ThreadSanitizer build"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DVSIM_SANITIZE=thread > /dev/null
 cmake --build build-tsan -j "$JOBS"
+VSIM_TIME_SCALE="${VSIM_TIME_SCALE_TSAN:-8}" \
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
 # The batch-mailbox corner tests once more, by label: the suite above runs

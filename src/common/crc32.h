@@ -1,0 +1,41 @@
+// Standard CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
+//
+// Shared by the wire framing (src/net/frame.cpp) and the checkpoint spill
+// footer (src/pdes/checkpoint.cpp).  Living in common/ keeps the dependency
+// arrows pointing the right way: pdes/ must not depend on net/ just to hash
+// bytes, and both layers must agree on the polynomial so a checksum computed
+// on one side of the wire is checkable on the other.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace vsim::common {
+
+namespace detail {
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+[[nodiscard]] inline std::uint32_t crc32(const std::uint8_t* data,
+                                         std::size_t n) {
+  const auto& table = detail::crc32_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i)
+    c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace vsim::common

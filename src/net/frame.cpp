@@ -1,6 +1,6 @@
 #include "net/frame.h"
 
-#include <array>
+#include "common/crc32.h"
 
 namespace vsim::net {
 
@@ -20,23 +20,14 @@ const char* frame_type_name(FrameType t) {
     case FrameType::kAbort: return "abort";
     case FrameType::kStats: return "stats";
     case FrameType::kLinkDown: return "link-down";
+    case FrameType::kCkptAck: return "ckpt-ack";
+    case FrameType::kCommit: return "commit";
+    case FrameType::kFinal: return "final";
   }
   return "?";
 }
 
 namespace {
-
-// Standard CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320), table-driven.
-std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k)
-      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    table[i] = c;
-  }
-  return table;
-}
 
 constexpr std::size_t kHeaderSize = 8;  // u32 length + u32 crc
 constexpr std::size_t kMinBody = 5;     // u8 type + u32 epoch
@@ -57,17 +48,13 @@ void write_u32(std::uint8_t* p, std::uint32_t v) {
 
 bool valid_type(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         t <= static_cast<std::uint8_t>(FrameType::kLinkDown);
+         t <= static_cast<std::uint8_t>(FrameType::kFinal);
 }
 
 }  // namespace
 
 std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
-  static const std::array<std::uint32_t, 256> table = make_crc_table();
-  std::uint32_t c = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < n; ++i)
-    c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
-  return c ^ 0xFFFFFFFFu;
+  return common::crc32(data, n);
 }
 
 void append_frame(std::vector<std::uint8_t>& out, FrameType type,

@@ -35,6 +35,9 @@ enum class FrameType : std::uint8_t {
   kAbort,        ///< either way: unrecoverable failure, unwind
   kStats,        ///< rank: final stats/metrics/commits at termination
   kLinkDown,     ///< rank: reconnect budget to some peer exhausted
+  kCkptAck,      ///< successor: checkpoint round assembled and spilled
+  kCommit,       ///< coordinator -> supervisor pipe: one commit batch
+  kFinal,        ///< coordinator -> supervisor pipe: final RunStats
 };
 
 [[nodiscard]] const char* frame_type_name(FrameType t);
@@ -68,6 +71,10 @@ class FrameParser {
   /// oversized or undersized frame) with `err` describing it.  After -1 the
   /// stream is unusable: the caller must drop the connection.
   [[nodiscard]] int next(FrameView* out, std::string* err);
+
+  /// Bytes currently buffered but not yet consumed.  Exposed so hostile-input
+  /// tests can assert memory stays bounded by one frame's worth of data.
+  [[nodiscard]] std::size_t buffered_bytes() const { return buf_.size() - pos_; }
 
  private:
   std::uint32_t max_frame_;

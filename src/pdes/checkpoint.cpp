@@ -1,11 +1,19 @@
 #include "pdes/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "common/crc32.h"
 #include "pdes/lp_runtime.h"
 
 namespace vsim::pdes {
@@ -28,7 +36,11 @@ std::string RecoveryError::str() const {
 namespace {
 
 constexpr std::uint8_t kMagic[4] = {'V', 'C', 'K', 'P'};
-constexpr std::uint32_t kVersion = 1;
+// v2: appends per-LP state blobs (so a file can revive a fresh process) and
+// a trailing CRC32 over everything before it (so torn spills are detectable
+// by content, not just by decode luck).  v1 files are not readable; nothing
+// durable outlives a run of the version that wrote it.
+constexpr std::uint32_t kVersion = 2;
 
 }  // namespace
 
@@ -137,13 +149,23 @@ std::vector<std::uint8_t> CheckpointStore::encode_portable(
     w.u64(l.rng);
     w.u32(l.blackout_left);
   }
+  w.u64(ck.state_blobs.size());
+  for (const std::vector<std::uint8_t>& b : ck.state_blobs) w.blob(b);
+  w.u32(common::crc32(buf.data(), buf.size()));
   return buf;
 }
 
 bool CheckpointStore::decode_portable(const std::vector<std::uint8_t>& buf,
                                       Checkpoint* out) {
   assert(out != nullptr);
-  bytes::Reader r(buf);
+  // Checksum first: a torn or bit-flipped file must fail here, before any
+  // structural parsing gets a chance to "succeed" on garbage.
+  if (buf.size() < sizeof(kMagic) + 2 * sizeof(std::uint32_t)) return false;
+  const std::size_t body = buf.size() - sizeof(std::uint32_t);
+  std::uint32_t want = 0;
+  for (int i = 3; i >= 0; --i) want = (want << 8) | buf[body + i];
+  if (common::crc32(buf.data(), body) != want) return false;
+  bytes::Reader r(buf.data(), body);
   for (std::uint8_t m : kMagic)
     if (r.u8() != m) return false;
   if (r.u32() != kVersion) return false;
@@ -174,7 +196,12 @@ bool CheckpointStore::decode_portable(const std::vector<std::uint8_t>& buf,
     l.rng = r.u64();
     l.blackout_left = r.u32();
   }
-  if (!r.exhausted()) return false;  // no trailing garbage
+  const std::uint64_t nblobs = r.u64();
+  if (!r.ok() || nblobs > buf.size()) return false;
+  ck.state_blobs.reserve(static_cast<std::size_t>(nblobs));
+  for (std::uint64_t i = 0; i < nblobs && r.ok(); ++i)
+    ck.state_blobs.push_back(r.blob());
+  if (!r.exhausted()) return false;  // no trailing garbage before the crc
   *out = std::move(ck);
   return true;
 }
@@ -201,14 +228,40 @@ void CheckpointStore::spill(const Checkpoint& ck) {
   fs::create_directories(spill_dir_, ec);
   const fs::path path =
       fs::path(spill_dir_) / ("ckpt-" + std::to_string(ck.round) + ".bin");
-  {
-    std::ofstream os(path, std::ios::binary | std::ios::trunc);
-    if (!os ||
-        !os.write(reinterpret_cast<const char*>(blob.data()),
-                  static_cast<std::streamsize>(blob.size()))) {
-      if (!io_error_) io_error_ = "failed to write " + path.string();
-      return;
+  // Atomic spill: write to a private temp name, fsync the data, rename onto
+  // the final name, fsync the directory.  A crash at any point leaves either
+  // the old file, no file, or a stray *.tmp.* (which the restart scan
+  // ignores) -- never a half-written ckpt-N.bin under its real name.  The
+  // temp name carries the pid so concurrent spills of the same round by
+  // different ranks into a shared dir cannot collide.
+  const fs::path tmp = fs::path(spill_dir_) /
+                       ("ckpt-" + std::to_string(ck.round) + ".bin.tmp." +
+                        std::to_string(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    if (!io_error_) io_error_ = "failed to open " + tmp.string();
+    return;
+  }
+  std::size_t off = 0;
+  while (off < blob.size()) {
+    const ::ssize_t n = ::write(fd, blob.data() + off, blob.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
     }
+    off += static_cast<std::size_t>(n);
+  }
+  const bool synced = off == blob.size() && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced || ::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    if (!io_error_) io_error_ = "failed to write " + path.string();
+    return;
+  }
+  const int dfd = ::open(spill_dir_.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
   }
   // Read-back verification: the file on disk must decode to a checkpoint
   // that re-encodes byte-identically, else the spill is useless for
@@ -223,6 +276,59 @@ void CheckpointStore::spill(const Checkpoint& ck) {
     return;
   }
   disk_bytes_ += blob.size();
+}
+
+void CheckpointStore::drop_above(std::uint64_t round) {
+  while (!ring_.empty() && ring_.back().round > round) ring_.pop_back();
+  if (spill_dir_.empty()) return;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(spill_dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("ckpt-", 0) != 0) continue;
+    if (name.size() < 10 || name.substr(name.size() - 4) != ".bin") continue;
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long r = std::strtoull(name.c_str() + 5, &end, 10);
+    if (errno != 0 || end == nullptr || std::string(end) != ".bin") continue;
+    if (r > round) fs::remove(entry.path(), ec);
+  }
+}
+
+std::optional<Checkpoint> CheckpointStore::load_newest_valid(
+    const std::string& dir, std::uint64_t* skipped) {
+  namespace fs = std::filesystem;
+  if (skipped != nullptr) *skipped = 0;
+  // Collect candidates newest-round-first so the common case reads one file.
+  std::vector<std::pair<std::uint64_t, fs::path>> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("ckpt-", 0) != 0) continue;
+    if (name.size() < 10 || name.substr(name.size() - 4) != ".bin") continue;
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long r = std::strtoull(name.c_str() + 5, &end, 10);
+    if (errno != 0 || end == nullptr || std::string(end) != ".bin") continue;
+    files.emplace_back(static_cast<std::uint64_t>(r), entry.path());
+  }
+  std::sort(files.begin(), files.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [round, path] : files) {
+    std::ifstream is(path, std::ios::binary);
+    std::vector<std::uint8_t> buf((std::istreambuf_iterator<char>(is)),
+                                  std::istreambuf_iterator<char>());
+    Checkpoint ck;
+    if (is.bad() || !decode_portable(buf, &ck) || ck.round != round) {
+      std::fprintf(stderr,
+                   "[vsim] skipping corrupt or torn checkpoint %s\n",
+                   path.string().c_str());
+      if (skipped != nullptr) ++*skipped;
+      continue;
+    }
+    return ck;
+  }
+  return std::nullopt;
 }
 
 // ---- capture / restore ----

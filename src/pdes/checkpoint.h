@@ -67,6 +67,12 @@ struct Checkpoint {
   std::vector<VirtualTime> last_promise;  ///< engine null-promise cache
   std::vector<LinkCheckpoint> links;      ///< reliable-layer cursors
   std::vector<FaultLinkCheckpoint> fault_links;  ///< injector RNG cursors
+  /// Encoded LpState bytes per LP (LogicalProcess::encode_state), indexed by
+  /// LpId when present.  The distributed engine fills these so a spilled
+  /// checkpoint is *complete*: a fresh process can revive every LP from the
+  /// file alone.  The in-process engines leave it empty (their `state`
+  /// pointers stay live in memory) and the codec encodes an empty list.
+  std::vector<std::vector<std::uint8_t>> state_blobs;
 };
 
 /// Structured failure surfaced when crash recovery itself fails: the
@@ -97,10 +103,12 @@ struct CheckpointStats {
 };
 
 /// Ring buffer of the most recent checkpoints.  When `spill_dir` is
-/// non-empty, the portable section of every checkpoint is also written to
-/// `<spill_dir>/ckpt-<round>.bin` and read back for verification -- the
-/// LpState snapshots themselves stay in memory (documented limitation: a
-/// disk checkpoint alone cannot revive a fresh process).
+/// non-empty, the portable section of every checkpoint is also written
+/// durably (atomic temp-file + fsync + rename) to
+/// `<spill_dir>/ckpt-<round>.bin` and read back for verification.  When the
+/// checkpoint carries `state_blobs` (the distributed engine's replicated
+/// snapshots do), the file alone can revive a fresh process: see
+/// load_newest_valid().
 class CheckpointStore {
  public:
   explicit CheckpointStore(std::size_t keep = 2, std::string spill_dir = {});
@@ -115,9 +123,23 @@ class CheckpointStore {
     return io_error_;
   }
 
-  /// Serialises everything except the LpState snapshots into a versioned
-  /// little-endian binary blob, and parses it back.  decode returns false
-  /// on any structural corruption (bad magic, truncation, trailing bytes).
+  /// Drops every checkpoint with round > `round`, from the ring AND from the
+  /// spill dir.  Called when a restore rewinds the cluster: snapshots from
+  /// the abandoned timeline must not survive where a later succession could
+  /// restore (or re-emit commits from) them.
+  void drop_above(std::uint64_t round);
+
+  /// Restart path: scans `dir` for ckpt-*.bin files and returns the decoded
+  /// checkpoint with the highest round that passes the checksum + structural
+  /// decode, or nullopt when none does.  Torn or corrupt files are skipped
+  /// with a warning on stderr, never fatal; `skipped` (optional) counts them.
+  [[nodiscard]] static std::optional<Checkpoint> load_newest_valid(
+      const std::string& dir, std::uint64_t* skipped = nullptr);
+
+  /// Serialises everything except the in-memory LpState snapshots into a
+  /// versioned little-endian binary blob (CRC32-terminated so torn writes
+  /// are detectable), and parses it back.  decode returns false on any
+  /// corruption (bad magic, truncation, checksum mismatch, trailing bytes).
   [[nodiscard]] static std::vector<std::uint8_t> encode_portable(
       const Checkpoint& ck);
   [[nodiscard]] static bool decode_portable(

@@ -1,5 +1,6 @@
 #include "pdes/config.h"
 
+#include <cstdlib>
 #include <sstream>
 
 namespace vsim::pdes {
@@ -165,23 +166,30 @@ std::optional<ConfigError> validate(const RunConfig& config) {
 std::optional<ConfigError> validate_distributed(const RunConfig& config) {
   if (auto err = validate(config)) return err;
   if (auto err = validate_net(config.net, config.num_workers)) return err;
-  // Rank 0 is the coordinator: it holds the checkpoint store and the commit
-  // stream, so its death is unrecoverable by construction.  Reject plans
-  // that schedule it to crash instead of failing opaquely mid-run.
-  for (const WorkerCrash& c : config.transport.faults.crashes) {
-    if (c.worker == 0)
-      return fail("faults.crashes",
-                  "rank 0 is the coordinator and cannot be crashed");
-  }
+  if (config.checkpoint.replicas < 1)
+    return fail("checkpoint.replicas",
+                "at least one rank must hold each checkpoint");
+  if (config.checkpoint.resume && config.checkpoint.spill_dir.empty())
+    return fail("checkpoint.resume",
+                "resuming requires a spill_dir to resume from");
   if (config.transport.faults.crash_rate > 0.0)
     return fail("faults.crash_rate",
-                "distributed runs need an explicit crash schedule (a random "
-                "draw could kill the coordinator)");
+                "distributed runs need an explicit crash schedule (random "
+                "per-rank draws are not reproducible across processes)");
   if (config.rebalance.enabled())
     return fail("rebalance.period",
                 "periodic rebalancing is not implemented across processes; "
                 "LPs move only via crash recovery");
   return std::nullopt;
+}
+
+double time_scale() {
+  const char* env = std::getenv("VSIM_TIME_SCALE");
+  if (env == nullptr || *env == '\0') return 1.0;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  if (end == env || !(v >= 1.0)) return 1.0;
+  return v > 100.0 ? 100.0 : v;
 }
 
 }  // namespace vsim::pdes

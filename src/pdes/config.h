@@ -163,6 +163,17 @@ struct CheckpointConfig {
   std::uint32_t max_recoveries = 8;
   /// GVT rounds a worker may miss before it is declared dead.
   std::uint32_t heartbeat_rounds = 1;
+  /// Distributed engine only: how many ranks hold every global checkpoint.
+  /// Each rank fans its checkpoint share out to the `replicas` lowest live
+  /// ranks, each of which assembles and durably spills the full snapshot --
+  /// so the coordinator's death loses neither the checkpoint nor the
+  /// buffered output commits.  Clamped to the rank count; >= 1.
+  std::uint32_t replicas = 2;
+  /// Distributed engine only: before starting, scan `spill_dir` for the
+  /// newest valid spilled snapshot and resume from it instead of from the
+  /// initial state (kill -9 of the whole process tree is survivable).
+  /// Requires a non-empty `spill_dir`.
+  bool resume = false;
 };
 
 /// Socket layer of the multi-process distributed engine (pdes/distributed.h,
@@ -227,8 +238,14 @@ std::optional<ConfigError> validate_net(const NetConfig& net,
 struct RunConfig;
 std::optional<ConfigError> validate(const RunConfig& config);
 /// Everything validate() checks plus the distributed-engine-specific rules
-/// (net parameters, no coordinator crashes, no periodic rebalancing).
+/// (net parameters, explicit crash schedules only, no periodic rebalancing).
 std::optional<ConfigError> validate_distributed(const RunConfig& config);
+
+/// Wall-clock scale factor from $VSIM_TIME_SCALE (>= 1, clamped to [1, 100];
+/// unset or unparsable reads as 1).  Sanitizer CI legs set it so heartbeat
+/// timeouts, reconnect budgets, and test watchdogs all stretch together
+/// instead of a slow instrumented run being mistaken for a dead rank.
+[[nodiscard]] double time_scale();
 
 /// Parameters of the self-adaptation policy (evaluated per LP at GVT rounds).
 struct AdaptPolicy {

@@ -1,5 +1,7 @@
 #include "pdes/distributed.h"
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/prctl.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -11,6 +13,8 @@
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
+#include <set>
+#include <tuple>
 
 #include "net/node.h"
 #include "net/socket.h"
@@ -32,8 +36,12 @@ constexpr std::uint32_t kIdleSpinRound = 16;
 /// coordinator issues another pass.
 constexpr std::int64_t kDrainFlushBudgetMs = 50;
 /// Checkpoint rounds of fault-injector cursors each rank keeps locally.
-/// Round 0 is always retained as the rewind of last resort.
+/// The baseline round is always retained as the rewind of last resort.
 constexpr std::size_t kFaultRingKeep = 32;
+/// Epoch layout: (term << kEpochSeqBits) | seq.  Ordinary recoveries bump
+/// the sequence; a coordinator promotion bumps the term past every epoch
+/// the promoting rank has seen, fencing stale control traffic for good.
+constexpr std::uint32_t kEpochSeqBits = 20;
 
 template <typename T>
 void store_relaxed(const T& field, T v) {
@@ -144,6 +152,140 @@ void add_transport_counters(TransportCounters& into,
   into.buffered += from.buffered;
 }
 
+/// Full RunStats codec for the kFinal pipe frame: the terminating
+/// coordinator is a forked child, so the run's results cross a process
+/// boundary exactly once, as bytes.  The final partition rides along (the
+/// supervisor's copy predates every recovery).
+void encode_run_stats(bytes::Writer& w, const RunStats& st,
+                      const Partition& part) {
+  w.u64(st.per_lp.size());
+  for (const LpStats& s : st.per_lp) encode_lp_stats(w, s);
+  w.u64(st.per_worker.size());
+  for (const WorkerStats& s : st.per_worker) encode_worker_stats(w, s);
+  w.u64(st.gvt_rounds);
+  w.u8(st.deadlocked ? 1 : 0);
+  w.f64(st.makespan);
+  encode_transport_counters(w, st.transport);
+  w.u8(st.transport_error ? 1 : 0);
+  if (st.transport_error) {
+    w.u32(st.transport_error->src_worker);
+    w.u32(st.transport_error->dst_worker);
+    w.u64(st.transport_error->seq);
+    w.u32(st.transport_error->attempts);
+    w.str(st.transport_error->message);
+  }
+  w.u8(st.deadlock_report ? 1 : 0);
+  if (st.deadlock_report) {
+    w.vt(st.deadlock_report->gvt);
+    w.u8(st.deadlock_report->transport_starvation ? 1 : 0);
+    w.u64(st.deadlock_report->blocked.size());
+    for (const DeadlockReport::LpDiag& d : st.deadlock_report->blocked) {
+      w.u32(d.id);
+      w.vt(d.next_ts);
+      w.vt(d.min_channel_clock);
+      w.u64(d.pending);
+      w.u8(static_cast<std::uint8_t>(d.mode));
+    }
+  }
+  w.u64(st.checkpoint.checkpoints);
+  w.u64(st.checkpoint.crashes);
+  w.u64(st.checkpoint.recoveries);
+  w.u64(st.checkpoint.lps_restored);
+  w.u64(st.checkpoint.disk_bytes);
+  w.f64(st.checkpoint.overhead_cost);
+  w.u8(st.recovery_error ? 1 : 0);
+  if (st.recovery_error) {
+    w.u32(st.recovery_error->worker);
+    w.u64(st.recovery_error->round);
+    w.u32(st.recovery_error->recoveries_used);
+    w.str(st.recovery_error->message);
+  }
+  w.u8(st.config_error ? 1 : 0);
+  if (st.config_error) {
+    w.str(st.config_error->field);
+    w.str(st.config_error->message);
+  }
+  w.u32(st.final_coordinator);
+  w.u32(st.final_epoch);
+  std::vector<std::uint8_t> snap;
+  bytes::Writer sw(snap);
+  obs::encode_snapshot(sw, st.metrics);
+  w.blob(snap);
+  w.u64(part.size());
+  for (const std::uint32_t owner : part) w.u32(owner);
+}
+
+bool decode_run_stats(bytes::Reader& r, RunStats* st, Partition* part) {
+  const std::uint64_t nlp = r.u64();
+  st->per_lp.clear();
+  for (std::uint64_t i = 0; r.ok() && i < nlp; ++i)
+    st->per_lp.push_back(decode_lp_stats(r));
+  const std::uint64_t nw = r.u64();
+  st->per_worker.clear();
+  for (std::uint64_t i = 0; r.ok() && i < nw; ++i)
+    st->per_worker.push_back(decode_worker_stats(r));
+  st->gvt_rounds = r.u64();
+  st->deadlocked = r.u8() != 0;
+  st->makespan = r.f64();
+  st->transport = decode_transport_counters(r);
+  if (r.u8() != 0) {
+    TransportError err;
+    err.src_worker = r.u32();
+    err.dst_worker = r.u32();
+    err.seq = r.u64();
+    err.attempts = r.u32();
+    err.message = r.str();
+    st->transport_error = std::move(err);
+  }
+  if (r.u8() != 0) {
+    DeadlockReport report;
+    report.gvt = r.vt();
+    report.transport_starvation = r.u8() != 0;
+    const std::uint64_t nblocked = r.u64();
+    for (std::uint64_t i = 0; r.ok() && i < nblocked; ++i) {
+      DeadlockReport::LpDiag d;
+      d.id = r.u32();
+      d.next_ts = r.vt();
+      d.min_channel_clock = r.vt();
+      d.pending = static_cast<std::size_t>(r.u64());
+      d.mode = static_cast<SyncMode>(r.u8());
+      report.blocked.push_back(d);
+    }
+    st->deadlock_report = std::move(report);
+  }
+  st->checkpoint.checkpoints = r.u64();
+  st->checkpoint.crashes = r.u64();
+  st->checkpoint.recoveries = r.u64();
+  st->checkpoint.lps_restored = r.u64();
+  st->checkpoint.disk_bytes = r.u64();
+  st->checkpoint.overhead_cost = r.f64();
+  if (r.u8() != 0) {
+    RecoveryError err;
+    err.worker = r.u32();
+    err.round = r.u64();
+    err.recoveries_used = r.u32();
+    err.message = r.str();
+    st->recovery_error = std::move(err);
+  }
+  if (r.u8() != 0) {
+    ConfigError err;
+    err.field = r.str();
+    err.message = r.str();
+    st->config_error = std::move(err);
+  }
+  st->final_coordinator = r.u32();
+  st->final_epoch = r.u32();
+  bytes::Reader sr = r.sub();
+  if (r.ok()) {
+    obs::MetricsSnapshot snap;
+    if (obs::decode_snapshot(sr, &snap)) st->metrics = std::move(snap);
+  }
+  const std::uint64_t npart = r.u64();
+  part->clear();
+  for (std::uint64_t i = 0; r.ok() && i < npart; ++i) part->push_back(r.u32());
+  return r.ok();
+}
+
 }  // namespace
 
 /// Seeds the initial event set before any transport exists.  Enqueueing a
@@ -179,9 +321,10 @@ class DistributedEngine::DistRouter final : public Router {
 
   void commit(const Event& ev) override {
     if (!eng_.want_commits_) return;
-    // Every rank buffers: commits validated below GVT are released only by
-    // rank 0, either when a checkpoint covers them or at termination, so a
-    // recovery that rewinds the cluster can never double-report one.
+    // Every rank buffers: commits validated below GVT reach the supervisor
+    // pipe only from the coordinator, and only once a replicated checkpoint
+    // covers them (or at termination), so neither a recovery that rewinds
+    // the cluster nor a coordinator failover can double-report one.
     eng_.commit_buf_[ev.dst].push_back(ev);
   }
 
@@ -199,6 +342,18 @@ DistributedEngine::DistributedEngine(LpGraph& graph, Partition partition,
   // The real wire loses and replays frames across reconnects; only the
   // reliable channel layer can hand the engine an exactly-once stream.
   config_.transport.reliable = true;
+  // Sanitizer / loaded-CI legs stretch every wall-clock liveness budget
+  // uniformly (VSIM_TIME_SCALE) so slow execution is not mistaken for death.
+  const double ts = time_scale();
+  if (ts > 1.0) {
+    const auto scale = [ts](std::uint32_t v) {
+      return static_cast<std::uint32_t>(static_cast<double>(v) * ts);
+    };
+    config_.net.heartbeat_timeout_ms = scale(config_.net.heartbeat_timeout_ms);
+    config_.net.connect_timeout_ms = scale(config_.net.connect_timeout_ms);
+    config_.net.reconnect_max_ms = scale(config_.net.reconnect_max_ms);
+  }
+  replicas_ = std::min<std::uint32_t>(config_.checkpoint.replicas, nranks_);
 
   lps_.reserve(graph_.size());
   key_.assign(graph_.size(), kTimeInf);
@@ -220,6 +375,7 @@ DistributedEngine::DistributedEngine(LpGraph& graph, Partition partition,
   pids_.assign(nranks_, -1);
   reaped_.assign(nranks_, false);
   votes_.resize(nranks_);
+  succ_ack_.assign(nranks_, 0);
   stats_got_.assign(nranks_, false);
   final_lp_stats_.resize(graph_.size());
   final_lp_got_.assign(graph_.size(), false);
@@ -248,8 +404,9 @@ DistributedEngine::DistributedEngine(LpGraph& graph, Partition partition,
 }
 
 DistributedEngine::~DistributedEngine() {
-  if (own_socket_dir_ && rank_ == 0 && !config_.net.socket_dir.empty()) {
-    // Best-effort cleanup of the auto-created socket directory.
+  if (own_socket_dir_ && !is_child_ && !config_.net.socket_dir.empty()) {
+    // Best-effort cleanup of the auto-created socket directory (supervisor
+    // only: children share the path and must not yank it from each other).
     for (std::uint32_t r = 0; r < nranks_; ++r) {
       const std::string p =
           config_.net.socket_dir + "/rank-" + std::to_string(r) + ".sock";
@@ -274,11 +431,30 @@ void DistributedEngine::note_progress(VirtualTime gvt) {
   store_relaxed(dump_gvt_lt_, static_cast<std::int64_t>(gvt.lt));
 }
 
+void DistributedEngine::note_round(std::uint64_t round) {
+  if (round > max_round_seen_) max_round_seen_ = round;
+}
+
 std::size_t DistributedEngine::live_ranks() const {
   std::size_t n = 0;
   for (std::uint32_t r = 0; r < nranks_; ++r)
     if (!retired_[r]) ++n;
   return n;
+}
+
+std::vector<std::uint32_t> DistributedEngine::successor_set() const {
+  // The `replicas_` lowest live ranks.  Deterministic given the retired
+  // set, which every rank applies from the same kRecover broadcasts -- so
+  // senders and receivers of checkpoint shares agree on it at every round.
+  std::vector<std::uint32_t> s;
+  for (std::uint32_t r = 0; r < nranks_ && s.size() < replicas_; ++r)
+    if (!retired_[r]) s.push_back(r);
+  return s;
+}
+
+bool DistributedEngine::is_successor(std::uint32_t r) const {
+  const std::vector<std::uint32_t> s = successor_set();
+  return std::find(s.begin(), s.end(), r) != s.end();
 }
 
 void DistributedEngine::refresh_key(LpId lp) { key_[lp] = lps_[lp].next_ts(); }
@@ -322,12 +498,12 @@ void DistributedEngine::setup_stack_or_die() {
   }
 
   // Startup barrier.  A fast rank's own mesh can complete before the
-  // coordinator's dials do, and every rank holds its seed events locally --
-  // so without a barrier a rank with an early scripted crash could process
-  // its way to the crash time and die while rank 0 is still connecting,
-  // turning a recoverable mid-run death into a bogus startup timeout.
-  // Rank 0 announces the full mesh with kResume; everyone else holds all
-  // protocol work until the announcement arrives.
+  // initial coordinator's dials do, and every rank holds its seed events
+  // locally -- so without a barrier a rank with an early scripted crash
+  // could process its way to the crash time and die while rank 0 is still
+  // connecting, turning a recoverable mid-run death into a bogus startup
+  // timeout.  Rank 0 announces the full mesh with kResume; everyone else
+  // holds all protocol work until the announcement arrives.
   if (rank_ == 0) {
     broadcast(net::FrameType::kResume, {});
     return;
@@ -476,9 +652,9 @@ void DistributedEngine::capture_fault_ring(std::uint64_t round) {
   if (!faulty_) return;
   fault_ring_[round] = faulty_->capture_links();
   while (fault_ring_.size() > kFaultRingKeep) {
-    // Trim oldest, but never round 0: the rewind of last resort.
+    // Trim oldest, but never the baseline: the rewind of last resort.
     auto it = fault_ring_.begin();
-    if (it->first == 0) ++it;
+    if (it->first == baseline_round_) ++it;
     if (it == fault_ring_.end()) break;
     fault_ring_.erase(it);
   }
@@ -502,6 +678,16 @@ void DistributedEngine::apply_restore(const Checkpoint& ck) {
   }
   if (want_commits_)
     for (auto& buf : commit_buf_) buf.clear();
+  // Everything belonging to rounds past the restore point is from the
+  // abandoned timeline: partial assemblies, retained commit batches, and
+  // (crucially) spilled snapshots a later succession could restore from.
+  // drop_above never touches the ring's maximum round, so a `store_
+  // .latest()` pointer the caller holds for THIS restore stays valid.
+  pending_ck_.clear();
+  unreleased_.erase(unreleased_.upper_bound(ck.round), unreleased_.end());
+  retained_batches_.erase(retained_batches_.upper_bound(ck.round),
+                          retained_batches_.end());
+  if (ft_on_) store_.drop_above(ck.round);
   owned_.clear();
   for (LpId id = 0; id < graph_.size(); ++id)
     if (partition_[id] == rank_) owned_.push_back(id);
@@ -533,26 +719,34 @@ void DistributedEngine::encode_lp_share(bytes::Writer& w, LpId id,
 
 bool DistributedEngine::decode_lp_share(bytes::Reader& r, LpId* id,
                                         LpCheckpoint* out, double* work,
-                                        VirtualTime* promise) {
+                                        VirtualTime* promise,
+                                        std::vector<std::uint8_t>* state_bytes) {
   *id = r.u32();
   *work = r.f64();
   *promise = r.vt();
   const bool has_state = r.u8() != 0;
-  bytes::Reader sr = r.sub();
+  std::vector<std::uint8_t> sbytes = r.blob();
   bytes::Reader pr = r.sub();
   if (!r.ok() || *id >= graph_.size()) return false;
   LpCheckpoint ck;
   if (!decode_lp_checkpoint(pr, &ck) || !pr.exhausted()) return false;
   if (has_state) {
+    bytes::Reader sr(sbytes.data(), sbytes.size());
     ck.state = graph_.lp(*id).decode_state(sr);
     if (!ck.state) return false;
+  }
+  if (state_bytes != nullptr) {
+    if (has_state)
+      *state_bytes = std::move(sbytes);
+    else
+      state_bytes->clear();
   }
   *out = std::move(ck);
   return true;
 }
 
 // ---------------------------------------------------------------------------
-// run(): seed, probe, fork, then split into coordinator and rank mains.
+// run(): seed, resume/baseline, fork every rank, then supervise.
 // ---------------------------------------------------------------------------
 
 RunStats DistributedEngine::run() {
@@ -573,13 +767,57 @@ RunStats DistributedEngine::run() {
     }
   }
 
+  // Restart path: revive the cluster from the newest durable snapshot in
+  // the spill dir, skipping torn/corrupt files.  A dir with no valid
+  // snapshot is a cold start from the seed events, not an error.
+  std::uint64_t resume_round = 0;
+  if (ft_on_ && config_.checkpoint.resume) {
+    std::uint64_t skipped = 0;
+    std::optional<Checkpoint> ck =
+        CheckpointStore::load_newest_valid(config_.checkpoint.spill_dir,
+                                           &skipped);
+    (void)skipped;
+    if (ck) {
+      if (ck->lps.size() != graph_.size() ||
+          ck->last_promise.size() != graph_.size() ||
+          ck->state_blobs.size() != graph_.size()) {
+        out.config_error = ConfigError{
+            "checkpoint.resume",
+            "spilled snapshot does not match this LP graph"};
+        config_error_ = out.config_error;
+        return out;
+      }
+      for (LpId id = 0; id < graph_.size(); ++id) {
+        if (ck->state_blobs[id].empty()) continue;
+        bytes::Reader sr(ck->state_blobs[id].data(),
+                         ck->state_blobs[id].size());
+        ck->lps[id].state = graph_.lp(id).decode_state(sr);
+        if (!ck->lps[id].state) {
+          out.config_error = ConfigError{
+              "checkpoint.resume",
+              "LP '" + graph_.lp(id).name() +
+                  "': spilled state failed to decode"};
+          config_error_ = out.config_error;
+          return out;
+        }
+      }
+      for (LpId id = 0; id < graph_.size(); ++id) {
+        lps_[id].restore_from(ck->lps[id]);
+        key_[id] = lps_[id].next_ts();
+      }
+      last_promise_ = ck->last_promise;
+      safe_bound_ = ck->gvt;
+      resume_round = ck->round;
+    }
+  }
+
   if (ft_on_) {
-    // Round-zero baseline, taken before the fork: every rank inherits the
-    // fault-ring entry, rank 0 keeps the store, and recovery always has a
-    // line to rewind to even when the first kill precedes the first
-    // periodic checkpoint.  A throwaway stack stands in for the per-rank
-    // ones (a fresh ChannelStack and FaultyTransport have exactly the
-    // cursors every rank starts from after the fork).
+    // Baseline checkpoint, taken before the fork: every rank inherits the
+    // fault-ring entry and the store copy, so recovery always has a line to
+    // rewind to even when the first kill precedes the first periodic
+    // checkpoint.  A throwaway stack stands in for the per-rank ones (a
+    // fresh ChannelStack and FaultyTransport have exactly the cursors every
+    // rank starts from after the fork).
     struct NullWire final : Transport {
       void submit(Packet&&, double) override {}
     } null_wire;
@@ -588,11 +826,14 @@ RunStats DistributedEngine::run() {
       probe_faulty = std::make_unique<FaultyTransport>(
           null_wire, nranks_, config_.transport.faults);
     const ChannelStack probe_net(null_wire, nranks_, config_.transport);
-    Checkpoint ck0 = capture_checkpoint(0, kTimeZero, lps_, last_promise_,
-                                        probe_net, probe_faulty.get());
+    Checkpoint ck0 = capture_checkpoint(resume_round, safe_bound_, lps_,
+                                        last_promise_, probe_net,
+                                        probe_faulty.get());
     // Probe the byte codecs up front: recovery must be able to ship every
     // LP's state across a process boundary, and failing at the first kill
-    // would be a far worse place to find out.
+    // would be a far worse place to find out.  The probe output doubles as
+    // the baseline's state blobs, making the spilled file self-contained.
+    ck0.state_blobs.assign(graph_.size(), {});
     for (LpId id = 0; id < graph_.size(); ++id) {
       if (!ck0.lps[id].state) continue;  // can_save_state()==false is fine
       std::vector<std::uint8_t> tmp;
@@ -606,46 +847,88 @@ RunStats DistributedEngine::run() {
         config_error_ = out.config_error;
         return out;
       }
+      ck0.state_blobs[id] = std::move(tmp);
     }
-    if (probe_faulty) fault_ring_[0] = probe_faulty->capture_links();
+    if (probe_faulty) fault_ring_[resume_round] = probe_faulty->capture_links();
+    baseline_round_ = resume_round;
+    gvt_rounds_ = max_round_seen_ = resume_round;
+    last_gvt_ = last_ckpt_gvt_ = safe_bound_;
     store_.put(std::move(ck0));
     ++ckstats_.checkpoints;
   }
 
-  // Fork ranks 1..P-1.  Children never return from run(): they _exit, so
-  // no test-harness state unwinds twice.
+  // Fork ALL ranks 0..P-1; this process becomes the supervisor.  Children
+  // never return from run(): they _exit, so no test-harness state unwinds
+  // twice.  Result pipes are created first so every child can close the
+  // ends it does not own.
   std::fflush(nullptr);
-  for (std::uint32_t r = 1; r < nranks_; ++r) {
+  pipe_r_.assign(nranks_, -1);
+  std::vector<int> pipe_w(nranks_, -1);
+  for (std::uint32_t r = 0; r < nranks_; ++r) {
+    int fds[2] = {-1, -1};
+    if (::pipe(fds) != 0) {
+      for (std::uint32_t k = 0; k < r; ++k) {
+        ::close(pipe_r_[k]);
+        ::close(pipe_w[k]);
+      }
+      pipe_r_.assign(nranks_, -1);
+      out.config_error = ConfigError{
+          "net", std::string("pipe failed: ") + std::strerror(errno)};
+      return out;
+    }
+    pipe_r_[r] = fds[0];
+    pipe_w[r] = fds[1];
+  }
+  for (std::uint32_t r = 0; r < nranks_; ++r) {
     const pid_t pid = ::fork();
     if (pid < 0) {
-      for (std::uint32_t k = 1; k < r; ++k)
+      for (std::uint32_t k = 0; k < r; ++k)
         if (pids_[k] > 0) ::kill(pids_[k], SIGKILL);
       reap_children(true);
-      out.config_error =
-          ConfigError{"net", std::string("fork failed: ") +
-                                 std::strerror(errno)};
+      for (std::uint32_t k = 0; k < nranks_; ++k) {
+        ::close(pipe_r_[k]);
+        ::close(pipe_w[k]);
+      }
+      pipe_r_.assign(nranks_, -1);
+      out.config_error = ConfigError{
+          "net", std::string("fork failed: ") + std::strerror(errno)};
       return out;
     }
     if (pid == 0) {
       ::prctl(PR_SET_PDEATHSIG, SIGKILL);
-      if (::getppid() == 1) _exit(4);  // coordinator already gone
+      if (::getppid() == 1) _exit(4);  // supervisor already gone
+      std::signal(SIGPIPE, SIG_IGN);   // a dead supervisor must not kill us
       rank_ = r;
+      is_child_ = true;
+      pipe_w_ = pipe_w[r];
+      for (std::uint32_t k = 0; k < nranks_; ++k) {
+        ::close(pipe_r_[k]);
+        if (k != r) ::close(pipe_w[k]);
+      }
+      pipe_r_.assign(nranks_, -1);
       child_main();  // noreturn
     }
     pids_[r] = static_cast<int>(pid);
   }
-  rank_ = 0;
-  coordinator_main(out);
+  for (std::uint32_t r = 0; r < nranks_; ++r) {
+    ::close(pipe_w[r]);
+    ::fcntl(pipe_r_[r], F_SETFL, O_NONBLOCK);
+  }
+  supervisor_main(out);
   reap_children(true);
+  for (std::uint32_t r = 0; r < nranks_; ++r) {
+    if (pipe_r_[r] >= 0) ::close(pipe_r_[r]);
+    pipe_r_[r] = -1;
+  }
   return out;
 }
 
 void DistributedEngine::reap_children(bool force) {
-  if (rank_ != 0) return;
+  if (is_child_) return;
   const std::int64_t deadline = net::now_ms() + 2000;
   for (;;) {
     bool all = true;
-    for (std::uint32_t r = 1; r < nranks_; ++r) {
+    for (std::uint32_t r = 0; r < nranks_; ++r) {
       if (pids_[r] <= 0 || reaped_[r]) continue;
       int status = 0;
       const pid_t got = ::waitpid(pids_[r], &status, WNOHANG);
@@ -657,7 +940,7 @@ void DistributedEngine::reap_children(bool force) {
     }
     if (all || !force) return;
     if (net::now_ms() >= deadline) {
-      for (std::uint32_t r = 1; r < nranks_; ++r) {
+      for (std::uint32_t r = 0; r < nranks_; ++r) {
         if (pids_[r] <= 0 || reaped_[r]) continue;
         ::kill(pids_[r], SIGKILL);
         ::waitpid(pids_[r], nullptr, 0);
@@ -670,45 +953,51 @@ void DistributedEngine::reap_children(bool force) {
 }
 
 // ---------------------------------------------------------------------------
-// Rank side (forked children).
+// Unified per-rank driver.
 // ---------------------------------------------------------------------------
 
 void DistributedEngine::child_main() {
   setup_stack_or_die();
+  if (config_error_) {
+    // Only rank 0 can get here (other ranks _exit inside setup); it owns
+    // reporting startup failure through its pipe.
+    RunStats rs;
+    rs.config_error = config_error_;
+    pipe_final(rs);
+    _exit(5);
+  }
   owned_.clear();
   for (LpId id = 0; id < graph_.size(); ++id)
     if (partition_[id] == rank_) owned_.push_back(id);
-  rank_loop();
-  _exit(0);
+  main_loop();
+  // Only the final coordinator falls out of main_loop (workers _exit on
+  // their stop/abort paths).
+  RunStats rs;
+  coordinator_finish(rs);
+  pipe_final(rs);
+  _exit(failed_ ? 2 : 0);
 }
 
-void DistributedEngine::rank_loop() {
-  std::uint32_t idle_spins = 0;
-  bool error_reported = false;
-  for (;;) {
+void DistributedEngine::main_loop() {
+  while (!stopping_) {
     const bool busy = in_round_ || recovering_;
-    const std::size_t io = pump_io(busy || idle_spins < 2 ? 0 : 1);
+    const std::size_t io = pump_io(busy || idle_spins_ < 2 ? 0 : 1);
 
     while (!ctrl_.empty()) {
       ControlMsg m = std::move(ctrl_.front());
       ctrl_.pop_front();
-      rank_handle(m);
+      handle_ctrl(m);
     }
+    if (stopping_) break;
 
-    // Rank-0 liveness: PDEATHSIG covers coordinator process death, this
-    // covers a coordinator whose socket went silent (hung or partitioned).
-    // The margin is 2x the death-detection timeout -- rank 0 pumps from
-    // every wait loop, so silence that long means it is gone for good.
-    if (node_->last_heard_ms(0) + 2 * config_.net.heartbeat_timeout_ms <
-        net::now_ms())
-      _exit(3);
-    if (node_->link_failed(0)) _exit(3);
-
-    if (auto err = net_->error(); err && !error_reported) {
-      // The reliable layer gave up on one of our links: report and die.
-      // The coordinator turns the report into a global stop.
-      error_reported = true;
-      rank_abort_transport(*err);
+    if (rank_ == coord_) {
+      if (check_deaths()) {
+        if (!coordinator_recover()) break;
+        continue;
+      }
+    } else {
+      if (monitor_cluster()) continue;  // just promoted: restart as coord
+      if (auto err = net_->error()) rank_abort_transport(*err);
     }
 
     if (in_round_ || recovering_) continue;
@@ -724,21 +1013,122 @@ void DistributedEngine::rank_loop() {
       }
       if (!ctrl_.empty()) break;
     }
-
     if (processed || io > 0) {
-      idle_spins = 0;
+      idle_spins_ = 0;
     } else {
-      ++idle_spins;
+      ++idle_spins_;
     }
-    if (!round_req_sent_ && (events_since_round_ >= config_.gvt_interval ||
-                             idle_spins == kIdleSpinRound)) {
+
+    if (rank_ == coord_) {
+      // Time-based fallback: even if activity accounting keeps the spin
+      // counter low, a round every ~50ms guarantees GVT (and termination
+      // detection) always advances on a quiet cluster.
+      const bool want_round = round_req_ || net_->error().has_value() ||
+                              remote_transport_error_.has_value() ||
+                              events_since_round_ >= config_.gvt_interval ||
+                              idle_spins_ >= kIdleSpinRound ||
+                              net::now_ms() >= last_round_ms_ + 50;
+      if (want_round) {
+        idle_spins_ = 0;
+        const bool keep_going = coordinator_round();
+        last_round_ms_ = net::now_ms();
+        if (!keep_going) break;
+      }
+    } else if (!round_req_sent_ &&
+               (events_since_round_ >= config_.gvt_interval ||
+                idle_spins_ == kIdleSpinRound)) {
       // Ask the coordinator for a round; once per round keeps the control
       // plane quiet (the coordinator has its own interval trigger too).
       round_req_sent_ = true;
-      node_->send(0, net::FrameType::kRoundReq, {});
+      node_->send(coord_, net::FrameType::kRoundReq, {});
     }
   }
 }
+
+void DistributedEngine::handle_ctrl(const ControlMsg& m) {
+  if (m.epoch > max_epoch_seen_) max_epoch_seen_ = m.epoch;
+  if (rank_ == coord_)
+    coordinator_handle(m);
+  else
+    rank_handle(m);
+}
+
+bool DistributedEngine::monitor_cluster() {
+  // Deterministic succession: this rank takes over exactly when the
+  // coordinator AND every live rank below it have gone silent -- so for a
+  // given surviving set there is exactly one rank whose condition can ever
+  // become true, and two survivors can never promote concurrently (the
+  // lower one is, by being alive, the reason the upper one holds back).
+  const std::int64_t now = net::now_ms();
+  const auto silent = [&](std::uint32_t r) {
+    return node_->link_failed(r) ||
+           node_->last_heard_ms(r) +
+                   2 * static_cast<std::int64_t>(
+                           config_.net.heartbeat_timeout_ms) <
+               now;
+  };
+  if (!silent(coord_)) return false;
+  for (std::uint32_t r = 0; r < rank_; ++r)
+    if (!retired_[r] && !silent(r)) return false;
+  if (ft_on_ && !is_successor(rank_)) abort_replica_lost();
+  // Without fault tolerance the lowest survivor still promotes -- not to
+  // recover, but so coordinator_recover can fail the run with the same
+  // structured "died without fault tolerance" error a worker death gets.
+  promote_self();
+  return true;
+}
+
+void DistributedEngine::promote_self() {
+  for (std::uint32_t r = 0; r < rank_; ++r)
+    if (!retired_[r]) dead_pending_[r] = true;
+  coord_ = rank_;
+  // Term-level epoch bump: past everything we have ever seen, offset by our
+  // rank so even two theoretically-concurrent promotions (which succession
+  // already prevents) could not mint the same epoch.
+  const std::uint32_t term =
+      (std::max(epoch_, max_epoch_seen_) >> kEpochSeqBits) + 1 + rank_;
+  epoch_ = term << kEpochSeqBits;
+  if (epoch_ > max_epoch_seen_) max_epoch_seen_ = epoch_;
+  node_->set_epoch(epoch_);
+  // Rounds stay globally monotone across the takeover: never hand out a
+  // round number at or below one the old regime might have released.
+  gvt_rounds_ = std::max(gvt_rounds_, max_round_seen_);
+  in_round_ = false;
+  recovering_ = false;
+  round_req_sent_ = false;
+  collecting_ = false;
+  round_req_ = false;
+  // Output-commit handoff: re-emit every batch this successor retained.
+  // The supervisor dedups by round, so batches the old coordinator already
+  // released are dropped there and batches it never released emit exactly
+  // once -- the committed trace is seamless across the failover.
+  for (auto& [round, batch] : retained_batches_)
+    pipe_commit_batch(round, batch, false);
+  retained_batches_.clear();
+  succ_ack_.assign(nranks_, 0);
+  last_round_ms_ = net::now_ms();
+  last_total_events_ = ~0ull;  // first post-promotion round never stalls
+  stall_rounds_ = 0;
+  rounds_since_ckpt_ = 0;
+  last_gvt_ = last_ckpt_gvt_ = safe_bound_;
+}
+
+void DistributedEngine::abort_replica_lost() {
+  // The coordinator and every rank holding a checkpoint replica are gone:
+  // nothing this rank could restore would be consistent with the commits
+  // already released, so a structured failure beats a silent hang.
+  fail_run(coord_,
+           "coordinator and every checkpoint replica died; no surviving "
+           "rank holds a snapshot to take over from");
+  RunStats rs;
+  coordinator_finish(rs);
+  pipe_final(rs);
+  _exit(2);
+}
+
+// ---------------------------------------------------------------------------
+// Worker duties (rank_ != coord_).
+// ---------------------------------------------------------------------------
 
 void DistributedEngine::rank_handle(const ControlMsg& m) {
   using net::FrameType;
@@ -754,6 +1144,7 @@ void DistributedEngine::rank_handle(const ControlMsg& m) {
       const std::uint64_t round = r.u64();
       const std::uint32_t pass = r.u32();
       if (!r.ok()) return;
+      note_round(round);
       in_round_ = true;
       rank_drain_pass(round, pass);
       break;
@@ -765,8 +1156,13 @@ void DistributedEngine::rank_handle(const ControlMsg& m) {
       recovering_ = false;
       in_round_ = false;
       break;
+    case FrameType::kCkptData:
+      // Successors assemble every rank's share, exactly as the coordinator
+      // does; that replica is what makes the coordinator's death survivable.
+      if (ft_on_ && is_successor(rank_)) ckpt_ingest(m.src, m);
+      break;
     default:
-      break;  // kHello/kHeartbeat handled below us; others are rank-0 only
+      break;  // kHello/kHeartbeat handled below us; rest is coordinator-only
   }
 }
 
@@ -809,7 +1205,7 @@ void DistributedEngine::rank_drain_pass(std::uint64_t round,
   } else {
     w.u8(0);
   }
-  node_->send(0, net::FrameType::kDrainAck, p);
+  node_->send(coord_, net::FrameType::kDrainAck, p);
 }
 
 void DistributedEngine::rank_apply_gvt(const ControlMsg& m) {
@@ -821,76 +1217,40 @@ void DistributedEngine::rank_apply_gvt(const ControlMsg& m) {
   if (!r.ok()) return;
   safe_bound_ = gvt;
   note_progress(gvt);
+  note_round(round);
   store_relaxed(dump_rounds_, round);
-  DistRouter router(*this);
-
   if (stop) rank_finish(false);
-
-  if (ckpt_due) {
-    // Same capture discipline as the shared checkpoint path: fossil to the
-    // new frontier, undo the speculative suffix without anti-messages, then
-    // snapshot and ship our share of the cut to the coordinator.
-    for (const LpId lp : owned_) {
-      lps_[lp].fossil_collect(gvt, router);
-      lps_[lp].rollback_all_deferred();
-      refresh_key(lp);
-    }
-    capture_fault_ring(round);
-    std::vector<std::uint8_t> p;
-    bytes::Writer w(p);
-    w.u64(round);
-    w.vt(gvt);
-    w.u64(owned_.size());
-    for (const LpId lp : owned_) {
-      const LpStats& s = lps_[lp].stats();
-      const double work = static_cast<double>(
-          s.events_processed -
-          std::min(s.events_processed, s.events_undone));
-      const LpCheckpoint lpck = lps_[lp].make_checkpoint();
-      encode_lp_share(w, lp, lpck, work);
-    }
-    std::uint64_t ncommits = 0;
-    if (want_commits_)
-      for (const LpId lp : owned_) ncommits += commit_buf_[lp].size();
-    w.u64(ncommits);
-    if (want_commits_) {
-      for (const LpId lp : owned_) {
-        for (const Event& ev : commit_buf_[lp]) encode_event(w, ev);
-        commit_buf_[lp].clear();
-      }
-    }
-    node_->send(0, net::FrameType::kCkptData, p);
-  } else {
-    for (const LpId lp : owned_) lps_[lp].fossil_collect(gvt, router);
-  }
-  for (const LpId lp : owned_) {
-    if (config_.configuration == Configuration::kDynamic)
-      adapt_lp(lps_[lp], config_.adapt);
-    else
-      lps_[lp].reset_window();
-    if (config_.strategy == ConservativeStrategy::kNullMessage)
-      send_null_messages_for(lp);
-  }
-  events_since_round_ = 0;
-  round_req_sent_ = false;
-  in_round_ = false;
+  apply_gvt_local(round, gvt, ckpt_due);
 }
 
 void DistributedEngine::rank_apply_recover(const ControlMsg& m) {
   bytes::Reader r(m.payload.data(), m.payload.size());
   const std::uint32_t new_epoch = r.u32();
+  const std::uint32_t recov = r.u32();
   if (!r.ok() || new_epoch <= epoch_) return;  // replay of an older recovery
   Checkpoint ck;
   ck.round = r.u64();
   ck.gvt = r.vt();
   const std::uint64_t ndead = r.u64();
-  for (std::uint64_t i = 0; r.ok() && i < ndead; ++i) {
-    const std::uint32_t d = r.u32();
-    if (d < nranks_) {
-      retired_[d] = true;
-      node_->retire_peer(d);
-    }
+  std::set<std::uint32_t> dead;
+  for (std::uint64_t i = 0; r.ok() && i < ndead; ++i) dead.insert(r.u32());
+  if (!r.ok()) return;
+  // Plausibility fence on the sender: a legitimate recovery is only ever
+  // led by the lowest live rank, and never by or over a rank it declares
+  // dead.  A hostile or confused frame that fails this is dropped whole.
+  if (dead.count(m.src) != 0) return;
+  for (std::uint32_t q = 0; q < m.src; ++q)
+    if (!retired_[q] && dead.count(q) == 0) return;
+  if (dead.count(rank_) != 0) _exit(3);  // we were declared dead: step down
+  note_round(ck.round);
+  for (const std::uint32_t d : dead) {
+    if (d >= nranks_ || retired_[d]) continue;
+    retired_[d] = true;
+    node_->retire_peer(d);
+    ++ckstats_.crashes;
   }
+  recoveries_ = std::max(recoveries_, recov);
+  ++ckstats_.recoveries;
   const std::uint64_t npart = r.u64();
   if (!r.ok() || npart != graph_.size()) _exit(6);
   Partition part(graph_.size());
@@ -899,26 +1259,44 @@ void DistributedEngine::rank_apply_recover(const ControlMsg& m) {
   if (!r.ok() || nlp != graph_.size()) _exit(6);
   ck.lps.resize(graph_.size());
   ck.last_promise.assign(graph_.size(), kTimeZero);
+  ck.state_blobs.assign(graph_.size(), {});
   for (LpId id = 0; id < graph_.size(); ++id) {
     LpId got = 0;
     double work = 0.0;
     VirtualTime promise;
     LpCheckpoint lpck;
-    if (!decode_lp_share(r, &got, &lpck, &work, &promise) || got != id)
+    std::vector<std::uint8_t> sbytes;
+    if (!decode_lp_share(r, &got, &lpck, &work, &promise, &sbytes) ||
+        got != id)
       _exit(6);
     ck.lps[id] = std::move(lpck);
     ck.last_promise[id] = promise;
+    ck.state_blobs[id] = std::move(sbytes);
   }
   if (!r.ok()) _exit(6);
 
   epoch_ = new_epoch;
+  if (epoch_ > max_epoch_seen_) max_epoch_seen_ = epoch_;
   node_->set_epoch(epoch_);
+  coord_ = m.src;
   partition_ = std::move(part);
   apply_restore(ck);
+  ckstats_.lps_restored += lps_.size();
+  // A successor re-stores the restore point under the new regime, so the
+  // coordinator's release rule ("every live successor holds round N") stays
+  // true across the recovery for new members of the successor set.
+  if (ft_on_ && is_successor(rank_) &&
+      !(store_.latest() != nullptr && store_.latest()->round == ck.round)) {
+    ck.links.assign(static_cast<std::size_t>(nranks_) * nranks_,
+                    LinkCheckpoint{});
+    ck.fault_links.clear();
+    store_.put(std::move(ck));
+    ++ckstats_.checkpoints;
+  }
   recovering_ = true;
   round_req_sent_ = false;
-  store_relaxed(dump_recoveries_, dump_recoveries_ + 1);
-  node_->send(0, net::FrameType::kRecoverDone, {});
+  store_relaxed(dump_recoveries_, static_cast<std::uint64_t>(recoveries_));
+  node_->send(coord_, net::FrameType::kRecoverDone, {});
 }
 
 void DistributedEngine::rank_send_stats() {
@@ -970,7 +1348,7 @@ void DistributedEngine::rank_send_stats() {
   bytes::Writer sw(snap);
   obs::encode_snapshot(sw, metrics_.merged());
   w.blob(snap);
-  node_->send(0, net::FrameType::kStats, p);
+  node_->send(coord_, net::FrameType::kStats, p);
 }
 
 void DistributedEngine::rank_finish(bool failed) {
@@ -993,75 +1371,21 @@ void DistributedEngine::rank_abort_transport(const TransportError& err) {
   w.u64(err.seq);
   w.u32(err.attempts);
   w.str(err.message);
-  node_->send(0, net::FrameType::kAbort, p);
+  node_->send(coord_, net::FrameType::kAbort, p);
   const std::int64_t deadline = net::now_ms() + 1000;
   while (!node_->all_flushed() && net::now_ms() < deadline) pump_io(1);
   _exit(2);
 }
 
 // ---------------------------------------------------------------------------
-// Coordinator side (rank 0, the caller's process).
+// Coordinator duties (rank_ == coord_; initially rank 0, after a failover
+// whichever successor promoted itself).
 // ---------------------------------------------------------------------------
-
-void DistributedEngine::coordinator_main(RunStats& out) {
-  setup_stack_or_die();
-  if (config_error_) {
-    out.config_error = config_error_;
-    return;
-  }
-  owned_.clear();
-  for (LpId id = 0; id < graph_.size(); ++id)
-    if (partition_[id] == 0) owned_.push_back(id);
-
-  std::uint32_t idle_spins = 0;
-  while (!stopping_) {
-    const std::size_t io = pump_io(idle_spins < 2 ? 0 : 1);
-    while (!ctrl_.empty()) {
-      ControlMsg m = std::move(ctrl_.front());
-      ctrl_.pop_front();
-      coordinator_handle(m);
-    }
-    if (stopping_) break;
-
-    if (check_deaths()) {
-      if (!coordinator_recover()) break;
-      continue;
-    }
-
-    bool processed = false;
-    for (std::uint32_t slice = 0; slice < kEventSlice; ++slice) {
-      if (!try_process_one()) break;
-      processed = true;
-      if (!ctrl_.empty()) break;
-    }
-    if (processed || io > 0) {
-      idle_spins = 0;
-    } else {
-      ++idle_spins;
-    }
-
-    // Time-based fallback: even if activity accounting keeps the spin
-    // counter low, a round every ~50ms guarantees GVT (and termination
-    // detection) always advances on a quiet cluster.
-    const bool want_round = round_req_ || net_->error().has_value() ||
-                            remote_transport_error_.has_value() ||
-                            events_since_round_ >= config_.gvt_interval ||
-                            idle_spins >= kIdleSpinRound ||
-                            net::now_ms() >= last_round_ms_ + 50;
-    if (want_round) {
-      idle_spins = 0;
-      const bool keep_going = coordinator_round();
-      last_round_ms_ = net::now_ms();
-      if (!keep_going) break;
-    }
-  }
-  coordinator_finish(out);
-}
 
 void DistributedEngine::broadcast(net::FrameType type,
                                   const std::vector<std::uint8_t>& p) {
-  for (std::uint32_t r = 1; r < nranks_; ++r)
-    if (!retired_[r]) node_->send(r, type, p);
+  for (std::uint32_t r = 0; r < nranks_; ++r)
+    if (r != rank_ && !retired_[r]) node_->send(r, type, p);
 }
 
 void DistributedEngine::coordinator_handle(const ControlMsg& m) {
@@ -1100,13 +1424,29 @@ void DistributedEngine::coordinator_handle(const ControlMsg& m) {
     case FrameType::kCkptData:
       if (m.epoch == epoch_) ckpt_ingest(m.src, m);
       break;
+    case FrameType::kCkptAck: {
+      if (m.epoch != epoch_ || m.src >= nranks_ || retired_[m.src]) break;
+      bytes::Reader r(m.payload.data(), m.payload.size());
+      const std::uint64_t round = r.u64();
+      if (!r.ok()) break;
+      if (round > succ_ack_[m.src]) succ_ack_[m.src] = round;
+      try_release_batches();
+      break;
+    }
+    case FrameType::kRecover:
+      // A successor believed us dead and promoted itself.  Its term-level
+      // epoch outranks ours: step down immediately rather than run a
+      // split-brain cluster (our commits past its restore point were never
+      // released -- the release rule required that successor's ack).
+      if (m.epoch > epoch_) _exit(3);
+      break;
     case FrameType::kRecoverDone:
       if (m.epoch == epoch_ && m.src < nranks_) recover_done_[m.src] = true;
       break;
     case FrameType::kLinkDown: {
       bytes::Reader r(m.payload.data(), m.payload.size());
       const std::uint32_t peer = r.u32();
-      if (r.ok() && peer != 0 && peer < nranks_ && !retired_[peer])
+      if (r.ok() && peer != rank_ && peer < nranks_ && !retired_[peer])
         dead_pending_[peer] = true;
       break;
     }
@@ -1191,7 +1531,7 @@ DistributedEngine::Wait DistributedEngine::coordinator_collect_votes(
     while (!ctrl_.empty()) {
       ControlMsg m = std::move(ctrl_.front());
       ctrl_.pop_front();
-      coordinator_handle(m);
+      handle_ctrl(m);
     }
     if (check_deaths()) return Wait::kDied;
   }
@@ -1199,6 +1539,7 @@ DistributedEngine::Wait DistributedEngine::coordinator_collect_votes(
 
 bool DistributedEngine::coordinator_round() {
   ++gvt_rounds_;
+  note_round(gvt_rounds_);
   round_req_ = false;
   metrics_.shard(0).inc(obs::Metric::kGvtRounds);
   store_relaxed(dump_rounds_, gvt_rounds_);
@@ -1228,7 +1569,7 @@ bool DistributedEngine::coordinator_round() {
     while (!node_->all_flushed() && net::now_ms() < deadline) pump_io(1);
     pump_io(0);
     {
-      DrainVote& mine = votes_[0];
+      DrainVote& mine = votes_[rank_];
       const bool err = net_->error().has_value();
       const net::NodeCounters& nc = node_->counters();
       mine.got = true;
@@ -1312,18 +1653,20 @@ bool DistributedEngine::coordinator_round() {
     stopping_ = true;
     return false;
   }
-  coordinator_apply_gvt(round, gvt, ckpt_due);
-  events_since_round_ = 0;
+  apply_gvt_local(round, gvt, ckpt_due);
   metrics_.merge();
   return true;
 }
 
-void DistributedEngine::coordinator_apply_gvt(std::uint64_t round,
-                                              VirtualTime gvt,
-                                              bool ckpt_due) {
+// ---------------------------------------------------------------------------
+// Checkpoint fan-out, assembly and the output-commit release rule.
+// ---------------------------------------------------------------------------
+
+void DistributedEngine::apply_gvt_local(std::uint64_t round, VirtualTime gvt,
+                                        bool ckpt_due) {
   DistRouter router(*this);
   if (ckpt_due) {
-    coordinator_own_ckpt_share(round, gvt);
+    ckpt_capture_and_ship(round, gvt);
   } else {
     for (const LpId lp : owned_) lps_[lp].fossil_collect(gvt, router);
   }
@@ -1335,10 +1678,16 @@ void DistributedEngine::coordinator_apply_gvt(std::uint64_t round,
     if (config_.strategy == ConservativeStrategy::kNullMessage)
       send_null_messages_for(lp);
   }
+  events_since_round_ = 0;
+  round_req_sent_ = false;
+  in_round_ = false;
 }
 
-void DistributedEngine::coordinator_own_ckpt_share(std::uint64_t round,
-                                                   VirtualTime gvt) {
+void DistributedEngine::ckpt_capture_and_ship(std::uint64_t round,
+                                              VirtualTime gvt) {
+  // Same capture discipline as the shared checkpoint path: fossil to the
+  // new frontier, undo the speculative suffix without anti-messages, then
+  // snapshot and fan our share of the cut out to every successor.
   DistRouter router(*this);
   for (const LpId lp : owned_) {
     lps_[lp].fossil_collect(gvt, router);
@@ -1346,27 +1695,43 @@ void DistributedEngine::coordinator_own_ckpt_share(std::uint64_t round,
     refresh_key(lp);
   }
   capture_fault_ring(round);
-
-  CkptAssembly& as = pending_ck_[round];
-  as.ck.round = round;
-  as.ck.gvt = gvt;
-  as.ck.lps.resize(graph_.size());
-  as.ck.last_promise.assign(graph_.size(), kTimeZero);
-  as.commits.resize(graph_.size());
-  as.got.assign(nranks_, false);
-  as.missing = live_ranks();
-
+  std::vector<std::uint8_t> p;
+  bytes::Writer w(p);
+  w.u64(round);
+  w.vt(gvt);
+  w.u64(owned_.size());
   for (const LpId lp : owned_) {
     const LpStats& s = lps_[lp].stats();
-    lp_work_[lp] = static_cast<double>(
+    const double work = static_cast<double>(
         s.events_processed - std::min(s.events_processed, s.events_undone));
-    as.ck.lps[lp] = lps_[lp].make_checkpoint();
-    as.ck.last_promise[lp] = last_promise_[lp];
-    if (want_commits_) as.commits[lp] = std::move(commit_buf_[lp]);
+    lp_work_[lp] = work;
+    const LpCheckpoint lpck = lps_[lp].make_checkpoint();
+    encode_lp_share(w, lp, lpck, work);
   }
-  as.got[0] = true;
-  --as.missing;
-  if (as.missing == 0) ckpt_complete(round);
+  std::uint64_t ncommits = 0;
+  if (want_commits_)
+    for (const LpId lp : owned_) ncommits += commit_buf_[lp].size();
+  w.u64(ncommits);
+  if (want_commits_) {
+    for (const LpId lp : owned_) {
+      for (const Event& ev : commit_buf_[lp]) encode_event(w, ev);
+      commit_buf_[lp].clear();
+    }
+  }
+  for (const std::uint32_t s : successor_set()) {
+    if (s == rank_) {
+      // Own share takes the exact path a remote one does, so every
+      // successor -- coordinator included -- runs one assembly per round.
+      ControlMsg m;
+      m.type = net::FrameType::kCkptData;
+      m.src = rank_;
+      m.epoch = epoch_;
+      m.payload = p;
+      ckpt_ingest(rank_, m);
+    } else {
+      node_->send(s, net::FrameType::kCkptData, p);
+    }
+  }
 }
 
 void DistributedEngine::ckpt_ingest(std::uint32_t src, const ControlMsg& m) {
@@ -1374,21 +1739,38 @@ void DistributedEngine::ckpt_ingest(std::uint32_t src, const ControlMsg& m) {
   bytes::Reader r(m.payload.data(), m.payload.size());
   const std::uint64_t round = r.u64();
   const VirtualTime gvt = r.vt();
-  (void)gvt;
   const std::uint64_t nlps = r.u64();
   if (!r.ok()) return;
-  const auto it = pending_ck_.find(round);
-  if (it == pending_ck_.end()) return;  // assembly discarded by a recovery
+  note_round(round);
+  auto it = pending_ck_.find(round);
+  if (it == pending_ck_.end()) {
+    // Lazily create the assembly: share arrival order across ranks is
+    // arbitrary (a worker's share can beat the local capture).
+    CkptAssembly fresh;
+    fresh.ck.round = round;
+    fresh.ck.gvt = gvt;
+    fresh.ck.lps.resize(graph_.size());
+    fresh.ck.last_promise.assign(graph_.size(), kTimeZero);
+    fresh.ck.state_blobs.assign(graph_.size(), {});
+    fresh.commits.resize(graph_.size());
+    fresh.got.assign(nranks_, false);
+    fresh.missing = live_ranks();
+    it = pending_ck_.emplace(round, std::move(fresh)).first;
+  }
   CkptAssembly& as = it->second;
   if (as.got[src]) return;
-  std::vector<std::tuple<LpId, LpCheckpoint, VirtualTime, double>> shares;
+  std::vector<std::tuple<LpId, LpCheckpoint, VirtualTime, double,
+                         std::vector<std::uint8_t>>>
+      shares;
   for (std::uint64_t i = 0; r.ok() && i < nlps; ++i) {
     LpId id = 0;
     double work = 0.0;
     VirtualTime promise;
     LpCheckpoint lpck;
-    if (!decode_lp_share(r, &id, &lpck, &work, &promise)) return;
-    shares.emplace_back(id, std::move(lpck), promise, work);
+    std::vector<std::uint8_t> sbytes;
+    if (!decode_lp_share(r, &id, &lpck, &work, &promise, &sbytes)) return;
+    shares.emplace_back(id, std::move(lpck), promise, work,
+                        std::move(sbytes));
   }
   const std::uint64_t ncommits = r.u64();
   std::vector<Event> commits;
@@ -1396,9 +1778,10 @@ void DistributedEngine::ckpt_ingest(std::uint32_t src, const ControlMsg& m) {
   for (std::uint64_t i = 0; r.ok() && i < ncommits; ++i)
     commits.push_back(decode_event(r));
   if (!r.ok()) return;
-  for (auto& [id, lpck, promise, work] : shares) {
+  for (auto& [id, lpck, promise, work, sbytes] : shares) {
     as.ck.lps[id] = std::move(lpck);
     as.ck.last_promise[id] = promise;
+    as.ck.state_blobs[id] = std::move(sbytes);
     lp_work_[id] = work;
   }
   for (Event& ev : commits) as.commits[ev.dst].push_back(std::move(ev));
@@ -1418,47 +1801,71 @@ void DistributedEngine::ckpt_complete(std::uint64_t round) {
   as.ck.links.assign(static_cast<std::size_t>(nranks_) * nranks_,
                      LinkCheckpoint{});
   as.ck.fault_links.clear();
-  store_.put(std::move(as.ck));
-  ++ckstats_.checkpoints;
-  // The snapshot covers every commit gathered below its GVT: release them.
-  flush_commit_buffers(as.commits);
-}
-
-void DistributedEngine::flush_commit_buffers(
-    std::vector<std::vector<Event>>& bufs) {
-  if (!hook_) return;
-  for (auto& buf : bufs) {
-    for (const Event& ev : buf) hook_(ev);
-    buf.clear();
+  if (rank_ == coord_) {
+    // Commits covered by this snapshot park until every OTHER live
+    // successor holds it too: released output must survive our own death.
+    if (want_commits_) unreleased_[round] = std::move(as.commits);
+    store_.put(std::move(as.ck));
+    ++ckstats_.checkpoints;
+    if (round > succ_ack_[rank_]) succ_ack_[rank_] = round;
+    try_release_batches();
+  } else {
+    // Successor: spill durably, retain the commit batch for a possible
+    // promotion re-emit, and ack so the coordinator can release.
+    if (want_commits_) {
+      retained_batches_[round] = std::move(as.commits);
+      while (retained_batches_.size() > config_.checkpoint.keep)
+        retained_batches_.erase(retained_batches_.begin());
+    }
+    store_.put(std::move(as.ck));
+    ++ckstats_.checkpoints;
+    std::vector<std::uint8_t> p;
+    bytes::Writer w(p);
+    w.u64(round);
+    node_->send(coord_, net::FrameType::kCkptAck, p);
   }
 }
+
+void DistributedEngine::try_release_batches() {
+  if (!want_commits_) {
+    unreleased_.clear();
+    return;
+  }
+  // Release frontier: the smallest cumulative ack over the other live
+  // successors.  With replicas == 1 there are none and everything releases
+  // on assembly (the pre-failover behaviour).
+  std::uint64_t covered = ~0ull;
+  for (const std::uint32_t s : successor_set())
+    if (s != rank_) covered = std::min(covered, succ_ack_[s]);
+  while (!unreleased_.empty() && unreleased_.begin()->first <= covered) {
+    auto it = unreleased_.begin();
+    pipe_commit_batch(it->first, it->second, false);
+    unreleased_.erase(it);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Death detection and recovery.
+// ---------------------------------------------------------------------------
 
 bool DistributedEngine::check_deaths() {
   const std::int64_t now = net::now_ms();
   bool any = false;
-  for (std::uint32_t r = 1; r < nranks_; ++r) {
-    if (retired_[r]) continue;
+  for (std::uint32_t r = 0; r < nranks_; ++r) {
+    if (r == rank_ || retired_[r]) continue;
     if (dead_pending_[r]) {
       any = true;
       continue;
     }
+    // Pure liveness evidence: heartbeat silence past the timeout or an
+    // exhausted reconnect budget.  (Children cannot waitpid siblings; the
+    // supervisor alone reaps.)
     bool dead = false;
-    if (node_->last_heard_ms(r) + config_.net.heartbeat_timeout_ms < now)
+    if (node_->last_heard_ms(r) +
+            static_cast<std::int64_t>(config_.net.heartbeat_timeout_ms) <
+        now)
       dead = true;
     if (node_->link_failed(r)) dead = true;
-    if (pids_[r] > 0 && !reaped_[r]) {
-      int status = 0;
-      const pid_t got = ::waitpid(pids_[r], &status, WNOHANG);
-      if (got == pids_[r]) {
-        reaped_[r] = true;
-        // A clean exit is a rank that finished its part of a stop order;
-        // only an abnormal death is a crash.  But a rank can only exit
-        // cleanly once a stop was broadcast -- before that, any exit is a
-        // death.
-        if (!stopping_ || !WIFEXITED(status) || WEXITSTATUS(status) != 0)
-          dead = true;
-      }
-    }
     if (dead) {
       dead_pending_[r] = true;
       any = true;
@@ -1475,23 +1882,21 @@ bool DistributedEngine::coordinator_recover() {
   for (;;) {
     std::uint32_t first_dead = 0;
     bool have_dead = false;
-    for (std::uint32_t r = 1; r < nranks_; ++r) {
-      if (!dead_pending_[r]) continue;
+    for (std::uint32_t r = 0; r < nranks_; ++r) {
+      if (r == rank_ || !dead_pending_[r]) continue;
       retired_[r] = true;
       node_->retire_peer(r);
       dead_pending_[r] = false;
       ++ckstats_.crashes;
-      if (pids_[r] > 0 && !reaped_[r]) {
-        ::kill(pids_[r], SIGKILL);  // make the suspicion true
-        ::waitpid(pids_[r], nullptr, 0);
-        reaped_[r] = true;
-      }
       if (!have_dead) {
         first_dead = r;
         have_dead = true;
       }
     }
     if (!have_dead) return true;
+    // A dead successor can no longer ack: recompute the release frontier
+    // over the survivors so covered batches are not stuck forever.
+    try_release_batches();
     if (!ft_on_)
       return fail(first_dead,
                   "rank died without fault tolerance (no checkpoint "
@@ -1500,6 +1905,7 @@ bool DistributedEngine::coordinator_recover() {
       return fail(first_dead, "recovery budget exhausted (max_recoveries)");
     const Checkpoint* ck = store_.latest();
     if (ck == nullptr) return fail(first_dead, "no checkpoint available");
+    const std::uint64_t ck_round = ck->round;
     ++recoveries_;
     ++ckstats_.recoveries;
     store_relaxed(dump_recoveries_, static_cast<std::uint64_t>(recoveries_));
@@ -1512,10 +1918,12 @@ bool DistributedEngine::coordinator_recover() {
                                     config_.rebalance);
 
     ++epoch_;
+    if (epoch_ > max_epoch_seen_) max_epoch_seen_ = epoch_;
     node_->set_epoch(epoch_);
     std::vector<std::uint8_t> p;
     bytes::Writer w(p);
     w.u32(epoch_);
+    w.u32(recoveries_);
     w.u64(ck->round);
     w.vt(ck->gvt);
     std::uint64_t ndead = 0;
@@ -1545,7 +1953,9 @@ bool DistributedEngine::coordinator_recover() {
     broadcast(net::FrameType::kRecover, p);
 
     recover_done_.assign(nranks_, false);
-    recover_done_[0] = true;
+    recover_done_[rank_] = true;
+    // drop_above inside apply_restore only removes rounds ABOVE ck's own,
+    // so the `ck` pointer (the ring's maximum) survives the call.
     apply_restore(*ck);
     ckstats_.lps_restored += lps_.size() * live_ranks();
 
@@ -1559,7 +1969,7 @@ bool DistributedEngine::coordinator_recover() {
       while (!ctrl_.empty()) {
         ControlMsg m = std::move(ctrl_.front());
         ctrl_.pop_front();
-        coordinator_handle(m);
+        handle_ctrl(m);
       }
       if (check_deaths()) {
         // A survivor died mid-recovery: restart with the larger dead set.
@@ -1568,6 +1978,13 @@ bool DistributedEngine::coordinator_recover() {
       }
     }
     if (redo) continue;
+
+    // Every survivor re-stored the restore point (kRecoverDone implies it):
+    // seed the ack frontier there so batches the restore covers release,
+    // even for ranks that just joined the successor set.
+    for (const std::uint32_t s : successor_set())
+      if (s != rank_ && succ_ack_[s] < ck_round) succ_ack_[s] = ck_round;
+    try_release_batches();
 
     broadcast(net::FrameType::kResume, {});
     last_gvt_ = last_ckpt_gvt_ = safe_bound_;
@@ -1607,8 +2024,8 @@ void DistributedEngine::coordinator_finish(RunStats& out) {
         net::now_ms() + config_.net.heartbeat_timeout_ms + 2000;
     for (;;) {
       bool all = true;
-      for (std::uint32_t r = 1; r < nranks_; ++r)
-        if (!retired_[r] && !stats_got_[r]) all = false;
+      for (std::uint32_t r = 0; r < nranks_; ++r)
+        if (r != rank_ && !retired_[r] && !stats_got_[r]) all = false;
       if (all || net::now_ms() >= deadline) break;
       pump_io(1);
       while (!ctrl_.empty()) {
@@ -1624,7 +2041,7 @@ void DistributedEngine::coordinator_finish(RunStats& out) {
     out.per_lp[id] = final_lp_got_[id] ? final_lp_stats_[id]
                                        : lps_[id].stats();
   out.per_worker = final_worker_stats_;
-  out.per_worker[0] = wstats_;
+  out.per_worker[rank_] = wstats_;
   out.gvt_rounds = gvt_rounds_;
   out.deadlocked = deadlocked_;
   out.transport = net_->counters();
@@ -1652,19 +2069,27 @@ void DistributedEngine::coordinator_finish(RunStats& out) {
   out.checkpoint = ckstats_;
   out.checkpoint.disk_bytes = store_.disk_bytes();
   out.recovery_error = recovery_error_;
+  out.final_coordinator = rank_;
+  out.final_epoch = epoch_;
 
-  // Release every buffered commit that survived: completed checkpoints
-  // already flushed theirs; what remains is the validated tail -- partial
-  // assemblies (round order), the coordinator's own buffer, then the
-  // shipped final buffers -- all in LP-id order within each batch.
-  for (auto& [round, as] : pending_ck_) flush_commit_buffers(as.commits);
-  pending_ck_.clear();
-  if (want_commits_) flush_commit_buffers(commit_buf_);
-  for (auto& commits : final_commits_) {
-    if (hook_)
-      for (const Event& ev : commits) hook_(ev);
+  // Release every buffered commit that survived.  Ack-parked batches go
+  // out even on a failed run: those rounds are spilled on every successor,
+  // so the released prefix stays exactly the spill coverage a resume run
+  // will replay from.  The unvalidated tail (partial assemblies, the live
+  // buffers, the shipped final buffers) is released only on success.
+  if (want_commits_) {
+    for (auto& [round, batch] : unreleased_)
+      pipe_commit_batch(round, batch, false);
+    unreleased_.clear();
+    if (!failed_) {
+      for (auto& [round, as] : pending_ck_)
+        pipe_commit_batch(round, as.commits, false);
+      pipe_commit_batch(0, commit_buf_, true);
+      for (auto& commits : final_commits_) pipe_commit_events(0, commits, true);
+    }
+    pending_ck_.clear();
+    final_commits_.clear();
   }
-  final_commits_.clear();
 
   // Metrics: fold the socket-node totals into our shard, absorb the global
   // run totals, then merge the latest per-rank snapshots (dead ranks keep
@@ -1682,9 +2107,159 @@ void DistributedEngine::coordinator_finish(RunStats& out) {
   absorb_run_stats(metrics_, out);
   metrics_.merge();
   obs::MetricsSnapshot merged = metrics_.merged();
-  for (std::uint32_t r = 1; r < nranks_; ++r)
-    if (rank_snapshot_got_[r]) obs::merge_snapshot(merged, rank_snapshots_[r]);
+  for (std::uint32_t r = 0; r < nranks_; ++r)
+    if (r != rank_ && rank_snapshot_got_[r])
+      obs::merge_snapshot(merged, rank_snapshots_[r]);
   out.metrics = std::move(merged);
+}
+
+// ---------------------------------------------------------------------------
+// Result pipe (child side) and the supervisor loop (parent side).
+// ---------------------------------------------------------------------------
+
+void DistributedEngine::pipe_send(net::FrameType type,
+                                  const std::vector<std::uint8_t>& p) {
+  if (pipe_w_ < 0) return;
+  std::vector<std::uint8_t> buf;
+  net::append_frame(buf, type, epoch_, p.data(), p.size());
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n = ::write(pipe_w_, buf.data() + off, buf.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return;  // supervisor gone (SIGPIPE is ignored); nothing left to tell
+  }
+}
+
+void DistributedEngine::pipe_commit_events(std::uint64_t round,
+                                           const std::vector<Event>& evs,
+                                           bool terminal) {
+  if (!want_commits_) return;
+  if (evs.empty() && !terminal) return;
+  std::vector<std::uint8_t> p;
+  bytes::Writer w(p);
+  w.u8(terminal ? 1 : 0);
+  w.u64(round);
+  w.u64(evs.size());
+  for (const Event& ev : evs) encode_event(w, ev);
+  pipe_send(net::FrameType::kCommit, p);
+}
+
+void DistributedEngine::pipe_commit_batch(
+    std::uint64_t round, const std::vector<std::vector<Event>>& batch,
+    bool terminal) {
+  if (!want_commits_) return;
+  std::vector<Event> flat;
+  for (const auto& per_lp : batch)
+    flat.insert(flat.end(), per_lp.begin(), per_lp.end());
+  pipe_commit_events(round, flat, terminal);
+}
+
+void DistributedEngine::pipe_final(const RunStats& st) {
+  std::vector<std::uint8_t> p;
+  bytes::Writer w(p);
+  encode_run_stats(w, st, partition_);
+  pipe_send(net::FrameType::kFinal, p);
+}
+
+void DistributedEngine::supervisor_main(RunStats& out) {
+  std::vector<net::FrameParser> parsers;
+  parsers.reserve(nranks_);
+  for (std::uint32_t r = 0; r < nranks_; ++r)
+    parsers.emplace_back(1u << 30);  // trusted in-kernel pipe, no peer cap
+  std::vector<bool> eof(nranks_, false);
+  std::set<std::uint64_t> emitted;
+  bool got_final = false;
+  bool killed_rest = false;
+  std::uint32_t final_src = 0;
+
+  const auto handle = [&](std::uint32_t src, const net::FrameView& v) {
+    bytes::Reader r(v.data, v.size);
+    if (v.type == net::FrameType::kCommit) {
+      const bool terminal = r.u8() != 0;
+      const std::uint64_t round = r.u64();
+      // Round-level dedup: a promoted coordinator re-emits the batches it
+      // retained, which may overlap rounds the dead coordinator already
+      // released.  Terminal tails carry round 0 and always pass.
+      const bool fresh = terminal || emitted.insert(round).second;
+      const std::uint64_t n = r.u64();
+      std::vector<Event> evs;
+      evs.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t i = 0; r.ok() && i < n; ++i)
+        evs.push_back(decode_event(r));
+      if (!r.ok() || !fresh || !hook_) return;
+      for (const Event& ev : evs) hook_(ev);
+    } else if (v.type == net::FrameType::kFinal && !got_final) {
+      RunStats st;
+      Partition part;
+      if (!decode_run_stats(r, &st, &part)) return;
+      out = std::move(st);
+      if (part.size() == partition_.size()) partition_ = std::move(part);
+      got_final = true;
+      final_src = src;
+    }
+  };
+
+  for (;;) {
+    // Drain ready pipes in ascending RANK order every cycle.  A promoted
+    // coordinator always has a higher rank than the dead one, and its
+    // promotion lags the death by >= 2x the heartbeat timeout -- by which
+    // time the old coordinator's last commit frames already sit in our
+    // pipe buffer.  Rank-order draining therefore preserves cross-pipe
+    // commit ordering across a failover.
+    std::vector<pollfd> fds;
+    std::vector<std::uint32_t> fd_rank;
+    for (std::uint32_t r = 0; r < nranks_; ++r) {
+      if (eof[r] || pipe_r_[r] < 0) continue;
+      fds.push_back(pollfd{pipe_r_[r], POLLIN, 0});
+      fd_rank.push_back(r);
+    }
+    if (fds.empty()) break;
+    ::poll(fds.data(), fds.size(), 100);
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const std::uint32_t r = fd_rank[i];
+      for (;;) {
+        std::uint8_t buf[65536];
+        const ssize_t n = ::read(pipe_r_[r], buf, sizeof buf);
+        if (n > 0) {
+          parsers[r].feed(buf, static_cast<std::size_t>(n));
+          continue;
+        }
+        if (n == 0) {
+          eof[r] = true;
+          break;
+        }
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        eof[r] = true;
+        break;
+      }
+      net::FrameView v;
+      std::string err;
+      int rc;
+      while ((rc = parsers[r].next(&v, &err)) == 1) handle(r, v);
+      if (rc < 0) eof[r] = true;
+    }
+    if (got_final && eof[final_src] && !killed_rest) {
+      // The authoritative result is complete; survivors that are merely
+      // slow to notice the shutdown do not get to hold the run open.
+      killed_rest = true;
+      for (std::uint32_t r = 0; r < nranks_; ++r)
+        if (!eof[r] && r < pids_.size() && pids_[r] > 0 && !reaped_[r])
+          ::kill(pids_[r], SIGKILL);
+    }
+  }
+
+  if (!got_final) {
+    out.recovery_error = RecoveryError{
+        0, 0, 0, "every rank died without reporting a final state"};
+    out.per_lp.resize(graph_.size());
+    out.per_worker.resize(nranks_);
+  }
 }
 
 void DistributedEngine::debug_dump(std::FILE* out) const {
@@ -1709,7 +2284,7 @@ void DistributedEngine::debug_dump(std::FILE* out) const {
                net_ && net_->quiescent() ? 1 : 0,
                node_ && node_->all_flushed() ? 1 : 0,
                node_ && node_->all_links_up() ? 1 : 0);
-  if (rank_ == 0 && !votes_.empty()) {
+  if (rank_ == coord_ && !votes_.empty()) {
     std::fprintf(out, "  votes:");
     for (std::size_t r = 0; r < votes_.size(); ++r)
       std::fprintf(out, " r%zu=%s", r,

@@ -1,10 +1,14 @@
-// Multi-process distributed engine over real sockets.
+// Multi-process distributed engine over real sockets, with coordinator
+// failover.
 //
 // One OS process per rank, connected by a full mesh of Unix-domain (or TCP
-// loopback) stream sockets.  The caller's process becomes rank 0 -- the
-// round coordinator -- and run() forks ranks 1..P-1 after seeding, so every
-// rank inherits the constructed LP graph copy-on-write and only LP *state*
-// ever crosses the wire (via the checkpoint codec, pdes/checkpoint.h).
+// loopback) stream sockets.  run() forks ALL ranks 0..P-1; the caller's
+// process stays outside the mesh as a passive *supervisor* that only reads
+// result frames from per-rank pipes.  Every rank therefore inherits the
+// constructed LP graph copy-on-write and only LP *state* ever crosses the
+// wire (via the checkpoint codec, pdes/checkpoint.h) -- and, crucially, no
+// rank is structurally special: the rank that happens to be coordinating is
+// just the lowest live rank, and its death is as survivable as any other's.
 //
 // Layering per rank (bottom-up):
 //
@@ -25,19 +29,28 @@
 // broadcast happens only after every pass-p vote arrived, which gives the
 // cross-rank ordering that makes the two-pass rule sound without barriers.
 //
-// Fault tolerance composes the existing pieces over the wire: ranks ship
-// their share of each GVT-consistent checkpoint to rank 0 (kCkptData);
-// rank 0 assembles complete global snapshots and holds the output-commit
-// buffers until a snapshot covers them.  A rank that dies (missed network
-// heartbeats, reconnect budget exhausted, or a reaped child process) is
-// retired: rank 0 bumps the recovery epoch, redistributes the dead rank's
-// LPs with the load balancer's orphan placement, and broadcasts the restore
-// blob (kRecover); survivors reset their channel cursors -- epoch filtering
-// in the socket node keeps pre-recovery traffic out -- and resume from the
-// checkpoint.  The committed trace of a crashed-and-recovered run is
-// bit-identical to an uninterrupted one.  When the recovery budget is
-// exhausted (or a rank dies with fault tolerance off), the run unwinds with
-// a structured RecoveryError instead of hanging.
+// Fault tolerance (DESIGN.md "Coordinator failover"): every rank fans its
+// share of each GVT-consistent checkpoint out to the *successor set* -- the
+// `checkpoint.replicas` lowest live ranks (which always include the
+// coordinator).  Each successor assembles the complete global snapshot,
+// spills it durably (atomic tmp+fsync+rename), and acks the round; the
+// coordinator releases output-commit batches to the supervisor only once
+// every other live successor has acked the covering round, so a commit can
+// reach the outside world only when the snapshot that regenerates-or-covers
+// it would survive the coordinator's own death.
+//
+// A worker that dies is retired by the coordinator exactly as before
+// (kRecover: epoch bump, orphan redistribution, restore blob).  A dead
+// *coordinator* is detected by the lowest surviving rank (silence from the
+// coordinator and from every rank below itself); if that rank is a
+// successor it promotes itself: it fences the old regime with a term-level
+// epoch bump, re-emits its retained commit batches (the supervisor
+// deduplicates by round, so re-sends of already-released batches are
+// harmless and unreleased ones emit exactly once), and runs the ordinary
+// recovery broadcast.  Survivors that are not successors abort with a
+// structured RecoveryError rather than hang.  The committed trace of a
+// crashed-and-recovered run -- coordinator deaths included -- is
+// bit-identical to an uninterrupted one.
 #pragma once
 
 #include <cstdint>
@@ -68,10 +81,11 @@ namespace vsim::pdes {
 
 class DistributedEngine {
  public:
-  /// Invoked once per committed event, always in rank 0's process, in LP-id
-  /// order within each release batch.  With fault tolerance on, invocations
-  /// are buffered on the owning rank and released only once a checkpoint
-  /// (or termination) covers them, so recovery can never duplicate one.
+  /// Invoked once per committed event, always in the caller's (supervisor)
+  /// process, in LP-id order within each release batch.  With fault
+  /// tolerance on, invocations are buffered on the owning rank and released
+  /// only once a replicated checkpoint (or termination) covers them, so
+  /// neither recovery nor coordinator failover can duplicate one.
   using CommitHook = std::function<void(const Event&)>;
 
   DistributedEngine(LpGraph& graph, Partition partition, RunConfig config);
@@ -83,7 +97,8 @@ class DistributedEngine {
   void set_commit_hook(CommitHook hook) { hook_ = std::move(hook); }
 
   /// Runs the simulation across config.num_workers OS processes.  Returns
-  /// in rank 0's process; forked ranks never return (they _exit).
+  /// in the caller's process, which supervises but does not simulate; all
+  /// ranks are forked children and never return (they _exit).
   RunStats run();
 
   /// LP -> rank mapping after the run (differs from the constructor
@@ -118,10 +133,11 @@ class DistributedEngine {
     std::uint64_t events = 0;
   };
 
-  /// A global checkpoint being assembled at rank 0 from per-rank shares.
+  /// A global checkpoint being assembled from per-rank shares.  Every
+  /// successor (not just the coordinator) runs one per checkpoint round.
   struct CkptAssembly {
     Checkpoint ck;
-    std::vector<std::vector<Event>> commits;  ///< per LP, release on complete
+    std::vector<std::vector<Event>> commits;  ///< per LP, release when covered
     std::vector<bool> got;                    ///< per rank
     std::size_t missing = 0;
   };
@@ -142,15 +158,25 @@ class DistributedEngine {
   void encode_lp_share(bytes::Writer& w, LpId id, const LpCheckpoint& lpck,
                        double work);
   bool decode_lp_share(bytes::Reader& r, LpId* id, LpCheckpoint* out,
-                       double* work, VirtualTime* promise);
+                       double* work, VirtualTime* promise,
+                       std::vector<std::uint8_t>* state_bytes);
   [[nodiscard]] double nowd() const;
   [[nodiscard]] std::int64_t cfg_connect_deadline() const;
   [[nodiscard]] VirtualTime local_min() const;
   void note_progress(VirtualTime gvt);
+  void note_round(std::uint64_t round);
+  [[nodiscard]] std::vector<std::uint32_t> successor_set() const;
+  [[nodiscard]] bool is_successor(std::uint32_t r) const;
 
-  // --- rank != 0 ---
+  /// Unified per-rank driver: event slices, control dispatch, the
+  /// coordinator duties when `rank_ == coord_`, the promotion watch when
+  /// not.  Every forked rank runs this; only the final coordinator falls
+  /// out of it with `stopping_` set (workers _exit on the way).
   [[noreturn]] void child_main();
-  void rank_loop();
+  void main_loop();
+  void handle_ctrl(const ControlMsg& m);
+
+  // --- worker duties (rank_ != coord_) ---
   void rank_handle(const ControlMsg& m);
   void rank_drain_pass(std::uint64_t round, std::uint32_t pass);
   void rank_apply_gvt(const ControlMsg& m);
@@ -158,25 +184,39 @@ class DistributedEngine {
   [[noreturn]] void rank_finish(bool ok);
   void rank_send_stats();
   [[noreturn]] void rank_abort_transport(const TransportError& err);
+  /// Deterministic succession watch: promote when the coordinator AND every
+  /// live rank below us have gone silent.  Returns true when this rank just
+  /// became coordinator (the caller restarts its loop iteration).
+  bool monitor_cluster();
+  void promote_self();
+  [[noreturn]] void abort_replica_lost();
 
-  // --- rank 0 (coordinator) ---
-  void coordinator_main(RunStats& out);
+  // --- coordinator duties (rank_ == coord_) ---
   void coordinator_handle(const ControlMsg& m);
   bool coordinator_round();  ///< false: stop the run
   Wait coordinator_collect_votes(std::uint64_t round, std::uint32_t pass);
-  void coordinator_apply_gvt(std::uint64_t round, VirtualTime gvt,
-                             bool ckpt_due);
-  void coordinator_own_ckpt_share(std::uint64_t round, VirtualTime gvt);
+  void apply_gvt_local(std::uint64_t round, VirtualTime gvt, bool ckpt_due);
+  void ckpt_capture_and_ship(std::uint64_t round, VirtualTime gvt);
   void ckpt_ingest(std::uint32_t src, const ControlMsg& m);
   void ckpt_complete(std::uint64_t round);
+  void try_release_batches();
   bool check_deaths();
   bool coordinator_recover();  ///< false: recovery failed, run is done
   void fail_run(std::uint32_t worker, std::string message);
   void broadcast(net::FrameType type, const std::vector<std::uint8_t>& p);
   void coordinator_finish(RunStats& out);
-  void flush_commit_buffers(std::vector<std::vector<Event>>& bufs);
-  void reap_children(bool force);
   [[nodiscard]] std::size_t live_ranks() const;
+
+  // --- result pipe (rank -> supervisor) and the supervisor itself ---
+  void pipe_send(net::FrameType type, const std::vector<std::uint8_t>& p);
+  void pipe_commit_events(std::uint64_t round, const std::vector<Event>& evs,
+                          bool terminal);
+  void pipe_commit_batch(std::uint64_t round,
+                         const std::vector<std::vector<Event>>& batch,
+                         bool terminal);
+  void pipe_final(const RunStats& st);
+  void supervisor_main(RunStats& out);
+  void reap_children(bool force);
 
   LpGraph& graph_;
   Partition partition_;
@@ -190,9 +230,12 @@ class DistributedEngine {
 
   std::uint32_t rank_ = 0;
   std::uint32_t nranks_ = 1;
+  std::uint32_t coord_ = 0;     ///< current coordinator (lowest live rank)
+  std::uint32_t replicas_ = 1;  ///< successor-set size (clamped to nranks_)
   bool ft_on_ = false;
   bool want_commits_ = false;
   bool own_socket_dir_ = false;
+  bool is_child_ = false;  ///< set in forked ranks; the supervisor stays false
 
   // Socket transport stack (built per rank, after the fork).
   std::unique_ptr<net::SocketNode> node_;
@@ -202,7 +245,11 @@ class DistributedEngine {
   bool got_data_ = false;
 
   std::deque<ControlMsg> ctrl_;
+  /// Recovery epoch: (term << kEpochSeqBits) | seq.  Ordinary recoveries
+  /// bump the sequence; a coordinator promotion bumps the *term* past every
+  /// epoch the promoting rank has ever seen, fencing the old regime.
   std::uint32_t epoch_ = 0;
+  std::uint32_t max_epoch_seen_ = 0;
 
   // Scheduling.
   VirtualTime safe_bound_ = kTimeZero;
@@ -216,6 +263,8 @@ class DistributedEngine {
   // Coordinator round state.
   bool round_req_ = false;
   std::uint64_t gvt_rounds_ = 0;
+  std::uint64_t max_round_seen_ = 0;  ///< keeps rounds monotone across takeover
+  std::uint64_t baseline_round_ = 0;  ///< round of the pre-fork baseline ckpt
   VirtualTime last_gvt_ = kTimeZero;
   std::uint64_t last_total_events_ = 0;
   std::uint32_t stall_rounds_ = 0;
@@ -243,12 +292,20 @@ class DistributedEngine {
   /// handles staleness) but must rewind the chaos RNGs for determinism.
   std::map<std::uint64_t, std::vector<FaultLinkCheckpoint>> fault_ring_;
   std::vector<std::vector<Event>> commit_buf_;  ///< per LP, owning rank only
-  std::vector<double> lp_work_;  ///< rank 0: work scores for orphan placement
+  std::vector<double> lp_work_;  ///< work scores for orphan placement
+  /// Coordinator: assembled-but-not-yet-released commit batches per round,
+  /// released to the supervisor once every other live successor acked the
+  /// round (succ_ack_ tracks the cumulative per-rank ack frontier).
+  std::map<std::uint64_t, std::vector<std::vector<Event>>> unreleased_;
+  std::vector<std::uint64_t> succ_ack_;
+  /// Successor: commit batches of the checkpoints this rank assembled,
+  /// kept so a promotion can re-emit them (the supervisor dedups by round).
+  std::map<std::uint64_t, std::vector<std::vector<Event>>> retained_batches_;
   std::optional<RecoveryError> recovery_error_;
   std::optional<ConfigError> config_error_;
   std::optional<TransportError> remote_transport_error_;
 
-  // Termination collection (rank 0).
+  // Termination collection (final coordinator).
   std::vector<bool> stats_got_;
   std::vector<LpStats> final_lp_stats_;
   std::vector<bool> final_lp_got_;
@@ -261,9 +318,12 @@ class DistributedEngine {
 
   obs::MetricsRegistry metrics_{1};
 
-  // Child processes (rank 0 only; pids_[0] unused).
+  // Child processes and result pipes (supervisor only; `pipe_w_` is the
+  // forked rank's own write end).
   std::vector<int> pids_;
   std::vector<bool> reaped_;
+  std::vector<int> pipe_r_;
+  int pipe_w_ = -1;
 
   // Watchdog-visible progress (updated with relaxed atomics via helpers).
   std::int64_t dump_gvt_pt_ = 0;

@@ -127,6 +127,12 @@ struct RunStats {
   std::optional<RecoveryError> recovery_error;
   /// Set when the configuration failed validation; the run never started.
   std::optional<ConfigError> config_error;
+  /// Distributed engine: the rank that was coordinating at termination and
+  /// the recovery epoch it finished under.  0 / 0 for the in-process engines
+  /// and for distributed runs that never failed over.  Deterministic given
+  /// the same seed + fault plan, so succession tests pin them.
+  std::uint32_t final_coordinator = 0;
+  std::uint32_t final_epoch = 0;
   /// Merged metrics snapshot (obs/metrics.h), taken after the engine folded
   /// this struct's totals in.  Empty (all zeros) for hand-built RunStats.
   obs::MetricsSnapshot metrics;

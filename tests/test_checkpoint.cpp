@@ -662,6 +662,107 @@ TEST(CheckpointStoreTest, RingEvictsAndSpillsToDisk) {
   fs::remove_all(dir);
 }
 
+TEST(CheckpointStoreTest, AtomicSpillLeavesNoTmpFiles) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("vsim_ckpt_atomic_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  {
+    CheckpointStore store(/*keep=*/4, dir.string());
+    for (std::uint64_t round = 1; round <= 4; ++round) {
+      Checkpoint ck = sample_checkpoint();
+      ck.round = round;
+      store.put(std::move(ck));
+    }
+    EXPECT_FALSE(store.io_error().has_value()) << *store.io_error();
+  }
+  // Spills go through tmp + fsync + rename; a completed spill must leave
+  // only final ckpt-<round>.bin names behind.
+  std::size_t finals = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    const std::string name = e.path().filename().string();
+    EXPECT_EQ(name.find(".tmp"), std::string::npos) << name;
+    if (name.rfind("ckpt-", 0) == 0) ++finals;
+  }
+  EXPECT_EQ(finals, 4u);
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointStoreTest, LoadNewestValidSkipsTornAndCorrupt) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("vsim_ckpt_scan_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  {
+    CheckpointStore store(/*keep=*/4, dir.string());
+    for (std::uint64_t round = 1; round <= 3; ++round) {
+      Checkpoint ck = sample_checkpoint();
+      ck.round = round;
+      store.put(std::move(ck));
+    }
+  }
+  // Litter the directory the way crashes do: a torn write (truncated copy
+  // of a valid snapshot), pure garbage, an empty file -- all with rounds
+  // NEWER than any valid one -- plus an unrelated file the scan must skip.
+  {
+    std::ifstream in(dir / "ckpt-3.bin", std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    std::ofstream torn(dir / "ckpt-7.bin", std::ios::binary);
+    torn.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 3));
+    std::ofstream junk(dir / "ckpt-9.bin", std::ios::binary);
+    junk << "garbage, not a snapshot";
+    std::ofstream empty(dir / "ckpt-11.bin", std::ios::binary);
+    std::ofstream other(dir / "notes.txt");
+    other << "unrelated";
+  }
+  std::uint64_t skipped = 0;
+  const auto ck = CheckpointStore::load_newest_valid(dir.string(), &skipped);
+  ASSERT_TRUE(ck.has_value());
+  EXPECT_EQ(ck->round, 3u);  // newest VALID, not newest by filename
+  EXPECT_EQ(skipped, 3u);
+
+  // A directory with nothing valid yields nullopt, not a crash.
+  fs::remove(dir / "ckpt-1.bin");
+  fs::remove(dir / "ckpt-2.bin");
+  fs::remove(dir / "ckpt-3.bin");
+  std::uint64_t skipped2 = 0;
+  EXPECT_FALSE(
+      CheckpointStore::load_newest_valid(dir.string(), &skipped2).has_value());
+  EXPECT_EQ(skipped2, 3u);
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointStoreTest, DropAboveRemovesRingAndFiles) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("vsim_ckpt_drop_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  CheckpointStore store(/*keep=*/4, dir.string());
+  for (std::uint64_t round = 1; round <= 4; ++round) {
+    Checkpoint ck = sample_checkpoint();
+    ck.round = round;
+    store.put(std::move(ck));
+  }
+  store.drop_above(2);
+  EXPECT_EQ(store.size(), 2u);
+  ASSERT_NE(store.latest(), nullptr);
+  EXPECT_EQ(store.latest()->round, 2u);
+  EXPECT_TRUE(fs::exists(dir / "ckpt-2.bin"));
+  EXPECT_FALSE(fs::exists(dir / "ckpt-3.bin"));
+  EXPECT_FALSE(fs::exists(dir / "ckpt-4.bin"));
+  // The rewound timeline keeps spilling from the cut point.
+  Checkpoint ck = sample_checkpoint();
+  ck.round = 3;
+  store.put(std::move(ck));
+  EXPECT_EQ(store.latest()->round, 3u);
+  EXPECT_TRUE(fs::exists(dir / "ckpt-3.bin"));
+  fs::remove_all(dir);
+}
+
 // ---- Configuration validation (construction-time, structured) -------------
 
 TEST(ConfigValidation, RejectsOutOfRangeFaultPlan) {

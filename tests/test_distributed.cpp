@@ -12,6 +12,8 @@
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 
 #include "circuits/builder.h"
 #include "circuits/fsm.h"
@@ -126,7 +128,10 @@ std::chrono::seconds watchdog_limit() {
   // Override for debugging hangs locally: VSIM_TEST_WATCHDOG_S=20.
   if (const char* s = std::getenv("VSIM_TEST_WATCHDOG_S"))
     return std::chrono::seconds(std::atoi(s));
-  return std::chrono::seconds(120);
+  // Sanitizer CI sets VSIM_TIME_SCALE; the engine stretches its liveness
+  // budgets by it, so the watchdog must stretch too.
+  return std::chrono::seconds(
+      static_cast<long>(120 * pdes::time_scale()));
 }
 
 RunStats run_distributed(Built& b, RunConfig rc, const char* label,
@@ -356,19 +361,222 @@ TEST(Distributed, SameSeedsSameTraces) {
   EXPECT_EQ(TraceRecorder::diff(*a.recorder, *b.recorder), "");
 }
 
-// Killing rank 0 is rejected up front: the coordinator holds the checkpoint
-// store and the commit stream, so its death is unrecoverable by design.
-TEST(Distributed, CoordinatorCrashPlanIsRejected) {
+// The coordinator itself is SIGKILLed mid-run.  Rank 1 -- the lowest
+// surviving checkpoint replica -- must notice the silence, promote itself
+// under a higher epoch term, re-emit its retained commit batches, recover
+// the survivors from its replicated spill, and finish bit-identical to the
+// oracle with rank 0's LPs adopted.
+TEST(Distributed, CoordinatorKillRecoversToOracle) {
+  SKIP_UNDER_TSAN();
+  Built ref = build_gates();
+  SequentialEngine seq(*ref.graph);
+  seq.set_commit_hook(ref.recorder->hook());
+  seq.run(600);
+
+  Built par = build_gates();
+  RunConfig rc = dist_config(600);
+  rc.checkpoint.period = 2;
+  rc.transport.faults.crashes.push_back(WorkerCrash{0, 60});
+  pdes::Partition final_part;
+  const RunStats st = run_distributed(
+      par, rc, "Distributed.CoordinatorKillRecovers", &final_part);
+  ASSERT_FALSE(st.config_error.has_value()) << st.config_error->str();
+  EXPECT_FALSE(st.deadlocked);
+  EXPECT_FALSE(st.transport_error.has_value());
+  ASSERT_FALSE(st.recovery_error.has_value()) << st.recovery_error->str();
+  EXPECT_EQ(st.checkpoint.crashes, 1u);
+  EXPECT_GE(st.checkpoint.recoveries, 1u);
+  EXPECT_EQ(st.final_coordinator, 1u);
+  EXPECT_GT(st.final_epoch, 0u);
+  EXPECT_EQ(TraceRecorder::diff(*ref.recorder, *par.recorder), "");
+  for (const std::uint32_t owner : final_part) EXPECT_NE(owner, 0u);
+}
+
+// The coordinator dies AND a plain worker dies later: one succession plus
+// one ordinary recovery, both run by the promoted rank 1.
+TEST(Distributed, CoordinatorPlusWorkerKill) {
+  SKIP_UNDER_TSAN();
+  Built ref = build_gates();
+  SequentialEngine seq(*ref.graph);
+  seq.set_commit_hook(ref.recorder->hook());
+  seq.run(600);
+
+  Built par = build_gates();
+  RunConfig rc = dist_config(600);
+  rc.checkpoint.period = 2;
+  rc.transport.faults.crashes.push_back(WorkerCrash{0, 60});
+  rc.transport.faults.crashes.push_back(WorkerCrash{3, 90});
+  const RunStats st =
+      run_distributed(par, rc, "Distributed.CoordinatorPlusWorkerKill");
+  ASSERT_FALSE(st.config_error.has_value()) << st.config_error->str();
+  ASSERT_FALSE(st.recovery_error.has_value()) << st.recovery_error->str();
+  EXPECT_FALSE(st.transport_error.has_value());
+  EXPECT_EQ(st.checkpoint.crashes, 2u);
+  // Both deaths may land in one detection window and be retired by a
+  // single recovery pass -- one or two recoveries are both legitimate.
+  EXPECT_GE(st.checkpoint.recoveries, 1u);
+  EXPECT_EQ(st.final_coordinator, 1u);
+  EXPECT_EQ(TraceRecorder::diff(*ref.recorder, *par.recorder), "");
+}
+
+// Seeded wire chaos on top of a coordinator kill: the promoted successor
+// inherits the fault-cursor replay discipline, so the rejoined timeline
+// still matches the oracle through drops, dups and reordering.
+TEST(Distributed, ChaosPlusCoordinatorKill) {
+  SKIP_UNDER_TSAN();
+  Built ref = build_gates();
+  SequentialEngine seq(*ref.graph);
+  seq.set_commit_hook(ref.recorder->hook());
+  seq.run(600);
+
+  Built par = build_gates();
+  RunConfig rc = dist_config(600);
+  rc.checkpoint.period = 2;
+  FaultPlan& fp = rc.transport.faults;
+  fp.seed = 33;
+  fp.drop = 0.10;
+  fp.duplicate = 0.05;
+  fp.reorder = 0.20;
+  fp.crashes.push_back(WorkerCrash{0, 80});
+  const RunStats st =
+      run_distributed(par, rc, "Distributed.ChaosPlusCoordinatorKill");
+  ASSERT_FALSE(st.config_error.has_value()) << st.config_error->str();
+  ASSERT_FALSE(st.recovery_error.has_value()) << st.recovery_error->str();
+  EXPECT_FALSE(st.transport_error.has_value());
+  EXPECT_EQ(st.checkpoint.crashes, 1u);
+  EXPECT_EQ(st.final_coordinator, 1u);
+  EXPECT_EQ(TraceRecorder::diff(*ref.recorder, *par.recorder), "");
+  EXPECT_GT(st.transport.dropped, 0u);
+}
+
+// Coordinators 0 and 1 both die.  With three checkpoint replicas rank 2
+// holds every snapshot, so whichever way the deaths interleave (rank 1 may
+// or may not get its own promotion in first), rank 2 ends up coordinating
+// and the committed trace is still exactly the oracle's -- the strongest
+// exercise of the ack-gated release rule.
+TEST(Distributed, CascadingCoordinatorDeaths) {
+  SKIP_UNDER_TSAN();
+  Built ref = build_fsm();
+  SequentialEngine seq(*ref.graph);
+  seq.set_commit_hook(ref.recorder->hook());
+  seq.run(250);
+
   Built par = build_fsm();
   RunConfig rc = dist_config(250);
   rc.checkpoint.period = 2;
-  rc.transport.faults.crashes.push_back(WorkerCrash{0, 10});
-  const auto part =
-      partition::round_robin(par.graph->size(), rc.num_workers);
-  DistributedEngine eng(*par.graph, part, rc);
-  const RunStats st = eng.run();
-  ASSERT_TRUE(st.config_error.has_value());
-  EXPECT_EQ(st.config_error->field, "faults.crashes");
+  rc.checkpoint.replicas = 3;
+  rc.transport.faults.crashes.push_back(WorkerCrash{0, 40});
+  rc.transport.faults.crashes.push_back(WorkerCrash{1, 90});
+  const RunStats st = run_distributed(
+      par, rc, "Distributed.CascadingCoordinatorDeaths");
+  ASSERT_FALSE(st.config_error.has_value()) << st.config_error->str();
+  ASSERT_FALSE(st.recovery_error.has_value()) << st.recovery_error->str();
+  EXPECT_FALSE(st.transport_error.has_value());
+  EXPECT_EQ(st.checkpoint.crashes, 2u);
+  EXPECT_GE(st.checkpoint.recoveries, 1u);
+  EXPECT_EQ(st.final_coordinator, 2u);
+  EXPECT_EQ(TraceRecorder::diff(*ref.recorder, *par.recorder), "");
+}
+
+// Succession is deterministic: the same seed and the same fault plan give
+// the same successor, the same epoch, the same crash accounting and the
+// same committed traces across two whole multi-process runs.
+TEST(Distributed, SuccessionIsDeterministic) {
+  SKIP_UNDER_TSAN();
+  auto run_once = [](Built& b) {
+    RunConfig rc = dist_config(250);
+    rc.checkpoint.period = 3;
+    FaultPlan& fp = rc.transport.faults;
+    fp.seed = 97;
+    fp.drop = 0.05;
+    fp.reorder = 0.10;
+    fp.crashes.push_back(WorkerCrash{0, 50});
+    return run_distributed(b, rc, "Distributed.SuccessionIsDeterministic");
+  };
+  Built a = build_fsm();
+  const RunStats sa = run_once(a);
+  Built b = build_fsm();
+  const RunStats sb = run_once(b);
+  ASSERT_FALSE(sa.recovery_error.has_value()) << sa.recovery_error->str();
+  ASSERT_FALSE(sb.recovery_error.has_value()) << sb.recovery_error->str();
+  EXPECT_EQ(sa.final_coordinator, 1u);
+  EXPECT_EQ(sa.final_coordinator, sb.final_coordinator);
+  EXPECT_EQ(sa.final_epoch, sb.final_epoch);
+  EXPECT_EQ(sa.checkpoint.crashes, sb.checkpoint.crashes);
+  EXPECT_EQ(sa.checkpoint.recoveries, sb.checkpoint.recoveries);
+  EXPECT_EQ(TraceRecorder::diff(*a.recorder, *b.recorder), "");
+}
+
+// Durable spill end to end: a run that dies past its recovery budget leaves
+// an atomic spill directory; a fresh resume=true run -- pointed at the same
+// directory now also littered with torn and corrupt snapshots -- restores
+// from the newest valid one and finishes the exact oracle trace.  The two
+// runs share one TraceRecorder, so the released prefix and the resumed
+// suffix must concatenate seamlessly (no gap, no duplicate).
+TEST(Distributed, ResumeFromSpillContinuesTrace) {
+  SKIP_UNDER_TSAN();
+  Built ref = build_fsm();
+  SequentialEngine seq(*ref.graph);
+  seq.set_commit_hook(ref.recorder->hook());
+  seq.run(250);
+
+  char tmpl[] = "/tmp/vsim-resume-XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string spill_dir = tmpl;
+
+  Built par = build_fsm();
+  {
+    RunConfig rc = dist_config(250);
+    rc.checkpoint.period = 2;
+    rc.checkpoint.replicas = 1;  // release == spill frontier, exactly
+    rc.checkpoint.max_recoveries = 1;
+    rc.checkpoint.spill_dir = spill_dir;
+    // Three scheduled deaths against a budget of one: even if the first
+    // two land in the same detection window (one recovery pass retires
+    // both), the third -- far past the first recovery -- still exhausts
+    // the budget, so run1 deterministically dies with work left undone.
+    rc.transport.faults.crashes.push_back(WorkerCrash{1, 40});
+    rc.transport.faults.crashes.push_back(WorkerCrash{2, 80});
+    rc.transport.faults.crashes.push_back(WorkerCrash{3, 130});
+    const RunStats st = run_distributed(
+        par, rc, "Distributed.ResumeFromSpill.run1");
+    ASSERT_FALSE(st.config_error.has_value()) << st.config_error->str();
+    ASSERT_TRUE(st.recovery_error.has_value());  // budget exhausted
+    EXPECT_GT(st.checkpoint.disk_bytes, 0u);
+  }
+
+  // Adversarial litter: a torn write (truncated copy of a real snapshot)
+  // and outright garbage, both with round numbers newer than any valid
+  // snapshot.  The resume scan must skip them, not die on them.
+  {
+    std::string victim;
+    for (const auto& e : std::filesystem::directory_iterator(spill_dir))
+      if (e.path().extension() == ".bin") victim = e.path().string();
+    ASSERT_FALSE(victim.empty());
+    std::ifstream in(victim, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    std::ofstream torn(spill_dir + "/ckpt-999998.bin", std::ios::binary);
+    torn.write(bytes.data(),
+               static_cast<std::streamsize>(bytes.size() / 2));
+    std::ofstream junk(spill_dir + "/ckpt-999999.bin", std::ios::binary);
+    junk << "this is not a checkpoint";
+  }
+
+  {
+    RunConfig rc = dist_config(250);
+    rc.checkpoint.period = 2;
+    rc.checkpoint.replicas = 1;
+    rc.checkpoint.spill_dir = spill_dir;
+    rc.checkpoint.resume = true;
+    const RunStats st = run_distributed(
+        par, rc, "Distributed.ResumeFromSpill.run2");
+    ASSERT_FALSE(st.config_error.has_value()) << st.config_error->str();
+    ASSERT_FALSE(st.recovery_error.has_value()) << st.recovery_error->str();
+    EXPECT_FALSE(st.deadlocked);
+  }
+  EXPECT_EQ(TraceRecorder::diff(*ref.recorder, *par.recorder), "");
+  std::filesystem::remove_all(spill_dir);
 }
 
 // A rank death with fault tolerance off (no checkpoint period, no crash
