@@ -7,7 +7,10 @@
 //  (f) fault tolerance: checkpoint period vs crash rate -- the capture tax
 //      of short periods against the re-execution lost to each recovery;
 //  (g) placement: static round-robin / blocks / bipartite-BFS vs dynamic
-//      GVT-round rebalancing (blocks start + LP migration).
+//      GVT-round rebalancing (blocks start + LP migration);
+//  (h) clustering: flat one-LP-per-signal/process vs BFS-fused ClusterLps
+//      on a 100k-signal netlist -- cluster size x P, with the memory proxy
+//      and GVT scan volume before/after fusing.
 //
 // An optional argv[1] names one section (its report `section` tag, e.g.
 // `placement`) and skips the rest -- CI gates the placement cell against
@@ -20,7 +23,11 @@
 #include "circuits/dct.h"
 #include "circuits/fsm.h"
 #include "circuits/iir.h"
+#include "circuits/random_circuit.h"
+#include "obs/metrics.h"
+#include "partition/cluster.h"
 #include "partition/partition.h"
+#include "pdes/cluster.h"
 
 using namespace vsim;
 
@@ -363,6 +370,78 @@ int main(int argc, char** argv) {
       std::fflush(stdout);
       report.add_row("placement", p, std::string(cell.name) + "/dynamic",
                      sc / st.makespan, st);
+    }
+  }
+  }
+
+  if (want("clustering")) {
+  std::printf(
+      "\n# Ablation (h): LP clustering, 100k-signal random netlist\n"
+      "# (the paper's bipartite mapping gives every signal/process its own\n"
+      "#  LP; at six figures the per-LP scheduling, mailbox and GVT-scan\n"
+      "#  overheads dominate.  `flat` runs the unfused graph; `target=N`\n"
+      "#  fuses BFS neighbourhoods of ~N flat LPs into one ClusterLp, so\n"
+      "#  intra-cluster traffic never touches the router and the GVT scan\n"
+      "#  walks clusters, not flat LPs)\n");
+  const PhysTime cuntil = 15;
+  const auto cparams = circuits::sized_random_params(100'000, 17);
+  const bench::BuildFn cbuild = [&cparams] {
+    bench::Built b;
+    b.graph = std::make_unique<pdes::LpGraph>();
+    b.design = std::make_unique<vhdl::Design>(*b.graph);
+    circuits::build_random_circuit(*b.design, cparams);
+    b.design->finalize();
+    return b;
+  };
+  const double cseq = bench::sequential_cost(cbuild, cuntil);
+  {
+    bench::Built probe = cbuild();
+    std::printf("# flat LPs: %zu, sequential cost: %s work units\n",
+                probe.graph->size(), bench::fmt(cseq, 0).c_str());
+  }
+  // target = 0 is the flat baseline row.
+  const auto run_cell = [&](std::size_t workers,
+                            std::size_t target) -> pdes::RunStats {
+    bench::Built b = cbuild();
+    pdes::RunConfig rc;
+    rc.num_workers = workers;
+    rc.configuration = pdes::Configuration::kDynamic;
+    rc.gvt_interval = 256;
+    rc.until = cuntil;
+    if (target == 0) {
+      pdes::MachineEngine eng(
+          *b.graph, partition::round_robin(b.graph->size(), workers), rc);
+      return eng.run();
+    }
+    partition::ClusterOptions co;
+    co.target_size = target;
+    co.seed = 3;
+    const auto assign = partition::cluster_bfs(*b.graph, co);
+    pdes::FusedGraph fused = pdes::fuse_clusters(*b.graph, assign);
+    pdes::MachineEngine eng(
+        fused.graph, partition::round_robin(fused.graph.size(), workers), rc);
+    return eng.run();
+  };
+  std::printf("%-6s%-12s%10s%10s%12s%14s%12s%14s\n", "P", "cluster",
+              "speedup", "lps", "remote", "gvt_scan", "peak_hist",
+              "total_hist");
+  for (std::size_t p : {2u, 4u, 8u}) {
+    for (std::size_t target : {0u, 16u, 64u, 256u}) {
+      const auto st = run_cell(p, target);
+      const std::string label =
+          target == 0 ? "flat" : "target=" + std::to_string(target);
+      std::printf("%-6zu%-12s%10s%10zu%12llu%14llu%12llu%14zu\n", p,
+                  label.c_str(), bench::fmt(cseq / st.makespan).c_str(),
+                  st.per_lp.size(),
+                  static_cast<unsigned long long>(
+                      st.metrics.counter(obs::Metric::kMessagesRemote)),
+                  static_cast<unsigned long long>(
+                      st.metrics.counter(obs::Metric::kGvtScanItems)),
+                  static_cast<unsigned long long>(
+                      st.metrics.gauge(obs::Gauge::kPeakHistory)),
+                  st.total_history());
+      std::fflush(stdout);
+      report.add_row("clustering", p, label, cseq / st.makespan, st);
     }
   }
   }

@@ -32,6 +32,20 @@ echo "==> Distributed smoke: 4-rank UDS mesh vs oracle + SIGKILL recovery"
 # exactly once.
 ./build/tests/test_distributed --gtest_filter='Distributed.FourRankSocketRunMatchesOracle:Distributed.SigkilledRankRecoversToOracle:Distributed.CoordinatorKillRecoversToOracle'
 
+echo "==> Clustered smoke: fused ClusterLps, threaded + 4-rank distributed"
+# The full cluster suite (incl. the 100k-signal scale rows) already ran in
+# the ctest sweep; this named gate re-runs the two load-bearing clustered
+# equivalence rows -- a clustered threaded run and a clustered 4-process
+# socket run must both match the flat sequential oracle bit-exactly.
+ctest --test-dir build -L cluster_smoke --output-on-failure
+
+echo "==> Doc links: no dangling DESIGN.md/README anchors or section refs"
+# Section titles get renamed; quoted references in prose and code comments
+# do not follow automatically.  The checker fails on markdown links to
+# missing files/anchors and on quoted section references whose phrase no
+# longer occurs in the named document.
+python3 tools/check_doc_links.py
+
 echo "==> Observability smoke: traced bench + report schema"
 # One bench in trace mode: the FSM figure is the cheapest full sweep.  The
 # run must produce both a Chrome-trace JSON and a valid BENCH_*.json; both

@@ -1,5 +1,8 @@
 #include "circuits/random_circuit.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace vsim::circuits {
 namespace {
 
@@ -90,7 +93,7 @@ RandomCircuit build_random_circuit(vhdl::Design& design,
   }
   // A second combinational stage may read register outputs (feedback
   // through state only).
-  for (std::size_t g = 0; g < params.num_gates / 4; ++g) {
+  for (std::size_t g = 0; !qs.empty() && g < params.num_gates / 4; ++g) {
     const SignalId a = qs[rng.below(qs.size())];
     const SignalId b = pool[rng.below(pool.size())];
     const SignalId o = zb.wire("h" + std::to_string(g), Logic::k0);
@@ -106,12 +109,47 @@ RandomCircuit build_random_circuit(vhdl::Design& design,
     gate_outs.push_back(net);
   }
 
-  // Observables: registers, buses and a sample of gate outputs.
+  // Observables: registers, buses and a sample of gate outputs, optionally
+  // subsampled to a cap (deterministically, so every run of the same params
+  // probes the same nets and oracle comparisons stay meaningful).
   out.observable = qs;
-  for (std::size_t i = 0; i < gate_outs.size(); i += 5)
+  const std::size_t stride = std::max<std::size_t>(1, params.observe_stride);
+  for (std::size_t i = 0; i < gate_outs.size(); i += stride)
     out.observable.push_back(gate_outs[i]);
+  if (params.max_observables > 0 &&
+      out.observable.size() > params.max_observables) {
+    std::vector<SignalId> sampled;
+    sampled.reserve(params.max_observables);
+    const std::size_t n = out.observable.size();
+    for (std::size_t i = 0; i < params.max_observables; ++i)
+      sampled.push_back(out.observable[i * n / params.max_observables]);
+    out.observable = std::move(sampled);
+  }
   out.lp_count = design.graph().size();
   return out;
+}
+
+RandomCircuitParams sized_random_params(std::size_t target_signals,
+                                        std::uint64_t seed) {
+  RandomCircuitParams p;
+  p.seed = seed;
+  // Nets produced: 1 (clk) + inputs + gates (g*) + gates/4 (h*) + dffs (q*)
+  // + resolved buses.  Registers and buses are kept sparse so activity per
+  // clock edge stays proportional to the netlist, not quadratic in it.
+  p.num_inputs = std::max<std::size_t>(8, target_signals / 128);
+  p.num_dffs = std::max<std::size_t>(8, target_signals / 32);
+  p.num_resolved = std::max<std::size_t>(2, target_signals / 512);
+  const std::size_t fixed =
+      1 + p.num_inputs + p.num_dffs + p.num_resolved;
+  const std::size_t rest =
+      target_signals > fixed + 16 ? target_signals - fixed : 16;
+  // gates + gates/4 ~= rest; the +2 absorbs both integer floors so the
+  // realised net count lands at or just above the target, never below.
+  p.num_gates = (rest * 4) / 5 + 2;
+  // Bound the probe set: enough coverage to make the oracle diff meaty,
+  // cheap enough that the monitor LP is not the hot spot at 100k+ nets.
+  p.max_observables = 512;
+  return p;
 }
 
 }  // namespace vsim::circuits

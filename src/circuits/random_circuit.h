@@ -23,6 +23,13 @@ struct RandomCircuitParams {
   PhysTime input_stop = 10000;
   /// Number of two-driver resolved nets to add (buffers onto shared nets).
   std::size_t num_resolved = 2;
+  /// Every `observe_stride`-th gate output joins the observable probe set
+  /// (register outputs always do).
+  std::size_t observe_stride = 5;
+  /// Caps the observable set by deterministic even subsampling; 0 = no cap.
+  /// Six-figure netlists need this: every probe adds a monitor reader edge,
+  /// and tracing tens of thousands of signals would dominate the run.
+  std::size_t max_observables = 0;
 };
 
 struct RandomCircuit {
@@ -32,5 +39,13 @@ struct RandomCircuit {
 
 RandomCircuit build_random_circuit(vhdl::Design& design,
                                    const RandomCircuitParams& params);
+
+/// Parameter preset that yields roughly `target_signals` nets (within a few
+/// percent; the generator's layer mix decides the exact count).  This is the
+/// entry point for six-figure netlists: pick a target, fuse with
+/// partition/cluster.h, and the flat LP count lands near 2x the signal count
+/// (one SignalLp per net plus one ProcessLp per gate/generator).
+[[nodiscard]] RandomCircuitParams sized_random_params(
+    std::size_t target_signals, std::uint64_t seed);
 
 }  // namespace vsim::circuits

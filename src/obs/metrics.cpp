@@ -9,6 +9,7 @@ const char* metric_name(Metric m) {
     case Metric::kEventsProcessed: return "engine.events_processed";
     case Metric::kEventsCommitted: return "engine.events_committed";
     case Metric::kGvtRounds: return "engine.gvt_rounds";
+    case Metric::kGvtScanItems: return "engine.gvt_scan_items";
     case Metric::kBlockedPolls: return "engine.blocked_polls";
     case Metric::kQueueOps: return "engine.queue_ops";
     case Metric::kRollbacks: return "tw.rollbacks";

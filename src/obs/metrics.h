@@ -32,6 +32,12 @@ enum class Metric : std::uint16_t {
   kEventsProcessed,   ///< engine.events_processed (incl. re-executions)
   kEventsCommitted,   ///< engine.events_committed
   kGvtRounds,         ///< engine.gvt_rounds
+  /// engine.gvt_scan_items — candidates touched by GVT min-reductions, the
+  /// direct evidence that rounds are hierarchical: per-worker minima come
+  /// from each worker's ordered ready structure, so this grows with the
+  /// worker count (machine model) or the per-worker LP count (threaded),
+  /// NOT with workers x LPs.
+  kGvtScanItems,
   kBlockedPolls,      ///< engine.blocked_polls
   kQueueOps,          ///< engine.queue_ops — pending-queue push/pop/annihilate
   // Time Warp protocol.
@@ -159,8 +165,11 @@ struct MetricsSnapshot {
 };
 
 /// Byte codec and cross-process merge for snapshots, used by the
-/// distributed engine to ship per-rank metrics to rank 0 at GVT rounds and
-/// at run end.  decode tolerates snapshots from a binary with a different
+/// distributed engine to ship per-rank metrics to the *current coordinator*
+/// at GVT rounds and at run end (rank 0 only until a failover promotes a
+/// successor -- the codec does not care who assembles).  Each rank ships one
+/// pre-merged snapshot, so the cross-process reduction is O(ranks), not
+/// O(ranks x LPs) -- the same hierarchical shape as the GVT scan.  decode tolerates snapshots from a binary with a different
 /// metric count (older/newer rank mix is a config error upstream; this just
 /// refuses to misalign).  merge_snapshot applies the same semantics as
 /// MetricsRegistry::merge: counters add, gauges max, histograms add.

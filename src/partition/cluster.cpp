@@ -1,0 +1,168 @@
+#include "partition/cluster.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <set>
+
+namespace vsim::partition {
+namespace {
+
+constexpr std::uint32_t kUnassigned = static_cast<std::uint32_t>(-1);
+
+// Same xorshift64* family the circuit generators use: cheap, deterministic,
+// no <random> divergence across standard libraries.
+struct Rng {
+  std::uint64_t s;
+  explicit Rng(std::uint64_t seed) : s(seed ? seed : 0x9e3779b97f4a7c15ull) {}
+  std::uint64_t next() {
+    s ^= s >> 12;
+    s ^= s << 25;
+    s ^= s >> 27;
+    return s * 0x2545f4914f6cdd1dull;
+  }
+  std::uint64_t below(std::uint64_t n) { return n ? next() % n : 0; }
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> cluster_bfs(const pdes::LpGraph& graph,
+                                       const ClusterOptions& opts) {
+  const std::size_t n = graph.size();
+  std::size_t cap = std::max<std::size_t>(1, opts.target_size);
+  if (opts.max_clusters > 0)
+    cap = std::max(cap, (n + opts.max_clusters - 1) / opts.max_clusters);
+
+  // Seeded Fisher-Yates over the region start order.  Growth itself follows
+  // the graph's adjacency order, so the only randomness is where regions
+  // start -- enough to decorrelate clustering from construction order while
+  // staying fully deterministic.
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  Rng rng(opts.seed);
+  for (std::size_t i = n; i > 1; --i)
+    std::swap(order[i - 1], order[rng.below(i)]);
+
+  std::vector<std::uint32_t> assign(n, kUnassigned);
+  std::uint32_t next_cluster = 0;
+  std::deque<std::uint32_t> frontier;
+  for (const std::uint32_t s : order) {
+    if (assign[s] != kUnassigned) continue;
+    std::size_t count = 1;
+    assign[s] = next_cluster;
+    frontier.clear();
+    frontier.push_back(s);
+    while (!frontier.empty() && count < cap) {
+      const std::uint32_t u = frontier.front();
+      frontier.pop_front();
+      // Undirected growth: a signal pulls in both its readers (fan-out) and
+      // its drivers (fan-in), keeping whole bipartite neighbourhoods local.
+      for (const auto* adj : {&graph.fan_out(u), &graph.fan_in(u)}) {
+        for (const pdes::LpId v : *adj) {
+          if (assign[v] != kUnassigned) continue;
+          assign[v] = next_cluster;
+          frontier.push_back(v);
+          if (++count >= cap) break;
+        }
+        if (count >= cap) break;
+      }
+    }
+    ++next_cluster;
+  }
+
+  // Merge post-pass.  Seeded growth fragments: a region whose frontier runs
+  // into already-claimed neighbours stops undersized, so the raw region count
+  // can far exceed n / cap.  Fold fragments back together deterministically:
+  //   A) any region under half the cap merges into its smallest adjacent
+  //      region whenever the combined size still fits the cap;
+  //   B) when max_clusters is set it is a hard bound -- keep merging the
+  //      smallest region into its smallest neighbour (cap no longer binding)
+  //      until at most max_clusters remain.
+  std::size_t k = next_cluster;
+  std::vector<std::uint32_t> parent(k);
+  std::iota(parent.begin(), parent.end(), 0u);
+  const auto find = [&parent](std::uint32_t r) {
+    while (parent[r] != r) {
+      parent[r] = parent[parent[r]];
+      r = parent[r];
+    }
+    return r;
+  };
+  std::vector<std::size_t> rsize(k, 0);
+  for (const std::uint32_t c : assign) ++rsize[c];
+  std::vector<std::set<std::uint32_t>> radj(k);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (const pdes::LpId v : graph.fan_out(u)) {
+      const std::uint32_t a = assign[u], b = assign[v];
+      if (a == b) continue;
+      radj[a].insert(b);
+      radj[b].insert(a);
+    }
+  }
+  std::size_t live = k;
+  const auto merge_into = [&](std::uint32_t a, std::uint32_t b) {
+    rsize[b] += rsize[a];
+    radj[b].erase(a);
+    for (const std::uint32_t nb : radj[a]) {
+      radj[nb].erase(a);
+      if (nb != b) {
+        radj[nb].insert(b);
+        radj[b].insert(nb);
+      }
+    }
+    radj[a].clear();
+    parent[a] = b;
+    --live;
+  };
+  // Phase A: fixpoint of cap-respecting fragment absorption.
+  for (bool merged = true; merged;) {
+    merged = false;
+    for (std::uint32_t r = 0; r < k; ++r) {
+      if (find(r) != r || rsize[r] >= (cap + 1) / 2) continue;
+      std::uint32_t best = kUnassigned;
+      for (const std::uint32_t nb : radj[r]) {
+        if (rsize[r] + rsize[nb] > cap) continue;
+        if (best == kUnassigned || rsize[nb] < rsize[best]) best = nb;
+      }
+      if (best == kUnassigned) continue;
+      merge_into(r, best);
+      merged = true;
+    }
+  }
+  // Phase B: enforce the max_clusters bound outright.
+  while (opts.max_clusters > 0 && live > opts.max_clusters) {
+    std::uint32_t smallest = kUnassigned;
+    for (std::uint32_t r = 0; r < k; ++r) {
+      if (find(r) != r) continue;
+      if (smallest == kUnassigned || rsize[r] < rsize[smallest]) smallest = r;
+    }
+    std::uint32_t best = kUnassigned;
+    for (const std::uint32_t nb : radj[smallest]) {
+      if (best == kUnassigned || rsize[nb] < rsize[best]) best = nb;
+    }
+    if (best == kUnassigned) {  // isolated component: take the next-smallest
+      for (std::uint32_t r = 0; r < k; ++r) {
+        if (find(r) != r || r == smallest) continue;
+        if (best == kUnassigned || rsize[r] < rsize[best]) best = r;
+      }
+    }
+    if (best == kUnassigned) break;  // single region left
+    merge_into(smallest, best);
+  }
+
+  // Compact surviving roots to contiguous ids (ascending root order).
+  std::vector<std::uint32_t> remap(k, kUnassigned);
+  std::uint32_t compact = 0;
+  for (std::uint32_t r = 0; r < k; ++r)
+    if (find(r) == r) remap[r] = compact++;
+  for (std::uint32_t& c : assign) c = remap[find(c)];
+  return assign;
+}
+
+std::size_t num_clusters(const std::vector<std::uint32_t>& assignment) {
+  std::uint32_t k = 0;
+  for (const std::uint32_t c : assignment) k = std::max(k, c + 1);
+  return k;
+}
+
+}  // namespace vsim::partition

@@ -1,0 +1,46 @@
+// Deterministic LP clustering: groups flat model LPs into the fused-cluster
+// regions that pdes/cluster.h turns into runtime ClusterLps.
+//
+// The assignment is computed by seeded BFS-region growth over the UNDIRECTED
+// channel graph: regions grow breadth-first from seeded start points until
+// they reach the target size, so each cluster is a connected (whenever the
+// graph permits) neighbourhood of the bipartite signal/process topology --
+// the traffic a signal exchanges with its drivers and readers then stays
+// inside one runtime LP.  Same (graph, options) always yields the same
+// assignment, so clustered runs are reproducible and the sequential oracle
+// comparison is meaningful.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "pdes/graph.h"
+
+namespace vsim::partition {
+
+struct ClusterOptions {
+  /// Desired flat LPs per cluster.  Region growth stops at this size; the
+  /// final region of a connected component may be smaller.
+  std::size_t target_size = 64;
+  /// Optional hard upper bound on the cluster count; 0 means "derive from
+  /// target_size".  When set, the per-region size target is raised to
+  /// ceil(n / max_clusters) and a deterministic merge pass folds
+  /// fragmentation leftovers into adjacent regions until at most
+  /// max_clusters remain (so individual clusters may exceed the raised
+  /// target somewhat).
+  std::size_t max_clusters = 0;
+  /// Seeds the start-point permutation; every value gives a valid, merely
+  /// different, deterministic clustering.
+  std::uint64_t seed = 1;
+};
+
+/// Flat LpId -> cluster id, contiguous 0..k-1 with every cluster non-empty.
+[[nodiscard]] std::vector<std::uint32_t> cluster_bfs(
+    const pdes::LpGraph& graph, const ClusterOptions& opts);
+
+/// Number of clusters in an assignment (max id + 1; 0 for an empty one).
+[[nodiscard]] std::size_t num_clusters(
+    const std::vector<std::uint32_t>& assignment);
+
+}  // namespace vsim::partition

@@ -3,6 +3,12 @@
 // The paper used a naive partitioning (equal number of LPs per processor)
 // and notes that the bipartite process/signal topology admits better
 // locality-aware schemes ("Remarks", Sec. 3.4).  Both are provided.
+//
+// These schemes assign whatever LPs the graph holds: on a flat graph that
+// is one LP per signal/process; on a fused graph (pdes/cluster.h) each
+// "LP" is a whole ClusterLp, so the placement unit at six-figure netlist
+// scale is the cluster, not the individual signal.  Granularity below the
+// worker level is cluster.h's job (partition/cluster.h), not this file's.
 #pragma once
 
 #include "pdes/graph.h"

@@ -27,6 +27,12 @@
 // The same machinery serves crash recovery: redistribute_orphans() replaces
 // the old round-robin scattering of a dead worker's LPs under the
 // kRedistribute policy with load- and cut-aware placement.
+//
+// On a clustered graph (pdes/cluster.h) the migration unit is a whole
+// ClusterLp: the planner sees one work score per cluster and a move packs
+// the cluster's inners through the checkpoint codec in one shot -- coarser,
+// cheaper migrations, and the plan size stays bounded by clusters rather
+// than flat LPs.
 #pragma once
 
 #include <vector>

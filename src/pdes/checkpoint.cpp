@@ -38,9 +38,10 @@ namespace {
 constexpr std::uint8_t kMagic[4] = {'V', 'C', 'K', 'P'};
 // v2: appends per-LP state blobs (so a file can revive a fresh process) and
 // a trailing CRC32 over everything before it (so torn spills are detectable
-// by content, not just by decode luck).  v1 files are not readable; nothing
+// by content, not just by decode luck).  v3: events carry the clustering
+// sub-destination (Event::sub).  Older files are not readable; nothing
 // durable outlives a run of the version that wrote it.
-constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kVersion = 3;
 
 }  // namespace
 
@@ -48,6 +49,7 @@ void encode_event(bytes::Writer& w, const Event& ev) {
   w.vt(ev.ts);
   w.u32(ev.src);
   w.u32(ev.dst);
+  w.u32(ev.sub);
   w.u64(ev.uid);
   w.u16(static_cast<std::uint16_t>(ev.kind));
   w.u8(ev.negative ? 1 : 0);
@@ -61,6 +63,7 @@ Event decode_event(bytes::Reader& r) {
   ev.ts = r.vt();
   ev.src = r.u32();
   ev.dst = r.u32();
+  ev.sub = r.u32();
   ev.uid = r.u64();
   ev.kind = static_cast<std::int16_t>(r.u16());
   ev.negative = r.u8() != 0;

@@ -22,6 +22,12 @@
 // (partition/rebalance.h) packs an LP through it on the source worker and
 // reinstates it on the destination inside the same drained GVT round, so
 // migrating is exactly "checkpoint one LP, restore it under a new owner".
+//
+// Clustering composes transparently: a fused ClusterLp (pdes/cluster.h) is
+// one LP to this module, so the cluster is the unit of checkpointing and
+// migration.  Its save_state() is an O(1) undo-log marker, and its byte
+// codec concatenates the inner LPs' codecs in local order -- the snapshot a
+// rank ships or spills for a 64-LP cluster is one LpCheckpoint, not 64.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,244 @@
+#include "pdes/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <string>
+#include <utility>
+
+namespace vsim::pdes {
+
+// ---- state kinds ----
+
+// O(1) snapshot: a position in the cluster's undo log.  Registered with the
+// owner on construction so the log keeps every entry a live marker could
+// still need, unregistered (and the log trimmed) on destruction -- markers
+// live inside LpRuntime history entries and in-memory checkpoint rings, so
+// their lifetime exactly tracks "could this state still be restored".
+struct ClusterLp::Marker final : LpState {
+  Marker(const ClusterLp* o, std::uint64_t s, std::uint64_t e)
+      : owner(o), seq(s), epoch(e) {
+    owner->live_.insert(seq);
+  }
+  ~Marker() override { owner->unregister_marker(seq); }
+  Marker(const Marker&) = delete;
+  Marker& operator=(const Marker&) = delete;
+
+  const ClusterLp* owner;
+  std::uint64_t seq;
+  std::uint64_t epoch;
+};
+
+// Full materialised snapshot, one inner LpState per inner in local order.
+// Produced by decode_state() -- states that crossed a process boundary have
+// no undo log to point into.
+struct ClusterLp::Snapshot final : LpState {
+  std::vector<std::unique_ptr<LpState>> states;
+};
+
+// ---- inner dispatch ----
+
+// SimContext handed to an inner LP: `self` is the inner's FLAT id, and every
+// send is translated flat -> (cluster, sub) through the shared table.  An
+// intra-cluster send becomes a send from the cluster to itself, which the
+// runtime delivers through its own pending queue without touching a mailbox.
+class ClusterLp::InnerContext final : public SimContext {
+ public:
+  InnerContext(const ClusterLp& c, SimContext& out, LpId self_flat)
+      : c_(c), out_(out), self_(self_flat) {}
+
+  void send(LpId dst, VirtualTime ts, std::int16_t kind, Payload payload,
+            LpId sub) override {
+    (void)sub;
+    assert(sub == kInvalidLp && "model LPs must not pass sub themselves");
+    // The flat-model self-send rule still holds for each inner: only events
+    // BETWEEN two distinct inners may keep ts == now().
+    assert((dst != self_ || ts > out_.now()) &&
+           "inner self-sends must strictly advance virtual time");
+    out_.send(c_.table_->cluster_of[dst], ts, kind, std::move(payload), dst);
+  }
+
+  [[nodiscard]] VirtualTime now() const override { return out_.now(); }
+  [[nodiscard]] LpId self() const override { return self_; }
+
+ private:
+  const ClusterLp& c_;
+  SimContext& out_;
+  LpId self_;
+};
+
+// ---- ClusterLp ----
+
+void ClusterLp::adopt(std::unique_ptr<LogicalProcess> inner) {
+  can_save_ = can_save_ && inner->can_save_state();
+  // A cluster containing any synchronous component inherits the hint: the
+  // mixed configuration then runs the whole cluster conservatively, which is
+  // the safe direction (optimistic execution is never required).
+  if (inner->sync_hint()) set_sync_hint(true);
+  const PhysTime la = inner->lookahead();
+  lookahead_ = have_lookahead_ ? std::min(lookahead_, la) : la;
+  have_lookahead_ = true;
+  inners_.push_back(std::move(inner));
+}
+
+void ClusterLp::simulate(const Event& ev, SimContext& ctx) {
+  assert(ev.sub != kInvalidLp && "cluster events must carry an inner dst");
+  const std::uint32_t local = table_->local_of[ev.sub];
+  LogicalProcess* in = inners_[local].get();
+  // One undo entry per executed inner event, but only while some marker is
+  // live -- in pure conservative mode (no history, no checkpoint ring) the
+  // log stays empty and clustering adds no state-saving cost at all.
+  if (!live_.empty())
+    undo_.push_back({++clock_, local, in->save_state()});
+  else
+    ++clock_;
+  InnerContext ictx(*this, ctx, ev.sub);
+  in->simulate(ev, ictx);
+}
+
+std::unique_ptr<LpState> ClusterLp::save_state() const {
+  return std::make_unique<Marker>(this, clock_, epoch_);
+}
+
+void ClusterLp::restore_state(const LpState& s) {
+  if (const auto* m = dynamic_cast<const Marker*>(&s)) {
+    assert(m->owner == this);
+    assert(m->epoch == epoch_ &&
+           "marker from a timeline abandoned by a snapshot restore");
+    // Undo, newest first, every inner event executed after the marker.
+    while (!undo_.empty() && undo_.back().seq > m->seq) {
+      UndoEntry& e = undo_.back();
+      inners_[e.local]->restore_state(*e.pre);
+      undo_.pop_back();
+    }
+    return;
+  }
+  const auto& snap = static_cast<const Snapshot&>(s);
+  assert(snap.states.size() == inners_.size());
+  for (std::size_t i = 0; i < inners_.size(); ++i)
+    inners_[i]->restore_state(*snap.states[i]);
+  // The undo log described the replaced timeline; any marker still pointing
+  // into it is dead (epoch-guarded above).  Snapshot restores only happen on
+  // distributed recovery, where histories are already empty.
+  undo_.clear();
+  ++epoch_;
+}
+
+bool ClusterLp::encode_state(const LpState& s, bytes::Writer& w) const {
+  if (!can_save_) return false;
+  w.u64(inners_.size());
+  if (const auto* m = dynamic_cast<const Marker*>(&s)) {
+    assert(m->owner == this && m->epoch == epoch_);
+    // Reconstruct each inner's state as of the marker without disturbing the
+    // live log: the OLDEST undo entry after the marker holds the state that
+    // inner had at marker time; inners untouched since are simply current.
+    std::vector<const LpState*> at(inners_.size(), nullptr);
+    for (const UndoEntry& e : undo_)
+      if (e.seq > m->seq && at[e.local] == nullptr) at[e.local] = e.pre.get();
+    for (std::size_t i = 0; i < inners_.size(); ++i) {
+      std::unique_ptr<LpState> cur;
+      const LpState* st = at[i];
+      if (st == nullptr) {
+        cur = inners_[i]->save_state();
+        st = cur.get();
+      }
+      if (!inners_[i]->encode_state(*st, w)) return false;
+    }
+    return true;
+  }
+  const auto& snap = static_cast<const Snapshot&>(s);
+  for (std::size_t i = 0; i < inners_.size(); ++i)
+    if (!inners_[i]->encode_state(*snap.states[i], w)) return false;
+  return true;
+}
+
+std::unique_ptr<LpState> ClusterLp::decode_state(bytes::Reader& r) const {
+  if (!can_save_) return nullptr;
+  if (r.u64() != inners_.size() || !r.ok()) return nullptr;
+  auto snap = std::make_unique<Snapshot>();
+  snap->states.reserve(inners_.size());
+  for (const auto& in : inners_) {
+    auto st = in->decode_state(r);
+    if (st == nullptr) return nullptr;
+    snap->states.push_back(std::move(st));
+  }
+  return snap;
+}
+
+double ClusterLp::event_cost(const Event& ev) const {
+  if (ev.sub == kInvalidLp) return 1.0;
+  return inners_[table_->local_of[ev.sub]]->event_cost(ev);
+}
+
+PhysTime ClusterLp::lookahead() const {
+  return have_lookahead_ ? lookahead_ : 0;
+}
+
+void ClusterLp::unregister_marker(std::uint64_t seq) const {
+  live_.erase(live_.find(seq));
+  trim_undo();
+}
+
+void ClusterLp::trim_undo() const {
+  const std::uint64_t min_live =
+      live_.empty() ? std::numeric_limits<std::uint64_t>::max()
+                    : *live_.begin();
+  // An entry is needed only to restore a marker that precedes it; once no
+  // live marker is older than the entry, it can never be popped again.
+  while (!undo_.empty() && undo_.front().seq <= min_live) undo_.pop_front();
+}
+
+// ---- fusion ----
+
+FusedGraph fuse_clusters(LpGraph& flat,
+                         const std::vector<std::uint32_t>& assignment) {
+  const std::size_t n = flat.size();
+  assert(assignment.size() == n);
+  std::uint32_t k = 0;
+  for (const std::uint32_t c : assignment) k = std::max(k, c + 1);
+
+  FusedGraph out;
+  out.table = std::make_unique<ClusterTable>();
+  out.table->cluster_of.resize(n);
+  out.table->local_of.resize(n);
+  out.flat_size = n;
+  out.num_clusters = k;
+
+  std::vector<ClusterLp*> cls(k);
+  for (std::uint32_t c = 0; c < k; ++c) {
+    auto lp = std::make_unique<ClusterLp>("cluster" + std::to_string(c),
+                                          out.table.get());
+    cls[c] = lp.get();
+    const LpId id = out.graph.add(std::move(lp));
+    (void)id;
+    assert(id == c);
+  }
+
+  // Adopt in flat-id order: local indices and the state codec order are then
+  // deterministic functions of (flat graph, assignment).
+  std::vector<std::uint32_t> next_local(k, 0);
+  for (LpId f = 0; f < n; ++f) {
+    const std::uint32_t c = assignment[f];
+    out.table->cluster_of[f] = c;
+    out.table->local_of[f] = next_local[c]++;
+    cls[c]->adopt(flat.extract(f));
+  }
+
+  // Only inter-cluster edges survive as runtime channels (deduplicated);
+  // everything intra-cluster is local to the fused LP's pending queue.
+  std::set<std::pair<LpId, LpId>> edges;
+  for (LpId f = 0; f < n; ++f)
+    for (const LpId t : flat.fan_out(f)) {
+      const LpId cf = out.table->cluster_of[f];
+      const LpId ct = out.table->cluster_of[t];
+      if (cf != ct) edges.emplace(cf, ct);
+    }
+  for (const auto& [s, d] : edges) out.graph.add_channel(s, d);
+
+  for (const Event& ev : flat.initial_events())
+    out.graph.post_initial(out.table->cluster_of[ev.dst], ev.ts, ev.kind,
+                           ev.payload, /*sub=*/ev.dst);
+  return out;
+}
+
+}  // namespace vsim::pdes

@@ -1,0 +1,142 @@
+// LP clustering: fuse many flat model LPs into one runtime ClusterLp.
+//
+// The paper's bipartite mapping gives every VHDL signal and process its own
+// LP, which is the right granularity for the protocol but far too fine for
+// six-figure netlists: per-LP scheduling keys, mailbox hops and GVT scans
+// all scale with the LP count.  The clustering layer keeps the MODEL flat --
+// signals and processes are built, named and traced exactly as before -- but
+// fuses spatially close LPs (partition/cluster.h computes the assignment)
+// into ClusterLps that are what the engines actually schedule:
+//
+//   * A ClusterLp is a plain LogicalProcess.  Every engine, the rebalancer
+//     and the checkpoint codec handle it with zero structural changes, and
+//     the cluster is the unit of migration and checkpointing.
+//   * Events into a fused graph carry the inner flat destination in
+//     Event::sub; the runtime routes on `dst` (the cluster) alone and the
+//     cluster dispatches on `sub`.  Intra-cluster traffic becomes a local
+//     enqueue on the cluster's own pending queue -- it never touches a
+//     mailbox or the transport -- and may keep ts == now() (in flat terms it
+//     is an ordinary inter-LP event, safe under the arbitrary equal-time
+//     ordering; see DESIGN.md "LP clustering").  Clustered runs therefore
+//     REQUIRE EventOrdering::kArbitrary: under kUserConsistent a same-time
+//     intra-cluster arrival would be treated as a straggler for its own
+//     generator and the run would livelock re-executing it.
+//   * Rollback granularity is preserved: each inner event is one runtime
+//     event.  save_state() is O(1) -- it returns a position marker into an
+//     undo log that records, per executed inner event, the single inner
+//     pre-state, so rolling back k events costs O(k) inner restores instead
+//     of O(cluster size) snapshot copies per event.
+//
+// The sequential oracle keeps running the flat graph, so a clustered run is
+// proven bit-identical by comparing committed traces through inner_dst().
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "pdes/graph.h"
+#include "pdes/lp.h"
+
+namespace vsim::pdes {
+
+/// Routing table shared by every ClusterLp of one fused graph: flat model
+/// LpId -> (owning cluster's LpId, local index within that cluster).
+struct ClusterTable {
+  std::vector<LpId> cluster_of;
+  std::vector<std::uint32_t> local_of;
+};
+
+/// A fused runtime LP owning a set of flat model LPs.  Inners keep the LpId
+/// the flat graph assigned them -- that id remains their model identity (it
+/// is what Event::sub and trace hooks see).
+class ClusterLp final : public LogicalProcess {
+ public:
+  ClusterLp(std::string name, const ClusterTable* table)
+      : LogicalProcess(std::move(name)), table_(table) {}
+
+  /// Moves one flat model LP into this cluster.  Adoption order defines the
+  /// local index order and the encode_state/decode_state codec order, so it
+  /// must be deterministic (fuse_clusters adopts in flat-id order).
+  void adopt(std::unique_ptr<LogicalProcess> inner);
+
+  [[nodiscard]] std::size_t size() const { return inners_.size(); }
+  [[nodiscard]] const LogicalProcess& inner(std::size_t local) const {
+    return *inners_[local];
+  }
+
+  void simulate(const Event& ev, SimContext& ctx) override;
+
+  /// O(1): returns a marker into the undo log, not a copy of the cluster.
+  /// The marker stays tied to this cluster's live timeline; undo entries are
+  /// retained while any marker (history entry or in-memory checkpoint) that
+  /// precedes them is alive, and trimmed as markers are destroyed.
+  [[nodiscard]] std::unique_ptr<LpState> save_state() const override;
+  void restore_state(const LpState& s) override;
+  [[nodiscard]] bool can_save_state() const override { return can_save_; }
+
+  /// Byte codec: concatenation of the inner codecs in local order.  Works
+  /// for marker states too -- the inner states as of the marker are
+  /// reconstructed non-destructively from the undo log.
+  [[nodiscard]] bool encode_state(const LpState& s,
+                                  bytes::Writer& w) const override;
+  [[nodiscard]] std::unique_ptr<LpState> decode_state(
+      bytes::Reader& r) const override;
+
+  [[nodiscard]] double event_cost(const Event& ev) const override;
+  [[nodiscard]] PhysTime lookahead() const override;
+
+ private:
+  class InnerContext;
+  struct Marker;
+  struct Snapshot;
+  /// One executed inner event: the pre-state of the single inner it touched.
+  struct UndoEntry {
+    std::uint64_t seq;
+    std::uint32_t local;
+    std::unique_ptr<LpState> pre;
+  };
+
+  void unregister_marker(std::uint64_t seq) const;
+  void trim_undo() const;
+
+  const ClusterTable* table_;
+  std::vector<std::unique_ptr<LogicalProcess>> inners_;
+  bool can_save_ = true;
+  bool have_lookahead_ = false;
+  PhysTime lookahead_ = 0;
+
+  // Undo-log machinery (mutable: save_state() is const but must register the
+  // marker).  `clock_` numbers undo entries; a marker with seq s restores by
+  // popping every entry with seq > s in reverse.  `live_` tracks the seqs of
+  // all outstanding markers so the log can be trimmed below the oldest one;
+  // when no marker is live (pure conservative mode, no checkpoint ring) no
+  // entries are recorded at all.  `epoch_` guards against markers from a
+  // timeline abandoned by a full-snapshot restore.
+  mutable std::deque<UndoEntry> undo_;
+  mutable std::multiset<std::uint64_t> live_;
+  mutable std::uint64_t clock_ = 0;
+  mutable std::uint64_t epoch_ = 0;
+};
+
+/// A clustered LP graph plus the routing table its ClusterLps share.  Keep
+/// this alive (and un-moved-from) for as long as the graph is simulated.
+struct FusedGraph {
+  LpGraph graph;
+  std::unique_ptr<ClusterTable> table;
+  std::size_t num_clusters = 0;
+  std::size_t flat_size = 0;
+};
+
+/// Fuses `flat` under `assignment` (flat LpId -> cluster id; ids must be
+/// contiguous 0..k-1, as partition/cluster.h produces).  Moves every model
+/// LP out of `flat` -- the husk keeps only its topology and must not be
+/// simulated afterwards.  Inter-cluster channels are deduplicated;
+/// intra-cluster edges disappear from the runtime topology.  Initial events
+/// are re-addressed to the owning cluster with the flat target in `sub`.
+[[nodiscard]] FusedGraph fuse_clusters(
+    LpGraph& flat, const std::vector<std::uint32_t>& assignment);
+
+}  // namespace vsim::pdes

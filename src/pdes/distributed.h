@@ -51,6 +51,14 @@
 // structured RecoveryError rather than hang.  The committed trace of a
 // crashed-and-recovered run -- coordinator deaths included -- is
 // bit-identical to an uninterrupted one.
+//
+// Clustered graphs (pdes/cluster.h) run unchanged: a ClusterLp is a plain
+// LP to this engine, Event::sub carries the inner flat destination across
+// the wire (checkpoint codec v3) and through the supervisor's commit pipe,
+// and only inter-cluster edges ever touch the socket mesh -- intra-cluster
+// traffic is a local enqueue inside the owning rank.  At 100k+ signals this
+// is what keeps per-rank mailbox pressure and the per-round scan bounded by
+// clusters instead of flat LPs (see DESIGN.md "LP clustering").
 #pragma once
 
 #include <cstdint>

@@ -30,11 +30,24 @@ struct Event {
   VirtualTime ts;
   LpId src = kInvalidLp;
   LpId dst = kInvalidLp;
+  /// Clustered graphs (pdes/cluster.h): the flat model LP inside the fused
+  /// ClusterLp `dst` that this event is really addressed to.  kInvalidLp for
+  /// flat graphs and protocol messages; routing, rollback and cancellation
+  /// all key on `dst` alone and never inspect this field.
+  LpId sub = kInvalidLp;
   EventUid uid = 0;
   std::int16_t kind = 0;      ///< application-defined discriminator
   bool negative = false;      ///< anti-message (Time Warp cancellation)
   Payload payload;
 };
+
+/// The model-level destination of `ev`: the inner flat LP when the event is
+/// addressed into a fused cluster, otherwise the runtime destination itself.
+/// Observers that match on model identity (e.g. the trace monitor) must use
+/// this instead of `ev.dst` so they see through clustering.
+[[nodiscard]] inline LpId inner_dst(const Event& ev) {
+  return ev.sub == kInvalidLp ? ev.dst : ev.sub;
+}
 
 /// Trace flow id of a message send: the event uid disambiguated by polarity,
 /// so a positive message and the anti-message that chases it draw as two

@@ -32,11 +32,21 @@ class LpGraph {
   }
 
   /// Seeds an event delivered before the simulation starts (e.g. the
-  /// initial execution of every VHDL process at time zero).
+  /// initial execution of every VHDL process at time zero).  `sub` carries
+  /// the inner flat destination when `dst` is a fused ClusterLp.
   void post_initial(LpId dst, VirtualTime ts, std::int16_t kind,
-                    Payload payload = {});
+                    Payload payload = {}, LpId sub = kInvalidLp);
   [[nodiscard]] const std::vector<Event>& initial_events() const {
     return initial_;
+  }
+
+  /// Releases ownership of LP `id`, leaving a null slot behind.  Only the
+  /// clustering pass (pdes/cluster.h) uses this, to move every model LP into
+  /// its fused ClusterLp; a husked graph must not be simulated.  The LP keeps
+  /// the id this graph assigned it -- inside a cluster that flat id remains
+  /// its model identity.
+  [[nodiscard]] std::unique_ptr<LogicalProcess> extract(LpId id) {
+    return std::move(lps_[id]);
   }
 
  private:
@@ -61,14 +71,21 @@ inline void LpGraph::add_channel(LpId src, LpId dst) {
 }
 
 inline void LpGraph::post_initial(LpId dst, VirtualTime ts, std::int16_t kind,
-                                  Payload payload) {
+                                  Payload payload, LpId sub) {
   Event ev;
   ev.ts = ts;
   ev.src = kInvalidLp;
   ev.dst = dst;
-  // Initial events never need anti-message matching; give them uids in a
-  // reserved range that keeps container ordering deterministic.
-  ev.uid = initial_.size();
+  ev.sub = sub;
+  // Initial events never need anti-message matching, but their uids MUST
+  // stay disjoint from every runtime uid ((lp_id << 40) | seq): LP 0's sends
+  // get uids 1, 2, 3, ... too, and a colliding uid lets an anti-message for
+  // an ordinary send annihilate a rolled-back-and-repended initial event --
+  // the inner then simply never initialises.  The top bit marks the initial
+  // range (a runtime uid would need lp_id >= 2^23, far beyond any graph);
+  // counting up from the base keeps the relative (ts, uid) execution order
+  // of the initial events exactly as posted.
+  ev.uid = (EventUid{1} << 63) + initial_.size();
   ev.kind = kind;
   ev.payload = std::move(payload);
   initial_.push_back(std::move(ev));

@@ -27,8 +27,15 @@ class SimContext {
 
   /// Sends `kind`/`payload` to `dst` at virtual time `ts`.
   /// Requires ts >= now(); self-sends additionally require ts > now().
+  ///
+  /// `sub` is only set by the clustering layer (pdes/cluster.h): it names the
+  /// flat model LP inside the fused ClusterLp `dst`.  A sub-carrying send may
+  /// target the sender's own runtime LP at ts == now() -- in flat terms that
+  /// is an ordinary inter-LP zero-delay event between two inners of the same
+  /// cluster, which the arbitrary equal-timestamp ordering (DESIGN.md §2)
+  /// makes safe.  Model LPs never pass `sub` themselves.
   virtual void send(LpId dst, VirtualTime ts, std::int16_t kind,
-                    Payload payload) = 0;
+                    Payload payload, LpId sub = kInvalidLp) = 0;
 
   [[nodiscard]] virtual VirtualTime now() const = 0;
   [[nodiscard]] virtual LpId self() const = 0;

@@ -6,7 +6,7 @@ namespace vsim::pdes {
 namespace {
 
 bool same_message(const Event& a, const Event& b) {
-  return a.dst == b.dst && a.ts == b.ts && a.kind == b.kind &&
+  return a.dst == b.dst && a.sub == b.sub && a.ts == b.ts && a.kind == b.kind &&
          a.payload.port == b.payload.port &&
          a.payload.scalar == b.payload.scalar &&
          a.payload.bits == b.payload.bits;
@@ -20,14 +20,19 @@ class LpRuntime::CollectContext final : public SimContext {
   CollectContext(LpRuntime& rt, VirtualTime now) : rt_(rt), now_(now) {}
 
   void send(LpId dst, VirtualTime ts, std::int16_t kind,
-            Payload payload) override {
+            Payload payload, LpId sub) override {
     assert(ts >= now_ && "causality: sends may not be in the past");
-    assert((dst != rt_.id() || ts > now_) &&
+    // Sub-carrying sends are inter-LP events in flat-model terms, so a fused
+    // cluster may legally address itself at ts == now() (one inner feeding a
+    // sibling inner in the same delta phase); plain self-sends must still
+    // strictly advance time or the pending queue never drains.
+    assert((dst != rt_.id() || ts > now_ || sub != kInvalidLp) &&
            "self-sends must strictly advance virtual time");
     Event ev;
     ev.ts = ts;
     ev.src = rt_.id();
     ev.dst = dst;
+    ev.sub = sub;
     ev.uid = (static_cast<EventUid>(rt_.id()) << 40) | (++rt_.send_seq_);
     ev.kind = kind;
     ev.payload = std::move(payload);

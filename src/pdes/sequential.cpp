@@ -12,13 +12,18 @@ class SeqContext final : public SimContext {
       : queue_(queue), now_(now), self_(self), seq_(seq) {}
 
   void send(LpId dst, VirtualTime ts, std::int16_t kind,
-            Payload payload) override {
+            Payload payload, LpId sub) override {
     assert(ts >= now_);
-    assert(dst != self_ || ts > now_);
+    // Same relaxation as LpRuntime::CollectContext: a sub-carrying self-send
+    // is an intra-cluster event between two distinct flat LPs and may keep
+    // ts == now().  (The oracle normally runs LP-flat; this path only fires
+    // if a clustered graph is handed to the sequential engine directly.)
+    assert(dst != self_ || ts > now_ || sub != kInvalidLp);
     Event ev;
     ev.ts = ts;
     ev.src = self_;
     ev.dst = dst;
+    ev.sub = sub;
     ev.uid = (static_cast<EventUid>(self_) << 40) | (++seq_);
     ev.kind = kind;
     ev.payload = std::move(payload);

@@ -51,7 +51,12 @@ struct LpStats {
   std::uint64_t state_saves = 0;
   /// Peak saved-history length of THIS LP (memory proxy).  Aggregations:
   /// max over LPs = `tw.peak_history` (RunStats::peak_history()), sum over
-  /// LPs = `tw.total_history` (RunStats::total_history()).
+  /// LPs = `tw.total_history` (RunStats::total_history()).  On a clustered
+  /// graph the runtime LP is a ClusterLp, so this is the *per-cluster* peak
+  /// (one history entry per inner event executed by the cluster) and the
+  /// per_lp vector has one slot per cluster, not per flat LP --
+  /// ClusterStats.MetricsMatchLegacyTotalsUnderClustering pins the
+  /// gauge/legacy-total equivalence under fusing.
   std::size_t max_history = 0;
   /// Conservative<->optimistic transitions by the dynamic configuration
   /// (metrics: `tw.mode_switches`).

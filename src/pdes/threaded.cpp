@@ -462,10 +462,16 @@ void ThreadedEngine::worker_main(std::size_t wi) {
         barrier_->arrive_and_wait();
         if (empty) break;
       }
-      // Local minimum over owned LPs.
+      // Local minimum over owned LPs: the per-worker leg of the two-level
+      // GVT reduction (each worker scans only its own LPs in parallel, the
+      // coordinator merges P candidates), so the per-round serial cost is
+      // O(P), not O(P x LP).  The scan-items metric counts the candidates
+      // this worker touched; summed over workers it grows with the LP count
+      // per round, and with clustering "LP count" means fused clusters.
       VirtualTime local_min = kTimeInf;
       for (const LpId lp : w.owned)
         local_min = std::min(local_min, key_[lp]);
+      metrics_.shard(wi).inc(obs::Metric::kGvtScanItems, w.owned.size());
       {
         std::lock_guard<std::mutex> lock(gvt_mutex_);
         gvt_candidate_ = std::min(gvt_candidate_, local_min);

@@ -21,7 +21,10 @@ TraceRecorder::TraceRecorder(Design& design,
 
 std::function<void(const pdes::Event&)> TraceRecorder::hook() {
   return [this](const pdes::Event& ev) {
-    if (ev.dst != monitor_id_ || ev.kind != kUpdate) return;
+    // inner_dst() sees through LP clustering: in a fused graph the committed
+    // event's dst is the ClusterLp holding the monitor, and the flat monitor
+    // id rides in ev.sub.  Flat runs are unchanged (sub == kInvalidLp).
+    if (pdes::inner_dst(ev) != monitor_id_ || ev.kind != kUpdate) return;
     std::lock_guard<std::mutex> lock(mutex_);
     traces_[static_cast<std::size_t>(ev.payload.port)].push_back(
         {ev.ts, ev.payload.bits});

@@ -85,7 +85,10 @@ void SignalLp::simulate(const pdes::Event& ev, pdes::SimContext& ctx) {
       drivers_[driver].schedule(maturity, ev.payload.bits,
                                 ev.kind == kAssignTransport,
                                 /*reject_from=*/now);
-      ctx.send(ev.dst, maturity, kDriving, {});
+      // ctx.self() rather than ev.dst: inside a fused cluster the runtime
+      // destination is the cluster, but this self-send must address the
+      // signal's own flat id (the cluster context translates it back).
+      ctx.send(ctx.self(), maturity, kDriving, {});
       break;
     }
     case kDriving: {
@@ -97,7 +100,7 @@ void SignalLp::simulate(const pdes::Event& ev, pdes::SimContext& ctx) {
       if (is_resolved()) {
         // Another driver may mature at this same time; resolution must run
         // after all of them, in the next phase.
-        ctx.send(ev.dst, now.next_phase(), kEffective, {});
+        ctx.send(ctx.self(), now.next_phase(), kEffective, {});
       } else {
         const LogicVector& v = drivers_.front().driving_value();
         if (!(v == effective_)) {

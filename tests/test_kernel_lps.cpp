@@ -20,8 +20,15 @@ class CaptureCtx final : public pdes::SimContext {
  public:
   CaptureCtx(VirtualTime now, pdes::LpId self) : now_(now), self_(self) {}
   void send(pdes::LpId dst, VirtualTime ts, std::int16_t kind,
-            pdes::Payload payload) override {
-    sent.push_back({ts, self_, dst, 0, kind, false, std::move(payload)});
+            pdes::Payload payload, pdes::LpId sub) override {
+    pdes::Event e;
+    e.ts = ts;
+    e.src = self_;
+    e.dst = dst;
+    e.sub = sub;
+    e.kind = kind;
+    e.payload = std::move(payload);
+    sent.push_back(std::move(e));
   }
   [[nodiscard]] VirtualTime now() const override { return now_; }
   [[nodiscard]] pdes::LpId self() const override { return self_; }

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Doc-link checker: fail on dangling references into the repo's documents.
+
+Three classes of reference are verified (all are cheap to keep honest and
+historically the first things to rot when sections are renamed):
+
+1. Markdown links in the root *.md files whose target is a repo-relative
+   path: the file must exist, and a `#fragment`, if present, must match a
+   heading of the target document under GitHub's slugging rules.
+2. Quoted section references anywhere in docs, sources, tests, benches and
+   ci.sh -- `DESIGN.md "Hot-path data structures"`, `DESIGN.md
+   ("Observability")`, `DESIGN.md § *Distributed engine*` -- the quoted
+   phrase must occur verbatim in the named document (headings get renamed;
+   prose references do not follow automatically).
+3. Numbered section references `DESIGN.md §N`: section `## N.` must exist.
+
+Exit status: number of dangling references (0 = clean).
+"""
+
+import glob
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DOC_NAMES = ("DESIGN.md", "README.md", "EXPERIMENTS.md", "ROADMAP.md")
+
+# [text](target) -- excluding images and bare autolinks.
+MD_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+# DESIGN.md "Title" / DESIGN.md ("Title") / DESIGN.md, "Title"
+QUOTED_REF = re.compile(
+    r"(DESIGN\.md|README\.md|EXPERIMENTS\.md|ROADMAP\.md)"
+    r"[,:]?\s*\(?[\"“]([^\"”\n]{3,60})[\"”]")
+# DESIGN.md § *Title* (markdown emphasis form)
+STAR_REF = re.compile(
+    r"(DESIGN\.md|README\.md)[^\n]{0,20}?§\s*\*([^*\n]{3,60})\*")
+# DESIGN.md §7 / §6, §7
+NUM_REF = re.compile(r"DESIGN\.md\s*§(\d+)")
+
+
+def github_slug(heading):
+    s = heading.strip().lower()
+    s = re.sub(r"[^\w\- ]", "", s, flags=re.UNICODE)
+    return s.replace(" ", "-")
+
+
+def headings(path):
+    out = []
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            m = re.match(r"(#{1,6})\s+(.*)", line)
+            if m:
+                out.append(m.group(2).strip())
+    return out
+
+
+def doc_text(cache, name):
+    if name not in cache:
+        with open(os.path.join(ROOT, name), encoding="utf-8") as f:
+            cache[name] = f.read()
+    return cache[name]
+
+
+def main():
+    errors = []
+    cache = {}
+
+    # 1. markdown links in root docs
+    for doc in sorted(glob.glob(os.path.join(ROOT, "*.md"))):
+        text = doc_text(cache, os.path.basename(doc))
+        for m in MD_LINK.finditer(text):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path, _, frag = target.partition("#")
+            where = "%s -> %s" % (os.path.basename(doc), target)
+            full = os.path.normpath(
+                os.path.join(os.path.dirname(doc), path)) if path else doc
+            if not os.path.exists(full):
+                errors.append("missing file: " + where)
+                continue
+            if frag and full.endswith(".md"):
+                slugs = [github_slug(h) for h in headings(full)]
+                if github_slug(frag) not in slugs:
+                    errors.append("dangling anchor: " + where)
+
+    # 2 + 3. section references from docs, sources, tests, benches, ci.sh
+    ref_files = []
+    for pat in ("*.md", "ci.sh", "src/**/*.h", "src/**/*.cpp",
+                "tests/*.cpp", "bench/*.cpp", "bench/*.h", "tools/*.py",
+                "examples/*.cpp"):
+        ref_files += glob.glob(os.path.join(ROOT, pat), recursive=True)
+    for path in sorted(set(ref_files)):
+        rel = os.path.relpath(path, ROOT)
+        if rel == os.path.join("tools", "check_doc_links.py"):
+            continue  # our own docstring/patterns are not references
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        # Comments wrap quoted titles across lines; rejoin before matching.
+        joined = re.sub(r"\n\s*(?://|\*|#)?\s*", " ", text)
+        for doc, phrase in (QUOTED_REF.findall(joined) +
+                            STAR_REF.findall(joined)):
+            if rel == os.path.basename(path) == doc:
+                continue  # a document quoting its own headings is fine
+            if phrase not in doc_text(cache, doc):
+                errors.append('dangling section ref in %s: %s "%s"'
+                              % (rel, doc, phrase))
+        for num in NUM_REF.findall(joined):
+            if not re.search(r"^##\s*%s\." % num,
+                             doc_text(cache, "DESIGN.md"), re.M):
+                errors.append("dangling numbered ref in %s: DESIGN.md §%s"
+                              % (rel, num))
+
+    for e in errors:
+        print("FAIL " + e)
+    if not errors:
+        print("OK doc links (%d files scanned)" % len(set(ref_files)))
+    return len(errors)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
