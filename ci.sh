@@ -32,6 +32,14 @@ echo "==> Distributed smoke: 4-rank UDS mesh vs oracle + SIGKILL recovery"
 # exactly once.
 ./build/tests/test_distributed --gtest_filter='Distributed.FourRankSocketRunMatchesOracle:Distributed.SigkilledRankRecoversToOracle:Distributed.CoordinatorKillRecoversToOracle'
 
+echo "==> Codegen smoke: native backend bit-identical to the interpreter"
+# The ctest sweep above already ran these rows; the named gate keeps the
+# native-backend proof visible: the compiled counter design must trace
+# bit-identically to the interpreter, and a warm re-elaboration must hit
+# the .so cache instead of recompiling.  The full randomized differential
+# matrix runs under the stress label above (CodegenDiff.* x 200 seeds).
+ctest --test-dir build -L codegen_smoke --output-on-failure
+
 echo "==> Clustered smoke: fused ClusterLps, threaded + 4-rank distributed"
 # The full cluster suite (incl. the 100k-signal scale rows) already ran in
 # the ctest sweep; this named gate re-runs the two load-bearing clustered
@@ -73,8 +81,11 @@ echo "==> Perf gate: microbench + placement reports vs committed baselines"
 VSIM_BENCH_DIR="$ARTIFACTS" ./build/bench/bench_microbench \
   --benchmark_min_time=0.1 > /dev/null
 VSIM_BENCH_DIR="$ARTIFACTS" ./build/bench/bench_ablation placement > /dev/null
+# Native-codegen speedup row: the committed baseline floor (1.4x) trips the
+# diff below when the backend silently stops beating the interpreter.
+VSIM_BENCH_DIR="$ARTIFACTS" ./build/bench/bench_codegen > /dev/null
 python3 tools/bench_diff.py --validate "$ARTIFACTS/BENCH_microbench.json" \
-  "$ARTIFACTS/BENCH_ablation.json"
+  "$ARTIFACTS/BENCH_ablation.json" "$ARTIFACTS/BENCH_codegen.json"
 python3 tools/bench_diff.py bench/baseline "$ARTIFACTS"
 
 echo "==> AddressSanitizer build"
@@ -110,5 +121,15 @@ TSAN_OPTIONS="halt_on_error=1" \
 # binary is ever split.
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir build-tsan -L mailbox --output-on-failure
+
+echo "==> Sanitizer fallback: native backend must refuse to dlopen"
+# A TSan binary must never load the uninstrumented .so the codegen backend
+# produces -- the sanitizer runtime cannot see into it and would report
+# nonsense (or miss real races).  Asking the sanitized pipeline for the
+# native backend has to print the one-time fallback notice and complete on
+# the interpreter.
+fallback_notice=$(cd "$ARTIFACTS" && VSIM_BACKEND=native \
+    "$OLDPWD/build-tsan/examples/vhdl_source_sim" 2>&1 >/dev/null)
+grep -q "falling back to interpreter" <<<"$fallback_notice"
 
 echo "==> OK"

@@ -1,0 +1,1371 @@
+// AOT native backend: Program -> C++ source -> shared object -> CompiledBody.
+//
+// The emitter mirrors interp.cpp operation for operation.  Everything the
+// generated runtime needs -- the IEEE 1164 operator tables included -- is
+// emitted *by calling the host's own logic functions at generation time*, so
+// the tables in the .so are definitionally the interpreter's tables.  Error
+// strings, evaluation order and wraparound rules are copied from interp.cpp
+// verbatim; tests/test_codegen_diff.cpp holds the two backends bit-identical.
+//
+// Suspension state is an explicit flat struct (pc + fixed-capacity values),
+// so Time Warp snapshots are plain byte copies and the distributed
+// checkpoint codec encodes it canonically (field-wise, not memcpy, so
+// padding never leaks into checkpoint bytes).
+#include "frontend/codegen.h"
+
+#ifndef _WIN32
+#include <dlfcn.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+#endif
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace vsim::fe {
+
+namespace {
+
+// ------------------------------------------------------------------ stats
+
+struct StatsGlobals {
+  std::mutex mu;
+  CodegenStats s;
+};
+
+StatsGlobals& stats_globals() {
+  static StatsGlobals g;
+  return g;
+}
+
+void stat_native_body() {
+  StatsGlobals& g = stats_globals();
+  std::lock_guard<std::mutex> lock(g.mu);
+  ++g.s.native_bodies;
+  obs::process_counter_add(obs::Metric::kNativeBodies);
+}
+
+void stat_cache_hit() {
+  StatsGlobals& g = stats_globals();
+  std::lock_guard<std::mutex> lock(g.mu);
+  ++g.s.cache_hits;
+  obs::process_counter_add(obs::Metric::kCodegenCacheHits);
+}
+
+void stat_compile(double ms) {
+  StatsGlobals& g = stats_globals();
+  std::lock_guard<std::mutex> lock(g.mu);
+  ++g.s.compiles;
+  if (ms > g.s.max_compile_ms) g.s.max_compile_ms = ms;
+  obs::process_counter_add(obs::Metric::kCodegenCompiles);
+  obs::process_gauge_max(obs::Gauge::kCodegenCompileMs, ms);
+}
+
+void stat_fallback() {
+  StatsGlobals& g = stats_globals();
+  std::lock_guard<std::mutex> lock(g.mu);
+  ++g.s.interp_fallbacks;
+  obs::process_counter_add(obs::Metric::kInterpFallbacks);
+}
+
+// -------------------------------------------------------------- emit utils
+
+std::string esc_str(const std::string& s) {
+  std::string out;
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else if (c >= 32 && c < 127) {
+      out += static_cast<char>(c);
+    } else {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\%03o", c);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::string codes_str(const LogicVector& v) {
+  std::string s;
+  s.reserve(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    s += static_cast<char>('0' + static_cast<int>(v.at(i)));
+  return s;
+}
+
+/// C++ expression constructing the V equivalent of an elaboration-time Value.
+std::string value_lit(const Value& v) {
+  switch (v.kind) {
+    case Value::Kind::kInt:
+      return "vs_int(" + std::to_string(v.i) + "ll)";
+    case Value::Kind::kBool:
+      return v.b ? "vs_bool(1)" : "vs_bool(0)";
+    case Value::Kind::kBits:
+      return "vs_vec_c(\"" + codes_str(v.bits) + "\", " +
+             std::to_string(v.bits.size()) + ")";
+  }
+  return "vs_empty()";
+}
+
+/// Compile-time integer value of an expression, when statically known.
+bool const_int_of(const Program& prog, const ast::Expr& e, std::int64_t* out) {
+  if (e.kind == ast::ExprKind::kIntLit) {
+    *out = e.int_lit;
+    return true;
+  }
+  if (e.kind == ast::ExprKind::kName) {
+    const auto it = prog.slots.find(&e);
+    if (it != prog.slots.end() && it->second.kind == Slot::Kind::kConstant &&
+        it->second.constant.kind == Value::Kind::kInt) {
+      *out = it->second.constant.i;
+      return true;
+    }
+  }
+  return false;
+}
+
+// ----------------------------------------------------------- width bounds
+
+/// Upper-bounds every LogicVector width the program can produce at runtime,
+/// so the generated runtime can use a fixed-capacity value struct.  Throws
+/// ElabError (-> interp fallback) on constructs whose width cannot be
+/// bounded statically (to_unsigned with a non-constant width).
+class WidthBound {
+ public:
+  explicit WidthBound(const Program& prog) : prog_(prog) {}
+
+  std::size_t bound() {
+    std::size_t peak = 64;  // as_bits of an int without a hint -> 32 bits
+    for (const Program::Instr& ins : prog_.instrs) {
+      if (ins.value != nullptr) peak = std::max(peak, expr(*ins.value));
+      if (ins.index != nullptr) peak = std::max(peak, expr(*ins.index));
+      if (ins.after != nullptr) peak = std::max(peak, expr(*ins.after));
+    }
+    for (const ast::Type& t : prog_.var_types) peak = std::max(peak, t.width());
+    for (const ast::Type& t : prog_.out_types) peak = std::max(peak, t.width());
+    for (const Value& v : prog_.var_init)
+      if (v.kind == Value::Kind::kBits) peak = std::max(peak, v.bits.size());
+    for (const Value& v : prog_.out_init)
+      if (v.kind == Value::Kind::kBits) peak = std::max(peak, v.bits.size());
+    return peak;
+  }
+
+ private:
+  std::size_t expr(const ast::Expr& e) {
+    switch (e.kind) {
+      case ast::ExprKind::kCharLit:
+        return 1;
+      case ast::ExprKind::kStringLit:
+        return e.string_lit.size();
+      case ast::ExprKind::kIntLit:
+        return 64;
+      case ast::ExprKind::kName: {
+        const auto it = prog_.slots.find(&e);
+        if (it == prog_.slots.end()) return 64;
+        const Slot& s = it->second;
+        std::size_t w = s.type.width();
+        if (s.kind == Slot::Kind::kConstant &&
+            s.constant.kind == Value::Kind::kBits)
+          w = std::max(w, s.constant.bits.size());
+        return std::max<std::size_t>(w, 64);
+      }
+      case ast::ExprKind::kIndex:
+        return std::max<std::size_t>(64, expr(*e.rhs));
+      case ast::ExprKind::kBinary: {
+        const std::size_t a = expr(*e.lhs), b = expr(*e.rhs);
+        if (e.bin_op == ast::BinOp::kConcat) return a + b;
+        return std::max(a, b);
+      }
+      case ast::ExprKind::kUnary:
+        return expr(*e.lhs);
+      case ast::ExprKind::kAttrEvent:
+        return 1;
+      case ast::ExprKind::kCall: {
+        if (e.name == "rising_edge" || e.name == "falling_edge") return 1;
+        if (e.name == "to_unsigned") {
+          std::int64_t n = 0;
+          if (e.rhs == nullptr || !const_int_of(prog_, *e.rhs, &n) || n < 0)
+            throw ElabError(
+                "process " + prog_.name +
+                ": to_unsigned with a non-constant width is not supported "
+                "by the native backend");
+          return std::max<std::size_t>(static_cast<std::size_t>(n),
+                                       expr(*e.lhs));
+        }
+        return e.lhs != nullptr ? expr(*e.lhs) : std::size_t{1};
+      }
+    }
+    return 64;
+  }
+
+  const Program& prog_;
+};
+
+// ------------------------------------------------------ expression emitter
+
+/// Emits one statement-per-step C++ for an expression tree, returning the
+/// name of the temporary holding the result.  Statement sequencing (rather
+/// than nested calls) pins the evaluation order to interp.cpp's, so error
+/// precedence is identical too.
+class ExprGen {
+ public:
+  ExprGen(const Program& prog, std::ostringstream& o, std::string ind)
+      : prog_(prog), o_(o), ind_(std::move(ind)) {}
+
+  std::string gen(const ast::Expr& e) {
+    switch (e.kind) {
+      case ast::ExprKind::kCharLit:
+        return def("vs_scalar(" +
+                   std::to_string(static_cast<int>(e.char_lit)) + ")");
+      case ast::ExprKind::kStringLit:
+        return def("vs_vec_c(\"" +
+                   codes_str(LogicVector::from_string(e.string_lit)) + "\", " +
+                   std::to_string(e.string_lit.size()) + ")");
+      case ast::ExprKind::kIntLit:
+        return def("vs_int(" + std::to_string(e.int_lit) + "ll)");
+      case ast::ExprKind::kName: {
+        const Slot& s = prog_.slots.at(&e);
+        switch (s.kind) {
+          case Slot::Kind::kSignalIn:
+            return def("vs_read(api, " + std::to_string(s.port) + ")");
+          case Slot::Kind::kVariable:
+          case Slot::Kind::kLoopVar:
+            return def("st->vars[" + std::to_string(s.index) + "]");
+          case Slot::Kind::kConstant:
+            return def(value_lit(s.constant));
+        }
+        return def("vs_empty()");
+      }
+      case ast::ExprKind::kIndex: {
+        const Slot& s = prog_.slots.at(&e);
+        const std::string r = gen(*e.rhs);
+        const std::string idx =
+            def_i64("vs_as_int(" + r + ", " + std::to_string(e.line) + ")");
+        std::string whole;
+        switch (s.kind) {
+          case Slot::Kind::kSignalIn:
+            whole = def("vs_read(api, " + std::to_string(s.port) + ")");
+            break;
+          case Slot::Kind::kVariable:
+          case Slot::Kind::kLoopVar:
+            whole = def("vs_as_bits(st->vars[" + std::to_string(s.index) +
+                        "], 0, " + std::to_string(e.line) + ")");
+            break;
+          case Slot::Kind::kConstant:
+            whole = def("vs_as_bits(" + value_lit(s.constant) + ", 0, " +
+                        std::to_string(e.line) + ")");
+            break;
+        }
+        return def("vs_index(" + whole + ", " + idx + ", " +
+                   std::to_string(s.type.left) + ", " +
+                   (s.type.downto ? "1" : "0") + ", " +
+                   std::to_string(e.line) + ")");
+      }
+      case ast::ExprKind::kBinary: {
+        const std::string a = gen(*e.lhs);
+        const std::string b = gen(*e.rhs);
+        const std::string line = std::to_string(e.line);
+        switch (e.bin_op) {
+          case ast::BinOp::kAnd:
+            return def("vs_logic(0, " + a + ", " + b + ", " + line + ")");
+          case ast::BinOp::kOr:
+            return def("vs_logic(1, " + a + ", " + b + ", " + line + ")");
+          case ast::BinOp::kNand:
+            return def("vs_logic(2, " + a + ", " + b + ", " + line + ")");
+          case ast::BinOp::kNor:
+            return def("vs_logic(3, " + a + ", " + b + ", " + line + ")");
+          case ast::BinOp::kXor:
+            return def("vs_logic(4, " + a + ", " + b + ", " + line + ")");
+          case ast::BinOp::kXnor:
+            return def("vs_logic(5, " + a + ", " + b + ", " + line + ")");
+          case ast::BinOp::kEq:
+            return def("vs_rel(0, " + a + ", " + b + ", " + line + ")");
+          case ast::BinOp::kNeq:
+            return def("vs_rel(1, " + a + ", " + b + ", " + line + ")");
+          case ast::BinOp::kLt:
+            return def("vs_rel(2, " + a + ", " + b + ", " + line + ")");
+          case ast::BinOp::kLe:
+            return def("vs_rel(3, " + a + ", " + b + ", " + line + ")");
+          case ast::BinOp::kGt:
+            return def("vs_rel(4, " + a + ", " + b + ", " + line + ")");
+          case ast::BinOp::kGe:
+            return def("vs_rel(5, " + a + ", " + b + ", " + line + ")");
+          case ast::BinOp::kAdd:
+            return def("vs_arith(0, " + a + ", " + b + ", " + line + ")");
+          case ast::BinOp::kSub:
+            return def("vs_arith(1, " + a + ", " + b + ", " + line + ")");
+          case ast::BinOp::kMul:
+            return def("vs_arith(2, " + a + ", " + b + ", " + line + ")");
+          case ast::BinOp::kMod:
+            return def("vs_arith(3, " + a + ", " + b + ", " + line + ")");
+          case ast::BinOp::kDiv:
+            return def("vs_arith(4, " + a + ", " + b + ", " + line + ")");
+          case ast::BinOp::kConcat:
+            return def("vs_concat(" + a + ", " + b + ", " + line + ")");
+        }
+        return def("vs_empty()");
+      }
+      case ast::ExprKind::kUnary: {
+        const std::string a = gen(*e.lhs);
+        if (e.un_op == ast::UnOp::kMinus)
+          return def("vs_int(-vs_as_int(" + a + ", " +
+                     std::to_string(e.line) + "))");
+        return def("vs_not(" + a + ", " + std::to_string(e.line) + ")");
+      }
+      case ast::ExprKind::kAttrEvent: {
+        const Slot& s = prog_.slots.at(&e);
+        return def("vs_bool(api->event(api->ctx, " + std::to_string(s.port) +
+                   "))");
+      }
+      case ast::ExprKind::kCall: {
+        const std::string line = std::to_string(e.line);
+        if (e.name == "rising_edge" || e.name == "falling_edge") {
+          const Slot& s = prog_.slots.at(e.lhs.get());
+          return def("vs_bool(vs_edge(api, " + std::to_string(s.port) + ", " +
+                     (e.name == "rising_edge" ? "1" : "0") + "))");
+        }
+        if (e.name == "to_integer") {
+          const std::string a = gen(*e.lhs);
+          return def("vs_int(vs_as_int(" + a + ", " + line + "))");
+        }
+        if (e.name == "to_unsigned") {
+          const std::string a = gen(*e.lhs);
+          const std::string v = def_i64("vs_as_int(" + a + ", " + line + ")");
+          const std::string b = gen(*e.rhs);
+          const std::string n = def_i64("vs_as_int(" + b + ", " + line + ")");
+          return def("vs_from_uint((uint64_t)" + v + ", " + n + ", " + line +
+                     ")");
+        }
+        // std_logic_vector(x), unsigned(x), to_stdlogicvector(x): identity.
+        return gen(*e.lhs);
+      }
+    }
+    return def("vs_empty()");
+  }
+
+  std::string def(const std::string& init) {
+    std::string n = "t" + std::to_string(tmp_++);
+    o_ << ind_ << "V " << n << " = " << init << ";\n";
+    return n;
+  }
+  std::string def_i64(const std::string& init) {
+    std::string n = "t" + std::to_string(tmp_++);
+    o_ << ind_ << "int64_t " << n << " = " << init << ";\n";
+    return n;
+  }
+
+ private:
+  const Program& prog_;
+  std::ostringstream& o_;
+  std::string ind_;
+  int tmp_ = 0;
+};
+
+// ----------------------------------------------------- runtime preamble
+
+void emit_tables(std::ostringstream& o) {
+  const auto emit2 = [&o](const char* name, Logic (*fn)(Logic, Logic)) {
+    o << "const unsigned char " << name << "[81] = {";
+    for (int a = 0; a < kNumLogic; ++a)
+      for (int b = 0; b < kNumLogic; ++b)
+        o << static_cast<int>(
+                 fn(static_cast<Logic>(a), static_cast<Logic>(b)))
+          << ",";
+    o << "};\n";
+  };
+  const auto emit1 = [&o](const char* name, Logic (*fn)(Logic)) {
+    o << "const unsigned char " << name << "[9] = {";
+    for (int a = 0; a < kNumLogic; ++a)
+      o << static_cast<int>(fn(static_cast<Logic>(a))) << ",";
+    o << "};\n";
+  };
+  emit2("T_AND", &logic_and);
+  emit2("T_OR", &logic_or);
+  emit2("T_XOR", &logic_xor);
+  emit1("T_NOT", &logic_not);
+  emit1("T_X01", &to_x01);
+}
+
+void emit_preamble(std::ostringstream& o, std::size_t cap, std::size_t nv,
+                   std::size_t no) {
+  o << "#include <stdarg.h>\n"
+       "#include <stdint.h>\n"
+       "#include <stdio.h>\n"
+       "#include <string.h>\n"
+       "\n"
+       "namespace {\n"
+       "\n"
+    << "constexpr int32_t CAP = " << cap << ";\n"
+    << "constexpr int32_t NV = " << nv << ";\n"
+    << "constexpr int32_t NO = " << no << ";\n"
+    << R"__(
+struct Api {
+  void* ctx;
+  int32_t (*value)(void*, int32_t, uint8_t*);
+  int32_t (*event)(void*, int32_t);
+  void (*assign)(void*, int32_t, const uint8_t*, int32_t, int64_t, int32_t);
+  void (*wait_on)(void*, const int32_t*, int32_t, int32_t, int32_t, int64_t);
+  void (*wait_for)(void*, int64_t);
+  void (*wait_forever)(void*);
+  void (*report)(void*, const char*);
+  void (*fail)(void*, const char*);
+};
+
+struct RtErr { char msg[256]; };
+
+[[noreturn]] void vs_fail(const char* fmt, ...) {
+  RtErr e;
+  va_list ap;
+  va_start(ap, fmt);
+  vsnprintf(e.msg, sizeof e.msg, fmt, ap);
+  va_end(ap);
+  throw e;
+}
+
+)__";
+  emit_tables(o);
+  o << R"__(
+// Fixed-capacity mirror of fe::Value.  Kind codes: 0 = bits, 1 = int,
+// 2 = bool.  Every constructor zeroes the whole struct so state bytes are
+// deterministic (snapshots are byte copies of the state block).
+struct V {
+  int64_t i;
+  int32_t n;
+  uint8_t kind;
+  uint8_t b;
+  uint8_t bits[CAP];
+};
+
+V vs_empty() { V v; memset(&v, 0, sizeof v); return v; }
+V vs_int(int64_t x) { V v = vs_empty(); v.kind = 1; v.i = x; return v; }
+V vs_bool(int b) {
+  V v = vs_empty();
+  v.kind = 2;
+  v.b = (uint8_t)(b ? 1 : 0);
+  return v;
+}
+V vs_scalar(uint8_t code) {
+  V v = vs_empty();
+  v.n = 1;
+  v.bits[0] = code;
+  return v;
+}
+V vs_vec_c(const char* codes, int32_t n) {
+  V v = vs_empty();
+  v.n = n;
+  for (int32_t k = 0; k < n; ++k) v.bits[k] = (uint8_t)(codes[k] - '0');
+  return v;
+}
+uint8_t vs_scalar_of(const V& v) { return v.n == 0 ? 0 : v.bits[0]; }
+
+int vs_truthy(const V& v) {
+  if (v.kind == 2) return v.b != 0;
+  if (v.kind == 1) return v.i != 0;
+  return T_X01[vs_scalar_of(v)] == 3;
+}
+
+int64_t vs_as_int(const V& v, int line) {
+  if (v.kind == 1) return v.i;
+  if (v.kind == 2) return v.b ? 1 : 0;
+  if (v.n == 0 || v.n > 64)
+    vs_fail("line %d: vector with non-01 bits used as integer", line);
+  uint64_t acc = 0;
+  for (int32_t k = 0; k < v.n; ++k) {
+    const uint8_t c = T_X01[v.bits[k]];
+    if (c != 2 && c != 3)
+      vs_fail("line %d: vector with non-01 bits used as integer", line);
+    acc = (acc << 1) | (uint64_t)(c == 3 ? 1 : 0);
+  }
+  return (int64_t)acc;
+}
+
+V vs_from_uint(uint64_t value, int64_t n, int line) {
+  if (n < 0 || n > CAP)
+    vs_fail("line %d: vector width exceeds native backend capacity", line);
+  V v = vs_empty();
+  v.n = (int32_t)n;
+  for (int32_t k = 0; k < v.n; ++k) {
+    const int64_t sh = n - 1 - k;
+    const uint64_t bit = sh < 64 ? (value >> sh) & 1u : 0;
+    v.bits[k] = bit ? 3 : 2;
+  }
+  return v;
+}
+
+V vs_as_bits(const V& v, int32_t width_hint, int line) {
+  if (v.kind == 0) return v;
+  if (v.kind == 2) return vs_scalar(v.b ? 3 : 2);
+  const int32_t w = width_hint ? width_hint : 32;
+  return vs_from_uint((uint64_t)v.i, w, line);
+}
+
+// op: 0 and, 1 or, 2 nand, 3 nor, 4 xor, 5 xnor.
+V vs_logic(int op, const V& a, const V& b, int line) {
+  if (a.kind == 2 || b.kind == 2) {
+    const int x = vs_truthy(a), y = vs_truthy(b);
+    int r = 0;
+    switch (op) {
+      case 0: r = x && y; break;
+      case 1: r = x || y; break;
+      case 2: r = !(x && y); break;
+      case 3: r = !(x || y); break;
+      case 4: r = x != y; break;
+      default: r = x == y; break;
+    }
+    return vs_bool(r);
+  }
+  const V va = vs_as_bits(a, 0, line), vb = vs_as_bits(b, 0, line);
+  if (va.n != vb.n)
+    vs_fail("line %d: operand width mismatch (%d vs %d)", line, (int)va.n,
+            (int)vb.n);
+  V out = vs_empty();
+  out.n = va.n;
+  for (int32_t k = 0; k < va.n; ++k) {
+    const int idx = va.bits[k] * 9 + vb.bits[k];
+    uint8_t r;
+    switch (op) {
+      case 0: r = T_AND[idx]; break;
+      case 1: r = T_OR[idx]; break;
+      case 2: r = T_NOT[T_AND[idx]]; break;
+      case 3: r = T_NOT[T_OR[idx]]; break;
+      case 4: r = T_XOR[idx]; break;
+      default: r = T_NOT[T_XOR[idx]]; break;
+    }
+    out.bits[k] = r;
+  }
+  return out;
+}
+
+// op: 0 add, 1 sub, 2 mul, 3 mod, 4 div.  Vector arithmetic is unsigned
+// with wraparound at the vector width (numeric_std `unsigned`).
+V vs_arith(int op, const V& a, const V& b, int line) {
+  if (a.kind == 0 || b.kind == 0) {
+    const int32_t w = a.kind == 0 ? a.n : b.n;
+    const uint64_t x = (uint64_t)vs_as_int(a, line);
+    const uint64_t y = (uint64_t)vs_as_int(b, line);
+    uint64_t r = 0;
+    switch (op) {
+      case 0: r = x + y; break;
+      case 1: r = x - y; break;
+      case 2: r = x * y; break;
+      case 3: r = y == 0 ? 0 : x % y; break;
+      default: r = y == 0 ? 0 : x / y; break;
+    }
+    if (w < 64) r &= (1ull << w) - 1;
+    return vs_from_uint(r, w, line);
+  }
+  const int64_t x = vs_as_int(a, line), y = vs_as_int(b, line);
+  switch (op) {
+    case 0: return vs_int(x + y);
+    case 1: return vs_int(x - y);
+    case 2: return vs_int(x * y);
+    case 3: return vs_int(y == 0 ? 0 : ((x % y) + y) % y);
+    default: return vs_int(y == 0 ? 0 : x / y);
+  }
+}
+
+int vs_equals(const V& a, const V& b) {
+  if (a.kind == 0 && b.kind == 0)
+    return a.n == b.n && memcmp(a.bits, b.bits, (size_t)a.n) == 0;
+  if (a.kind == 1 && b.kind == 1) return a.i == b.i;
+  if (a.kind == 2 && b.kind == 2) return a.b == b.b;
+  // int vs bits: compare as unsigned when convertible.
+  if (a.kind == 0 && b.kind == 1) {
+    if (a.n == 0 || a.n > 64) return 0;
+    uint64_t acc = 0;
+    for (int32_t k = 0; k < a.n; ++k) {
+      const uint8_t c = T_X01[a.bits[k]];
+      if (c != 2 && c != 3) return 0;
+      acc = (acc << 1) | (uint64_t)(c == 3 ? 1 : 0);
+    }
+    return (int64_t)acc == b.i;
+  }
+  if (a.kind == 1 && b.kind == 0) return vs_equals(b, a);
+  return 0;
+}
+
+// op: 0 eq, 1 neq, 2 lt, 3 le, 4 gt, 5 ge.
+V vs_rel(int op, const V& a, const V& b, int line) {
+  if (op == 0) return vs_bool(vs_equals(a, b));
+  if (op == 1) return vs_bool(!vs_equals(a, b));
+  const int64_t x = vs_as_int(a, line), y = vs_as_int(b, line);
+  switch (op) {
+    case 2: return vs_bool(x < y);
+    case 3: return vs_bool(x <= y);
+    case 4: return vs_bool(x > y);
+    default: return vs_bool(x >= y);
+  }
+}
+
+V vs_concat(const V& a, const V& b, int line) {
+  const V va = vs_as_bits(a, 0, line), vb = vs_as_bits(b, 0, line);
+  if (va.n + vb.n > CAP)
+    vs_fail("line %d: vector width exceeds native backend capacity", line);
+  V out = vs_empty();
+  out.n = va.n + vb.n;
+  memcpy(out.bits, va.bits, (size_t)va.n);
+  memcpy(out.bits + va.n, vb.bits, (size_t)vb.n);
+  return out;
+}
+
+V vs_not(const V& a, int line) {
+  if (a.kind == 2) return vs_bool(!a.b);
+  V v = vs_as_bits(a, 0, line);
+  for (int32_t k = 0; k < v.n; ++k) v.bits[k] = T_NOT[v.bits[k]];
+  return v;
+}
+
+V vs_index(const V& whole, int64_t idx, int64_t left, int downto, int line) {
+  const int64_t pos = downto ? left - idx : idx - left;
+  if (pos < 0 || pos >= (int64_t)whole.n)
+    vs_fail("line %d: index out of range", line);
+  return vs_scalar(whole.bits[pos]);
+}
+
+void vs_set_bit(V* whole, int64_t idx, int64_t left, int downto, const V& val,
+                int line) {
+  const int64_t pos = downto ? left - idx : idx - left;
+  if (pos < 0 || pos >= (int64_t)whole->n)
+    vs_fail("line %d: index out of range in assignment", line);
+  whole->bits[pos] = vs_scalar_of(vs_as_bits(val, 0, line));
+}
+
+V vs_read(const Api* api, int32_t port) {
+  V v = vs_empty();
+  const int32_t n = api->value(api->ctx, port, v.bits);
+  if (n < 0) vs_fail("native input wider than generated capacity");
+  v.n = n;
+  return v;
+}
+
+int vs_edge(const Api* api, int32_t port, int rising) {
+  const V v = vs_read(api, port);
+  const uint8_t c = T_X01[vs_scalar_of(v)];
+  const int lvl = rising ? c == 3 : c == 2;
+  return api->event(api->ctx, port) && lvl;
+}
+
+struct St {
+  int64_t pc;
+  V vars[NV > 0 ? NV : 1];
+  V driven[NO > 0 ? NO : 1];
+};
+
+void wr_u8(uint8_t* out, int64_t* pos, uint8_t v) { out[(*pos)++] = v; }
+void wr_u32(uint8_t* out, int64_t* pos, uint32_t v) {
+  for (int k = 0; k < 4; ++k) out[(*pos)++] = (uint8_t)(v >> (8 * k));
+}
+void wr_u64(uint8_t* out, int64_t* pos, uint64_t v) {
+  for (int k = 0; k < 8; ++k) out[(*pos)++] = (uint8_t)(v >> (8 * k));
+}
+void wr_val(uint8_t* out, int64_t* pos, const V& v) {
+  wr_u8(out, pos, v.kind);
+  wr_u8(out, pos, v.b);
+  wr_u64(out, pos, (uint64_t)v.i);
+  wr_u32(out, pos, (uint32_t)v.n);
+  for (int32_t k = 0; k < v.n; ++k) wr_u8(out, pos, v.bits[k]);
+}
+
+int rd_u8(const uint8_t* in, int64_t len, int64_t* pos, uint8_t* v) {
+  if (*pos + 1 > len) return 0;
+  *v = in[(*pos)++];
+  return 1;
+}
+int rd_u32(const uint8_t* in, int64_t len, int64_t* pos, uint32_t* v) {
+  if (*pos + 4 > len) return 0;
+  uint32_t r = 0;
+  for (int k = 0; k < 4; ++k) r |= (uint32_t)in[(*pos)++] << (8 * k);
+  *v = r;
+  return 1;
+}
+int rd_u64(const uint8_t* in, int64_t len, int64_t* pos, uint64_t* v) {
+  if (*pos + 8 > len) return 0;
+  uint64_t r = 0;
+  for (int k = 0; k < 8; ++k) r |= (uint64_t)in[(*pos)++] << (8 * k);
+  *v = r;
+  return 1;
+}
+int rd_val(const uint8_t* in, int64_t len, int64_t* pos, V* v) {
+  *v = vs_empty();
+  uint64_t i = 0;
+  uint32_t n = 0;
+  if (!rd_u8(in, len, pos, &v->kind) || v->kind > 2) return 0;
+  if (!rd_u8(in, len, pos, &v->b) || v->b > 1) return 0;
+  if (!rd_u64(in, len, pos, &i)) return 0;
+  v->i = (int64_t)i;
+  if (!rd_u32(in, len, pos, &n) || n > (uint32_t)CAP) return 0;
+  v->n = (int32_t)n;
+  for (int32_t k = 0; k < v->n; ++k) {
+    if (!rd_u8(in, len, pos, &v->bits[k]) || v->bits[k] > 8) return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+)__";
+}
+
+// -------------------------------------------------------- body emission
+
+void emit_instr(std::ostringstream& o, const Program& prog, int pc,
+                const Program::Instr& ins) {
+  using Op = Program::Instr::Op;
+  const std::string L = std::to_string(ins.line);
+  o << "      case " << pc << ": {\n";
+  ExprGen g(prog, o, "        ");
+  switch (ins.op) {
+    case Op::kAssignSig: {
+      const std::string v = g.gen(*ins.value);
+      const auto port = static_cast<std::size_t>(ins.a);
+      const ast::Type& t = prog.out_types[port];
+      const std::string W = std::to_string(t.width());
+      std::string whole;
+      if (ins.index != nullptr) {
+        whole = g.def("vs_as_bits(st->driven[" + std::to_string(ins.a) +
+                      "], " + W + ", " + L + ")");
+        const std::string iv = g.gen(*ins.index);
+        const std::string idx = g.def_i64("vs_as_int(" + iv + ", " + L + ")");
+        o << "        vs_set_bit(&" << whole << ", " << idx << ", "
+          << t.left << ", " << (t.downto ? 1 : 0) << ", " << v << ", " << L
+          << ");\n";
+      } else {
+        whole = g.def("vs_as_bits(" + v + ", " + W + ", " + L + ")");
+        o << "        if (" << whole << ".n != " << W << ")\n"
+          << "          vs_fail(\"line %d: width mismatch in signal "
+             "assignment\", "
+          << L << ");\n";
+      }
+      o << "        st->driven[" << ins.a << "] = " << whole << ";\n";
+      std::string delay = "0";
+      if (ins.after != nullptr) {
+        const std::string av = g.gen(*ins.after);
+        delay = g.def_i64("vs_as_int(" + av + ", " + L + ")");
+      }
+      o << "        api->assign(api->ctx, " << ins.a << ", " << whole
+        << ".bits, " << whole << ".n, " << delay << ", "
+        << (ins.transport ? 1 : 0) << ");\n"
+        << "        st->pc = " << pc + 1 << ";\n";
+      break;
+    }
+    case Op::kAssignVar: {
+      const std::string v = g.gen(*ins.value);
+      const auto slot = static_cast<std::size_t>(ins.a);
+      const std::string S = std::to_string(ins.a);
+      if (ins.index != nullptr) {
+        const ast::Type& t = prog.var_types[slot];
+        const std::string whole =
+            g.def("vs_as_bits(st->vars[" + S + "], " +
+                  std::to_string(t.width()) + ", " + L + ")");
+        const std::string iv = g.gen(*ins.index);
+        const std::string idx = g.def_i64("vs_as_int(" + iv + ", " + L + ")");
+        o << "        vs_set_bit(&" << whole << ", " << idx << ", " << t.left
+          << ", " << (t.downto ? 1 : 0) << ", " << v << ", " << L << ");\n"
+          << "        st->vars[" << S << "] = " << whole << ";\n";
+      } else {
+        // Preserve the declared kind (integer variables stay integers).
+        o << "        if (st->vars[" << S << "].kind == 1 && " << v
+          << ".kind != 1)\n"
+          << "          st->vars[" << S << "] = vs_int(vs_as_int(" << v
+          << ", " << L << "));\n"
+          << "        else if (st->vars[" << S << "].kind == 2 && " << v
+          << ".kind != 2)\n"
+          << "          st->vars[" << S << "] = vs_bool(vs_truthy(" << v
+          << "));\n"
+          << "        else\n"
+          << "          st->vars[" << S << "] = " << v << ";\n";
+      }
+      o << "        st->pc = " << pc + 1 << ";\n";
+      break;
+    }
+    case Op::kBranchFalse: {
+      const std::string c = g.gen(*ins.value);
+      o << "        st->pc = vs_truthy(" << c << ") ? " << pc + 1 << " : "
+        << ins.a << ";\n";
+      break;
+    }
+    case Op::kJump:
+      o << "        st->pc = " << ins.a << ";\n";
+      break;
+    case Op::kWait: {
+      o << "        st->pc = " << pc + 1 << ";\n";
+      std::string timeout = "0";
+      if (ins.after != nullptr) {
+        const std::string av = g.gen(*ins.after);
+        timeout = g.def_i64("vs_as_int(" + av + ", " + L + ")");
+      }
+      if (ins.wait_ports.empty() && ins.after == nullptr) {
+        o << "        api->wait_forever(api->ctx);\n";
+      } else if (ins.wait_ports.empty()) {
+        o << "        api->wait_for(api->ctx, " << timeout << ");\n";
+      } else {
+        o << "        static const int32_t wp[] = {";
+        for (std::size_t i = 0; i < ins.wait_ports.size(); ++i) {
+          if (i) o << ", ";
+          o << ins.wait_ports[i];
+        }
+        o << "};\n"
+          << "        api->wait_on(api->ctx, wp, "
+          << ins.wait_ports.size() << ", " << ins.cond_id << ", "
+          << (ins.after != nullptr ? 1 : 0) << ", " << timeout << ");\n";
+      }
+      o << "        return 0;\n";
+      break;
+    }
+    case Op::kReport:
+      o << "        api->report(api->ctx, \"" << esc_str(ins.message)
+        << "\");\n"
+        << "        st->pc = " << pc + 1 << ";\n";
+      break;
+    case Op::kHalt:
+      o << "        api->wait_forever(api->ctx);\n"
+        << "        return 0;\n";
+      break;
+  }
+  o << "      } break;\n";
+}
+
+void emit_exports(std::ostringstream& o, const Program& prog) {
+  const std::string name_esc = esc_str(prog.name);
+
+  o << "extern \"C\" int32_t vsim_abi() { return 1; }\n"
+       "extern \"C\" int64_t vsim_state_size() { return sizeof(St); }\n"
+       "extern \"C\" int32_t vsim_cap() { return CAP; }\n"
+       "extern \"C\" int64_t vsim_encode_cap() {\n"
+       "  return 8 + (int64_t)(NV + NO) * (14 + CAP);\n"
+       "}\n\n";
+
+  o << "extern \"C\" void vsim_state_init(uint8_t* state) {\n"
+       "  St* st = (St*)state;\n"
+       "  memset(st, 0, sizeof(St));\n"
+       "  st->pc = 0;\n";
+  for (std::size_t i = 0; i < prog.var_init.size(); ++i)
+    o << "  st->vars[" << i << "] = " << value_lit(prog.var_init[i]) << ";\n";
+  for (std::size_t i = 0; i < prog.out_init.size(); ++i)
+    o << "  st->driven[" << i << "] = " << value_lit(prog.out_init[i])
+      << ";\n";
+  o << "}\n\n";
+
+  // run(): one switch case per instruction; the step budget and the
+  // out-of-range -> wait_forever rule mirror InterpBody::run.
+  o << "extern \"C\" int32_t vsim_run(uint8_t* state, const Api* api) {\n"
+       "  St* st = (St*)state;\n"
+       "  try {\n"
+       "    for (int step = 0; step < (1 << 20); ++step) {\n"
+       "      switch (st->pc) {\n";
+  for (std::size_t pc = 0; pc < prog.instrs.size(); ++pc)
+    emit_instr(o, prog, static_cast<int>(pc), prog.instrs[pc]);
+  o << "      default:\n"
+       "        api->wait_forever(api->ctx);\n"
+       "        return 0;\n"
+       "      }\n"
+       "    }\n"
+       "    vs_fail(\"process %s exceeded the instruction budget without "
+       "waiting (possible infinite loop without wait)\", \""
+    << name_esc
+    << "\");\n"
+       "  } catch (const RtErr& e) {\n"
+       "    api->fail(api->ctx, e.msg);\n"
+       "    return 1;\n"
+       "  }\n"
+       "  return 0;\n"
+       "}\n\n";
+
+  // eval_cond(): one case per `wait until` condition id.
+  o << "extern \"C\" int32_t vsim_eval_cond(uint8_t* state, const Api* api,\n"
+       "                                    int32_t cond_id) {\n"
+       "  St* st = (St*)state;\n"
+       "  (void)st;\n"
+       "  try {\n"
+       "    switch (cond_id) {\n";
+  for (const Program::Instr& ins : prog.instrs) {
+    if (ins.op != Program::Instr::Op::kWait || ins.cond_id < 0) continue;
+    o << "    case " << ins.cond_id << ": {\n";
+    if (ins.value == nullptr) {
+      o << "      return 1;\n";
+    } else {
+      ExprGen g(prog, o, "      ");
+      const std::string c = g.gen(*ins.value);
+      o << "      return vs_truthy(" << c << ") ? 1 : 0;\n";
+    }
+    o << "    }\n";
+  }
+  o << "    default:\n"
+       "      return 1;\n"
+       "    }\n"
+       "  } catch (const RtErr& e) {\n"
+       "    api->fail(api->ctx, e.msg);\n"
+       "    return -1;\n"
+       "  }\n"
+       "}\n\n";
+
+  // Canonical field-wise codec: checkpoint bytes never see struct padding.
+  o << "extern \"C\" int64_t vsim_encode(const uint8_t* state, uint8_t* out,\n"
+       "                                 int64_t cap) {\n"
+       "  const St* st = (const St*)state;\n"
+       "  int64_t need = 8;\n"
+       "  for (int32_t k = 0; k < NV; ++k) need += 14 + st->vars[k].n;\n"
+       "  for (int32_t k = 0; k < NO; ++k) need += 14 + st->driven[k].n;\n"
+       "  if (need > cap) return -1;\n"
+       "  int64_t pos = 0;\n"
+       "  wr_u64(out, &pos, (uint64_t)st->pc);\n"
+       "  for (int32_t k = 0; k < NV; ++k) wr_val(out, &pos, st->vars[k]);\n"
+       "  for (int32_t k = 0; k < NO; ++k) wr_val(out, &pos, st->driven[k]);\n"
+       "  return pos;\n"
+       "}\n\n";
+
+  o << "extern \"C\" int32_t vsim_decode(uint8_t* state, const uint8_t* data,\n"
+       "                                 int64_t len) {\n"
+       "  St tmp;\n"
+       "  memset(&tmp, 0, sizeof tmp);\n"
+       "  int64_t pos = 0;\n"
+       "  uint64_t pc = 0;\n"
+       "  if (!rd_u64(data, len, &pos, &pc)) return 0;\n"
+       "  tmp.pc = (int64_t)pc;\n"
+       "  for (int32_t k = 0; k < NV; ++k)\n"
+       "    if (!rd_val(data, len, &pos, &tmp.vars[k])) return 0;\n"
+       "  for (int32_t k = 0; k < NO; ++k)\n"
+       "    if (!rd_val(data, len, &pos, &tmp.driven[k])) return 0;\n"
+       "  if (pos != len) return 0;\n"
+       "  memcpy(state, &tmp, sizeof tmp);\n"
+       "  return 1;\n"
+       "}\n";
+}
+
+}  // namespace
+
+std::string codegen_source(const Program& prog) {
+  const std::size_t peak = WidthBound(prog).bound();
+  if (peak > 4096)
+    throw ElabError("process " + prog.name + ": vector width " +
+                    std::to_string(peak) +
+                    " exceeds the native backend capacity");
+  // Round up for breathing room; +2 keeps CAP clear of exact power sizes.
+  const std::size_t cap = ((std::max<std::size_t>(peak, 16) + 7) &
+                           ~static_cast<std::size_t>(7)) +
+                          2;
+
+  std::ostringstream o;
+  o << "// Generated by vsim fe::codegen -- do not edit.\n"
+    << "// Process: " << prog.name << "\n";
+  emit_preamble(o, cap, prog.var_init.size(), prog.out_init.size());
+  o << "\n";
+  emit_exports(o, prog);
+  return o.str();
+}
+
+// ------------------------------------------------------------ host driver
+
+namespace {
+
+/// C mirror of the generated Api struct (layouts must match exactly).
+struct CApi {
+  void* ctx = nullptr;
+  std::int32_t (*value)(void*, std::int32_t, std::uint8_t*) = nullptr;
+  std::int32_t (*event)(void*, std::int32_t) = nullptr;
+  void (*assign)(void*, std::int32_t, const std::uint8_t*, std::int32_t,
+                 std::int64_t, std::int32_t) = nullptr;
+  void (*wait_on)(void*, const std::int32_t*, std::int32_t, std::int32_t,
+                  std::int32_t, std::int64_t) = nullptr;
+  void (*wait_for)(void*, std::int64_t) = nullptr;
+  void (*wait_forever)(void*) = nullptr;
+  void (*report)(void*, const char*) = nullptr;
+  void (*fail)(void*, const char*) = nullptr;
+};
+
+struct NativeModule {
+  void* handle = nullptr;
+  std::uint64_t hash = 0;
+  std::size_t state_size = 0;
+  int cap = 0;
+  std::size_t encode_cap = 0;
+  void (*state_init)(std::uint8_t*) = nullptr;
+  std::int32_t (*run)(std::uint8_t*, const CApi*) = nullptr;
+  std::int32_t (*eval_cond)(std::uint8_t*, const CApi*,
+                            std::int32_t) = nullptr;
+  std::int64_t (*encode)(const std::uint8_t*, std::uint8_t*,
+                         std::int64_t) = nullptr;
+  std::int32_t (*decode)(std::uint8_t*, const std::uint8_t*,
+                         std::int64_t) = nullptr;
+
+  NativeModule() = default;
+  NativeModule(const NativeModule&) = delete;
+  NativeModule& operator=(const NativeModule&) = delete;
+  ~NativeModule() {
+#ifndef _WIN32
+    if (handle != nullptr) dlclose(handle);
+#endif
+  }
+};
+
+/// Per-call bridge from the C ABI callbacks to a vhdl::ProcessApi.
+struct Shim {
+  vhdl::ProcessApi* api;
+  const Program* prog;
+  int cap;
+  std::string error;
+  CApi c;
+
+  Shim(vhdl::ProcessApi* a, const Program* p, int capacity)
+      : api(a), prog(p), cap(capacity) {
+    c.ctx = this;
+    c.value = [](void* ctx, std::int32_t port, std::uint8_t* out)
+        -> std::int32_t {
+      auto* s = static_cast<Shim*>(ctx);
+      const LogicVector& v = s->api->value(port);
+      if (v.size() > static_cast<std::size_t>(s->cap)) return -1;
+      for (std::size_t i = 0; i < v.size(); ++i)
+        out[i] = static_cast<std::uint8_t>(v.at(i));
+      return static_cast<std::int32_t>(v.size());
+    };
+    c.event = [](void* ctx, std::int32_t port) -> std::int32_t {
+      return static_cast<Shim*>(ctx)->api->event(port) ? 1 : 0;
+    };
+    c.assign = [](void* ctx, std::int32_t port, const std::uint8_t* bits,
+                  std::int32_t n, std::int64_t delay, std::int32_t transport) {
+      auto* s = static_cast<Shim*>(ctx);
+      LogicVector v(static_cast<std::size_t>(n));
+      for (std::int32_t i = 0; i < n; ++i)
+        v.set(static_cast<std::size_t>(i), static_cast<Logic>(bits[i]));
+      s->api->assign(port, std::move(v), delay, transport != 0);
+    };
+    c.wait_on = [](void* ctx, const std::int32_t* ports, std::int32_t n,
+                   std::int32_t cond_id, std::int32_t has_timeout,
+                   std::int64_t timeout) {
+      auto* s = static_cast<Shim*>(ctx);
+      std::vector<int> p(ports, ports + n);
+      std::optional<PhysTime> t;
+      if (has_timeout != 0) t = timeout;
+      s->api->wait_on(std::move(p), cond_id, t);
+    };
+    c.wait_for = [](void* ctx, std::int64_t timeout) {
+      static_cast<Shim*>(ctx)->api->wait_for(timeout);
+    };
+    c.wait_forever = [](void* ctx) {
+      static_cast<Shim*>(ctx)->api->wait_forever();
+    };
+    c.report = [](void* ctx, const char* msg) {
+      auto* s = static_cast<Shim*>(ctx);
+      std::fprintf(stderr, "[%s @ %s] %s\n", s->prog->name.c_str(),
+                   s->api->now().str().c_str(), msg);
+    };
+    c.fail = [](void* ctx, const char* msg) {
+      static_cast<Shim*>(ctx)->error = msg;
+    };
+  }
+};
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char ch : s) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+#ifndef _WIN32
+
+std::string find_cxx() {
+  static std::once_flag once;
+  static std::string cxx;
+  std::call_once(once, [] {
+    if (const char* env = std::getenv("VSIM_CXX")) {
+      if (*env != '\0') {
+        cxx = env;
+        return;
+      }
+    }
+    for (const char* cand : {"c++", "g++", "clang++"}) {
+      const std::string probe =
+          std::string("command -v ") + cand + " >/dev/null 2>&1";
+      if (std::system(probe.c_str()) == 0) {
+        cxx = cand;
+        return;
+      }
+    }
+  });
+  return cxx;
+}
+
+void mkdirs(const std::string& path) {
+  std::string prefix;
+  for (std::size_t i = 0; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      if (!prefix.empty() && prefix != "/") ::mkdir(prefix.c_str(), 0755);
+    }
+    if (i < path.size()) prefix += path[i];
+  }
+}
+
+#endif  // !_WIN32
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const NativeModule>> mods;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+/// Compiles (or reuses) the shared object for `prog`.  Returns nullptr with
+/// a human-readable reason when the native backend cannot be used.
+std::shared_ptr<const NativeModule> get_module(const Program& prog,
+                                               std::string* reason) {
+#if defined(_WIN32)
+  *reason = "native backend is POSIX-only";
+  return nullptr;
+#elif defined(VSIM_SANITIZE_BUILD)
+  *reason = "sanitizer build (an uninstrumented .so must not run under "
+            "ASan/TSan/UBSan)";
+  (void)prog;
+  return nullptr;
+#else
+  std::string src;
+  try {
+    src = codegen_source(prog);
+  } catch (const ElabError& e) {
+    *reason = e.what();
+    return nullptr;
+  }
+
+  const std::string cxx = find_cxx();
+  if (cxx.empty()) {
+    *reason = "no C++ compiler found (tried $VSIM_CXX, c++, g++, clang++)";
+    return nullptr;
+  }
+  const std::string flags = "-std=c++17 -O2 -fPIC -shared";
+  const std::uint64_t hash = fnv1a(src + "\n// " + cxx + " " + flags);
+
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    const auto it = r.mods.find(hash);
+    if (it != r.mods.end()) {
+      stat_cache_hit();
+      return it->second;
+    }
+  }
+
+  const char* env = std::getenv("VSIM_CODEGEN_CACHE");
+  const std::string dir =
+      env != nullptr && *env != '\0' ? env : ".vsim-codegen";
+  mkdirs(dir);
+  char hex[24];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(hash));
+  const std::string so = dir + "/body_" + hex + ".so";
+
+  struct stat sb {};
+  if (::stat(so.c_str(), &sb) == 0) {
+    stat_cache_hit();  // warm disk cache (e.g. a recovered rank)
+  } else {
+    const std::string cpp = dir + "/body_" + hex + ".cpp";
+    const std::string log = dir + "/body_" + hex + ".log";
+    {
+      std::ofstream f(cpp, std::ios::trunc);
+      f << src;
+      if (!f.good()) {
+        *reason = "cannot write " + cpp;
+        return nullptr;
+      }
+    }
+    const std::string tmp = so + ".tmp." + std::to_string(::getpid());
+    const std::string cmd = cxx + " " + flags + " -o '" + tmp + "' '" + cpp +
+                            "' 2> '" + log + "'";
+    const auto t0 = std::chrono::steady_clock::now();
+    const int rc = std::system(cmd.c_str());
+    const auto t1 = std::chrono::steady_clock::now();
+    stat_compile(std::chrono::duration<double, std::milli>(t1 - t0).count());
+    if (rc != 0) {
+      std::remove(tmp.c_str());
+      *reason = "compile failed (" + cxx + ", see " + log + ")";
+      return nullptr;
+    }
+    // Atomic publish: concurrent builders race benignly on the rename.
+    if (std::rename(tmp.c_str(), so.c_str()) != 0 &&
+        ::stat(so.c_str(), &sb) != 0) {
+      std::remove(tmp.c_str());
+      *reason = "cannot publish " + so;
+      return nullptr;
+    }
+  }
+
+  void* handle = dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    const char* err = dlerror();
+    *reason = std::string("dlopen failed: ") + (err != nullptr ? err : "?");
+    return nullptr;
+  }
+  auto mod = std::make_shared<NativeModule>();
+  mod->handle = handle;
+  mod->hash = hash;
+  const auto sym = [&](const char* name) { return dlsym(handle, name); };
+  const auto abi = reinterpret_cast<std::int32_t (*)()>(sym("vsim_abi"));
+  const auto state_size =
+      reinterpret_cast<std::int64_t (*)()>(sym("vsim_state_size"));
+  const auto capfn = reinterpret_cast<std::int32_t (*)()>(sym("vsim_cap"));
+  const auto enc_cap =
+      reinterpret_cast<std::int64_t (*)()>(sym("vsim_encode_cap"));
+  mod->state_init =
+      reinterpret_cast<void (*)(std::uint8_t*)>(sym("vsim_state_init"));
+  mod->run = reinterpret_cast<std::int32_t (*)(std::uint8_t*, const CApi*)>(
+      sym("vsim_run"));
+  mod->eval_cond = reinterpret_cast<std::int32_t (*)(
+      std::uint8_t*, const CApi*, std::int32_t)>(sym("vsim_eval_cond"));
+  mod->encode = reinterpret_cast<std::int64_t (*)(
+      const std::uint8_t*, std::uint8_t*, std::int64_t)>(sym("vsim_encode"));
+  mod->decode = reinterpret_cast<std::int32_t (*)(
+      std::uint8_t*, const std::uint8_t*, std::int64_t)>(sym("vsim_decode"));
+  if (abi == nullptr || state_size == nullptr || capfn == nullptr ||
+      enc_cap == nullptr || mod->state_init == nullptr ||
+      mod->run == nullptr || mod->eval_cond == nullptr ||
+      mod->encode == nullptr || mod->decode == nullptr || abi() != 1) {
+    *reason = "incompatible module ABI in " + so;
+    return nullptr;
+  }
+  mod->state_size = static_cast<std::size_t>(state_size());
+  mod->cap = capfn();
+  mod->encode_cap = static_cast<std::size_t>(enc_cap());
+
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto [it, inserted] = r.mods.emplace(hash, mod);
+  return it->second;
+#endif
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ CompiledBody
+
+namespace {
+
+class CompiledBody final : public vhdl::ProcessBody {
+ public:
+  CompiledBody(std::shared_ptr<const NativeModule> mod,
+               std::shared_ptr<const Program> prog)
+      : mod_(std::move(mod)),
+        prog_(std::move(prog)),
+        state_(mod_->state_size, 0) {
+    mod_->state_init(state_.data());
+  }
+
+  [[nodiscard]] std::unique_ptr<ProcessBody> clone() const override {
+    return std::make_unique<CompiledBody>(*this);
+  }
+
+  void run(vhdl::ProcessApi& api) override {
+    Shim shim(&api, prog_.get(), mod_->cap);
+    if (mod_->run(state_.data(), &shim.c) != 0) throw ElabError(shim.error);
+  }
+
+  [[nodiscard]] bool eval_condition(int cond_id,
+                                    const vhdl::ProcessApi& api)
+      const override {
+    // Condition expressions only read state and signals; the C ABI entry
+    // point is non-const because it shares the state-pointer type with run.
+    Shim shim(const_cast<vhdl::ProcessApi*>(&api), prog_.get(), mod_->cap);
+    const std::int32_t rc = mod_->eval_cond(
+        const_cast<std::uint8_t*>(state_.data()), &shim.c, cond_id);
+    if (rc < 0) throw ElabError(shim.error);
+    return rc != 0;
+  }
+
+  [[nodiscard]] bool encode_vars(bytes::Writer& w) const override {
+    std::vector<std::uint8_t> buf(mod_->encode_cap);
+    const std::int64_t n = mod_->encode(
+        state_.data(), buf.data(), static_cast<std::int64_t>(buf.size()));
+    if (n < 0) return false;
+    buf.resize(static_cast<std::size_t>(n));
+    w.u8(kBodyCodecNative);
+    w.u64(mod_->hash);
+    w.blob(buf);
+    return true;
+  }
+
+  [[nodiscard]] bool decode_vars(bytes::Reader& r) override {
+    if (r.u8() != kBodyCodecNative) return false;
+    if (r.u64() != mod_->hash) return false;
+    const std::vector<std::uint8_t> buf = r.blob();
+    if (!r.ok()) return false;
+    return mod_->decode(state_.data(), buf.data(),
+                        static_cast<std::int64_t>(buf.size())) == 1;
+  }
+
+ private:
+  std::shared_ptr<const NativeModule> mod_;
+  std::shared_ptr<const Program> prog_;
+  std::vector<std::uint8_t> state_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------- public
+
+Backend backend_from_env() {
+  const char* env = std::getenv("VSIM_BACKEND");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "interp") == 0)
+    return Backend::kInterp;
+  if (std::strcmp(env, "native") == 0) return Backend::kNative;
+  static std::once_flag warned;
+  std::call_once(warned, [env] {
+    std::fprintf(stderr,
+                 "vsim codegen: unknown VSIM_BACKEND '%s' "
+                 "(expected 'interp' or 'native'); using interp\n",
+                 env);
+  });
+  return Backend::kInterp;
+}
+
+CodegenStats codegen_stats() {
+  StatsGlobals& g = stats_globals();
+  std::lock_guard<std::mutex> lock(g.mu);
+  return g.s;
+}
+
+bool is_native_body(const vhdl::ProcessBody& body) {
+  return dynamic_cast<const CompiledBody*>(&body) != nullptr;
+}
+
+std::unique_ptr<vhdl::ProcessBody> make_body(
+    std::shared_ptr<const Program> prog, Backend backend) {
+  if (backend == Backend::kAuto) backend = backend_from_env();
+  if (backend == Backend::kNative) {
+    std::string reason;
+    std::shared_ptr<const NativeModule> mod = get_module(*prog, &reason);
+    if (mod != nullptr) {
+      stat_native_body();
+      return std::make_unique<CompiledBody>(std::move(mod), std::move(prog));
+    }
+    static std::once_flag noticed;
+    std::call_once(noticed, [&reason] {
+      std::fprintf(stderr,
+                   "vsim codegen: native backend unavailable (%s); "
+                   "falling back to interpreter\n",
+                   reason.c_str());
+    });
+    stat_fallback();
+  }
+  return std::make_unique<InterpBody>(std::move(prog));
+}
+
+}  // namespace vsim::fe

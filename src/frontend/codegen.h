@@ -1,0 +1,73 @@
+// Ahead-of-time native backend for VHDL process bodies.
+//
+// The paper compiled each VHDL process into a C++ class whose run() holds
+// the sequential statement part; InterpBody (interp.h) executes the same
+// Program as bytecode.  This module closes the gap: codegen_source() emits a
+// self-contained C++ translation unit from a compiled Program, make_body()
+// compiles it into a shared object with the system compiler (cached by a
+// hash of the generated source under $VSIM_CODEGEN_CACHE, default
+// `.vsim-codegen/`), dlopen()s it, and wraps it in a CompiledBody that
+// implements the same ProcessBody interface as InterpBody -- including the
+// explicit (program counter, variables) suspension state, so Time Warp
+// snapshots stay plain copies and the checkpoint codec is unchanged.
+//
+// The interpreter remains the executable reference semantics: every helper
+// in the generated runtime mirrors interp.cpp operation for operation
+// (IEEE 1164 tables, width checks, wraparound arithmetic, error messages),
+// and tests/test_codegen_diff.cpp holds the two backends bit-identical over
+// a seeded random program matrix.
+//
+// When native compilation is unavailable -- no toolchain on PATH, a
+// sanitizer build (an uninstrumented .so would run under TSan/ASan without
+// instrumentation), or a program outside the generator's static width cap --
+// make_body() falls back to InterpBody with a one-time stderr notice, so
+// `VSIM_BACKEND=native` is always safe to set.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "frontend/interp.h"
+
+namespace vsim::fe {
+
+/// Which ProcessBody implementation the elaborator should build.
+enum class Backend : std::uint8_t {
+  kAuto,    ///< resolve from $VSIM_BACKEND at make_body() time
+  kInterp,  ///< bytecode interpreter (the reference semantics)
+  kNative,  ///< AOT-compiled shared object (falls back to interp)
+};
+
+/// $VSIM_BACKEND: "native" -> kNative, "interp"/unset -> kInterp; anything
+/// else warns once and means kInterp.
+[[nodiscard]] Backend backend_from_env();
+
+/// Process-wide codegen accounting.  Folded into RunStats.metrics by
+/// pdes::absorb_run_stats through the obs process-global counters, so the
+/// values a run reports are the totals as of that run's end.
+struct CodegenStats {
+  std::uint64_t native_bodies = 0;     ///< bodies running compiled code
+  std::uint64_t cache_hits = 0;        ///< memory- or disk-cache .so reuses
+  std::uint64_t compiles = 0;          ///< actual compiler invocations
+  std::uint64_t interp_fallbacks = 0;  ///< native requested, interp delivered
+  double max_compile_ms = 0.0;         ///< slowest single .so compile
+};
+[[nodiscard]] CodegenStats codegen_stats();
+
+/// Emits the self-contained C++ translation unit for one Program
+/// (deterministic for a given Program; exposed for tests and for cache-key
+/// hashing).  Throws ElabError when the program cannot be compiled natively
+/// (e.g. a vector width beyond the static capacity bound).
+[[nodiscard]] std::string codegen_source(const Program& prog);
+
+/// True when `body` executes compiled native code (vs the interpreter).
+[[nodiscard]] bool is_native_body(const vhdl::ProcessBody& body);
+
+/// Builds the ProcessBody for `prog` under the requested backend.  kNative
+/// returns a CompiledBody when the toolchain cooperates and an InterpBody
+/// (with a one-time notice + fallback counter) otherwise; kInterp always
+/// returns an InterpBody.
+[[nodiscard]] std::unique_ptr<vhdl::ProcessBody> make_body(
+    std::shared_ptr<const Program> prog, Backend backend);
+
+}  // namespace vsim::fe

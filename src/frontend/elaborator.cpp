@@ -791,7 +791,7 @@ void Elaborator::compile_process(const ast::ProcessStmt& proc,
   prog->ast_owner = file_;
   prog->synth_owner = holder;
 
-  auto body = std::make_unique<InterpBody>(prog);
+  auto body = make_body(prog, options_.backend);
   const vhdl::ProcessId pid = design_.add_process(name, std::move(body));
   for (vhdl::SignalId sig : compiler.reads()) design_.connect_in(pid, sig);
   for (vhdl::SignalId sig : compiler.writes()) design_.connect_out(pid, sig);
@@ -871,7 +871,7 @@ void Elaborator::compile_concurrent(const ast::ConcurrentAssign& ca,
   prog->synth_owner = holder;
   prog->stmt_owner = proc;  // the desugared process owns the cloned exprs
 
-  auto body = std::make_unique<InterpBody>(prog);
+  auto body = make_body(prog, options_.backend);
   const vhdl::ProcessId pid = design_.add_process(name, std::move(body));
   for (vhdl::SignalId sig : compiler.reads()) design_.connect_in(pid, sig);
   for (vhdl::SignalId sig : compiler.writes()) design_.connect_out(pid, sig);

@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "frontend/codegen.h"
 #include "frontend/interp.h"
 #include "frontend/parser.h"
 #include "vhdl/kernel.h"
@@ -18,6 +19,10 @@ namespace vsim::fe {
 struct ElabOptions {
   /// Physical-time units per 'ns' literal (default: 1 unit == 1 ns).
   PhysTime time_scale = 1;
+  /// Process-body execution backend.  kAuto resolves $VSIM_BACKEND when the
+  /// bodies are built, so existing entry points pick up `VSIM_BACKEND=native`
+  /// without code changes.
+  Backend backend = Backend::kAuto;
 };
 
 class Elaborator {

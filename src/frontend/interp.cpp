@@ -264,6 +264,55 @@ Value InterpBody::eval(const Expr& e, const vhdl::ProcessApi& api) const {
   return Value{};
 }
 
+namespace {
+
+void encode_value(bytes::Writer& w, const Value& v) {
+  w.u8(static_cast<std::uint8_t>(v.kind));
+  w.u8(v.b ? 1 : 0);
+  w.i64(v.i);
+  w.lv(v.bits);
+}
+
+bool decode_value(bytes::Reader& r, Value* out) {
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(Value::Kind::kBool)) return false;
+  out->kind = static_cast<Value::Kind>(kind);
+  out->b = r.u8() != 0;
+  out->i = r.i64();
+  out->bits = r.lv();
+  return r.ok();
+}
+
+}  // namespace
+
+bool InterpBody::encode_vars(bytes::Writer& w) const {
+  w.u8(kBodyCodecInterp);
+  w.u32(static_cast<std::uint32_t>(pc_));
+  w.u32(static_cast<std::uint32_t>(vars_.size()));
+  for (const Value& v : vars_) encode_value(w, v);
+  w.u32(static_cast<std::uint32_t>(driven_.size()));
+  for (const Value& v : driven_) encode_value(w, v);
+  return true;
+}
+
+bool InterpBody::decode_vars(bytes::Reader& r) {
+  if (r.u8() != kBodyCodecInterp) return false;
+  const auto pc = static_cast<int>(r.u32());
+  if (r.u32() != vars_.size()) return false;
+  std::vector<Value> vars(vars_.size());
+  for (Value& v : vars)
+    if (!decode_value(r, &v)) return false;
+  if (r.u32() != driven_.size()) return false;
+  std::vector<Value> driven(driven_.size());
+  for (Value& v : driven)
+    if (!decode_value(r, &v)) return false;
+  if (!r.ok()) return false;
+  pc_ = pc;
+  vars_ = std::move(vars);
+  driven_ = std::move(driven);
+  return true;
+}
+
 bool InterpBody::eval_condition(int cond_id,
                                 const vhdl::ProcessApi& api) const {
   for (const auto& ins : prog_->instrs) {

@@ -114,6 +114,12 @@ class Program {
   std::string name;
 };
 
+/// Tags distinguishing the body-variable byte codecs (ProcessBody
+/// encode_vars/decode_vars) so cross-process checkpoints fail loudly when a
+/// rank mixes backends for the same process.
+inline constexpr std::uint8_t kBodyCodecInterp = 1;
+inline constexpr std::uint8_t kBodyCodecNative = 2;
+
 /// ProcessBody driving a compiled Program.  Cloning copies (pc, vars,
 /// driven shadow values) and shares the immutable Program.
 class InterpBody final : public vhdl::ProcessBody {
@@ -127,6 +133,8 @@ class InterpBody final : public vhdl::ProcessBody {
   [[nodiscard]] bool eval_condition(int cond_id,
                                     const vhdl::ProcessApi& api)
       const override;
+  [[nodiscard]] bool encode_vars(vsim::bytes::Writer& w) const override;
+  [[nodiscard]] bool decode_vars(vsim::bytes::Reader& r) override;
 
   /// Evaluates an expression in this body's current state (exposed for the
   /// elaborator's constant folding and for tests).

@@ -351,6 +351,7 @@ StmtList Parser::parse_stmt_list(std::initializer_list<Tok> terminators) {
 }
 
 StmtPtr Parser::parse_stmt() {
+  const NestingGuard guard(*this);
   std::string label;
   if (check(Tok::kIdent) && peek().kind == Tok::kColon) {
     label = advance().text;
@@ -518,7 +519,15 @@ ExprPtr make_bin(BinOp op, ExprPtr l, ExprPtr r, int line) {
 }
 }  // namespace
 
+Parser::NestingGuard::NestingGuard(Parser& p) : p_(p) {
+  // Far beyond any real design, far below stack exhaustion.
+  constexpr int kMaxNesting = 400;
+  if (++p_.depth_ > kMaxNesting)
+    p_.fail("statement/expression nesting deeper than 400 levels");
+}
+
 ast::ExprPtr Parser::parse_expr() {
+  const NestingGuard guard(*this);
   // logical operators (lowest precedence, non-associative mix rejected by
   // keeping a single operator kind per chain, as VHDL requires)
   ExprPtr lhs = parse_relation();

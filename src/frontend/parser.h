@@ -71,8 +71,22 @@ class Parser {
   /// Parses `<int> [ns|ps|us|ms]` into base time units (ns).
   PhysTime parse_time(const ast::Expr& e) const;
 
+  /// RAII recursion guard shared by parse_stmt() and parse_expr(): without
+  /// it, adversarially nested input (thousands of parentheses or if-chains)
+  /// turns the recursive descent into stack exhaustion instead of a
+  /// ParseError.
+  class NestingGuard {
+   public:
+    explicit NestingGuard(Parser& p);
+    ~NestingGuard() { --p_.depth_; }
+
+   private:
+    Parser& p_;
+  };
+
   std::vector<Token> toks_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace vsim::fe

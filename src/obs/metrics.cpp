@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <cmath>
+#include <mutex>
 
 namespace vsim::obs {
 
@@ -47,6 +48,10 @@ const char* metric_name(Metric m) {
     case Metric::kNetReconnects: return "net.reconnects";
     case Metric::kNetDisconnects: return "net.disconnects";
     case Metric::kNetCrcErrors: return "net.crc_errors";
+    case Metric::kNativeBodies: return "frontend.native_bodies";
+    case Metric::kCodegenCacheHits: return "frontend.codegen_cache_hits";
+    case Metric::kCodegenCompiles: return "frontend.codegen_compiles";
+    case Metric::kInterpFallbacks: return "frontend.interp_fallbacks";
     case Metric::kCount: break;
   }
   return "unknown";
@@ -59,6 +64,7 @@ const char* gauge_name(Gauge g) {
     case Gauge::kMakespan: return "engine.makespan";
     case Gauge::kFtOverhead: return "ckpt.overhead_cost";
     case Gauge::kLbImbalance: return "lb.imbalance";
+    case Gauge::kCodegenCompileMs: return "frontend.codegen_compile_ms";
     case Gauge::kCount: break;
   }
   return "unknown";
@@ -162,6 +168,36 @@ void merge_snapshot(MetricsSnapshot& into, const MetricsSnapshot& from) {
     if (from.gauges[i] > into.gauges[i]) into.gauges[i] = from.gauges[i];
   for (std::size_t i = 0; i < into.hists.size(); ++i)
     into.hists[i] += from.hists[i];
+}
+
+namespace {
+struct ProcessGlobals {
+  std::mutex mu;
+  MetricsSnapshot totals;
+};
+ProcessGlobals& process_globals() {
+  static ProcessGlobals g;
+  return g;
+}
+}  // namespace
+
+void process_counter_add(Metric m, std::uint64_t delta) {
+  ProcessGlobals& g = process_globals();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.totals.counters[static_cast<std::size_t>(m)] += delta;
+}
+
+void process_gauge_max(Gauge gg, double v) {
+  ProcessGlobals& g = process_globals();
+  std::lock_guard<std::mutex> lock(g.mu);
+  double& slot = g.totals.gauges[static_cast<std::size_t>(gg)];
+  if (v > slot) slot = v;
+}
+
+MetricsSnapshot process_metrics() {
+  ProcessGlobals& g = process_globals();
+  std::lock_guard<std::mutex> lock(g.mu);
+  return g.totals;
 }
 
 void MetricsRegistry::merge() {

@@ -81,6 +81,11 @@ enum class Metric : std::uint16_t {
   kNetReconnects,          ///< net.reconnects — successful redials
   kNetDisconnects,         ///< net.disconnects — connection losses observed
   kNetCrcErrors,           ///< net.crc_errors — frames dropped on checksum
+  // Frontend native codegen (process-global, folded at run end).
+  kNativeBodies,           ///< frontend.native_bodies — compiled bodies built
+  kCodegenCacheHits,       ///< frontend.codegen_cache_hits — .so reuses
+  kCodegenCompiles,        ///< frontend.codegen_compiles — compiler runs
+  kInterpFallbacks,        ///< frontend.interp_fallbacks — native -> interp
   kCount
 };
 
@@ -92,6 +97,7 @@ enum class Gauge : std::uint16_t {
   kFtOverhead,    ///< ckpt.overhead_cost — work units charged to fault tolerance
   kLbImbalance,   ///< lb.imbalance — peak (max-min)/avg worker load observed
                   ///< at a rebalance round (gauges merge with MAX)
+  kCodegenCompileMs,  ///< frontend.codegen_compile_ms — slowest .so compile
   kCount
 };
 
@@ -177,6 +183,16 @@ void encode_snapshot(vsim::bytes::Writer& w, const MetricsSnapshot& s);
 [[nodiscard]] bool decode_snapshot(vsim::bytes::Reader& r,
                                    MetricsSnapshot* out);
 void merge_snapshot(MetricsSnapshot& into, const MetricsSnapshot& from);
+
+/// Process-global counters for work performed outside any engine run --
+/// today, elaboration-time native codegen.  Thread-safe (mutexed; these are
+/// cold paths).  pdes::absorb_run_stats folds the current totals into every
+/// run's shard 0, so RunStats.metrics carries the process-wide totals as of
+/// that run's end (cumulative across runs in one process by design).
+void process_counter_add(Metric m, std::uint64_t delta = 1);
+void process_gauge_max(Gauge g, double v);
+/// Snapshot of the process-global counters/gauges (histograms unused).
+[[nodiscard]] MetricsSnapshot process_metrics();
 
 /// Owns one shard per worker plus the merged totals.
 class MetricsRegistry {

@@ -84,6 +84,17 @@ void absorb_run_stats(obs::MetricsRegistry& reg, const RunStats& st) {
   s.inc(Metric::kRecoveries, c.recoveries);
   s.inc(Metric::kLpsRestored, c.lps_restored);
   s.inc(Metric::kCheckpointDiskBytes, c.disk_bytes);
+
+  // Work accounted outside any engine run (elaboration-time codegen): fold
+  // the process-global totals so RunStats.metrics reports them too.  These
+  // are cumulative per process, not per run.
+  const obs::MetricsSnapshot g = obs::process_metrics();
+  for (std::size_t i = 0; i < g.counters.size(); ++i) {
+    if (g.counters[i]) s.inc(static_cast<Metric>(i), g.counters[i]);
+  }
+  for (std::size_t i = 0; i < g.gauges.size(); ++i) {
+    if (g.gauges[i] > 0) s.gauge_max(static_cast<Gauge>(i), g.gauges[i]);
+  }
 }
 
 }  // namespace vsim::pdes

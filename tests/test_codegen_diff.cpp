@@ -1,0 +1,795 @@
+// Interpreter-differential proof for the native codegen backend.
+//
+// The interpreter (InterpBody) is the executable reference semantics; the
+// AOT backend (CompiledBody, frontend/codegen.cpp) must be bit-identical to
+// it on every observable: committed signal traces, suspension snapshots,
+// checkpoint bytes, and even runtime diagnostics.  This suite holds that
+// line three ways:
+//   - a seeded random VHDL program generator sweeps both backends through
+//     the sequential engine and diffs the committed traces (the `stress`
+//     ctest label runs the full 200-seed matrix via VSIM_STRESS_SEEDS);
+//   - the same generated designs run natively under the optimistic machine
+//     engine and the threaded engine against the interpreted sequential
+//     oracle, so rollbacks restore suspended compiled bodies mid-wait;
+//   - runtime error paths (width mismatch, bad index, non-01 arithmetic,
+//     the instruction budget) must produce the interpreter's diagnostics
+//     word for word.
+//
+// The generator only emits well-formed programs: every signal has exactly
+// one driver, combinational processes read only acyclically-reachable
+// signals, integers stay non-negative and bounded, and multi-valued logic
+// ('U'/'X'/'Z'/...) flows only through taint-safe sinks (std_logic ops and
+// equality), never into arithmetic.  Anything outside that envelope is an
+// error-path test, not a fuzz case.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "frontend/elaborator.h"
+#include "partition/partition.h"
+#include "pdes/machine.h"
+#include "pdes/sequential.h"
+#include "pdes/threaded.h"
+#include "vhdl/monitor.h"
+#include "watchdog.h"
+
+namespace vsim::fe {
+namespace {
+
+using pdes::Configuration;
+using pdes::RunConfig;
+
+std::uint64_t stress_seeds() {
+  if (const char* s = std::getenv("VSIM_STRESS_SEEDS")) {
+    const long long v = std::atoll(s);
+    if (v > 0) return static_cast<std::uint64_t>(v);
+  }
+  return 6;  // tier-1 smoke sweep; CI overrides with 200
+}
+
+// True when this binary was built under a sanitizer: the native backend
+// must refuse to dlopen uninstrumented objects and fall back to interp,
+// so "native" runs are still correct but never actually compiled.
+constexpr bool sanitize_build() {
+#ifdef VSIM_SANITIZE_BUILD
+  return true;
+#else
+  return false;
+#endif
+}
+
+struct Built {
+  std::unique_ptr<pdes::LpGraph> graph;
+  std::unique_ptr<vhdl::Design> design;
+  std::unique_ptr<vhdl::TraceRecorder> recorder;
+};
+
+Built build_vhdl(const std::string& src, const std::string& top,
+                 const std::vector<std::string>& probes, Backend backend) {
+  Built b;
+  b.graph = std::make_unique<pdes::LpGraph>();
+  b.design = std::make_unique<vhdl::Design>(*b.graph);
+  ElabOptions opt;
+  opt.backend = backend;
+  elaborate_source(src, top, *b.design, opt);
+  std::vector<vhdl::SignalId> ids;
+  ids.reserve(probes.size());
+  for (const auto& p : probes) ids.push_back(b.design->find_signal(p));
+  b.recorder = std::make_unique<vhdl::TraceRecorder>(*b.design, ids);
+  b.design->finalize();
+  return b;
+}
+
+void run_seq(Built& b, PhysTime until) {
+  pdes::SequentialEngine eng(*b.graph);
+  eng.set_commit_hook(b.recorder->hook());
+  eng.run(until);
+}
+
+// ------------------------------------------------ random program generator
+
+struct FuzzDesign {
+  std::string src;
+  std::vector<std::string> probes;  // design-qualified signal names
+};
+
+// Seeded generator for well-formed VHDL designs: a clock, a stimulus
+// process, and 2-4 random processes (clocked / combinational / timed) over
+// std_logic, std_logic_vector and integer/boolean variables.
+class FuzzGen {
+ public:
+  explicit FuzzGen(std::uint64_t seed)
+      : rng_(seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull) {}
+
+  FuzzDesign build() {
+    w_ = irand(3, 6);
+    const int nproc = irand(2, 4);
+
+    // Declare everything up front so readability rules can span processes
+    // in both directions (a clocked process may read a later one's output).
+    add_sig("clk", /*vec=*/false, /*xt=*/false, "'0'");
+    add_sig("st0", false, false, "'0'");
+    add_sig("st1", false, false, "'1'");
+    add_sig("sv0", true, false, vec_lit());
+    add_sig("sx0", false, true, "'0'");
+    proc_kinds_.assign(static_cast<std::size_t>(nproc), 0);
+    std::vector<std::vector<int>> proc_outs(
+        static_cast<std::size_t>(nproc));
+    for (int i = 0; i < nproc; ++i) {
+      proc_kinds_[static_cast<std::size_t>(i)] = irand(0, 2);
+      const int nouts = irand(1, 2);
+      for (int o = 0; o < nouts; ++o) {
+        const int roll = irand(0, 9);
+        const bool vec = roll >= 6 && roll <= 8;
+        const bool xt = roll == 9;
+        const std::string name =
+            "po" + std::to_string(i) + "_" + std::to_string(o);
+        proc_outs[static_cast<std::size_t>(i)].push_back(
+            add_sig(name, vec, xt, vec ? vec_lit() : bit_lit(false), i));
+      }
+    }
+
+    std::ostringstream out;
+    out << "entity fz is end fz;\n";
+    out << "architecture a of fz is\n";
+    for (const Sig& s : sigs_) {
+      out << "  signal " << s.name << " : ";
+      if (s.vec)
+        out << "std_logic_vector(" << (w_ - 1) << " downto 0)";
+      else
+        out << "std_logic";
+      out << " := " << s.init << ";\n";
+    }
+    out << "begin\n";
+
+    const int half = irand(4, 7);
+    out << "  clkgen: process begin\n"
+        << "    clk <= '1'; wait for " << half << " ns;\n"
+        << "    clk <= '0'; wait for " << half << " ns;\n"
+        << "  end process;\n";
+
+    emit_stim(out);
+    for (int i = 0; i < nproc; ++i)
+      emit_process(out, i, proc_kinds_[static_cast<std::size_t>(i)],
+                   proc_outs[static_cast<std::size_t>(i)]);
+
+    out << "end a;\n";
+
+    FuzzDesign d;
+    d.src = out.str();
+    for (const Sig& s : sigs_) d.probes.push_back("fz/" + s.name);
+    return d;
+  }
+
+ private:
+  struct Sig {
+    std::string name;
+    bool vec = false;
+    bool xt = false;  // may carry non-01 logic values
+    std::string init;
+    int owner = -1;  // -1: clk/stimulus, else process index
+  };
+
+  int irand(int lo, int hi) {
+    return lo + static_cast<int>(
+                    rng_() % static_cast<std::uint64_t>(hi - lo + 1));
+  }
+  bool chance(int pct) { return static_cast<int>(rng_() % 100) < pct; }
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[static_cast<std::size_t>(
+        irand(0, static_cast<int>(v.size()) - 1))];
+  }
+
+  int add_sig(const std::string& name, bool vec, bool xt, std::string init,
+              int owner = -1) {
+    sigs_.push_back(Sig{name, vec, xt, std::move(init), owner});
+    return static_cast<int>(sigs_.size()) - 1;
+  }
+
+  std::string bit_lit(bool allow_x) {
+    if (allow_x && chance(40)) {
+      static const char kX[] = {'U', 'X', 'Z', 'W', 'L', 'H'};
+      return std::string("'") + kX[irand(0, 5)] + "'";
+    }
+    return chance(50) ? "'1'" : "'0'";
+  }
+  std::string vec_lit() {
+    std::string s = "\"";
+    for (int i = 0; i < w_; ++i) s += chance(50) ? '1' : '0';
+    return s + "\"";
+  }
+
+  // ---- per-process readability ----
+  //
+  // Clocked and timed processes may read any signal (edge/time decoupling
+  // breaks zero-delay cycles); combinational processes read the stimulus,
+  // non-combinational outputs and only *earlier* combinational outputs,
+  // which keeps the zero-delay dependency graph acyclic.
+  void compute_readable(int proc, int kind, const std::vector<int>& outs) {
+    r_bits_.clear();
+    r_vecs_.clear();
+    r_xbits_.clear();
+    sens_.clear();
+    own_bits_.clear();
+    own_vecs_.clear();
+    own_xbits_.clear();
+    for (std::size_t i = 0; i < sigs_.size(); ++i) {
+      const Sig& s = sigs_[i];
+      const bool own =
+          std::find(outs.begin(), outs.end(), static_cast<int>(i)) !=
+          outs.end();
+      if (own) {
+        if (s.xt)
+          own_xbits_.push_back(s.name);
+        else if (s.vec)
+          own_vecs_.push_back(s.name);
+        else
+          own_bits_.push_back(s.name);
+      }
+      bool readable;
+      if (kind != 1) {
+        readable = true;  // clocked/timed: anything, incl. own feedback
+      } else if (own) {
+        readable = false;  // comb reading itself would oscillate
+      } else if (s.owner < 0) {
+        readable = s.name != "clk";  // stimulus, but not the raw clock
+      } else {
+        readable =
+            proc_kinds_[static_cast<std::size_t>(s.owner)] != 1 ||
+            s.owner < proc;
+      }
+      if (!readable) continue;
+      if (s.xt)
+        r_xbits_.push_back(s.name);
+      else if (s.vec)
+        r_vecs_.push_back(s.name);
+      else if (s.name != "clk" || kind == 0)
+        r_bits_.push_back(s.name);
+      if (kind == 1) sens_.push_back(s.name);
+    }
+  }
+
+  // ---- expressions ----
+
+  std::string e_int(int d) {
+    if (d <= 0 || chance(40)) {
+      const int c = irand(0, 5);
+      if (c <= 2 || vints_.empty()) {
+        if (c == 0 && !r_vecs_.empty())
+          return "to_integer(" + pick(r_vecs_) + ")";
+        return std::to_string(irand(0, 9));
+      }
+      return pick(vints_);
+    }
+    const std::string a = e_int(d - 1), b = e_int(d - 1);
+    switch (irand(0, 3)) {
+      case 0: return "(" + a + " + " + b + ")";
+      case 1: return "(" + a + " * " + b + ")";
+      case 2: return "(" + a + " mod " + std::to_string(irand(2, 9)) + ")";
+      default: return "(" + a + " / " + std::to_string(irand(2, 9)) + ")";
+    }
+  }
+
+  std::string e_bit(int d, bool x) {
+    if (d <= 0 || chance(35)) {
+      const int c = irand(0, 3);
+      if (c == 0 && x && !r_xbits_.empty()) return pick(r_xbits_);
+      if (c == 1 && !r_bits_.empty()) return pick(r_bits_);
+      if (c == 2 && !vbits_.empty()) return pick(vbits_);
+      if (c == 3 && !r_vecs_.empty())
+        return pick(r_vecs_) + "(" + std::to_string(irand(0, w_ - 1)) +
+               ")";
+      return bit_lit(x);
+    }
+    const std::string a = e_bit(d - 1, x), b = e_bit(d - 1, x);
+    switch (irand(0, 6)) {
+      case 0: return "(" + a + " and " + b + ")";
+      case 1: return "(" + a + " or " + b + ")";
+      case 2: return "(" + a + " xor " + b + ")";
+      case 3: return "(" + a + " nand " + b + ")";
+      case 4: return "(" + a + " nor " + b + ")";
+      case 5: return "(" + a + " xnor " + b + ")";
+      default: return "(not " + a + ")";
+    }
+  }
+
+  std::string e_vec(int d) {
+    if (d <= 0 || chance(35)) {
+      const int c = irand(0, 3);
+      if (c == 0 && !r_vecs_.empty()) return pick(r_vecs_);
+      if (c == 1 && !vvecs_.empty()) return pick(vvecs_);
+      if (c == 2)
+        return "to_unsigned(" + e_int(1) + ", " + std::to_string(w_) + ")";
+      return vec_lit();
+    }
+    const std::string a = e_vec(d - 1);
+    switch (irand(0, 6)) {
+      case 0: return "(" + a + " and " + e_vec(d - 1) + ")";
+      case 1: return "(" + a + " or " + e_vec(d - 1) + ")";
+      case 2: return "(" + a + " xor " + e_vec(d - 1) + ")";
+      case 3: return "(not " + a + ")";
+      case 4: return "(" + a + " + " + e_int(1) + ")";
+      case 5: return "(" + a + " - " + e_int(1) + ")";
+      default: {
+        // Concatenation keeps the design-wide width: 1 bit & (w-1) bits.
+        std::string tail = "\"";
+        for (int i = 0; i < w_ - 1; ++i) tail += chance(50) ? '1' : '0';
+        tail += "\"";
+        return "(" + e_bit(1, false) + " & " + tail + ")";
+      }
+    }
+  }
+
+  std::string e_bool(int d) {
+    if (d <= 0 || chance(35)) {
+      const int c = irand(0, 3);
+      if (c == 0 && !vbools_.empty()) return pick(vbools_);
+      if (c == 1) return "(" + e_bit(1, true) + " = '1')";
+      if (c == 2) return chance(50) ? "true" : "false";
+      static const char* kRel[] = {"=", "/=", "<", "<=", ">", ">="};
+      return "(" + e_int(1) + " " + kRel[irand(0, 5)] + " " + e_int(1) +
+             ")";
+    }
+    switch (irand(0, 2)) {
+      case 0: return "(" + e_bool(d - 1) + " and " + e_bool(d - 1) + ")";
+      case 1: return "(" + e_bool(d - 1) + " or " + e_bool(d - 1) + ")";
+      default: return "(not " + e_bool(d - 1) + ")";
+    }
+  }
+
+  // ---- statements ----
+
+  std::string delay() {
+    if (!chance(30)) return "";
+    return " after " + std::to_string(irand(1, 6)) + " ns";
+  }
+
+  void stmt(std::ostringstream& out, const std::string& ind, int d) {
+    const int c = irand(0, 9);
+    if (c == 0 && !vints_.empty()) {
+      out << ind << pick(vints_) << " := (" << e_int(2) << ") mod 64;\n";
+    } else if (c == 1 && !vbools_.empty()) {
+      out << ind << pick(vbools_) << " := " << e_bool(2) << ";\n";
+    } else if (c == 2 && !vbits_.empty()) {
+      out << ind << pick(vbits_) << " := " << e_bit(2, false) << ";\n";
+    } else if (c == 3 && !vvecs_.empty()) {
+      out << ind << pick(vvecs_) << " := " << e_vec(2) << ";\n";
+    } else if (c == 4 && d > 0) {
+      out << ind << "if " << e_bool(2) << " then\n";
+      stmts(out, ind + "  ", irand(1, 2), d - 1);
+      if (chance(50)) {
+        out << ind << "else\n";
+        stmts(out, ind + "  ", irand(1, 2), d - 1);
+      }
+      out << ind << "end if;\n";
+    } else if (c == 5 && !own_vecs_.empty()) {
+      const std::string& v = pick(own_vecs_);
+      if (chance(50)) {
+        out << ind << "for li in 0 to " << irand(1, w_ - 1) << " loop\n";
+        out << ind << "  " << v << "(li) <= " << e_bit(1, false) << ";\n";
+        out << ind << "end loop;\n";
+      } else {
+        out << ind << v << "(" << irand(0, w_ - 1)
+            << ") <= " << e_bit(2, false) << ";\n";
+      }
+    } else if (c == 6 && !vints_.empty() && d > 0) {
+      const std::string& v = pick(vints_);
+      out << ind << "case " << v << " is\n";
+      out << ind << "  when 0 =>\n";
+      stmts(out, ind + "    ", 1, 0);
+      out << ind << "  when 1 =>\n";
+      stmts(out, ind + "    ", 1, 0);
+      out << ind << "  when others =>\n";
+      stmts(out, ind + "    ", 1, 0);
+      out << ind << "end case;\n";
+    } else if (c == 7 && !vints_.empty()) {
+      // Bounded: the variable is non-negative and strictly shrinks.
+      const std::string& v = pick(vints_);
+      out << ind << "while " << v << " > 1 loop\n";
+      out << ind << "  " << v << " := " << v << " / 2;\n";
+      out << ind << "end loop;\n";
+    } else if (!own_xbits_.empty() && chance(30)) {
+      out << ind << pick(own_xbits_) << " <= " << e_bit(2, true) << delay()
+          << ";\n";
+    } else if (!own_vecs_.empty() && chance(40)) {
+      out << ind << pick(own_vecs_) << " <= " << e_vec(2) << delay()
+          << ";\n";
+    } else if (!own_bits_.empty()) {
+      out << ind << pick(own_bits_) << " <= " << e_bit(2, false) << delay()
+          << ";\n";
+    } else if (!own_vecs_.empty()) {
+      out << ind << pick(own_vecs_) << " <= " << e_vec(2) << delay()
+          << ";\n";
+    } else if (!own_xbits_.empty()) {
+      out << ind << pick(own_xbits_) << " <= " << e_bit(2, true) << delay()
+          << ";\n";
+    }
+  }
+
+  void stmts(std::ostringstream& out, const std::string& ind, int n,
+             int d) {
+    for (int i = 0; i < n; ++i) stmt(out, ind, d);
+  }
+
+  void emit_vars(std::ostringstream& out) {
+    vints_.clear();
+    vbools_.clear();
+    vbits_.clear();
+    vvecs_.clear();
+    const int nv = irand(1, 3);
+    for (int i = 0; i < nv; ++i) {
+      const std::string name = "va" + std::to_string(i);
+      switch (irand(0, 3)) {
+        case 0:
+          out << "    variable " << name
+              << " : integer := " << irand(0, 9) << ";\n";
+          vints_.push_back(name);
+          break;
+        case 1:
+          out << "    variable " << name << " : boolean := "
+              << (chance(50) ? "true" : "false") << ";\n";
+          vbools_.push_back(name);
+          break;
+        case 2:
+          out << "    variable " << name
+              << " : std_logic := " << bit_lit(false) << ";\n";
+          vbits_.push_back(name);
+          break;
+        default:
+          out << "    variable " << name << " : std_logic_vector("
+              << (w_ - 1) << " downto 0) := " << vec_lit() << ";\n";
+          vvecs_.push_back(name);
+          break;
+      }
+    }
+  }
+
+  void emit_stim(std::ostringstream& out) {
+    out << "  stim: process begin\n";
+    const int steps = irand(4, 8);
+    for (int i = 0; i < steps; ++i) {
+      out << "    wait for " << irand(3, 13) << " ns;\n";
+      if (chance(70)) out << "    st0 <= " << bit_lit(false) << ";\n";
+      if (chance(50)) out << "    st1 <= " << bit_lit(false) << ";\n";
+      if (chance(50)) out << "    sv0 <= " << vec_lit() << ";\n";
+      if (chance(60)) out << "    sx0 <= " << bit_lit(true) << ";\n";
+    }
+    out << "    wait;\n";
+    out << "  end process;\n";
+  }
+
+  void emit_process(std::ostringstream& out, int idx, int kind,
+                    const std::vector<int>& outs) {
+    compute_readable(idx, kind, outs);
+    const std::string name = "p" + std::to_string(idx);
+    if (kind == 0) {
+      out << "  " << name << ": process (clk)\n";
+      emit_vars(out);
+      out << "  begin\n";
+      if (chance(70))
+        out << "    if rising_edge(clk) then\n";
+      else
+        out << "    if (clk'event and clk = '1') then\n";
+      stmts(out, "      ", irand(2, 4), 2);
+      out << "    end if;\n";
+      out << "  end process;\n";
+    } else if (kind == 1) {
+      out << "  " << name << ": process (";
+      for (std::size_t i = 0; i < sens_.size(); ++i)
+        out << (i ? ", " : "") << sens_[i];
+      out << ")\n";
+      emit_vars(out);
+      out << "  begin\n";
+      stmts(out, "    ", irand(1, 3), 2);
+      out << "  end process;\n";
+    } else {
+      out << "  " << name << ": process\n";
+      emit_vars(out);
+      out << "  begin\n";
+      stmts(out, "    ", irand(1, 3), 2);
+      out << "    wait for " << irand(2, 9) << " ns;\n";
+      stmts(out, "    ", irand(1, 2), 1);
+      if (chance(40) && !r_bits_.empty()) {
+        out << "    wait on " << pick(r_bits_) << " until " << e_bool(2)
+            << " for " << irand(3, 11) << " ns;\n";
+      }
+      stmts(out, "    ", irand(0, 2), 1);
+      out << "    wait for " << irand(2, 9) << " ns;\n";
+      out << "  end process;\n";
+    }
+  }
+
+  std::mt19937_64 rng_;
+  int w_ = 4;
+  std::vector<Sig> sigs_;
+  std::vector<int> proc_kinds_;
+  std::vector<std::string> r_bits_, r_vecs_, r_xbits_, sens_;
+  std::vector<std::string> own_bits_, own_vecs_, own_xbits_;
+  std::vector<std::string> vints_, vbools_, vbits_, vvecs_;
+};
+
+// ---------------------------------------------------------- smoke tests
+
+const char kCounterSrc[] = R"(
+  entity t is end t;
+  architecture a of t is
+    signal clk : std_logic := '0';
+    signal cnt : std_logic_vector(3 downto 0) := "0000";
+  begin
+    clkgen: process begin
+      clk <= '1'; wait for 5 ns;
+      clk <= '0'; wait for 5 ns;
+    end process;
+    counter: process (clk) begin
+      if rising_edge(clk) then
+        cnt <= cnt + 1;
+      end if;
+    end process;
+  end a;
+)";
+
+// The ci.sh codegen smoke gate: the counter example runs under both
+// backends and commits identical traces, and outside sanitizer builds the
+// native path really compiled (no silent fallback-to-interp "pass").
+TEST(CodegenSmoke, CounterNativeMatchesInterp) {
+  Built interp = build_vhdl(kCounterSrc, "t", {"t/cnt"}, Backend::kInterp);
+  run_seq(interp, 120);
+
+  const CodegenStats before = codegen_stats();
+  Built native = build_vhdl(kCounterSrc, "t", {"t/cnt"}, Backend::kNative);
+  const CodegenStats after = codegen_stats();
+  run_seq(native, 120);
+
+  EXPECT_EQ(vhdl::TraceRecorder::diff(*interp.recorder, *native.recorder),
+            "");
+  if (sanitize_build()) {
+    EXPECT_GT(after.interp_fallbacks, before.interp_fallbacks);
+    EXPECT_EQ(after.native_bodies, before.native_bodies);
+  } else {
+    EXPECT_GT(after.native_bodies, before.native_bodies);
+  }
+}
+
+// Re-elaborating the same source must not recompile: the second build is
+// served from the in-memory/disk cache (this is also what makes restarting
+// a crashed rank with a warm cache cheap).
+TEST(CodegenSmoke, WarmCacheReelaborationHitsCache) {
+  if (sanitize_build())
+    GTEST_SKIP() << "native backend disabled under sanitizers";
+  Built first = build_vhdl(kCounterSrc, "t", {"t/cnt"}, Backend::kNative);
+  const CodegenStats mid = codegen_stats();
+  Built second = build_vhdl(kCounterSrc, "t", {"t/cnt"}, Backend::kNative);
+  const CodegenStats after = codegen_stats();
+  EXPECT_GT(after.cache_hits, mid.cache_hits);
+  EXPECT_EQ(after.compiles, mid.compiles);  // nothing recompiled
+  run_seq(first, 60);
+  run_seq(second, 60);
+  EXPECT_EQ(vhdl::TraceRecorder::diff(*first.recorder, *second.recorder),
+            "");
+}
+
+// ------------------------------------------- differential fuzz sweeps
+
+TEST(CodegenDiff, SeqBackendsBitIdenticalOverSeedMatrix) {
+  const std::uint64_t seeds = stress_seeds();
+  testutil::Watchdog wd("CodegenDiff.SeqBackendsBitIdentical",
+                        std::chrono::seconds(120 + 8 * seeds));
+  const PhysTime until = 300;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    const FuzzDesign d = FuzzGen(seed).build();
+    Built interp = build_vhdl(d.src, "fz", d.probes, Backend::kInterp);
+    run_seq(interp, until);
+    Built native = build_vhdl(d.src, "fz", d.probes, Backend::kNative);
+    run_seq(native, until);
+    ASSERT_EQ(
+        vhdl::TraceRecorder::diff(*interp.recorder, *native.recorder), "")
+        << "seed " << seed << "\n--- generated source ---\n"
+        << d.src;
+  }
+}
+
+// Native bodies under the optimistic machine engine: rollbacks must
+// restore suspended compiled bodies (pc + variables mid-wait) exactly, so
+// the committed trace still equals the interpreted sequential oracle's.
+TEST(CodegenDiff, OptimisticTimeWarpNativeMatchesInterpOracle) {
+  const std::uint64_t seeds = std::min<std::uint64_t>(stress_seeds(), 24);
+  testutil::Watchdog wd("CodegenDiff.OptimisticTimeWarpNative",
+                        std::chrono::seconds(120 + 10 * seeds));
+  const PhysTime until = 300;
+  const Configuration configs[] = {Configuration::kAllOptimistic,
+                                   Configuration::kMixed,
+                                   Configuration::kDynamic};
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    const FuzzDesign d = FuzzGen(seed).build();
+    Built ref = build_vhdl(d.src, "fz", d.probes, Backend::kInterp);
+    run_seq(ref, until);
+
+    Built par = build_vhdl(d.src, "fz", d.probes, Backend::kNative);
+    RunConfig rc;
+    rc.num_workers = 2 + static_cast<std::uint32_t>(seed % 4);
+    rc.configuration = configs[seed % 3];
+    rc.gvt_interval = 16 + (seed % 3) * 24;
+    rc.max_history = (seed % 2) ? 32 : 0;
+    rc.until = until;
+    pdes::MachineEngine eng(
+        *par.graph,
+        partition::round_robin(par.graph->size(), rc.num_workers), rc);
+    eng.set_commit_hook(par.recorder->hook());
+    const auto st = eng.run();
+    ASSERT_FALSE(st.deadlocked) << "seed " << seed;
+    ASSERT_EQ(vhdl::TraceRecorder::diff(*ref.recorder, *par.recorder), "")
+        << "seed " << seed << " workers " << rc.num_workers << " cfg "
+        << to_string(rc.configuration) << "\n--- generated source ---\n"
+        << d.src;
+  }
+}
+
+TEST(CodegenDiff, ThreadedNativeMatchesInterpOracle) {
+  const std::uint64_t seeds = std::min<std::uint64_t>(stress_seeds(), 16);
+  testutil::Watchdog wd("CodegenDiff.ThreadedNative",
+                        std::chrono::seconds(120 + 10 * seeds));
+  const PhysTime until = 250;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    const FuzzDesign d = FuzzGen(seed).build();
+    Built ref = build_vhdl(d.src, "fz", d.probes, Backend::kInterp);
+    run_seq(ref, until);
+
+    Built par = build_vhdl(d.src, "fz", d.probes, Backend::kNative);
+    RunConfig rc;
+    rc.num_workers = 2 + static_cast<std::uint32_t>(seed % 3);
+    rc.configuration = Configuration::kDynamic;
+    rc.until = until;
+    pdes::ThreadedEngine eng(
+        *par.graph,
+        partition::round_robin(par.graph->size(), rc.num_workers), rc);
+    eng.set_commit_hook(par.recorder->hook());
+    const auto st = eng.run();
+    ASSERT_FALSE(st.deadlocked) << "seed " << seed;
+    ASSERT_EQ(vhdl::TraceRecorder::diff(*ref.recorder, *par.recorder), "")
+        << "seed " << seed << "\n--- generated source ---\n"
+        << d.src;
+  }
+}
+
+// ------------------------------------------------- checkpoint codec
+
+// Byte-level snapshot round-trip on suspended bodies mid-run, for both
+// backends: encode -> decode (a fresh state on a cloned body) -> re-encode
+// must reproduce the identical bytes, and a truncated buffer must be
+// rejected instead of half-applied.
+TEST(CodegenDiff, SnapshotCodecRoundTripsMidRun) {
+  for (const Backend be : {Backend::kInterp, Backend::kNative}) {
+    const FuzzDesign d = FuzzGen(3).build();
+    Built b = build_vhdl(d.src, "fz", d.probes, be);
+    run_seq(b, 130);  // leaves every process suspended mid-wait
+    std::size_t checked = 0;
+    for (std::size_t p = 0; p < b.design->num_processes(); ++p) {
+      auto& lp = b.design->process(static_cast<vhdl::ProcessId>(p));
+      const auto state = lp.save_state();
+      std::vector<std::uint8_t> bytes;
+      bytes::Writer w(bytes);
+      ASSERT_TRUE(lp.encode_state(*state, w)) << lp.name();
+      ASSERT_FALSE(bytes.empty());
+
+      bytes::Reader r(bytes);
+      const auto decoded = lp.decode_state(r);
+      ASSERT_NE(decoded, nullptr) << lp.name();
+
+      std::vector<std::uint8_t> again;
+      bytes::Writer w2(again);
+      ASSERT_TRUE(lp.encode_state(*decoded, w2)) << lp.name();
+      EXPECT_EQ(bytes, again) << lp.name();
+
+      bytes::Reader trunc(bytes.data(), bytes.size() / 2);
+      EXPECT_EQ(lp.decode_state(trunc), nullptr) << lp.name();
+      ++checked;
+    }
+    EXPECT_GT(checked, 2u);
+  }
+}
+
+// --------------------------------------------- runtime error parity
+
+// Runs `src` sequentially and returns the diagnostic it dies with ("" if
+// it finishes cleanly).
+std::string run_error(const std::string& src, Backend be) {
+  try {
+    Built b = build_vhdl(src, "t", {}, be);
+    run_seq(b, 60);
+  } catch (const ElabError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+// The native backend must reproduce the interpreter's runtime diagnostics
+// word for word -- error paths are part of the reference semantics.
+TEST(CodegenDiff, RuntimeErrorsMatchInterpWordForWord) {
+  const struct {
+    const char* label;
+    const char* src;
+    const char* expect_substr;
+  } cases[] = {
+      {"assignment width mismatch",
+       R"(
+         entity t is end t;
+         architecture a of t is
+           signal sv : std_logic_vector(3 downto 0) := "0000";
+         begin
+           p: process begin
+             wait for 5 ns;
+             sv <= "01";
+             wait;
+           end process;
+         end a;
+       )",
+       "width mismatch"},
+      {"index out of range in assignment",
+       R"(
+         entity t is end t;
+         architecture a of t is
+           signal sv : std_logic_vector(3 downto 0) := "0000";
+         begin
+           p: process
+             variable vi : integer := 2;
+           begin
+             wait for 5 ns;
+             vi := vi * 5;
+             sv(vi) <= '1';
+             wait;
+           end process;
+         end a;
+       )",
+       "index out of range"},
+      {"non-01 vector used as integer",
+       R"(
+         entity t is end t;
+         architecture a of t is
+           signal su : std_logic_vector(3 downto 0) := "UU00";
+           signal sv : std_logic_vector(3 downto 0) := "0000";
+         begin
+           p: process begin
+             wait for 5 ns;
+             sv <= su + 1;
+             wait;
+           end process;
+         end a;
+       )",
+       "non-01"},
+      {"instruction budget",
+       R"(
+         entity t is end t;
+         architecture a of t is
+           signal sv : std_logic := '0';
+         begin
+           p: process
+             variable n : integer := 0;
+           begin
+             while n >= 0 loop
+               n := (n + 1) mod 1000;
+             end loop;
+             sv <= '1';
+             wait;
+           end process;
+         end a;
+       )",
+       "instruction budget"},
+  };
+  for (const auto& tc : cases) {
+    const std::string interp = run_error(tc.src, Backend::kInterp);
+    const std::string native = run_error(tc.src, Backend::kNative);
+    ASSERT_NE(interp, "") << tc.label;
+    EXPECT_NE(interp.find(tc.expect_substr), std::string::npos)
+        << tc.label << ": " << interp;
+    EXPECT_EQ(interp, native) << tc.label;
+  }
+}
+
+}  // namespace
+}  // namespace vsim::fe

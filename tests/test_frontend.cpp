@@ -705,5 +705,198 @@ TEST(Elaborate, EdgeDetectingProcessesGetSyncHint) {
   EXPECT_FALSE(comb_sync);
 }
 
+// ------------------------------------------- hostile-input hardening
+//
+// The frontend is fed untrusted text; every failure must surface as a
+// structured ParseError/ElabError, never a crash, hang, or stack
+// overflow.  These run under the ASan/UBSan ci legs, where an
+// out-of-bounds read or leak in an error path fails loudly.
+
+// Fails the calling test if elaborating `src` escapes with anything other
+// than a clean success or a structured frontend diagnostic.
+void elaborate_hostile(const std::string& src) {
+  pdes::LpGraph graph;
+  vhdl::Design design(graph);
+  try {
+    elaborate_source(src, "t", design);
+  } catch (const ParseError&) {
+  } catch (const ElabError&) {
+  }
+}
+
+// Same, but lets the diagnostic escape so tests can assert its type.
+void elaborate_hostile_throwing(const std::string& src) {
+  pdes::LpGraph graph;
+  vhdl::Design design(graph);
+  elaborate_source(src, "t", design);
+}
+
+TEST(Hostile, TruncatedSourcePrefixesAlwaysDiagnoseStructured) {
+  // A source exercising every construct (string/char literals, generics of
+  // the subset: generate, case, waits, instances), cut at every byte.
+  const std::string good = R"(
+    entity leaf is
+      port (i : in std_logic; o : out std_logic);
+    end leaf;
+    architecture rtl of leaf is
+    begin
+      o <= not i after 2 ns;
+    end rtl;
+    entity t is end t;
+    architecture a of t is
+      component leaf is
+        port (i : in std_logic; o : out std_logic);
+      end component leaf;
+      constant k : integer := 2_000;
+      signal x, y : std_logic := '0';
+      signal v : std_logic_vector(3 downto 0) := "01ZX";
+    begin
+      u1: leaf port map (i => x, o => y);
+      gen: for i in 0 to 3 generate
+        p: process (x) begin
+          if rising_edge(x) then v(i) <= '1'; end if;
+        end process;
+      end generate gen;
+      q: process
+        variable n : integer := 0;
+      begin
+        case n is
+          when 0 => n := 1;
+          when others => n := 0;
+        end case;
+        wait on x until v(0) = '1' for 10 ns;
+        report "checkpoint -- partial";
+        wait;
+      end process;
+    end a;
+  )";
+  for (std::size_t len = 0; len <= good.size(); ++len)
+    elaborate_hostile(good.substr(0, len));
+}
+
+TEST(Hostile, GarbageBytesDiagnoseStructured) {
+  const char* cases[] = {
+      "\x01\x02\xff\xfe",
+      "entity t is end t; architecture a of t is begin \xc3\x28 end a;",
+      "entity t is end t; -- comment that never ends",
+      "entity t is end t; architecture a of t is begin p: process begin "
+      "report \"unterminated",
+      "entity t is end t; architecture a of t is signal s : std_logic := "
+      "'",  // truncated char literal
+      "'''",
+      "\"\"\"\"\"",
+  };
+  for (const char* src : cases) elaborate_hostile(src);
+}
+
+TEST(Hostile, DeepNestingDiagnosedNotStackOverflow) {
+  // 200k nested parentheses used to segfault the recursive descent; the
+  // shared NestingGuard must turn both expression and statement towers
+  // into a ParseError.
+  const int n = 200000;
+  {
+    std::string src =
+        "entity t is end t;\narchitecture a of t is\nbegin\n"
+        "  p: process\n    variable v : integer := 0;\n  begin\n    v := " +
+        std::string(static_cast<std::size_t>(n), '(') + "1" +
+        std::string(static_cast<std::size_t>(n), ')') +
+        ";\n    wait;\n  end process;\nend a;\n";
+    EXPECT_THROW(parse(src), ParseError);
+  }
+  {
+    std::string src =
+        "entity t is end t;\narchitecture a of t is\nbegin\n"
+        "  p: process begin\n";
+    for (int i = 0; i < 20000; ++i) src += "if true then\n";
+    src += "null;\n";
+    for (int i = 0; i < 20000; ++i) src += "end if;\n";
+    src += "wait;\n  end process;\nend a;\n";
+    EXPECT_THROW(parse(src), ParseError);
+  }
+}
+
+TEST(Hostile, UnknownIdentifiersDiagnoseStructured) {
+  // Unknown signal in an expression.
+  EXPECT_THROW(elaborate_hostile_throwing(R"(
+    entity t is end t;
+    architecture a of t is
+      signal y : std_logic := '0';
+    begin
+      y <= nosuch and '1';
+    end a;
+  )"), ElabError);
+  // Unknown signal in a sensitivity list.
+  EXPECT_THROW(elaborate_hostile_throwing(R"(
+    entity t is end t;
+    architecture a of t is
+      signal y : std_logic := '0';
+    begin
+      p: process (ghost) begin y <= '1'; end process;
+    end a;
+  )"), ElabError);
+  // Instance of an entity that does not exist.
+  EXPECT_THROW(elaborate_hostile_throwing(R"(
+    entity t is end t;
+    architecture a of t is
+      signal x : std_logic := '0';
+    begin
+      u1: phantom port map (i => x);
+    end a;
+  )"), ElabError);
+  // Assignment to an undeclared target inside a process.
+  EXPECT_THROW(elaborate_hostile_throwing(R"(
+    entity t is end t;
+    architecture a of t is
+    begin
+      p: process begin missing <= '1'; wait; end process;
+    end a;
+  )"), ElabError);
+}
+
+TEST(Hostile, ConditionAndOperandTypeErrorsDiagnoseStructured) {
+  // A vector condition whose scalar() collapses multi-bit state, operand
+  // width mismatches, and non-01 arithmetic must all die with the
+  // interpreter's structured diagnostics when the process first runs.
+  const char* runtime_cases[] = {
+      // operand width mismatch in a logic op
+      R"(
+        entity t is end t;
+        architecture a of t is
+          signal v4 : std_logic_vector(3 downto 0) := "0000";
+          signal v2 : std_logic_vector(1 downto 0) := "00";
+          signal y : std_logic_vector(3 downto 0) := "0000";
+        begin
+          p: process begin
+            wait for 2 ns;
+            y <= v4 and v2;
+            wait;
+          end process;
+        end a;
+      )",
+      // non-01 vector in a condition's arithmetic
+      R"(
+        entity t is end t;
+        architecture a of t is
+          signal u : std_logic_vector(3 downto 0) := "UXZW";
+          signal y : std_logic := '0';
+        begin
+          p: process begin
+            wait for 2 ns;
+            if to_integer(u) > 2 then y <= '1'; end if;
+            wait;
+          end process;
+        end a;
+      )",
+  };
+  for (const char* src : runtime_cases) {
+    pdes::LpGraph graph;
+    vhdl::Design design(graph);
+    elaborate_source(src, "t", design);
+    design.finalize();
+    pdes::SequentialEngine eng(graph);
+    EXPECT_THROW(eng.run(10), ElabError) << src;
+  }
+}
+
 }  // namespace
 }  // namespace vsim::fe
