@@ -11,12 +11,16 @@
 //  (h) clustering: flat one-LP-per-signal/process vs BFS-fused ClusterLps
 //      on a 100k-signal netlist -- cluster size x P, with the memory proxy
 //      and GVT scan volume before/after fusing.
+//  (i) adaptation: the rate-based kDynamic controller vs its own ablated
+//      variants on the IIR at P=16, the workload/scale cell where the old
+//      single-window controller collapsed to ~0.26x of all-optimistic.
 //
-// An optional argv[1] names one section (its report `section` tag, e.g.
-// `placement`) and skips the rest -- CI gates the placement cell against
-// the committed baseline without paying for the full sweep.
+// Optional trailing args name sections (their report `section` tags, e.g.
+// `placement adaptation`) and skip the rest -- CI gates those cells
+// against the committed baseline without paying for the full sweep.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench/harness.h"
 #include "bench/report.h"
@@ -121,9 +125,12 @@ bench::BuildFn dct_imb_build = [] {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string only = argc > 1 ? argv[1] : "";
+  const std::vector<std::string> only(argv + 1, argv + argc);
   const auto want = [&only](const char* section) {
-    return only.empty() || only == section;
+    if (only.empty()) return true;
+    for (const std::string& s : only)
+      if (s == section) return true;
+    return false;
   };
   const PhysTime until = 800;
   const bool need_fsm_seq = want("gvt_interval") || want("transport_faults") ||
@@ -371,6 +378,79 @@ int main(int argc, char** argv) {
       report.add_row("placement", p, std::string(cell.name) + "/dynamic",
                      sc / st.makespan, st);
     }
+  }
+  }
+
+  if (want("adaptation")) {
+  std::printf(
+      "\n# Ablation (i): adaptation policy, IIR, P=16\n"
+      "# (the feedback lattice is where mixed-mode operation CREATES\n"
+      "#  rollbacks: conservative LPs hold events back, their late outputs\n"
+      "#  straggle into sped-ahead optimistic neighbours, and every demotion\n"
+      "#  makes the next one likelier.  `rate-based` is the shipped\n"
+      "#  controller; each ablated variant removes one of its guards, and\n"
+      "#  `single-window` is the pre-fix controller shape: per-window\n"
+      "#  decisions with no memory, no budget, no P-scaled threshold)\n");
+  const PhysTime auntil = 4000;
+  const double aseq = bench::sequential_cost(iir_build, auntil);
+  struct Variant {
+    const char* name;
+    void (*tweak)(pdes::AdaptPolicy&);
+  };
+  const Variant variants[] = {
+      {"rate-based", [](pdes::AdaptPolicy&) {}},
+      {"no-budget",
+       [](pdes::AdaptPolicy& a) { a.max_demote_fraction = 1.0; }},
+      {"no-headroom", [](pdes::AdaptPolicy& a) { a.p_headroom = 0.0; }},
+      {"single-window",
+       [](pdes::AdaptPolicy& a) {
+         a.rate_alpha = 1.0;
+         a.min_decision_windows = 1;
+         a.max_demote_fraction = 1.0;
+         a.p_headroom = 0.0;
+       }},
+  };
+  std::printf("%-16s%10s%10s%10s%10s%8s%10s\n", "policy", "speedup",
+              "switches", "rollbacks", "demote", "pin", "opt_frac");
+  for (const Variant& v : variants) {
+    pdes::RunConfig rc;
+    rc.num_workers = 16;
+    rc.configuration = pdes::Configuration::kDynamic;
+    rc.until = auntil;
+    rc.max_history = 128;
+    v.tweak(rc.adapt);
+    const auto st = bench::run_machine(iir_build, rc);
+    std::uint64_t switches = 0;
+    for (const auto& l : st.per_lp) switches += l.mode_switches;
+    std::printf("%-16s%10s%10llu%10llu%10llu%8llu%10s\n", v.name,
+                bench::fmt(aseq / st.makespan).c_str(),
+                static_cast<unsigned long long>(switches),
+                static_cast<unsigned long long>(st.total_rollbacks()),
+                static_cast<unsigned long long>(
+                    st.metrics.counter(obs::Metric::kAdaptDemotions)),
+                static_cast<unsigned long long>(
+                    st.metrics.counter(obs::Metric::kAdaptPins)),
+                bench::fmt(
+                    st.metrics.gauge(obs::Gauge::kAdaptOptimisticFraction))
+                    .c_str());
+    std::fflush(stdout);
+    report.add_row("adaptation", 16, v.name, aseq / st.makespan, st);
+  }
+  // Static anchors: what dynamic must track (optimistic) and beat
+  // (conservative) on this circuit.
+  for (const auto cfg : {pdes::Configuration::kAllOptimistic,
+                         pdes::Configuration::kAllConservative}) {
+    pdes::RunConfig rc;
+    rc.num_workers = 16;
+    rc.configuration = cfg;
+    rc.until = auntil;
+    rc.max_history = 128;
+    const auto st = bench::run_machine(iir_build, rc);
+    std::printf("%-16s%10s\n", pdes::to_string(cfg),
+                bench::fmt(aseq / st.makespan).c_str());
+    std::fflush(stdout);
+    report.add_row("adaptation", 16, pdes::to_string(cfg),
+                   aseq / st.makespan, st);
   }
   }
 

@@ -47,6 +47,12 @@ echo "==> Clustered smoke: fused ClusterLps, threaded + 4-rank distributed"
 # socket run must both match the flat sequential oracle bit-exactly.
 ctest --test-dir build -L cluster_smoke --output-on-failure
 
+echo "==> Adaptation smoke: IIR slice, dynamic vs all-optimistic at P=16"
+# The regression gate for the kDynamic collapse on the feedback lattice:
+# on the deterministic machine model, dynamic at P=16 must land within 80%
+# of all-optimistic's makespan on the IIR (it used to collapse to ~26%).
+ctest --test-dir build -L adapt_smoke --output-on-failure
+
 echo "==> Doc links: no dangling DESIGN.md/README anchors or section refs"
 # Section titles get renamed; quoted references in prose and code comments
 # do not follow automatically.  The checker fails on markdown links to
@@ -75,12 +81,15 @@ EOF
 echo "==> Perf gate: microbench + placement reports vs committed baselines"
 # The deterministic model_fsm speedup rows gate hard (>5% drop fails); the
 # wall-clock micro rows are warn-only at 25% because this host is shared.
-# The ablation binary runs its placement section only: those rows gate the
-# dynamic rebalancer (and the static schemes it is measured against) so a
-# planner change that costs placement quality shows up as a speedup drop.
+# The ablation binary runs its placement + adaptation sections only: the
+# placement rows gate the dynamic rebalancer (and the static schemes it is
+# measured against) so a planner change that costs placement quality shows
+# up as a speedup drop; the adaptation rows gate the rate-based kDynamic
+# controller against its ablated variants on the IIR collapse cell.
 VSIM_BENCH_DIR="$ARTIFACTS" ./build/bench/bench_microbench \
   --benchmark_min_time=0.1 > /dev/null
-VSIM_BENCH_DIR="$ARTIFACTS" ./build/bench/bench_ablation placement > /dev/null
+VSIM_BENCH_DIR="$ARTIFACTS" ./build/bench/bench_ablation placement \
+  adaptation > /dev/null
 # Native-codegen speedup row: the committed baseline floor (1.4x) trips the
 # diff below when the backend silently stops beating the interpreter.
 VSIM_BENCH_DIR="$ARTIFACTS" ./build/bench/bench_codegen > /dev/null

@@ -52,6 +52,10 @@ const char* metric_name(Metric m) {
     case Metric::kCodegenCacheHits: return "frontend.codegen_cache_hits";
     case Metric::kCodegenCompiles: return "frontend.codegen_compiles";
     case Metric::kInterpFallbacks: return "frontend.interp_fallbacks";
+    case Metric::kAdaptDemotions: return "adapt.demotions";
+    case Metric::kAdaptPromotions: return "adapt.promotions";
+    case Metric::kAdaptPins: return "adapt.pinned";
+    case Metric::kAdaptDeferrals: return "adapt.deferrals";
     case Metric::kCount: break;
   }
   return "unknown";
@@ -65,6 +69,7 @@ const char* gauge_name(Gauge g) {
     case Gauge::kFtOverhead: return "ckpt.overhead_cost";
     case Gauge::kLbImbalance: return "lb.imbalance";
     case Gauge::kCodegenCompileMs: return "frontend.codegen_compile_ms";
+    case Gauge::kAdaptOptimisticFraction: return "adapt.optimistic_fraction";
     case Gauge::kCount: break;
   }
   return "unknown";

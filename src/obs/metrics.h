@@ -86,6 +86,13 @@ enum class Metric : std::uint16_t {
   kCodegenCacheHits,       ///< frontend.codegen_cache_hits — .so reuses
   kCodegenCompiles,        ///< frontend.codegen_compiles — compiler runs
   kInterpFallbacks,        ///< frontend.interp_fallbacks — native -> interp
+  // Dynamic adaptation (adaptive.h).  Demotions/promotions/pins are per-LP
+  // counters folded from LpStats at run end; deferrals are shard-native
+  // (charged by the controller's owner when the round budget runs out).
+  kAdaptDemotions,         ///< adapt.demotions — optimistic -> conservative
+  kAdaptPromotions,        ///< adapt.promotions — conservative -> optimistic
+  kAdaptPins,              ///< adapt.pinned — LPs pinned conservative
+  kAdaptDeferrals,         ///< adapt.deferrals — demotions deferred by budget
   kCount
 };
 
@@ -98,6 +105,9 @@ enum class Gauge : std::uint16_t {
   kLbImbalance,   ///< lb.imbalance — peak (max-min)/avg worker load observed
                   ///< at a rebalance round (gauges merge with MAX)
   kCodegenCompileMs,  ///< frontend.codegen_compile_ms — slowest .so compile
+  kAdaptOptimisticFraction,  ///< adapt.optimistic_fraction — LPs ending the
+                             ///< run optimistic / all LPs (max across merges
+                             ///< is a no-op: folded once at run end)
   kCount
 };
 

@@ -1,6 +1,25 @@
 // Self-adaptation policy (the paper's dynamic configuration) and the
 // initial-mode assignment for the four global configurations.
+//
+// Decisions are rate-based (see DESIGN.md "Dynamic adaptation"): the
+// controller folds each LP's GVT-window counters into EWMA-smoothed
+// wasted-work rates carried across rounds, so one bursty window can neither
+// demote a healthy LP nor promote a rollback-prone one.  Three guards keep
+// the policy from collapsing a tightly-coupled graph (the IIR post-mortem):
+//   1. Demotion charges only *wasted* work (events undone per event
+//      processed, re-executions counted once), smoothed over at least
+//      min_decision_windows active windows.
+//   2. The demotion threshold scales up with the worker count: per-LP
+//      windows shrink as P grows, so constants tuned at P<=8 over-demote.
+//   3. A per-round demotion budget (max_demote_fraction of the controller's
+//      scope) stops an avalanche: mixed-mode operation on a feedback path
+//      *creates* rollbacks downstream, so demoting everything at once reads
+//      its own damage as confirmation.
 #pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 
 #include "pdes/config.h"
 #include "pdes/lp_runtime.h"
@@ -24,46 +43,127 @@ inline SyncMode initial_mode(Configuration c, const LogicalProcess& lp) {
   return SyncMode::kConservative;
 }
 
-/// Evaluated per LP at every GVT round when the configuration is kDynamic:
-/// optimistic LPs with a high rollback rate turn conservative; starving
-/// conservative LPs with a clean recent record turn optimistic.
-inline void adapt_lp(LpRuntime& rt, const AdaptPolicy& p) {
-  const std::uint64_t events = rt.window_events();
-  const std::uint64_t rollbacks = rt.window_rollbacks();
-  if (rt.mode() == SyncMode::kOptimistic) {
-    if (events >= p.min_window_events &&
-        static_cast<double>(rollbacks) >
-            p.rollback_rate_high * static_cast<double>(events)) {
-      rt.set_mode(SyncMode::kConservative);
-    } else if (rt.window_memory_stalls() >= p.min_window_events) {
-      // Persistent far-ahead LPs (clocks, stimuli) exhaust Time Warp
-      // memory; they are exactly the "very persistent" synchronous
-      // components the paper runs conservatively.  Pinned: re-promoting
-      // them would just oscillate between stall and demotion.
-      rt.pin_conservative();
-    }
-  } else {
-    // Re-promotion is damped by demotion-count hysteresis.  The rollback-
-    // rate test is vacuous for a fully starved window (events == 0 makes
-    // 0 <= rate * anything hold trivially), so a blocked LP used to flip
-    // optimistic on blocked counts alone -- only to roll back and demote
-    // the moment traffic resumed, ping-ponging between modes forever.
-    // Requiring window activity instead would trap throttled LPs (pending
-    // work parked just above the safe bound, the very LPs speculation
-    // helps) in conservative mode and costs real speedup, so the fix is
-    // escalation, not prohibition: each past demotion doubles the
-    // blocked-poll evidence the next promotion needs (capped), halving the
-    // oscillation frequency every cycle until the LP settles down.
-    const std::uint64_t need_blocked =
-        static_cast<std::uint64_t>(p.min_window_events)
-        << std::min<std::uint64_t>(rt.demotions(), p.promotion_backoff_cap);
-    if (!rt.pinned_conservative() && rt.window_blocked() >= need_blocked &&
-        static_cast<double>(rollbacks) <=
-            p.rollback_rate_low * static_cast<double>(events)) {
-      rt.set_mode(SyncMode::kOptimistic);
-    }
+/// What the controller did with one LP this round.
+enum class AdaptAction : std::uint8_t {
+  kNone,      ///< no transition (includes pinned LPs, skipped entirely)
+  kDemote,    ///< optimistic -> conservative
+  kPromote,   ///< conservative -> optimistic
+  kPin,       ///< pinned conservative (persistent memory stalls)
+  kDeferred,  ///< demotion warranted but the round's budget was spent
+};
+
+inline const char* to_string(AdaptAction a) {
+  switch (a) {
+    case AdaptAction::kNone: return "none";
+    case AdaptAction::kDemote: return "demote";
+    case AdaptAction::kPromote: return "promote";
+    case AdaptAction::kPin: return "pin";
+    case AdaptAction::kDeferred: return "defer";
   }
-  rt.reset_window();
+  return "?";
 }
+
+/// One decision plus the rates that triggered it (for trace instants; the
+/// rates are captured *before* the flip resets the LP's evidentiary record).
+struct AdaptDecision {
+  AdaptAction action = AdaptAction::kNone;
+  double waste_rate = 0.0;            ///< EWMA at decision time
+  std::uint64_t blocked = 0;          ///< blocked polls since the last flip
+};
+
+/// Per-scope adaptation controller.  One instance per deterministic sweep
+/// scope -- the whole engine (machine model), one worker's owned set
+/// (threaded), or one rank's owned set (distributed) -- so the demotion
+/// budget is consumed in the scope's fixed iteration order and decisions
+/// replay identically for identical inputs.
+class AdaptController {
+ public:
+  AdaptController(const AdaptPolicy& policy, std::size_t num_workers)
+      : policy_(policy),
+        high_eff_(policy.rollback_rate_high *
+                  (1.0 + policy.p_headroom *
+                             static_cast<double>(
+                                 num_workers > 0 ? num_workers - 1 : 0))) {}
+
+  /// Starts a GVT round over a scope of `scope_lps` LPs: refills the
+  /// demotion budget (ceil of the configured fraction, so any non-empty
+  /// scope may demote at least one LP per round).
+  void begin_round(std::size_t scope_lps) {
+    const double raw =
+        policy_.max_demote_fraction * static_cast<double>(scope_lps);
+    demote_budget_ =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(raw)));
+  }
+
+  /// Effective demotion threshold after worker-count scaling.
+  [[nodiscard]] double high_threshold() const { return high_eff_; }
+  /// Demotions still allowed this round.
+  [[nodiscard]] std::uint64_t demote_budget() const { return demote_budget_; }
+
+  /// Blocked-poll evidence required to re-promote an LP with `demotions`
+  /// lifetime demotions: min_window_events doubled per demotion, saturating
+  /// at promotion_backoff_cap doublings (cap validated < 32, so the shift
+  /// never overflows).
+  [[nodiscard]] std::uint64_t promotion_evidence(
+      std::uint64_t demotions) const {
+    const std::uint64_t shift = std::min<std::uint64_t>(
+        demotions, std::min<std::uint64_t>(policy_.promotion_backoff_cap, 31));
+    return static_cast<std::uint64_t>(policy_.min_window_events) << shift;
+  }
+
+  /// Evaluates one LP at a GVT round: folds its window into the rates and
+  /// applies the transition rules.  Pinned LPs short-circuit before any rate
+  /// math (their window counters are never consulted again, so they skip
+  /// the fold/reset churn entirely).
+  AdaptDecision adapt(LpRuntime& rt) {
+    AdaptDecision d;
+    if (rt.pinned_conservative()) return d;
+    rt.fold_window(policy_);
+    d.waste_rate = rt.waste_rate();
+    d.blocked = rt.blocked_since_flip();
+
+    if (rt.mode() == SyncMode::kOptimistic) {
+      if (rt.stall_streak() >= policy_.pin_stall_windows) {
+        // Persistent far-ahead LPs (clocks, stimuli) exhaust Time Warp
+        // memory; they are exactly the "very persistent" synchronous
+        // components the paper runs conservatively.  Pinned: re-promoting
+        // them would just oscillate between stall and demotion.
+        rt.pin_conservative();
+        d.action = AdaptAction::kPin;
+        return d;
+      }
+      if (rt.active_windows() >= policy_.min_decision_windows &&
+          rt.evidence_events() >= policy_.min_window_events &&
+          rt.waste_rate() > high_eff_) {
+        if (demote_budget_ == 0) {
+          d.action = AdaptAction::kDeferred;
+          return d;
+        }
+        --demote_budget_;
+        rt.set_mode(SyncMode::kConservative);
+        d.action = AdaptAction::kDemote;
+      }
+      return d;
+    }
+
+    // Conservative.  Promotion needs cumulative blocked evidence escalated
+    // by the demotion count, plus a clean record: either the LP has been
+    // fully starved since the flip (a throttled LP parked just above the
+    // safe bound is the very LP speculation helps -- trapping it would cost
+    // real speedup) or its smoothed waste rate is below the low threshold.
+    if (rt.blocked_since_flip() >= promotion_evidence(rt.demotions()) &&
+        (rt.active_windows() == 0 ||
+         rt.waste_rate() <= policy_.rollback_rate_low)) {
+      rt.set_mode(SyncMode::kOptimistic);
+      d.action = AdaptAction::kPromote;
+    }
+    return d;
+  }
+
+ private:
+  AdaptPolicy policy_;
+  double high_eff_;
+  std::uint64_t demote_budget_ = 1;
+};
 
 }  // namespace vsim::pdes

@@ -130,11 +130,39 @@ std::optional<ConfigError> validate_net(const NetConfig& net,
   return std::nullopt;
 }
 
+std::optional<ConfigError> validate(const AdaptPolicy& adapt) {
+  if (adapt.promotion_backoff_cap >= 32)
+    return fail("adapt.promotion_backoff_cap",
+                "caps >= 32 would shift promotion evidence into undefined "
+                "behaviour; the threshold saturates at cap doublings");
+  if (!(adapt.rollback_rate_high > 0.0))
+    return fail("adapt.rollback_rate_high", "must be > 0");
+  if (adapt.rollback_rate_low < 0.0 ||
+      adapt.rollback_rate_low > adapt.rollback_rate_high)
+    return fail("adapt.rollback_rate_low",
+                "must be in [0, rollback_rate_high]");
+  if (adapt.min_window_events < 1)
+    return fail("adapt.min_window_events", "must be >= 1");
+  if (!(adapt.rate_alpha > 0.0) || adapt.rate_alpha > 1.0)
+    return fail("adapt.rate_alpha", "EWMA factor must be in (0, 1]");
+  if (adapt.p_headroom < 0.0)
+    return fail("adapt.p_headroom", "must be >= 0");
+  if (adapt.min_decision_windows < 1)
+    return fail("adapt.min_decision_windows", "must be >= 1");
+  if (!(adapt.max_demote_fraction > 0.0) || adapt.max_demote_fraction > 1.0)
+    return fail("adapt.max_demote_fraction",
+                "demotion budget fraction must be in (0, 1]");
+  if (adapt.pin_stall_windows < 1)
+    return fail("adapt.pin_stall_windows", "must be >= 1");
+  return std::nullopt;
+}
+
 std::optional<ConfigError> validate(const RunConfig& config) {
   if (config.num_workers < 1)
     return fail("num_workers", "at least one worker is required");
   if (config.gvt_interval < 1)
     return fail("gvt_interval", "GVT interval must be >= 1");
+  if (auto err = validate(config.adapt)) return err;
   if (config.deadlock_rounds < 1)
     return fail("deadlock_rounds", "deadlock threshold must be >= 1");
   if (auto err = validate(config.transport, config.num_workers)) return err;

@@ -122,8 +122,11 @@ struct TransportConfig {
   FaultPlan faults;
   bool reliable = false;
   /// Retransmission attempts per packet before the run aborts with a
-  /// structured TransportError (a link that never delivers is dead).
-  std::uint32_t max_retries = 40;
+  /// structured TransportError (a link that never delivers is dead).  Sized
+  /// against the sync rounds' drain-to-quiescence loop, which force-flushes
+  /// every pass with no RTO pacing: a healthy link riding out a few
+  /// blackout_span windows back-to-back must not be declared dead.
+  std::uint32_t max_retries = 100;
   /// Initial retransmit timeout in engine time units (virtual clock for the
   /// machine engine, scheduler loop iterations for the threaded engine),
   /// doubled via `rto_backoff` after every retry.
@@ -233,6 +236,8 @@ std::optional<ConfigError> validate(const FaultPlan& plan,
                                     std::size_t num_workers);
 std::optional<ConfigError> validate(const TransportConfig& transport,
                                     std::size_t num_workers);
+struct AdaptPolicy;
+std::optional<ConfigError> validate(const AdaptPolicy& adapt);
 std::optional<ConfigError> validate_net(const NetConfig& net,
                                         std::size_t num_ranks);
 struct RunConfig;
@@ -247,20 +252,49 @@ std::optional<ConfigError> validate_distributed(const RunConfig& config);
 /// instead of a slow instrumented run being mistaken for a dead rank.
 [[nodiscard]] double time_scale();
 
-/// Parameters of the self-adaptation policy (evaluated per LP at GVT rounds).
+/// Parameters of the self-adaptation policy (evaluated per LP at GVT rounds
+/// by the AdaptController in adaptive.h).  Decisions are driven by
+/// EWMA-smoothed *rates* folded across GVT windows, not by one window's raw
+/// counters: a single bursty window can neither demote a healthy LP nor
+/// promote a rollback-prone one.  See DESIGN.md "Dynamic adaptation".
 struct AdaptPolicy {
-  /// Rollbacks per processed event above which an optimistic LP turns
-  /// conservative.
-  double rollback_rate_high = 0.25;
-  /// Rollback rate below which a blocked conservative LP turns optimistic.
-  double rollback_rate_low = 0.05;
-  /// Minimum events observed in a window before a switch is considered.
+  /// Wasted-work fraction (events undone net of re-executed work, per event
+  /// processed; EWMA-smoothed) above which an optimistic LP turns
+  /// conservative.  Scaled up with the worker count via `p_headroom`: per-LP
+  /// windows shrink as P grows, so the same constant over-demotes at high P.
+  double rollback_rate_high = 0.5;
+  /// Wasted-work EWMA below which a blocked conservative LP's record counts
+  /// as clean for re-promotion.
+  double rollback_rate_low = 0.1;
+  /// Minimum events accumulated since the last mode flip before a demotion
+  /// is considered, and the base unit of blocked-poll promotion evidence.
   std::uint32_t min_window_events = 8;
   /// Each optimistic->conservative demotion doubles the blocked-poll
   /// evidence required before the next re-promotion (left-shift of
   /// min_window_events, saturating at this many doublings).  Breaks the
   /// demote/promote ping-pong of LPs that only ever look good while idle.
+  /// Must be < 32 (validated): larger caps would shift into UB territory.
   std::uint32_t promotion_backoff_cap = 4;
+  /// EWMA smoothing factor per *active* window (one with >= 1 event):
+  /// rate += alpha * (observation - rate).  Smaller = smoother = slower to
+  /// react; 1.0 degenerates to single-window decisions.
+  double rate_alpha = 0.4;
+  /// Per-worker headroom on the demotion threshold: the effective high
+  /// threshold is rollback_rate_high * (1 + p_headroom * (P - 1)), capped
+  /// at 1.0 by construction of the waste fraction.
+  double p_headroom = 0.05;
+  /// Active windows observed since the last mode flip before a demotion is
+  /// considered (>= 1).  Rollback bursts shorter than this never demote.
+  std::uint32_t min_decision_windows = 3;
+  /// Avalanche guard: at most this fraction of a controller's LP scope may
+  /// be demoted per GVT round (rounded up, so always >= 1 when any LP
+  /// qualifies).  A long feedback lattice can only turn conservative
+  /// incrementally, giving the EWMAs time to observe the mixed-mode cost.
+  double max_demote_fraction = 0.125;
+  /// Consecutive memory-stall-dominated windows before an optimistic LP is
+  /// pinned conservative (>= 1).  One stalled window under a tight history
+  /// cap is normal backpressure; a persistent streak is a far-ahead LP.
+  std::uint32_t pin_stall_windows = 3;
 };
 
 /// Dynamic load balancing: at a configurable cadence of GVT rounds the

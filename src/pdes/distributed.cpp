@@ -68,6 +68,10 @@ void encode_lp_stats(bytes::Writer& w, const LpStats& s) {
   w.u64(s.blocked_polls);
   w.u64(s.checkpoint_undone);
   w.u64(s.queue_ops);
+  w.u64(s.adapt_demotions);
+  w.u64(s.adapt_promotions);
+  w.u64(s.adapt_pins);
+  w.u64(s.final_optimistic);
 }
 
 LpStats decode_lp_stats(bytes::Reader& r) {
@@ -86,6 +90,10 @@ LpStats decode_lp_stats(bytes::Reader& r) {
   s.blocked_polls = r.u64();
   s.checkpoint_undone = r.u64();
   s.queue_ops = r.u64();
+  s.adapt_demotions = r.u64();
+  s.adapt_promotions = r.u64();
+  s.adapt_pins = r.u64();
+  s.final_optimistic = r.u64();
   return s;
 }
 
@@ -1670,11 +1678,19 @@ void DistributedEngine::apply_gvt_local(std::uint64_t round, VirtualTime gvt,
   } else {
     for (const LpId lp : owned_) lps_[lp].fossil_collect(gvt, router);
   }
+  // Each rank is its own adaptation scope: the demotion budget drains in
+  // owned_ order, so decisions depend only on this rank's deterministic
+  // counters, never on cross-process timing.
+  AdaptController adapt(config_.adapt, config_.num_workers);
+  adapt.begin_round(owned_.size());
   for (const LpId lp : owned_) {
-    if (config_.configuration == Configuration::kDynamic)
-      adapt_lp(lps_[lp], config_.adapt);
-    else
+    if (config_.configuration == Configuration::kDynamic) {
+      const AdaptDecision d = adapt.adapt(lps_[lp]);
+      if (d.action == AdaptAction::kDeferred)
+        metrics_.shard(0).inc(obs::Metric::kAdaptDeferrals);
+    } else {
       lps_[lp].reset_window();
+    }
     if (config_.strategy == ConservativeStrategy::kNullMessage)
       send_null_messages_for(lp);
   }

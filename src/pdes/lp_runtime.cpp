@@ -53,9 +53,18 @@ class LpRuntime::CollectContext final : public SimContext {
 void LpRuntime::set_mode(SyncMode m) {
   if (m == SyncMode::kOptimistic && !lp_->can_save_state()) return;
   if (m != mode_) {
-    if (m == SyncMode::kConservative) ++demotions_;
+    if (m == SyncMode::kConservative) {
+      ++demotions_;
+      ++stats_.adapt_demotions;
+    } else {
+      ++stats_.adapt_promotions;
+    }
     mode_ = m;
     ++stats_.mode_switches;
+    stats_.final_optimistic = m == SyncMode::kOptimistic ? 1 : 0;
+    // The flip starts a fresh evidentiary record: rates observed under the
+    // old mode say nothing about behaviour under the new one.
+    reset_adapt_rates();
   }
 }
 
@@ -246,6 +255,7 @@ void LpRuntime::rollback_to_position(std::size_t pos, Router& router) {
       }
     }
     ++stats_.events_undone;
+    ++window_undone_;
     pending_.push(std::move(rec.ev));
   }
   stats_.queue_ops = pending_.ops();
@@ -356,6 +366,7 @@ void LpRuntime::restore_from(const LpCheckpoint& ck) {
   if (ck.state) lp_->restore_state(*ck.state);
   // Direct assignment, not set_mode(): a recovery is not a mode switch.
   mode_ = ck.mode;
+  stats_.final_optimistic = mode_ == SyncMode::kOptimistic ? 1 : 0;
   pinned_conservative_ = ck.pinned_conservative;
   committed_ts_ = ck.committed_ts;
   send_seq_ = ck.send_seq;
@@ -371,6 +382,9 @@ void LpRuntime::restore_from(const LpCheckpoint& ck) {
   in_clocks_.clear();
   for (const auto& [src, clock] : ck.in_clocks) in_clocks_.emplace(src, clock);
   reset_window();
+  // Adaptation rates are controller scratch, not simulation state: restart
+  // the evidentiary record rather than replicate it through checkpoints.
+  reset_adapt_rates();
 }
 
 void LpRuntime::reset_window() {
@@ -378,6 +392,40 @@ void LpRuntime::reset_window() {
   window_events_ = 0;
   window_blocked_ = 0;
   window_memory_stalls_ = 0;
+  window_undone_ = 0;
 }
+
+void LpRuntime::reset_adapt_rates() {
+  waste_rate_ = 0.0;
+  active_windows_ = 0;
+  evidence_events_ = 0;
+  blocked_since_flip_ = 0;
+  stall_streak_ = 0;
+}
+
+void LpRuntime::fold_window(const AdaptPolicy& policy) {
+  if (window_events_ > 0) {
+    // Wasted-work fraction of this window: speculative events undone per
+    // event processed.  Re-executions re-enter window_events_, so work that
+    // is rolled back and redone is charged once, not twice -- the fraction
+    // measures net waste, unlike a raw rollback count.
+    const double waste =
+        std::min(1.0, static_cast<double>(window_undone_) /
+                          static_cast<double>(window_events_));
+    waste_rate_ = active_windows_ == 0
+                      ? waste
+                      : waste_rate_ + policy.rate_alpha * (waste - waste_rate_);
+    ++active_windows_;
+    evidence_events_ += window_events_;
+  }
+  blocked_since_flip_ += window_blocked_;
+  if (window_memory_stalls_ >= policy.min_window_events) {
+    ++stall_streak_;
+  } else {
+    stall_streak_ = 0;
+  }
+  reset_window();
+}
+
 
 }  // namespace vsim::pdes

@@ -60,7 +60,9 @@ class LpRuntime {
         mode_(lp->can_save_state() ? initial_mode : SyncMode::kConservative),
         max_history_(max_history),
         use_lookahead_(use_lookahead),
-        lazy_(cancellation == CancellationPolicy::kLazy) {}
+        lazy_(cancellation == CancellationPolicy::kLazy) {
+    stats_.final_optimistic = mode_ == SyncMode::kOptimistic ? 1 : 0;
+  }
 
   LpRuntime(const LpRuntime&) = delete;
   LpRuntime& operator=(const LpRuntime&) = delete;
@@ -80,6 +82,7 @@ class LpRuntime {
   /// Pins the LP to conservative mode (used when Time Warp memory pressure
   /// demotes a persistent far-ahead LP; re-promotion would oscillate).
   void pin_conservative() {
+    if (!pinned_conservative_) ++stats_.adapt_pins;
     pinned_conservative_ = true;
     set_mode(SyncMode::kConservative);
   }
@@ -123,6 +126,7 @@ class LpRuntime {
   [[nodiscard]] std::uint64_t window_blocked() const {
     return window_blocked_;
   }
+  [[nodiscard]] std::uint64_t window_undone() const { return window_undone_; }
   void reset_window();
   void note_blocked() {
     ++stats_.blocked_polls;
@@ -137,9 +141,49 @@ class LpRuntime {
     return window_memory_stalls_;
   }
   /// Lifetime optimistic->conservative transitions (NOT window-scoped):
-  /// adapt_lp's promotion hysteresis scales its evidence threshold by this,
-  /// so an LP that keeps getting demoted needs ever more proof to flip back.
+  /// the promotion hysteresis scales its evidence threshold by this, so an
+  /// LP that keeps getting demoted needs ever more proof to flip back.
   [[nodiscard]] std::uint64_t demotions() const { return demotions_; }
+
+  // ---- rate-based adaptation signals (adaptive.h) ----
+  //
+  // fold_window() is called once per GVT round (kDynamic only): it folds the
+  // raw window counters into EWMA rates carried *across* rounds and then
+  // resets the window.  All cross-round state below restarts from zero at
+  // every mode flip (set_mode) and at checkpoint restore -- it is scratch
+  // for the controller, never part of the replicated simulation state.
+
+  /// Folds the current window into the cross-round rates and resets it.
+  void fold_window(const AdaptPolicy& policy);
+  /// EWMA of the per-window wasted-work fraction
+  /// min(1, events_undone / events_processed), over active windows since the
+  /// last mode flip.  0 when no active window has been observed yet.
+  [[nodiscard]] double waste_rate() const { return waste_rate_; }
+  /// Windows with >= 1 processed event folded since the last mode flip.
+  [[nodiscard]] std::uint32_t active_windows() const {
+    return active_windows_;
+  }
+  /// Events processed in folded windows since the last mode flip.
+  [[nodiscard]] std::uint64_t evidence_events() const {
+    return evidence_events_;
+  }
+  /// Cumulative blocked polls folded since the last mode flip (promotion
+  /// evidence: accumulates across rounds, resets only on a flip, so the
+  /// escalating backoff really halves the ping-pong frequency).
+  [[nodiscard]] std::uint64_t blocked_since_flip() const {
+    return blocked_since_flip_;
+  }
+  /// Consecutive folded windows dominated by Time Warp memory stalls.
+  [[nodiscard]] std::uint32_t stall_streak() const { return stall_streak_; }
+  /// Test hook: stages one synthetic window's counters (as if they had
+  /// accumulated live); the next fold_window()/controller round folds them.
+  void inject_window(std::uint64_t events, std::uint64_t undone,
+                     std::uint64_t blocked, std::uint64_t stalls = 0) {
+    window_events_ += events;
+    window_undone_ += undone;
+    window_blocked_ += blocked;
+    window_memory_stalls_ += stalls;
+  }
 
   [[nodiscard]] std::size_t history_size() const { return history_.size(); }
   [[nodiscard]] bool has_pending() const { return !pending_.empty(); }
@@ -230,7 +274,17 @@ class LpRuntime {
   std::uint64_t window_events_ = 0;
   std::uint64_t window_blocked_ = 0;
   std::uint64_t window_memory_stalls_ = 0;
+  std::uint64_t window_undone_ = 0;  ///< events undone by rollback this window
   std::uint64_t demotions_ = 0;  ///< lifetime optimistic->conservative flips
+
+  // Cross-round adaptation rates (scratch; reset on mode flip + restore).
+  double waste_rate_ = 0.0;
+  std::uint32_t active_windows_ = 0;
+  std::uint64_t evidence_events_ = 0;
+  std::uint64_t blocked_since_flip_ = 0;
+  std::uint32_t stall_streak_ = 0;
+
+  void reset_adapt_rates();
 };
 
 }  // namespace vsim::pdes

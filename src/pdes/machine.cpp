@@ -444,13 +444,26 @@ VirtualTime MachineEngine::sync_round() {
     take_checkpoint(gvt);
   }
 
+  // The machine model sweeps every LP in one deterministic pass, so the
+  // whole engine is one adaptation scope: the demotion budget drains in LP
+  // id order regardless of placement.
+  AdaptController adapt(config_.adapt, config_.num_workers);
+  adapt.begin_round(lps_.size());
   for (LpId id = 0; id < lps_.size(); ++id) {
     if (ft_on_ && worker_dead(partition_[id])) continue;
     current_worker_ = partition_[id];
-    if (config_.configuration == Configuration::kDynamic)
-      adapt_lp(lps_[id], config_.adapt);
-    else
+    if (config_.configuration == Configuration::kDynamic) {
+      const AdaptDecision d = adapt.adapt(lps_[id]);
+      if (d.action == AdaptAction::kDeferred)
+        metrics_.shard(current_worker_).inc(obs::Metric::kAdaptDeferrals);
+      VSIM_TRACE(if (trace_ != nullptr && d.action != AdaptAction::kNone) {
+        trace_->instant(current_worker_, "adapt", to_string(d.action),
+                        workers_[current_worker_].clock, id, "waste_pct",
+                        static_cast<std::int64_t>(d.waste_rate * 100.0));
+      });
+    } else {
       lps_[id].reset_window();
+    }
     if (config_.strategy == ConservativeStrategy::kNullMessage)
       send_null_messages_for(id);
   }

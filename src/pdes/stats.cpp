@@ -33,6 +33,7 @@ void absorb_run_stats(obs::MetricsRegistry& reg, const RunStats& st) {
   std::uint64_t annihilations = 0, lazy_reuse = 0, lazy_cancel = 0;
   std::uint64_t saves = 0, switches = 0, blocked = 0, ck_undone = 0;
   std::uint64_t queue_ops = 0;
+  std::uint64_t demotions = 0, promotions = 0, pins = 0, optimistic = 0;
   std::size_t peak = 0, total_hist = 0;
   for (const LpStats& lp : st.per_lp) {
     committed += lp.events_committed;
@@ -47,6 +48,10 @@ void absorb_run_stats(obs::MetricsRegistry& reg, const RunStats& st) {
     blocked += lp.blocked_polls;
     ck_undone += lp.checkpoint_undone;
     queue_ops += lp.queue_ops;
+    demotions += lp.adapt_demotions;
+    promotions += lp.adapt_promotions;
+    pins += lp.adapt_pins;
+    optimistic += lp.final_optimistic;
     if (lp.max_history > peak) peak = lp.max_history;
     total_hist += lp.max_history;
   }
@@ -62,6 +67,14 @@ void absorb_run_stats(obs::MetricsRegistry& reg, const RunStats& st) {
   s.inc(Metric::kBlockedPolls, blocked);
   s.inc(Metric::kCheckpointUndone, ck_undone);
   s.inc(Metric::kQueueOps, queue_ops);
+  s.inc(Metric::kAdaptDemotions, demotions);
+  s.inc(Metric::kAdaptPromotions, promotions);
+  s.inc(Metric::kAdaptPins, pins);
+  if (!st.per_lp.empty()) {
+    s.gauge_max(Gauge::kAdaptOptimisticFraction,
+                static_cast<double>(optimistic) /
+                    static_cast<double>(st.per_lp.size()));
+  }
   s.gauge_max(Gauge::kPeakHistory, static_cast<double>(peak));
   s.gauge_max(Gauge::kTotalHistory, static_cast<double>(total_hist));
   s.gauge_max(Gauge::kMakespan, st.makespan);

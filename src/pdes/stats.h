@@ -61,6 +61,17 @@ struct LpStats {
   /// Conservative<->optimistic transitions by the dynamic configuration
   /// (metrics: `tw.mode_switches`).
   std::uint64_t mode_switches = 0;
+  /// Optimistic->conservative adaptation flips (metrics: `adapt.demotions`).
+  std::uint64_t adapt_demotions = 0;
+  /// Conservative->optimistic adaptation flips (metrics: `adapt.promotions`).
+  std::uint64_t adapt_promotions = 0;
+  /// Times this LP was pinned conservative by persistent memory stalls
+  /// (metrics: `adapt.pinned`; at most 1 per LP between recoveries).
+  std::uint64_t adapt_pins = 0;
+  /// 1 when the LP ended the run in optimistic mode (maintained by
+  /// LpRuntime, so the distributed codec ships it for free); the mean over
+  /// LPs is the `adapt.optimistic_fraction` gauge.
+  std::uint64_t final_optimistic = 0;
   /// Times the LP had pending work that was not yet provably safe
   /// (metrics: `engine.blocked_polls`).
   std::uint64_t blocked_polls = 0;

@@ -560,15 +560,27 @@ void ThreadedEngine::worker_main(std::size_t wi) {
     }
     barrier_->arrive_and_wait();
     if (!crash_pending) {
-      // Fossil collect and adapt under the new GVT.
+      // Fossil collect and adapt under the new GVT.  Each worker is its own
+      // adaptation scope: the demotion budget drains in this worker's fixed
+      // owned-set order, independent of the other threads' progress.
       const VirtualTime gvt = safe_bound_;
       ThreadedRouter router(*this, wi);
+      AdaptController adapt(config_.adapt, config_.num_workers);
+      adapt.begin_round(w.owned.size());
       for (LpId lp : w.owned) {
         lps_[lp].fossil_collect(done_ ? kTimeInf : gvt, router);
-        if (config_.configuration == Configuration::kDynamic)
-          adapt_lp(lps_[lp], config_.adapt);
-        else
+        if (config_.configuration == Configuration::kDynamic) {
+          const AdaptDecision d = adapt.adapt(lps_[lp]);
+          if (d.action == AdaptAction::kDeferred)
+            metrics_.shard(wi).inc(obs::Metric::kAdaptDeferrals);
+          VSIM_TRACE(if (trace_ != nullptr && d.action != AdaptAction::kNone) {
+            trace_->instant(wi, "adapt", to_string(d.action), tnow(), lp,
+                            "waste_pct",
+                            static_cast<std::int64_t>(d.waste_rate * 100.0));
+          });
+        } else {
           lps_[lp].reset_window();
+        }
         if (config_.strategy == ConservativeStrategy::kNullMessage)
           send_null_messages_for(wi, lp);
       }

@@ -334,5 +334,70 @@ TEST(StressMatrix, RebalancingMatchesOracleBitExact) {
   EXPECT_TRUE(gauge_seen);
 }
 
+// Seed-sweep determinism gate for the rate-based adaptation controller:
+// kDynamic with a deliberately trigger-happy policy (single-window
+// decisions, tiny evidence thresholds, tight history cap so pinning fires
+// too) must stay bit-identical to the sequential oracle on both in-process
+// engines.  Across the sweep the policy must actually flip modes somewhere
+// -- a gate that never demotes or promotes would be vacuously green.
+TEST(StressMatrix, DynamicAdaptationMatchesOracleBitExact) {
+  const std::uint64_t seeds = stress_seeds();
+  testutil::Watchdog wd("StressMatrix.DynamicAdaptationMatchesOracleBitExact",
+                        std::chrono::seconds(120 + 2 * seeds));
+  const PhysTime until = 250;
+  std::uint64_t total_flips = 0;
+
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    RandomCircuitParams p;
+    p.seed = seed * 2654435761u + 101;
+    p.num_gates = 16 + (p.seed * 13) % 32;
+    p.num_dffs = 3 + (p.seed * 7) % 6;
+    p.zero_delay_pct = static_cast<int>((p.seed * 29) % 100);
+
+    Built ref = build(p);
+    pdes::SequentialEngine seq(*ref.graph);
+    seq.set_commit_hook(ref.recorder->hook());
+    seq.run(until);
+
+    for (const bool threaded : {false, true}) {
+      Built par = build(p);
+      RunConfig rc;
+      rc.num_workers = 2 + (seed + (threaded ? 1 : 0)) % 5;
+      rc.configuration = Configuration::kDynamic;
+      rc.gvt_interval = 8 + (seed % 3) * 16;
+      rc.max_history = 16;  // tight cap: memory stalls + pinning exercised
+      rc.until = until;
+      rc.adapt.min_window_events = 2;
+      rc.adapt.min_decision_windows = 1;
+      rc.adapt.rate_alpha = 1.0;
+      rc.adapt.rollback_rate_high = 0.05;
+      rc.adapt.rollback_rate_low = 0.05;
+      rc.adapt.pin_stall_windows = 1 + seed % 2;
+      rc.adapt.max_demote_fraction = (seed % 2) ? 1.0 : 0.05;
+      const auto part = partition::round_robin(par.graph->size(),
+                                               rc.num_workers);
+      pdes::RunStats st;
+      if (threaded) {
+        pdes::ThreadedEngine eng(*par.graph, part, rc);
+        eng.set_commit_hook(par.recorder->hook());
+        st = eng.run();
+      } else {
+        pdes::MachineEngine eng(*par.graph, part, rc);
+        eng.set_commit_hook(par.recorder->hook());
+        st = eng.run();
+      }
+      ASSERT_FALSE(st.deadlocked)
+          << "seed " << seed << (threaded ? " threaded" : " machine");
+      ASSERT_EQ(vhdl::TraceRecorder::diff(*ref.recorder, *par.recorder), "")
+          << "seed " << seed << " workers " << rc.num_workers
+          << (threaded ? " threaded" : " machine");
+      total_flips += st.metrics.counter(obs::Metric::kAdaptDemotions) +
+                     st.metrics.counter(obs::Metric::kAdaptPromotions) +
+                     st.metrics.counter(obs::Metric::kAdaptPins);
+    }
+  }
+  EXPECT_GT(total_flips, 0u);
+}
+
 }  // namespace
 }  // namespace vsim

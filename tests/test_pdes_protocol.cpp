@@ -278,11 +278,30 @@ TEST_F(LpRuntimeTest, NullPromiseUsesLookaheadOnlyWhenEnabled) {
   EXPECT_EQ(la_rt.null_promise(), (VirtualTime{12, 0}));
 }
 
+// One engine-style adaptation round over a single LP (fresh budget each
+// round, as the engines refill it at every GVT round).  The table-driven
+// transition/rate tests live in test_adaptive.cpp; the tests here drive the
+// controller through REAL event flow (rollbacks from actual stragglers).
+AdaptDecision adapt_round(LpRuntime& rt, const AdaptPolicy& p) {
+  AdaptController ctrl(p, /*num_workers=*/1);
+  ctrl.begin_round(1);
+  return ctrl.adapt(rt);
+}
+
+// Policy with single-window decisions (the protocol tests exercise the
+// transition rules, not the EWMA smoothing).
+AdaptPolicy fast_policy() {
+  AdaptPolicy p;
+  p.min_window_events = 2;
+  p.rollback_rate_high = 0.1;
+  p.min_decision_windows = 1;
+  p.rate_alpha = 1.0;
+  return p;
+}
+
 TEST_F(LpRuntimeTest, AdaptationDemotesRollbackProneLp) {
   auto rt = make(SyncMode::kOptimistic);
-  AdaptPolicy policy;
-  policy.min_window_events = 2;
-  policy.rollback_rate_high = 0.1;
+  const AdaptPolicy policy = fast_policy();
   // Generate rollbacks: process then deliver stragglers repeatedly.
   for (int i = 0; i < 4; ++i) {
     rt.enqueue(make_event({10 + i, 0}, 0, 100 + static_cast<EventUid>(i)),
@@ -294,14 +313,17 @@ TEST_F(LpRuntimeTest, AdaptationDemotesRollbackProneLp) {
       rt.process_next(router_);
   }
   EXPECT_GT(rt.window_rollbacks(), 0u);
-  adapt_lp(rt, policy);
+  EXPECT_GT(rt.window_undone(), 0u);
+  const AdaptDecision d = adapt_round(rt, policy);
+  EXPECT_EQ(d.action, AdaptAction::kDemote);
+  EXPECT_GT(d.waste_rate, policy.rollback_rate_high);
   EXPECT_EQ(rt.mode(), SyncMode::kConservative);
+  EXPECT_EQ(rt.stats().adapt_demotions, 1u);
 }
 
 TEST_F(LpRuntimeTest, AdaptationPromotesStarvingConservativeLp) {
   auto rt = make(SyncMode::kConservative);
-  AdaptPolicy policy;
-  policy.min_window_events = 2;
+  const AdaptPolicy policy = fast_policy();
   // A promotion needs a clean record over REAL activity: process a couple
   // of safe events (no rollbacks), then starve behind the global bound.
   rt.enqueue(make_event({1, 0}, 0, 1), router_);
@@ -314,23 +336,23 @@ TEST_F(LpRuntimeTest, AdaptationPromotesStarvingConservativeLp) {
     EXPECT_EQ(rt.peek({2, 0}, 1000), Eligibility::kBlocked);
     rt.note_blocked();
   }
-  adapt_lp(rt, policy);
+  const AdaptDecision d = adapt_round(rt, policy);
+  EXPECT_EQ(d.action, AdaptAction::kPromote);
   EXPECT_EQ(rt.mode(), SyncMode::kOptimistic);
+  EXPECT_EQ(rt.stats().adapt_promotions, 1u);
 }
 
 TEST_F(LpRuntimeTest, AdaptationStarvedRepromotionNeedsEscalatedEvidence) {
-  // Regression: the promotion's rollback-rate test is vacuous at
-  // window_events == 0 (0 <= rate * anything), so a fully starved
-  // conservative LP used to flip optimistic on blocked counts alone --
-  // then roll back and demote the moment traffic resumed, ping-ponging
-  // forever because every starved window re-promoted it on the same cheap
-  // evidence.  The fix is demotion-count hysteresis: after a demotion the
-  // blocked-poll threshold doubles, so the window that promoted the LP
-  // before no longer does, even when it is fully starved.
+  // Regression: the promotion's clean-record test is vacuous for a fully
+  // starved LP (no active windows since the flip), so a starved conservative
+  // LP used to flip optimistic on blocked counts alone -- then roll back and
+  // demote the moment traffic resumed, ping-ponging forever.  Requiring
+  // activity instead would trap throttled LPs (pending work parked just
+  // above the safe bound, the very LPs speculation helps), so the fix is
+  // escalation: each demotion doubles the cumulative blocked-poll evidence
+  // the next promotion needs.
   auto rt = make(SyncMode::kOptimistic);
-  AdaptPolicy policy;
-  policy.min_window_events = 2;
-  policy.rollback_rate_high = 0.1;
+  const AdaptPolicy policy = fast_policy();
   // Demote via rollbacks (straggler after every processed event).
   for (int i = 0; i < 4; ++i) {
     rt.enqueue(make_event({10 + i, 0}, 0, 100 + static_cast<EventUid>(i)),
@@ -341,37 +363,34 @@ TEST_F(LpRuntimeTest, AdaptationStarvedRepromotionNeedsEscalatedEvidence) {
     while (rt.peek(kTimeZero, 1000) == Eligibility::kReady)
       rt.process_next(router_);
   }
-  adapt_lp(rt, policy);
+  ASSERT_EQ(adapt_round(rt, policy).action, AdaptAction::kDemote);
   ASSERT_EQ(rt.mode(), SyncMode::kConservative);
   ASSERT_EQ(rt.demotions(), 1u);
 
-  // Fully starved windows (zero events processed): 3 blocked polls met the
-  // pre-demotion threshold of 2, but after one demotion the LP needs
-  // min_window_events << 1 = 4 -- it must stay conservative.
+  // Fully starved (zero events processed since the flip): 3 blocked polls
+  // met the pre-demotion threshold of 2, but after one demotion the LP
+  // needs min_window_events << 1 = 4 cumulative -- it must stay
+  // conservative this round.
   rt.enqueue(make_event({200, 0}, 0, 300), router_);
-  const std::uint64_t switches_before = rt.stats().mode_switches;
-  for (int round = 0; round < 3; ++round) {
-    for (int i = 0; i < 3; ++i) rt.note_blocked();
-    adapt_lp(rt, policy);
-    EXPECT_EQ(rt.mode(), SyncMode::kConservative);
-  }
-  EXPECT_EQ(rt.stats().mode_switches, switches_before);
+  for (int i = 0; i < 3; ++i) rt.note_blocked();
+  EXPECT_EQ(adapt_round(rt, policy).action, AdaptAction::kNone);
+  EXPECT_EQ(rt.mode(), SyncMode::kConservative);
 
-  // Sustained starvation that clears the escalated threshold still
-  // promotes: hysteresis delays re-promotion, it does not forbid it.
-  for (int i = 0; i < 4; ++i) rt.note_blocked();
-  adapt_lp(rt, policy);
+  // Sustained starvation accumulates across rounds: once the cumulative
+  // evidence clears the escalated threshold the LP still promotes --
+  // escalation delays re-promotion, it does not forbid it.
+  rt.note_blocked();
+  EXPECT_EQ(adapt_round(rt, policy).action, AdaptAction::kPromote);
   EXPECT_EQ(rt.mode(), SyncMode::kOptimistic);
 }
 
 TEST_F(LpRuntimeTest, AdaptationDemotionBacksOffRepromotion) {
-  // Ping-pong regression: a rollback-prone LP is demoted; each demotion
-  // doubles the blocked-poll evidence the next promotion requires, so the
-  // same marginal window that promoted it before no longer flips it back.
+  // Ping-pong damping: a rollback-prone LP is demoted; each demotion
+  // doubles the blocked-poll evidence the next promotion requires, so at a
+  // constant blocked-poll rate per round each oscillation takes twice as
+  // many rounds as the last (the frequency halves).
   auto rt = make(SyncMode::kOptimistic);
-  AdaptPolicy policy;
-  policy.min_window_events = 2;
-  policy.rollback_rate_high = 0.1;
+  const AdaptPolicy policy = fast_policy();
   // Demote via rollbacks (straggler after every processed event).
   for (int i = 0; i < 4; ++i) {
     rt.enqueue(make_event({10 + i, 0}, 0, 100 + static_cast<EventUid>(i)),
@@ -382,44 +401,47 @@ TEST_F(LpRuntimeTest, AdaptationDemotionBacksOffRepromotion) {
     while (rt.peek(kTimeZero, 1000) == Eligibility::kReady)
       rt.process_next(router_);
   }
-  adapt_lp(rt, policy);
-  ASSERT_EQ(rt.mode(), SyncMode::kConservative);
+  ASSERT_EQ(adapt_round(rt, policy).action, AdaptAction::kDemote);
   EXPECT_EQ(rt.demotions(), 1u);
 
   // One demotion: the threshold is min_window_events << 1 = 4 blocked
-  // polls.  A clean window with 3 (enough before the demotion) must NOT
-  // re-promote...
+  // polls.  Clean activity plus 3 blocked polls (enough before the
+  // demotion) must NOT re-promote...
   rt.enqueue(make_event({100, 0}, 0, 300), router_);
   rt.enqueue(make_event({101, 0}, 0, 301), router_);
   ASSERT_EQ(rt.peek({101, 0}, 1000), Eligibility::kReady);
   rt.process_next(router_);
   rt.process_next(router_);
   for (int i = 0; i < 3; ++i) rt.note_blocked();
-  adapt_lp(rt, policy);
+  EXPECT_EQ(adapt_round(rt, policy).action, AdaptAction::kNone);
   EXPECT_EQ(rt.mode(), SyncMode::kConservative);
 
-  // ...but sustained starvation with clean activity (4 blocked polls)
-  // still can: hysteresis delays re-promotion, it does not forbid it.
+  // ...but one more round of clean starvation clears the escalated
+  // cumulative threshold: delay, not prohibition.
   rt.enqueue(make_event({102, 0}, 0, 302), router_);
   rt.enqueue(make_event({103, 0}, 0, 303), router_);
   ASSERT_EQ(rt.peek({103, 0}, 1000), Eligibility::kReady);
   rt.process_next(router_);
   rt.process_next(router_);
-  for (int i = 0; i < 4; ++i) rt.note_blocked();
-  adapt_lp(rt, policy);
+  rt.note_blocked();
+  EXPECT_EQ(adapt_round(rt, policy).action, AdaptAction::kPromote);
   EXPECT_EQ(rt.mode(), SyncMode::kOptimistic);
 }
 
 TEST_F(LpRuntimeTest, PinnedConservativeLpIsNotPromoted) {
   auto rt = make(SyncMode::kOptimistic);
-  AdaptPolicy policy;
+  AdaptPolicy policy = fast_policy();
   policy.min_window_events = 1;
   rt.pin_conservative();
   EXPECT_EQ(rt.mode(), SyncMode::kConservative);
+  EXPECT_EQ(rt.stats().adapt_pins, 1u);
   rt.enqueue(make_event({50, 0}, 0, 1), router_);
   for (int i = 0; i < 5; ++i) rt.note_blocked();
-  adapt_lp(rt, policy);
+  // Short-circuited before any rate math: no action, and the window
+  // counters are left untouched (no reset_window churn for pinned LPs).
+  EXPECT_EQ(adapt_round(rt, policy).action, AdaptAction::kNone);
   EXPECT_EQ(rt.mode(), SyncMode::kConservative);
+  EXPECT_EQ(rt.window_blocked(), 5u);
 }
 
 TEST_F(LpRuntimeTest, StragglerAfterDemotionStillRollsBackHistory) {
